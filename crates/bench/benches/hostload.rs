@@ -1,0 +1,69 @@
+//! Benchmarks of the host-load analyses (Figs. 7–13, Tables II/III) and
+//! the simulator itself.
+
+use cgc_core::hostload::{
+    cpu_noise, host_comparison, max_load_distribution, mean_autocorr, queue_runlengths,
+    usage_level_runs, usage_masscount,
+};
+use cgc_gen::{FleetConfig, GoogleWorkload};
+use cgc_sim::{SimConfig, Simulator};
+use cgc_trace::usage::UsageAttribute;
+use cgc_trace::{Trace, DAY};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn sim_trace() -> Trace {
+    let machines = 32;
+    let workload = GoogleWorkload::scaled_for_hostload(machines, DAY).generate(2);
+    Simulator::new(SimConfig::google(FleetConfig::google(machines))).run(&workload)
+}
+
+fn bench_hostload(c: &mut Criterion) {
+    let trace = sim_trace();
+
+    let mut g = c.benchmark_group("hostload");
+    g.bench_function("fig7_max_load", |b| {
+        b.iter(|| max_load_distribution(black_box(&trace), UsageAttribute::Cpu, 25))
+    });
+    g.sample_size(10);
+    g.bench_function("fig9_queue_runlengths", |b| {
+        b.iter(|| queue_runlengths(black_box(&trace), 60))
+    });
+    g.bench_function("table2_cpu_level_runs", |b| {
+        b.iter(|| usage_level_runs(black_box(&trace), UsageAttribute::Cpu, None))
+    });
+    g.bench_function("table3_memory_level_runs", |b| {
+        b.iter(|| usage_level_runs(black_box(&trace), UsageAttribute::MemoryUsed, None))
+    });
+    g.bench_function("fig11_cpu_masscount", |b| {
+        b.iter(|| usage_masscount(black_box(&trace), UsageAttribute::Cpu, None))
+    });
+    g.bench_function("fig12_memory_masscount", |b| {
+        b.iter(|| usage_masscount(black_box(&trace), UsageAttribute::MemoryUsed, None))
+    });
+    g.bench_function("fig13_noise", |b| {
+        b.iter(|| cpu_noise(black_box(&trace), UsageAttribute::Cpu, 12, 0))
+    });
+    g.bench_function("fig13_autocorr", |b| {
+        b.iter(|| mean_autocorr(black_box(&trace), UsageAttribute::Cpu, 12))
+    });
+    g.bench_function("fig13_host_comparison", |b| {
+        b.iter(|| host_comparison(black_box(&trace), 0))
+    });
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    g.bench_function("google_16_machines_6h", |b| {
+        let machines = 16;
+        let workload = GoogleWorkload::scaled_for_hostload(machines, 6 * 3_600).generate(5);
+        let config = SimConfig::google(FleetConfig::google(machines));
+        b.iter(|| Simulator::new(config.clone()).run(black_box(&workload)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_hostload, bench_simulator);
+criterion_main!(benches);

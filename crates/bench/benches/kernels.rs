@@ -1,0 +1,62 @@
+//! Benchmarks of the low-level statistics kernels shared by all analyses.
+
+use cgc_stats::{
+    autocorrelation, counts_per_window, jain_fairness, mean_filter, noise_std, run_lengths, Ecdf,
+    LevelQuantizer,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn series(n: usize) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(9);
+    (0..n).map(|_| rng.gen_range(0.0..1.0)).collect()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let xs = series(100_000);
+    let times: Vec<u64> = {
+        let mut rng = StdRng::seed_from_u64(4);
+        (0..100_000).map(|_| rng.gen_range(0..2_592_000)).collect()
+    };
+
+    let mut g = c.benchmark_group("kernels");
+    g.bench_function("ecdf_build_100k", |b| {
+        b.iter(|| Ecdf::new(black_box(xs.clone())))
+    });
+    let ecdf = Ecdf::new(xs.clone());
+    g.bench_function("ecdf_eval", |b| {
+        b.iter(|| black_box(&ecdf).eval(black_box(0.5)))
+    });
+    g.bench_function("ecdf_quantile", |b| {
+        b.iter(|| black_box(&ecdf).quantile(black_box(0.9)))
+    });
+    g.bench_function("mean_filter_w12", |b| {
+        b.iter(|| mean_filter(black_box(&xs), 12))
+    });
+    g.bench_function("noise_std_w12", |b| {
+        b.iter(|| noise_std(black_box(&xs), 12))
+    });
+    g.bench_function("autocorr_lag1", |b| {
+        b.iter(|| autocorrelation(black_box(&xs), 1))
+    });
+    g.bench_function("jain_fairness", |b| {
+        b.iter(|| jain_fairness(black_box(&xs)))
+    });
+    g.bench_function("counts_per_window_hourly", |b| {
+        b.iter(|| counts_per_window(black_box(&times), 3_600, 2_592_000))
+    });
+    let quantizer = LevelQuantizer::usage_bands();
+    let levels = quantizer.quantize_series(&xs);
+    g.bench_function("quantize_100k", |b| {
+        b.iter(|| quantizer.quantize_series(black_box(&xs)))
+    });
+    g.bench_function("run_lengths_100k", |b| {
+        b.iter(|| run_lengths(black_box(&levels)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Benchmarks of the mass–count disparity analysis (the paper's central
+//! statistical tool, behind Figs. 4, 9, 11, 12 and Tables II/III).
+
+use cgc_gen::Dist;
+use cgc_stats::MassCount;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn pareto_sample(n: usize) -> Vec<f64> {
+    let d = Dist::BoundedPareto {
+        alpha: 0.6,
+        lo: 1.0,
+        hi: 1e6,
+    };
+    let mut rng = StdRng::seed_from_u64(1);
+    (0..n).map(|_| d.sample(&mut rng)).collect()
+}
+
+fn bench_masscount(c: &mut Criterion) {
+    let mut g = c.benchmark_group("masscount");
+    for n in [1_000usize, 10_000, 100_000] {
+        let sample = pareto_sample(n);
+        g.bench_with_input(BenchmarkId::new("build", n), &sample, |b, s| {
+            b.iter(|| MassCount::new(black_box(s.clone())))
+        });
+        let mc = MassCount::new(sample.clone()).unwrap();
+        g.bench_with_input(BenchmarkId::new("joint_ratio", n), &mc, |b, mc| {
+            b.iter(|| black_box(mc).joint_ratio())
+        });
+        g.bench_with_input(BenchmarkId::new("summary", n), &mc, |b, mc| {
+            b.iter(|| black_box(mc).summary())
+        });
+        g.bench_with_input(BenchmarkId::new("curves", n), &mc, |b, mc| {
+            b.iter(|| black_box(mc).curves())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_masscount);
+criterion_main!(benches);

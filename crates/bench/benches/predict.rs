@@ -1,0 +1,65 @@
+//! Benchmarks of the load-prediction toolkit (the paper's §VI future
+//! work, implemented in `cgc-core::predict`).
+
+use cgc_core::predict::{evaluate, fleet_prediction_error, PredictorKind};
+use cgc_gen::{FleetConfig, GoogleWorkload};
+use cgc_sim::{SimConfig, Simulator};
+use cgc_trace::usage::UsageAttribute;
+use cgc_trace::Trace;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn load_series(n: usize) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(12);
+    let mut v = 0.35;
+    (0..n)
+        .map(|_| {
+            v = (v + rng.gen_range(-0.03..0.03f64)).clamp(0.0, 1.0);
+            v
+        })
+        .collect()
+}
+
+fn sim_trace() -> Trace {
+    let machines = 16;
+    let workload = GoogleWorkload::scaled_for_hostload(machines, 86_400).generate(3);
+    Simulator::new(SimConfig::google(FleetConfig::google(machines))).run(&workload)
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    let series = load_series(864); // three days at 5-minute samples
+
+    let mut g = c.benchmark_group("predict");
+    for kind in PredictorKind::all_default() {
+        g.bench_with_input(
+            BenchmarkId::new("walk_forward_864", kind.label()),
+            &kind,
+            |b, &k| b.iter(|| evaluate(k, black_box(&series), 48)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    let trace = sim_trace();
+    let mut g = c.benchmark_group("predict_fleet");
+    g.sample_size(10);
+    for kind in [
+        PredictorKind::LastValue,
+        PredictorKind::AutoRegressive { order: 4 },
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("fleet_16x1d", kind.label()),
+            &kind,
+            |b, &k| {
+                b.iter(|| fleet_prediction_error(black_box(&trace), UsageAttribute::Cpu, k, 24, 48))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_predictors, bench_fleet);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Benchmarks of the work-load analyses (Figs. 2–6, Table I, concl).
+//!
+//! Each target measures the analysis behind one paper artifact over a
+//! fixed generated trace, so regressions in the characterization pipeline
+//! show up per-figure.
+
+use cgc_core::workload::{
+    job_cpu_usage, job_length_analysis, job_memory_mb, priority_histogram, submission_analysis,
+    task_length_analysis,
+};
+use cgc_gen::{GoogleWorkload, GridSystem, GridWorkload};
+use cgc_trace::{Trace, DAY};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn google_trace() -> Trace {
+    GoogleWorkload {
+        horizon: 2 * DAY,
+        ..GoogleWorkload::full_scale()
+    }
+    .generate(1)
+    .into_workload_trace()
+}
+
+fn grid_trace() -> Trace {
+    GridWorkload::full_scale(GridSystem::AuverGrid)
+        .generate(1)
+        .into_workload_trace()
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let google = google_trace();
+    let grid = grid_trace();
+
+    let mut g = c.benchmark_group("workload");
+    g.bench_function("fig2_priority_histogram", |b| {
+        b.iter(|| priority_histogram(black_box(&google)))
+    });
+    g.bench_function("fig3_job_length_google", |b| {
+        b.iter(|| job_length_analysis(black_box(&google)))
+    });
+    g.bench_function("fig3_job_length_grid", |b| {
+        b.iter(|| job_length_analysis(black_box(&grid)))
+    });
+    g.bench_function("fig4_task_length_masscount", |b| {
+        b.iter(|| task_length_analysis(black_box(&google)))
+    });
+    g.bench_function("fig5_table1_submission", |b| {
+        b.iter(|| submission_analysis(black_box(&google)))
+    });
+    g.bench_function("fig6_cpu_usage", |b| {
+        b.iter(|| job_cpu_usage(black_box(&google)))
+    });
+    g.bench_function("fig6_memory_mb", |b| {
+        b.iter(|| job_memory_mb(black_box(&google), black_box(32.0)))
+    });
+    g.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generation");
+    g.sample_size(10);
+    g.bench_function("google_workload_1day", |b| {
+        let cfg = GoogleWorkload {
+            horizon: DAY,
+            ..GoogleWorkload::full_scale()
+        };
+        b.iter(|| cfg.generate(black_box(3)))
+    });
+    g.bench_function("grid_workload_30days", |b| {
+        let cfg = GridWorkload::full_scale(GridSystem::Sharcnet);
+        b.iter(|| cfg.generate(black_box(3)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_workload, bench_generation);
+criterion_main!(benches);

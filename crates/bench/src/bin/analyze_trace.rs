@@ -1,0 +1,122 @@
+//! Characterize a trace file from disk.
+//!
+//! Accepts the workspace's sectioned-CSV trace format (written by
+//! `cgc_trace::io::write_trace`), a Parallel Workload Archive SWF log, or
+//! the Google clusterdata-2011 tables, and prints the paper's
+//! characterization — optionally as JSON.
+//!
+//! ```text
+//! analyze_trace <FILE> [--swf] [--json] [--system NAME]
+//! analyze_trace --clusterdata <task_events.csv> <task_usage.csv> <machine_events.csv> [--json]
+//! ```
+//!
+//! This is the adoption path for real data: download an SWF log from the
+//! PWA, point this tool at it, and compare the resulting statistics to the
+//! paper's (and to this repository's generated systems).
+
+use cgc_core::characterize;
+use cgc_trace::swf::{read_swf_trace, SwfImportOptions};
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn main() {
+    let mut path: Option<String> = None;
+    let mut as_swf = false;
+    let mut as_json = false;
+    let mut system: Option<String> = None;
+    let mut clusterdata: Option<(String, String, String)> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--swf" => as_swf = true,
+            "--clusterdata" => {
+                let mut next = || {
+                    args.next().unwrap_or_else(|| {
+                        eprintln!(
+                            "--clusterdata requires three paths: task_events task_usage machine_events"
+                        );
+                        std::process::exit(2);
+                    })
+                };
+                clusterdata = Some((next(), next(), next()));
+            }
+            "--json" => as_json = true,
+            "--system" => {
+                system = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--system requires a name");
+                    std::process::exit(2);
+                }));
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: analyze_trace <FILE> [--swf] [--json] [--system NAME]");
+                return;
+            }
+            other if path.is_none() => path = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let trace = if let Some((events, usage, machines)) = clusterdata {
+        let (trace, stats) = cgc_trace::clusterdata::import_clusterdata(
+            &read(&events),
+            &read(&usage),
+            &read(&machines),
+            system.as_deref().unwrap_or("clusterdata"),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("clusterdata import error: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "imported: {} events applied, {} submits synthesized, {} dropped, {} usage rows",
+            stats.events_applied, stats.submits_synthesized, stats.events_dropped, stats.usage_rows
+        );
+        trace
+    } else {
+        let Some(path) = path else {
+            eprintln!("usage: analyze_trace <FILE> [--swf] [--json] [--system NAME]");
+            eprintln!("       analyze_trace --clusterdata <events> <usage> <machines> [--json]");
+            std::process::exit(2);
+        };
+        let text = read(&path);
+        // Detect SWF by flag or by content (SWF has no '#trace' preamble).
+        let swf_like = as_swf || !text.lines().any(|l| l.starts_with("#trace"));
+        if swf_like {
+            let options = SwfImportOptions {
+                system: system.unwrap_or_else(|| "swf".into()),
+                ..SwfImportOptions::default()
+            };
+            read_swf_trace(&text, &options).unwrap_or_else(|e| {
+                eprintln!("SWF parse error: {e}");
+                std::process::exit(1);
+            })
+        } else {
+            let mut trace = cgc_trace::io::read_trace(&text).unwrap_or_else(|e| {
+                eprintln!("trace parse error: {e}");
+                std::process::exit(1);
+            });
+            if let Some(name) = system {
+                trace.system = name;
+            }
+            trace
+        }
+    };
+
+    let report = characterize(&trace);
+    if as_json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("report serializes")
+        );
+    } else {
+        println!("{report}");
+    }
+}

@@ -1,0 +1,85 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! Usage:
+//! ```text
+//! run_experiments [IDS...] [--full] [--json PATH]
+//! ```
+//! With no ids, every experiment runs in paper order. `--full` switches to
+//! month-scale horizons; `--json` additionally writes the structured
+//! results to a file.
+
+use cgc_bench::{all_experiment_ids, export_plots, run_experiment, Lab, Scale};
+use std::io::Write;
+
+fn main() {
+    let mut ids: Vec<String> = Vec::new();
+    let mut scale = Scale::Quick;
+    let mut json_path: Option<String> = None;
+    let mut plots_dir: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => scale = Scale::Full,
+            "--json" => {
+                json_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--json requires a path");
+                    std::process::exit(2);
+                }));
+            }
+            "--plots" => {
+                plots_dir = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--plots requires a directory");
+                    std::process::exit(2);
+                }));
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: run_experiments [IDS...] [--full] [--json PATH] [--plots DIR]");
+                eprintln!("known ids: {}", all_experiment_ids().join(" "));
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        ids = all_experiment_ids().iter().map(|s| s.to_string()).collect();
+    }
+
+    let lab = Lab::new(scale);
+    let mut results = Vec::new();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for id in &ids {
+        match run_experiment(id, &lab) {
+            Some(result) => {
+                writeln!(out, "{result}").expect("stdout write");
+                results.push(result);
+            }
+            None => {
+                eprintln!(
+                    "unknown experiment id {id:?}; known: {}",
+                    all_experiment_ids().join(" ")
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(dir) = plots_dir {
+        let dir = std::path::PathBuf::from(dir);
+        export_plots(&lab, &dir).unwrap_or_else(|e| {
+            eprintln!("failed to export plots to {}: {e}", dir.display());
+            std::process::exit(1);
+        });
+        eprintln!("wrote plot data and figures.gp to {}", dir.display());
+    }
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&results).expect("results serialize");
+        std::fs::write(&path, json).unwrap_or_else(|e| {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote {} results to {path}", results.len());
+    }
+}

@@ -1,0 +1,164 @@
+//! The per-table/per-figure experiments.
+//!
+//! Ids follow the paper: `fig2` … `fig13`, `table1` … `table3`, plus
+//! `concl` for the Section VI headline statistics.
+
+pub mod extensions;
+pub mod hostload;
+pub mod workload;
+
+use crate::lab::Lab;
+use serde::Serialize;
+use std::fmt;
+
+/// One compared metric: the paper's reported value next to ours.
+#[derive(Debug, Clone, Serialize)]
+pub struct MetricRow {
+    /// Metric name.
+    pub metric: String,
+    /// Value the paper reports ("-" where the paper gives no number).
+    pub paper: String,
+    /// Value measured on the simulated substrate.
+    pub measured: String,
+}
+
+impl MetricRow {
+    /// Convenience constructor.
+    pub fn new(
+        metric: impl Into<String>,
+        paper: impl Into<String>,
+        measured: impl Into<String>,
+    ) -> Self {
+        MetricRow {
+            metric: metric.into(),
+            paper: paper.into(),
+            measured: measured.into(),
+        }
+    }
+}
+
+/// Output of one experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentResult {
+    /// Experiment id (e.g. "fig4").
+    pub id: String,
+    /// Paper artifact it reproduces.
+    pub title: String,
+    /// Paper-vs-measured metric rows.
+    pub rows: Vec<MetricRow>,
+    /// Rendered data series / tables backing the figure.
+    pub detail: String,
+}
+
+impl fmt::Display for ExperimentResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — {} ==", self.id, self.title)?;
+        let mut rows = vec![vec![
+            "metric".to_string(),
+            "paper".to_string(),
+            "measured".to_string(),
+        ]];
+        rows.extend(
+            self.rows
+                .iter()
+                .map(|r| vec![r.metric.clone(), r.paper.clone(), r.measured.clone()]),
+        );
+        write!(f, "{}", crate::table::render(&rows))?;
+        if !self.detail.is_empty() {
+            writeln!(f, "{}", self.detail)?;
+        }
+        Ok(())
+    }
+}
+
+/// All experiment ids, in the paper's order, followed by extension
+/// experiments (prediction, periodicity, users, churn, placement).
+pub fn all_experiment_ids() -> &'static [&'static str] {
+    &[
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "table1",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "table2",
+        "table3",
+        "fig11",
+        "fig12",
+        "fig13",
+        "concl",
+        "ext-predict",
+        "ext-diurnal",
+        "ext-users",
+        "ext-churn",
+        "ext-placement",
+        "ext-fit",
+    ]
+}
+
+/// Runs one experiment by id. `None` for unknown ids.
+pub fn run_experiment(id: &str, lab: &Lab) -> Option<ExperimentResult> {
+    Some(match id {
+        "fig2" => workload::fig2_priorities(lab),
+        "fig3" => workload::fig3_job_length(lab),
+        "fig4" => workload::fig4_task_length_masscount(lab),
+        "fig5" => workload::fig5_submission_intervals(lab),
+        "table1" => workload::table1_submission_rates(lab),
+        "fig6" => workload::fig6_job_utilization(lab),
+        "fig7" => hostload::fig7_max_load(lab),
+        "fig8" => hostload::fig8_queue_state(lab),
+        "fig9" => hostload::fig9_queue_runlengths(lab),
+        "fig10" => hostload::fig10_usage_bands(lab),
+        "table2" => hostload::table2_cpu_level_runs(lab),
+        "table3" => hostload::table3_memory_level_runs(lab),
+        "fig11" => hostload::fig11_cpu_masscount(lab),
+        "fig12" => hostload::fig12_memory_masscount(lab),
+        "fig13" => hostload::fig13_cloud_grid_comparison(lab),
+        "concl" => hostload::concl_headline_stats(lab),
+        "ext-predict" => extensions::ext_prediction(lab),
+        "ext-diurnal" => extensions::ext_diurnal(lab),
+        "ext-users" => extensions::ext_users(lab),
+        "ext-churn" => extensions::ext_churn(lab),
+        "ext-placement" => extensions::ext_placement(lab),
+        "ext-fit" => extensions::ext_fit(lab),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_known() {
+        let ids = all_experiment_ids();
+        let mut sorted: Vec<_> = ids.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len());
+    }
+
+    #[test]
+    fn unknown_id_is_none() {
+        let lab = Lab::new(crate::Scale::Quick);
+        assert!(run_experiment("fig99", &lab).is_none());
+    }
+
+    #[test]
+    fn result_display_includes_rows() {
+        let r = ExperimentResult {
+            id: "x".into(),
+            title: "demo".into(),
+            rows: vec![MetricRow::new("m", "1", "2")],
+            detail: "series".into(),
+        };
+        let text = r.to_string();
+        assert!(text.contains("demo"));
+        assert!(text.contains("measured"));
+        assert!(text.contains("series"));
+    }
+}

@@ -1,0 +1,364 @@
+//! Work-load experiments: Figs. 2–6 and Table I.
+
+use super::{ExperimentResult, MetricRow};
+use crate::lab::Lab;
+use crate::table::{self, num};
+use cgc_core::workload::{
+    job_cpu_usage, job_length_analysis, job_memory_mb, priority_histogram, submission_analysis,
+    task_length_analysis,
+};
+use cgc_gen::GridSystem;
+use cgc_trace::{DAY, HOUR};
+
+/// Fig. 2: number of jobs and tasks per priority.
+pub fn fig2_priorities(lab: &Lab) -> ExperimentResult {
+    let trace = lab.google_workload();
+    let h = priority_histogram(&trace);
+    let (job_classes, task_classes) = h.class_totals();
+    let total_jobs = h.total_jobs().max(1) as f64;
+    let total_tasks = h.total_tasks().max(1) as f64;
+
+    let mut detail_rows = vec![vec![
+        "priority".to_string(),
+        "jobs".to_string(),
+        "jobs%".to_string(),
+        "tasks".to_string(),
+        "tasks%".to_string(),
+    ]];
+    for p in cgc_trace::Priority::all() {
+        let i = p.index();
+        detail_rows.push(vec![
+            p.to_string(),
+            h.jobs[i].to_string(),
+            format!("{:.1}", 100.0 * h.jobs[i] as f64 / total_jobs),
+            h.tasks[i].to_string(),
+            format!("{:.1}", 100.0 * h.tasks[i] as f64 / total_tasks),
+        ]);
+    }
+
+    ExperimentResult {
+        id: "fig2".into(),
+        title: "Statistics based on different priorities".into(),
+        rows: vec![
+            MetricRow::new(
+                "priority clusters",
+                "3 (low 1-4, mid 5-8, high 9-12)",
+                "3 (same grouping)",
+            ),
+            MetricRow::new(
+                "low-priority job share",
+                "dominant (levels 1-4 hold most jobs)",
+                format!("{:.0}%", 100.0 * job_classes[0] as f64 / total_jobs),
+            ),
+            MetricRow::new(
+                "mid/high job share",
+                "-",
+                format!(
+                    "{:.0}% / {:.0}%",
+                    100.0 * job_classes[1] as f64 / total_jobs,
+                    100.0 * job_classes[2] as f64 / total_jobs
+                ),
+            ),
+            MetricRow::new(
+                "low-priority task share",
+                "dominant",
+                format!("{:.0}%", 100.0 * task_classes[0] as f64 / total_tasks),
+            ),
+        ],
+        detail: table::render(&detail_rows),
+    }
+}
+
+/// Fig. 3: CDF of job length, Google vs the grids.
+pub fn fig3_job_length(lab: &Lab) -> ExperimentResult {
+    let mut rows = Vec::new();
+    let mut detail_rows = vec![vec![
+        "system".to_string(),
+        "F(1000s)".to_string(),
+        "F(2000s)".to_string(),
+        "median(s)".to_string(),
+        "mean(s)".to_string(),
+    ]];
+
+    let google = lab.google_workload();
+    let ga = job_length_analysis(&google).expect("google trace has finished jobs");
+    detail_rows.push(vec![
+        "google".to_string(),
+        num(ga.frac_under_1000s),
+        num(ga.frac_under_2000s),
+        num(ga.summary.median),
+        num(ga.summary.mean),
+    ]);
+    rows.push(MetricRow::new(
+        "google F(1000s)",
+        ">0.80 (\"over 80% shorter than 1000s\")",
+        num(ga.frac_under_1000s),
+    ));
+
+    let mut worst_grid_frac: f64 = 1.0;
+    for sys in GridSystem::TABLE1 {
+        let trace = lab.grid_workload(sys);
+        if let Some(a) = job_length_analysis(&trace) {
+            worst_grid_frac = worst_grid_frac.min(a.frac_under_2000s);
+            detail_rows.push(vec![
+                sys.label().to_string(),
+                num(a.frac_under_1000s),
+                num(a.frac_under_2000s),
+                num(a.summary.median),
+                num(a.summary.mean),
+            ]);
+        }
+    }
+    rows.push(MetricRow::new(
+        "grids F(2000s)",
+        "<0.5 (\"most longer than 2000s\")",
+        format!("min {} across grids", num(worst_grid_frac)),
+    ));
+
+    ExperimentResult {
+        id: "fig3".into(),
+        title: "CDF of job length of Google and Grid systems".into(),
+        rows,
+        detail: table::render(&detail_rows),
+    }
+}
+
+/// Fig. 4: mass–count disparity of task lengths, Google vs AuverGrid.
+pub fn fig4_task_length_masscount(lab: &Lab) -> ExperimentResult {
+    let google = task_length_analysis(&lab.google_workload()).expect("google tasks ran");
+    let auver = task_length_analysis(&lab.grid_workload(GridSystem::AuverGrid))
+        .expect("auvergrid tasks ran");
+
+    let rows = vec![
+        MetricRow::new(
+            "google joint ratio",
+            "6/94",
+            google.masscount.joint_ratio_label(),
+        ),
+        MetricRow::new(
+            "auvergrid joint ratio",
+            "24/76",
+            auver.masscount.joint_ratio_label(),
+        ),
+        MetricRow::new(
+            "google mm-distance (days)",
+            "23.19",
+            num(google.masscount.mm_distance / DAY as f64),
+        ),
+        MetricRow::new(
+            "auvergrid mm-distance (days)",
+            "0.82",
+            num(auver.masscount.mm_distance / DAY as f64),
+        ),
+        MetricRow::new(
+            "mean task length (h)",
+            "google 5.6, auvergrid 7.2",
+            format!(
+                "google {}, auvergrid {}",
+                num(google.summary.mean / HOUR as f64),
+                num(auver.summary.mean / HOUR as f64)
+            ),
+        ),
+        MetricRow::new(
+            "max task length (days)",
+            "google 29, auvergrid 18",
+            format!(
+                "google {}, auvergrid {}",
+                num(google.summary.max / DAY as f64),
+                num(auver.summary.max / DAY as f64)
+            ),
+        ),
+        MetricRow::new(
+            "google tasks <3h",
+            "94%",
+            format!("{:.0}%", 100.0 * google.frac_under_3h),
+        ),
+    ];
+
+    ExperimentResult {
+        id: "fig4".into(),
+        title: "Mass-count disparity of task lengths (Google vs AuverGrid)".into(),
+        rows,
+        detail: String::new(),
+    }
+}
+
+/// Fig. 5: CDF of the job-submission interval.
+pub fn fig5_submission_intervals(lab: &Lab) -> ExperimentResult {
+    let mut detail_rows = vec![vec![
+        "system".to_string(),
+        "median interval(s)".to_string(),
+        "F(10s)".to_string(),
+        "F(60s)".to_string(),
+        "F(600s)".to_string(),
+    ]];
+    let mut google_median = 0.0;
+    let mut grid_medians: Vec<f64> = Vec::new();
+
+    let mut push = |label: &str, trace: &cgc_trace::Trace| -> Option<f64> {
+        let a = submission_analysis(trace)?;
+        let e = a.intervals()?;
+        detail_rows.push(vec![
+            label.to_string(),
+            num(a.interval_summary.median),
+            num(e.eval(10.0)),
+            num(e.eval(60.0)),
+            num(e.eval(600.0)),
+        ]);
+        Some(a.interval_summary.median)
+    };
+
+    if let Some(m) = push("google", &lab.google_workload()) {
+        google_median = m;
+    }
+    for sys in GridSystem::TABLE1 {
+        if let Some(m) = push(sys.label(), &lab.grid_workload(sys)) {
+            grid_medians.push(m);
+        }
+    }
+    let min_grid = grid_medians.iter().cloned().fold(f64::INFINITY, f64::min);
+
+    ExperimentResult {
+        id: "fig5".into(),
+        title: "CDF of submission interval of Google and Grid systems".into(),
+        rows: vec![MetricRow::new(
+            "google intervals vs grids",
+            "much shorter (higher frequency)",
+            format!(
+                "google median {}s vs shortest grid median {}s",
+                num(google_median),
+                num(min_grid)
+            ),
+        )],
+        detail: table::render(&detail_rows),
+    }
+}
+
+/// Table I: jobs submitted per hour.
+pub fn table1_submission_rates(lab: &Lab) -> ExperimentResult {
+    let mut detail_rows = vec![vec![
+        "system".to_string(),
+        "max".to_string(),
+        "avg".to_string(),
+        "min".to_string(),
+        "fairness".to_string(),
+        "paper(max/avg/min/fair)".to_string(),
+    ]];
+    let mut rows = Vec::new();
+
+    let google = lab.google_workload();
+    let ga = submission_analysis(&google).expect("google has submissions");
+    detail_rows.push(vec![
+        "google".to_string(),
+        num(ga.rate.max),
+        num(ga.rate.avg),
+        num(ga.rate.min),
+        num(ga.rate.fairness),
+        "1421/552/36/0.94".to_string(),
+    ]);
+    rows.push(MetricRow::new(
+        "google avg jobs/hour",
+        "552",
+        num(ga.rate.avg),
+    ));
+    rows.push(MetricRow::new(
+        "google fairness",
+        "0.94",
+        num(ga.rate.fairness),
+    ));
+
+    let mut max_grid_fairness: f64 = 0.0;
+    for sys in GridSystem::TABLE1 {
+        let trace = lab.grid_workload(sys);
+        let a = submission_analysis(&trace).expect("grid traces have submissions");
+        let (pmax, pavg, pmin, pfair) = sys.paper_table1_row().expect("TABLE1 systems have rows");
+        max_grid_fairness = max_grid_fairness.max(a.rate.fairness);
+        detail_rows.push(vec![
+            sys.label().to_string(),
+            num(a.rate.max),
+            num(a.rate.avg),
+            num(a.rate.min),
+            num(a.rate.fairness),
+            format!("{}/{}/{}/{}", num(pmax), num(pavg), num(pmin), num(pfair)),
+        ]);
+    }
+    rows.push(MetricRow::new(
+        "grid fairness range",
+        "0.04-0.51 (all below Google)",
+        format!("max across grids {}", num(max_grid_fairness)),
+    ));
+
+    ExperimentResult {
+        id: "table1".into(),
+        title: "The number of jobs submitted per hour".into(),
+        rows,
+        detail: table::render(&detail_rows),
+    }
+}
+
+/// Fig. 6: per-job CPU and memory utilization.
+pub fn fig6_job_utilization(lab: &Lab) -> ExperimentResult {
+    let google = lab.google_workload();
+    let auver = lab.grid_workload(GridSystem::AuverGrid);
+    let das2 = lab.grid_workload(GridSystem::Das2);
+    let sharcnet = lab.grid_workload(GridSystem::Sharcnet);
+
+    let mut detail_rows = vec![vec![
+        "system".to_string(),
+        "cpu median".to_string(),
+        "cpu p90".to_string(),
+        "F(cpu<=1)".to_string(),
+        "mem median(MB)".to_string(),
+    ]];
+    let mut cpu_stats = Vec::new();
+    for (label, trace, mem_cap_gb) in [
+        ("google@32GB", &google, 32.0),
+        ("google@64GB", &google, 64.0),
+        ("auvergrid", &auver, 64.0),
+        ("das-2", &das2, 64.0),
+        ("sharcnet", &sharcnet, 64.0),
+    ] {
+        let cpu = job_cpu_usage(trace).expect("jobs finished");
+        let mem = job_memory_mb(trace, mem_cap_gb).expect("jobs exist");
+        detail_rows.push(vec![
+            label.to_string(),
+            num(cpu.median()),
+            num(cpu.quantile(0.9)),
+            num(cpu.eval(1.0)),
+            num(mem.median()),
+        ]);
+        cpu_stats.push((label, cpu.eval(1.0), mem.median()));
+    }
+
+    let google_f1 = cpu_stats[0].1;
+    let grid_f1 = cpu_stats[2].1;
+    let google_mem = cpu_stats[0].2;
+    let grid_mem = cpu_stats[2].2;
+
+    ExperimentResult {
+        id: "fig6".into(),
+        title: "CPU & memory usage of jobs".into(),
+        rows: vec![
+            MetricRow::new(
+                "google jobs within 1 processor",
+                "large majority",
+                format!("{:.0}%", 100.0 * google_f1),
+            ),
+            MetricRow::new(
+                "grid jobs within 1 processor",
+                "far fewer (parallel programs)",
+                format!("auvergrid {:.0}%", 100.0 * grid_f1),
+            ),
+            MetricRow::new(
+                "median job memory (MB)",
+                "google smaller than grids",
+                format!(
+                    "google@32GB {} vs auvergrid {}",
+                    num(google_mem),
+                    num(grid_mem)
+                ),
+            ),
+        ],
+        detail: table::render(&detail_rows),
+    }
+}

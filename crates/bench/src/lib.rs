@@ -1,0 +1,22 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! Each experiment in [`experiments`] builds the workloads/simulations it
+//! needs through a shared [`lab::Lab`], runs the corresponding `cgc-core`
+//! analyses, and returns an [`experiments::ExperimentResult`] holding the
+//! paper-reported values next to the measured ones. The
+//! `run_experiments` binary prints them; Criterion benches under
+//! `benches/` time the underlying pipelines.
+//!
+//! Absolute agreement with the paper is not the goal (the substrate is a
+//! calibrated simulator, not Google's 2011 fleet); the *shape* — who wins,
+//! by roughly what factor, where the crossovers sit — is what
+//! `EXPERIMENTS.md` tracks.
+
+pub mod experiments;
+pub mod lab;
+pub mod plotdata;
+pub mod table;
+
+pub use experiments::{all_experiment_ids, run_experiment, ExperimentResult};
+pub use lab::{Lab, Scale};
+pub use plotdata::export_plots;

@@ -1,0 +1,302 @@
+//! Plot-data export: gnuplot-ready `.dat` series and `.gp` scripts for
+//! every curve-style figure of the paper.
+//!
+//! `run_experiments --plots DIR` writes one data file per figure (columns
+//! documented in the header line) plus a `figures.gp` script that renders
+//! PNGs with stock gnuplot. The experiments print summary statistics; this
+//! module exports the full curves behind them.
+
+use crate::lab::Lab;
+use cgc_core::hostload::relative_usage_series;
+use cgc_core::workload::{job_cpu_usage, job_length_analysis, job_memory_mb, submission_analysis};
+use cgc_gen::GridSystem;
+use cgc_stats::MassCount;
+use cgc_trace::usage::UsageAttribute;
+use cgc_trace::{MachineId, Trace};
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Systems plotted in the multi-system figures, in legend order.
+fn fig_systems(lab: &Lab) -> Vec<std::sync::Arc<Trace>> {
+    let mut traces = vec![lab.google_workload()];
+    for sys in GridSystem::TABLE1 {
+        traces.push(lab.grid_workload(sys));
+    }
+    traces
+}
+
+fn write_file(dir: &Path, name: &str, content: &str) -> io::Result<()> {
+    fs::write(dir.join(name), content)
+}
+
+/// Fig. 3: job-length CDF per system. Columns: length_s, then one CDF
+/// column per system.
+fn fig3_dat(lab: &Lab) -> String {
+    let traces = fig_systems(lab);
+    let analyses: Vec<_> = traces
+        .iter()
+        .filter_map(|t| job_length_analysis(t))
+        .collect();
+    let mut out = String::from("# length_s");
+    for a in &analyses {
+        let _ = write!(out, " {}", a.system);
+    }
+    out.push('\n');
+    for i in 0..analyses[0].cdf_curve.len() {
+        let _ = write!(out, "{}", analyses[0].cdf_curve[i].0);
+        for a in &analyses {
+            let _ = write!(out, " {:.5}", a.cdf_curve[i].1);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Fig. 5: submission-interval CDF per system.
+fn fig5_dat(lab: &Lab) -> String {
+    let traces = fig_systems(lab);
+    let analyses: Vec<_> = traces
+        .iter()
+        .filter_map(|t| submission_analysis(t))
+        .collect();
+    let mut out = String::from("# interval_s");
+    for a in &analyses {
+        let _ = write!(out, " {}", a.system);
+    }
+    out.push('\n');
+    for i in 0..analyses[0].interval_cdf.len() {
+        let _ = write!(out, "{}", analyses[0].interval_cdf[i].0);
+        for a in &analyses {
+            let _ = write!(out, " {:.5}", a.interval_cdf[i].1);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Fig. 4: mass-count staircases. Columns: days, count CDF, mass CDF.
+fn fig4_dat(trace: &Trace) -> String {
+    let lengths = trace.task_execution_times();
+    let mc = MassCount::from_durations(&lengths).expect("tasks ran");
+    let mut out = String::from("# days count_cdf mass_cdf\n");
+    let day = cgc_trace::DAY as f64;
+    let curves = mc.curves();
+    let step = (curves.len() / 512).max(1);
+    for (x, fc, fm) in curves.into_iter().step_by(step) {
+        let _ = writeln!(out, "{:.6} {fc:.5} {fm:.5}", x / day);
+    }
+    out
+}
+
+/// Fig. 6a/6b: per-job CPU and memory usage CDFs for selected systems.
+fn fig6_dat(lab: &Lab) -> (String, String) {
+    let google = lab.google_workload();
+    let auver = lab.grid_workload(GridSystem::AuverGrid);
+    let das2 = lab.grid_workload(GridSystem::Das2);
+
+    let mut cpu = String::from("# processors google auvergrid das2\n");
+    let curves: Vec<_> = [&google, &auver, &das2]
+        .iter()
+        .map(|t| {
+            job_cpu_usage(t)
+                .expect("jobs finished")
+                .curve(0.0, 5.0, 101)
+        })
+        .collect();
+    for i in 0..curves[0].len() {
+        let _ = writeln!(
+            cpu,
+            "{:.3} {:.5} {:.5} {:.5}",
+            curves[0][i].0, curves[0][i].1, curves[1][i].1, curves[2][i].1
+        );
+    }
+
+    let mut mem = String::from("# mem_mb google32 google64 auvergrid\n");
+    let m32 = job_memory_mb(&google, 32.0)
+        .expect("jobs")
+        .curve(0.0, 1_000.0, 101);
+    let m64 = job_memory_mb(&google, 64.0)
+        .expect("jobs")
+        .curve(0.0, 1_000.0, 101);
+    let ma = job_memory_mb(&auver, 64.0)
+        .expect("jobs")
+        .curve(0.0, 1_000.0, 101);
+    for i in 0..m32.len() {
+        let _ = writeln!(
+            mem,
+            "{:.1} {:.5} {:.5} {:.5}",
+            m32[i].0, m32[i].1, m64[i].1, ma[i].1
+        );
+    }
+    (cpu, mem)
+}
+
+/// Fig. 13: one machine's relative CPU/memory series per system.
+/// Columns: day, cpu, mem.
+fn fig13_dat(trace: &Trace) -> String {
+    let machine = MachineId(0);
+    let mut out = String::from("# day cpu mem\n");
+    if let (Some((cpu, mem)), Some(series)) = (
+        relative_usage_series(trace, machine),
+        trace.series_for(machine),
+    ) {
+        for (i, (c, m)) in cpu.iter().zip(&mem).enumerate() {
+            let t = series.time_of(i) as f64 / cgc_trace::DAY as f64;
+            let _ = writeln!(out, "{t:.5} {c:.5} {m:.5}");
+        }
+    }
+    out
+}
+
+/// Gnuplot script rendering every exported data file.
+fn gnuplot_script() -> String {
+    r#"# gnuplot figures.gp  (run inside the plots directory)
+set terminal pngcairo size 900,600
+set key bottom right
+
+set output 'fig3.png'
+set title 'Fig. 3 - CDF of job length'
+set xlabel 'Job length (s)'; set ylabel 'CDF'; set yrange [0:1]
+plot for [i=2:9] 'fig3.dat' using 1:i with lines title columnheader(i)
+
+set output 'fig4_google.png'
+set title 'Fig. 4a - mass-count of task length (google)'
+set xlabel 'Task execution time (days)'; set ylabel 'CDF'
+plot 'fig4_google.dat' using 1:2 with lines title 'count', \
+     'fig4_google.dat' using 1:3 with lines title 'mass'
+
+set output 'fig4_auvergrid.png'
+set title 'Fig. 4b - mass-count of task length (auvergrid)'
+plot 'fig4_auvergrid.dat' using 1:2 with lines title 'count', \
+     'fig4_auvergrid.dat' using 1:3 with lines title 'mass'
+
+set output 'fig5.png'
+set title 'Fig. 5 - CDF of submission interval'
+set xlabel 'Interval (s)'; set ylabel 'CDF'
+plot for [i=2:9] 'fig5.dat' using 1:i with lines title columnheader(i)
+
+set output 'fig6a.png'
+set title 'Fig. 6a - per-job CPU usage'
+set xlabel 'CPU utilization (processors)'; set ylabel 'CDF'
+plot 'fig6a.dat' using 1:2 with lines title 'google', \
+     'fig6a.dat' using 1:3 with lines title 'auvergrid', \
+     'fig6a.dat' using 1:4 with lines title 'das-2'
+
+set output 'fig6b.png'
+set title 'Fig. 6b - per-job memory usage'
+set xlabel 'Memory (MB)'; set ylabel 'CDF'
+plot 'fig6b.dat' using 1:2 with lines title 'google@32GB', \
+     'fig6b.dat' using 1:3 with lines title 'google@64GB', \
+     'fig6b.dat' using 1:4 with lines title 'auvergrid'
+
+set output 'fig13_google.png'
+set title 'Fig. 13 - host load (google, machine 0)'
+set xlabel 'Time (day)'; set ylabel 'Relative usage'; set yrange [0:1]
+plot 'fig13_google.dat' using 1:2 with lines title 'cpu', \
+     'fig13_google.dat' using 1:3 with lines title 'mem'
+
+set output 'fig13_auvergrid.png'
+set title 'Fig. 13 - host load (auvergrid, machine 0)'
+plot 'fig13_auvergrid.dat' using 1:2 with lines title 'cpu', \
+     'fig13_auvergrid.dat' using 1:3 with lines title 'mem'
+"#
+    .to_string()
+}
+
+/// Writes every figure's data files plus `figures.gp` into `dir`.
+pub fn export_plots(lab: &Lab, dir: &Path) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    // Column headers for gnuplot's columnheader(): first row without '#'.
+    let strip_hash = |s: String| s.replacen("# ", "", 1);
+    write_file(dir, "fig3.dat", &strip_hash(fig3_dat(lab)))?;
+    write_file(dir, "fig5.dat", &strip_hash(fig5_dat(lab)))?;
+    write_file(dir, "fig4_google.dat", &fig4_dat(&lab.google_workload()))?;
+    write_file(
+        dir,
+        "fig4_auvergrid.dat",
+        &fig4_dat(&lab.grid_workload(GridSystem::AuverGrid)),
+    )?;
+    let (cpu, mem) = fig6_dat(lab);
+    write_file(dir, "fig6a.dat", &cpu)?;
+    write_file(dir, "fig6b.dat", &mem)?;
+    write_file(dir, "fig13_google.dat", &fig13_dat(&lab.google_sim()))?;
+    write_file(
+        dir,
+        "fig13_auvergrid.dat",
+        &fig13_dat(&lab.grid_sim(GridSystem::AuverGrid)),
+    )?;
+    // Fig. 7 histograms: one block per attribute/class.
+    let trace = lab.google_sim();
+    let mut fig7 = String::from("# attribute capacity center fraction\n");
+    for attr in UsageAttribute::ALL {
+        let d = cgc_core::hostload::max_load_distribution(&trace, attr, 25);
+        for class in &d.classes {
+            if class.machines == 0 {
+                continue;
+            }
+            for (center, frac) in class.histogram.points() {
+                let _ = writeln!(
+                    fig7,
+                    "{} {} {center:.4} {frac:.5}",
+                    attr.name(),
+                    class.capacity
+                );
+            }
+            fig7.push('\n');
+        }
+    }
+    write_file(dir, "fig7.dat", &fig7)?;
+    write_file(dir, "figures.gp", &gnuplot_script())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lab::Scale;
+
+    #[test]
+    fn dat_files_have_consistent_columns() {
+        let lab = Lab::new(Scale::Quick);
+        // Workload-only data files are cheap enough for a unit test.
+        let dat = fig3_dat(&lab);
+        let mut lines = dat.lines();
+        // Header: '#', 'length_s', and 8 system names.
+        let header_cols = lines.next().unwrap().split_whitespace().count();
+        assert_eq!(header_cols, 10);
+        for line in lines.take(5) {
+            assert_eq!(line.split_whitespace().count(), 9);
+        }
+    }
+
+    #[test]
+    fn fig4_dat_monotone() {
+        let lab = Lab::new(Scale::Quick);
+        let dat = fig4_dat(&lab.google_workload());
+        let mut prev = (0.0, 0.0);
+        for line in dat.lines().skip(1) {
+            let cols: Vec<f64> = line
+                .split_whitespace()
+                .map(|c| c.parse().unwrap())
+                .collect();
+            assert!(cols[1] >= prev.0 && cols[2] >= prev.1);
+            prev = (cols[1], cols[2]);
+        }
+    }
+
+    #[test]
+    fn gnuplot_script_mentions_every_dat() {
+        let gp = gnuplot_script();
+        for name in [
+            "fig3.dat",
+            "fig4_google.dat",
+            "fig5.dat",
+            "fig6a.dat",
+            "fig13_google.dat",
+        ] {
+            assert!(gp.contains(name), "{name} missing from script");
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Minimal aligned-column table rendering for experiment output.
+
+/// Renders rows as an aligned text table. The first row is the header.
+pub fn render(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(|r| r.len()).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    for (ri, row) in rows.iter().enumerate() {
+        for (i, cell) in row.iter().enumerate() {
+            let pad = widths[i] - cell.chars().count();
+            out.push_str(cell);
+            if i + 1 < row.len() {
+                out.extend(std::iter::repeat_n(' ', pad + 2));
+            }
+        }
+        out.push('\n');
+        if ri == 0 {
+            let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+            out.extend(std::iter::repeat_n('-', total));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Formats a float compactly: integers without decimals, small values with
+/// enough precision to stay informative.
+pub fn num(v: f64) -> String {
+    if !v.is_finite() {
+        return format!("{v}");
+    }
+    let a = v.abs();
+    if a >= 100.0 || (v.fract() == 0.0 && a >= 1.0) {
+        format!("{v:.0}")
+    } else if a >= 1.0 {
+        format!("{v:.2}")
+    } else if a >= 0.01 {
+        format!("{v:.3}")
+    } else if a == 0.0 {
+        "0".to_string()
+    } else {
+        format!("{v:.2e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let t = render(&[
+            vec!["sys".into(), "max".into()],
+            vec!["google".into(), "1421".into()],
+            vec!["ag".into(), "818".into()],
+        ]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4); // header + rule + 2 rows
+        assert!(lines[0].starts_with("sys"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Columns align: "max" and "1421" start at the same offset.
+        let off = lines[0].find("max").unwrap();
+        assert_eq!(lines[2].find("1421").unwrap(), off);
+    }
+
+    #[test]
+    fn empty_table() {
+        assert_eq!(render(&[]), "");
+    }
+
+    #[test]
+    fn num_formats() {
+        assert_eq!(num(1421.0), "1421");
+        assert_eq!(num(8.4), "8.40");
+        assert_eq!(num(0.94), "0.940");
+        assert_eq!(num(0.0011), "1.10e-3");
+        assert_eq!(num(0.0), "0");
+    }
+}

@@ -1,0 +1,278 @@
+//! Cloud-versus-grid host-load comparison (paper Fig. 13).
+//!
+//! Three quantitative contrasts, computed per trace so any two systems can
+//! be compared:
+//!
+//! * **CPU vs memory**: grids are compute-bound (CPU usage above memory),
+//!   the cloud is the opposite;
+//! * **noise**: the standard deviation of what a mean filter removes from
+//!   each machine's CPU-load series — the paper reports Google ≈ 20× the
+//!   grids on average;
+//! * **autocorrelation**: mean lag autocorrelation of CPU load — near zero
+//!   (even slightly negative) for Google, clearly positive for grids, i.e.
+//!   grid load is predictable and cloud load is not.
+
+use cgc_stats::{mean_autocorrelation, noise_std};
+use cgc_trace::usage::UsageAttribute;
+use cgc_trace::Trace;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Fleet-level noise statistics (per-machine noise std aggregated).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseStats {
+    /// Smallest per-machine noise.
+    pub min: f64,
+    /// Mean per-machine noise.
+    pub mean: f64,
+    /// Largest per-machine noise.
+    pub max: f64,
+}
+
+/// Window (in samples) of the mean filter used for noise extraction;
+/// 12 five-minute samples ≈ one hour, separating trend from churn.
+pub const NOISE_FILTER_WINDOW: usize = 12;
+
+/// Maximum lag (in samples) over which autocorrelation is averaged.
+pub const AUTOCORR_MAX_LAG: usize = 12;
+
+/// Noise of one attribute across the fleet. Returns `None` when no machine
+/// has samples.
+///
+/// `skip` drops that many leading samples per machine: simulations start
+/// from an empty cluster, and the fill-up step would otherwise dominate
+/// the residual (the real trace starts mid-operation).
+pub fn cpu_noise(
+    trace: &Trace,
+    attr: UsageAttribute,
+    window: usize,
+    skip: usize,
+) -> Option<NoiseStats> {
+    let per_machine: Vec<f64> = trace
+        .host_series
+        .par_iter()
+        .filter(|s| s.len() >= skip + 2)
+        .map(|s| noise_std(&s.attribute(attr, None)[skip..], window))
+        .collect();
+    if per_machine.is_empty() {
+        return None;
+    }
+    let min = per_machine.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per_machine
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
+    let mean = per_machine.iter().sum::<f64>() / per_machine.len() as f64;
+    Some(NoiseStats { min, mean, max })
+}
+
+/// Mean autocorrelation of an attribute across the fleet (mean over
+/// machines of the mean over lags `1..=max_lag`).
+pub fn mean_autocorr(trace: &Trace, attr: UsageAttribute, max_lag: usize) -> Option<f64> {
+    let per_machine: Vec<f64> = trace
+        .host_series
+        .par_iter()
+        .filter(|s| s.len() > max_lag + 1)
+        .map(|s| mean_autocorrelation(&s.attribute(attr, None), max_lag))
+        .collect();
+    if per_machine.is_empty() {
+        return None;
+    }
+    Some(per_machine.iter().sum::<f64>() / per_machine.len() as f64)
+}
+
+/// Mean autocorrelation over *all* available lags, the paper's Fig. 13
+/// aggregate (≈ −8·10⁻⁶ for Google).
+///
+/// For any series the sample autocovariances about the mean sum to
+/// approximately −var/2, so a memoryless series averages slightly below
+/// zero, while long-range trends (grid diurnal load) push it positive —
+/// exactly the contrast the paper reads off.
+pub fn mean_autocorr_all_lags(trace: &Trace, attr: UsageAttribute, skip: usize) -> Option<f64> {
+    let per_machine: Vec<f64> = trace
+        .host_series
+        .par_iter()
+        .filter(|s| s.len() >= skip + 4)
+        .map(|s| {
+            let series = &s.attribute(attr, None)[skip..];
+            mean_autocorrelation(series, series.len() - 2)
+        })
+        .collect();
+    if per_machine.is_empty() {
+        return None;
+    }
+    Some(per_machine.iter().sum::<f64>() / per_machine.len() as f64)
+}
+
+/// The Fig. 13 headline numbers for one system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostComparison {
+    /// System label.
+    pub system: String,
+    /// Mean CPU usage relative to capacity.
+    pub cpu_mean_utilization: f64,
+    /// Mean memory usage relative to capacity.
+    pub memory_mean_utilization: f64,
+    /// CPU-load noise statistics.
+    pub cpu_noise: NoiseStats,
+    /// Mean CPU-load autocorrelation over all lags (the paper's
+    /// aggregate; near zero for the cloud, positive for grids).
+    pub cpu_autocorrelation: f64,
+}
+
+/// Computes the host-load comparison summary of one trace, discarding
+/// `skip` leading warm-up samples per machine. Returns `None` if the
+/// trace has no usable host series.
+pub fn host_comparison(trace: &Trace, skip: usize) -> Option<HostComparison> {
+    let mut cpu_sum = 0.0;
+    let mut mem_sum = 0.0;
+    let mut n = 0u64;
+    for s in &trace.host_series {
+        let m = &trace.machines[s.machine.index()];
+        for sample in s.samples.iter().skip(skip) {
+            cpu_sum += sample.cpu.total() / m.cpu_capacity;
+            mem_sum += sample.memory_used.total() / m.memory_capacity;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        return None;
+    }
+    Some(HostComparison {
+        system: trace.system.clone(),
+        cpu_mean_utilization: cpu_sum / n as f64,
+        memory_mean_utilization: mem_sum / n as f64,
+        cpu_noise: cpu_noise(trace, UsageAttribute::Cpu, NOISE_FILTER_WINDOW, skip)?,
+        // Series shorter than the lag window carry no autocorrelation
+        // information; report 0 rather than dropping the whole comparison.
+        cpu_autocorrelation: mean_autocorr_all_lags(trace, UsageAttribute::Cpu, skip)
+            .unwrap_or(0.0),
+    })
+}
+
+/// Relative `(cpu, memory)` series of one machine for Fig. 13 plotting.
+pub fn relative_usage_series(
+    trace: &Trace,
+    machine: cgc_trace::MachineId,
+) -> Option<(Vec<f64>, Vec<f64>)> {
+    let s = trace.series_for(machine)?;
+    let m = &trace.machines[machine.index()];
+    let cpu = s
+        .attribute(UsageAttribute::Cpu, None)
+        .into_iter()
+        .map(|v| v / m.cpu_capacity)
+        .collect();
+    let mem = s
+        .attribute(UsageAttribute::MemoryUsed, None)
+        .into_iter()
+        .map(|v| v / m.memory_capacity)
+        .collect();
+    Some((cpu, mem))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgc_trace::usage::{ClassSplit, HostSeries, UsageSample};
+    use cgc_trace::{MachineId, TraceBuilder};
+
+    fn sample(cpu: f64, mem: f64) -> UsageSample {
+        UsageSample {
+            cpu: ClassSplit {
+                low: cpu,
+                middle: 0.0,
+                high: 0.0,
+            },
+            memory_used: ClassSplit {
+                low: mem,
+                middle: 0.0,
+                high: 0.0,
+            },
+            memory_assigned: ClassSplit::ZERO,
+            page_cache: 0.0,
+        }
+    }
+
+    fn trace_from_series(cpu: &[f64], mem: &[f64]) -> Trace {
+        let mut b = TraceBuilder::new("t", cpu.len() as u64 * 300);
+        let m = b.add_machine(1.0, 1.0, 1.0);
+        let mut s = HostSeries::new(m, 0, 300);
+        for (&c, &u) in cpu.iter().zip(mem) {
+            s.samples.push(sample(c, u));
+        }
+        b.add_host_series(s);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn noisy_series_scores_higher() {
+        let noisy: Vec<f64> = (0..200)
+            .map(|i| 0.4 + 0.3 * ((i % 2) as f64 - 0.5))
+            .collect();
+        let calm = vec![0.4; 200];
+        let mem = vec![0.5; 200];
+        let n_noisy = host_comparison(&trace_from_series(&noisy, &mem), 0).unwrap();
+        let n_calm = host_comparison(&trace_from_series(&calm, &mem), 0).unwrap();
+        assert!(n_noisy.cpu_noise.mean > 20.0 * n_calm.cpu_noise.mean.max(1e-12));
+    }
+
+    #[test]
+    fn mean_utilizations() {
+        let c = host_comparison(&trace_from_series(&[0.2, 0.4], &[0.6, 0.8]), 0).unwrap();
+        assert!((c.cpu_mean_utilization - 0.3).abs() < 1e-9);
+        assert!((c.memory_mean_utilization - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn autocorrelation_sign() {
+        // Over *all* lags the sample autocovariances sum to ≈ −var/2, so
+        // any series averages to nearly zero — the paper's −8·10⁻⁶-scale
+        // aggregate. The short-lag helper is what separates trend from
+        // churn.
+        let trend: Vec<f64> = (0..400).map(|i| i as f64 / 400.0).collect();
+        let churn: Vec<f64> = (0..400)
+            .map(|i| if i % 2 == 0 { 0.2 } else { 0.8 })
+            .collect();
+        let mem = vec![0.5; 400];
+        let t = host_comparison(&trace_from_series(&trend, &mem), 0).unwrap();
+        let c = host_comparison(&trace_from_series(&churn, &mem), 0).unwrap();
+        assert!(
+            t.cpu_autocorrelation.abs() < 0.01,
+            "trend r={}",
+            t.cpu_autocorrelation
+        );
+        assert!(
+            c.cpu_autocorrelation.abs() < 0.01,
+            "churn r={}",
+            c.cpu_autocorrelation
+        );
+        // ... but the trend's all-lags mean still exceeds the churn's.
+        assert!(t.cpu_autocorrelation > c.cpu_autocorrelation);
+        let trend_trace = trace_from_series(&trend, &mem);
+        let churn_trace = trace_from_series(&churn, &mem);
+        assert!(mean_autocorr(&trend_trace, UsageAttribute::Cpu, 5).unwrap() > 0.9);
+        assert!(mean_autocorr(&churn_trace, UsageAttribute::Cpu, 5).unwrap() < 0.0);
+    }
+
+    #[test]
+    fn none_without_samples() {
+        let trace = TraceBuilder::new("t", 100).build().unwrap();
+        assert!(host_comparison(&trace, 0).is_none());
+        assert!(cpu_noise(&trace, UsageAttribute::Cpu, 5, 0).is_none());
+        assert!(mean_autocorr(&trace, UsageAttribute::Cpu, 5).is_none());
+    }
+
+    #[test]
+    fn relative_series_normalizes_by_capacity() {
+        let mut b = TraceBuilder::new("t", 600);
+        let m = b.add_machine(0.5, 0.25, 1.0);
+        let mut s = HostSeries::new(m, 0, 300);
+        s.samples.push(sample(0.25, 0.2));
+        b.add_host_series(s);
+        let trace = b.build().unwrap();
+        let (cpu, mem) = relative_usage_series(&trace, MachineId(0)).unwrap();
+        assert!((cpu[0] - 0.5).abs() < 1e-9);
+        assert!((mem[0] - 0.8).abs() < 1e-9);
+        assert!(relative_usage_series(&trace, MachineId(3)).is_none());
+    }
+}

@@ -1,0 +1,158 @@
+//! Priority-relative machine idleness (paper §III.1).
+//!
+//! "If a machine's resource utilization is very full but over 90% of
+//! execution time is attributed to tasks with low priorities, the machine
+//! can still be considered quite idle w.r.t. the tasks that have
+//! relatively high priorities." This module quantifies that: for each
+//! priority view, the fraction of machine-samples whose usage (counting
+//! only tasks at or above the view) sits below an idleness threshold —
+//! i.e. how much of the fleet a task of that priority could effectively
+//! claim by preemption.
+
+use cgc_trace::usage::UsageAttribute;
+use cgc_trace::{PriorityClass, Trace};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Idleness per priority view for one attribute.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IdlenessReport {
+    /// The attribute measured.
+    pub attribute: UsageAttribute,
+    /// Relative-usage threshold below which a sample counts as idle.
+    pub threshold: f64,
+    /// Idle fraction counting all tasks.
+    pub all_tasks: f64,
+    /// Idle fraction counting only priorities above the low cluster
+    /// (the paper's "relatively high priorities", > 4).
+    pub above_low: f64,
+    /// Idle fraction counting only the high cluster (9–12).
+    pub high_only: f64,
+    /// Number of samples inspected.
+    pub samples: u64,
+}
+
+impl IdlenessReport {
+    /// How much idleness the preemption privilege buys: idle fraction seen
+    /// by a >4-priority task minus the all-tasks idle fraction.
+    pub fn preemption_headroom(&self) -> f64 {
+        self.above_low - self.all_tasks
+    }
+}
+
+/// Computes the idleness report for one attribute.
+///
+/// Returns `None` when the trace has no usage samples. The paper's
+/// discussion uses CPU with generous thresholds; `threshold` is relative
+/// usage (0–1), e.g. 0.2 for "under one fifth of capacity".
+pub fn idleness(trace: &Trace, attr: UsageAttribute, threshold: f64) -> Option<IdlenessReport> {
+    assert!((0.0..=1.0).contains(&threshold), "threshold must be in [0, 1]");
+    let counts: Vec<(u64, u64, u64, u64)> = trace
+        .host_series
+        .par_iter()
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            let m = &trace.machines[s.machine.index()];
+            let cap = match attr {
+                UsageAttribute::Cpu => m.cpu_capacity,
+                UsageAttribute::MemoryUsed | UsageAttribute::MemoryAssigned => m.memory_capacity,
+                UsageAttribute::PageCache => m.page_cache_capacity,
+            };
+            let all = s.attribute(attr, None);
+            let mid = s.attribute(attr, Some(PriorityClass::Middle));
+            let high = s.attribute(attr, Some(PriorityClass::High));
+            let mut idle_all = 0;
+            let mut idle_mid = 0;
+            let mut idle_high = 0;
+            for i in 0..all.len() {
+                if all[i] / cap < threshold {
+                    idle_all += 1;
+                }
+                if mid[i] / cap < threshold {
+                    idle_mid += 1;
+                }
+                if high[i] / cap < threshold {
+                    idle_high += 1;
+                }
+            }
+            (idle_all, idle_mid, idle_high, all.len() as u64)
+        })
+        .collect();
+
+    let (idle_all, idle_mid, idle_high, total) = counts
+        .into_iter()
+        .fold((0, 0, 0, 0), |a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2, a.3 + b.3));
+    if total == 0 {
+        return None;
+    }
+    let frac = |n: u64| n as f64 / total as f64;
+    Some(IdlenessReport {
+        attribute: attr,
+        threshold,
+        all_tasks: frac(idle_all),
+        above_low: frac(idle_mid),
+        high_only: frac(idle_high),
+        samples: total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgc_trace::usage::{ClassSplit, HostSeries, UsageSample};
+    use cgc_trace::TraceBuilder;
+
+    fn sample(low: f64, middle: f64, high: f64) -> UsageSample {
+        UsageSample {
+            cpu: ClassSplit { low, middle, high },
+            ..UsageSample::default()
+        }
+    }
+
+    /// One machine of capacity 1.0, four samples: saturated by low-priority
+    /// work but nearly empty from the higher views.
+    fn low_saturated_trace() -> Trace {
+        let mut b = TraceBuilder::new("t", 1_200);
+        let m = b.add_machine(1.0, 1.0, 1.0);
+        let mut s = HostSeries::new(m, 0, 300);
+        s.samples.push(sample(0.9, 0.05, 0.0));
+        s.samples.push(sample(0.85, 0.05, 0.02));
+        s.samples.push(sample(0.1, 0.0, 0.0));
+        s.samples.push(sample(0.9, 0.3, 0.1));
+        b.add_host_series(s);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn preemption_view_sees_more_idleness() {
+        let r = idleness(&low_saturated_trace(), UsageAttribute::Cpu, 0.2).unwrap();
+        assert_eq!(r.samples, 4);
+        // All-tasks view: only sample 3 (0.1) is below 0.2.
+        assert!((r.all_tasks - 0.25).abs() < 1e-12);
+        // >4 view: samples 1 (0.05), 2 (0.07), 3 (0.0) idle; sample 4
+        // (0.4) is not.
+        assert!((r.above_low - 0.75).abs() < 1e-12);
+        // High-only view: everything is idle.
+        assert_eq!(r.high_only, 1.0);
+        assert!((r.preemption_headroom() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn views_are_monotone_in_priority() {
+        let r = idleness(&low_saturated_trace(), UsageAttribute::Cpu, 0.5).unwrap();
+        assert!(r.all_tasks <= r.above_low);
+        assert!(r.above_low <= r.high_only);
+    }
+
+    #[test]
+    fn empty_trace_is_none() {
+        let trace = TraceBuilder::new("t", 100).build().unwrap();
+        assert!(idleness(&trace, UsageAttribute::Cpu, 0.2).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn bad_threshold_rejected() {
+        let _ = idleness(&low_saturated_trace(), UsageAttribute::Cpu, 1.5);
+    }
+}

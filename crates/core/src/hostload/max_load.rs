@@ -1,0 +1,202 @@
+//! Maximum host load per capacity class (paper Fig. 7).
+//!
+//! For every machine, take the maximum of an attribute over the whole
+//! trace — the paper's estimate of *usable* capacity (user-space capacity
+//! sits below nominal because of kernel overheads) — then histogram those
+//! maxima per capacity class. The paper finds CPU maxima hugging the
+//! nominal capacities, consumed-memory maxima around 80% of capacity, and
+//! assigned-memory maxima around 90%.
+
+use cgc_stats::Histogram;
+use cgc_trace::usage::UsageAttribute;
+use cgc_trace::{MachineRecord, Trace, CPU_CAPACITY_CLASSES, MEMORY_CAPACITY_CLASSES};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Maximum-load statistics for machines of one capacity class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassMaxLoad {
+    /// Nominal capacity of the class (the Fig. 7 dotted line).
+    pub capacity: f64,
+    /// Number of machines in the class.
+    pub machines: usize,
+    /// Histogram of the per-machine maxima over `[0, 1]`.
+    pub histogram: Histogram,
+    /// Mean of max/capacity across the class (the "how close to nominal"
+    /// figure: ≈ 1.0 for CPU, ≈ 0.8 for consumed memory in the paper).
+    pub mean_relative_max: f64,
+}
+
+/// Fig. 7 for one attribute: per-class maximum-load distributions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MaxLoadDistribution {
+    /// The attribute analyzed.
+    pub attribute: UsageAttribute,
+    /// Per-class statistics, ascending by capacity.
+    pub classes: Vec<ClassMaxLoad>,
+}
+
+fn capacity_for(m: &MachineRecord, attr: UsageAttribute) -> f64 {
+    match attr {
+        UsageAttribute::Cpu => m.cpu_capacity,
+        UsageAttribute::MemoryUsed | UsageAttribute::MemoryAssigned => m.memory_capacity,
+        UsageAttribute::PageCache => m.page_cache_capacity,
+    }
+}
+
+fn classes_for(attr: UsageAttribute) -> Vec<f64> {
+    match attr {
+        UsageAttribute::Cpu => CPU_CAPACITY_CLASSES.to_vec(),
+        UsageAttribute::MemoryUsed | UsageAttribute::MemoryAssigned => {
+            MEMORY_CAPACITY_CLASSES.to_vec()
+        }
+        UsageAttribute::PageCache => vec![1.0],
+    }
+}
+
+/// Computes the Fig. 7 distribution for one attribute.
+///
+/// Machines without a usage series are skipped. Histogram resolution is
+/// `bins` buckets over the normalized `[0, 1]` axis.
+pub fn max_load_distribution(
+    trace: &Trace,
+    attr: UsageAttribute,
+    bins: usize,
+) -> MaxLoadDistribution {
+    let class_caps = classes_for(attr);
+    // (class index, max value, relative max) per machine, in parallel: the
+    // max scan touches every sample of every machine.
+    let per_machine: Vec<(usize, f64, f64)> = trace
+        .host_series
+        .par_iter()
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            let m = &trace.machines[s.machine.index()];
+            let cap = capacity_for(m, attr);
+            let class = MachineRecord::capacity_class(cap, &class_caps);
+            let max = s.max_attribute(attr);
+            (class, max, max / cap)
+        })
+        .collect();
+
+    let classes = class_caps
+        .iter()
+        .enumerate()
+        .map(|(ci, &capacity)| {
+            let members: Vec<&(usize, f64, f64)> =
+                per_machine.iter().filter(|(c, _, _)| *c == ci).collect();
+            let mut histogram = Histogram::new(0.0, 1.0, bins);
+            let mut rel_sum = 0.0;
+            for (_, max, rel) in members.iter().copied() {
+                histogram.add(*max);
+                rel_sum += rel;
+            }
+            ClassMaxLoad {
+                capacity,
+                machines: members.len(),
+                mean_relative_max: if members.is_empty() {
+                    0.0
+                } else {
+                    rel_sum / members.len() as f64
+                },
+                histogram,
+            }
+        })
+        .collect();
+
+    MaxLoadDistribution {
+        attribute: attr,
+        classes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgc_trace::usage::{ClassSplit, HostSeries, UsageSample};
+    use cgc_trace::TraceBuilder;
+
+    fn sample(cpu: f64, mem: f64) -> UsageSample {
+        UsageSample {
+            cpu: ClassSplit {
+                low: cpu,
+                middle: 0.0,
+                high: 0.0,
+            },
+            memory_used: ClassSplit {
+                low: mem,
+                middle: 0.0,
+                high: 0.0,
+            },
+            memory_assigned: ClassSplit {
+                low: mem * 1.1,
+                middle: 0.0,
+                high: 0.0,
+            },
+            page_cache: 0.3,
+        }
+    }
+
+    fn trace_two_classes() -> Trace {
+        let mut b = TraceBuilder::new("t", 900);
+        let m0 = b.add_machine(0.5, 0.5, 1.0);
+        let m1 = b.add_machine(1.0, 0.75, 1.0);
+        let mut s0 = HostSeries::new(m0, 0, 300);
+        s0.samples
+            .extend([sample(0.2, 0.3), sample(0.45, 0.35), sample(0.1, 0.2)]);
+        let mut s1 = HostSeries::new(m1, 0, 300);
+        s1.samples.extend([sample(0.9, 0.6), sample(0.5, 0.5)]);
+        b.add_host_series(s0);
+        b.add_host_series(s1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn cpu_classes_grouped() {
+        let d = max_load_distribution(&trace_two_classes(), UsageAttribute::Cpu, 10);
+        assert_eq!(d.classes.len(), 3);
+        // Class 0.25 empty; 0.5 has machine 0 (max 0.45); 1.0 has machine 1
+        // (max 0.9).
+        assert_eq!(d.classes[0].machines, 0);
+        assert_eq!(d.classes[1].machines, 1);
+        assert!((d.classes[1].mean_relative_max - 0.9).abs() < 1e-9);
+        assert_eq!(d.classes[2].machines, 1);
+        assert!((d.classes[2].mean_relative_max - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_uses_memory_classes() {
+        let d = max_load_distribution(&trace_two_classes(), UsageAttribute::MemoryUsed, 10);
+        assert_eq!(d.classes.len(), 4);
+        // Machine 0 (cap 0.5) max mem 0.35 -> class 0.5; machine 1
+        // (cap 0.75) max 0.6 -> class 0.75.
+        assert_eq!(d.classes[1].machines, 1);
+        assert!((d.classes[1].mean_relative_max - 0.7).abs() < 1e-9);
+        assert_eq!(d.classes[2].machines, 1);
+        assert!((d.classes[2].mean_relative_max - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn page_cache_single_class() {
+        let d = max_load_distribution(&trace_two_classes(), UsageAttribute::PageCache, 10);
+        assert_eq!(d.classes.len(), 1);
+        assert_eq!(d.classes[0].machines, 2);
+        assert!((d.classes[0].mean_relative_max - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_totals_match_machines() {
+        let d = max_load_distribution(&trace_two_classes(), UsageAttribute::Cpu, 5);
+        let total: u64 = d.classes.iter().map(|c| c.histogram.total()).sum();
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn machines_without_series_skipped() {
+        let mut b = TraceBuilder::new("t", 900);
+        b.add_machine(0.5, 0.5, 1.0);
+        let trace = b.build().unwrap();
+        let d = max_load_distribution(&trace, UsageAttribute::Cpu, 5);
+        assert!(d.classes.iter().all(|c| c.machines == 0));
+    }
+}

@@ -1,0 +1,19 @@
+//! Host-load analyses (paper Section IV): what individual machines
+//! experience while executing the workload.
+
+pub mod comparison;
+pub mod idleness;
+pub mod max_load;
+pub mod queue_state;
+pub mod usage_levels;
+pub mod usage_masscount;
+
+pub use comparison::{
+    cpu_noise, host_comparison, mean_autocorr, mean_autocorr_all_lags, relative_usage_series,
+    HostComparison, NoiseStats,
+};
+pub use idleness::{idleness, IdlenessReport};
+pub use max_load::{max_load_distribution, ClassMaxLoad, MaxLoadDistribution};
+pub use queue_state::{queue_runlengths, IntervalRow, QueueRunLengths};
+pub use usage_levels::{level_band_series, usage_level_runs, LevelRow, LevelRunTable};
+pub use usage_masscount::{usage_masscount, UsageMassCount};

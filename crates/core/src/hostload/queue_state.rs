@@ -1,0 +1,161 @@
+//! Running-queue run-length analysis (paper Figs. 8 and 9).
+//!
+//! Fig. 8's per-machine queue timeline is provided directly by
+//! [`cgc_trace::QueueTimeline`]; this module adds the Fig. 9 aggregation:
+//! sample every machine's running-task count, quantize it into the paper's
+//! intervals (`[0,9]`, `[10,19]`, …, `[50,+)`), collect the durations over which
+//! the interval stays unchanged, and summarize each interval's durations by
+//! mass–count disparity. The paper observes joint ratios near 10/90 —
+//! most unchanged-state spells are short — with the busiest interval
+//! changing fastest.
+
+use cgc_stats::{durations_by_level, LevelQuantizer, MassCount, MassCountSummary, Summary};
+use cgc_trace::{Duration, QueueTimeline, Trace};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Mass–count of unchanged-queue-state durations for one interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntervalRow {
+    /// Interval label, e.g. `[10,19]`.
+    pub label: String,
+    /// Number of runs observed in this interval across all machines.
+    pub runs: usize,
+    /// Scalar summary of run durations, in minutes.
+    pub duration_minutes: Summary,
+    /// Mass–count summary of the durations (mm-distance in minutes);
+    /// `None` if the interval never occurred.
+    pub masscount: Option<MassCountSummary>,
+}
+
+/// Fig. 9: one row per running-count interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueueRunLengths {
+    /// Sampling period used, in seconds.
+    pub period: Duration,
+    /// One row per interval of the quantizer.
+    pub intervals: Vec<IntervalRow>,
+}
+
+/// Computes Fig. 9 from all machines of a trace.
+///
+/// `period` is the resolution at which the running-queue step functions are
+/// sampled (60 s reproduces the paper's minute-scale durations).
+pub fn queue_runlengths(trace: &Trace, period: Duration) -> QueueRunLengths {
+    let quantizer = LevelQuantizer::queue_intervals();
+    let levels = quantizer.num_levels();
+    let minutes = period as f64 / 60.0;
+
+    // Per machine: durations per level, in minutes. QueueTimeline
+    // reconstruction scans the whole event log per machine, so this is the
+    // expensive part — parallelize over machines.
+    let per_machine: Vec<Vec<Vec<f64>>> = trace
+        .machines
+        .par_iter()
+        .map(|m| {
+            let timeline = QueueTimeline::for_machine(trace, m.id);
+            let series = timeline.running_series(trace.horizon, period);
+            let quantized: Vec<usize> = series
+                .iter()
+                .map(|&c| quantizer.quantize_count(c))
+                .collect();
+            durations_by_level(&quantized, minutes, levels)
+        })
+        .collect();
+
+    let intervals = (0..levels)
+        .map(|level| {
+            let durations: Vec<f64> = per_machine
+                .iter()
+                .flat_map(|m| m[level].iter().copied())
+                .collect();
+            IntervalRow {
+                label: quantizer.label(level),
+                runs: durations.len(),
+                duration_minutes: Summary::of(&durations),
+                masscount: MassCount::new(durations).map(|mc| mc.summary()),
+            }
+        })
+        .collect();
+
+    QueueRunLengths { period, intervals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgc_trace::task::{TaskEvent, TaskEventKind};
+    use cgc_trace::{Demand, MachineId, Priority, TraceBuilder, UserId};
+
+    /// One machine alternating between 0 and 12 running tasks.
+    fn bursty_trace() -> Trace {
+        let mut b = TraceBuilder::new("t", 4_000);
+        b.add_machine(1.0, 1.0, 1.0);
+        let j = b.add_job(UserId(0), Priority::from_level(3), 0);
+        // 12 tasks run [600, 1800); then 12 more run [2400, 3600).
+        for burst in 0..2u64 {
+            let start = 600 + burst * 1_800;
+            for _ in 0..12 {
+                let t = b.add_task(j, Demand::new(0.01, 0.01));
+                b.push_event(TaskEvent {
+                    time: start - 10,
+                    task: t,
+                    machine: None,
+                    kind: TaskEventKind::Submit,
+                });
+                b.push_event(TaskEvent {
+                    time: start,
+                    task: t,
+                    machine: Some(MachineId(0)),
+                    kind: TaskEventKind::Schedule,
+                });
+                b.push_event(TaskEvent {
+                    time: start + 1_200,
+                    task: t,
+                    machine: Some(MachineId(0)),
+                    kind: TaskEventKind::Finish,
+                });
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn intervals_capture_alternation() {
+        let r = queue_runlengths(&bursty_trace(), 60);
+        assert_eq!(r.intervals.len(), 6);
+        let zero = &r.intervals[0]; // [0,9]
+        let ten = &r.intervals[1]; // [10,19]
+                                   // Three spells at level 0 (before, between, after) and two at
+                                   // level 1 (the bursts).
+        assert_eq!(zero.runs, 3);
+        assert_eq!(ten.runs, 2);
+        // Burst spells last 20 minutes each.
+        assert!((ten.duration_minutes.mean - 20.0).abs() < 2.0);
+        // Intervals above [10,19] never occur.
+        assert_eq!(r.intervals[4].runs, 0);
+        assert!(r.intervals[4].masscount.is_none());
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_rows() {
+        let trace = TraceBuilder::new("t", 1_000).build().unwrap();
+        let r = queue_runlengths(&trace, 60);
+        assert!(r.intervals.iter().all(|row| row.runs == 0));
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        let r = queue_runlengths(&bursty_trace(), 60);
+        assert_eq!(r.intervals[0].label, "[0,9]");
+        assert_eq!(r.intervals[5].label, "[50,...]");
+    }
+
+    #[test]
+    fn masscount_durations_in_minutes() {
+        let r = queue_runlengths(&bursty_trace(), 60);
+        let mc = r.intervals[1].masscount.as_ref().unwrap();
+        // Two equal 20-minute runs: medians at 20 minutes.
+        assert!((mc.count_median - 20.0).abs() < 2.0);
+    }
+}

@@ -1,0 +1,224 @@
+//! Usage-level band analysis (paper Fig. 10 and Tables II/III).
+//!
+//! Relative usage (attribute value over machine capacity) is quantized into
+//! five bands `[0,0.2) … [0.8,1]`. Two products:
+//!
+//! * **level-band series** (Fig. 10): the band of each sampled machine over
+//!   time, for a random machine subset — the paper's colour-stripe plots;
+//! * **run-length tables** (Tables II/III): for each band, the average and
+//!   maximum time usage stays in that band, plus the mass–count joint ratio
+//!   and mm-distance of those durations. The paper finds CPU dwelling ≈ 6
+//!   minutes per band (30/70 joint ratio) versus memory's slower 9–10
+//!   minutes (20/80) — CPU load changes much faster.
+
+use cgc_stats::{durations_by_level, LevelQuantizer, MassCount, MassCountSummary, Summary};
+use cgc_trace::usage::{HostSeries, UsageAttribute};
+use cgc_trace::{MachineId, PriorityClass, Trace};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// One row of Table II/III: run-length statistics of one usage band.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LevelRow {
+    /// Band label, e.g. `[0.2,0.4]`.
+    pub label: String,
+    /// Number of runs across all machines.
+    pub runs: usize,
+    /// Run-duration summary, in minutes.
+    pub duration_minutes: Summary,
+    /// Mass–count summary (mm-distance in minutes); `None` if the band
+    /// never occurred.
+    pub masscount: Option<MassCountSummary>,
+}
+
+/// A full Table II/III: five band rows for one attribute and priority view.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LevelRunTable {
+    /// The attribute analyzed.
+    pub attribute: UsageAttribute,
+    /// `None` for all tasks; `Some(c)` restricts to tasks at or above `c`.
+    pub min_class: Option<PriorityClass>,
+    /// One row per band.
+    pub rows: Vec<LevelRow>,
+}
+
+fn relative_series(
+    trace: &Trace,
+    series: &HostSeries,
+    attr: UsageAttribute,
+    min_class: Option<PriorityClass>,
+) -> Vec<f64> {
+    let m = &trace.machines[series.machine.index()];
+    let cap = match attr {
+        UsageAttribute::Cpu => m.cpu_capacity,
+        UsageAttribute::MemoryUsed | UsageAttribute::MemoryAssigned => m.memory_capacity,
+        UsageAttribute::PageCache => m.page_cache_capacity,
+    };
+    series
+        .attribute(attr, min_class)
+        .into_iter()
+        .map(|v| v / cap)
+        .collect()
+}
+
+/// Computes a Table II/III for one attribute and priority view.
+pub fn usage_level_runs(
+    trace: &Trace,
+    attr: UsageAttribute,
+    min_class: Option<PriorityClass>,
+) -> LevelRunTable {
+    let quantizer = LevelQuantizer::usage_bands();
+    let levels = quantizer.num_levels();
+
+    let per_machine: Vec<Vec<Vec<f64>>> = trace
+        .host_series
+        .par_iter()
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            let rel = relative_series(trace, s, attr, min_class);
+            let quantized = quantizer.quantize_series(&rel);
+            let minutes = s.period as f64 / 60.0;
+            durations_by_level(&quantized, minutes, levels)
+        })
+        .collect();
+
+    let rows = (0..levels)
+        .map(|level| {
+            let durations: Vec<f64> = per_machine
+                .iter()
+                .flat_map(|m| m[level].iter().copied())
+                .collect();
+            LevelRow {
+                label: quantizer.label(level),
+                runs: durations.len(),
+                duration_minutes: Summary::of(&durations),
+                masscount: MassCount::new(durations).map(|mc| mc.summary()),
+            }
+        })
+        .collect();
+
+    LevelRunTable {
+        attribute: attr,
+        min_class,
+        rows,
+    }
+}
+
+/// Fig. 10: the quantized band of each selected machine at every sample.
+///
+/// Returns `(machine, band_series)` pairs in the order requested; machines
+/// without samples are skipped.
+pub fn level_band_series(
+    trace: &Trace,
+    attr: UsageAttribute,
+    min_class: Option<PriorityClass>,
+    machines: &[MachineId],
+) -> Vec<(MachineId, Vec<usize>)> {
+    let quantizer = LevelQuantizer::usage_bands();
+    machines
+        .iter()
+        .filter_map(|&id| {
+            let series = trace.series_for(id)?;
+            if series.is_empty() {
+                return None;
+            }
+            let rel = relative_series(trace, series, attr, min_class);
+            Some((id, quantizer.quantize_series(&rel)))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgc_trace::usage::{ClassSplit, UsageSample};
+    use cgc_trace::TraceBuilder;
+
+    fn sample(cpu_low: f64, cpu_high: f64) -> UsageSample {
+        UsageSample {
+            cpu: ClassSplit {
+                low: cpu_low,
+                middle: 0.0,
+                high: cpu_high,
+            },
+            memory_used: ClassSplit {
+                low: 0.3,
+                middle: 0.0,
+                high: 0.0,
+            },
+            memory_assigned: ClassSplit::ZERO,
+            page_cache: 0.0,
+        }
+    }
+
+    /// Machine of CPU capacity 0.5; relative CPU alternates between bands.
+    fn banded_trace() -> Trace {
+        let mut b = TraceBuilder::new("t", 3_000);
+        let m = b.add_machine(0.5, 0.5, 1.0);
+        let mut s = HostSeries::new(m, 0, 300);
+        // Relative usage: 0.1/0.5 = 0.2 (band 1) × 4, then
+        // (0.4 + 0.05)/0.5 = 0.9 (band 4) × 2, then band 1 × 4.
+        for _ in 0..4 {
+            s.samples.push(sample(0.1, 0.0));
+        }
+        for _ in 0..2 {
+            s.samples.push(sample(0.4, 0.05));
+        }
+        for _ in 0..4 {
+            s.samples.push(sample(0.1, 0.0));
+        }
+        b.add_host_series(s);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn run_table_counts_bands() {
+        let t = usage_level_runs(&banded_trace(), UsageAttribute::Cpu, None);
+        assert_eq!(t.rows.len(), 5);
+        // Band 1 ([0.2,0.4)): two runs of 4 samples = 20 minutes each.
+        assert_eq!(t.rows[1].runs, 2);
+        assert!((t.rows[1].duration_minutes.mean - 20.0).abs() < 1e-9);
+        // Band 4 ([0.8,1.0]): one run of 2 samples = 10 minutes.
+        assert_eq!(t.rows[4].runs, 1);
+        assert!((t.rows[4].duration_minutes.mean - 10.0).abs() < 1e-9);
+        // Unvisited bands have no mass-count.
+        assert!(t.rows[0].masscount.is_none());
+    }
+
+    #[test]
+    fn high_priority_view_differs() {
+        let trace = banded_trace();
+        let all = usage_level_runs(&trace, UsageAttribute::Cpu, None);
+        let high = usage_level_runs(&trace, UsageAttribute::Cpu, Some(PriorityClass::High));
+        // From the high-priority view the middle samples are 0.05/0.5=0.1
+        // (band 0), the rest 0 (band 0) — a single band-0 run.
+        assert_eq!(high.rows[0].runs, 1);
+        assert_ne!(all.rows[0].runs, high.rows[0].runs);
+    }
+
+    #[test]
+    fn band_series_quantizes_relative_usage() {
+        let trace = banded_trace();
+        let bands = level_band_series(&trace, UsageAttribute::Cpu, None, &[MachineId(0)]);
+        assert_eq!(bands.len(), 1);
+        let (_, series) = &bands[0];
+        assert_eq!(series[0], 1);
+        assert_eq!(series[4], 4);
+        assert_eq!(series[9], 1);
+    }
+
+    #[test]
+    fn missing_machines_skipped() {
+        let trace = banded_trace();
+        let bands = level_band_series(&trace, UsageAttribute::Cpu, None, &[MachineId(7)]);
+        assert!(bands.is_empty());
+    }
+
+    #[test]
+    fn memory_attribute_uses_memory_capacity() {
+        let t = usage_level_runs(&banded_trace(), UsageAttribute::MemoryUsed, None);
+        // Memory 0.3 / cap 0.5 = 0.6 -> band 3 for all 10 samples.
+        assert_eq!(t.rows[3].runs, 1);
+        assert!((t.rows[3].duration_minutes.max - 50.0).abs() < 1e-9);
+    }
+}

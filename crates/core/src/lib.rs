@@ -1,0 +1,36 @@
+//! The characterization pipeline — the paper's primary contribution as a
+//! reusable library.
+//!
+//! Given any [`cgc_trace::Trace`] (simulated here, but the analyses are
+//! format-agnostic), this crate computes every statistic of the paper:
+//!
+//! **Work load** (Section III, over jobs and tasks):
+//! * [`workload::priority`] — the Fig. 2 priority histograms;
+//! * [`workload::job_length`] — the Fig. 3 job-length CDF;
+//! * [`workload::task_length`] — the Fig. 4 mass–count disparity of task
+//!   execution times and the §VI headline quantiles;
+//! * [`workload::submission`] — the Fig. 5 submission-interval CDF and the
+//!   Table I jobs-per-hour row with Jain fairness;
+//! * [`workload::utilization`] — the Fig. 6 per-job CPU and memory CDFs.
+//!
+//! **Host load** (Section IV, over machines):
+//! * [`hostload::max_load`] — Fig. 7 maximum-load distributions per
+//!   capacity class;
+//! * [`hostload::queue_state`] — Fig. 8 queue timelines and the Fig. 9
+//!   run-length mass–count of the running-queue state;
+//! * [`hostload::usage_levels`] — Fig. 10 level-band traces and
+//!   Tables II/III run-length statistics;
+//! * [`hostload::usage_masscount`](mod@hostload::usage_masscount) — Figs. 11/12 usage mass–count;
+//! * [`hostload::comparison`] — Fig. 13 noise/autocorrelation/CPU-vs-memory
+//!   cloud–grid comparison.
+//!
+//! [`report::characterize`] bundles everything into one serializable
+//! [`report::CharacterizationReport`]. Per-host analyses fan out across the
+//! fleet with rayon.
+
+pub mod hostload;
+pub mod predict;
+pub mod report;
+pub mod workload;
+
+pub use report::{characterize, CharacterizationReport};

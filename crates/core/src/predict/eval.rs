@@ -1,0 +1,233 @@
+//! Walk-forward prediction evaluation.
+//!
+//! One-step-ahead errors over a series, then aggregated across a fleet.
+//! Scores are reported both absolutely (MSE/MAE in normalized-load units)
+//! and relative to the last-value baseline, which is the honest yardstick
+//! for load prediction: a sophisticated model only matters if it beats
+//! "assume nothing changes".
+
+use super::predictors::PredictorKind;
+use cgc_trace::usage::UsageAttribute;
+use cgc_trace::Trace;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Errors of one predictor on one or more series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PredictionError {
+    /// Mean squared error.
+    pub mse: f64,
+    /// Mean absolute error.
+    pub mae: f64,
+    /// Number of predictions scored.
+    pub predictions: usize,
+}
+
+impl PredictionError {
+    /// Root-mean-square error.
+    pub fn rmse(&self) -> f64 {
+        self.mse.sqrt()
+    }
+
+    fn merge(self, other: PredictionError) -> PredictionError {
+        let n = self.predictions + other.predictions;
+        if n == 0 {
+            return PredictionError {
+                mse: 0.0,
+                mae: 0.0,
+                predictions: 0,
+            };
+        }
+        let w1 = self.predictions as f64;
+        let w2 = other.predictions as f64;
+        PredictionError {
+            mse: (self.mse * w1 + other.mse * w2) / (w1 + w2),
+            mae: (self.mae * w1 + other.mae * w2) / (w1 + w2),
+            predictions: n,
+        }
+    }
+}
+
+/// Walk-forward evaluation of one predictor on one series.
+///
+/// The first `warmup` samples are used as initial history only. Returns
+/// zeroed errors if the series is shorter than `warmup + 2`.
+pub fn evaluate(kind: PredictorKind, series: &[f64], warmup: usize) -> PredictionError {
+    let predictor = kind.build();
+    let start = warmup.max(1);
+    if series.len() < start + 1 {
+        return PredictionError {
+            mse: 0.0,
+            mae: 0.0,
+            predictions: 0,
+        };
+    }
+    let mut se = 0.0;
+    let mut ae = 0.0;
+    let mut n = 0usize;
+    for t in start..series.len() {
+        let pred = predictor.predict(&series[..t]);
+        let err = pred - series[t];
+        se += err * err;
+        ae += err.abs();
+        n += 1;
+    }
+    PredictionError {
+        mse: se / n as f64,
+        mae: ae / n as f64,
+        predictions: n,
+    }
+}
+
+/// Evaluates one predictor on every machine's relative load series and
+/// pools the errors. `skip` leading samples are dropped (cold-start),
+/// then `warmup` samples seed the history.
+pub fn fleet_prediction_error(
+    trace: &Trace,
+    attr: UsageAttribute,
+    kind: PredictorKind,
+    skip: usize,
+    warmup: usize,
+) -> PredictionError {
+    trace
+        .host_series
+        .par_iter()
+        .filter(|s| s.len() > skip + warmup + 1)
+        .map(|s| {
+            let m = &trace.machines[s.machine.index()];
+            let cap = match attr {
+                UsageAttribute::Cpu => m.cpu_capacity,
+                UsageAttribute::MemoryUsed | UsageAttribute::MemoryAssigned => m.memory_capacity,
+                UsageAttribute::PageCache => m.page_cache_capacity,
+            };
+            let rel: Vec<f64> = s.attribute(attr, None)[skip..]
+                .iter()
+                .map(|v| v / cap)
+                .collect();
+            evaluate(kind, &rel, warmup)
+        })
+        .reduce(
+            || PredictionError {
+                mse: 0.0,
+                mae: 0.0,
+                predictions: 0,
+            },
+            PredictionError::merge,
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgc_trace::usage::{ClassSplit, HostSeries, UsageSample};
+    use cgc_trace::TraceBuilder;
+
+    #[test]
+    fn perfect_prediction_on_constant() {
+        let series = vec![0.5; 100];
+        let e = evaluate(PredictorKind::LastValue, &series, 10);
+        assert_eq!(e.mse, 0.0);
+        assert_eq!(e.predictions, 90);
+    }
+
+    #[test]
+    fn last_value_error_on_alternation() {
+        // 0, 1, 0, 1 ... : last-value is always exactly 1 off.
+        let series: Vec<f64> = (0..50).map(|i| (i % 2) as f64).collect();
+        let e = evaluate(PredictorKind::LastValue, &series, 2);
+        assert!((e.mse - 1.0).abs() < 1e-12);
+        assert!((e.mae - 1.0).abs() < 1e-12);
+        // The Markov predictor learns the alternation.
+        let m = evaluate(PredictorKind::MarkovLevels { bands: 4 }, &series, 10);
+        assert!(m.mse < 0.05, "markov mse={}", m.mse);
+    }
+
+    #[test]
+    fn short_series_scores_nothing() {
+        let e = evaluate(PredictorKind::LastValue, &[0.1], 5);
+        assert_eq!(e.predictions, 0);
+    }
+
+    #[test]
+    fn merge_weights_by_count() {
+        let a = PredictionError {
+            mse: 1.0,
+            mae: 1.0,
+            predictions: 1,
+        };
+        let b = PredictionError {
+            mse: 0.0,
+            mae: 0.0,
+            predictions: 3,
+        };
+        let m = a.merge(b);
+        assert!((m.mse - 0.25).abs() < 1e-12);
+        assert_eq!(m.predictions, 4);
+    }
+
+    #[test]
+    fn rmse_is_sqrt_mse() {
+        let e = PredictionError {
+            mse: 0.04,
+            mae: 0.1,
+            predictions: 10,
+        };
+        assert!((e.rmse() - 0.2).abs() < 1e-12);
+    }
+
+    fn trace_with_cpu(series: &[f64]) -> Trace {
+        let mut b = TraceBuilder::new("t", series.len() as u64 * 300);
+        let m = b.add_machine(0.5, 0.5, 1.0);
+        let mut s = HostSeries::new(m, 0, 300);
+        for &v in series {
+            s.samples.push(UsageSample {
+                cpu: ClassSplit {
+                    low: v,
+                    middle: 0.0,
+                    high: 0.0,
+                },
+                ..UsageSample::default()
+            });
+        }
+        b.add_host_series(s);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fleet_error_normalizes_by_capacity() {
+        // Constant absolute load 0.25 on a 0.5-capacity machine: the
+        // relative series is constant 0.5 and last-value is perfect.
+        let trace = trace_with_cpu(&vec![0.25; 60]);
+        let e = fleet_prediction_error(&trace, UsageAttribute::Cpu, PredictorKind::LastValue, 5, 5);
+        assert_eq!(e.mse, 0.0);
+        assert!(e.predictions > 0);
+    }
+
+    #[test]
+    fn fleet_error_empty_trace() {
+        let trace = TraceBuilder::new("t", 100).build().unwrap();
+        let e = fleet_prediction_error(&trace, UsageAttribute::Cpu, PredictorKind::LastValue, 0, 5);
+        assert_eq!(e.predictions, 0);
+    }
+
+    #[test]
+    fn smoother_series_is_easier() {
+        let smooth: Vec<f64> = (0..300)
+            .map(|i| 0.4 + 0.1 * (i as f64 / 40.0).sin())
+            .collect();
+        let noisy: Vec<f64> = (0..300)
+            .map(|i| 0.4 + 0.35 * (((i * 2654435761usize) % 97) as f64 / 97.0 - 0.5))
+            .collect();
+        for kind in PredictorKind::all_default() {
+            let es = evaluate(kind, &smooth, 30);
+            let en = evaluate(kind, &noisy, 30);
+            assert!(
+                es.mse < en.mse,
+                "{}: smooth {} !< noisy {}",
+                kind.label(),
+                es.mse,
+                en.mse
+            );
+        }
+    }
+}

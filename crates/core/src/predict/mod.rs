@@ -1,0 +1,18 @@
+//! Host-load prediction (the paper's Section VI future work).
+//!
+//! The paper closes with: *"In the future, we will try to exploit the
+//! best-fit load prediction method based on our characterization work."*
+//! This module supplies that toolkit: a family of one-step-ahead
+//! predictors ([`predictors`]) and a walk-forward evaluation harness
+//! ([`eval`]) that scores them per machine and across a fleet.
+//!
+//! The characterization's punchline carries straight over: grid host load
+//! (smooth, strongly autocorrelated) is easy to predict — even last-value
+//! is nearly perfect — while cloud host load's minute-scale churn defeats
+//! short-window predictors, exactly as the 20× noise gap suggests.
+
+pub mod eval;
+pub mod predictors;
+
+pub use eval::{evaluate, fleet_prediction_error, PredictionError};
+pub use predictors::{Predictor, PredictorKind};

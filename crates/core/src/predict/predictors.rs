@@ -1,0 +1,349 @@
+//! One-step-ahead load predictors.
+//!
+//! All predictors share the same contract: given the history
+//! `series[..t]`, produce an estimate of `series[t]`. They are all cheap
+//! enough to run per machine per sample, the regime a cluster scheduler
+//! operates in.
+
+use cgc_stats::LevelQuantizer;
+use serde::{Deserialize, Serialize};
+
+/// The available predictor families.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PredictorKind {
+    /// Tomorrow equals today: predict the last observation.
+    LastValue,
+    /// Mean of the last `window` observations.
+    MovingAverage {
+        /// History window in samples.
+        window: usize,
+    },
+    /// Exponentially weighted mean with smoothing factor `alpha`.
+    ExponentialSmoothing {
+        /// Weight of the newest observation, in `(0, 1]`.
+        alpha: f64,
+    },
+    /// Ordinary-least-squares line over the last `window` observations,
+    /// extrapolated one step.
+    LinearTrend {
+        /// Fit window in samples.
+        window: usize,
+    },
+    /// Auto-regressive model of the given order, fit by Yule–Walker on
+    /// the full history seen so far.
+    AutoRegressive {
+        /// Number of lags.
+        order: usize,
+    },
+    /// First-order Markov chain over quantized load levels; predicts the
+    /// expected next-level midpoint. Mirrors the paper's observation that
+    /// load dwells in discrete bands (Tables II/III).
+    MarkovLevels {
+        /// Number of uniform bands over `[0, 1]`.
+        bands: usize,
+    },
+}
+
+impl PredictorKind {
+    /// Every kind with sensible defaults, for sweep experiments.
+    pub fn all_default() -> Vec<PredictorKind> {
+        vec![
+            PredictorKind::LastValue,
+            PredictorKind::MovingAverage { window: 12 },
+            PredictorKind::ExponentialSmoothing { alpha: 0.3 },
+            PredictorKind::LinearTrend { window: 12 },
+            PredictorKind::AutoRegressive { order: 4 },
+            PredictorKind::MarkovLevels { bands: 10 },
+        ]
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            PredictorKind::LastValue => "last-value".into(),
+            PredictorKind::MovingAverage { window } => format!("moving-avg({window})"),
+            PredictorKind::ExponentialSmoothing { alpha } => format!("exp-smooth({alpha})"),
+            PredictorKind::LinearTrend { window } => format!("linear({window})"),
+            PredictorKind::AutoRegressive { order } => format!("ar({order})"),
+            PredictorKind::MarkovLevels { bands } => format!("markov({bands})"),
+        }
+    }
+
+    /// Instantiates a stateful predictor.
+    pub fn build(&self) -> Predictor {
+        Predictor { kind: *self }
+    }
+}
+
+/// A stateful predictor instance (currently stateless across calls; the
+/// struct exists so richer online state can be added without breaking the
+/// API).
+#[derive(Debug, Clone)]
+pub struct Predictor {
+    kind: PredictorKind,
+}
+
+impl Predictor {
+    /// Predicts `series[history_len]` from `series[..history_len]`.
+    ///
+    /// With an empty history the prediction is 0 (an empty machine).
+    pub fn predict(&self, history: &[f64]) -> f64 {
+        let n = history.len();
+        if n == 0 {
+            return 0.0;
+        }
+        match self.kind {
+            PredictorKind::LastValue => history[n - 1],
+            PredictorKind::MovingAverage { window } => {
+                let w = window.max(1).min(n);
+                history[n - w..].iter().sum::<f64>() / w as f64
+            }
+            PredictorKind::ExponentialSmoothing { alpha } => {
+                let a = alpha.clamp(1e-6, 1.0);
+                let mut s = history[0];
+                for &v in &history[1..] {
+                    s = a * v + (1.0 - a) * s;
+                }
+                s
+            }
+            PredictorKind::LinearTrend { window } => {
+                let w = window.max(2).min(n);
+                let seg = &history[n - w..];
+                linear_extrapolate(seg)
+            }
+            PredictorKind::AutoRegressive { order } => {
+                let p = order.max(1);
+                if n < p + 2 {
+                    return history[n - 1];
+                }
+                ar_predict(history, p)
+            }
+            PredictorKind::MarkovLevels { bands } => markov_predict(history, bands.max(2)),
+        }
+    }
+}
+
+/// OLS fit over the segment (x = 0..w), extrapolated to x = w.
+fn linear_extrapolate(seg: &[f64]) -> f64 {
+    let w = seg.len() as f64;
+    let mx = (w - 1.0) / 2.0;
+    let my = seg.iter().sum::<f64>() / w;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    for (i, &y) in seg.iter().enumerate() {
+        let dx = i as f64 - mx;
+        sxy += dx * (y - my);
+        sxx += dx * dx;
+    }
+    let slope = if sxx == 0.0 { 0.0 } else { sxy / sxx };
+    my + slope * (w - mx)
+}
+
+/// Yule–Walker AR(p) one-step prediction.
+fn ar_predict(history: &[f64], p: usize) -> f64 {
+    let n = history.len();
+    let mean = history.iter().sum::<f64>() / n as f64;
+    // Autocovariances r_0..r_p.
+    let mut r = vec![0.0; p + 1];
+    for (k, rk) in r.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for i in 0..n - k {
+            acc += (history[i] - mean) * (history[i + k] - mean);
+        }
+        *rk = acc / n as f64;
+    }
+    if r[0] <= 1e-12 {
+        return history[n - 1];
+    }
+    // Solve the Toeplitz system via Levinson-Durbin.
+    let phi = levinson_durbin(&r, p);
+    let mut pred = mean;
+    for (k, &coef) in phi.iter().enumerate() {
+        pred += coef * (history[n - 1 - k] - mean);
+    }
+    pred
+}
+
+/// Levinson–Durbin recursion: AR coefficients from autocovariances.
+fn levinson_durbin(r: &[f64], p: usize) -> Vec<f64> {
+    let mut phi = vec![0.0; p];
+    let mut prev = vec![0.0; p];
+    let mut e = r[0];
+    for k in 0..p {
+        let mut acc = r[k + 1];
+        for j in 0..k {
+            acc -= prev[j] * r[k - j];
+        }
+        let kappa = if e.abs() < 1e-12 { 0.0 } else { acc / e };
+        phi[..k].copy_from_slice(&prev[..k]);
+        for j in 0..k {
+            phi[j] = prev[j] - kappa * prev[k - 1 - j];
+        }
+        phi[k] = kappa;
+        e *= 1.0 - kappa * kappa;
+        prev[..=k].copy_from_slice(&phi[..=k]);
+    }
+    phi
+}
+
+/// First-order Markov chain over quantized levels: predicts the expected
+/// next-band midpoint given the current band's empirical transitions.
+fn markov_predict(history: &[f64], bands: usize) -> f64 {
+    let quantizer = LevelQuantizer::Uniform { bins: bands };
+    let levels = quantizer.quantize_series(history);
+    let n = levels.len();
+    let current = levels[n - 1];
+    // Transition counts out of the current band.
+    let mut counts = vec![0u32; bands];
+    let mut total = 0u32;
+    for w in levels.windows(2) {
+        if w[0] == current {
+            counts[w[1]] += 1;
+            total += 1;
+        }
+    }
+    let midpoint = |b: usize| (b as f64 + 0.5) / bands as f64;
+    if total == 0 {
+        return midpoint(current);
+    }
+    counts
+        .iter()
+        .enumerate()
+        .map(|(b, &c)| midpoint(b) * c as f64 / total as f64)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_value() {
+        let p = PredictorKind::LastValue.build();
+        assert_eq!(p.predict(&[0.1, 0.5, 0.9]), 0.9);
+        assert_eq!(p.predict(&[]), 0.0);
+    }
+
+    #[test]
+    fn moving_average() {
+        let p = PredictorKind::MovingAverage { window: 2 }.build();
+        assert!((p.predict(&[0.0, 0.4, 0.8]) - 0.6).abs() < 1e-12);
+        // Window larger than history degrades to the full mean.
+        let p = PredictorKind::MovingAverage { window: 10 }.build();
+        assert!((p.predict(&[0.3, 0.6]) - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_smoothing_converges_to_constant() {
+        let p = PredictorKind::ExponentialSmoothing { alpha: 0.5 }.build();
+        let s = vec![0.7; 50];
+        assert!((p.predict(&s) - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_trend_extrapolates_exactly() {
+        let p = PredictorKind::LinearTrend { window: 5 }.build();
+        let s: Vec<f64> = (0..10).map(|i| 0.1 * i as f64).collect();
+        // Next point of the line 0.1*i at i=10 is 1.0.
+        assert!((p.predict(&s) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ar_predicts_ar1_process_well() {
+        // x_t = 0.9 x_{t-1} + small deterministic perturbation.
+        let mut s = vec![1.0];
+        for i in 1..300 {
+            let noise = 0.01 * (((i * 37) % 11) as f64 - 5.0) / 5.0;
+            let prev = s[i - 1];
+            s.push(0.9 * prev + noise);
+        }
+        let p = PredictorKind::AutoRegressive { order: 1 }.build();
+        let pred = p.predict(&s);
+        let actual_next = 0.9 * s[s.len() - 1];
+        assert!(
+            (pred - actual_next).abs() < 0.05,
+            "pred={pred} vs {actual_next}"
+        );
+    }
+
+    #[test]
+    fn ar_short_history_falls_back_to_last_value() {
+        let p = PredictorKind::AutoRegressive { order: 8 }.build();
+        assert_eq!(p.predict(&[0.2, 0.4]), 0.4);
+    }
+
+    #[test]
+    fn markov_on_alternating_bands() {
+        // Alternates between band 1 (0.15) and band 8 (0.85): from 0.15
+        // the chain always moves to 0.85's band.
+        let mut s = Vec::new();
+        for i in 0..60 {
+            s.push(if i % 2 == 0 { 0.15 } else { 0.85 });
+        }
+        // History ends on 0.85 (i=59), so prediction is band of 0.15.
+        let p = PredictorKind::MarkovLevels { bands: 10 }.build();
+        let pred = p.predict(&s);
+        assert!((pred - 0.15).abs() < 0.01, "pred={pred}");
+    }
+
+    #[test]
+    fn markov_unseen_state_predicts_own_band() {
+        let p = PredictorKind::MarkovLevels { bands: 10 }.build();
+        // Single observation: stay in band.
+        let pred = p.predict(&[0.42]);
+        assert!((pred - 0.45).abs() < 1e-9);
+    }
+
+    #[test]
+    fn levinson_durbin_order_one() {
+        // AR(1) with r1/r0 = 0.8.
+        let phi = levinson_durbin(&[1.0, 0.8], 1);
+        assert!((phi[0] - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<String> = PredictorKind::all_default()
+            .iter()
+            .map(|k| k.label())
+            .collect();
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Predictions stay finite and within a broad envelope of the
+        /// history for every predictor.
+        #[test]
+        fn predictions_finite(series in prop::collection::vec(0.0f64..1.0, 1..120)) {
+            for kind in PredictorKind::all_default() {
+                let pred = kind.build().predict(&series);
+                prop_assert!(pred.is_finite(), "{} gave {pred}", kind.label());
+                prop_assert!((-1.0..=2.0).contains(&pred), "{} gave {pred}", kind.label());
+            }
+        }
+
+        /// On constant series every predictor returns the constant.
+        #[test]
+        fn constant_fixed_point(v in 0.0f64..1.0, n in 12usize..80) {
+            let series = vec![v; n];
+            for kind in PredictorKind::all_default() {
+                let pred = kind.build().predict(&series);
+                let tol = if matches!(kind, PredictorKind::MarkovLevels { .. }) {
+                    0.06 // band midpoint, not the exact value
+                } else {
+                    1e-6
+                };
+                prop_assert!((pred - v).abs() <= tol, "{}: {pred} vs {v}", kind.label());
+            }
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! One-call characterization of a trace.
+//!
+//! [`characterize`] runs every analysis that the trace supports (host-load
+//! sections are skipped for workload-only traces) and returns a
+//! serializable [`CharacterizationReport`] whose `Display` output reads
+//! like the paper's summary section.
+
+use crate::hostload::{
+    host_comparison, max_load_distribution, queue_runlengths, usage_level_runs, usage_masscount,
+    HostComparison, LevelRunTable, MaxLoadDistribution, QueueRunLengths, UsageMassCount,
+};
+use crate::workload::{
+    job_length_analysis, priority_histogram, submission_analysis, task_length_analysis,
+    JobLengthAnalysis, PriorityHistogram, SubmissionAnalysis, TaskLengthAnalysis,
+};
+use cgc_stats::Summary;
+use cgc_trace::usage::UsageAttribute;
+use cgc_trace::{PriorityClass, Trace};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Work-load side of the report (paper Section III).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSection {
+    /// Fig. 2.
+    pub priorities: PriorityHistogram,
+    /// Fig. 3.
+    pub job_length: Option<JobLengthAnalysis>,
+    /// Fig. 5 + Table I.
+    pub submission: Option<SubmissionAnalysis>,
+    /// Fig. 4 + §VI quantiles.
+    pub task_length: Option<TaskLengthAnalysis>,
+    /// Fig. 6(a) summary (processor units).
+    pub cpu_usage: Option<Summary>,
+    /// Fig. 6(b) summary at a 32 GB reference capacity (MB).
+    pub memory_mb_at_32gb: Option<Summary>,
+}
+
+/// Host-load side of the report (paper Section IV).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostloadSection {
+    /// Fig. 7, all four attributes.
+    pub max_loads: Vec<MaxLoadDistribution>,
+    /// Fig. 9.
+    pub queue_runs: QueueRunLengths,
+    /// Table II (CPU bands, all tasks).
+    pub cpu_level_runs: LevelRunTable,
+    /// Table III (memory bands, all tasks).
+    pub memory_level_runs: LevelRunTable,
+    /// Fig. 11 (CPU: all tasks, and the paper's "high-priority" view,
+    /// meaning priorities above 4).
+    pub cpu_masscount: Option<UsageMassCount>,
+    /// Fig. 11(b).
+    pub cpu_masscount_high: Option<UsageMassCount>,
+    /// Fig. 12 (memory).
+    pub memory_masscount: Option<UsageMassCount>,
+    /// Fig. 12(b).
+    pub memory_masscount_high: Option<UsageMassCount>,
+    /// Fig. 13 headline numbers.
+    pub comparison: Option<HostComparison>,
+}
+
+/// Full characterization of one trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CharacterizationReport {
+    /// System label of the analyzed trace.
+    pub system: String,
+    /// Section III analyses.
+    pub workload: WorkloadSection,
+    /// Section IV analyses, absent for workload-only traces.
+    pub hostload: Option<HostloadSection>,
+}
+
+/// Histogram resolution of the Fig. 7 reproduction.
+const MAX_LOAD_BINS: usize = 25;
+
+/// Sampling period for the Fig. 9 queue-state series, in seconds.
+const QUEUE_SAMPLE_PERIOD: u64 = 60;
+
+/// Runs every supported analysis on the trace.
+pub fn characterize(trace: &Trace) -> CharacterizationReport {
+    let workload = WorkloadSection {
+        priorities: priority_histogram(trace),
+        job_length: job_length_analysis(trace),
+        submission: submission_analysis(trace),
+        task_length: task_length_analysis(trace),
+        cpu_usage: crate::workload::job_cpu_usage(trace).map(|e| Summary::of(e.values())),
+        memory_mb_at_32gb: crate::workload::job_memory_mb(trace, 32.0)
+            .map(|e| Summary::of(e.values())),
+    };
+
+    let hostload = if trace.host_series.iter().any(|s| !s.is_empty()) {
+        Some(HostloadSection {
+            max_loads: UsageAttribute::ALL
+                .iter()
+                .map(|&attr| max_load_distribution(trace, attr, MAX_LOAD_BINS))
+                .collect(),
+            queue_runs: queue_runlengths(trace, QUEUE_SAMPLE_PERIOD),
+            cpu_level_runs: usage_level_runs(trace, UsageAttribute::Cpu, None),
+            memory_level_runs: usage_level_runs(trace, UsageAttribute::MemoryUsed, None),
+            cpu_masscount: usage_masscount(trace, UsageAttribute::Cpu, None),
+            cpu_masscount_high: usage_masscount(
+                trace,
+                UsageAttribute::Cpu,
+                Some(PriorityClass::Middle),
+            ),
+            memory_masscount: usage_masscount(trace, UsageAttribute::MemoryUsed, None),
+            memory_masscount_high: usage_masscount(
+                trace,
+                UsageAttribute::MemoryUsed,
+                Some(PriorityClass::Middle),
+            ),
+            comparison: host_comparison(trace, 0),
+        })
+    } else {
+        None
+    };
+
+    CharacterizationReport {
+        system: trace.system.clone(),
+        workload,
+        hostload,
+    }
+}
+
+impl fmt::Display for CharacterizationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== Characterization of {} ===", self.system)?;
+        let w = &self.workload;
+        writeln!(
+            f,
+            "jobs: {}  tasks: {}  (low-priority job share {:.0}%)",
+            w.priorities.total_jobs(),
+            w.priorities.total_tasks(),
+            100.0 * w.priorities.low_priority_job_share()
+        )?;
+        if let Some(jl) = &w.job_length {
+            writeln!(
+                f,
+                "job length: mean {:.0}s median {:.0}s  F(1000s)={:.2} F(2000s)={:.2}",
+                jl.summary.mean, jl.summary.median, jl.frac_under_1000s, jl.frac_under_2000s
+            )?;
+        }
+        if let Some(s) = &w.submission {
+            writeln!(
+                f,
+                "submissions/hour: min {:.0} avg {:.1} max {:.0}  fairness {:.2}",
+                s.rate.min, s.rate.avg, s.rate.max, s.rate.fairness
+            )?;
+        }
+        if let Some(t) = &w.task_length {
+            writeln!(
+                f,
+                "task length: {:.0}% <10min, {:.0}% <1h, {:.0}% <3h; joint ratio {} mmdis {:.2} days",
+                100.0 * t.frac_under_10min,
+                100.0 * t.frac_under_1h,
+                100.0 * t.frac_under_3h,
+                t.masscount.joint_ratio_label(),
+                t.masscount.mm_distance / cgc_trace::DAY as f64,
+            )?;
+        }
+        if let Some(c) = &w.cpu_usage {
+            writeln!(
+                f,
+                "job cpu usage (processors): mean {:.2} max {:.1}",
+                c.mean, c.max
+            )?;
+        }
+        if let Some(h) = &self.hostload {
+            if let Some(c) = &h.comparison {
+                writeln!(
+                    f,
+                    "host load: cpu {:.0}% mem {:.0}%  noise(min/mean/max) {:.5}/{:.5}/{:.5}  autocorr {:.4}",
+                    100.0 * c.cpu_mean_utilization,
+                    100.0 * c.memory_mean_utilization,
+                    c.cpu_noise.min,
+                    c.cpu_noise.mean,
+                    c.cpu_noise.max,
+                    c.cpu_autocorrelation
+                )?;
+            }
+            if let Some(mc) = &h.cpu_masscount {
+                writeln!(
+                    f,
+                    "cpu usage mass-count: joint {} mmdis {:.0}%",
+                    mc.masscount.joint_ratio_label(),
+                    mc.masscount.mm_distance
+                )?;
+            }
+            if let Some(mc) = &h.memory_masscount {
+                writeln!(
+                    f,
+                    "mem usage mass-count: joint {} mmdis {:.0}%",
+                    mc.masscount.joint_ratio_label(),
+                    mc.masscount.mm_distance
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgc_trace::TraceBuilder;
+
+    #[test]
+    fn empty_trace_report() {
+        let trace = TraceBuilder::new("empty", 100).build().unwrap();
+        let r = characterize(&trace);
+        assert_eq!(r.system, "empty");
+        assert!(r.workload.job_length.is_none());
+        assert!(r.hostload.is_none());
+        // Display must not panic.
+        let text = r.to_string();
+        assert!(text.contains("empty"));
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let trace = TraceBuilder::new("x", 100).build().unwrap();
+        let r = characterize(&trace);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: CharacterizationReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.system, "x");
+    }
+}

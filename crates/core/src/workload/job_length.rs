@@ -1,0 +1,121 @@
+//! Job-length analysis (paper Fig. 3).
+//!
+//! Job length is the duration between submission and completion. The
+//! paper's finding: over 80% of Google jobs finish within 1000 seconds,
+//! while most grid jobs run longer than 2000 seconds.
+
+use cgc_stats::{Ecdf, Summary};
+use cgc_trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// Job-length distribution of one system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobLengthAnalysis {
+    /// System label the lengths came from.
+    pub system: String,
+    /// Scalar summary (seconds).
+    pub summary: Summary,
+    /// Fraction of jobs shorter than 1000 s (the paper's Google headline).
+    pub frac_under_1000s: f64,
+    /// Fraction of jobs shorter than 2000 s (the paper's grid threshold).
+    pub frac_under_2000s: f64,
+    /// CDF evaluated on an even grid over `[0, 10_000]` s, the Fig. 3 axis.
+    pub cdf_curve: Vec<(f64, f64)>,
+    #[serde(skip)]
+    ecdf: Option<Ecdf>,
+}
+
+impl JobLengthAnalysis {
+    /// The underlying ECDF (present unless deserialized).
+    pub fn ecdf(&self) -> Option<&Ecdf> {
+        self.ecdf.as_ref()
+    }
+}
+
+/// Analyzes finished-job lengths; `None` if the trace has no finished jobs.
+pub fn job_length_analysis(trace: &Trace) -> Option<JobLengthAnalysis> {
+    let lengths = trace.job_lengths();
+    if lengths.is_empty() {
+        return None;
+    }
+    let ecdf = Ecdf::from_durations(&lengths);
+    Some(JobLengthAnalysis {
+        system: trace.system.clone(),
+        summary: Summary::of_durations(&lengths),
+        frac_under_1000s: ecdf.eval(1_000.0),
+        frac_under_2000s: ecdf.eval(2_000.0),
+        cdf_curve: ecdf.curve(0.0, 10_000.0, 101),
+        ecdf: Some(ecdf),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgc_trace::task::{TaskEvent, TaskEventKind};
+    use cgc_trace::{Demand, Priority, TraceBuilder, UserId};
+
+    fn trace_with_lengths(lengths: &[u64]) -> Trace {
+        let mut b = TraceBuilder::new("t", 1_000_000);
+        b.add_machine(1.0, 1.0, 1.0);
+        for (i, &len) in lengths.iter().enumerate() {
+            let submit = i as u64 * 10;
+            let j = b.add_job(UserId(0), Priority::from_level(2), submit);
+            let t = b.add_task(j, Demand::new(0.01, 0.01));
+            b.push_event(TaskEvent {
+                time: submit,
+                task: t,
+                machine: None,
+                kind: TaskEventKind::Submit,
+            });
+            b.push_event(TaskEvent {
+                time: submit,
+                task: t,
+                machine: Some(cgc_trace::MachineId(0)),
+                kind: TaskEventKind::Schedule,
+            });
+            b.push_event(TaskEvent {
+                time: submit + len,
+                task: t,
+                machine: Some(cgc_trace::MachineId(0)),
+                kind: TaskEventKind::Finish,
+            });
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fractions_and_summary() {
+        let trace = trace_with_lengths(&[100, 500, 1_500, 3_000]);
+        let a = job_length_analysis(&trace).unwrap();
+        assert_eq!(a.summary.count, 4);
+        assert_eq!(a.frac_under_1000s, 0.5);
+        assert_eq!(a.frac_under_2000s, 0.75);
+        assert_eq!(a.summary.max, 3_000.0);
+    }
+
+    #[test]
+    fn curve_spans_fig3_axis() {
+        let trace = trace_with_lengths(&[100, 200]);
+        let a = job_length_analysis(&trace).unwrap();
+        assert_eq!(a.cdf_curve.len(), 101);
+        assert_eq!(a.cdf_curve[0].0, 0.0);
+        assert_eq!(a.cdf_curve.last().unwrap().0, 10_000.0);
+        assert_eq!(a.cdf_curve.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn none_without_finished_jobs() {
+        let mut b = TraceBuilder::new("t", 100);
+        b.add_job(UserId(0), Priority::from_level(1), 0);
+        let trace = b.build().unwrap();
+        assert!(job_length_analysis(&trace).is_none());
+    }
+
+    #[test]
+    fn ecdf_accessible() {
+        let trace = trace_with_lengths(&[50]);
+        let a = job_length_analysis(&trace).unwrap();
+        assert_eq!(a.ecdf().unwrap().len(), 1);
+    }
+}

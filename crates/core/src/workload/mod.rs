@@ -1,0 +1,16 @@
+//! Work-load analyses (paper Section III): jobs and tasks as submitted by
+//! users, independent of which machines ran them.
+
+pub mod job_length;
+pub mod priority;
+pub mod submission;
+pub mod task_length;
+pub mod users;
+pub mod utilization;
+
+pub use job_length::{job_length_analysis, JobLengthAnalysis};
+pub use priority::{priority_histogram, PriorityHistogram};
+pub use submission::{submission_analysis, RateRow, SubmissionAnalysis};
+pub use task_length::{task_length_analysis, TaskLengthAnalysis};
+pub use users::{user_activity, UserActivity};
+pub use utilization::{job_cpu_usage, job_memory_mb};

@@ -1,0 +1,124 @@
+//! Priority histograms (paper Fig. 2).
+//!
+//! Counts jobs and tasks per priority level and per priority class. The
+//! paper's observation — most work sits at low priorities, so a "full"
+//! machine can still be idle from a high-priority task's point of view —
+//! drives all the per-class host-load views later.
+
+use cgc_trace::priority::NUM_PRIORITIES;
+use cgc_trace::{PriorityClass, Trace};
+use serde::{Deserialize, Serialize};
+
+/// Jobs and tasks per priority level (index 0 = priority 1).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PriorityHistogram {
+    /// Number of jobs at each of the 12 priorities.
+    pub jobs: [u64; NUM_PRIORITIES],
+    /// Number of tasks at each of the 12 priorities.
+    pub tasks: [u64; NUM_PRIORITIES],
+}
+
+impl PriorityHistogram {
+    /// Totals per priority class: `(jobs, tasks)`, each `[low, mid, high]`.
+    pub fn class_totals(&self) -> ([u64; 3], [u64; 3]) {
+        let mut jobs = [0u64; 3];
+        let mut tasks = [0u64; 3];
+        for class in PriorityClass::ALL {
+            for level in class.levels() {
+                jobs[class.index()] += self.jobs[(level - 1) as usize];
+                tasks[class.index()] += self.tasks[(level - 1) as usize];
+            }
+        }
+        (jobs, tasks)
+    }
+
+    /// Total number of jobs.
+    pub fn total_jobs(&self) -> u64 {
+        self.jobs.iter().sum()
+    }
+
+    /// Total number of tasks.
+    pub fn total_tasks(&self) -> u64 {
+        self.tasks.iter().sum()
+    }
+
+    /// Fraction of jobs in the low-priority class.
+    pub fn low_priority_job_share(&self) -> f64 {
+        let (jobs, _) = self.class_totals();
+        let total = self.total_jobs();
+        if total == 0 {
+            0.0
+        } else {
+            jobs[0] as f64 / total as f64
+        }
+    }
+}
+
+/// Computes the Fig. 2 histograms from a trace.
+pub fn priority_histogram(trace: &Trace) -> PriorityHistogram {
+    let mut h = PriorityHistogram {
+        jobs: [0; NUM_PRIORITIES],
+        tasks: [0; NUM_PRIORITIES],
+    };
+    for j in &trace.jobs {
+        h.jobs[j.priority.index()] += 1;
+    }
+    for t in &trace.tasks {
+        h.tasks[t.priority.index()] += 1;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgc_trace::{Demand, Priority, TraceBuilder, UserId};
+
+    fn trace_with(priorities: &[(u8, usize)]) -> Trace {
+        let mut b = TraceBuilder::new("t", 1_000);
+        for &(level, tasks) in priorities {
+            let j = b.add_job(UserId(0), Priority::from_level(level), 0);
+            for _ in 0..tasks {
+                b.add_task(j, Demand::new(0.01, 0.01));
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn counts_jobs_and_tasks() {
+        let trace = trace_with(&[(1, 2), (1, 3), (5, 1), (12, 4)]);
+        let h = priority_histogram(&trace);
+        assert_eq!(h.jobs[0], 2);
+        assert_eq!(h.tasks[0], 5);
+        assert_eq!(h.jobs[4], 1);
+        assert_eq!(h.jobs[11], 1);
+        assert_eq!(h.tasks[11], 4);
+        assert_eq!(h.total_jobs(), 4);
+        assert_eq!(h.total_tasks(), 10);
+    }
+
+    #[test]
+    fn class_totals_partition() {
+        let trace = trace_with(&[(1, 1), (4, 1), (5, 1), (8, 1), (9, 1), (12, 1)]);
+        let h = priority_histogram(&trace);
+        let (jobs, tasks) = h.class_totals();
+        assert_eq!(jobs, [2, 2, 2]);
+        assert_eq!(tasks, [2, 2, 2]);
+    }
+
+    #[test]
+    fn low_priority_share() {
+        let trace = trace_with(&[(1, 1), (2, 1), (3, 1), (10, 1)]);
+        let h = priority_histogram(&trace);
+        assert!((h.low_priority_job_share() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let trace = TraceBuilder::new("t", 10).build().unwrap();
+        let h = priority_histogram(&trace);
+        assert_eq!(h.total_jobs(), 0);
+        assert_eq!(h.low_priority_job_share(), 0.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Submission-frequency analysis (paper Fig. 5 and Table I).
+//!
+//! Two views of the same arrival stream: the CDF of inter-submission
+//! intervals (Fig. 5) and the per-hour rate row — min/mean/max jobs per
+//! hour plus Jain's fairness index (Table I). The paper's Google column
+//! reads 36 / 552 / 1421 at fairness 0.94; grids sit one to two orders of
+//! magnitude lower in rate and far lower in fairness.
+
+use cgc_stats::{counts_per_window, jain_fairness_counts, Ecdf, Summary};
+use cgc_trace::{Trace, HOUR};
+use serde::{Deserialize, Serialize};
+
+/// One row of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RateRow {
+    /// Maximum jobs in any hour.
+    pub max: f64,
+    /// Mean jobs per hour.
+    pub avg: f64,
+    /// Minimum jobs in any hour.
+    pub min: f64,
+    /// Jain's fairness index over the hourly counts.
+    pub fairness: f64,
+}
+
+/// Submission-frequency analysis of one system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubmissionAnalysis {
+    /// System label.
+    pub system: String,
+    /// Table I row.
+    pub rate: RateRow,
+    /// Summary of inter-submission intervals (seconds).
+    pub interval_summary: Summary,
+    /// Interval CDF over `[0, 2000]` s, the Fig. 5 axis.
+    pub interval_cdf: Vec<(f64, f64)>,
+    #[serde(skip)]
+    intervals: Option<Ecdf>,
+}
+
+impl SubmissionAnalysis {
+    /// The interval ECDF (present unless deserialized).
+    pub fn intervals(&self) -> Option<&Ecdf> {
+        self.intervals.as_ref()
+    }
+}
+
+/// Analyzes submission frequency; `None` if the trace has fewer than two
+/// jobs (no intervals to speak of).
+pub fn submission_analysis(trace: &Trace) -> Option<SubmissionAnalysis> {
+    let times = trace.submission_times();
+    if times.len() < 2 || trace.horizon == 0 {
+        return None;
+    }
+    let intervals: Vec<u64> = times.windows(2).map(|w| w[1] - w[0]).collect();
+    let counts = counts_per_window(&times, HOUR, trace.horizon);
+    let count_summary = Summary::of(&counts.iter().map(|&c| c as f64).collect::<Vec<_>>());
+    let ecdf = Ecdf::from_durations(&intervals);
+    Some(SubmissionAnalysis {
+        system: trace.system.clone(),
+        rate: RateRow {
+            max: count_summary.max,
+            avg: count_summary.mean,
+            min: count_summary.min,
+            fairness: jain_fairness_counts(&counts),
+        },
+        interval_summary: Summary::of_durations(&intervals),
+        interval_cdf: ecdf.curve(0.0, 2_000.0, 101),
+        intervals: Some(ecdf),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgc_trace::{Priority, TraceBuilder, UserId};
+
+    fn trace_with_submits(times: &[u64], horizon: u64) -> Trace {
+        let mut b = TraceBuilder::new("t", horizon);
+        for &t in times {
+            b.add_job(UserId(0), Priority::from_level(1), t);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn rate_row() {
+        // 3 jobs in hour 0, 1 in hour 1, 0 in hour 2.
+        let trace = trace_with_submits(&[0, 10, 20, 4_000], 3 * HOUR);
+        let a = submission_analysis(&trace).unwrap();
+        assert_eq!(a.rate.max, 3.0);
+        assert_eq!(a.rate.min, 0.0);
+        assert!((a.rate.avg - 4.0 / 3.0).abs() < 1e-12);
+        // fairness = (sum)^2 / (n * sum_sq) = 16 / (3 * 10).
+        assert!((a.rate.fairness - 16.0 / 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intervals() {
+        let trace = trace_with_submits(&[0, 100, 300], HOUR);
+        let a = submission_analysis(&trace).unwrap();
+        assert_eq!(a.interval_summary.count, 2);
+        assert_eq!(a.interval_summary.min, 100.0);
+        assert_eq!(a.interval_summary.max, 200.0);
+        let cdf = a.intervals().unwrap();
+        assert_eq!(cdf.eval(100.0), 0.5);
+        assert_eq!(cdf.eval(200.0), 1.0);
+    }
+
+    #[test]
+    fn too_few_jobs() {
+        assert!(submission_analysis(&trace_with_submits(&[5], HOUR)).is_none());
+        assert!(submission_analysis(&trace_with_submits(&[], HOUR)).is_none());
+    }
+
+    #[test]
+    fn curve_axis_matches_fig5() {
+        let trace = trace_with_submits(&[0, 50, 90, 4_000], 2 * HOUR);
+        let a = submission_analysis(&trace).unwrap();
+        assert_eq!(a.interval_cdf.first().unwrap().0, 0.0);
+        assert_eq!(a.interval_cdf.last().unwrap().0, 2_000.0);
+    }
+}

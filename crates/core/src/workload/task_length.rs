@@ -1,0 +1,147 @@
+//! Task-length mass–count analysis (paper Fig. 4 and the §VI headlines).
+//!
+//! Task length is the accumulated execution time across attempts. The
+//! paper's signature result: Google's task lengths follow the Pareto
+//! principle far more strongly than AuverGrid's — joint ratio 6/94 versus
+//! 24/76 — because the handful of week-long services carries almost all the
+//! compute mass while 55% of tasks finish within 10 minutes.
+
+use cgc_stats::{MassCount, MassCountSummary, Summary};
+use cgc_trace::{Trace, HOUR, MINUTE};
+use serde::{Deserialize, Serialize};
+
+/// Task-length analysis of one system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskLengthAnalysis {
+    /// System label.
+    pub system: String,
+    /// Scalar summary of execution times (seconds).
+    pub summary: Summary,
+    /// Mass–count summary (joint ratio, mm-distance in seconds).
+    pub masscount: MassCountSummary,
+    /// Fraction of tasks finishing within 10 minutes (§VI: ≈ 55%).
+    pub frac_under_10min: f64,
+    /// Fraction under 1 hour (§VI: ≈ 90%).
+    pub frac_under_1h: f64,
+    /// Fraction under 3 hours (Fig. 4: ≈ 94%).
+    pub frac_under_3h: f64,
+    /// `(length_days, count_cdf, mass_cdf)` staircase for plotting Fig. 4,
+    /// decimated to at most 512 points.
+    pub curves_days: Vec<(f64, f64, f64)>,
+}
+
+/// Analyzes task execution times; `None` if no task ever ran (or all
+/// execution times are zero).
+pub fn task_length_analysis(trace: &Trace) -> Option<TaskLengthAnalysis> {
+    let lengths = trace.task_execution_times();
+    let mc = MassCount::from_durations(&lengths)?;
+    let n = lengths.len() as f64;
+    let frac_under = |secs: f64| lengths.iter().filter(|&&l| (l as f64) <= secs).count() as f64 / n;
+    let day = cgc_trace::DAY as f64;
+    let curves = decimate(mc.curves(), 512)
+        .into_iter()
+        .map(|(x, fc, fm)| (x / day, fc, fm))
+        .collect();
+    Some(TaskLengthAnalysis {
+        system: trace.system.clone(),
+        summary: Summary::of_durations(&lengths),
+        masscount: mc.summary(),
+        frac_under_10min: frac_under(10.0 * MINUTE as f64),
+        frac_under_1h: frac_under(HOUR as f64),
+        frac_under_3h: frac_under(3.0 * HOUR as f64),
+        curves_days: curves,
+    })
+}
+
+fn decimate<T: Copy>(points: Vec<T>, max: usize) -> Vec<T> {
+    if points.len() <= max {
+        return points;
+    }
+    let step = points.len() as f64 / max as f64;
+    let mut out: Vec<T> = (0..max)
+        .map(|i| points[(i as f64 * step) as usize])
+        .collect();
+    if let Some(&last) = points.last() {
+        *out.last_mut().expect("max >= 1") = last;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgc_trace::task::{TaskEvent, TaskEventKind};
+    use cgc_trace::{Demand, MachineId, Priority, TraceBuilder, UserId};
+
+    fn trace_with_exec_times(lengths: &[u64]) -> Trace {
+        let mut b = TraceBuilder::new("t", u64::MAX / 2);
+        b.add_machine(1.0, 1.0, 1.0);
+        for (i, &len) in lengths.iter().enumerate() {
+            let submit = i as u64;
+            let j = b.add_job(UserId(0), Priority::from_level(2), submit);
+            let t = b.add_task(j, Demand::new(0.01, 0.01));
+            b.push_event(TaskEvent {
+                time: submit,
+                task: t,
+                machine: None,
+                kind: TaskEventKind::Submit,
+            });
+            b.push_event(TaskEvent {
+                time: submit,
+                task: t,
+                machine: Some(MachineId(0)),
+                kind: TaskEventKind::Schedule,
+            });
+            b.push_event(TaskEvent {
+                time: submit + len,
+                task: t,
+                machine: Some(MachineId(0)),
+                kind: TaskEventKind::Finish,
+            });
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn quantile_fractions() {
+        let lengths = [60, 300, 500, 3_000, 2 * HOUR, 10 * HOUR];
+        let a = task_length_analysis(&trace_with_exec_times(&lengths)).unwrap();
+        assert!((a.frac_under_10min - 3.0 / 6.0).abs() < 1e-12);
+        assert!((a.frac_under_1h - 4.0 / 6.0).abs() < 1e-12);
+        assert!((a.frac_under_3h - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn masscount_summary_present() {
+        let a = task_length_analysis(&trace_with_exec_times(&[10, 10, 10, 1_000])).unwrap();
+        assert_eq!(a.masscount.items, 4);
+        assert!(a.masscount.mm_distance > 0.0);
+    }
+
+    #[test]
+    fn curves_in_days() {
+        let day = cgc_trace::DAY;
+        let a = task_length_analysis(&trace_with_exec_times(&[day, 2 * day])).unwrap();
+        let xs: Vec<f64> = a.curves_days.iter().map(|p| p.0).collect();
+        assert!((xs[0] - 1.0).abs() < 1e-9);
+        assert!((xs.last().unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn none_when_nothing_ran() {
+        let mut b = TraceBuilder::new("t", 100);
+        b.add_job(UserId(0), Priority::from_level(1), 0);
+        let trace = b.build().unwrap();
+        assert!(task_length_analysis(&trace).is_none());
+    }
+
+    #[test]
+    fn decimation_bounds_points() {
+        let lengths: Vec<u64> = (1..2_000).collect();
+        let a = task_length_analysis(&trace_with_exec_times(&lengths)).unwrap();
+        assert!(a.curves_days.len() <= 512);
+        // Last point still reaches CDF 1.
+        let last = a.curves_days.last().unwrap();
+        assert!((last.1 - 1.0).abs() < 1e-9);
+    }
+}

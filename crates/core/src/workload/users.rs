@@ -1,0 +1,101 @@
+//! Per-user workload analysis.
+//!
+//! The trace attributes every job to a user, and cloud workload studies
+//! consistently find extreme user skew: a handful of power users (or
+//! service accounts) submit most of the jobs. The Gini coefficient and
+//! top-k shares quantify that skew; the submission-stability contrast of
+//! Table I partly reflects it (many independent users smooth the cloud's
+//! aggregate arrival stream).
+
+use cgc_stats::{gini, Summary};
+use cgc_trace::Trace;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-user activity statistics for one trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserActivity {
+    /// Number of distinct users that submitted at least one job.
+    pub users: usize,
+    /// Summary of jobs-per-user.
+    pub jobs_per_user: Summary,
+    /// Gini coefficient of jobs-per-user (0 = all users equal).
+    pub gini: f64,
+    /// Fraction of jobs submitted by the most active 10% of users.
+    pub top_decile_share: f64,
+    /// Fraction of jobs submitted by the single most active user.
+    pub top_user_share: f64,
+}
+
+/// Computes user-activity statistics; `None` for traces without jobs.
+pub fn user_activity(trace: &Trace) -> Option<UserActivity> {
+    if trace.jobs.is_empty() {
+        return None;
+    }
+    let mut counts: HashMap<u32, u64> = HashMap::new();
+    for job in &trace.jobs {
+        *counts.entry(job.user.0).or_insert(0) += 1;
+    }
+    let mut per_user: Vec<f64> = counts.values().map(|&c| c as f64).collect();
+    per_user.sort_by(|a, b| b.partial_cmp(a).expect("counts are finite"));
+    let total: f64 = per_user.iter().sum();
+    let decile = per_user.len().div_ceil(10);
+    let top_decile: f64 = per_user[..decile].iter().sum();
+    Some(UserActivity {
+        users: per_user.len(),
+        jobs_per_user: Summary::of(&per_user),
+        gini: gini(&per_user),
+        top_decile_share: top_decile / total,
+        top_user_share: per_user[0] / total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgc_trace::{Priority, TraceBuilder, UserId};
+
+    fn trace_with_users(user_jobs: &[(u32, usize)]) -> Trace {
+        let mut b = TraceBuilder::new("t", 1_000);
+        for &(user, jobs) in user_jobs {
+            for i in 0..jobs {
+                b.add_job(UserId(user), Priority::from_level(1), i as u64);
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn equal_users_have_zero_gini() {
+        let trace = trace_with_users(&[(0, 5), (1, 5), (2, 5), (3, 5)]);
+        let a = user_activity(&trace).unwrap();
+        assert_eq!(a.users, 4);
+        assert!(a.gini.abs() < 1e-12);
+        assert!((a.top_user_share - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewed_users() {
+        let trace = trace_with_users(&[(0, 90), (1, 5), (2, 3), (3, 2)]);
+        let a = user_activity(&trace).unwrap();
+        assert!(a.gini > 0.5, "gini={}", a.gini);
+        assert!((a.top_user_share - 0.9).abs() < 1e-12);
+        // Top decile of 4 users = 1 user = the dominant one.
+        assert!((a.top_decile_share - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let trace = TraceBuilder::new("t", 10).build().unwrap();
+        assert!(user_activity(&trace).is_none());
+    }
+
+    #[test]
+    fn jobs_per_user_summary() {
+        let trace = trace_with_users(&[(0, 10), (1, 2)]);
+        let a = user_activity(&trace).unwrap();
+        assert_eq!(a.jobs_per_user.max, 10.0);
+        assert_eq!(a.jobs_per_user.min, 2.0);
+        assert_eq!(a.jobs_per_user.mean, 6.0);
+    }
+}

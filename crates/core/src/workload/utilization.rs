@@ -1,0 +1,109 @@
+//! Per-job resource utilization (paper Fig. 6).
+//!
+//! CPU usage follows the paper's Formula 4 — cumulative CPU time over all
+//! processors divided by wall-clock time — so a sequential Google job scores
+//! below 1 while a width-4 grid job scores ≈ 4. Memory is the job's mean
+//! held memory; because the Google trace only publishes normalized values,
+//! Fig. 6(b) de-normalizes under assumed 32 GB / 64 GB machine capacities,
+//! which [`job_memory_mb`] reproduces via its `max_capacity_gb` parameter.
+
+use cgc_stats::Ecdf;
+use cgc_trace::Trace;
+
+/// ECDF of per-job CPU usage in processor units; `None` if no job finished.
+pub fn job_cpu_usage(trace: &Trace) -> Option<Ecdf> {
+    let usages: Vec<f64> = trace.jobs.iter().filter_map(|j| j.cpu_usage()).collect();
+    if usages.is_empty() {
+        None
+    } else {
+        Some(Ecdf::new(usages))
+    }
+}
+
+/// ECDF of per-job mean memory in MB, de-normalized under the given
+/// maximum machine capacity in GB; `None` if the trace has no jobs.
+pub fn job_memory_mb(trace: &Trace, max_capacity_gb: f64) -> Option<Ecdf> {
+    assert!(max_capacity_gb > 0.0, "capacity must be positive");
+    if trace.jobs.is_empty() {
+        return None;
+    }
+    let values: Vec<f64> = trace
+        .jobs
+        .iter()
+        .map(|j| j.mean_memory * max_capacity_gb * 1_024.0)
+        .collect();
+    Some(Ecdf::new(values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgc_trace::task::{TaskEvent, TaskEventKind};
+    use cgc_trace::{Demand, JobId, MachineId, Priority, TraceBuilder, UserId};
+
+    /// One finished job with the given cpu-seconds over a 100 s wallclock,
+    /// and the given normalized mean memory.
+    fn trace_with_jobs(specs: &[(f64, f64)]) -> Trace {
+        let mut b = TraceBuilder::new("t", 1_000_000);
+        b.add_machine(1.0, 1.0, 1.0);
+        for (i, &(cpu_seconds, mem)) in specs.iter().enumerate() {
+            let submit = i as u64 * 200;
+            let j = b.add_job(UserId(0), Priority::from_level(2), submit);
+            let t = b.add_task(j, Demand::new(0.1, 0.1));
+            b.set_job_usage(JobId::from(i), cpu_seconds, mem);
+            b.push_event(TaskEvent {
+                time: submit,
+                task: t,
+                machine: None,
+                kind: TaskEventKind::Submit,
+            });
+            b.push_event(TaskEvent {
+                time: submit,
+                task: t,
+                machine: Some(MachineId(0)),
+                kind: TaskEventKind::Schedule,
+            });
+            b.push_event(TaskEvent {
+                time: submit + 100,
+                task: t,
+                machine: Some(MachineId(0)),
+                kind: TaskEventKind::Finish,
+            });
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn cpu_usage_in_processor_units() {
+        // 100 s wallclock at 200 core-seconds = 2 processors.
+        let trace = trace_with_jobs(&[(200.0, 0.0), (50.0, 0.0)]);
+        let e = job_cpu_usage(&trace).unwrap();
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.max(), 2.0);
+        assert_eq!(e.min(), 0.5);
+    }
+
+    #[test]
+    fn memory_denormalization() {
+        // mean_memory 0.01 at 32 GB => 327.68 MB; at 64 GB => 655.36 MB.
+        let trace = trace_with_jobs(&[(0.0, 0.01)]);
+        let at32 = job_memory_mb(&trace, 32.0).unwrap();
+        let at64 = job_memory_mb(&trace, 64.0).unwrap();
+        assert!((at32.max() - 327.68).abs() < 1e-9);
+        assert!((at64.max() - 655.36).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_traces_yield_none() {
+        let trace = TraceBuilder::new("t", 10).build().unwrap();
+        assert!(job_cpu_usage(&trace).is_none());
+        assert!(job_memory_mb(&trace, 32.0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let trace = trace_with_jobs(&[(1.0, 0.1)]);
+        let _ = job_memory_mb(&trace, 0.0);
+    }
+}

@@ -1,0 +1,295 @@
+//! Arrival processes.
+//!
+//! Table I of the paper distills each system's submission behaviour into a
+//! per-hour rate profile: Google is fast and stable (552 jobs/h on average,
+//! fairness 0.94), grids are slow, diurnal and extremely bursty (SHARCNET
+//! peaks at 22 334 jobs/h against an average of 126, fairness 0.04).
+//!
+//! The generators here work in two stages that mirror that structure:
+//! first a *rate profile* fixes the expected number of submissions for
+//! every hour of the horizon (diurnal modulation × rare dips × rare burst
+//! spikes), then a Poisson draw per hour places individual submissions
+//! uniformly inside their hour. Batch bursts additionally collapse a whole
+//! group of submissions into a few minutes, which is how grid users submit
+//! parameter sweeps.
+
+use crate::dist::Dist;
+use cgc_trace::{Timestamp, HOUR};
+use rand::Rng;
+use rand_distr::{Distribution, Poisson};
+use serde::{Deserialize, Serialize};
+
+/// Per-hour rate profile configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RateProfile {
+    /// Mean submissions per hour before modulation.
+    pub mean_per_hour: f64,
+    /// Diurnal modulation amplitude in `[0, 1]`: the hourly rate swings
+    /// between `mean·(1−a)` and `mean·(1+a)` over each day.
+    pub diurnal_amplitude: f64,
+    /// Hour of day (0–23) at which the rate peaks.
+    pub peak_hour: f64,
+    /// Multiplicative log-normal jitter (σ of the log) applied per hour.
+    pub jitter_sigma: f64,
+    /// Probability that an hour is a *dead hour* — grid maintenance
+    /// windows and idle nights.
+    pub dead_hour_prob: f64,
+    /// Rate multiplier applied during a dead hour: 0 silences the hour
+    /// completely (grids); a small positive floor models partial outages
+    /// (the Google trace's minimum of 36 jobs/hour against a 552 mean).
+    pub dead_hour_floor: f64,
+    /// Probability that an hour carries a *burst*.
+    pub burst_prob: f64,
+    /// Burst size distribution (extra submissions landing within the
+    /// burst window).
+    pub burst_size: Dist,
+    /// Width of a burst in seconds (submissions spread uniformly in it).
+    pub burst_width: u64,
+    /// Optional sustained busy period (the Google trace runs hot around
+    /// days 21–25, visible in Fig. 10).
+    pub surge: Option<Surge>,
+}
+
+/// A sustained rate surge over a fraction of the horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Surge {
+    /// Start, as a fraction of the horizon in `[0, 1]`.
+    pub start_frac: f64,
+    /// End, as a fraction of the horizon.
+    pub end_frac: f64,
+    /// Rate multiplier inside the window.
+    pub factor: f64,
+}
+
+impl RateProfile {
+    /// A stable, almost flat profile — the cloud shape.
+    pub fn stable(mean_per_hour: f64) -> Self {
+        RateProfile {
+            mean_per_hour,
+            diurnal_amplitude: 0.12,
+            peak_hour: 15.0,
+            jitter_sigma: 0.18,
+            dead_hour_prob: 0.0,
+            dead_hour_floor: 0.0,
+            burst_prob: 0.0,
+            burst_size: Dist::Constant(0.0),
+            burst_width: HOUR,
+            surge: None,
+        }
+    }
+
+    /// Expected (pre-jitter) rate at hour-of-trace `h`.
+    pub fn base_rate(&self, h: u64) -> f64 {
+        let hour_of_day = (h % 24) as f64;
+        let phase = (hour_of_day - self.peak_hour) / 24.0 * std::f64::consts::TAU;
+        self.mean_per_hour * (1.0 + self.diurnal_amplitude * phase.cos())
+    }
+
+    /// Samples the realized rate for hour `h`.
+    pub fn sample_rate<R: Rng + ?Sized>(&self, h: u64, rng: &mut R) -> f64 {
+        if self.dead_hour_prob > 0.0 && rng.gen_bool(self.dead_hour_prob) {
+            return self.base_rate(h) * self.dead_hour_floor;
+        }
+        let mut rate = self.base_rate(h);
+        if self.jitter_sigma > 0.0 {
+            rate *= Dist::LogNormal {
+                median: 1.0,
+                sigma: self.jitter_sigma,
+            }
+            .sample(rng);
+        }
+        rate.max(0.0)
+    }
+}
+
+/// Generates submission timestamps over `[0, horizon)` following a profile.
+///
+/// Returned timestamps are sorted.
+pub fn generate_arrivals<R: Rng + ?Sized>(
+    profile: &RateProfile,
+    horizon: u64,
+    rng: &mut R,
+) -> Vec<Timestamp> {
+    assert!(horizon > 0, "horizon must be positive");
+    let hours = horizon.div_ceil(HOUR);
+    let mut times = Vec::new();
+    for h in 0..hours {
+        let start = h * HOUR;
+        let end = (start + HOUR).min(horizon);
+        let span = end - start;
+
+        let mut rate = profile.sample_rate(h, rng) * span as f64 / HOUR as f64;
+        if let Some(surge) = &profile.surge {
+            let frac = start as f64 / horizon as f64;
+            if frac >= surge.start_frac && frac < surge.end_frac {
+                rate *= surge.factor;
+            }
+        }
+        let n = sample_poisson(rate, rng);
+        for _ in 0..n {
+            times.push(start + rng.gen_range(0..span));
+        }
+
+        if profile.burst_prob > 0.0 && rng.gen_bool(profile.burst_prob) {
+            let extra = profile.burst_size.sample(rng).round().max(0.0) as u64;
+            let burst_start = start + rng.gen_range(0..span);
+            let width = profile.burst_width.max(1);
+            for _ in 0..extra {
+                let t = burst_start + rng.gen_range(0..width);
+                if t < horizon {
+                    times.push(t);
+                }
+            }
+        }
+    }
+    times.sort_unstable();
+    times
+}
+
+fn sample_poisson<R: Rng + ?Sized>(rate: f64, rng: &mut R) -> u64 {
+    if rate <= 0.0 {
+        return 0;
+    }
+    let poisson = Poisson::new(rate).expect("rate checked positive and finite");
+    poisson.sample(rng) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgc_trace::DAY;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn stable_profile_hits_mean_rate() {
+        let p = RateProfile::stable(500.0);
+        let mut r = rng();
+        let times = generate_arrivals(&p, 10 * DAY, &mut r);
+        let per_hour = times.len() as f64 / (10.0 * 24.0);
+        assert!((per_hour - 500.0).abs() < 30.0, "per_hour={per_hour}");
+    }
+
+    #[test]
+    fn arrivals_sorted_and_in_range() {
+        let p = RateProfile::stable(100.0);
+        let mut r = rng();
+        let times = generate_arrivals(&p, DAY, &mut r);
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        assert!(times.iter().all(|&t| t < DAY));
+    }
+
+    #[test]
+    fn diurnal_amplitude_shifts_rates() {
+        let p = RateProfile {
+            diurnal_amplitude: 0.9,
+            peak_hour: 12.0,
+            ..RateProfile::stable(100.0)
+        };
+        // Rate at the peak hour must far exceed the trough.
+        assert!(p.base_rate(12) > 5.0 * p.base_rate(0));
+    }
+
+    #[test]
+    fn dead_hours_produce_empty_hours() {
+        let p = RateProfile {
+            dead_hour_prob: 0.5,
+            jitter_sigma: 0.0,
+            ..RateProfile::stable(50.0)
+        };
+        let mut r = rng();
+        let times = generate_arrivals(&p, 30 * DAY, &mut r);
+        let counts = cgc_stats::counts_per_window(&times, HOUR, 30 * DAY);
+        let dead = counts.iter().filter(|&&c| c == 0).count() as f64 / counts.len() as f64;
+        assert!((dead - 0.5).abs() < 0.1, "dead fraction={dead}");
+    }
+
+    #[test]
+    fn bursts_raise_the_max() {
+        let base = RateProfile {
+            jitter_sigma: 0.0,
+            ..RateProfile::stable(20.0)
+        };
+        let bursty = RateProfile {
+            burst_prob: 0.02,
+            burst_size: Dist::Constant(2_000.0),
+            burst_width: 600,
+            ..base.clone()
+        };
+        let mut r = rng();
+        let calm = generate_arrivals(&base, 10 * DAY, &mut r);
+        let wild = generate_arrivals(&bursty, 10 * DAY, &mut r);
+        let max_calm = cgc_stats::counts_per_window(&calm, HOUR, 10 * DAY)
+            .into_iter()
+            .max()
+            .unwrap();
+        let max_wild = cgc_stats::counts_per_window(&wild, HOUR, 10 * DAY)
+            .into_iter()
+            .max()
+            .unwrap();
+        assert!(max_wild > 10 * max_calm, "calm={max_calm} wild={max_wild}");
+    }
+
+    #[test]
+    fn stable_profile_has_high_fairness() {
+        let p = RateProfile::stable(500.0);
+        let mut r = rng();
+        let times = generate_arrivals(&p, 30 * DAY, &mut r);
+        let counts = cgc_stats::counts_per_window(&times, HOUR, 30 * DAY);
+        let f = cgc_stats::fairness::jain_fairness_counts(&counts);
+        assert!(f > 0.9, "fairness={f}");
+    }
+
+    #[test]
+    fn bursty_diurnal_profile_has_low_fairness() {
+        let p = RateProfile {
+            diurnal_amplitude: 0.8,
+            dead_hour_prob: 0.4,
+            jitter_sigma: 1.0,
+            burst_prob: 0.01,
+            burst_size: Dist::BoundedPareto {
+                alpha: 0.8,
+                lo: 200.0,
+                hi: 20_000.0,
+            },
+            burst_width: 1_200,
+            ..RateProfile::stable(50.0)
+        };
+        let mut r = rng();
+        let times = generate_arrivals(&p, 30 * DAY, &mut r);
+        let counts = cgc_stats::counts_per_window(&times, HOUR, 30 * DAY);
+        let f = cgc_stats::fairness::jain_fairness_counts(&counts);
+        assert!(f < 0.4, "fairness={f}");
+    }
+
+    #[test]
+    fn determinism() {
+        let p = RateProfile::stable(100.0);
+        let a = generate_arrivals(&p, DAY, &mut StdRng::seed_from_u64(9));
+        let b = generate_arrivals(&p, DAY, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon must be positive")]
+    fn zero_horizon_rejected() {
+        let _ = generate_arrivals(&RateProfile::stable(1.0), 0, &mut rng());
+    }
+
+    #[test]
+    fn partial_final_hour_scales_rate() {
+        let p = RateProfile {
+            jitter_sigma: 0.0,
+            ..RateProfile::stable(3600.0)
+        };
+        let mut r = rng();
+        // Horizon of 90 s: expect ~90 arrivals, not ~3600.
+        let times = generate_arrivals(&p, 90, &mut r);
+        assert!(times.len() < 300, "n={}", times.len());
+        assert!(times.iter().all(|&t| t < 90));
+    }
+}

@@ -1,0 +1,375 @@
+//! Size distributions for lengths, demands and burst sizes.
+//!
+//! Workload modeling needs a small algebra of positive-valued
+//! distributions. `rand_distr` supplies the exact samplers (log-normal,
+//! exponential); the trace-specific pieces — log-uniform segments and the
+//! bounded Pareto that gives task lengths their heavy tail — are implemented
+//! here, together with a weighted [`Mixture`] used to hit the paper's
+//! published quantiles exactly.
+
+use rand::Rng;
+use rand_distr::{Distribution, Exp, LogNormal};
+use serde::{Deserialize, Serialize};
+
+/// A positive-valued distribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Dist {
+    /// Always `value`.
+    Constant(f64),
+    /// Uniform over `[lo, hi)`.
+    Uniform {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Log-uniform over `[lo, hi)`: uniform in log-space, so each decade
+    /// gets equal probability. The natural "spread evenly across scales"
+    /// filler between two published quantiles.
+    LogUniform {
+        /// Lower bound (> 0).
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Exponential with the given mean.
+    Exp {
+        /// Mean value.
+        mean: f64,
+    },
+    /// Log-normal parameterized by its median and the σ of the log.
+    LogNormal {
+        /// Median (= e^μ).
+        median: f64,
+        /// Standard deviation of ln X.
+        sigma: f64,
+    },
+    /// Pareto truncated to `[lo, hi]` via inverse-CDF sampling.
+    ///
+    /// With `alpha < 1` the mass concentrates in the largest items — the
+    /// regime of Google's task lengths (94% of tasks are short, yet the
+    /// month-long services dominate the total compute mass).
+    BoundedPareto {
+        /// Tail exponent.
+        alpha: f64,
+        /// Lower bound (> 0).
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+}
+
+impl Dist {
+    /// Draws one value.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            Dist::Constant(v) => v,
+            Dist::Uniform { lo, hi } => rng.gen_range(lo..hi),
+            Dist::LogUniform { lo, hi } => {
+                debug_assert!(lo > 0.0 && hi > lo);
+                let u = rng.gen_range(lo.ln()..hi.ln());
+                u.exp()
+            }
+            Dist::Exp { mean } => {
+                let d = Exp::new(1.0 / mean).expect("mean must be positive");
+                d.sample(rng)
+            }
+            Dist::LogNormal { median, sigma } => {
+                let d = LogNormal::new(median.ln(), sigma).expect("sigma must be finite");
+                d.sample(rng)
+            }
+            Dist::BoundedPareto { alpha, lo, hi } => {
+                debug_assert!(alpha > 0.0 && lo > 0.0 && hi > lo);
+                // Inverse CDF of the truncated Pareto.
+                let u: f64 = rng.gen_range(0.0..1.0);
+                let la = lo.powf(alpha);
+                let ha = hi.powf(alpha);
+                (-(u * (1.0 - la / ha) - 1.0) / la).powf(-1.0 / alpha)
+            }
+        }
+    }
+
+    /// Draws a value clamped into `[lo, hi]`. Useful for demand
+    /// distributions whose tails must not exceed machine capacity.
+    pub fn sample_clamped<R: Rng + ?Sized>(&self, rng: &mut R, lo: f64, hi: f64) -> f64 {
+        self.sample(rng).clamp(lo, hi)
+    }
+}
+
+/// A finite weighted mixture of [`Dist`] components.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mixture {
+    /// `(cumulative weight, component)` with the last cumulative weight
+    /// equal to 1.
+    cumulative: Vec<(f64, Dist)>,
+}
+
+impl Mixture {
+    /// Builds a mixture from `(weight, component)` pairs. Weights are
+    /// normalized; they must be positive and sum to something positive.
+    pub fn new(components: Vec<(f64, Dist)>) -> Self {
+        assert!(
+            !components.is_empty(),
+            "mixture needs at least one component"
+        );
+        assert!(
+            components.iter().all(|(w, _)| *w > 0.0 && w.is_finite()),
+            "mixture weights must be positive"
+        );
+        let total: f64 = components.iter().map(|(w, _)| w).sum();
+        let mut acc = 0.0;
+        let cumulative = components
+            .into_iter()
+            .map(|(w, d)| {
+                acc += w / total;
+                (acc, d)
+            })
+            .collect::<Vec<_>>();
+        Mixture { cumulative }
+    }
+
+    /// Draws one value.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let idx = self.cumulative.partition_point(|(c, _)| *c < u);
+        let (_, dist) = &self.cumulative[idx.min(self.cumulative.len() - 1)];
+        dist.sample(rng)
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Always false; construction rejects empty mixtures.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Draws an index from a discrete weighted distribution.
+///
+/// Used for priority levels (Fig. 2 histogram) and machine capacity
+/// classes.
+pub fn weighted_index<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> usize {
+    assert!(
+        !weights.is_empty(),
+        "weighted_index needs at least one weight"
+    );
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weights must sum to a positive value");
+    let mut u = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if u < w {
+            return i;
+        }
+        u -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    fn draw_many(d: &Dist, n: usize) -> Vec<f64> {
+        let mut r = rng();
+        (0..n).map(|_| d.sample(&mut r)).collect()
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        assert!(draw_many(&Dist::Constant(3.5), 10)
+            .iter()
+            .all(|&v| v == 3.5));
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let xs = draw_many(&Dist::Uniform { lo: 2.0, hi: 5.0 }, 1000);
+        assert!(xs.iter().all(|&v| (2.0..5.0).contains(&v)));
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 3.5).abs() < 0.1, "mean={mean}");
+    }
+
+    #[test]
+    fn log_uniform_bounds_and_scale_balance() {
+        let xs = draw_many(&Dist::LogUniform { lo: 1.0, hi: 100.0 }, 4000);
+        assert!(xs.iter().all(|&v| (1.0..100.0).contains(&v)));
+        // Each decade gets ~half the mass.
+        let below10 = xs.iter().filter(|&&v| v < 10.0).count() as f64 / xs.len() as f64;
+        assert!((below10 - 0.5).abs() < 0.05, "below10={below10}");
+    }
+
+    #[test]
+    fn exp_mean() {
+        let xs = draw_many(&Dist::Exp { mean: 4.0 }, 20_000);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 4.0).abs() < 0.2, "mean={mean}");
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let xs = draw_many(
+            &Dist::LogNormal {
+                median: 10.0,
+                sigma: 1.0,
+            },
+            20_000,
+        );
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        assert!((median - 10.0).abs() < 1.0, "median={median}");
+    }
+
+    #[test]
+    fn bounded_pareto_respects_bounds() {
+        let d = Dist::BoundedPareto {
+            alpha: 0.7,
+            lo: 10.0,
+            hi: 1000.0,
+        };
+        let xs = draw_many(&d, 5000);
+        assert!(xs.iter().all(|&v| (10.0..=1000.0 + 1e-9).contains(&v)));
+        // Heavy concentration near the lower bound.
+        let below100 = xs.iter().filter(|&&v| v < 100.0).count() as f64 / xs.len() as f64;
+        assert!(below100 > 0.6, "below100={below100}");
+    }
+
+    #[test]
+    fn bounded_pareto_tail_mass_grows_with_smaller_alpha() {
+        let heavy = Dist::BoundedPareto {
+            alpha: 0.4,
+            lo: 1.0,
+            hi: 1e6,
+        };
+        let light = Dist::BoundedPareto {
+            alpha: 1.8,
+            lo: 1.0,
+            hi: 1e6,
+        };
+        let sum_heavy: f64 = draw_many(&heavy, 5000).iter().sum();
+        let sum_light: f64 = draw_many(&light, 5000).iter().sum();
+        assert!(
+            sum_heavy > 10.0 * sum_light,
+            "heavy={sum_heavy} light={sum_light}"
+        );
+    }
+
+    #[test]
+    fn sample_clamped_clamps() {
+        let d = Dist::Constant(5.0);
+        let mut r = rng();
+        assert_eq!(d.sample_clamped(&mut r, 0.0, 1.0), 1.0);
+        assert_eq!(d.sample_clamped(&mut r, 6.0, 9.0), 6.0);
+    }
+
+    #[test]
+    fn mixture_weights_respected() {
+        let m = Mixture::new(vec![(0.8, Dist::Constant(1.0)), (0.2, Dist::Constant(2.0))]);
+        let mut r = rng();
+        let n = 10_000;
+        let ones = (0..n).filter(|_| m.sample(&mut r) == 1.0).count() as f64 / n as f64;
+        assert!((ones - 0.8).abs() < 0.02, "ones={ones}");
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn mixture_normalizes_weights() {
+        let m = Mixture::new(vec![(8.0, Dist::Constant(1.0)), (2.0, Dist::Constant(2.0))]);
+        let mut r = rng();
+        let n = 10_000;
+        let ones = (0..n).filter(|_| m.sample(&mut r) == 1.0).count() as f64 / n as f64;
+        assert!((ones - 0.8).abs() < 0.02, "ones={ones}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one component")]
+    fn empty_mixture_rejected() {
+        let _ = Mixture::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn nonpositive_weight_rejected() {
+        let _ = Mixture::new(vec![(0.0, Dist::Constant(1.0))]);
+    }
+
+    #[test]
+    fn weighted_index_distribution() {
+        let mut r = rng();
+        let weights = [1.0, 3.0];
+        let n = 20_000;
+        let ones = (0..n)
+            .filter(|_| weighted_index(&weights, &mut r) == 1)
+            .count() as f64
+            / n as f64;
+        assert!((ones - 0.75).abs() < 0.02, "ones={ones}");
+    }
+
+    #[test]
+    fn weighted_index_single() {
+        let mut r = rng();
+        assert_eq!(weighted_index(&[2.0], &mut r), 0);
+    }
+
+    #[test]
+    fn determinism_under_seed() {
+        let d = Dist::LogNormal {
+            median: 5.0,
+            sigma: 0.5,
+        };
+        let a: Vec<f64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..50).map(|_| d.sample(&mut r)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..50).map(|_| d.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        /// All distributions produce positive, finite values for sane params.
+        #[test]
+        fn positive_finite(seed in 0u64..1000) {
+            let mut r = StdRng::seed_from_u64(seed);
+            let dists = [
+                Dist::Uniform { lo: 0.5, hi: 2.0 },
+                Dist::LogUniform { lo: 0.1, hi: 10.0 },
+                Dist::Exp { mean: 3.0 },
+                Dist::LogNormal { median: 1.0, sigma: 1.5 },
+                Dist::BoundedPareto { alpha: 0.9, lo: 1.0, hi: 100.0 },
+            ];
+            for d in &dists {
+                let v = d.sample(&mut r);
+                prop_assert!(v.is_finite() && v > 0.0, "{d:?} gave {v}");
+            }
+        }
+
+        /// weighted_index never exceeds bounds.
+        #[test]
+        fn weighted_index_in_range(weights in prop::collection::vec(0.01f64..10.0, 1..20),
+                                   seed in 0u64..1000) {
+            let mut r = StdRng::seed_from_u64(seed);
+            let idx = weighted_index(&weights, &mut r);
+            prop_assert!(idx < weights.len());
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Heterogeneous machine fleet generation.
+//!
+//! The Google fleet mixes a few discrete platform configurations; the trace
+//! exposes them as normalized capacity classes (paper Fig. 7 dotted lines).
+//! [`FleetConfig::google`] uses a plausible class mix with most machines at
+//! half the maximum CPU and memory; grid fleets are homogeneous.
+
+use crate::dist::weighted_index;
+use cgc_trace::{MachineRecord, TraceBuilder};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a machine fleet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Number of machines.
+    pub count: usize,
+    /// `(capacity, weight)` pairs for CPU classes.
+    pub cpu_classes: Vec<(f64, f64)>,
+    /// `(capacity, weight)` pairs for memory classes.
+    pub memory_classes: Vec<(f64, f64)>,
+    /// Page-cache capacity (uniform across the fleet).
+    pub page_cache_capacity: f64,
+}
+
+impl FleetConfig {
+    /// The Google-like heterogeneous fleet: CPU classes {0.25, 0.5, 1},
+    /// memory classes {0.25, 0.5, 0.75, 1}, dominated by mid-size machines.
+    pub fn google(count: usize) -> Self {
+        FleetConfig {
+            count,
+            cpu_classes: vec![(0.25, 0.30), (0.5, 0.55), (1.0, 0.15)],
+            memory_classes: vec![(0.25, 0.25), (0.5, 0.45), (0.75, 0.22), (1.0, 0.08)],
+            page_cache_capacity: 1.0,
+        }
+    }
+
+    /// A homogeneous grid cluster (every node identical, full capacity).
+    pub fn homogeneous(count: usize) -> Self {
+        FleetConfig {
+            count,
+            cpu_classes: vec![(1.0, 1.0)],
+            memory_classes: vec![(1.0, 1.0)],
+            page_cache_capacity: 1.0,
+        }
+    }
+
+    /// Draws the fleet.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<MachineRecord> {
+        assert!(self.count > 0, "fleet must have at least one machine");
+        let cpu_weights: Vec<f64> = self.cpu_classes.iter().map(|&(_, w)| w).collect();
+        let mem_weights: Vec<f64> = self.memory_classes.iter().map(|&(_, w)| w).collect();
+        (0..self.count)
+            .map(|i| {
+                let cpu = self.cpu_classes[weighted_index(&cpu_weights, rng)].0;
+                let mem = self.memory_classes[weighted_index(&mem_weights, rng)].0;
+                MachineRecord::new(i.into(), cpu, mem, self.page_cache_capacity)
+            })
+            .collect()
+    }
+
+    /// Adds the generated fleet to a trace builder.
+    pub fn populate<R: Rng + ?Sized>(&self, builder: &mut TraceBuilder, rng: &mut R) {
+        for m in self.generate(rng) {
+            builder.add_machine(m.cpu_capacity, m.memory_capacity, m.page_cache_capacity);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn google_fleet_uses_paper_classes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let fleet = FleetConfig::google(2_000).generate(&mut rng);
+        assert_eq!(fleet.len(), 2_000);
+        for m in &fleet {
+            assert!(cgc_trace::CPU_CAPACITY_CLASSES.contains(&m.cpu_capacity));
+            assert!(cgc_trace::MEMORY_CAPACITY_CLASSES.contains(&m.memory_capacity));
+            assert_eq!(m.page_cache_capacity, 1.0);
+        }
+        // The mid CPU class dominates.
+        let half =
+            fleet.iter().filter(|m| m.cpu_capacity == 0.5).count() as f64 / fleet.len() as f64;
+        assert!((half - 0.55).abs() < 0.05, "half-class share={half}");
+    }
+
+    #[test]
+    fn homogeneous_fleet() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let fleet = FleetConfig::homogeneous(10).generate(&mut rng);
+        assert!(fleet
+            .iter()
+            .all(|m| m.cpu_capacity == 1.0 && m.memory_capacity == 1.0));
+    }
+
+    #[test]
+    fn ids_are_dense() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let fleet = FleetConfig::google(50).generate(&mut rng);
+        for (i, m) in fleet.iter().enumerate() {
+            assert_eq!(m.id.index(), i);
+        }
+    }
+
+    #[test]
+    fn populate_adds_to_builder() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut b = TraceBuilder::new("x", 100);
+        FleetConfig::google(25).populate(&mut b, &mut rng);
+        let trace = b.build().unwrap();
+        assert_eq!(trace.machines.len(), 25);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = FleetConfig::google(100).generate(&mut StdRng::seed_from_u64(11));
+        let b = FleetConfig::google(100).generate(&mut StdRng::seed_from_u64(11));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one machine")]
+    fn empty_fleet_rejected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = FleetConfig::google(0).generate(&mut rng);
+    }
+}

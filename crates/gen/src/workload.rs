@@ -1,0 +1,307 @@
+//! Generator output: job and task specifications.
+//!
+//! A [`Workload`] is the contract between the generators and the simulator:
+//! it says *what users ask for* (submission times, priorities, demands,
+//! nominal runtimes) and leaves *what the cluster does about it*
+//! (placement, preemption, failures, sampling) to `cgc-sim`.
+//!
+//! For the paper's pure work-load analyses (Figs. 2–6, Table I) a full
+//! simulation is unnecessary: [`Workload::into_workload_trace`] converts the
+//! specification directly into a machine-less [`Trace`] whose job/task
+//! records carry the nominal runtimes.
+
+use crate::MAX_MACHINE_CORES;
+use cgc_trace::task::TaskOutcome;
+use cgc_trace::{
+    Demand, Duration, JobId, JobRecord, Priority, TaskId, TaskRecord, Timestamp, Trace, UserId,
+};
+use serde::{Deserialize, Serialize};
+
+/// Specification of one task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// Requested resources, normalized to the largest machine.
+    pub demand: Demand,
+    /// Nominal runtime if the task runs to completion undisturbed.
+    pub runtime: Duration,
+    /// Average number of *processors* the task keeps busy while running.
+    ///
+    /// Google tasks are sub-core (`< 1`); grid tasks equal their
+    /// parallel width. Feeds the paper's Formula 4 per-job CPU usage.
+    pub cpu_processors: f64,
+    /// Mean fraction of the CPU demand actually consumed (0–1); the
+    /// simulator modulates instantaneous usage around this.
+    pub utilization: f64,
+}
+
+/// Specification of one job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Submission time.
+    pub submit: Timestamp,
+    /// Submitting user.
+    pub user: UserId,
+    /// Priority for all tasks of the job.
+    pub priority: Priority,
+    /// The job's tasks.
+    pub tasks: Vec<TaskSpec>,
+}
+
+impl JobSpec {
+    /// Job length if every task starts at submission and runs nominally:
+    /// the longest task runtime (tasks run concurrently).
+    pub fn nominal_length(&self) -> Duration {
+        self.tasks.iter().map(|t| t.runtime).max().unwrap_or(0)
+    }
+
+    /// Cumulative nominal CPU time over all processors, in core-seconds.
+    pub fn nominal_cpu_seconds(&self) -> f64 {
+        self.tasks
+            .iter()
+            .map(|t| t.cpu_processors * t.runtime as f64)
+            .sum()
+    }
+
+    /// Mean memory held while active, normalized (sum of task demands).
+    pub fn nominal_memory(&self) -> f64 {
+        self.tasks
+            .iter()
+            .map(|t| t.demand.memory * t.utilization)
+            .sum()
+    }
+}
+
+/// A complete generated workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// System label ("google", "auvergrid", ...).
+    pub system: String,
+    /// Observation horizon in seconds.
+    pub horizon: Duration,
+    /// Jobs sorted by submission time.
+    pub jobs: Vec<JobSpec>,
+}
+
+impl Workload {
+    /// Total number of tasks.
+    pub fn num_tasks(&self) -> usize {
+        self.jobs.iter().map(|j| j.tasks.len()).sum()
+    }
+
+    /// Converts the specification into a workload-only trace (no machines,
+    /// no host series, no event log): every task is assumed to start at
+    /// submission and run its nominal runtime.
+    ///
+    /// This is exactly the view the paper's Section III takes of the
+    /// GWA/PWA traces, which record per-job submit/start/end times without
+    /// host-level detail. Jobs whose nominal completion falls beyond the
+    /// horizon stay uncompleted (their lengths are excluded from CDFs),
+    /// but their tasks keep the full nominal execution time: truncating at
+    /// the horizon would censor exactly the heavy tail the paper's Fig. 4
+    /// analyzes.
+    pub fn into_workload_trace(self) -> Trace {
+        let mut jobs = Vec::with_capacity(self.jobs.len());
+        let mut tasks = Vec::new();
+        for (ji, spec) in self.jobs.iter().enumerate() {
+            let id = JobId::from(ji);
+            let completion = spec.submit + spec.nominal_length();
+            let mut task_ids = Vec::with_capacity(spec.tasks.len());
+            for t in &spec.tasks {
+                let tid = TaskId::from(tasks.len());
+                task_ids.push(tid);
+                let finished = spec.submit + t.runtime <= self.horizon;
+                tasks.push(TaskRecord {
+                    id: tid,
+                    job: id,
+                    priority: spec.priority,
+                    submit_time: spec.submit,
+                    demand: t.demand,
+                    execution_time: t.runtime,
+                    attempts: 1,
+                    outcome: if finished {
+                        TaskOutcome::Finished
+                    } else {
+                        TaskOutcome::Unfinished
+                    },
+                });
+            }
+            jobs.push(JobRecord {
+                id,
+                user: spec.user,
+                priority: spec.priority,
+                submit_time: spec.submit,
+                tasks: task_ids,
+                completion_time: (completion <= self.horizon).then_some(completion),
+                cpu_seconds: spec.nominal_cpu_seconds(),
+                mean_memory: spec.nominal_memory(),
+            });
+        }
+        Trace {
+            system: self.system,
+            horizon: self.horizon,
+            machines: Vec::new(),
+            jobs,
+            tasks,
+            events: Vec::new(),
+            host_series: Vec::new(),
+        }
+    }
+}
+
+/// Converts a processor count into a normalized CPU demand.
+pub fn processors_to_demand(processors: f64) -> f64 {
+    (processors / MAX_MACHINE_CORES).min(1.0)
+}
+
+/// Zipf-weighted user sampler.
+///
+/// Real user populations are heavily skewed: a few service accounts and
+/// power users submit most jobs. Weights follow `1/rank^s`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserSampler {
+    cumulative: Vec<f64>,
+}
+
+impl UserSampler {
+    /// Creates a sampler over `users` ranks with exponent `s`.
+    pub fn zipf(users: u32, s: f64) -> Self {
+        assert!(users > 0, "need at least one user");
+        let mut acc = 0.0;
+        let cumulative = (1..=users)
+            .map(|rank| {
+                acc += 1.0 / (rank as f64).powf(s);
+                acc
+            })
+            .collect();
+        UserSampler { cumulative }
+    }
+
+    /// Draws a user id.
+    pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> cgc_trace::UserId {
+        let total = *self.cumulative.last().expect("non-empty by construction");
+        let u = rng.gen_range(0.0..total);
+        let idx = self.cumulative.partition_point(|&c| c < u);
+        cgc_trace::UserId(idx.min(self.cumulative.len() - 1) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(runtime: Duration, processors: f64) -> TaskSpec {
+        TaskSpec {
+            demand: Demand::new(processors_to_demand(processors), 0.01),
+            runtime,
+            cpu_processors: processors,
+            utilization: 0.8,
+        }
+    }
+
+    fn job(submit: Timestamp, tasks: Vec<TaskSpec>) -> JobSpec {
+        JobSpec {
+            submit,
+            user: UserId(0),
+            priority: Priority::from_level(2),
+            tasks,
+        }
+    }
+
+    #[test]
+    fn nominal_length_is_longest_task() {
+        let j = job(0, vec![task(100, 1.0), task(250, 1.0), task(50, 1.0)]);
+        assert_eq!(j.nominal_length(), 250);
+        assert_eq!(job(0, vec![]).nominal_length(), 0);
+    }
+
+    #[test]
+    fn nominal_cpu_seconds_accumulates_processors() {
+        let j = job(0, vec![task(100, 2.0), task(100, 0.5)]);
+        assert!((j.nominal_cpu_seconds() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn workload_trace_has_consistent_jobs() {
+        let w = Workload {
+            system: "test".into(),
+            horizon: 1_000,
+            jobs: vec![
+                job(10, vec![task(100, 1.0)]),
+                job(900, vec![task(500, 1.0)]),
+            ],
+        };
+        let trace = w.into_workload_trace();
+        assert_eq!(trace.jobs.len(), 2);
+        assert_eq!(trace.tasks.len(), 2);
+        // First job completes at 110.
+        assert_eq!(trace.jobs[0].completion_time, Some(110));
+        assert_eq!(trace.jobs[0].length(), Some(100));
+        // Second job would complete at 1400 > horizon: unfinished.
+        assert_eq!(trace.jobs[1].completion_time, None);
+        assert_eq!(trace.tasks[1].outcome, TaskOutcome::Unfinished);
+        // Its recorded execution keeps the nominal runtime (no censoring).
+        assert_eq!(trace.tasks[1].execution_time, 500);
+    }
+
+    #[test]
+    fn workload_trace_cpu_usage_matches_formula4() {
+        // A 2-processor task for 300 s: cpu usage = 600 / 300 = 2.
+        let w = Workload {
+            system: "test".into(),
+            horizon: 10_000,
+            jobs: vec![job(0, vec![task(300, 2.0)])],
+        };
+        let trace = w.into_workload_trace();
+        let usage = trace.jobs[0].cpu_usage().unwrap();
+        assert!((usage - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn num_tasks_counts_all_jobs() {
+        let w = Workload {
+            system: "t".into(),
+            horizon: 100,
+            jobs: vec![job(0, vec![task(1, 1.0); 3]), job(1, vec![task(1, 1.0); 2])],
+        };
+        assert_eq!(w.num_tasks(), 5);
+    }
+
+    #[test]
+    fn processors_to_demand_caps_at_one() {
+        assert!((processors_to_demand(4.0) - 0.5).abs() < 1e-12);
+        assert_eq!(processors_to_demand(100.0), 1.0);
+    }
+
+    #[test]
+    fn user_sampler_is_rank_skewed() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let sampler = UserSampler::zipf(100, 1.1);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..50_000 {
+            counts[sampler.sample(&mut rng).0 as usize] += 1;
+        }
+        // Rank 0 dominates rank 9 dominates rank 99.
+        assert!(counts[0] > 2 * counts[9], "{} vs {}", counts[0], counts[9]);
+        assert!(counts[9] > counts[99], "{} vs {}", counts[9], counts[99]);
+        // Every id stays in range and most users appear at least once.
+        let active = counts.iter().filter(|&&c| c > 0).count();
+        assert!(active > 80, "active={active}");
+    }
+
+    #[test]
+    fn user_sampler_single_user() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let sampler = UserSampler::zipf(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(sampler.sample(&mut rng), UserId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one user")]
+    fn user_sampler_zero_users_rejected() {
+        let _ = UserSampler::zipf(0, 1.0);
+    }
+}

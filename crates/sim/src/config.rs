@@ -1,0 +1,162 @@
+//! Simulator configuration.
+
+use crate::outcome::OutcomeModel;
+use cgc_gen::FleetConfig;
+use cgc_trace::{Duration, SAMPLE_PERIOD};
+use serde::{Deserialize, Serialize};
+
+/// Where to place a schedulable task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// Pick the machine with the most free CPU (ties: most free memory).
+    ///
+    /// This is the paper's description of the Google scheduler: "the best
+    /// resources will be used first, in order to optimally balance the
+    /// resource demands across machines".
+    LoadBalance,
+    /// Pick the machine with the least free CPU that still fits (packs
+    /// tasks tightly; the classic best-fit heuristic, used as an ablation
+    /// baseline).
+    BestFit,
+    /// Pick the first machine that fits, scanning in id order (grid-style
+    /// space-shared clusters).
+    FirstFit,
+}
+
+/// Full simulator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// RNG seed for fleet generation, failure injection, and usage jitter.
+    pub seed: u64,
+    /// Machine fleet to simulate.
+    pub fleet: FleetConfig,
+    /// Usage sampling period (300 s in the Google trace).
+    pub sample_period: Duration,
+    /// Placement policy.
+    pub placement: PlacementPolicy,
+    /// Whether high-priority tasks may evict lower-priority ones.
+    pub preemption: bool,
+    /// Completion-outcome model.
+    pub outcome: OutcomeModel,
+    /// Maximum resubmissions after a failure or eviction.
+    pub max_resubmits: u32,
+    /// Scheduler reaction latency in seconds (submission → earliest
+    /// scheduling decision).
+    pub schedule_latency: Duration,
+    /// σ of the per-sample log-normal jitter on task CPU usage. Cloud
+    /// tasks are interactive and bursty; grid tasks run steady kernels.
+    pub cpu_jitter_sigma: f64,
+    /// σ of the per-sample jitter on task memory usage (smaller: memory
+    /// moves slowly, per Tables II vs III).
+    pub mem_jitter_sigma: f64,
+    /// CPU overcommit factor for placement: requested CPU may sum to this
+    /// multiple of nominal capacity (CPU is compressible; the Google
+    /// scheduler overcommits it, which is how maximum CPU load reaches
+    /// nominal capacity in Fig. 7a).
+    pub cpu_overcommit: f64,
+    /// Fraction of nominal memory available to placement (memory is
+    /// incompressible; the scheduler keeps headroom, which is why
+    /// assigned-memory maxima sit near 90% of capacity in Fig. 7c).
+    pub memory_headroom: f64,
+    /// Expected machine outages per machine and day (0 disables churn).
+    ///
+    /// The Google trace records machines leaving and rejoining the
+    /// cluster; an outage fails every task on the machine (they resubmit
+    /// within budget) and the machine reports zero usage until it returns.
+    pub machine_failures_per_day: f64,
+    /// Outage duration range in seconds (uniform).
+    pub outage_duration: (u64, u64),
+}
+
+impl SimConfig {
+    /// Google-cluster configuration: preemptive priorities, load-balancing
+    /// placement, the paper's abnormal-completion mix, and noisy CPU usage.
+    pub fn google(fleet: FleetConfig) -> Self {
+        SimConfig {
+            seed: 0xC10D,
+            fleet,
+            sample_period: SAMPLE_PERIOD,
+            placement: PlacementPolicy::LoadBalance,
+            preemption: true,
+            outcome: OutcomeModel::google(),
+            max_resubmits: 3,
+            schedule_latency: 2,
+            cpu_jitter_sigma: 0.35,
+            mem_jitter_sigma: 0.015,
+            cpu_overcommit: 1.8,
+            memory_headroom: 0.92,
+            machine_failures_per_day: 0.0,
+            outage_duration: (600, 4 * 3_600),
+        }
+    }
+
+    /// Grid-cluster configuration: single-priority FCFS without
+    /// preemption, first-fit placement, rare failures, steady usage.
+    pub fn grid(fleet: FleetConfig) -> Self {
+        SimConfig {
+            seed: 0x617D,
+            fleet,
+            sample_period: SAMPLE_PERIOD,
+            placement: PlacementPolicy::FirstFit,
+            preemption: false,
+            outcome: OutcomeModel::grid(),
+            max_resubmits: 1,
+            schedule_latency: 30,
+            cpu_jitter_sigma: 0.003,
+            mem_jitter_sigma: 0.01,
+            cpu_overcommit: 1.0,
+            memory_headroom: 1.0,
+            machine_failures_per_day: 0.0,
+            outage_duration: (1_800, 12 * 3_600),
+        }
+    }
+
+    /// Replaces the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the placement policy (builder style).
+    pub fn with_placement(mut self, placement: PlacementPolicy) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Enables machine churn at the given per-machine daily outage rate.
+    pub fn with_machine_churn(mut self, failures_per_day: f64) -> Self {
+        self.machine_failures_per_day = failures_per_day;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn google_defaults_match_paper_model() {
+        let c = SimConfig::google(FleetConfig::google(10));
+        assert!(c.preemption);
+        assert_eq!(c.placement, PlacementPolicy::LoadBalance);
+        assert_eq!(c.sample_period, 300);
+        assert!(c.cpu_jitter_sigma > c.mem_jitter_sigma);
+    }
+
+    #[test]
+    fn grid_defaults_are_space_shared() {
+        let c = SimConfig::grid(FleetConfig::homogeneous(10));
+        assert!(!c.preemption);
+        assert_eq!(c.placement, PlacementPolicy::FirstFit);
+        assert!(c.cpu_jitter_sigma < 0.1);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let c = SimConfig::google(FleetConfig::google(10))
+            .with_seed(9)
+            .with_placement(PlacementPolicy::BestFit);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.placement, PlacementPolicy::BestFit);
+    }
+}

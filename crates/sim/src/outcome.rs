@@ -1,0 +1,175 @@
+//! Completion-outcome model (failure injection).
+//!
+//! The Google trace shows a striking completion mix (paper §IV.B.1): of the
+//! 44 million completion events, 59.2% are abnormal, and within the
+//! abnormal ones failures account for ~50% and user kills for ~30.7%
+//! (evictions and losses make up the rest). The simulator draws a plan for
+//! each execution attempt from the per-attempt probabilities below;
+//! evictions are *not* drawn — they emerge from priority preemption in the
+//! engine — so the drawn probabilities are calibrated slightly under the
+//! target shares.
+
+use cgc_trace::Duration;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How one execution attempt will end, decided at schedule time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AttemptPlan {
+    /// Runs to its nominal completion.
+    Finish,
+    /// Crashes after the contained fraction of its nominal runtime.
+    Fail(f64),
+    /// Killed by the user after the contained fraction.
+    Kill(f64),
+    /// Lost almost immediately (missing input data).
+    Lost(f64),
+}
+
+impl AttemptPlan {
+    /// Actual duration of the attempt given the nominal runtime.
+    /// Always at least one second, so events keep distinct order.
+    pub fn duration(&self, nominal: Duration) -> Duration {
+        let frac = match *self {
+            AttemptPlan::Finish => 1.0,
+            AttemptPlan::Fail(f) | AttemptPlan::Kill(f) | AttemptPlan::Lost(f) => f,
+        };
+        ((nominal as f64 * frac).round() as Duration).max(1)
+    }
+
+    /// Whether the attempt may be retried (failures are retried; kills and
+    /// losses are final, finishes need no retry).
+    pub fn retryable(&self) -> bool {
+        matches!(self, AttemptPlan::Fail(_))
+    }
+}
+
+/// Per-attempt outcome probabilities.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OutcomeModel {
+    /// Probability an attempt fails (crash).
+    pub p_fail: f64,
+    /// Probability the user kills the task.
+    pub p_kill: f64,
+    /// Probability the task is lost.
+    pub p_lost: f64,
+}
+
+impl OutcomeModel {
+    /// Calibrated to the Google trace's 59.2% abnormal completions
+    /// (fail 50%, kill 30.7% of abnormal), leaving room for the
+    /// preemption-driven evictions the engine adds on top.
+    pub fn google() -> Self {
+        OutcomeModel {
+            p_fail: 0.33,
+            p_kill: 0.20,
+            p_lost: 0.012,
+        }
+    }
+
+    /// Grid clusters: failures are rare and kills rarer.
+    pub fn grid() -> Self {
+        OutcomeModel {
+            p_fail: 0.05,
+            p_kill: 0.02,
+            p_lost: 0.002,
+        }
+    }
+
+    /// A model where every attempt finishes (for deterministic tests).
+    pub fn always_finish() -> Self {
+        OutcomeModel {
+            p_fail: 0.0,
+            p_kill: 0.0,
+            p_lost: 0.0,
+        }
+    }
+
+    /// Draws the plan for one attempt.
+    pub fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> AttemptPlan {
+        debug_assert!(self.p_fail + self.p_kill + self.p_lost <= 1.0);
+        let u: f64 = rng.gen_range(0.0..1.0);
+        if u < self.p_fail {
+            // Crashes cluster early in the run: most failures are
+            // immediate (bad input, missing dependency).
+            AttemptPlan::Fail(rng.gen_range(0.02..0.8))
+        } else if u < self.p_fail + self.p_kill {
+            AttemptPlan::Kill(rng.gen_range(0.05..0.98))
+        } else if u < self.p_fail + self.p_kill + self.p_lost {
+            AttemptPlan::Lost(rng.gen_range(0.0..0.05))
+        } else {
+            AttemptPlan::Finish
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn duration_fractions() {
+        assert_eq!(AttemptPlan::Finish.duration(1_000), 1_000);
+        assert_eq!(AttemptPlan::Fail(0.5).duration(1_000), 500);
+        assert_eq!(AttemptPlan::Kill(0.25).duration(1_000), 250);
+        // Never zero.
+        assert_eq!(AttemptPlan::Lost(0.0).duration(1_000), 1);
+        assert_eq!(AttemptPlan::Finish.duration(0), 1);
+    }
+
+    #[test]
+    fn only_failures_retry() {
+        assert!(AttemptPlan::Fail(0.3).retryable());
+        assert!(!AttemptPlan::Kill(0.3).retryable());
+        assert!(!AttemptPlan::Lost(0.01).retryable());
+        assert!(!AttemptPlan::Finish.retryable());
+    }
+
+    #[test]
+    fn google_mix_hits_abnormal_share() {
+        let model = OutcomeModel::google();
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 100_000;
+        let mut fail = 0;
+        let mut kill = 0;
+        let mut lost = 0;
+        let mut finish = 0;
+        for _ in 0..n {
+            match model.draw(&mut rng) {
+                AttemptPlan::Fail(_) => fail += 1,
+                AttemptPlan::Kill(_) => kill += 1,
+                AttemptPlan::Lost(_) => lost += 1,
+                AttemptPlan::Finish => finish += 1,
+            }
+        }
+        let abnormal = (fail + kill + lost) as f64 / n as f64;
+        // Drawn abnormal share sits just under the 59.2% target since the
+        // engine adds evictions and failure retries.
+        assert!((abnormal - 0.542).abs() < 0.02, "abnormal={abnormal}");
+        assert!(finish > 0);
+        let fail_share = fail as f64 / (fail + kill + lost) as f64;
+        assert!((fail_share - 0.61).abs() < 0.05, "fail share={fail_share}");
+    }
+
+    #[test]
+    fn always_finish_never_aborts() {
+        let model = OutcomeModel::always_finish();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1_000 {
+            assert_eq!(model.draw(&mut rng), AttemptPlan::Finish);
+        }
+    }
+
+    #[test]
+    fn grid_failures_are_rare() {
+        let model = OutcomeModel::grid();
+        let mut rng = StdRng::seed_from_u64(5);
+        let abnormal = (0..50_000)
+            .filter(|_| !matches!(model.draw(&mut rng), AttemptPlan::Finish))
+            .count() as f64
+            / 50_000.0;
+        assert!(abnormal < 0.10, "abnormal={abnormal}");
+    }
+}

@@ -1,0 +1,208 @@
+//! Focused scheduler-behavior tests: latency, priority order, overcommit,
+//! and headroom semantics.
+
+use cgc_gen::workload::{JobSpec, TaskSpec, Workload};
+use cgc_gen::FleetConfig;
+use cgc_sim::{OutcomeModel, PlacementPolicy, SimConfig, Simulator};
+use cgc_trace::task::TaskEventKind;
+use cgc_trace::{Demand, Priority, UserId, HOUR};
+
+fn task(runtime: u64, cpu: f64, mem: f64) -> TaskSpec {
+    TaskSpec {
+        demand: Demand::new(cpu, mem),
+        runtime,
+        cpu_processors: cpu * 8.0,
+        utilization: 0.5,
+    }
+}
+
+fn job(submit: u64, level: u8, tasks: Vec<TaskSpec>) -> JobSpec {
+    JobSpec {
+        submit,
+        user: UserId(0),
+        priority: Priority::from_level(level),
+        tasks,
+    }
+}
+
+fn config() -> SimConfig {
+    let mut c = SimConfig::google(FleetConfig::homogeneous(1));
+    c.outcome = OutcomeModel::always_finish();
+    c.schedule_latency = 0;
+    c.cpu_overcommit = 1.0;
+    c.memory_headroom = 1.0;
+    c
+}
+
+fn run(config: SimConfig, jobs: Vec<JobSpec>) -> cgc_trace::Trace {
+    Simulator::new(config).run(&Workload {
+        system: "t".into(),
+        horizon: 6 * HOUR,
+        jobs,
+    })
+}
+
+fn schedule_time(trace: &cgc_trace::Trace, task_idx: u32) -> Option<u64> {
+    trace
+        .events
+        .iter()
+        .find(|e| e.kind == TaskEventKind::Schedule && e.task.0 == task_idx)
+        .map(|e| e.time)
+}
+
+#[test]
+fn schedule_latency_delays_first_placement() {
+    let mut c = config();
+    c.schedule_latency = 120;
+    let trace = run(c, vec![job(1_000, 5, vec![task(600, 0.2, 0.1)])]);
+    assert_eq!(schedule_time(&trace, 0), Some(1_120));
+}
+
+#[test]
+fn zero_latency_places_immediately() {
+    let trace = run(config(), vec![job(1_000, 5, vec![task(600, 0.2, 0.1)])]);
+    assert_eq!(schedule_time(&trace, 0), Some(1_000));
+}
+
+#[test]
+fn higher_priority_jumps_the_queue() {
+    // Fill the machine, then queue one low- and one high-priority task;
+    // when space frees, the high-priority task goes first even though it
+    // was submitted later.
+    let jobs = vec![
+        job(0, 5, vec![task(1_000, 1.0, 0.1)]), // occupies everything
+        job(10, 2, vec![task(600, 0.6, 0.1)]),  // queued low
+        job(20, 9, vec![task(600, 0.6, 0.1)]),  // queued high, later
+    ];
+    let trace = run(config(), jobs);
+    let low = schedule_time(&trace, 1);
+    let high = schedule_time(&trace, 2);
+    // With preemption on, the high-priority task evicts the filler right
+    // away rather than waiting.
+    assert!(high < low, "high={high:?} low={low:?}");
+}
+
+#[test]
+fn fcfs_within_equal_priority() {
+    let jobs = vec![
+        job(0, 5, vec![task(1_000, 1.0, 0.1)]),
+        job(10, 5, vec![task(100, 0.9, 0.1)]),
+        job(20, 5, vec![task(100, 0.9, 0.1)]),
+    ];
+    let trace = run(config(), jobs);
+    let first = schedule_time(&trace, 1).unwrap();
+    let second = schedule_time(&trace, 2).unwrap();
+    assert!(first < second, "first={first} second={second}");
+}
+
+#[test]
+fn cpu_overcommit_packs_beyond_nominal() {
+    let mut c = config();
+    c.cpu_overcommit = 2.0;
+    // Four 0.5-CPU tasks on a 1.0-CPU machine: all run concurrently.
+    let jobs = (0..4)
+        .map(|i| job(i, 5, vec![task(600, 0.5, 0.05)]))
+        .collect();
+    let trace = run(c, jobs);
+    let start_times: Vec<u64> = (0..4).map(|i| schedule_time(&trace, i).unwrap()).collect();
+    assert!(start_times.iter().all(|&t| t < 10), "{start_times:?}");
+}
+
+#[test]
+fn memory_headroom_blocks_full_packing() {
+    let mut c = config();
+    c.memory_headroom = 0.5;
+    // Two 0.3-memory tasks: only one fits within the 0.5 headroom.
+    let jobs = vec![
+        job(0, 5, vec![task(600, 0.1, 0.3)]),
+        job(1, 5, vec![task(600, 0.1, 0.3)]),
+    ];
+    let trace = run(c, jobs);
+    let a = schedule_time(&trace, 0).unwrap();
+    let b = schedule_time(&trace, 1).unwrap();
+    assert!(b >= a + 600, "second must wait for the first: a={a} b={b}");
+}
+
+#[test]
+fn load_balance_prefers_emptier_machine() {
+    let mut c = SimConfig::google(FleetConfig::homogeneous(2));
+    c.outcome = OutcomeModel::always_finish();
+    c.schedule_latency = 0;
+    c.placement = PlacementPolicy::LoadBalance;
+    let jobs = vec![
+        job(0, 5, vec![task(3_600, 0.4, 0.1)]),
+        job(10, 5, vec![task(3_600, 0.4, 0.1)]),
+    ];
+    let trace = Simulator::new(c).run(&Workload {
+        system: "t".into(),
+        horizon: 2 * HOUR,
+        jobs,
+    });
+    let machines: Vec<_> = trace
+        .events
+        .iter()
+        .filter(|e| e.kind == TaskEventKind::Schedule)
+        .map(|e| e.machine.unwrap())
+        .collect();
+    assert_ne!(
+        machines[0], machines[1],
+        "load balance must spread the two tasks"
+    );
+}
+
+#[test]
+fn best_fit_stacks_one_machine() {
+    let mut c = SimConfig::google(FleetConfig::homogeneous(2));
+    c.outcome = OutcomeModel::always_finish();
+    c.schedule_latency = 0;
+    c.placement = PlacementPolicy::BestFit;
+    let jobs = vec![
+        job(0, 5, vec![task(3_600, 0.4, 0.1)]),
+        job(10, 5, vec![task(3_600, 0.4, 0.1)]),
+    ];
+    let trace = Simulator::new(c).run(&Workload {
+        system: "t".into(),
+        horizon: 2 * HOUR,
+        jobs,
+    });
+    let machines: Vec<_> = trace
+        .events
+        .iter()
+        .filter(|e| e.kind == TaskEventKind::Schedule)
+        .map(|e| e.machine.unwrap())
+        .collect();
+    assert_eq!(
+        machines[0], machines[1],
+        "best fit must pack the same machine"
+    );
+}
+
+#[test]
+fn sample_period_controls_series_resolution() {
+    let mut c = config();
+    c.sample_period = 600;
+    let trace = run(c, vec![job(0, 5, vec![task(600, 0.2, 0.1)])]);
+    // 6 h horizon at 600 s = 36 samples.
+    assert_eq!(trace.host_series[0].len(), 36);
+    assert_eq!(trace.host_series[0].period, 600);
+}
+
+#[test]
+fn eviction_respects_strict_priority_only() {
+    // Equal priority never preempts, even when the machine is full.
+    let jobs = vec![
+        job(0, 5, vec![task(3_600, 1.0, 0.1)]),
+        job(10, 5, vec![task(600, 0.5, 0.1)]),
+    ];
+    let trace = run(config(), jobs);
+    assert_eq!(
+        trace
+            .events
+            .iter()
+            .filter(|e| e.kind == TaskEventKind::Evict)
+            .count(),
+        0
+    );
+    // The queued task waits for the first to finish.
+    assert!(schedule_time(&trace, 1).unwrap() >= 3_600);
+}

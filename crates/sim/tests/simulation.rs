@@ -1,0 +1,367 @@
+//! End-to-end tests of the cluster simulator.
+
+use cgc_gen::workload::{JobSpec, TaskSpec, Workload};
+use cgc_gen::{FleetConfig, GoogleWorkload, GridSystem, GridWorkload};
+use cgc_sim::{OutcomeModel, PlacementPolicy, SimConfig, Simulator};
+use cgc_trace::task::{TaskEventKind, TaskOutcome};
+use cgc_trace::usage::UsageAttribute;
+use cgc_trace::{Demand, MachineId, Priority, QueueTimeline, UserId, HOUR};
+
+fn tiny_task(runtime: u64, cpu: f64, mem: f64) -> TaskSpec {
+    TaskSpec {
+        demand: Demand::new(cpu, mem),
+        runtime,
+        cpu_processors: cpu * 8.0,
+        utilization: 0.8,
+    }
+}
+
+fn manual_workload(jobs: Vec<JobSpec>) -> Workload {
+    Workload {
+        system: "manual".into(),
+        horizon: 6 * HOUR,
+        jobs,
+    }
+}
+
+fn all_finish_config(machines: usize) -> SimConfig {
+    let mut c = SimConfig::google(FleetConfig::homogeneous(machines));
+    c.outcome = OutcomeModel::always_finish();
+    c.schedule_latency = 0;
+    // Exact nominal packing so capacity/preemption assertions are sharp.
+    c.cpu_overcommit = 1.0;
+    c.memory_headroom = 1.0;
+    c
+}
+
+#[test]
+fn single_task_runs_to_completion() {
+    let w = manual_workload(vec![JobSpec {
+        submit: 100,
+        user: UserId(0),
+        priority: Priority::from_level(5),
+        tasks: vec![tiny_task(1_000, 0.1, 0.1)],
+    }]);
+    let trace = Simulator::new(all_finish_config(2)).run(&w);
+    assert_eq!(trace.tasks.len(), 1);
+    let t = &trace.tasks[0];
+    assert_eq!(t.outcome, TaskOutcome::Finished);
+    assert_eq!(t.attempts, 1);
+    assert_eq!(t.execution_time, 1_000);
+    // Job completes 1000 s after its (immediate) scheduling.
+    assert_eq!(trace.jobs[0].length(), Some(1_000));
+    // Formula 4: cpu_processors × runtime / wallclock.
+    let usage = trace.jobs[0].cpu_usage().unwrap();
+    assert!((usage - 0.8).abs() < 1e-9, "usage={usage}");
+}
+
+#[test]
+fn demand_packing_respects_capacity() {
+    // 10 tasks of 0.3 CPU on one machine of capacity 1.0: at most 3 run
+    // concurrently; the rest wait in the pending queue.
+    let jobs = (0..10)
+        .map(|i| JobSpec {
+            submit: 10 + i,
+            user: UserId(0),
+            priority: Priority::from_level(5),
+            tasks: vec![tiny_task(600, 0.3, 0.01)],
+        })
+        .collect();
+    let trace = Simulator::new(all_finish_config(1)).run(&manual_workload(jobs));
+    let tl = QueueTimeline::for_machine(&trace, MachineId(0));
+    let peak_running = tl.steps.iter().map(|s| s.1.running).max().unwrap();
+    assert!(peak_running <= 3, "peak={peak_running}");
+    // Everything eventually finishes.
+    assert!(trace
+        .tasks
+        .iter()
+        .all(|t| t.outcome == TaskOutcome::Finished));
+    // And some tasks had to wait (pending queue was non-empty at times).
+    let peak_pending = tl.steps.iter().map(|s| s.1.pending).max().unwrap();
+    assert!(peak_pending > 0);
+}
+
+#[test]
+fn high_priority_preempts_low() {
+    // Saturate the single machine with low-priority work, then submit a
+    // high-priority task that only fits by eviction.
+    let mut jobs: Vec<JobSpec> = (0..3)
+        .map(|i| JobSpec {
+            submit: i,
+            user: UserId(0),
+            priority: Priority::from_level(2),
+            tasks: vec![tiny_task(5 * 3_600, 0.3, 0.1)],
+        })
+        .collect();
+    jobs.push(JobSpec {
+        submit: 1_000,
+        user: UserId(1),
+        priority: Priority::from_level(10),
+        tasks: vec![tiny_task(600, 0.5, 0.1)],
+    });
+    let trace = Simulator::new(all_finish_config(1)).run(&manual_workload(jobs));
+    let evictions = trace
+        .events
+        .iter()
+        .filter(|e| e.kind == TaskEventKind::Evict)
+        .count();
+    assert!(evictions >= 1, "expected at least one eviction");
+    // The high-priority task ran and finished.
+    let hi = trace
+        .tasks
+        .iter()
+        .find(|t| t.priority == Priority::from_level(10))
+        .unwrap();
+    assert_eq!(hi.outcome, TaskOutcome::Finished);
+    // Evicted tasks were resubmitted (attempts > 1 for at least one).
+    assert!(trace.tasks.iter().any(|t| t.attempts > 1));
+}
+
+#[test]
+fn no_preemption_in_grid_mode() {
+    let mut config = SimConfig::grid(FleetConfig::homogeneous(1));
+    config.outcome = OutcomeModel::always_finish();
+    let mut jobs: Vec<JobSpec> = (0..3)
+        .map(|i| JobSpec {
+            submit: i,
+            user: UserId(0),
+            priority: Priority::from_level(2),
+            tasks: vec![tiny_task(3_600, 0.3, 0.1)],
+        })
+        .collect();
+    jobs.push(JobSpec {
+        submit: 1_000,
+        user: UserId(1),
+        priority: Priority::from_level(10),
+        tasks: vec![tiny_task(600, 0.5, 0.1)],
+    });
+    let trace = Simulator::new(config).run(&manual_workload(jobs));
+    assert_eq!(
+        trace
+            .events
+            .iter()
+            .filter(|e| e.kind == TaskEventKind::Evict)
+            .count(),
+        0
+    );
+}
+
+#[test]
+fn samples_cover_horizon_and_respect_capacity() {
+    let w = GoogleWorkload::scaled_for_hostload(8, 6 * HOUR).generate(2);
+    let config = SimConfig::google(FleetConfig::google(8));
+    let trace = Simulator::new(config).run(&w);
+    assert_eq!(trace.host_series.len(), 8);
+    for series in &trace.host_series {
+        // 6 hours at 300 s = 72 samples.
+        assert_eq!(series.len(), 72);
+        let m = &trace.machines[series.machine.index()];
+        for s in &series.samples {
+            assert!(s.cpu.total() <= m.cpu_capacity + 1e-9);
+            assert!(s.memory_used.total() <= m.memory_capacity + 1e-9);
+            assert!(s.page_cache >= 0.0);
+            assert!(s.page_cache <= m.memory_capacity + 1e-9);
+        }
+    }
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let w = GoogleWorkload::scaled_for_hostload(5, 3 * HOUR).generate(9);
+    let config = SimConfig::google(FleetConfig::google(5)).with_seed(77);
+    let a = Simulator::new(config.clone()).run(&w);
+    let b = Simulator::new(config).run(&w);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn abnormal_completion_mix_close_to_paper() {
+    let w = GoogleWorkload::scaled_for_hostload(20, 12 * HOUR).generate(4);
+    let config = SimConfig::google(FleetConfig::google(20));
+    let trace = Simulator::new(config).run(&w);
+    let c = trace.completion_counts();
+    assert!(c.total() > 300, "too few completions: {}", c.total());
+    let abnormal = c.abnormal_fraction();
+    // Paper: 59.2% abnormal. Accept a band (evictions are emergent).
+    assert!((abnormal - 0.55).abs() < 0.12, "abnormal={abnormal}");
+    let fail_share = c.fail_share_of_abnormal();
+    assert!((fail_share - 0.5).abs() < 0.2, "fail share={fail_share}");
+}
+
+#[test]
+fn google_host_load_shape() {
+    // Memory usage should sit above CPU usage on average (the paper's
+    // Fig. 13 contrast), and CPU should be well below capacity. Services
+    // are warm-started, so one simulated day suffices.
+    let w = GoogleWorkload::scaled_for_hostload(12, 24 * HOUR).generate(6);
+    let config = SimConfig::google(FleetConfig::google(12));
+    let trace = Simulator::new(config).run(&w);
+    let mut cpu_util = 0.0;
+    let mut mem_util = 0.0;
+    let mut n = 0.0;
+    for series in &trace.host_series {
+        let m = &trace.machines[series.machine.index()];
+        // Skip six warm-up hours.
+        for s in &series.samples[72.min(series.len())..] {
+            cpu_util += s.cpu.total() / m.cpu_capacity;
+            mem_util += s.memory_used.total() / m.memory_capacity;
+            n += 1.0;
+        }
+    }
+    let cpu = cpu_util / n;
+    let mem = mem_util / n;
+    assert!(mem > cpu, "mem={mem} cpu={cpu}");
+    assert!(cpu < 0.6, "cpu={cpu}");
+    assert!(cpu > 0.08, "cpu={cpu}");
+}
+
+#[test]
+fn grid_host_load_is_cpu_heavy() {
+    let w = GridWorkload::scaled(GridSystem::AuverGrid, 24 * HOUR, 0.2).generate(3);
+    let config = SimConfig::grid(FleetConfig::homogeneous(16));
+    let trace = Simulator::new(config).run(&w);
+    let mut cpu_util = 0.0;
+    let mut mem_util = 0.0;
+    let mut n = 0.0;
+    for series in &trace.host_series {
+        for s in &series.samples[24.min(series.len())..] {
+            cpu_util += s.cpu.total();
+            mem_util += s.memory_used.total();
+            n += 1.0;
+        }
+    }
+    let cpu = cpu_util / n;
+    let mem = mem_util / n;
+    assert!(cpu > mem, "grid should be CPU-bound: cpu={cpu} mem={mem}");
+}
+
+#[test]
+fn placement_policies_differ() {
+    let w = GoogleWorkload::scaled_for_hostload(10, 6 * HOUR).generate(5);
+    let base = SimConfig::google(FleetConfig::google(10));
+    let lb = Simulator::new(base.clone().with_placement(PlacementPolicy::LoadBalance)).run(&w);
+    let bf = Simulator::new(base.with_placement(PlacementPolicy::BestFit)).run(&w);
+    // Best-fit concentrates load: its per-machine max CPU spread differs
+    // from load-balancing. The traces must at least not be identical.
+    let max_loads = |t: &cgc_trace::Trace| {
+        t.host_series
+            .iter()
+            .map(|s| s.max_attribute(UsageAttribute::Cpu))
+            .collect::<Vec<_>>()
+    };
+    assert_ne!(max_loads(&lb), max_loads(&bf));
+    // Load balancing should spread work onto more machines.
+    let busy = |loads: &[f64]| loads.iter().filter(|&&v| v > 0.01).count();
+    assert!(busy(&max_loads(&lb)) >= busy(&max_loads(&bf)));
+}
+
+#[test]
+fn trace_passes_io_round_trip() {
+    let w = GoogleWorkload::scaled_for_hostload(4, 2 * HOUR).generate(8);
+    let config = SimConfig::google(FleetConfig::google(4));
+    let trace = Simulator::new(config).run(&w);
+    let text = cgc_trace::io::write_trace(&trace);
+    let parsed = cgc_trace::io::read_trace(&text).unwrap();
+    assert_eq!(parsed, trace);
+}
+
+#[test]
+fn lost_tasks_are_terminal() {
+    let mut config = all_finish_config(2);
+    config.outcome = OutcomeModel {
+        p_fail: 0.0,
+        p_kill: 0.0,
+        p_lost: 1.0,
+    };
+    let w = manual_workload(vec![JobSpec {
+        submit: 0,
+        user: UserId(0),
+        priority: Priority::from_level(3),
+        tasks: vec![tiny_task(1_000, 0.1, 0.1)],
+    }]);
+    let trace = Simulator::new(config).run(&w);
+    assert_eq!(trace.tasks[0].outcome, TaskOutcome::Lost);
+    assert_eq!(trace.tasks[0].attempts, 1);
+}
+
+#[test]
+fn failed_tasks_retry_until_budget() {
+    let mut config = all_finish_config(2);
+    config.outcome = OutcomeModel {
+        p_fail: 1.0,
+        p_kill: 0.0,
+        p_lost: 0.0,
+    };
+    config.max_resubmits = 2;
+    let w = manual_workload(vec![JobSpec {
+        submit: 0,
+        user: UserId(0),
+        priority: Priority::from_level(3),
+        tasks: vec![tiny_task(1_000, 0.1, 0.1)],
+    }]);
+    let trace = Simulator::new(config).run(&w);
+    // Initial attempt + 2 resubmits.
+    assert_eq!(trace.tasks[0].attempts, 3);
+    assert_eq!(trace.tasks[0].outcome, TaskOutcome::Failed);
+    let fails = trace
+        .events
+        .iter()
+        .filter(|e| e.kind == TaskEventKind::Fail)
+        .count();
+    assert_eq!(fails, 3);
+}
+
+#[test]
+fn machine_churn_fails_tasks_and_silences_machines() {
+    let mut config = all_finish_config(4);
+    config.machine_failures_per_day = 8.0; // aggressive, for test signal
+    config.outage_duration = (1_800, 3_600);
+    let jobs = (0..40)
+        .map(|i| JobSpec {
+            submit: i * 60,
+            user: UserId(0),
+            priority: Priority::from_level(5),
+            tasks: vec![tiny_task(4 * 3_600, 0.1, 0.05)],
+        })
+        .collect();
+    let trace = Simulator::new(config).run(&manual_workload(jobs));
+
+    // Outages manifest as Fail events even though the outcome model never
+    // fails anything.
+    let fails = trace
+        .events
+        .iter()
+        .filter(|e| e.kind == TaskEventKind::Fail)
+        .count();
+    assert!(fails > 0, "expected machine-outage failures");
+    // Down machines report all-zero samples.
+    let zero_samples = trace
+        .host_series
+        .iter()
+        .flat_map(|s| &s.samples)
+        .filter(|s| s.cpu.total() == 0.0 && s.memory_used.total() == 0.0)
+        .count();
+    assert!(zero_samples > 0);
+    // Failed tasks were retried.
+    assert!(trace.tasks.iter().any(|t| t.attempts > 1));
+}
+
+#[test]
+fn zero_churn_rate_means_no_outage_failures() {
+    let config = all_finish_config(2);
+    assert_eq!(config.machine_failures_per_day, 0.0);
+    let jobs = (0..10)
+        .map(|i| JobSpec {
+            submit: i * 100,
+            user: UserId(0),
+            priority: Priority::from_level(5),
+            tasks: vec![tiny_task(600, 0.1, 0.05)],
+        })
+        .collect();
+    let trace = Simulator::new(config).run(&manual_workload(jobs));
+    assert_eq!(trace.completion_counts().fail, 0);
+    assert!(trace
+        .tasks
+        .iter()
+        .all(|t| t.outcome == TaskOutcome::Finished));
+}

@@ -1,0 +1,116 @@
+//! Autocorrelation of load series.
+//!
+//! The paper compares the mean autocorrelation of CPU load between the
+//! Google cluster (≈ −8·10⁻⁶, i.e. essentially memoryless sample-to-sample)
+//! and AuverGrid (positive), as evidence that cloud host load is much harder
+//! to predict.
+
+/// Sample autocorrelation at lag `k`.
+///
+/// Returns 0.0 when the series is shorter than `k + 2` or has zero
+/// variance (a constant series carries no correlation information).
+pub fn autocorrelation(series: &[f64], k: usize) -> f64 {
+    let n = series.len();
+    if n < k + 2 {
+        return 0.0;
+    }
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let var: f64 = series.iter().map(|v| (v - mean) * (v - mean)).sum();
+    if var == 0.0 {
+        return 0.0;
+    }
+    let cov: f64 = (0..n - k)
+        .map(|i| (series[i] - mean) * (series[i + k] - mean))
+        .sum();
+    cov / var
+}
+
+/// Mean autocorrelation over lags `1..=max_lag`.
+///
+/// This is the scalar the paper aggregates per machine and averages over
+/// the fleet.
+pub fn mean_autocorrelation(series: &[f64], max_lag: usize) -> f64 {
+    assert!(max_lag >= 1, "need at least lag 1");
+    let sum: f64 = (1..=max_lag).map(|k| autocorrelation(series, k)).sum();
+    sum / max_lag as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_series_is_zero() {
+        assert_eq!(autocorrelation(&[2.0; 50], 1), 0.0);
+    }
+
+    #[test]
+    fn short_series_is_zero() {
+        assert_eq!(autocorrelation(&[1.0, 2.0], 1), 0.0);
+        assert_eq!(autocorrelation(&[], 1), 0.0);
+    }
+
+    #[test]
+    fn slow_trend_has_high_lag1_correlation() {
+        let s: Vec<f64> = (0..200).map(|i| (i as f64 / 30.0).sin()).collect();
+        let r = autocorrelation(&s, 1);
+        assert!(r > 0.9, "r={r}");
+    }
+
+    #[test]
+    fn alternating_series_has_negative_lag1() {
+        let s: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let r = autocorrelation(&s, 1);
+        assert!(r < -0.9, "r={r}");
+        // ... and positive lag-2 correlation.
+        assert!(autocorrelation(&s, 2) > 0.9);
+    }
+
+    #[test]
+    fn lag_zero_is_one() {
+        let s: Vec<f64> = (0..50).map(|i| (i * i % 17) as f64).collect();
+        assert!((autocorrelation(&s, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_autocorrelation_averages_lags() {
+        let s: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let m = mean_autocorrelation(&s, 2);
+        // Average of strongly negative lag-1 and strongly positive lag-2.
+        assert!(m.abs() < 0.1, "m={m}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least lag 1")]
+    fn zero_max_lag_rejected() {
+        let _ = mean_autocorrelation(&[1.0, 2.0, 3.0], 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// |r(k)| <= 1 for any series and lag.
+        #[test]
+        fn bounded(series in prop::collection::vec(-1e3f64..1e3, 3..200), k in 0usize..10) {
+            let r = autocorrelation(&series, k);
+            prop_assert!(r.abs() <= 1.0 + 1e-9, "r={r}");
+        }
+
+        /// Shifting a series by a constant leaves autocorrelation unchanged.
+        #[test]
+        fn shift_invariant(series in prop::collection::vec(-10.0f64..10.0, 10..100), c in -5.0f64..5.0) {
+            let shifted: Vec<f64> = series.iter().map(|v| v + c).collect();
+            let a = autocorrelation(&series, 1);
+            let b = autocorrelation(&shifted, 1);
+            prop_assert!((a - b).abs() < 1e-6, "a={a} b={b}");
+        }
+    }
+}

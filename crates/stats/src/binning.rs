@@ -1,0 +1,106 @@
+//! Fixed-window event counting.
+//!
+//! Table I of the paper reports the minimum / mean / maximum number of job
+//! submissions per hour. [`counts_per_window`] turns a sorted-or-not list of
+//! event timestamps into per-window counts covering the whole horizon
+//! (including empty windows — grids have many idle night hours, which is
+//! exactly what drags their fairness index down).
+
+use crate::summary::Summary;
+
+/// Counts events per window of `window` seconds over `[0, horizon)`.
+///
+/// Events outside the horizon are ignored. The number of windows is
+/// `ceil(horizon / window)`.
+pub fn counts_per_window(times: &[u64], window: u64, horizon: u64) -> Vec<u64> {
+    assert!(window > 0, "window must be positive");
+    assert!(horizon > 0, "horizon must be positive");
+    let n = horizon.div_ceil(window) as usize;
+    let mut counts = vec![0u64; n];
+    for &t in times {
+        if t < horizon {
+            counts[(t / window) as usize] += 1;
+        }
+    }
+    counts
+}
+
+/// Summary of per-window counts (min / mean / max), the Table I row format.
+pub fn rate_summary(times: &[u64], window: u64, horizon: u64) -> Summary {
+    let counts = counts_per_window(times, window, horizon);
+    let xs: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+    Summary::of(&xs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_basic() {
+        let times = [0, 10, 3_599, 3_600, 7_199, 10_000];
+        let counts = counts_per_window(&times, 3_600, 10_800);
+        assert_eq!(counts, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn events_beyond_horizon_dropped() {
+        let counts = counts_per_window(&[100, 5_000], 3_600, 3_600);
+        assert_eq!(counts, vec![1]);
+    }
+
+    #[test]
+    fn empty_windows_are_counted() {
+        let counts = counts_per_window(&[0], 100, 1_000);
+        assert_eq!(counts.len(), 10);
+        assert_eq!(counts.iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn partial_last_window() {
+        let counts = counts_per_window(&[250], 100, 260);
+        assert_eq!(counts.len(), 3);
+        assert_eq!(counts[2], 1);
+    }
+
+    #[test]
+    fn unsorted_input_is_fine() {
+        let counts = counts_per_window(&[500, 10, 250], 100, 600);
+        assert_eq!(counts.iter().sum::<u64>(), 3);
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[2], 1);
+        assert_eq!(counts[5], 1);
+    }
+
+    #[test]
+    fn rate_summary_matches_counts() {
+        let s = rate_summary(&[0, 1, 2, 3_600], 3_600, 7_200);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.mean, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        let _ = counts_per_window(&[], 0, 100);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Total counted events equals events within the horizon.
+        #[test]
+        fn conservation(times in prop::collection::vec(0u64..10_000, 0..300),
+                        window in 1u64..500, horizon in 1u64..10_000) {
+            let counts = counts_per_window(&times, window, horizon);
+            let in_horizon = times.iter().filter(|&&t| t < horizon).count() as u64;
+            prop_assert_eq!(counts.iter().sum::<u64>(), in_horizon);
+            prop_assert_eq!(counts.len() as u64, horizon.div_ceil(window));
+        }
+    }
+}

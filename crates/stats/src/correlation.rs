@@ -1,0 +1,157 @@
+//! Correlation between paired series.
+//!
+//! Used to quantify the paper's CPU-versus-memory observations: grid host
+//! CPU and memory move together (both driven by the same long jobs), while
+//! cloud CPU decouples from its memory because short interactive tasks
+//! churn the CPU while services pin the memory.
+
+/// Pearson correlation coefficient of two equal-length series.
+///
+/// Returns 0.0 when either series is constant or shorter than 2.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "series must have equal length");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n as f64;
+    let my = ys.iter().sum::<f64>() / n as f64;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Spearman rank correlation: Pearson over the ranks; robust to monotone
+/// distortions and heavy tails.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "series must have equal length");
+    let rx = ranks(xs);
+    let ry = ranks(ys);
+    pearson(&rx, &ry)
+}
+
+/// Mid-ranks (ties get the average of their positions).
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| {
+        xs[a]
+            .partial_cmp(&xs[b])
+            .expect("NaN not supported in ranks")
+    });
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        // Average rank for the tie group [i, j].
+        let rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_positive() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [10.0, 20.0, 30.0, 40.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_negative() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [3.0, 2.0, 1.0];
+        assert!((pearson(&xs, &ys) + 1.0).abs() < 1e-12);
+        assert!((spearman(&xs, &ys) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_is_near_zero() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 7919) % 101) as f64).collect();
+        let ys: Vec<f64> = (0..1000).map(|i| ((i * 104729) % 97) as f64).collect();
+        assert!(pearson(&xs, &ys).abs() < 0.1);
+    }
+
+    #[test]
+    fn constant_series_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+        assert_eq!(pearson(&[], &[]), 0.0);
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    fn spearman_ignores_monotone_distortion() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let distorted: Vec<f64> = xs.iter().map(|&x: &f64| x.exp()).collect();
+        assert!((spearman(&xs, &distorted) - 1.0).abs() < 1e-12);
+        // Pearson degrades under the same distortion.
+        assert!(pearson(&xs, &distorted) < 0.95);
+    }
+
+    #[test]
+    fn ranks_handle_ties() {
+        let r = ranks(&[2.0, 1.0, 2.0, 3.0]);
+        assert_eq!(r, vec![2.5, 1.0, 2.5, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn length_mismatch_panics() {
+        let _ = pearson(&[1.0], &[1.0, 2.0]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// |r| <= 1 always.
+        #[test]
+        fn bounded(pairs in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..100)) {
+            let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            prop_assert!(pearson(&xs, &ys).abs() <= 1.0 + 1e-9);
+            prop_assert!(spearman(&xs, &ys).abs() <= 1.0 + 1e-9);
+        }
+
+        /// Correlation is symmetric.
+        #[test]
+        fn symmetric(pairs in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..60)) {
+            let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            prop_assert!((pearson(&xs, &ys) - pearson(&ys, &xs)).abs() < 1e-9);
+        }
+
+        /// Pearson is invariant under positive affine maps.
+        #[test]
+        fn affine_invariant(pairs in prop::collection::vec((-1e2f64..1e2, -1e2f64..1e2), 3..60),
+                            a in 0.1f64..10.0, b in -5.0f64..5.0) {
+            let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            let xs2: Vec<f64> = xs.iter().map(|x| a * x + b).collect();
+            prop_assert!((pearson(&xs, &ys) - pearson(&xs2, &ys)).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Empirical cumulative distribution functions.
+//!
+//! The paper's Figures 3, 5 and 6 are ECDFs of job length, submission
+//! interval and per-job resource usage. [`Ecdf`] stores the sorted sample
+//! and answers `F(x)` and quantile queries in `O(log n)`.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF over a finite sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from a sample. NaNs are rejected.
+    ///
+    /// Panics if the sample is empty or contains NaN: an empty CDF has no
+    /// meaningful queries and silently returning 0 hides upstream bugs.
+    pub fn new(mut sample: Vec<f64>) -> Self {
+        assert!(!sample.is_empty(), "ECDF requires a non-empty sample");
+        assert!(
+            sample.iter().all(|v| !v.is_nan()),
+            "ECDF sample must not contain NaN"
+        );
+        sample.sort_by(|a, b| a.partial_cmp(b).expect("NaN excluded above"));
+        Ecdf { sorted: sample }
+    }
+
+    /// Builds an ECDF from integer durations (seconds), the common case for
+    /// job/task lengths.
+    pub fn from_durations(durations: &[u64]) -> Self {
+        Self::new(durations.iter().map(|&d| d as f64).collect())
+    }
+
+    /// Number of observations.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false: construction rejects empty samples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// `F(x) = P(X <= x)`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point returns the count of elements <= x.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile for `q` in `[0, 1]`, by inverse-CDF with the
+    /// "lower value" convention: the smallest `x` with `F(x) >= q`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile level must be in [0, 1], got {q}"
+        );
+        if q <= 0.0 {
+            return self.sorted[0];
+        }
+        let n = self.sorted.len();
+        // The tiny epsilon keeps q values that are exact fractions k/n from
+        // rounding up to the next index under floating point.
+        let idx = ((q * n as f64 - 1e-9).ceil() as usize).clamp(1, n) - 1;
+        self.sorted[idx]
+    }
+
+    /// The median (0.5-quantile).
+    #[inline]
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Minimum observation.
+    #[inline]
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Maximum observation.
+    #[inline]
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty by construction")
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// The sorted sample.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Evaluates the CDF at `n` evenly spaced points across `[lo, hi]`,
+    /// producing a plottable curve like the paper's figures.
+    pub fn curve(&self, lo: f64, hi: f64, n: usize) -> Vec<(f64, f64)> {
+        assert!(n >= 2, "need at least two curve points");
+        assert!(hi > lo, "curve range must be non-empty");
+        (0..n)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (n - 1) as f64;
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+
+    /// The full staircase as `(x, F(x))` at each distinct observation.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        let mut out: Vec<(f64, f64)> = Vec::new();
+        for (i, &x) in self.sorted.iter().enumerate() {
+            let y = (i + 1) as f64 / n;
+            match out.last_mut() {
+                Some(last) if last.0 == x => last.1 = y,
+                _ => out.push((x, y)),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_step_semantics() {
+        let e = Ecdf::new(vec![1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.0), 0.75);
+        assert_eq!(e.eval(3.0), 0.75);
+        assert_eq!(e.eval(4.0), 1.0);
+        assert_eq!(e.eval(100.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let e = Ecdf::new(vec![10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(e.quantile(0.0), 10.0);
+        assert_eq!(e.quantile(0.25), 10.0);
+        assert_eq!(e.quantile(0.5), 20.0);
+        assert_eq!(e.median(), 20.0);
+        assert_eq!(e.quantile(0.75), 30.0);
+        assert_eq!(e.quantile(1.0), 40.0);
+    }
+
+    #[test]
+    fn summary_accessors() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0]);
+        assert_eq!(e.min(), 1.0);
+        assert_eq!(e.max(), 3.0);
+        assert!((e.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(e.len(), 3);
+    }
+
+    #[test]
+    fn from_durations() {
+        let e = Ecdf::from_durations(&[5, 1, 3]);
+        assert_eq!(e.values(), &[1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let e = Ecdf::new(vec![1.0, 5.0, 9.0, 2.0, 2.0]);
+        let curve = e.curve(0.0, 10.0, 21);
+        assert_eq!(curve.len(), 21);
+        assert!(curve.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert_eq!(curve[0].1, 0.0);
+        assert_eq!(curve.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn points_deduplicate_ties() {
+        let e = Ecdf::new(vec![2.0, 2.0, 3.0]);
+        let pts = e.points();
+        assert_eq!(pts, vec![(2.0, 2.0 / 3.0), (3.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_sample_rejected() {
+        let _ = Ecdf::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = Ecdf::new(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile level")]
+    fn quantile_out_of_range() {
+        let _ = Ecdf::new(vec![1.0]).quantile(1.5);
+    }
+
+    #[test]
+    fn single_observation() {
+        let e = Ecdf::new(vec![7.0]);
+        assert_eq!(e.eval(6.9), 0.0);
+        assert_eq!(e.eval(7.0), 1.0);
+        assert_eq!(e.median(), 7.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// F is monotone non-decreasing in x.
+        #[test]
+        fn monotone(sample in prop::collection::vec(0.0f64..1e6, 1..100),
+                    mut xs in prop::collection::vec(0.0f64..1e6, 2..20)) {
+            let e = Ecdf::new(sample);
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mut prev = 0.0;
+            for x in xs {
+                let y = e.eval(x);
+                prop_assert!(y >= prev);
+                prev = y;
+            }
+        }
+
+        /// F(max) = 1 and F(anything below min) = 0.
+        #[test]
+        fn boundary_values(sample in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+            let e = Ecdf::new(sample);
+            prop_assert_eq!(e.eval(e.max()), 1.0);
+            prop_assert_eq!(e.eval(e.min() - 1.0), 0.0);
+        }
+
+        /// quantile(eval(x)) <= x for in-range x (Galois connection).
+        #[test]
+        fn quantile_inverse(sample in prop::collection::vec(0.0f64..1e6, 1..100)) {
+            let e = Ecdf::new(sample.clone());
+            for &x in &sample {
+                let q = e.eval(x);
+                prop_assert!(e.quantile(q) <= x + 1e-9);
+            }
+        }
+
+        /// quantile is monotone in q.
+        #[test]
+        fn quantile_monotone(sample in prop::collection::vec(0.0f64..1e6, 1..100),
+                             q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+            let e = Ecdf::new(sample);
+            let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            prop_assert!(e.quantile(lo) <= e.quantile(hi));
+        }
+    }
+}

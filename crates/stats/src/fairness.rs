@@ -1,0 +1,100 @@
+//! Jain's fairness index (paper Formula 3).
+//!
+//! Applied to the per-hour job-submission counts, the index measures how
+//! *stable* the submission rate is: 1 means perfectly constant, `1/n` means
+//! all submissions in a single hour. The paper reports 0.94 for Google and
+//! 0.04–0.51 for the grid systems (Table I), attributing the low grid values
+//! to strong diurnal periodicity.
+
+/// Jain's fairness index `(Σx)² / (n · Σx²)` over non-negative values.
+///
+/// Returns 0.0 for an empty slice or an all-zero slice (no submissions at
+/// all carries no stability information).
+pub fn jain_fairness(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    assert!(
+        xs.iter().all(|v| *v >= 0.0 && v.is_finite()),
+        "fairness inputs must be finite and non-negative"
+    );
+    let sum: f64 = xs.iter().sum();
+    let sum_sq: f64 = xs.iter().map(|v| v * v).sum();
+    if sum_sq == 0.0 {
+        return 0.0;
+    }
+    (sum * sum) / (xs.len() as f64 * sum_sq)
+}
+
+/// Convenience overload for integer counts (jobs per hour).
+pub fn jain_fairness_counts(counts: &[u64]) -> f64 {
+    let xs: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+    jain_fairness(&xs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_rate_is_perfectly_fair() {
+        assert!((jain_fairness(&[5.0; 24]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_burst_is_minimally_fair() {
+        let mut xs = vec![0.0; 10];
+        xs[3] = 100.0;
+        assert!((jain_fairness(&xs) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diurnal_pattern_scores_low() {
+        // 12 busy hours at 100, 12 idle hours at 0 -> index 0.5.
+        let mut xs = vec![100.0; 12];
+        xs.extend(vec![0.0; 12]);
+        assert!((jain_fairness(&xs) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_zero() {
+        assert_eq!(jain_fairness(&[]), 0.0);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn counts_overload() {
+        assert!((jain_fairness_counts(&[3, 3, 3]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rejected() {
+        let _ = jain_fairness(&[1.0, -1.0]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The index lies in [1/n, 1] for any non-zero sample.
+        #[test]
+        fn bounded(xs in prop::collection::vec(0.0f64..1e4, 1..100)) {
+            prop_assume!(xs.iter().any(|&v| v > 0.0));
+            let f = jain_fairness(&xs);
+            let n = xs.len() as f64;
+            prop_assert!(f >= 1.0 / n - 1e-9, "f={f} below 1/n");
+            prop_assert!(f <= 1.0 + 1e-9, "f={f} above 1");
+        }
+
+        /// Scale invariance: multiplying all rates by k keeps the index.
+        #[test]
+        fn scale_invariant(xs in prop::collection::vec(0.1f64..1e3, 1..50), k in 0.1f64..100.0) {
+            let scaled: Vec<f64> = xs.iter().map(|v| v * k).collect();
+            prop_assert!((jain_fairness(&xs) - jain_fairness(&scaled)).abs() < 1e-9);
+        }
+    }
+}

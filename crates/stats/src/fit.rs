@@ -1,0 +1,360 @@
+//! Maximum-likelihood distribution fitting and model selection.
+//!
+//! Workload modeling (the Feitelson methodology the paper's mass–count
+//! analysis comes from) routinely asks which closed-form family best
+//! describes a marginal: exponential (memoryless), log-normal
+//! (multiplicative), or Pareto (heavy-tailed). This module fits all three
+//! by MLE, scores them by AIC, and reports the KS distance between the
+//! fitted CDF and the empirical one.
+
+use crate::ecdf::Ecdf;
+use serde::{Deserialize, Serialize};
+use std::f64::consts::PI;
+
+/// A fitted distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FittedModel {
+    /// Exponential with the given mean.
+    Exponential {
+        /// Mean (1/rate).
+        mean: f64,
+    },
+    /// Log-normal with parameters of the underlying normal.
+    LogNormal {
+        /// Mean of ln X.
+        mu: f64,
+        /// Standard deviation of ln X.
+        sigma: f64,
+    },
+    /// Pareto with scale `xmin` and shape `alpha`.
+    Pareto {
+        /// Scale (minimum value).
+        xmin: f64,
+        /// Tail exponent.
+        alpha: f64,
+    },
+}
+
+impl FittedModel {
+    /// Model family name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FittedModel::Exponential { .. } => "exponential",
+            FittedModel::LogNormal { .. } => "lognormal",
+            FittedModel::Pareto { .. } => "pareto",
+        }
+    }
+
+    /// Number of free parameters (for AIC).
+    pub fn parameters(&self) -> usize {
+        match self {
+            FittedModel::Exponential { .. } => 1,
+            FittedModel::LogNormal { .. } | FittedModel::Pareto { .. } => 2,
+        }
+    }
+
+    /// CDF of the fitted model.
+    pub fn cdf(&self, x: f64) -> f64 {
+        match *self {
+            FittedModel::Exponential { mean } => {
+                if x <= 0.0 {
+                    0.0
+                } else {
+                    1.0 - (-x / mean).exp()
+                }
+            }
+            FittedModel::LogNormal { mu, sigma } => {
+                if x <= 0.0 {
+                    0.0
+                } else {
+                    standard_normal_cdf((x.ln() - mu) / sigma)
+                }
+            }
+            FittedModel::Pareto { xmin, alpha } => {
+                if x <= xmin {
+                    0.0
+                } else {
+                    1.0 - (xmin / x).powf(alpha)
+                }
+            }
+        }
+    }
+
+    /// Log-likelihood of the sample under the model.
+    pub fn log_likelihood(&self, xs: &[f64]) -> f64 {
+        match *self {
+            FittedModel::Exponential { mean } => {
+                let lambda = 1.0 / mean;
+                xs.iter().map(|&x| lambda.ln() - lambda * x).sum()
+            }
+            FittedModel::LogNormal { mu, sigma } => xs
+                .iter()
+                .map(|&x| {
+                    let z = (x.ln() - mu) / sigma;
+                    -(x.ln()) - sigma.ln() - 0.5 * (2.0 * PI).ln() - 0.5 * z * z
+                })
+                .sum(),
+            FittedModel::Pareto { xmin, alpha } => xs
+                .iter()
+                .map(|&x| alpha.ln() + alpha * xmin.ln() - (alpha + 1.0) * x.ln())
+                .sum(),
+        }
+    }
+
+    /// Akaike information criterion (lower is better).
+    pub fn aic(&self, xs: &[f64]) -> f64 {
+        2.0 * self.parameters() as f64 - 2.0 * self.log_likelihood(xs)
+    }
+}
+
+/// Abramowitz–Stegun approximation of Φ, accurate to ~1e-7.
+fn standard_normal_cdf(z: f64) -> f64 {
+    if z < 0.0 {
+        return 1.0 - standard_normal_cdf(-z);
+    }
+    let t = 1.0 / (1.0 + 0.2316419 * z);
+    let poly = t
+        * (0.319381530
+            + t * (-0.356563782 + t * (1.781477937 + t * (-1.821255978 + t * 1.330274429))));
+    let pdf = (-0.5 * z * z).exp() / (2.0 * PI).sqrt();
+    1.0 - pdf * poly
+}
+
+fn validate(xs: &[f64]) {
+    assert!(!xs.is_empty(), "cannot fit an empty sample");
+    assert!(
+        xs.iter().all(|&x| x > 0.0 && x.is_finite()),
+        "fitting requires strictly positive, finite values"
+    );
+}
+
+/// MLE exponential fit.
+pub fn fit_exponential(xs: &[f64]) -> FittedModel {
+    validate(xs);
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    FittedModel::Exponential { mean }
+}
+
+/// MLE log-normal fit.
+pub fn fit_lognormal(xs: &[f64]) -> FittedModel {
+    validate(xs);
+    let n = xs.len() as f64;
+    let mu = xs.iter().map(|x| x.ln()).sum::<f64>() / n;
+    let var = xs
+        .iter()
+        .map(|x| (x.ln() - mu) * (x.ln() - mu))
+        .sum::<f64>()
+        / n;
+    FittedModel::LogNormal {
+        mu,
+        sigma: var.sqrt().max(1e-9),
+    }
+}
+
+/// MLE Pareto fit with `xmin = min(sample)`.
+pub fn fit_pareto(xs: &[f64]) -> FittedModel {
+    validate(xs);
+    let xmin = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let sum_log: f64 = xs.iter().map(|&x| (x / xmin).ln()).sum();
+    let alpha = if sum_log <= 0.0 {
+        f64::INFINITY
+    } else {
+        xs.len() as f64 / sum_log
+    };
+    FittedModel::Pareto {
+        xmin,
+        alpha: alpha.min(1e6),
+    }
+}
+
+/// KS distance between the sample's ECDF and a fitted model's CDF.
+pub fn ks_fitted(xs: &[f64], model: &FittedModel) -> f64 {
+    let ecdf = Ecdf::new(xs.to_vec());
+    let mut d: f64 = 0.0;
+    let n = ecdf.len() as f64;
+    for (i, &x) in ecdf.values().iter().enumerate() {
+        let f = model.cdf(x);
+        // Compare against the step's top and bottom.
+        d = d.max((f - (i + 1) as f64 / n).abs());
+        d = d.max((f - i as f64 / n).abs());
+    }
+    d
+}
+
+/// Result of fitting one family.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FitReport {
+    /// The fitted model.
+    pub model: FittedModel,
+    /// AIC (lower is better).
+    pub aic: f64,
+    /// KS distance to the empirical CDF.
+    pub ks: f64,
+}
+
+/// Fits all families and returns reports sorted best-AIC-first.
+pub fn fit_all(xs: &[f64]) -> Vec<FitReport> {
+    let mut reports: Vec<FitReport> = [fit_exponential(xs), fit_lognormal(xs), fit_pareto(xs)]
+        .into_iter()
+        .map(|model| FitReport {
+            model,
+            aic: model.aic(xs),
+            ks: ks_fitted(xs, &model),
+        })
+        .collect();
+    reports.sort_by(|a, b| a.aic.partial_cmp(&b.aic).expect("AIC is finite"));
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn exponential_sample(mean: f64, n: usize) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(3);
+        (0..n)
+            .map(|_| -mean * (1.0 - rng.gen_range(0.0..1.0f64)).ln())
+            .collect()
+    }
+
+    fn lognormal_sample(mu: f64, sigma: f64, n: usize) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(4);
+        (0..n)
+            .map(|_| {
+                // Box-Muller.
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let v: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+                let z = (-2.0 * u.ln()).sqrt() * v.cos();
+                (mu + sigma * z).exp()
+            })
+            .collect()
+    }
+
+    fn pareto_sample(xmin: f64, alpha: f64, n: usize) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(5);
+        (0..n)
+            .map(|_| xmin / rng.gen_range(0.0f64..1.0).powf(1.0 / alpha))
+            .collect()
+    }
+
+    #[test]
+    fn exponential_mle_recovers_mean() {
+        let xs = exponential_sample(5.0, 20_000);
+        let FittedModel::Exponential { mean } = fit_exponential(&xs) else {
+            unreachable!()
+        };
+        assert!((mean - 5.0).abs() < 0.2, "mean={mean}");
+    }
+
+    #[test]
+    fn lognormal_mle_recovers_parameters() {
+        let xs = lognormal_sample(1.0, 0.5, 20_000);
+        let FittedModel::LogNormal { mu, sigma } = fit_lognormal(&xs) else {
+            unreachable!()
+        };
+        assert!((mu - 1.0).abs() < 0.05, "mu={mu}");
+        assert!((sigma - 0.5).abs() < 0.05, "sigma={sigma}");
+    }
+
+    #[test]
+    fn pareto_mle_recovers_alpha() {
+        let xs = pareto_sample(2.0, 1.5, 20_000);
+        let FittedModel::Pareto { xmin, alpha } = fit_pareto(&xs) else {
+            unreachable!()
+        };
+        assert!((xmin - 2.0).abs() < 0.01, "xmin={xmin}");
+        assert!((alpha - 1.5).abs() < 0.1, "alpha={alpha}");
+    }
+
+    #[test]
+    fn model_selection_picks_the_generator() {
+        let exp = exponential_sample(3.0, 5_000);
+        assert_eq!(fit_all(&exp)[0].model.name(), "exponential");
+
+        let logn = lognormal_sample(0.5, 1.2, 5_000);
+        assert_eq!(fit_all(&logn)[0].model.name(), "lognormal");
+
+        let par = pareto_sample(1.0, 0.9, 5_000);
+        assert_eq!(fit_all(&par)[0].model.name(), "pareto");
+    }
+
+    #[test]
+    fn ks_small_for_true_model() {
+        let xs = exponential_sample(2.0, 5_000);
+        let model = fit_exponential(&xs);
+        assert!(ks_fitted(&xs, &model) < 0.03);
+        // ... and large for a badly wrong model.
+        let wrong = FittedModel::Pareto {
+            xmin: 0.001,
+            alpha: 0.2,
+        };
+        assert!(ks_fitted(&xs, &wrong) > 0.3);
+    }
+
+    #[test]
+    fn cdf_properties() {
+        for model in [
+            FittedModel::Exponential { mean: 2.0 },
+            FittedModel::LogNormal {
+                mu: 0.0,
+                sigma: 1.0,
+            },
+            FittedModel::Pareto {
+                xmin: 1.0,
+                alpha: 2.0,
+            },
+        ] {
+            assert_eq!(model.cdf(-1.0), 0.0, "{}", model.name());
+            assert!(model.cdf(1e9) > 0.999, "{}", model.name());
+            // Monotone.
+            let mut prev = 0.0;
+            for i in 1..100 {
+                let f = model.cdf(i as f64 * 0.5);
+                assert!(f >= prev, "{} not monotone", model.name());
+                prev = f;
+            }
+        }
+    }
+
+    #[test]
+    fn normal_cdf_reference_values() {
+        assert!((standard_normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((standard_normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((standard_normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn nonpositive_values_rejected() {
+        let _ = fit_exponential(&[1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_rejected() {
+        let _ = fit_lognormal(&[]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Fitted CDFs are proper distributions over the sample range.
+        #[test]
+        fn cdf_bounded(xs in prop::collection::vec(0.01f64..1e4, 2..200)) {
+            for report in fit_all(&xs) {
+                for &x in &xs {
+                    let f = report.model.cdf(x);
+                    prop_assert!((0.0..=1.0).contains(&f), "{} gave {f}", report.model.name());
+                }
+                prop_assert!((0.0..=1.0).contains(&report.ks));
+                prop_assert!(report.aic.is_finite());
+            }
+        }
+    }
+}

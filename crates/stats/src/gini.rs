@@ -1,0 +1,90 @@
+//! Gini coefficient of inequality.
+//!
+//! The paper mentions the joint ratio is "a kind of Gini coefficient"; we
+//! provide the classic coefficient as well so analyses can report both.
+
+/// Gini coefficient over non-negative values, in `[0, 1)`.
+///
+/// 0 means perfectly equal sizes; values near 1 mean the mass concentrates
+/// in very few items. Returns 0.0 for empty or all-zero input.
+pub fn gini(values: &[f64]) -> f64 {
+    assert!(
+        values.iter().all(|v| *v >= 0.0 && v.is_finite()),
+        "gini inputs must be finite and non-negative"
+    );
+    let n = values.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite by assertion"));
+    let total: f64 = sorted.iter().sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    // G = (2 * Σ i*x_i) / (n * Σ x_i) - (n + 1) / n, with i in 1..=n.
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i + 1) as f64 * x)
+        .sum();
+    (2.0 * weighted) / (n as f64 * total) - (n as f64 + 1.0) / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_values_have_zero_gini() {
+        assert!(gini(&[3.0; 10]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_concentration_approaches_one() {
+        let mut xs = vec![0.0; 99];
+        xs.push(100.0);
+        let g = gini(&xs);
+        assert!(g > 0.98, "g={g}");
+    }
+
+    #[test]
+    fn known_small_case() {
+        // Values 1,2,3: G = (2*(1+4+9))/(3*6) - 4/3 = 28/18 - 4/3 = 2/9.
+        let g = gini(&[1.0, 2.0, 3.0]);
+        assert!((g - 2.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_zero() {
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn order_invariant() {
+        let a = gini(&[5.0, 1.0, 3.0]);
+        let b = gini(&[1.0, 3.0, 5.0]);
+        assert!((a - b).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn bounded(xs in prop::collection::vec(0.0f64..1e4, 1..100)) {
+            let g = gini(&xs);
+            prop_assert!((-1e-9..1.0).contains(&g), "g={g}");
+        }
+
+        #[test]
+        fn scale_invariant(xs in prop::collection::vec(0.1f64..1e3, 1..50), k in 0.1f64..100.0) {
+            let scaled: Vec<f64> = xs.iter().map(|v| v * k).collect();
+            prop_assert!((gini(&xs) - gini(&scaled)).abs() < 1e-9);
+        }
+    }
+}

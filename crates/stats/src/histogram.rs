@@ -1,0 +1,240 @@
+//! Fixed-width histograms and empirical PDFs.
+//!
+//! Figure 7 of the paper plots the *probability distribution* of per-machine
+//! maximum load per attribute; Figure 2 is a histogram over the 12
+//! priorities. [`Histogram`] covers both: uniform bins over a closed range
+//! with counts, fractions, and a normalized density view.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram with `bins` uniform buckets over `[lo, hi]`.
+///
+/// Values below `lo` clamp into the first bin and values above `hi` into the
+/// last, so totals are preserved (load values occasionally exceed nominal
+/// capacity in traces; dropping them would bias maxima).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram. Requires `hi > lo` and `bins >= 1`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(
+            hi > lo,
+            "histogram range must be non-empty (lo={lo}, hi={hi})"
+        );
+        assert!(bins >= 1, "histogram needs at least one bin");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Builds a histogram directly from a sample.
+    pub fn from_sample(lo: f64, hi: f64, bins: usize, sample: &[f64]) -> Self {
+        let mut h = Self::new(lo, hi, bins);
+        for &v in sample {
+            h.add(v);
+        }
+        h
+    }
+
+    /// Bin index for a value (clamped into range).
+    pub fn bin_of(&self, value: f64) -> usize {
+        assert!(!value.is_nan(), "histogram value must not be NaN");
+        let n = self.counts.len();
+        let frac = (value - self.lo) / (self.hi - self.lo);
+        ((frac * n as f64).floor() as i64).clamp(0, n as i64 - 1) as usize
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, value: f64) {
+        let b = self.bin_of(value);
+        self.counts[b] += 1;
+        self.total += 1;
+    }
+
+    /// Number of bins.
+    #[inline]
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total observations.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Raw counts per bin.
+    #[inline]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Bin width.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// Center of bin `i`.
+    pub fn center(&self, i: usize) -> f64 {
+        self.lo + self.width() * (i as f64 + 0.5)
+    }
+
+    /// Fraction of observations in each bin (empirical PMF). Zeros if the
+    /// histogram is empty.
+    pub fn fractions(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
+    }
+
+    /// Density view (PMF divided by bin width): integrates to 1.
+    pub fn density(&self) -> Vec<f64> {
+        let w = self.width();
+        self.fractions().into_iter().map(|f| f / w).collect()
+    }
+
+    /// `(center, fraction)` pairs, the paper's Fig. 7 plotting format.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        self.fractions()
+            .into_iter()
+            .enumerate()
+            .map(|(i, f)| (self.center(i), f))
+            .collect()
+    }
+
+    /// The bin index with the highest count; ties break to the lower bin.
+    pub fn mode_bin(&self) -> usize {
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &c)| (c, std::cmp::Reverse(i)))
+            .map(|(i, _)| i)
+            .expect("at least one bin by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binning_and_counts() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        for v in [0.1, 0.3, 0.35, 0.9, 0.99] {
+            h.add(v);
+        }
+        assert_eq!(h.counts(), &[1, 2, 0, 2]);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(-5.0);
+        h.add(7.0);
+        assert_eq!(h.counts(), &[1, 1]);
+    }
+
+    #[test]
+    fn upper_edge_goes_to_last_bin() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.add(1.0);
+        assert_eq!(h.counts(), &[0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let h = Histogram::from_sample(0.0, 1.0, 5, &[0.1, 0.2, 0.5, 0.9]);
+        let sum: f64 = h.fractions().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_fractions_are_zero() {
+        let h = Histogram::new(0.0, 1.0, 3);
+        assert_eq!(h.fractions(), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let h = Histogram::from_sample(0.0, 2.0, 8, &[0.1, 0.4, 1.5, 1.9, 0.6]);
+        let integral: f64 = h.density().iter().map(|d| d * h.width()).sum();
+        assert!((integral - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centers() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert!((h.center(0) - 0.125).abs() < 1e-12);
+        assert!((h.center(3) - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mode_bin() {
+        let h = Histogram::from_sample(0.0, 1.0, 4, &[0.1, 0.6, 0.6, 0.65, 0.9]);
+        assert_eq!(h.mode_bin(), 2);
+    }
+
+    #[test]
+    fn points_pair_centers_with_fractions() {
+        let h = Histogram::from_sample(0.0, 1.0, 2, &[0.25, 0.75, 0.8]);
+        let pts = h.points();
+        assert_eq!(pts.len(), 2);
+        assert!((pts[0].0 - 0.25).abs() < 1e-12);
+        assert!((pts[0].1 - 1.0 / 3.0).abs() < 1e-12);
+        assert!((pts[1].1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "range must be non-empty")]
+    fn empty_range_rejected() {
+        let _ = Histogram::new(1.0, 1.0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Every added value lands in exactly one bin; totals match.
+        #[test]
+        fn totals_preserved(sample in prop::collection::vec(-10.0f64..10.0, 0..200)) {
+            let h = Histogram::from_sample(0.0, 1.0, 7, &sample);
+            prop_assert_eq!(h.total(), sample.len() as u64);
+            prop_assert_eq!(h.counts().iter().sum::<u64>(), sample.len() as u64);
+        }
+
+        /// bin_of is consistent with bin boundaries for in-range values.
+        #[test]
+        fn bin_of_in_range(v in 0.0f64..1.0) {
+            let h = Histogram::new(0.0, 1.0, 10);
+            let b = h.bin_of(v);
+            prop_assert!(b < 10);
+            let lo = b as f64 * 0.1;
+            let hi = lo + 0.1;
+            prop_assert!(v >= lo - 1e-12 && v < hi + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Kolmogorov–Smirnov distance between empirical distributions.
+//!
+//! The reproduction uses KS distances as calibration metrics: how far each
+//! generator's distribution sits from the paper's published quantiles, and
+//! how far two systems' distributions sit from each other (e.g. Google vs
+//! grid job lengths in Fig. 3 — a *large* KS distance is the finding).
+
+use crate::ecdf::Ecdf;
+
+/// Two-sample KS statistic: `sup_x |F1(x) − F2(x)|`.
+pub fn ks_distance(a: &Ecdf, b: &Ecdf) -> f64 {
+    // The supremum is attained at an observation of either sample.
+    let mut d: f64 = 0.0;
+    for &x in a.values().iter().chain(b.values()) {
+        d = d.max((a.eval(x) - b.eval(x)).abs());
+        // Also check just below x (left limit), where the step functions
+        // may diverge more.
+        let eps = x.abs().max(1.0) * 1e-12;
+        d = d.max((a.eval(x - eps) - b.eval(x - eps)).abs());
+    }
+    d
+}
+
+/// KS statistic of a sample against reference quantile points
+/// `(x, F(x))`: `max |F_sample(x) − F(x)|` over the given points.
+///
+/// This is how generator calibration is scored against the handful of
+/// quantiles the paper publishes (e.g. 55% < 10 min, 90% < 1 h).
+pub fn ks_against_quantiles(sample: &Ecdf, quantiles: &[(f64, f64)]) -> f64 {
+    quantiles
+        .iter()
+        .map(|&(x, f)| (sample.eval(x) - f).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_have_zero_distance() {
+        let a = Ecdf::new(vec![1.0, 2.0, 3.0]);
+        let b = Ecdf::new(vec![1.0, 2.0, 3.0]);
+        assert!(ks_distance(&a, &b) < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_samples_have_distance_one() {
+        let a = Ecdf::new(vec![1.0, 2.0]);
+        let b = Ecdf::new(vec![10.0, 20.0]);
+        assert!((ks_distance(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_half_overlap() {
+        let a = Ecdf::new(vec![1.0, 2.0]);
+        let b = Ecdf::new(vec![2.0, 3.0]);
+        // At x just below 2: F_a = 0.5, F_b = 0.0.
+        // At x = 2: F_a = 1.0, F_b = 0.5.
+        assert!((ks_distance(&a, &b) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = Ecdf::new(vec![1.0, 5.0, 9.0]);
+        let b = Ecdf::new(vec![2.0, 4.0, 8.0, 16.0]);
+        assert!((ks_distance(&a, &b) - ks_distance(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_calibration() {
+        let sample = Ecdf::new((1..=100).map(f64::from).collect());
+        // The sample is uniform on [1,100]: F(50) = 0.5, F(90) = 0.9.
+        let d = ks_against_quantiles(&sample, &[(50.0, 0.5), (90.0, 0.9)]);
+        assert!(d < 1e-9, "d={d}");
+        let d = ks_against_quantiles(&sample, &[(50.0, 0.8)]);
+        assert!((d - 0.3).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// 0 <= D <= 1 and D(a,a) = 0.
+        #[test]
+        fn bounded_and_reflexive(sample in prop::collection::vec(-1e4f64..1e4, 1..80),
+                                 other in prop::collection::vec(-1e4f64..1e4, 1..80)) {
+            let a = Ecdf::new(sample.clone());
+            let b = Ecdf::new(other);
+            let d = ks_distance(&a, &b);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&d));
+            prop_assert!(ks_distance(&a, &a) < 1e-12);
+        }
+
+        /// Triangle inequality (KS is a metric on distributions).
+        #[test]
+        fn triangle(s1 in prop::collection::vec(0.0f64..100.0, 1..40),
+                    s2 in prop::collection::vec(0.0f64..100.0, 1..40),
+                    s3 in prop::collection::vec(0.0f64..100.0, 1..40)) {
+            let a = Ecdf::new(s1);
+            let b = Ecdf::new(s2);
+            let c = Ecdf::new(s3);
+            prop_assert!(ks_distance(&a, &c) <= ks_distance(&a, &b) + ks_distance(&b, &c) + 1e-9);
+        }
+    }
+}

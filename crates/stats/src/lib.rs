@@ -1,0 +1,51 @@
+//! Statistics toolkit for workload and host-load characterization.
+//!
+//! Implements every statistical instrument used by the CLUSTER'12
+//! cloud-vs-grid paper:
+//!
+//! * empirical CDFs and quantiles ([`ecdf`]),
+//! * histograms / empirical PDFs ([`histogram`]),
+//! * **mass–count disparity** with joint ratio and mm-distance
+//!   ([`masscount`]) — the paper's main heavy-tail summary,
+//! * Jain's fairness index ([`fairness`]) for submission-rate stability,
+//! * the Gini coefficient ([`gini`](mod@gini)),
+//! * moving-mean filtering and noise extraction ([`filter`]) used for the
+//!   "Google load is 20× noisier" comparison,
+//! * autocorrelation ([`autocorr`]),
+//! * run-length analysis of quantized level series ([`runlength`]) behind
+//!   Tables II/III and Fig. 9,
+//! * fixed-window event binning ([`binning`]) for jobs-per-hour rates,
+//! * scalar summaries ([`summary`]).
+//!
+//! All functions are pure and operate on plain slices so they can be used
+//! on any data source, not just traces.
+
+pub mod autocorr;
+pub mod binning;
+pub mod correlation;
+pub mod ecdf;
+pub mod fairness;
+pub mod filter;
+pub mod fit;
+pub mod gini;
+pub mod histogram;
+pub mod ks;
+pub mod masscount;
+pub mod periodicity;
+pub mod runlength;
+pub mod summary;
+
+pub use autocorr::{autocorrelation, mean_autocorrelation};
+pub use binning::counts_per_window;
+pub use correlation::{pearson, spearman};
+pub use ecdf::Ecdf;
+pub use fairness::{jain_fairness, jain_fairness_counts};
+pub use filter::{mean_filter, noise_series, noise_std};
+pub use fit::{fit_all, fit_exponential, fit_lognormal, fit_pareto, FitReport, FittedModel};
+pub use gini::gini;
+pub use histogram::Histogram;
+pub use ks::{ks_against_quantiles, ks_distance};
+pub use masscount::{MassCount, MassCountSummary};
+pub use periodicity::{diurnal_strength, period_power, periodogram};
+pub use runlength::{durations_by_level, run_lengths, LevelQuantizer, Run};
+pub use summary::Summary;

@@ -1,0 +1,385 @@
+//! Mass–count disparity (Feitelson), the paper's heavy-tail summary.
+//!
+//! The *count* distribution is the ordinary ECDF: what fraction of items is
+//! smaller than `x`. The *mass* distribution weights each item by its size:
+//! what fraction of the total mass belongs to items smaller than `x`.
+//! Two scalar indices summarize their divergence:
+//!
+//! * the **joint ratio** `X/Y`: at the unique point where
+//!   `Fc(x) + Fm(x) = 1`, `X = 100·Fm(x)` and `Y = 100·Fc(x)`; it reads
+//!   "X% of the items account for Y% of the mass and vice versa"
+//!   (the Pareto 80/20 rule generalized);
+//! * the **mm-distance**: the horizontal distance between the medians of
+//!   the two curves, `Fm⁻¹(½) − Fc⁻¹(½)`, in the units of `x`.
+//!
+//! The paper reports e.g. joint ratio 6/94 for Google task lengths versus
+//! 24/76 for AuverGrid (Fig. 4) — Google's mass is far more concentrated in
+//! its few long tasks.
+
+use serde::{Deserialize, Serialize};
+
+/// Mass–count analysis over a sample of non-negative sizes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MassCount {
+    sorted: Vec<f64>,
+    /// prefix[i] = sum of the i smallest values; prefix[0] = 0.
+    prefix: Vec<f64>,
+}
+
+/// Scalar summary of a mass–count analysis, serialized into experiment
+/// reports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MassCountSummary {
+    /// `X` of the `X/Y` joint ratio (percent of mass at the crossing).
+    pub joint_mass_pct: f64,
+    /// `Y` of the `X/Y` joint ratio (percent of items at the crossing).
+    pub joint_count_pct: f64,
+    /// Horizontal distance between the mass median and the count median.
+    pub mm_distance: f64,
+    /// Median of the count distribution.
+    pub count_median: f64,
+    /// Median of the mass distribution.
+    pub mass_median: f64,
+    /// Number of items.
+    pub items: usize,
+    /// Total mass.
+    pub total_mass: f64,
+}
+
+impl MassCountSummary {
+    /// The joint ratio formatted the way the paper prints it, e.g. "6/94".
+    pub fn joint_ratio_label(&self) -> String {
+        format!("{:.0}/{:.0}", self.joint_mass_pct, self.joint_count_pct)
+    }
+}
+
+impl MassCount {
+    /// Builds the analysis. Returns `None` for an empty sample or zero
+    /// total mass (both make the mass distribution undefined).
+    ///
+    /// Panics on negative or NaN values: sizes are lengths/loads and must
+    /// be non-negative.
+    pub fn new(mut sample: Vec<f64>) -> Option<Self> {
+        assert!(
+            sample.iter().all(|v| *v >= 0.0 && !v.is_nan()),
+            "mass-count sizes must be non-negative and not NaN"
+        );
+        if sample.is_empty() {
+            return None;
+        }
+        sample.sort_by(|a, b| a.partial_cmp(b).expect("NaN excluded above"));
+        let mut prefix = Vec::with_capacity(sample.len() + 1);
+        prefix.push(0.0);
+        let mut acc = 0.0;
+        for &v in &sample {
+            acc += v;
+            prefix.push(acc);
+        }
+        if acc <= 0.0 {
+            return None;
+        }
+        Some(MassCount {
+            sorted: sample,
+            prefix,
+        })
+    }
+
+    /// Builds from integer durations.
+    pub fn from_durations(durations: &[u64]) -> Option<Self> {
+        Self::new(durations.iter().map(|&d| d as f64).collect())
+    }
+
+    /// Number of items.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Never true: empty samples are rejected at construction.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Total mass.
+    #[inline]
+    pub fn total_mass(&self) -> f64 {
+        *self.prefix.last().expect("prefix always has n+1 entries")
+    }
+
+    /// Count CDF `Fc(x)`.
+    pub fn count_cdf(&self, x: f64) -> f64 {
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Mass CDF `Fm(x)`: fraction of total mass in items `<= x`.
+    pub fn mass_cdf(&self, x: f64) -> f64 {
+        let count = self.sorted.partition_point(|&v| v <= x);
+        self.prefix[count] / self.total_mass()
+    }
+
+    /// Median of the count distribution.
+    pub fn count_median(&self) -> f64 {
+        self.count_quantile(0.5)
+    }
+
+    /// The smallest observation `x` with `Fc(x) >= q`.
+    pub fn count_quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile in [0,1], got {q}");
+        let n = self.sorted.len();
+        // Epsilon guards exact fractions k/n against float round-up.
+        let idx = ((q * n as f64 - 1e-9).ceil() as usize).clamp(1, n) - 1;
+        self.sorted[idx]
+    }
+
+    /// Median of the mass distribution: the smallest `x` with
+    /// `Fm(x) >= 1/2` — half the total mass sits in items up to this size.
+    pub fn mass_median(&self) -> f64 {
+        self.mass_quantile(0.5)
+    }
+
+    /// The smallest observation `x` with `Fm(x) >= q`.
+    pub fn mass_quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile in [0,1], got {q}");
+        let target = q * self.total_mass();
+        // prefix is non-decreasing; find the first item index i (1-based)
+        // with prefix[i] >= target.
+        let idx = self.prefix.partition_point(|&p| p < target);
+        self.sorted[idx.clamp(1, self.sorted.len()) - 1]
+    }
+
+    /// mm-distance: `mass_median − count_median`, in `x` units.
+    ///
+    /// Large values mean the mass sits in items far larger than the typical
+    /// item — the signature of a heavy tail.
+    pub fn mm_distance(&self) -> f64 {
+        self.mass_median() - self.count_median()
+    }
+
+    /// Joint ratio `(mass%, count%)` at the crossing `Fc + Fm = 1`.
+    pub fn joint_ratio(&self) -> (f64, f64) {
+        let n = self.sorted.len();
+        let total = self.total_mass();
+        // Scan items in ascending order; after including item i (1-based),
+        // Fc = i/n and Fm = prefix[i]/total. Both are non-decreasing in i,
+        // so the first i where Fc + Fm >= 1 brackets the crossing.
+        for i in 1..=n {
+            let fc = i as f64 / n as f64;
+            let fm = self.prefix[i] / total;
+            if fc + fm >= 1.0 {
+                // Linear interpolation between (i-1) and i for a smoother
+                // estimate than the raw step.
+                let fc0 = (i - 1) as f64 / n as f64;
+                let fm0 = self.prefix[i - 1] / total;
+                let s0 = fc0 + fm0;
+                let s1 = fc + fm;
+                let t = if s1 > s0 { (1.0 - s0) / (s1 - s0) } else { 1.0 };
+                let fc_star = fc0 + t * (fc - fc0);
+                let fm_star = 1.0 - fc_star;
+                return (100.0 * fm_star, 100.0 * fc_star);
+            }
+        }
+        // Degenerate single-point distributions cross exactly at the end.
+        (50.0, 50.0)
+    }
+
+    /// Full scalar summary.
+    pub fn summary(&self) -> MassCountSummary {
+        let (joint_mass_pct, joint_count_pct) = self.joint_ratio();
+        let count_median = self.count_median();
+        let mass_median = self.mass_median();
+        MassCountSummary {
+            joint_mass_pct,
+            joint_count_pct,
+            mm_distance: mass_median - count_median,
+            count_median,
+            mass_median,
+            items: self.len(),
+            total_mass: self.total_mass(),
+        }
+    }
+
+    /// Plottable `(x, Fc(x), Fm(x))` staircase at each distinct size.
+    pub fn curves(&self) -> Vec<(f64, f64, f64)> {
+        let n = self.sorted.len() as f64;
+        let total = self.total_mass();
+        let mut out: Vec<(f64, f64, f64)> = Vec::new();
+        for (i, &x) in self.sorted.iter().enumerate() {
+            let fc = (i + 1) as f64 / n;
+            let fm = self.prefix[i + 1] / total;
+            match out.last_mut() {
+                Some(last) if last.0 == x => {
+                    last.1 = fc;
+                    last.2 = fm;
+                }
+                _ => out.push((x, fc, fm)),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_sizes_have_identical_curves() {
+        let mc = MassCount::new(vec![2.0; 10]).unwrap();
+        assert_eq!(mc.count_cdf(2.0), 1.0);
+        assert_eq!(mc.mass_cdf(2.0), 1.0);
+        assert_eq!(mc.mm_distance(), 0.0);
+        let (m, c) = mc.joint_ratio();
+        // Equal items: crossing at 50/50.
+        assert!((m - 50.0).abs() < 10.0, "mass pct {m}");
+        assert!((c - 50.0).abs() < 10.0, "count pct {c}");
+    }
+
+    #[test]
+    fn pareto_like_sample_is_skewed() {
+        // 99 items of size 1 and one item of size 100: the big item holds
+        // ~50% of the mass.
+        let mut sample = vec![1.0; 99];
+        sample.push(100.0);
+        let mc = MassCount::new(sample).unwrap();
+        assert_eq!(mc.count_median(), 1.0);
+        // Half the mass (99.5 of 199) is reached only within the big item.
+        assert_eq!(mc.mass_median(), 100.0);
+        let (mass_pct, count_pct) = mc.joint_ratio();
+        assert!(mass_pct < 51.0);
+        assert!(count_pct > 49.0);
+    }
+
+    #[test]
+    fn mass_median_reflects_heavy_tail() {
+        // 9 items of size 1, one of size 91: total 100, half-mass 50 is
+        // reached only within the big item.
+        let mut sample = vec![1.0; 9];
+        sample.push(91.0);
+        let mc = MassCount::new(sample).unwrap();
+        assert_eq!(mc.count_median(), 1.0);
+        assert_eq!(mc.mass_median(), 91.0);
+        assert_eq!(mc.mm_distance(), 90.0);
+    }
+
+    #[test]
+    fn joint_ratio_for_strong_skew() {
+        // 90 tiny items, 10 large: expect roughly 10/90-ish joint ratio.
+        let mut sample = vec![0.01; 90];
+        sample.extend(vec![10.0; 10]);
+        let mc = MassCount::new(sample).unwrap();
+        let (mass_pct, count_pct) = mc.joint_ratio();
+        assert!(mass_pct < 15.0, "mass pct was {mass_pct}");
+        assert!(count_pct > 85.0, "count pct was {count_pct}");
+    }
+
+    #[test]
+    fn cdf_queries() {
+        let mc = MassCount::new(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(mc.count_cdf(2.5), 0.5);
+        assert!((mc.mass_cdf(2.5) - 3.0 / 10.0).abs() < 1e-12);
+        assert_eq!(mc.count_cdf(0.5), 0.0);
+        assert_eq!(mc.mass_cdf(4.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let mc = MassCount::new(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(mc.count_quantile(0.25), 1.0);
+        assert_eq!(mc.count_quantile(1.0), 4.0);
+        // Mass quantile 0.1 -> first item already holds 1/10.
+        assert_eq!(mc.mass_quantile(0.1), 1.0);
+        assert_eq!(mc.mass_quantile(1.0), 4.0);
+    }
+
+    #[test]
+    fn empty_and_zero_mass_rejected() {
+        assert!(MassCount::new(vec![]).is_none());
+        assert!(MassCount::new(vec![0.0, 0.0]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_sizes_panic() {
+        let _ = MassCount::new(vec![1.0, -2.0]);
+    }
+
+    #[test]
+    fn summary_is_consistent() {
+        let mc = MassCount::new(vec![1.0, 1.0, 1.0, 7.0]).unwrap();
+        let s = mc.summary();
+        assert_eq!(s.items, 4);
+        assert_eq!(s.total_mass, 10.0);
+        assert_eq!(s.count_median, mc.count_median());
+        assert_eq!(s.mass_median, mc.mass_median());
+        assert!((s.mm_distance - mc.mm_distance()).abs() < 1e-12);
+        let label = s.joint_ratio_label();
+        assert!(label.contains('/'));
+    }
+
+    #[test]
+    fn curves_are_monotone_and_end_at_one() {
+        let mc = MassCount::new(vec![5.0, 1.0, 3.0, 3.0, 8.0]).unwrap();
+        let curves = mc.curves();
+        assert!(curves
+            .windows(2)
+            .all(|w| w[0].1 <= w[1].1 && w[0].2 <= w[1].2));
+        let last = curves.last().unwrap();
+        assert_eq!(last.1, 1.0);
+        assert!((last.2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_durations_works() {
+        let mc = MassCount::from_durations(&[10, 20, 30]).unwrap();
+        assert_eq!(mc.total_mass(), 60.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Fm(x) <= Fc(x) everywhere: mass lags count for non-negative sizes.
+        #[test]
+        fn mass_lags_count(sample in prop::collection::vec(0.001f64..1e4, 1..200),
+                           x in 0.0f64..1e4) {
+            let mc = MassCount::new(sample).unwrap();
+            prop_assert!(mc.mass_cdf(x) <= mc.count_cdf(x) + 1e-9);
+        }
+
+        /// mm-distance is non-negative.
+        #[test]
+        fn mm_distance_nonneg(sample in prop::collection::vec(0.001f64..1e4, 1..200)) {
+            let mc = MassCount::new(sample).unwrap();
+            prop_assert!(mc.mm_distance() >= -1e-9);
+        }
+
+        /// Joint ratio percentages sum to 100 and mass% <= count%.
+        #[test]
+        fn joint_ratio_sums_to_100(sample in prop::collection::vec(0.001f64..1e4, 1..200)) {
+            let mc = MassCount::new(sample).unwrap();
+            let (m, c) = mc.joint_ratio();
+            prop_assert!((m + c - 100.0).abs() < 1e-6, "m={m} c={c}");
+            prop_assert!(m <= c + 1e-6, "mass side must be the smaller one: m={m} c={c}");
+        }
+
+        /// Scaling all sizes by a constant scales mm-distance and keeps the
+        /// joint ratio.
+        #[test]
+        fn scale_invariance(sample in prop::collection::vec(0.001f64..1e3, 2..100),
+                            k in 0.1f64..100.0) {
+            let mc1 = MassCount::new(sample.clone()).unwrap();
+            let scaled: Vec<f64> = sample.iter().map(|v| v * k).collect();
+            let mc2 = MassCount::new(scaled).unwrap();
+            let (m1, c1) = mc1.joint_ratio();
+            let (m2, c2) = mc2.joint_ratio();
+            prop_assert!((m1 - m2).abs() < 1e-6);
+            prop_assert!((c1 - c2).abs() < 1e-6);
+            prop_assert!((mc1.mm_distance() * k - mc2.mm_distance()).abs() < 1e-6 * k.max(1.0));
+        }
+    }
+}

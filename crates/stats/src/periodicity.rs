@@ -1,0 +1,152 @@
+//! Periodicity detection for load series.
+//!
+//! The paper attributes the grids' low submission fairness to "strong
+//! diurnal periodicity". This module quantifies that: a periodogram over
+//! candidate periods and a diurnal-strength score comparing the energy at
+//! the 24-hour period against the spectrum's background.
+
+use std::f64::consts::TAU;
+
+/// Power of a single candidate period in a series, via the Lomb-style
+/// projection onto sine/cosine at that period.
+///
+/// `period` is expressed in samples. Returns the normalized power in
+/// `[0, 1]` (fraction of the series variance explained by that period).
+pub fn period_power(series: &[f64], period: f64) -> f64 {
+    assert!(period > 0.0, "period must be positive");
+    let n = series.len();
+    if n < 4 {
+        return 0.0;
+    }
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let var: f64 = series.iter().map(|v| (v - mean) * (v - mean)).sum();
+    if var == 0.0 {
+        return 0.0;
+    }
+    let mut cs = 0.0;
+    let mut sn = 0.0;
+    for (i, &v) in series.iter().enumerate() {
+        let phase = TAU * i as f64 / period;
+        cs += (v - mean) * phase.cos();
+        sn += (v - mean) * phase.sin();
+    }
+    // Projection energy relative to total energy, scaled so that a pure
+    // sinusoid at the candidate period scores 1.
+    (2.0 * (cs * cs + sn * sn) / (n as f64 * var)).min(1.0)
+}
+
+/// Periodogram over a range of candidate periods (in samples).
+pub fn periodogram(series: &[f64], periods: &[f64]) -> Vec<(f64, f64)> {
+    periods
+        .iter()
+        .map(|&p| (p, period_power(series, p)))
+        .collect()
+}
+
+/// Diurnal strength: power at `samples_per_day` relative to the median
+/// power over a background band of unrelated periods.
+///
+/// Values well above 1 indicate a clear daily rhythm (grids); values near
+/// 1 indicate none (the Google cluster's flat submission profile).
+pub fn diurnal_strength(series: &[f64], samples_per_day: f64) -> f64 {
+    let day_power = period_power(series, samples_per_day);
+    // Background: periods away from one day and its harmonics.
+    let background: Vec<f64> = [0.13, 0.19, 0.28, 0.37, 0.44, 0.61, 0.72, 0.83]
+        .iter()
+        .map(|&f| period_power(series, samples_per_day * f))
+        .collect();
+    let mut sorted = background.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("powers are finite"));
+    let median = sorted[sorted.len() / 2].max(1e-12);
+    day_power / median
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine_series(n: usize, period: f64, amp: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| 1.0 + amp * (TAU * i as f64 / period).sin())
+            .collect()
+    }
+
+    #[test]
+    fn pure_sine_scores_one_at_its_period() {
+        let s = sine_series(240, 24.0, 0.5);
+        let p = period_power(&s, 24.0);
+        assert!(p > 0.95, "p={p}");
+    }
+
+    #[test]
+    fn off_period_scores_low() {
+        let s = sine_series(240, 24.0, 0.5);
+        let p = period_power(&s, 11.0);
+        assert!(p < 0.1, "p={p}");
+    }
+
+    #[test]
+    fn constant_series_has_no_power() {
+        assert_eq!(period_power(&[2.0; 100], 10.0), 0.0);
+        assert_eq!(period_power(&[1.0, 2.0], 2.0), 0.0);
+    }
+
+    #[test]
+    fn periodogram_shape() {
+        let s = sine_series(480, 24.0, 0.5);
+        let pg = periodogram(&s, &[6.0, 12.0, 24.0, 48.0]);
+        assert_eq!(pg.len(), 4);
+        let best = pg
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        assert_eq!(best.0, 24.0);
+    }
+
+    #[test]
+    fn diurnal_strength_separates_grid_from_cloud() {
+        // Grid-like: strong 24h rhythm (hourly samples over 20 days).
+        let grid = sine_series(480, 24.0, 0.8);
+        // Cloud-like: flat with pseudo-random jitter.
+        let cloud: Vec<f64> = (0..480)
+            .map(|i| 1.0 + 0.05 * (((i * 2654435761usize) % 97) as f64 / 97.0 - 0.5))
+            .collect();
+        let g = diurnal_strength(&grid, 24.0);
+        let c = diurnal_strength(&cloud, 24.0);
+        assert!(g > 20.0, "grid strength={g}");
+        assert!(c < 10.0, "cloud strength={c}");
+        assert!(g > 5.0 * c);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_rejected() {
+        let _ = period_power(&[1.0, 2.0, 3.0, 4.0], 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Power is in [0, 1] for any series and period.
+        #[test]
+        fn power_bounded(series in prop::collection::vec(0.0f64..10.0, 4..200),
+                         period in 2.0f64..100.0) {
+            let p = period_power(&series, period);
+            prop_assert!((0.0..=1.0).contains(&p), "p={p}");
+        }
+
+        /// Power is shift-invariant (adding a constant changes nothing).
+        #[test]
+        fn shift_invariant(series in prop::collection::vec(0.0f64..10.0, 8..100),
+                           c in -5.0f64..5.0) {
+            let shifted: Vec<f64> = series.iter().map(|v| v + c).collect();
+            let a = period_power(&series, 12.0);
+            let b = period_power(&shifted, 12.0);
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

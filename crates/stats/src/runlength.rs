@@ -1,0 +1,271 @@
+//! Run-length analysis of quantized level series.
+//!
+//! Tables II/III of the paper measure how long a machine's CPU/memory usage
+//! stays inside one of five bands ([0,0.2), [0.2,0.4), ...), and Fig. 9 does
+//! the same for the running-queue length grouped into intervals of ten
+//! tasks. Both reduce to: quantize the series into discrete levels, then
+//! collect maximal runs of equal level.
+
+use serde::{Deserialize, Serialize};
+
+/// A maximal segment of constant level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Run {
+    /// Quantized level of the segment.
+    pub level: usize,
+    /// Index of the first sample of the run.
+    pub start: usize,
+    /// Number of consecutive samples at this level.
+    pub len: usize,
+}
+
+/// Collects maximal runs of equal values.
+pub fn run_lengths(levels: &[usize]) -> Vec<Run> {
+    let mut runs = Vec::new();
+    let mut iter = levels.iter().enumerate();
+    let Some((_, &first)) = iter.next() else {
+        return runs;
+    };
+    let mut current = Run {
+        level: first,
+        start: 0,
+        len: 1,
+    };
+    for (i, &lv) in iter {
+        if lv == current.level {
+            current.len += 1;
+        } else {
+            runs.push(current);
+            current = Run {
+                level: lv,
+                start: i,
+                len: 1,
+            };
+        }
+    }
+    runs.push(current);
+    runs
+}
+
+/// Groups run durations (in `period` units, e.g. seconds per sample) per
+/// level. `num_levels` fixes the output length so empty levels appear as
+/// empty vectors.
+pub fn durations_by_level(levels: &[usize], period: f64, num_levels: usize) -> Vec<Vec<f64>> {
+    let mut out = vec![Vec::new(); num_levels];
+    for run in run_lengths(levels) {
+        if run.level < num_levels {
+            out[run.level].push(run.len as f64 * period);
+        }
+    }
+    out
+}
+
+/// Maps raw observations to discrete levels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LevelQuantizer {
+    /// `bins` uniform bands over `[0, 1]` (the paper's five usage bands).
+    Uniform {
+        /// Number of bands.
+        bins: usize,
+    },
+    /// Integer intervals of fixed width: level = `min(count / width, max)`.
+    /// The paper's Fig. 9 uses width 10 with a final open interval
+    /// `[50, ...]`.
+    IntegerIntervals {
+        /// Interval width.
+        width: u32,
+        /// Highest level index (open-ended).
+        max_level: usize,
+    },
+}
+
+impl LevelQuantizer {
+    /// The paper's five usage bands over `[0, 1]`.
+    pub fn usage_bands() -> Self {
+        LevelQuantizer::Uniform { bins: 5 }
+    }
+
+    /// The paper's running-queue intervals `[0,9], [10,19], ..., [50,+)`.
+    pub fn queue_intervals() -> Self {
+        LevelQuantizer::IntegerIntervals {
+            width: 10,
+            max_level: 5,
+        }
+    }
+
+    /// Number of levels this quantizer produces.
+    pub fn num_levels(&self) -> usize {
+        match self {
+            LevelQuantizer::Uniform { bins } => *bins,
+            LevelQuantizer::IntegerIntervals { max_level, .. } => max_level + 1,
+        }
+    }
+
+    /// Quantizes a continuous observation. Values are clamped into range.
+    pub fn quantize(&self, value: f64) -> usize {
+        assert!(!value.is_nan(), "cannot quantize NaN");
+        match self {
+            LevelQuantizer::Uniform { bins } => {
+                ((value * *bins as f64).floor() as i64).clamp(0, *bins as i64 - 1) as usize
+            }
+            LevelQuantizer::IntegerIntervals { width, max_level } => {
+                ((value.max(0.0) as u64 / *width as u64) as usize).min(*max_level)
+            }
+        }
+    }
+
+    /// Quantizes an integer count (running-queue length).
+    pub fn quantize_count(&self, count: u32) -> usize {
+        self.quantize(count as f64)
+    }
+
+    /// Human-readable label of a level, matching the paper's notation.
+    pub fn label(&self, level: usize) -> String {
+        match self {
+            LevelQuantizer::Uniform { bins } => {
+                let lo = level as f64 / *bins as f64;
+                let hi = (level + 1) as f64 / *bins as f64;
+                format!("[{lo:.1},{hi:.1}]")
+            }
+            LevelQuantizer::IntegerIntervals { width, max_level } => {
+                let lo = level as u32 * width;
+                if level >= *max_level {
+                    format!("[{lo},...]")
+                } else {
+                    format!("[{lo},{}]", lo + width - 1)
+                }
+            }
+        }
+    }
+
+    /// Quantizes a whole series.
+    pub fn quantize_series(&self, series: &[f64]) -> Vec<usize> {
+        series.iter().map(|&v| self.quantize(v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_of_equal_values() {
+        let runs = run_lengths(&[1, 1, 2, 2, 2, 1]);
+        assert_eq!(
+            runs,
+            vec![
+                Run {
+                    level: 1,
+                    start: 0,
+                    len: 2
+                },
+                Run {
+                    level: 2,
+                    start: 2,
+                    len: 3
+                },
+                Run {
+                    level: 1,
+                    start: 5,
+                    len: 1
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(run_lengths(&[]).is_empty());
+        assert_eq!(
+            run_lengths(&[7]),
+            vec![Run {
+                level: 7,
+                start: 0,
+                len: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn durations_grouped_by_level() {
+        let groups = durations_by_level(&[0, 0, 1, 1, 1, 0], 60.0, 3);
+        assert_eq!(groups[0], vec![120.0, 60.0]);
+        assert_eq!(groups[1], vec![180.0]);
+        assert!(groups[2].is_empty());
+    }
+
+    #[test]
+    fn uniform_quantizer_bands() {
+        let q = LevelQuantizer::usage_bands();
+        assert_eq!(q.num_levels(), 5);
+        assert_eq!(q.quantize(0.0), 0);
+        assert_eq!(q.quantize(0.19), 0);
+        assert_eq!(q.quantize(0.2), 1);
+        assert_eq!(q.quantize(0.99), 4);
+        assert_eq!(q.quantize(1.0), 4); // top edge clamps into last band
+        assert_eq!(q.quantize(1.7), 4);
+        assert_eq!(q.quantize(-0.3), 0);
+    }
+
+    #[test]
+    fn integer_quantizer_intervals() {
+        let q = LevelQuantizer::queue_intervals();
+        assert_eq!(q.num_levels(), 6);
+        assert_eq!(q.quantize_count(0), 0);
+        assert_eq!(q.quantize_count(9), 0);
+        assert_eq!(q.quantize_count(10), 1);
+        assert_eq!(q.quantize_count(49), 4);
+        assert_eq!(q.quantize_count(50), 5);
+        assert_eq!(q.quantize_count(5_000), 5);
+    }
+
+    #[test]
+    fn labels_match_paper_notation() {
+        let q = LevelQuantizer::usage_bands();
+        assert_eq!(q.label(0), "[0.0,0.2]");
+        assert_eq!(q.label(4), "[0.8,1.0]");
+        let q = LevelQuantizer::queue_intervals();
+        assert_eq!(q.label(1), "[10,19]");
+        assert_eq!(q.label(5), "[50,...]");
+    }
+
+    #[test]
+    fn quantize_series_maps_elementwise() {
+        let q = LevelQuantizer::usage_bands();
+        assert_eq!(q.quantize_series(&[0.1, 0.5, 0.9]), vec![0, 2, 4]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Run lengths sum to the series length and adjacent runs differ.
+        #[test]
+        fn partition(levels in prop::collection::vec(0usize..4, 0..200)) {
+            let runs = run_lengths(&levels);
+            let total: usize = runs.iter().map(|r| r.len).sum();
+            prop_assert_eq!(total, levels.len());
+            for w in runs.windows(2) {
+                prop_assert_ne!(w[0].level, w[1].level);
+            }
+            // Each run reproduces the original values.
+            for r in &runs {
+                for &level in &levels[r.start..r.start + r.len] {
+                    prop_assert_eq!(level, r.level);
+                }
+            }
+        }
+
+        /// Quantized levels are always in range.
+        #[test]
+        fn quantizer_range(v in -2.0f64..3.0) {
+            let q = LevelQuantizer::usage_bands();
+            prop_assert!(q.quantize(v) < q.num_levels());
+            let qi = LevelQuantizer::queue_intervals();
+            prop_assert!(qi.quantize(v.abs() * 100.0) < qi.num_levels());
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Scalar summaries (min / mean / max / std / median) used across reports.
+
+use serde::{Deserialize, Serialize};
+
+/// Basic descriptive statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Smallest observation (0 if empty).
+    pub min: f64,
+    /// Largest observation (0 if empty).
+    pub max: f64,
+    /// Arithmetic mean (0 if empty).
+    pub mean: f64,
+    /// Population standard deviation (0 if empty).
+    pub std: f64,
+    /// Median (0 if empty).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Computes the summary of a sample. NaNs are rejected.
+    pub fn of(sample: &[f64]) -> Summary {
+        assert!(
+            sample.iter().all(|v| !v.is_nan()),
+            "summary input must not contain NaN"
+        );
+        if sample.is_empty() {
+            return Summary {
+                count: 0,
+                min: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                std: 0.0,
+                median: 0.0,
+            };
+        }
+        let n = sample.len() as f64;
+        let mean = sample.iter().sum::<f64>() / n;
+        let var = sample.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let mut sorted = sample.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN excluded above"));
+        let median = if sorted.len() % 2 == 1 {
+            sorted[sorted.len() / 2]
+        } else {
+            (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
+        };
+        Summary {
+            count: sample.len(),
+            min: sorted[0],
+            max: *sorted.last().expect("non-empty"),
+            mean,
+            std: var.sqrt(),
+            median,
+        }
+    }
+
+    /// Computes the summary of integer durations.
+    pub fn of_durations(durations: &[u64]) -> Summary {
+        let xs: Vec<f64> = durations.iter().map(|&d| d as f64).collect();
+        Summary::of(&xs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.median, 2.5);
+        assert!((s.std - (1.25f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn odd_median() {
+        assert_eq!(Summary::of(&[5.0, 1.0, 3.0]).median, 3.0);
+    }
+
+    #[test]
+    fn empty_is_zeroed() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn single_value() {
+        let s = Summary::of(&[7.5]);
+        assert_eq!(s.min, 7.5);
+        assert_eq!(s.max, 7.5);
+        assert_eq!(s.median, 7.5);
+        assert_eq!(s.std, 0.0);
+    }
+
+    #[test]
+    fn durations_variant() {
+        let s = Summary::of_durations(&[10, 20]);
+        assert_eq!(s.mean, 15.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = Summary::of(&[f64::NAN]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// min <= median <= max and min <= mean <= max.
+        #[test]
+        fn ordering(sample in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+            let s = Summary::of(&sample);
+            prop_assert!(s.min <= s.median && s.median <= s.max);
+            prop_assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
+            prop_assert!(s.std >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Strongly-typed identifiers for trace entities.
+//!
+//! Using newtypes instead of bare integers prevents the classic
+//! characterization-pipeline bug of indexing a machine table with a task id.
+//! All ids are dense indices assigned by [`crate::TraceBuilder`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw index, suitable for indexing dense tables.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(v: u32) -> Self {
+                Self(v)
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(v: usize) -> Self {
+                Self(v as u32)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a job (a user request comprising one or more tasks).
+    JobId,
+    "j"
+);
+id_type!(
+    /// Identifier of a task, the smallest unit of resource consumption.
+    TaskId,
+    "t"
+);
+id_type!(
+    /// Identifier of a machine in the cluster.
+    MachineId,
+    "m"
+);
+id_type!(
+    /// Identifier of a user. Each job belongs to exactly one user.
+    UserId,
+    "u"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        let a = TaskId(1);
+        let b = TaskId(2);
+        assert!(a < b);
+        let set: HashSet<TaskId> = [a, b, TaskId(1)].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn display_includes_tag() {
+        assert_eq!(JobId(7).to_string(), "j7");
+        assert_eq!(TaskId(8).to_string(), "t8");
+        assert_eq!(MachineId(9).to_string(), "m9");
+        assert_eq!(UserId(3).to_string(), "u3");
+    }
+
+    #[test]
+    fn index_round_trip() {
+        let m: MachineId = 12usize.into();
+        assert_eq!(m.index(), 12);
+        let m: MachineId = 12u32.into();
+        assert_eq!(m.index(), 12);
+    }
+}

@@ -1,0 +1,508 @@
+//! Plain-text trace serialization.
+//!
+//! Traces are written in a sectioned CSV dialect so that generated
+//! workloads can be persisted, diffed, and re-analyzed without re-running
+//! the simulator. The format is deliberately simple — one section header
+//! per record type, one record per line — and round-trips exactly (modulo
+//! float formatting, which uses enough digits to be lossless).
+//!
+//! ```text
+//! #trace <system> <horizon>
+//! #machines
+//! <id>,<cpu>,<mem>,<page_cache>
+//! #jobs
+//! <id>,<user>,<priority>,<submit>,<completion|->,<cpu_seconds>,<mean_memory>
+//! #tasks
+//! <id>,<job>,<priority>,<submit>,<cpu>,<mem>,<exec>,<attempts>,<outcome>
+//! #events
+//! <time>,<task>,<machine|->,<kind>
+//! #series <machine> <start> <period>
+//! <cpu_l>,<cpu_m>,<cpu_h>,<mu_l>,...,<page_cache>
+//! ```
+
+use crate::ids::{JobId, MachineId, TaskId, UserId};
+use crate::job::JobRecord;
+use crate::machine::MachineRecord;
+use crate::priority::Priority;
+use crate::resources::Demand;
+use crate::task::{TaskEvent, TaskEventKind, TaskOutcome, TaskRecord};
+use crate::trace::Trace;
+use crate::usage::{ClassSplit, HostSeries, UsageSample};
+use std::fmt::Write as _;
+use std::str::FromStr;
+
+/// Error produced while parsing a serialized trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn outcome_tag(o: TaskOutcome) -> &'static str {
+    match o {
+        TaskOutcome::Finished => "finished",
+        TaskOutcome::Evicted => "evicted",
+        TaskOutcome::Failed => "failed",
+        TaskOutcome::Killed => "killed",
+        TaskOutcome::Lost => "lost",
+        TaskOutcome::Unfinished => "unfinished",
+    }
+}
+
+fn parse_outcome(s: &str) -> Option<TaskOutcome> {
+    Some(match s {
+        "finished" => TaskOutcome::Finished,
+        "evicted" => TaskOutcome::Evicted,
+        "failed" => TaskOutcome::Failed,
+        "killed" => TaskOutcome::Killed,
+        "lost" => TaskOutcome::Lost,
+        "unfinished" => TaskOutcome::Unfinished,
+        _ => return None,
+    })
+}
+
+fn event_tag(k: TaskEventKind) -> &'static str {
+    match k {
+        TaskEventKind::Submit => "submit",
+        TaskEventKind::Schedule => "schedule",
+        TaskEventKind::Evict => "evict",
+        TaskEventKind::Fail => "fail",
+        TaskEventKind::Finish => "finish",
+        TaskEventKind::Kill => "kill",
+        TaskEventKind::Lost => "lost",
+        TaskEventKind::UpdatePending => "update_pending",
+        TaskEventKind::UpdateRunning => "update_running",
+    }
+}
+
+fn parse_event_kind(s: &str) -> Option<TaskEventKind> {
+    Some(match s {
+        "submit" => TaskEventKind::Submit,
+        "schedule" => TaskEventKind::Schedule,
+        "evict" => TaskEventKind::Evict,
+        "fail" => TaskEventKind::Fail,
+        "finish" => TaskEventKind::Finish,
+        "kill" => TaskEventKind::Kill,
+        "lost" => TaskEventKind::Lost,
+        "update_pending" => TaskEventKind::UpdatePending,
+        "update_running" => TaskEventKind::UpdateRunning,
+        _ => return None,
+    })
+}
+
+/// Serializes a trace to the sectioned-CSV text format.
+pub fn write_trace(trace: &Trace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "#trace {} {}", trace.system, trace.horizon);
+
+    let _ = writeln!(out, "#machines");
+    for m in &trace.machines {
+        let _ = writeln!(
+            out,
+            "{},{},{},{}",
+            m.id.0, m.cpu_capacity, m.memory_capacity, m.page_cache_capacity
+        );
+    }
+
+    let _ = writeln!(out, "#jobs");
+    for j in &trace.jobs {
+        let completion = j
+            .completion_time
+            .map_or_else(|| "-".to_string(), |t| t.to_string());
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{}",
+            j.id.0,
+            j.user.0,
+            j.priority.level(),
+            j.submit_time,
+            completion,
+            j.cpu_seconds,
+            j.mean_memory
+        );
+    }
+
+    let _ = writeln!(out, "#tasks");
+    for t in &trace.tasks {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{}",
+            t.id.0,
+            t.job.0,
+            t.priority.level(),
+            t.submit_time,
+            t.demand.cpu,
+            t.demand.memory,
+            t.execution_time,
+            t.attempts,
+            outcome_tag(t.outcome)
+        );
+    }
+
+    let _ = writeln!(out, "#events");
+    for e in &trace.events {
+        let machine = e
+            .machine
+            .map_or_else(|| "-".to_string(), |m| m.0.to_string());
+        let _ = writeln!(
+            out,
+            "{},{},{},{}",
+            e.time,
+            e.task.0,
+            machine,
+            event_tag(e.kind)
+        );
+    }
+
+    for s in &trace.host_series {
+        let _ = writeln!(out, "#series {} {} {}", s.machine.0, s.start, s.period);
+        for sample in &s.samples {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{}",
+                sample.cpu.low,
+                sample.cpu.middle,
+                sample.cpu.high,
+                sample.memory_used.low,
+                sample.memory_used.middle,
+                sample.memory_used.high,
+                sample.memory_assigned.low,
+                sample.memory_assigned.middle,
+                sample.memory_assigned.high,
+                sample.page_cache
+            );
+        }
+    }
+    out
+}
+
+struct LineParser<'a> {
+    line_no: usize,
+    line: &'a str,
+}
+
+impl<'a> LineParser<'a> {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line_no,
+            message: message.into(),
+        }
+    }
+
+    fn fields(&self, expected: usize) -> Result<Vec<&'a str>, ParseError> {
+        let fields: Vec<&str> = self.line.split(',').collect();
+        if fields.len() != expected {
+            return Err(self.err(format!(
+                "expected {expected} comma-separated fields, found {}",
+                fields.len()
+            )));
+        }
+        Ok(fields)
+    }
+
+    fn parse<T: FromStr>(&self, s: &str, what: &str) -> Result<T, ParseError> {
+        s.parse()
+            .map_err(|_| self.err(format!("invalid {what}: {s:?}")))
+    }
+}
+
+#[derive(PartialEq)]
+enum Section {
+    Preamble,
+    Machines,
+    Jobs,
+    Tasks,
+    Events,
+    Series,
+}
+
+/// Parses a trace previously produced by [`write_trace`].
+pub fn read_trace(text: &str) -> Result<Trace, ParseError> {
+    let mut system = String::new();
+    let mut horizon = 0;
+    let mut machines = Vec::new();
+    let mut jobs: Vec<JobRecord> = Vec::new();
+    let mut tasks: Vec<TaskRecord> = Vec::new();
+    let mut events = Vec::new();
+    let mut host_series: Vec<HostSeries> = Vec::new();
+    let mut section = Section::Preamble;
+
+    for (i, raw) in text.lines().enumerate() {
+        let p = LineParser {
+            line_no: i + 1,
+            line: raw,
+        };
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let mut words = rest.split_whitespace();
+            match words.next() {
+                Some("trace") => {
+                    system = words
+                        .next()
+                        .ok_or_else(|| p.err("missing system name"))?
+                        .to_string();
+                    horizon = p.parse(
+                        words.next().ok_or_else(|| p.err("missing horizon"))?,
+                        "horizon",
+                    )?;
+                }
+                Some("machines") => section = Section::Machines,
+                Some("jobs") => section = Section::Jobs,
+                Some("tasks") => section = Section::Tasks,
+                Some("events") => section = Section::Events,
+                Some("series") => {
+                    let machine: u32 = p.parse(
+                        words
+                            .next()
+                            .ok_or_else(|| p.err("missing series machine"))?,
+                        "machine id",
+                    )?;
+                    let start = p.parse(
+                        words.next().ok_or_else(|| p.err("missing series start"))?,
+                        "start",
+                    )?;
+                    let period = p.parse(
+                        words.next().ok_or_else(|| p.err("missing series period"))?,
+                        "period",
+                    )?;
+                    host_series.push(HostSeries::new(MachineId(machine), start, period));
+                    section = Section::Series;
+                }
+                other => return Err(p.err(format!("unknown section {other:?}"))),
+            }
+            continue;
+        }
+
+        match section {
+            Section::Preamble => return Err(p.err("data before any section header")),
+            Section::Machines => {
+                let f = p.fields(4)?;
+                let id: u32 = p.parse(f[0], "machine id")?;
+                machines.push(MachineRecord::new(
+                    MachineId(id),
+                    p.parse(f[1], "cpu capacity")?,
+                    p.parse(f[2], "memory capacity")?,
+                    p.parse(f[3], "page-cache capacity")?,
+                ));
+            }
+            Section::Jobs => {
+                let f = p.fields(7)?;
+                let priority: u8 = p.parse(f[2], "priority")?;
+                jobs.push(JobRecord {
+                    id: JobId(p.parse(f[0], "job id")?),
+                    user: UserId(p.parse(f[1], "user id")?),
+                    priority: Priority::new(priority)
+                        .ok_or_else(|| p.err(format!("priority {priority} out of range")))?,
+                    submit_time: p.parse(f[3], "submit time")?,
+                    tasks: Vec::new(),
+                    completion_time: if f[4] == "-" {
+                        None
+                    } else {
+                        Some(p.parse(f[4], "completion time")?)
+                    },
+                    cpu_seconds: p.parse(f[5], "cpu seconds")?,
+                    mean_memory: p.parse(f[6], "mean memory")?,
+                });
+            }
+            Section::Tasks => {
+                let f = p.fields(9)?;
+                let priority: u8 = p.parse(f[2], "priority")?;
+                let job = JobId(p.parse(f[1], "job id")?);
+                let id = TaskId(p.parse(f[0], "task id")?);
+                let record = TaskRecord {
+                    id,
+                    job,
+                    priority: Priority::new(priority)
+                        .ok_or_else(|| p.err(format!("priority {priority} out of range")))?,
+                    submit_time: p.parse(f[3], "submit time")?,
+                    demand: Demand::new(p.parse(f[4], "cpu demand")?, p.parse(f[5], "mem demand")?),
+                    execution_time: p.parse(f[6], "execution time")?,
+                    attempts: p.parse(f[7], "attempts")?,
+                    outcome: parse_outcome(f[8])
+                        .ok_or_else(|| p.err(format!("unknown outcome {:?}", f[8])))?,
+                };
+                let ji = job.index();
+                if ji >= jobs.len() {
+                    return Err(p.err(format!("task references unknown job {job}")));
+                }
+                jobs[ji].tasks.push(id);
+                tasks.push(record);
+            }
+            Section::Events => {
+                let f = p.fields(4)?;
+                events.push(TaskEvent {
+                    time: p.parse(f[0], "time")?,
+                    task: TaskId(p.parse(f[1], "task id")?),
+                    machine: if f[2] == "-" {
+                        None
+                    } else {
+                        Some(MachineId(p.parse(f[2], "machine id")?))
+                    },
+                    kind: parse_event_kind(f[3])
+                        .ok_or_else(|| p.err(format!("unknown event kind {:?}", f[3])))?,
+                });
+            }
+            Section::Series => {
+                let f = p.fields(10)?;
+                let series = host_series
+                    .last_mut()
+                    .expect("series section always opens with a #series header");
+                series.samples.push(UsageSample {
+                    cpu: ClassSplit {
+                        low: p.parse(f[0], "cpu low")?,
+                        middle: p.parse(f[1], "cpu middle")?,
+                        high: p.parse(f[2], "cpu high")?,
+                    },
+                    memory_used: ClassSplit {
+                        low: p.parse(f[3], "mem-used low")?,
+                        middle: p.parse(f[4], "mem-used middle")?,
+                        high: p.parse(f[5], "mem-used high")?,
+                    },
+                    memory_assigned: ClassSplit {
+                        low: p.parse(f[6], "mem-assigned low")?,
+                        middle: p.parse(f[7], "mem-assigned middle")?,
+                        high: p.parse(f[8], "mem-assigned high")?,
+                    },
+                    page_cache: p.parse(f[9], "page cache")?,
+                });
+            }
+        }
+    }
+
+    Ok(Trace {
+        system,
+        horizon,
+        machines,
+        jobs,
+        tasks,
+        events,
+        host_series,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceBuilder;
+    use crate::usage::UsageSample;
+
+    fn sample_trace() -> Trace {
+        let mut b = TraceBuilder::new("roundtrip", 3_600);
+        let m = b.add_machine(0.5, 0.75, 1.0);
+        let j = b.add_job(UserId(7), Priority::from_level(9), 42);
+        let t = b.add_task(j, Demand::new(0.03, 0.015));
+        b.set_job_usage(j, 120.5, 0.014);
+        b.push_event(TaskEvent {
+            time: 42,
+            task: t,
+            machine: None,
+            kind: TaskEventKind::Submit,
+        });
+        b.push_event(TaskEvent {
+            time: 50,
+            task: t,
+            machine: Some(m),
+            kind: TaskEventKind::Schedule,
+        });
+        b.push_event(TaskEvent {
+            time: 170,
+            task: t,
+            machine: Some(m),
+            kind: TaskEventKind::Finish,
+        });
+        let mut series = HostSeries::new(m, 0, 300);
+        series.samples.push(UsageSample {
+            cpu: ClassSplit {
+                low: 0.01,
+                middle: 0.0,
+                high: 0.02,
+            },
+            memory_used: ClassSplit {
+                low: 0.1,
+                middle: 0.0,
+                high: 0.0,
+            },
+            memory_assigned: ClassSplit {
+                low: 0.12,
+                middle: 0.0,
+                high: 0.0,
+            },
+            page_cache: 0.07,
+        });
+        b.add_host_series(series);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_trace() {
+        let trace = sample_trace();
+        let text = write_trace(&trace);
+        let parsed = read_trace(&text).unwrap();
+        assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn round_trip_empty_trace() {
+        let trace = TraceBuilder::new("empty", 100).build().unwrap();
+        let parsed = read_trace(&write_trace(&trace)).unwrap();
+        assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn unknown_event_kind_rejected() {
+        let text = "#trace x 10\n#events\n1,0,-,explode\n";
+        let err = read_trace(text).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("explode"));
+    }
+
+    #[test]
+    fn wrong_field_count_rejected() {
+        let text = "#trace x 10\n#machines\n0,0.5\n";
+        let err = read_trace(text).unwrap_err();
+        assert!(err.message.contains("expected 4"));
+    }
+
+    #[test]
+    fn task_with_unknown_job_rejected() {
+        let text = "#trace x 10\n#tasks\n0,5,1,0,0.1,0.1,10,1,finished\n";
+        let err = read_trace(text).unwrap_err();
+        assert!(err.message.contains("unknown job"));
+    }
+
+    #[test]
+    fn data_before_section_rejected() {
+        let text = "#trace x 10\n0,1,2,3\n";
+        let err = read_trace(text).unwrap_err();
+        assert!(err.message.contains("before any section"));
+    }
+
+    #[test]
+    fn priorities_out_of_range_rejected() {
+        let text = "#trace x 10\n#jobs\n0,0,99,0,-,0,0\n";
+        let err = read_trace(text).unwrap_err();
+        assert!(err.message.contains("out of range"));
+    }
+
+    #[test]
+    fn blank_lines_ignored() {
+        let trace = sample_trace();
+        let mut text = write_trace(&trace);
+        text = text.replace("#jobs", "\n#jobs\n");
+        let parsed = read_trace(&text).unwrap();
+        assert_eq!(parsed, trace);
+    }
+}

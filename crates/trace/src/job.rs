@@ -1,0 +1,110 @@
+//! Jobs: a user request consisting of one or more tasks.
+//!
+//! The paper's work-load analyses (Section III) operate at job granularity:
+//! job length (submission to completion), submission intervals, per-job CPU
+//! and memory utilization. The builder fills the summary fields from the
+//! event log so analyses never have to re-derive them.
+
+use crate::ids::{JobId, TaskId, UserId};
+use crate::priority::Priority;
+use crate::time::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// Per-job record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Job identifier.
+    pub id: JobId,
+    /// Submitting user.
+    pub user: UserId,
+    /// Priority shared by all of the job's tasks.
+    pub priority: Priority,
+    /// Submission time of the job (first task submission).
+    pub submit_time: Timestamp,
+    /// Tasks belonging to this job.
+    pub tasks: Vec<TaskId>,
+    /// Time the last task completed, if the job finished within the trace.
+    pub completion_time: Option<Timestamp>,
+    /// Cumulative CPU time over all processors and tasks, in
+    /// core-seconds. For a sequential job this is at most the wall-clock
+    /// time; parallel grid jobs accumulate `width ×` wall-clock.
+    pub cpu_seconds: f64,
+    /// Mean memory held by the job while active, normalized to the largest
+    /// machine's capacity (the Google trace's normalization).
+    pub mean_memory: f64,
+}
+
+impl JobRecord {
+    /// The paper's *job length*: duration between submission and completion.
+    ///
+    /// `None` if the job was still active when the trace ended; such jobs
+    /// are excluded from length CDFs, exactly as unfinished jobs are
+    /// excluded in trace studies.
+    #[inline]
+    pub fn length(&self) -> Option<u64> {
+        self.completion_time
+            .map(|c| c.saturating_sub(self.submit_time))
+    }
+
+    /// Number of tasks in the job.
+    #[inline]
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// The paper's per-job CPU usage metric (Formula 4):
+    /// cumulative CPU time over all processors divided by wall-clock time.
+    ///
+    /// `None` for unfinished or zero-length jobs.
+    pub fn cpu_usage(&self) -> Option<f64> {
+        let len = self.length()?;
+        if len == 0 {
+            return None;
+        }
+        Some(self.cpu_seconds / len as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(submit: Timestamp, complete: Option<Timestamp>, cpu_seconds: f64) -> JobRecord {
+        JobRecord {
+            id: JobId(0),
+            user: UserId(0),
+            priority: Priority::from_level(3),
+            submit_time: submit,
+            tasks: vec![TaskId(0)],
+            completion_time: complete,
+            cpu_seconds,
+            mean_memory: 0.01,
+        }
+    }
+
+    #[test]
+    fn length_is_completion_minus_submission() {
+        assert_eq!(job(100, Some(400), 0.0).length(), Some(300));
+        assert_eq!(job(100, None, 0.0).length(), None);
+    }
+
+    #[test]
+    fn length_saturates_on_inverted_times() {
+        // Defensive: a malformed record must not underflow.
+        assert_eq!(job(500, Some(400), 0.0).length(), Some(0));
+    }
+
+    #[test]
+    fn cpu_usage_is_cpu_seconds_over_wallclock() {
+        // A job that ran 300 s of wall-clock and consumed 600 core-seconds
+        // used 2 processors on average (a parallel grid job).
+        let j = job(0, Some(300), 600.0);
+        assert!((j.cpu_usage().unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cpu_usage_none_for_unfinished_or_instant() {
+        assert_eq!(job(0, None, 10.0).cpu_usage(), None);
+        assert_eq!(job(5, Some(5), 10.0).cpu_usage(), None);
+    }
+}

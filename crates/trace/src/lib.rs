@@ -1,0 +1,47 @@
+//! Trace data model for the CLUSTER'12 cloud-vs-grid workload study.
+//!
+//! This crate defines the vocabulary shared by every other crate in the
+//! workspace: identifiers, timestamps, priorities, resource vectors, the
+//! task life-cycle state machine, job/task/machine records, the task event
+//! log, per-host 5-minute usage samples, and the [`Trace`] container that
+//! bundles them together.
+//!
+//! The model mirrors the public schema of the 2011 Google cluster-usage
+//! trace (the paper's primary data source) closely enough that every
+//! analysis in `cgc-core` is expressed in the paper's own terms:
+//!
+//! * a **job** is a user request made of one or more **tasks**;
+//! * each task carries one of **12 priorities** and a resource demand;
+//! * a task moves through `Unsubmitted → Pending → Running → Dead`
+//!   (with resubmission looping back to `Pending`), see [`task::TaskState`];
+//! * machines are heterogeneous, with capacities normalized to the largest
+//!   machine per attribute, see [`machine::MachineRecord`];
+//! * host load is reported as periodic usage samples
+//!   ([`usage::UsageSample`], 5-minute period in the original trace).
+
+pub mod clusterdata;
+pub mod ids;
+pub mod io;
+pub mod job;
+pub mod machine;
+pub mod normalize;
+pub mod priority;
+pub mod resources;
+pub mod swf;
+pub mod task;
+pub mod time;
+pub mod timeline;
+pub mod trace;
+pub mod usage;
+
+pub use ids::{JobId, MachineId, TaskId, UserId};
+pub use job::JobRecord;
+pub use machine::{MachineRecord, CPU_CAPACITY_CLASSES, MEMORY_CAPACITY_CLASSES};
+pub use normalize::{normalize_trace, NormalizationFactors};
+pub use priority::{Priority, PriorityClass};
+pub use resources::Demand;
+pub use task::{TaskEvent, TaskEventKind, TaskOutcome, TaskRecord, TaskState};
+pub use time::{Duration, Timestamp, DAY, HOUR, MINUTE, SAMPLE_PERIOD};
+pub use timeline::{QueueCounts, QueueTimeline};
+pub use trace::{Trace, TraceBuilder};
+pub use usage::{ClassSplit, HostSeries, UsageSample};

@@ -1,0 +1,122 @@
+//! Machines: heterogeneous capacities in normalized units.
+//!
+//! The Google fleet is heterogeneous: the released trace normalizes every
+//! capacity by the largest machine's, and the paper observes the resulting
+//! discrete capacity classes (Fig. 7's dotted lines): CPU capacities
+//! {0.25, 0.5, 1} and memory capacities {0.25, 0.5, 0.75, 1}. Page-cache
+//! capacity is uniform across machines.
+
+use crate::ids::MachineId;
+use crate::resources::Demand;
+use serde::{Deserialize, Serialize};
+
+/// The discrete normalized CPU capacity classes observed in the trace.
+pub const CPU_CAPACITY_CLASSES: [f64; 3] = [0.25, 0.5, 1.0];
+
+/// The discrete normalized memory capacity classes observed in the trace.
+pub const MEMORY_CAPACITY_CLASSES: [f64; 4] = [0.25, 0.5, 0.75, 1.0];
+
+/// A machine in the cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineRecord {
+    /// Machine identifier.
+    pub id: MachineId,
+    /// Normalized CPU capacity (one of [`CPU_CAPACITY_CLASSES`] for
+    /// Google-like fleets; grid fleets may use other values).
+    pub cpu_capacity: f64,
+    /// Normalized memory capacity.
+    pub memory_capacity: f64,
+    /// Normalized page-cache capacity (uniformly 1.0 in the Google trace).
+    pub page_cache_capacity: f64,
+}
+
+impl MachineRecord {
+    /// Creates a machine record, validating capacities are in `(0, 1]`.
+    pub fn new(id: MachineId, cpu: f64, memory: f64, page_cache: f64) -> Self {
+        for (name, v) in [("cpu", cpu), ("memory", memory), ("page_cache", page_cache)] {
+            assert!(
+                v > 0.0 && v <= 1.0,
+                "{name} capacity must be in (0, 1], got {v}"
+            );
+        }
+        MachineRecord {
+            id,
+            cpu_capacity: cpu,
+            memory_capacity: memory,
+            page_cache_capacity: page_cache,
+        }
+    }
+
+    /// The machine's capacity as a demand vector (CPU, memory).
+    #[inline]
+    pub fn capacity(&self) -> Demand {
+        Demand {
+            cpu: self.cpu_capacity,
+            memory: self.memory_capacity,
+        }
+    }
+
+    /// Index of this machine's CPU class within `classes`, by nearest value.
+    ///
+    /// Used to group machines per capacity class when reproducing Fig. 7.
+    pub fn capacity_class(value: f64, classes: &[f64]) -> usize {
+        classes
+            .iter()
+            .enumerate()
+            .min_by(|a, b| {
+                (a.1 - value)
+                    .abs()
+                    .partial_cmp(&(b.1 - value).abs())
+                    .expect("capacity classes must not contain NaN")
+            })
+            .map(|(i, _)| i)
+            .expect("capacity class list must be non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_vector() {
+        let m = MachineRecord::new(MachineId(0), 0.5, 0.75, 1.0);
+        let c = m.capacity();
+        assert_eq!(c.cpu, 0.5);
+        assert_eq!(c.memory, 0.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be in (0, 1]")]
+    fn zero_capacity_rejected() {
+        let _ = MachineRecord::new(MachineId(0), 0.0, 0.5, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be in (0, 1]")]
+    fn oversized_capacity_rejected() {
+        let _ = MachineRecord::new(MachineId(0), 0.5, 1.5, 1.0);
+    }
+
+    #[test]
+    fn class_assignment_is_nearest() {
+        assert_eq!(
+            MachineRecord::capacity_class(0.25, &CPU_CAPACITY_CLASSES),
+            0
+        );
+        assert_eq!(MachineRecord::capacity_class(0.5, &CPU_CAPACITY_CLASSES), 1);
+        assert_eq!(MachineRecord::capacity_class(1.0, &CPU_CAPACITY_CLASSES), 2);
+        // Values off the grid snap to the nearest class.
+        assert_eq!(MachineRecord::capacity_class(0.3, &CPU_CAPACITY_CLASSES), 0);
+        assert_eq!(
+            MachineRecord::capacity_class(0.8, &MEMORY_CAPACITY_CLASSES),
+            2
+        );
+    }
+
+    #[test]
+    fn class_constants_match_paper() {
+        assert_eq!(CPU_CAPACITY_CLASSES.len(), 3);
+        assert_eq!(MEMORY_CAPACITY_CLASSES.len(), 4);
+    }
+}

@@ -1,0 +1,194 @@
+//! Trace normalization, mirroring Google's release process.
+//!
+//! The public Google trace divides every capacity and usage value by the
+//! fleet maximum for its attribute ("these values were transformed in a
+//! linear manner", paper §II), so only relative information survives.
+//! [`normalize_trace`] applies the same transformation to a trace carrying
+//! absolute values (e.g. one assembled from a private cluster log), after
+//! which it is directly comparable to the traces this workspace generates.
+
+use crate::trace::Trace;
+use crate::usage::ClassSplit;
+use serde::{Deserialize, Serialize};
+
+/// The scale factors a normalization divided by, kept so that consumers
+/// can de-normalize where needed (the paper's Fig. 6(b) does exactly this
+/// with assumed 32/64 GB capacities).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NormalizationFactors {
+    /// Largest machine CPU capacity observed.
+    pub cpu: f64,
+    /// Largest machine memory capacity observed.
+    pub memory: f64,
+    /// Largest machine page-cache capacity observed.
+    pub page_cache: f64,
+}
+
+impl NormalizationFactors {
+    /// Factors measured from a trace's machine records. `None` if the
+    /// trace has no machines or any maximum is zero.
+    pub fn measure(trace: &Trace) -> Option<NormalizationFactors> {
+        if trace.machines.is_empty() {
+            return None;
+        }
+        let max = |f: fn(&crate::machine::MachineRecord) -> f64| {
+            trace.machines.iter().map(f).fold(0.0, f64::max)
+        };
+        let factors = NormalizationFactors {
+            cpu: max(|m| m.cpu_capacity),
+            memory: max(|m| m.memory_capacity),
+            page_cache: max(|m| m.page_cache_capacity),
+        };
+        (factors.cpu > 0.0 && factors.memory > 0.0 && factors.page_cache > 0.0).then_some(factors)
+    }
+
+    /// True when the trace is already normalized (all maxima are 1).
+    pub fn is_identity(&self) -> bool {
+        (self.cpu - 1.0).abs() < 1e-12
+            && (self.memory - 1.0).abs() < 1e-12
+            && (self.page_cache - 1.0).abs() < 1e-12
+    }
+}
+
+fn scale_split(split: &mut ClassSplit, factor: f64) {
+    split.low /= factor;
+    split.middle /= factor;
+    split.high /= factor;
+}
+
+/// Normalizes a trace in place, dividing every capacity, demand and usage
+/// value by the fleet maximum of its attribute. Returns the factors used,
+/// or `None` (trace untouched) when the trace has no machines.
+pub fn normalize_trace(trace: &mut Trace) -> Option<NormalizationFactors> {
+    let factors = NormalizationFactors::measure(trace)?;
+    if factors.is_identity() {
+        return Some(factors);
+    }
+    for m in &mut trace.machines {
+        m.cpu_capacity /= factors.cpu;
+        m.memory_capacity /= factors.memory;
+        m.page_cache_capacity /= factors.page_cache;
+    }
+    for t in &mut trace.tasks {
+        t.demand.cpu /= factors.cpu;
+        t.demand.memory /= factors.memory;
+    }
+    for j in &mut trace.jobs {
+        j.mean_memory /= factors.memory;
+        // cpu_seconds stays in core-seconds: Formula 4 usage is measured
+        // in processors, which the paper does not normalize.
+    }
+    for s in &mut trace.host_series {
+        for sample in &mut s.samples {
+            scale_split(&mut sample.cpu, factors.cpu);
+            scale_split(&mut sample.memory_used, factors.memory);
+            scale_split(&mut sample.memory_assigned, factors.memory);
+            sample.page_cache /= factors.page_cache;
+        }
+    }
+    Some(factors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::UserId;
+    use crate::priority::Priority;
+    use crate::resources::Demand;
+    use crate::trace::TraceBuilder;
+    use crate::usage::{HostSeries, UsageSample};
+
+    /// Machines carrying *absolute-looking* capacities in (0, 1]; the
+    /// builder requires (0,1], so absolute units are modeled as fractions
+    /// of some large unit.
+    fn raw_trace() -> Trace {
+        let mut b = TraceBuilder::new("raw", 600);
+        let m0 = b.add_machine(0.8, 0.64, 0.5);
+        b.add_machine(0.4, 0.32, 0.5);
+        let j = b.add_job(UserId(0), Priority::from_level(2), 0);
+        b.add_task(j, Demand::new(0.2, 0.16));
+        b.set_job_usage(j, 100.0, 0.32);
+        let mut s = HostSeries::new(m0, 0, 300);
+        s.samples.push(UsageSample {
+            cpu: ClassSplit {
+                low: 0.4,
+                middle: 0.0,
+                high: 0.0,
+            },
+            memory_used: ClassSplit {
+                low: 0.32,
+                middle: 0.0,
+                high: 0.0,
+            },
+            memory_assigned: ClassSplit {
+                low: 0.4,
+                middle: 0.0,
+                high: 0.0,
+            },
+            page_cache: 0.25,
+        });
+        b.add_host_series(s);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn factors_are_fleet_maxima() {
+        let trace = raw_trace();
+        let f = NormalizationFactors::measure(&trace).unwrap();
+        assert_eq!(f.cpu, 0.8);
+        assert_eq!(f.memory, 0.64);
+        assert_eq!(f.page_cache, 0.5);
+        assert!(!f.is_identity());
+    }
+
+    #[test]
+    fn normalization_rescales_everything() {
+        let mut trace = raw_trace();
+        let f = normalize_trace(&mut trace).unwrap();
+        assert_eq!(f.cpu, 0.8);
+        // Largest machine becomes 1.0; the smaller one keeps its ratio.
+        assert!((trace.machines[0].cpu_capacity - 1.0).abs() < 1e-12);
+        assert!((trace.machines[1].cpu_capacity - 0.5).abs() < 1e-12);
+        assert!((trace.machines[0].memory_capacity - 1.0).abs() < 1e-12);
+        // Demands scale with the same factors.
+        assert!((trace.tasks[0].demand.cpu - 0.25).abs() < 1e-12);
+        assert!((trace.tasks[0].demand.memory - 0.25).abs() < 1e-12);
+        // Usage samples scale too.
+        let sample = &trace.host_series[0].samples[0];
+        assert!((sample.cpu.total() - 0.5).abs() < 1e-12);
+        assert!((sample.memory_used.total() - 0.5).abs() < 1e-12);
+        assert!((sample.page_cache - 0.5).abs() < 1e-12);
+        // Job mean memory normalized.
+        assert!((trace.jobs[0].mean_memory - 0.5).abs() < 1e-12);
+        // cpu_seconds untouched (processor units).
+        assert_eq!(trace.jobs[0].cpu_seconds, 100.0);
+    }
+
+    #[test]
+    fn already_normalized_is_untouched() {
+        let mut b = TraceBuilder::new("norm", 100);
+        b.add_machine(1.0, 1.0, 1.0);
+        let mut trace = b.build().unwrap();
+        let before = trace.clone();
+        let f = normalize_trace(&mut trace).unwrap();
+        assert!(f.is_identity());
+        assert_eq!(trace, before);
+    }
+
+    #[test]
+    fn machineless_trace_returns_none() {
+        let mut trace = TraceBuilder::new("none", 100).build().unwrap();
+        assert!(normalize_trace(&mut trace).is_none());
+    }
+
+    #[test]
+    fn relative_usage_is_preserved() {
+        // Relative usage (usage / own capacity) must be invariant under
+        // normalization — it is what all host-load analyses consume.
+        let mut trace = raw_trace();
+        let before = trace.host_series[0].samples[0].cpu.total() / trace.machines[0].cpu_capacity;
+        normalize_trace(&mut trace).unwrap();
+        let after = trace.host_series[0].samples[0].cpu.total() / trace.machines[0].cpu_capacity;
+        assert!((before - after).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,196 @@
+//! Task priorities.
+//!
+//! The Google trace defines 12 scheduling priorities. The paper observes
+//! (Fig. 2) that they cluster into three groups — low (1–4), middle (5–8)
+//! and high (9–12) — and analyzes host load separately per group, because a
+//! machine saturated by low-priority work is still "idle" from the point of
+//! view of a high-priority task that could preempt it.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of distinct priorities in the Google trace.
+pub const NUM_PRIORITIES: usize = 12;
+
+/// A task/job priority in `1..=12`. Higher values preempt lower ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Priority(u8);
+
+impl Priority {
+    /// The lowest priority, `1`.
+    pub const MIN: Priority = Priority(1);
+    /// The highest priority, `12`.
+    pub const MAX: Priority = Priority(12);
+
+    /// Creates a priority, returning `None` unless `level` is in `1..=12`.
+    pub fn new(level: u8) -> Option<Self> {
+        (1..=NUM_PRIORITIES as u8)
+            .contains(&level)
+            .then_some(Self(level))
+    }
+
+    /// Creates a priority, panicking if `level` is out of range.
+    ///
+    /// Convenient in tests and generator presets where the level is a
+    /// literal.
+    pub fn from_level(level: u8) -> Self {
+        Self::new(level)
+            .unwrap_or_else(|| panic!("priority level {level} out of range 1..={NUM_PRIORITIES}"))
+    }
+
+    /// The numeric level in `1..=12`.
+    #[inline]
+    pub fn level(self) -> u8 {
+        self.0
+    }
+
+    /// Zero-based index in `0..12`, for histogram arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        (self.0 - 1) as usize
+    }
+
+    /// The cluster this priority belongs to per the paper's grouping.
+    #[inline]
+    pub fn class(self) -> PriorityClass {
+        match self.0 {
+            1..=4 => PriorityClass::Low,
+            5..=8 => PriorityClass::Middle,
+            _ => PriorityClass::High,
+        }
+    }
+
+    /// Whether a task at this priority may preempt one at `other`.
+    #[inline]
+    pub fn preempts(self, other: Priority) -> bool {
+        self.0 > other.0
+    }
+
+    /// Iterates over all 12 priorities in ascending order.
+    pub fn all() -> impl Iterator<Item = Priority> {
+        (1..=NUM_PRIORITIES as u8).map(Priority)
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// The paper's three-way clustering of the 12 priorities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PriorityClass {
+    /// Priorities 1–4: gratis / batch work, the bulk of the load.
+    Low,
+    /// Priorities 5–8: normal production tasks.
+    Middle,
+    /// Priorities 9–12: latency-sensitive / monitoring tasks.
+    High,
+}
+
+impl PriorityClass {
+    /// All three classes, ascending.
+    pub const ALL: [PriorityClass; 3] = [
+        PriorityClass::Low,
+        PriorityClass::Middle,
+        PriorityClass::High,
+    ];
+
+    /// Zero-based index (Low = 0, Middle = 1, High = 2).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            PriorityClass::Low => 0,
+            PriorityClass::Middle => 1,
+            PriorityClass::High => 2,
+        }
+    }
+
+    /// The inclusive range of priority levels in this class.
+    pub fn levels(self) -> std::ops::RangeInclusive<u8> {
+        match self {
+            PriorityClass::Low => 1..=4,
+            PriorityClass::Middle => 5..=8,
+            PriorityClass::High => 9..=12,
+        }
+    }
+}
+
+impl fmt::Display for PriorityClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PriorityClass::Low => "low",
+            PriorityClass::Middle => "middle",
+            PriorityClass::High => "high",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_bounds() {
+        assert!(Priority::new(0).is_none());
+        assert!(Priority::new(13).is_none());
+        assert_eq!(Priority::new(1), Some(Priority::MIN));
+        assert_eq!(Priority::new(12), Some(Priority::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_level_panics_out_of_range() {
+        let _ = Priority::from_level(0);
+    }
+
+    #[test]
+    fn class_boundaries_match_paper() {
+        assert_eq!(Priority::from_level(1).class(), PriorityClass::Low);
+        assert_eq!(Priority::from_level(4).class(), PriorityClass::Low);
+        assert_eq!(Priority::from_level(5).class(), PriorityClass::Middle);
+        assert_eq!(Priority::from_level(8).class(), PriorityClass::Middle);
+        assert_eq!(Priority::from_level(9).class(), PriorityClass::High);
+        assert_eq!(Priority::from_level(12).class(), PriorityClass::High);
+    }
+
+    #[test]
+    fn preemption_is_strict() {
+        let lo = Priority::from_level(2);
+        let hi = Priority::from_level(9);
+        assert!(hi.preempts(lo));
+        assert!(!lo.preempts(hi));
+        assert!(!hi.preempts(hi));
+    }
+
+    #[test]
+    fn all_covers_every_level_once() {
+        let levels: Vec<u8> = Priority::all().map(Priority::level).collect();
+        assert_eq!(levels, (1..=12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn class_levels_partition_priorities() {
+        let mut seen = [false; NUM_PRIORITIES];
+        for class in PriorityClass::ALL {
+            for level in class.levels() {
+                let idx = (level - 1) as usize;
+                assert!(!seen[idx], "level {level} covered twice");
+                seen[idx] = true;
+                assert_eq!(Priority::from_level(level).class(), class);
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn index_is_zero_based() {
+        assert_eq!(Priority::MIN.index(), 0);
+        assert_eq!(Priority::MAX.index(), 11);
+        assert_eq!(PriorityClass::Low.index(), 0);
+        assert_eq!(PriorityClass::High.index(), 2);
+    }
+}

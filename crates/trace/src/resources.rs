@@ -1,0 +1,175 @@
+//! Resource demand vectors.
+//!
+//! Following the released Google trace, resource quantities are normalized:
+//! `1.0` is the capacity of the largest machine for the given attribute.
+//! A demand is what a task requests; actual consumption is reported by the
+//! usage sampler and may differ (the paper contrasts *assigned* versus
+//! *consumed* memory in Fig. 7).
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A (CPU, memory) request, in normalized units of the largest machine.
+///
+/// CPU is measured in "core-seconds per second" (i.e. average cores busy),
+/// normalized by the largest machine's core count. Memory is bytes,
+/// normalized by the largest machine's RAM.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Demand {
+    /// Normalized CPU rate requested.
+    pub cpu: f64,
+    /// Normalized memory size requested.
+    pub memory: f64,
+}
+
+impl Demand {
+    /// A zero demand.
+    pub const ZERO: Demand = Demand {
+        cpu: 0.0,
+        memory: 0.0,
+    };
+
+    /// Creates a demand vector. Panics if a component is negative or NaN.
+    pub fn new(cpu: f64, memory: f64) -> Self {
+        assert!(
+            cpu >= 0.0 && cpu.is_finite(),
+            "cpu demand must be finite and >= 0, got {cpu}"
+        );
+        assert!(
+            memory >= 0.0 && memory.is_finite(),
+            "memory demand must be finite and >= 0, got {memory}"
+        );
+        Demand { cpu, memory }
+    }
+
+    /// True if both components of `self` fit within `avail`.
+    #[inline]
+    pub fn fits_within(&self, avail: &Demand) -> bool {
+        self.cpu <= avail.cpu + f64::EPSILON && self.memory <= avail.memory + f64::EPSILON
+    }
+
+    /// Component-wise scaling.
+    #[inline]
+    pub fn scaled(&self, factor: f64) -> Demand {
+        Demand {
+            cpu: self.cpu * factor,
+            memory: self.memory * factor,
+        }
+    }
+
+    /// Component-wise clamp into `[0, cap]`.
+    #[inline]
+    pub fn clamped(&self, cap: &Demand) -> Demand {
+        Demand {
+            cpu: self.cpu.clamp(0.0, cap.cpu),
+            memory: self.memory.clamp(0.0, cap.memory),
+        }
+    }
+
+    /// Saturating subtraction: components never go below zero.
+    ///
+    /// Useful for free-capacity bookkeeping where floating-point drift could
+    /// otherwise produce tiny negatives.
+    #[inline]
+    pub fn saturating_sub(&self, rhs: &Demand) -> Demand {
+        Demand {
+            cpu: (self.cpu - rhs.cpu).max(0.0),
+            memory: (self.memory - rhs.memory).max(0.0),
+        }
+    }
+}
+
+impl Add for Demand {
+    type Output = Demand;
+    #[inline]
+    fn add(self, rhs: Demand) -> Demand {
+        Demand {
+            cpu: self.cpu + rhs.cpu,
+            memory: self.memory + rhs.memory,
+        }
+    }
+}
+
+impl AddAssign for Demand {
+    #[inline]
+    fn add_assign(&mut self, rhs: Demand) {
+        self.cpu += rhs.cpu;
+        self.memory += rhs.memory;
+    }
+}
+
+impl Sub for Demand {
+    type Output = Demand;
+    #[inline]
+    fn sub(self, rhs: Demand) -> Demand {
+        Demand {
+            cpu: self.cpu - rhs.cpu,
+            memory: self.memory - rhs.memory,
+        }
+    }
+}
+
+impl SubAssign for Demand {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Demand) {
+        self.cpu -= rhs.cpu;
+        self.memory -= rhs.memory;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_within_is_componentwise() {
+        let small = Demand::new(0.1, 0.2);
+        let big = Demand::new(0.5, 0.5);
+        assert!(small.fits_within(&big));
+        assert!(!big.fits_within(&small));
+        // One component too large is enough to fail.
+        assert!(!Demand::new(0.6, 0.1).fits_within(&big));
+        assert!(!Demand::new(0.1, 0.6).fits_within(&big));
+    }
+
+    #[test]
+    fn fits_within_tolerates_fp_equality() {
+        let d = Demand::new(0.3, 0.3);
+        assert!(d.fits_within(&d));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Demand::new(0.2, 0.3);
+        let b = Demand::new(0.1, 0.1);
+        let sum = a + b;
+        assert!((sum.cpu - 0.3).abs() < 1e-12);
+        assert!((sum.memory - 0.4).abs() < 1e-12);
+        let diff = sum - b;
+        assert!((diff.cpu - a.cpu).abs() < 1e-12);
+        assert!((diff.memory - a.memory).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturating_sub_never_negative() {
+        let a = Demand::new(0.1, 0.1);
+        let b = Demand::new(0.5, 0.05);
+        let r = a.saturating_sub(&b);
+        assert_eq!(r.cpu, 0.0);
+        assert!((r.memory - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "cpu demand")]
+    fn negative_cpu_rejected() {
+        let _ = Demand::new(-0.1, 0.0);
+    }
+
+    #[test]
+    fn clamped_bounds_components() {
+        let cap = Demand::new(0.5, 0.5);
+        let d = Demand::new(0.7, 0.2).clamped(&cap);
+        assert_eq!(d.cpu, 0.5);
+        assert_eq!(d.memory, 0.2);
+    }
+}

@@ -1,0 +1,63 @@
+//! Time base for traces.
+//!
+//! All trace times are integral seconds since the start of the trace.
+//! The Google trace reports usage once per 5-minute window; that period is
+//! exposed here as [`SAMPLE_PERIOD`] and used as the default sampling period
+//! by the simulator.
+
+/// A point in simulated time, in seconds since trace start.
+pub type Timestamp = u64;
+
+/// A span of simulated time, in seconds.
+pub type Duration = u64;
+
+/// One minute, in seconds.
+pub const MINUTE: Duration = 60;
+
+/// One hour, in seconds.
+pub const HOUR: Duration = 3_600;
+
+/// One day, in seconds.
+pub const DAY: Duration = 86_400;
+
+/// The usage-sampling period of the Google trace: 5 minutes.
+pub const SAMPLE_PERIOD: Duration = 5 * MINUTE;
+
+/// Converts a timestamp to fractional days, the unit most of the paper's
+/// figures use on their x axes.
+#[inline]
+pub fn as_days(t: Timestamp) -> f64 {
+    t as f64 / DAY as f64
+}
+
+/// Converts a timestamp to fractional hours.
+#[inline]
+pub fn as_hours(t: Timestamp) -> f64 {
+    t as f64 / HOUR as f64
+}
+
+/// Converts a timestamp to fractional minutes.
+#[inline]
+pub fn as_minutes(t: Timestamp) -> f64 {
+    t as f64 / MINUTE as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_relations() {
+        assert_eq!(HOUR, 60 * MINUTE);
+        assert_eq!(DAY, 24 * HOUR);
+        assert_eq!(SAMPLE_PERIOD, 300);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(as_days(DAY), 1.0);
+        assert_eq!(as_days(DAY / 2), 0.5);
+        assert_eq!(as_hours(HOUR * 3), 3.0);
+        assert_eq!(as_minutes(90), 1.5);
+    }
+}

@@ -1,0 +1,327 @@
+//! Per-machine queue-state reconstruction (paper Fig. 8).
+//!
+//! The paper imagines each machine keeping a pending queue, a running queue
+//! and a dead queue, and plots how many tasks sit in each over time. The
+//! trace only records events, so [`QueueTimeline::for_machine`] rebuilds the
+//! step functions by replaying the log. Pending tasks are not bound to a
+//! machine until scheduled; following the paper's per-machine view, a
+//! pending task is attributed to the machine where that attempt eventually
+//! ran (attempts that die while pending count against no machine's
+//! pending queue but do appear in the abnormal tally of the machine of
+//! their previous attempt, if any — a machineless death with no prior
+//! attempt is dropped from per-machine views).
+
+use crate::ids::MachineId;
+use crate::task::{TaskEventKind, TaskState};
+use crate::time::{Duration, Timestamp};
+use crate::trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// Queue occupancy at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct QueueCounts {
+    /// Tasks waiting to be scheduled (attributed to their future machine).
+    pub pending: u32,
+    /// Tasks executing.
+    pub running: u32,
+    /// Cumulative normal completions.
+    pub finished: u32,
+    /// Cumulative abnormal completions (evict/fail/kill/lost).
+    pub abnormal: u32,
+}
+
+/// Step function of queue occupancy on one machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueueTimeline {
+    /// The machine described.
+    pub machine: MachineId,
+    /// `(time, counts)` steps: counts hold from each time until the next.
+    pub steps: Vec<(Timestamp, QueueCounts)>,
+}
+
+impl QueueTimeline {
+    /// Rebuilds the queue timeline of `machine` from the trace event log.
+    pub fn for_machine(trace: &Trace, machine: MachineId) -> QueueTimeline {
+        // Pass 1: for each task, pair each Submit with the machine of the
+        // following Schedule (if any), walking its events in time order.
+        // Events are already time-sorted in a built trace.
+        let n_tasks = trace.tasks.len();
+        let mut pending_target: Vec<Option<MachineId>> = vec![None; n_tasks];
+        // For each event index, whether the Submit it represents targets
+        // this machine.
+        let mut submit_targets = Vec::new();
+        {
+            // Index of the pending Submit event per task, awaiting a
+            // Schedule to learn its machine.
+            let mut open_submit: Vec<Option<usize>> = vec![None; n_tasks];
+            submit_targets.resize(trace.events.len(), false);
+            for (i, e) in trace.events.iter().enumerate() {
+                let ti = e.task.index();
+                match e.kind {
+                    TaskEventKind::Submit => open_submit[ti] = Some(i),
+                    TaskEventKind::Schedule => {
+                        if let Some(si) = open_submit[ti].take() {
+                            if e.machine == Some(machine) {
+                                submit_targets[si] = true;
+                            }
+                        }
+                        pending_target[ti] = e.machine;
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // Pass 2: replay, applying deltas for this machine.
+        let mut counts = QueueCounts::default();
+        let mut steps: Vec<(Timestamp, QueueCounts)> = vec![(0, counts)];
+        let mut state: Vec<TaskState> = vec![TaskState::Unsubmitted; n_tasks];
+        // Whether this task's *current pending attempt* targets the machine.
+        let mut pending_here: Vec<bool> = vec![false; n_tasks];
+
+        for (i, e) in trace.events.iter().enumerate() {
+            let ti = e.task.index();
+            let prev = state[ti];
+            state[ti] = prev
+                .apply(e.kind)
+                .expect("built traces contain only legal events");
+            let mut changed = false;
+            match e.kind {
+                TaskEventKind::Submit if submit_targets[i] => {
+                    pending_here[ti] = true;
+                    counts.pending += 1;
+                    changed = true;
+                }
+                TaskEventKind::Schedule => {
+                    if pending_here[ti] {
+                        pending_here[ti] = false;
+                        counts.pending -= 1;
+                        changed = true;
+                    }
+                    if e.machine == Some(machine) {
+                        counts.running += 1;
+                        changed = true;
+                    }
+                }
+                kind if kind.is_completion() => {
+                    let here = e.machine == Some(machine);
+                    if prev == TaskState::Running && here {
+                        counts.running -= 1;
+                        changed = true;
+                    }
+                    if prev == TaskState::Pending && pending_here[ti] {
+                        pending_here[ti] = false;
+                        counts.pending -= 1;
+                        changed = true;
+                    }
+                    if here || (prev == TaskState::Pending && e.machine.is_none()) {
+                        // Deaths while pending have no machine; skip them in
+                        // per-machine tallies unless explicitly tagged.
+                        if here {
+                            if kind == TaskEventKind::Finish {
+                                counts.finished += 1;
+                            } else {
+                                counts.abnormal += 1;
+                            }
+                            changed = true;
+                        }
+                    }
+                }
+                _ => {}
+            }
+            if changed {
+                match steps.last_mut() {
+                    Some(last) if last.0 == e.time => last.1 = counts,
+                    _ => steps.push((e.time, counts)),
+                }
+            }
+        }
+
+        QueueTimeline { machine, steps }
+    }
+
+    /// Queue counts in effect at time `t`.
+    pub fn at(&self, t: Timestamp) -> QueueCounts {
+        match self.steps.binary_search_by_key(&t, |s| s.0) {
+            Ok(i) => self.steps[i].1,
+            Err(0) => QueueCounts::default(),
+            Err(i) => self.steps[i - 1].1,
+        }
+    }
+
+    /// Samples the running-queue length every `period` seconds over
+    /// `[0, horizon)`.
+    ///
+    /// Feeds the run-length / mass-count analysis of Fig. 9.
+    pub fn running_series(&self, horizon: Duration, period: Duration) -> Vec<u32> {
+        assert!(period > 0, "sampling period must be positive");
+        let n = (horizon / period) as usize;
+        let mut out = Vec::with_capacity(n);
+        let mut idx = 0usize;
+        let mut current = QueueCounts::default();
+        for k in 0..n {
+            let t = k as u64 * period;
+            while idx < self.steps.len() && self.steps[idx].0 <= t {
+                current = self.steps[idx].1;
+                idx += 1;
+            }
+            out.push(current.running);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{TaskId, UserId};
+    use crate::priority::Priority;
+    use crate::resources::Demand;
+    use crate::task::TaskEvent;
+    use crate::trace::TraceBuilder;
+
+    fn event(
+        time: Timestamp,
+        task: TaskId,
+        machine: Option<u32>,
+        kind: TaskEventKind,
+    ) -> TaskEvent {
+        TaskEvent {
+            time,
+            task,
+            machine: machine.map(MachineId),
+            kind,
+        }
+    }
+
+    /// One machine; two tasks overlap, one fails.
+    fn two_task_trace() -> Trace {
+        let mut b = TraceBuilder::new("test", 1_000);
+        b.add_machine(1.0, 1.0, 1.0);
+        let j = b.add_job(UserId(0), Priority::from_level(2), 0);
+        let t1 = b.add_task(j, Demand::new(0.1, 0.1));
+        let t2 = b.add_task(j, Demand::new(0.1, 0.1));
+        b.push_event(event(10, t1, None, TaskEventKind::Submit));
+        b.push_event(event(20, t1, Some(0), TaskEventKind::Schedule));
+        b.push_event(event(30, t2, None, TaskEventKind::Submit));
+        b.push_event(event(50, t2, Some(0), TaskEventKind::Schedule));
+        b.push_event(event(100, t1, Some(0), TaskEventKind::Finish));
+        b.push_event(event(200, t2, Some(0), TaskEventKind::Fail));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn counts_follow_events() {
+        let trace = two_task_trace();
+        let tl = QueueTimeline::for_machine(&trace, MachineId(0));
+        assert_eq!(tl.at(5), QueueCounts::default());
+        assert_eq!(tl.at(10).pending, 1);
+        assert_eq!(
+            tl.at(20),
+            QueueCounts {
+                pending: 0,
+                running: 1,
+                finished: 0,
+                abnormal: 0
+            }
+        );
+        assert_eq!(tl.at(30).pending, 1);
+        assert_eq!(
+            tl.at(60),
+            QueueCounts {
+                pending: 0,
+                running: 2,
+                finished: 0,
+                abnormal: 0
+            }
+        );
+        assert_eq!(
+            tl.at(150),
+            QueueCounts {
+                pending: 0,
+                running: 1,
+                finished: 1,
+                abnormal: 0
+            }
+        );
+        assert_eq!(
+            tl.at(999),
+            QueueCounts {
+                pending: 0,
+                running: 0,
+                finished: 1,
+                abnormal: 1
+            }
+        );
+    }
+
+    #[test]
+    fn other_machine_sees_nothing() {
+        let mut b = TraceBuilder::new("test", 1_000);
+        b.add_machine(1.0, 1.0, 1.0);
+        b.add_machine(1.0, 1.0, 1.0);
+        let j = b.add_job(UserId(0), Priority::from_level(2), 0);
+        let t = b.add_task(j, Demand::new(0.1, 0.1));
+        b.push_event(event(0, t, None, TaskEventKind::Submit));
+        b.push_event(event(5, t, Some(0), TaskEventKind::Schedule));
+        b.push_event(event(50, t, Some(0), TaskEventKind::Finish));
+        let trace = b.build().unwrap();
+        let tl = QueueTimeline::for_machine(&trace, MachineId(1));
+        assert_eq!(tl.at(500), QueueCounts::default());
+    }
+
+    #[test]
+    fn running_series_sampling() {
+        let trace = two_task_trace();
+        let tl = QueueTimeline::for_machine(&trace, MachineId(0));
+        let series = tl.running_series(300, 50);
+        // t = 0, 50, 100, 150, 200, 250
+        assert_eq!(series, vec![0, 2, 1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn resubmission_pending_attribution() {
+        // A task evicted from machine 0 and rescheduled on machine 1: the
+        // second pending spell belongs to machine 1.
+        let mut b = TraceBuilder::new("test", 1_000);
+        b.add_machine(1.0, 1.0, 1.0);
+        b.add_machine(1.0, 1.0, 1.0);
+        let j = b.add_job(UserId(0), Priority::from_level(2), 0);
+        let t = b.add_task(j, Demand::new(0.1, 0.1));
+        b.push_event(event(0, t, None, TaskEventKind::Submit));
+        b.push_event(event(10, t, Some(0), TaskEventKind::Schedule));
+        b.push_event(event(50, t, Some(0), TaskEventKind::Evict));
+        b.push_event(event(50, t, None, TaskEventKind::Submit));
+        b.push_event(event(90, t, Some(1), TaskEventKind::Schedule));
+        b.push_event(event(150, t, Some(1), TaskEventKind::Finish));
+        let trace = b.build().unwrap();
+
+        let m0 = QueueTimeline::for_machine(&trace, MachineId(0));
+        assert_eq!(
+            m0.at(70).pending,
+            0,
+            "second spell must not count on machine 0"
+        );
+        assert_eq!(m0.at(70).abnormal, 1);
+        let m1 = QueueTimeline::for_machine(&trace, MachineId(1));
+        assert_eq!(m1.at(70).pending, 1);
+        assert_eq!(m1.at(100).running, 1);
+        assert_eq!(m1.at(200).finished, 1);
+    }
+
+    #[test]
+    fn at_handles_exact_step_times() {
+        let trace = two_task_trace();
+        let tl = QueueTimeline::for_machine(&trace, MachineId(0));
+        // Exactly at an event timestamp the new counts are in effect.
+        assert_eq!(tl.at(100).finished, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn running_series_zero_period_panics() {
+        let trace = two_task_trace();
+        let tl = QueueTimeline::for_machine(&trace, MachineId(0));
+        let _ = tl.running_series(100, 0);
+    }
+}

@@ -1,0 +1,575 @@
+//! The [`Trace`] container and its validating builder.
+//!
+//! A `Trace` is the single interchange type of the workspace: generators and
+//! the simulator produce one, the characterization pipeline consumes one.
+//! [`TraceBuilder::build`] replays every task's event sequence through the
+//! life-cycle state machine of [`crate::task::TaskState`], so an invalid
+//! event stream (e.g. a task finishing before being scheduled) is rejected
+//! at construction time rather than corrupting analyses downstream.
+
+use crate::ids::{JobId, MachineId, TaskId, UserId};
+use crate::job::JobRecord;
+use crate::machine::MachineRecord;
+use crate::priority::Priority;
+use crate::resources::Demand;
+use crate::task::{
+    IllegalTransition, TaskEvent, TaskEventKind, TaskOutcome, TaskRecord, TaskState,
+};
+use crate::time::{Duration, Timestamp};
+use crate::usage::HostSeries;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A complete trace: machines, jobs, tasks, the event log, and per-host
+/// usage series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Human-readable label ("google", "auvergrid", ...).
+    pub system: String,
+    /// Length of the observation window, in seconds.
+    pub horizon: Duration,
+    /// All machines. Empty for workload-only traces.
+    pub machines: Vec<MachineRecord>,
+    /// All jobs, indexed by [`JobId`].
+    pub jobs: Vec<JobRecord>,
+    /// All tasks, indexed by [`TaskId`].
+    pub tasks: Vec<TaskRecord>,
+    /// Event log sorted by (time, task).
+    pub events: Vec<TaskEvent>,
+    /// Usage series, one per machine that reported samples.
+    pub host_series: Vec<HostSeries>,
+}
+
+impl Trace {
+    /// Job submission times, ascending.
+    pub fn submission_times(&self) -> Vec<Timestamp> {
+        let mut times: Vec<Timestamp> = self.jobs.iter().map(|j| j.submit_time).collect();
+        times.sort_unstable();
+        times
+    }
+
+    /// Lengths of all finished jobs, in seconds.
+    pub fn job_lengths(&self) -> Vec<u64> {
+        self.jobs.iter().filter_map(JobRecord::length).collect()
+    }
+
+    /// Execution times of all tasks that ever ran, in seconds.
+    pub fn task_execution_times(&self) -> Vec<u64> {
+        self.tasks
+            .iter()
+            .filter(|t| t.ever_ran())
+            .map(|t| t.execution_time)
+            .collect()
+    }
+
+    /// Events concerning one machine, in time order.
+    pub fn events_on_machine(&self, machine: MachineId) -> Vec<&TaskEvent> {
+        self.events
+            .iter()
+            .filter(|e| e.machine == Some(machine))
+            .collect()
+    }
+
+    /// The usage series of one machine, if it reported samples.
+    pub fn series_for(&self, machine: MachineId) -> Option<&HostSeries> {
+        self.host_series.iter().find(|s| s.machine == machine)
+    }
+
+    /// Count of completion events by kind, over the whole trace.
+    ///
+    /// Backs the paper's statistic that 59.2% of completion events are
+    /// abnormal, with failures at 50% and kills at 30.7% of the abnormal
+    /// ones.
+    pub fn completion_counts(&self) -> CompletionCounts {
+        let mut counts = CompletionCounts::default();
+        for e in &self.events {
+            match e.kind {
+                TaskEventKind::Finish => counts.finish += 1,
+                TaskEventKind::Evict => counts.evict += 1,
+                TaskEventKind::Fail => counts.fail += 1,
+                TaskEventKind::Kill => counts.kill += 1,
+                TaskEventKind::Lost => counts.lost += 1,
+                _ => {}
+            }
+        }
+        counts
+    }
+}
+
+/// Completion-event tallies (paper Section IV.B.1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompletionCounts {
+    /// Normal completions.
+    pub finish: u64,
+    /// Preempted by higher priority.
+    pub evict: u64,
+    /// Task failures.
+    pub fail: u64,
+    /// User kills.
+    pub kill: u64,
+    /// Missing-data losses.
+    pub lost: u64,
+}
+
+impl CompletionCounts {
+    /// Total completion events.
+    pub fn total(&self) -> u64 {
+        self.finish + self.evict + self.fail + self.kill + self.lost
+    }
+
+    /// Total abnormal completion events.
+    pub fn abnormal(&self) -> u64 {
+        self.total() - self.finish
+    }
+
+    /// Fraction of completions that are abnormal; 0 if no completions.
+    pub fn abnormal_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.abnormal() as f64 / total as f64
+        }
+    }
+
+    /// Fraction of *abnormal* completions that are failures.
+    pub fn fail_share_of_abnormal(&self) -> f64 {
+        let ab = self.abnormal();
+        if ab == 0 {
+            0.0
+        } else {
+            self.fail as f64 / ab as f64
+        }
+    }
+
+    /// Fraction of *abnormal* completions that are kills.
+    pub fn kill_share_of_abnormal(&self) -> f64 {
+        let ab = self.abnormal();
+        if ab == 0 {
+            0.0
+        } else {
+            self.kill as f64 / ab as f64
+        }
+    }
+}
+
+/// Errors detected while building a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// An event references a task id that was never declared.
+    UnknownTask(TaskId),
+    /// An event sequence violates the task life-cycle state machine.
+    InvalidTransition {
+        /// The offending task.
+        task: TaskId,
+        /// When the illegal event occurred.
+        time: Timestamp,
+        /// The underlying state-machine error.
+        source: IllegalTransition,
+    },
+    /// A `Schedule` or completion event is missing its machine id.
+    MissingMachine(TaskId, Timestamp),
+    /// A usage series references an unknown machine.
+    UnknownMachine(MachineId),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnknownTask(t) => write!(f, "event references unknown task {t}"),
+            BuildError::InvalidTransition { task, time, source } => {
+                write!(f, "task {task} at t={time}: {source}")
+            }
+            BuildError::MissingMachine(t, time) => {
+                write!(
+                    f,
+                    "task {t} at t={time}: schedule/completion event without machine"
+                )
+            }
+            BuildError::UnknownMachine(m) => write!(f, "series references unknown machine {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Incrementally assembles and validates a [`Trace`].
+#[derive(Debug, Clone)]
+pub struct TraceBuilder {
+    system: String,
+    horizon: Duration,
+    machines: Vec<MachineRecord>,
+    jobs: Vec<JobRecord>,
+    tasks: Vec<TaskRecord>,
+    events: Vec<TaskEvent>,
+    host_series: Vec<HostSeries>,
+}
+
+impl TraceBuilder {
+    /// Starts a trace for `system` covering `horizon` seconds.
+    pub fn new(system: impl Into<String>, horizon: Duration) -> Self {
+        TraceBuilder {
+            system: system.into(),
+            horizon,
+            machines: Vec::new(),
+            jobs: Vec::new(),
+            tasks: Vec::new(),
+            events: Vec::new(),
+            host_series: Vec::new(),
+        }
+    }
+
+    /// Declares a machine; returns its id.
+    pub fn add_machine(&mut self, cpu: f64, memory: f64, page_cache: f64) -> MachineId {
+        let id = MachineId::from(self.machines.len());
+        self.machines
+            .push(MachineRecord::new(id, cpu, memory, page_cache));
+        id
+    }
+
+    /// Declares a job; returns its id. Task lists and usage summaries are
+    /// filled in by [`add_task`](Self::add_task) and
+    /// [`set_job_usage`](Self::set_job_usage).
+    pub fn add_job(&mut self, user: UserId, priority: Priority, submit_time: Timestamp) -> JobId {
+        let id = JobId::from(self.jobs.len());
+        self.jobs.push(JobRecord {
+            id,
+            user,
+            priority,
+            submit_time,
+            tasks: Vec::new(),
+            completion_time: None,
+            cpu_seconds: 0.0,
+            mean_memory: 0.0,
+        });
+        id
+    }
+
+    /// Declares a task belonging to `job`; returns its id.
+    pub fn add_task(&mut self, job: JobId, demand: Demand) -> TaskId {
+        let id = TaskId::from(self.tasks.len());
+        let j = &mut self.jobs[job.index()];
+        j.tasks.push(id);
+        self.tasks.push(TaskRecord {
+            id,
+            job,
+            priority: j.priority,
+            submit_time: j.submit_time,
+            demand,
+            execution_time: 0,
+            attempts: 0,
+            outcome: TaskOutcome::Unfinished,
+        });
+        id
+    }
+
+    /// Records per-job resource summaries (cumulative core-seconds and mean
+    /// held memory).
+    pub fn set_job_usage(&mut self, job: JobId, cpu_seconds: f64, mean_memory: f64) {
+        let j = &mut self.jobs[job.index()];
+        j.cpu_seconds = cpu_seconds;
+        j.mean_memory = mean_memory;
+    }
+
+    /// Appends an event. Events may be pushed in any order; `build` sorts
+    /// them.
+    pub fn push_event(&mut self, event: TaskEvent) {
+        self.events.push(event);
+    }
+
+    /// Attaches a completed usage series for a machine.
+    pub fn add_host_series(&mut self, series: HostSeries) {
+        self.host_series.push(series);
+    }
+
+    /// Number of tasks declared so far.
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Validates the event log and derives per-task and per-job summaries.
+    pub fn build(mut self) -> Result<Trace, BuildError> {
+        self.events.sort_by_key(|e| (e.time, e.task));
+
+        for series in &self.host_series {
+            if series.machine.index() >= self.machines.len() {
+                return Err(BuildError::UnknownMachine(series.machine));
+            }
+        }
+
+        // Replay each task's events through the state machine, accumulating
+        // execution time and attempts.
+        let mut states = vec![TaskState::Unsubmitted; self.tasks.len()];
+        let mut run_started = vec![0u64; self.tasks.len()];
+        let mut first_submit = vec![None::<Timestamp>; self.tasks.len()];
+
+        for e in &self.events {
+            let ti = e.task.index();
+            if ti >= self.tasks.len() {
+                return Err(BuildError::UnknownTask(e.task));
+            }
+            if matches!(e.kind, TaskEventKind::Schedule) && e.machine.is_none() {
+                return Err(BuildError::MissingMachine(e.task, e.time));
+            }
+            let prev = states[ti];
+            let next = prev
+                .apply(e.kind)
+                .map_err(|source| BuildError::InvalidTransition {
+                    task: e.task,
+                    time: e.time,
+                    source,
+                })?;
+
+            match e.kind {
+                TaskEventKind::Submit if first_submit[ti].is_none() => {
+                    first_submit[ti] = Some(e.time);
+                }
+                TaskEventKind::Schedule => {
+                    run_started[ti] = e.time;
+                    self.tasks[ti].attempts += 1;
+                }
+                kind if kind.is_completion() => {
+                    if prev == TaskState::Running {
+                        self.tasks[ti].execution_time += e.time.saturating_sub(run_started[ti]);
+                    }
+                    self.tasks[ti].outcome = match kind {
+                        TaskEventKind::Finish => TaskOutcome::Finished,
+                        TaskEventKind::Evict => TaskOutcome::Evicted,
+                        TaskEventKind::Fail => TaskOutcome::Failed,
+                        TaskEventKind::Kill => TaskOutcome::Killed,
+                        TaskEventKind::Lost => TaskOutcome::Lost,
+                        _ => unreachable!("is_completion covers exactly these kinds"),
+                    };
+                }
+                _ => {}
+            }
+            states[ti] = next;
+        }
+
+        // A resubmitted task that is pending/running at trace end is
+        // unfinished regardless of earlier completions.
+        for (ti, state) in states.iter().enumerate() {
+            if matches!(state, TaskState::Pending | TaskState::Running) {
+                self.tasks[ti].outcome = TaskOutcome::Unfinished;
+            }
+            if let Some(t) = first_submit[ti] {
+                self.tasks[ti].submit_time = t;
+            }
+        }
+
+        // Job completion: the time of the last completion event among its
+        // tasks, provided every task reached a terminal outcome.
+        let mut last_completion = vec![None::<Timestamp>; self.jobs.len()];
+        for e in &self.events {
+            if e.kind.is_completion() {
+                let job = self.tasks[e.task.index()].job;
+                let slot = &mut last_completion[job.index()];
+                *slot = Some(slot.map_or(e.time, |t: Timestamp| t.max(e.time)));
+            }
+        }
+        for job in &mut self.jobs {
+            let all_done = !job.tasks.is_empty()
+                && job
+                    .tasks
+                    .iter()
+                    .all(|t| self.tasks[t.index()].outcome != TaskOutcome::Unfinished);
+            if all_done {
+                job.completion_time = last_completion[job.id.index()];
+            }
+        }
+
+        Ok(Trace {
+            system: self.system,
+            horizon: self.horizon,
+            machines: self.machines,
+            jobs: self.jobs,
+            tasks: self.tasks,
+            events: self.events,
+            host_series: self.host_series,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::HOUR;
+
+    fn demand() -> Demand {
+        Demand::new(0.02, 0.01)
+    }
+
+    fn event(
+        time: Timestamp,
+        task: TaskId,
+        machine: Option<u32>,
+        kind: TaskEventKind,
+    ) -> TaskEvent {
+        TaskEvent {
+            time,
+            task,
+            machine: machine.map(MachineId),
+            kind,
+        }
+    }
+
+    /// Builds a minimal valid trace: one machine, one job with two tasks,
+    /// one finishing and one failing then finishing after resubmit.
+    fn sample_builder() -> (TraceBuilder, JobId, TaskId, TaskId) {
+        let mut b = TraceBuilder::new("test", 10 * HOUR);
+        b.add_machine(1.0, 1.0, 1.0);
+        let j = b.add_job(UserId(0), Priority::from_level(4), 100);
+        let t1 = b.add_task(j, demand());
+        let t2 = b.add_task(j, demand());
+        b.push_event(event(100, t1, None, TaskEventKind::Submit));
+        b.push_event(event(100, t2, None, TaskEventKind::Submit));
+        b.push_event(event(110, t1, Some(0), TaskEventKind::Schedule));
+        b.push_event(event(120, t2, Some(0), TaskEventKind::Schedule));
+        b.push_event(event(400, t1, Some(0), TaskEventKind::Finish));
+        b.push_event(event(300, t2, Some(0), TaskEventKind::Fail));
+        b.push_event(event(310, t2, None, TaskEventKind::Submit));
+        b.push_event(event(320, t2, Some(0), TaskEventKind::Schedule));
+        b.push_event(event(500, t2, Some(0), TaskEventKind::Finish));
+        (b, j, t1, t2)
+    }
+
+    #[test]
+    fn build_derives_task_summaries() {
+        let (b, _, t1, t2) = sample_builder();
+        let trace = b.build().unwrap();
+        let r1 = &trace.tasks[t1.index()];
+        assert_eq!(r1.execution_time, 290); // 110 -> 400
+        assert_eq!(r1.attempts, 1);
+        assert_eq!(r1.outcome, TaskOutcome::Finished);
+        let r2 = &trace.tasks[t2.index()];
+        assert_eq!(r2.execution_time, (300 - 120) + (500 - 320));
+        assert_eq!(r2.attempts, 2);
+        assert_eq!(r2.outcome, TaskOutcome::Finished);
+    }
+
+    #[test]
+    fn build_derives_job_completion() {
+        let (b, j, _, _) = sample_builder();
+        let trace = b.build().unwrap();
+        let job = &trace.jobs[j.index()];
+        assert_eq!(job.completion_time, Some(500));
+        assert_eq!(job.length(), Some(400));
+        assert_eq!(job.num_tasks(), 2);
+    }
+
+    #[test]
+    fn unfinished_task_blocks_job_completion() {
+        let mut b = TraceBuilder::new("test", HOUR);
+        b.add_machine(1.0, 1.0, 1.0);
+        let j = b.add_job(UserId(0), Priority::from_level(1), 0);
+        let t1 = b.add_task(j, demand());
+        let t2 = b.add_task(j, demand());
+        b.push_event(event(0, t1, None, TaskEventKind::Submit));
+        b.push_event(event(0, t2, None, TaskEventKind::Submit));
+        b.push_event(event(5, t1, Some(0), TaskEventKind::Schedule));
+        b.push_event(event(50, t1, Some(0), TaskEventKind::Finish));
+        // t2 stays pending forever.
+        let trace = b.build().unwrap();
+        assert_eq!(trace.jobs[j.index()].completion_time, None);
+        assert_eq!(trace.tasks[t2.index()].outcome, TaskOutcome::Unfinished);
+        assert_eq!(trace.job_lengths(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn invalid_event_sequence_rejected() {
+        let mut b = TraceBuilder::new("test", HOUR);
+        b.add_machine(1.0, 1.0, 1.0);
+        let j = b.add_job(UserId(0), Priority::from_level(1), 0);
+        let t = b.add_task(j, demand());
+        // Schedule without submit.
+        b.push_event(event(10, t, Some(0), TaskEventKind::Schedule));
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, BuildError::InvalidTransition { .. }));
+    }
+
+    #[test]
+    fn schedule_without_machine_rejected() {
+        let mut b = TraceBuilder::new("test", HOUR);
+        b.add_machine(1.0, 1.0, 1.0);
+        let j = b.add_job(UserId(0), Priority::from_level(1), 0);
+        let t = b.add_task(j, demand());
+        b.push_event(event(0, t, None, TaskEventKind::Submit));
+        b.push_event(event(10, t, None, TaskEventKind::Schedule));
+        assert!(matches!(b.build(), Err(BuildError::MissingMachine(_, 10))));
+    }
+
+    #[test]
+    fn unknown_task_rejected() {
+        let mut b = TraceBuilder::new("test", HOUR);
+        b.push_event(event(0, TaskId(99), None, TaskEventKind::Submit));
+        assert!(matches!(
+            b.build(),
+            Err(BuildError::UnknownTask(TaskId(99)))
+        ));
+    }
+
+    #[test]
+    fn unknown_series_machine_rejected() {
+        let mut b = TraceBuilder::new("test", HOUR);
+        b.add_host_series(HostSeries::new(MachineId(5), 0, 300));
+        assert!(matches!(
+            b.build(),
+            Err(BuildError::UnknownMachine(MachineId(5)))
+        ));
+    }
+
+    #[test]
+    fn completion_counts() {
+        let (b, _, _, _) = sample_builder();
+        let trace = b.build().unwrap();
+        let c = trace.completion_counts();
+        assert_eq!(c.finish, 2);
+        assert_eq!(c.fail, 1);
+        assert_eq!(c.total(), 3);
+        assert_eq!(c.abnormal(), 1);
+        assert!((c.abnormal_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((c.fail_share_of_abnormal() - 1.0).abs() < 1e-12);
+        assert_eq!(c.kill_share_of_abnormal(), 0.0);
+    }
+
+    #[test]
+    fn events_sorted_after_build() {
+        let (b, _, _, _) = sample_builder();
+        let trace = b.build().unwrap();
+        assert!(trace.events.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn submission_times_sorted() {
+        let mut b = TraceBuilder::new("test", HOUR);
+        b.add_job(UserId(0), Priority::from_level(1), 500);
+        b.add_job(UserId(0), Priority::from_level(1), 100);
+        b.add_job(UserId(0), Priority::from_level(1), 300);
+        let trace = b.build().unwrap();
+        assert_eq!(trace.submission_times(), vec![100, 300, 500]);
+    }
+
+    #[test]
+    fn events_on_machine_filters() {
+        let (b, _, _, _) = sample_builder();
+        let trace = b.build().unwrap();
+        let on0 = trace.events_on_machine(MachineId(0));
+        assert!(on0.iter().all(|e| e.machine == Some(MachineId(0))));
+        assert_eq!(on0.len(), 6);
+        assert!(trace.events_on_machine(MachineId(9)).is_empty());
+    }
+
+    #[test]
+    fn task_execution_times_excludes_never_ran() {
+        let mut b = TraceBuilder::new("test", HOUR);
+        b.add_machine(1.0, 1.0, 1.0);
+        let j = b.add_job(UserId(0), Priority::from_level(1), 0);
+        let t1 = b.add_task(j, demand());
+        let _t2 = b.add_task(j, demand()); // never submitted
+        b.push_event(event(0, t1, None, TaskEventKind::Submit));
+        b.push_event(event(10, t1, Some(0), TaskEventKind::Schedule));
+        b.push_event(event(110, t1, Some(0), TaskEventKind::Finish));
+        let trace = b.build().unwrap();
+        assert_eq!(trace.task_execution_times(), vec![100]);
+    }
+}

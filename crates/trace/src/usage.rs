@@ -1,0 +1,295 @@
+//! Periodic host usage samples.
+//!
+//! The Google trace reports resource consumption per machine once every
+//! 5 minutes. Section IV of the paper slices that consumption two ways:
+//! by attribute (CPU, consumed memory, assigned memory, page cache) and by
+//! priority class (so that "usage seen by high-priority tasks" can be
+//! analyzed separately). [`ClassSplit`] stores the per-class breakdown;
+//! [`UsageSample`] is one sampling window; [`HostSeries`] is one machine's
+//! whole time series.
+
+use crate::ids::MachineId;
+use crate::priority::PriorityClass;
+use crate::time::{Duration, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// A quantity broken down by the paper's three priority classes.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ClassSplit {
+    /// Share from priorities 1–4.
+    pub low: f64,
+    /// Share from priorities 5–8.
+    pub middle: f64,
+    /// Share from priorities 9–12.
+    pub high: f64,
+}
+
+impl ClassSplit {
+    /// A zero split.
+    pub const ZERO: ClassSplit = ClassSplit {
+        low: 0.0,
+        middle: 0.0,
+        high: 0.0,
+    };
+
+    /// Sum over all classes ("all tasks" in the paper's figures).
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.low + self.middle + self.high
+    }
+
+    /// The share of one class.
+    #[inline]
+    pub fn class(&self, class: PriorityClass) -> f64 {
+        match class {
+            PriorityClass::Low => self.low,
+            PriorityClass::Middle => self.middle,
+            PriorityClass::High => self.high,
+        }
+    }
+
+    /// Mutable share of one class.
+    #[inline]
+    pub fn class_mut(&mut self, class: PriorityClass) -> &mut f64 {
+        match class {
+            PriorityClass::Low => &mut self.low,
+            PriorityClass::Middle => &mut self.middle,
+            PriorityClass::High => &mut self.high,
+        }
+    }
+
+    /// Sum of the middle and high classes.
+    #[inline]
+    pub fn mid_high(&self) -> f64 {
+        self.middle + self.high
+    }
+
+    /// Selects the quantity for a filter: `None` means all classes,
+    /// `Some(class)` restricts to tasks of that class and above.
+    ///
+    /// The paper's "high-priority" views (Fig. 10 b/d, Fig. 11 b, Fig. 12 b)
+    /// consider only tasks at or above the given class, because those are
+    /// the tasks that could not be preempted away.
+    pub fn at_or_above(&self, class: PriorityClass) -> f64 {
+        match class {
+            PriorityClass::Low => self.total(),
+            PriorityClass::Middle => self.mid_high(),
+            PriorityClass::High => self.high,
+        }
+    }
+}
+
+/// One 5-minute usage window on one machine.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct UsageSample {
+    /// CPU rate consumed during the window (normalized core-seconds/s).
+    pub cpu: ClassSplit,
+    /// Memory actually consumed at sample time (normalized).
+    pub memory_used: ClassSplit,
+    /// Memory assigned (allocated) to tasks at sample time (normalized).
+    pub memory_assigned: ClassSplit,
+    /// Linux page-cache usage (file-backed memory), normalized.
+    pub page_cache: f64,
+}
+
+/// One machine's usage time series at a fixed sampling period.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostSeries {
+    /// The machine this series describes.
+    pub machine: MachineId,
+    /// Time of the first sample.
+    pub start: Timestamp,
+    /// Sampling period in seconds (300 in the Google trace).
+    pub period: Duration,
+    /// Samples at `start`, `start + period`, ...
+    pub samples: Vec<UsageSample>,
+}
+
+impl HostSeries {
+    /// Creates an empty series.
+    pub fn new(machine: MachineId, start: Timestamp, period: Duration) -> Self {
+        assert!(period > 0, "sampling period must be positive");
+        HostSeries {
+            machine,
+            start,
+            period,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Number of samples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if the series has no samples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Timestamp of sample `i`.
+    #[inline]
+    pub fn time_of(&self, i: usize) -> Timestamp {
+        self.start + self.period * i as u64
+    }
+
+    /// Extracts one attribute as a plain `Vec<f64>`, optionally restricted
+    /// to tasks at or above a priority class.
+    pub fn attribute(&self, attr: UsageAttribute, min_class: Option<PriorityClass>) -> Vec<f64> {
+        self.samples
+            .iter()
+            .map(|s| {
+                let split = match attr {
+                    UsageAttribute::Cpu => &s.cpu,
+                    UsageAttribute::MemoryUsed => &s.memory_used,
+                    UsageAttribute::MemoryAssigned => &s.memory_assigned,
+                    UsageAttribute::PageCache => {
+                        return s.page_cache;
+                    }
+                };
+                match min_class {
+                    None => split.total(),
+                    Some(c) => split.at_or_above(c),
+                }
+            })
+            .collect()
+    }
+
+    /// Maximum of an attribute over the series; 0 for an empty series.
+    ///
+    /// The paper uses per-machine maxima as an estimate of the *usable*
+    /// capacity (Fig. 7), since user-space capacity is below nominal due to
+    /// system overheads.
+    pub fn max_attribute(&self, attr: UsageAttribute) -> f64 {
+        self.attribute(attr, None).into_iter().fold(0.0, f64::max)
+    }
+}
+
+/// The four host-load attributes the paper characterizes (Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UsageAttribute {
+    /// CPU rate (core-seconds per second).
+    Cpu,
+    /// Memory actually consumed.
+    MemoryUsed,
+    /// Memory assigned to tasks.
+    MemoryAssigned,
+    /// Page-cache (file-backed) memory.
+    PageCache,
+}
+
+impl UsageAttribute {
+    /// All four attributes in the paper's Fig. 7 order.
+    pub const ALL: [UsageAttribute; 4] = [
+        UsageAttribute::Cpu,
+        UsageAttribute::MemoryUsed,
+        UsageAttribute::MemoryAssigned,
+        UsageAttribute::PageCache,
+    ];
+
+    /// Human-readable name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            UsageAttribute::Cpu => "cpu",
+            UsageAttribute::MemoryUsed => "memory_used",
+            UsageAttribute::MemoryAssigned => "memory_assigned",
+            UsageAttribute::PageCache => "page_cache",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn split(l: f64, m: f64, h: f64) -> ClassSplit {
+        ClassSplit {
+            low: l,
+            middle: m,
+            high: h,
+        }
+    }
+
+    #[test]
+    fn split_totals() {
+        let s = split(0.1, 0.2, 0.3);
+        assert!((s.total() - 0.6).abs() < 1e-12);
+        assert!((s.mid_high() - 0.5).abs() < 1e-12);
+        assert_eq!(s.class(PriorityClass::Middle), 0.2);
+    }
+
+    #[test]
+    fn at_or_above_matches_paper_views() {
+        let s = split(0.1, 0.2, 0.3);
+        assert!((s.at_or_above(PriorityClass::Low) - 0.6).abs() < 1e-12);
+        assert!((s.at_or_above(PriorityClass::Middle) - 0.5).abs() < 1e-12);
+        assert!((s.at_or_above(PriorityClass::High) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn class_mut_updates_in_place() {
+        let mut s = ClassSplit::ZERO;
+        *s.class_mut(PriorityClass::High) += 0.4;
+        assert_eq!(s.high, 0.4);
+        assert_eq!(s.total(), 0.4);
+    }
+
+    fn sample(cpu: f64, mem: f64) -> UsageSample {
+        UsageSample {
+            cpu: split(cpu, 0.0, 0.0),
+            memory_used: split(mem, 0.0, 0.0),
+            memory_assigned: split(mem * 1.1, 0.0, 0.0),
+            page_cache: 0.05,
+        }
+    }
+
+    #[test]
+    fn series_timestamps() {
+        let mut s = HostSeries::new(MachineId(3), 600, 300);
+        s.samples.push(sample(0.1, 0.2));
+        s.samples.push(sample(0.3, 0.4));
+        assert_eq!(s.time_of(0), 600);
+        assert_eq!(s.time_of(1), 900);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn attribute_extraction() {
+        let mut s = HostSeries::new(MachineId(0), 0, 300);
+        s.samples.push(sample(0.1, 0.2));
+        s.samples.push(sample(0.5, 0.1));
+        assert_eq!(s.attribute(UsageAttribute::Cpu, None), vec![0.1, 0.5]);
+        assert_eq!(
+            s.attribute(UsageAttribute::MemoryUsed, None),
+            vec![0.2, 0.1]
+        );
+        assert_eq!(
+            s.attribute(UsageAttribute::PageCache, None),
+            vec![0.05, 0.05]
+        );
+        // High-priority filter sees only the high share (0 in these samples).
+        assert_eq!(
+            s.attribute(UsageAttribute::Cpu, Some(PriorityClass::High)),
+            vec![0.0, 0.0]
+        );
+    }
+
+    #[test]
+    fn max_attribute() {
+        let mut s = HostSeries::new(MachineId(0), 0, 300);
+        assert_eq!(s.max_attribute(UsageAttribute::Cpu), 0.0);
+        s.samples.push(sample(0.1, 0.2));
+        s.samples.push(sample(0.9, 0.3));
+        s.samples.push(sample(0.4, 0.1));
+        assert!((s.max_attribute(UsageAttribute::Cpu) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_rejected() {
+        let _ = HostSeries::new(MachineId(0), 0, 0);
+    }
+}

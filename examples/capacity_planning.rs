@@ -1,0 +1,92 @@
+//! Capacity planning: size a fleet for a target workload.
+//!
+//! The paper motivates host-load characterization with capacity planning:
+//! knowing how load distributes lets an operator choose how many machines
+//! a workload needs. This example fixes a workload (a Google-like stream
+//! sized for 24 machines) and sweeps fleet sizes, reporting queueing and
+//! utilization so the knee is visible.
+//!
+//! ```text
+//! cargo run --release --example capacity_planning
+//! ```
+
+use cloudgrid::prelude::*;
+use cloudgrid::trace::task::TaskEventKind;
+
+/// Mean task scheduling delay (submit → schedule), in seconds.
+fn mean_wait(trace: &Trace) -> f64 {
+    let mut submit_time = vec![None; trace.tasks.len()];
+    let mut total = 0.0;
+    let mut n = 0u64;
+    for e in &trace.events {
+        match e.kind {
+            TaskEventKind::Submit => submit_time[e.task.index()] = Some(e.time),
+            TaskEventKind::Schedule => {
+                if let Some(t) = submit_time[e.task.index()].take() {
+                    total += (e.time - t) as f64;
+                    n += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64
+    }
+}
+
+fn mean_cpu_utilization(trace: &Trace) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0u64;
+    for s in &trace.host_series {
+        let m = &trace.machines[s.machine.index()];
+        for sample in &s.samples {
+            sum += sample.cpu.total() / m.cpu_capacity;
+            n += 1;
+        }
+    }
+    sum / n.max(1) as f64
+}
+
+fn main() {
+    // The demand side is fixed: a stream sized for 24 machines.
+    let workload = GoogleWorkload::scaled_for_hostload(24, DAY).generate(11);
+    println!(
+        "workload: {} jobs, {} tasks over one day\n",
+        workload.jobs.len(),
+        workload.num_tasks()
+    );
+    println!(
+        "{:>8}  {:>10}  {:>9}  {:>9}  {:>9}",
+        "machines", "mean wait", "cpu util", "evictions", "unfinished"
+    );
+
+    for machines in [12usize, 16, 20, 24, 32, 48] {
+        let config = SimConfig::google(FleetConfig::google(machines));
+        let trace = Simulator::new(config).run(&workload);
+        let wait = mean_wait(&trace);
+        let util = mean_cpu_utilization(&trace);
+        let evictions = trace
+            .events
+            .iter()
+            .filter(|e| e.kind == TaskEventKind::Evict)
+            .count();
+        let unfinished = trace
+            .tasks
+            .iter()
+            .filter(|t| t.outcome == cloudgrid::trace::task::TaskOutcome::Unfinished)
+            .count();
+        println!(
+            "{machines:>8}  {:>9.1}s  {:>8.1}%  {evictions:>9}  {unfinished:>10}",
+            wait,
+            100.0 * util
+        );
+    }
+
+    println!(
+        "\nReading the table: undersized fleets trade utilization for queueing\n\
+         delay and eviction churn; the knee marks the efficient fleet size."
+    );
+}

@@ -1,0 +1,78 @@
+//! Cloud-versus-grid comparison: the paper's headline contrasts on a
+//! small scale.
+//!
+//! Reproduces, in miniature, the four key differences Section VI lists:
+//! job length, submission frequency/fairness, per-job resource usage, and
+//! host-load noise.
+//!
+//! ```text
+//! cargo run --release --example cloud_vs_grid
+//! ```
+
+use cloudgrid::core::hostload::host_comparison;
+use cloudgrid::core::workload::{job_length_analysis, submission_analysis, task_length_analysis};
+use cloudgrid::prelude::*;
+
+fn main() {
+    let horizon = 5 * DAY;
+
+    // --- Work load: generators at the full published submission rates.
+    let google = GoogleWorkload {
+        horizon,
+        ..GoogleWorkload::full_scale()
+    }
+    .generate(1)
+    .into_workload_trace();
+    let grid = GridWorkload {
+        horizon,
+        ..GridWorkload::full_scale(GridSystem::AuverGrid)
+    }
+    .generate(1)
+    .into_workload_trace();
+
+    println!("=== work load (google vs auvergrid) ===");
+    for trace in [&google, &grid] {
+        let jl = job_length_analysis(trace).expect("finished jobs");
+        let sub = submission_analysis(trace).expect("submissions");
+        let tl = task_length_analysis(trace).expect("tasks ran");
+        println!(
+            "{:<10} F(1000s)={:.2}  jobs/h avg={:<6.0} fairness={:.2}  task joint ratio {}",
+            trace.system,
+            jl.frac_under_1000s,
+            sub.rate.avg,
+            sub.rate.fairness,
+            tl.masscount.joint_ratio_label(),
+        );
+    }
+
+    // --- Host load: replay both through the simulator.
+    let machines = 32;
+    let g_sim = Simulator::new(SimConfig::google(FleetConfig::google(machines)))
+        .run(&GoogleWorkload::scaled_for_hostload(machines, 2 * DAY).generate(2));
+    let a_sim = Simulator::new(SimConfig::grid(FleetConfig::homogeneous(machines))).run(
+        &GridWorkload::scaled(GridSystem::AuverGrid, 2 * DAY, machines as f64 / 30.0).generate(2),
+    );
+
+    println!("\n=== host load ===");
+    let skip = (DAY / 300) as usize; // discard the warm-up day
+    let gc = host_comparison(&g_sim, skip).expect("google host series");
+    let ac = host_comparison(&a_sim, skip).expect("grid host series");
+    for c in [&gc, &ac] {
+        println!(
+            "{:<10} cpu={:.0}% mem={:.0}%  cpu-noise mean={:.4}",
+            c.system,
+            100.0 * c.cpu_mean_utilization,
+            100.0 * c.memory_mean_utilization,
+            c.cpu_noise.mean,
+        );
+    }
+    println!(
+        "\ncloud noise is {:.1}x grid noise (paper: ~20x)",
+        gc.cpu_noise.mean / ac.cpu_noise.mean.max(1e-9)
+    );
+    println!(
+        "cloud: memory above CPU ({}); grid: CPU above memory ({})",
+        gc.memory_mean_utilization > gc.cpu_mean_utilization,
+        ac.cpu_mean_utilization > ac.memory_mean_utilization,
+    );
+}

@@ -1,0 +1,83 @@
+//! Host-load prediction — the paper's Section VI future work, made
+//! runnable.
+//!
+//! Trains nothing offline: every predictor is an online one-step-ahead
+//! estimator evaluated walk-forward over each machine's CPU-load series.
+//! The punchline matches the characterization: grid load is almost free to
+//! predict, cloud load is an order of magnitude harder, and no fancy model
+//! beats last-value by much — the noise is irreducible at 5-minute
+//! granularity.
+//!
+//! ```text
+//! cargo run --release --example load_prediction
+//! ```
+
+use cloudgrid::core::predict::{fleet_prediction_error, PredictorKind};
+use cloudgrid::prelude::*;
+use cloudgrid::trace::usage::UsageAttribute;
+
+fn main() {
+    let machines = 24;
+    let horizon = 2 * DAY;
+
+    println!("simulating cloud and grid clusters ({machines} machines, 2 days)...");
+    let cloud = Simulator::new(SimConfig::google(FleetConfig::google(machines)))
+        .run(&GoogleWorkload::scaled_for_hostload(machines, horizon).generate(3));
+    let grid = Simulator::new(SimConfig::grid(FleetConfig::homogeneous(machines))).run(
+        &GridWorkload::scaled(GridSystem::AuverGrid, horizon, machines as f64 / 30.0).generate(3),
+    );
+
+    let skip = (DAY / 300) as usize; // discard the warm-up day
+    let warmup = 48; // 4 hours of history before scoring
+
+    println!(
+        "\n{:<18}  {:>12}  {:>12}  {:>8}",
+        "predictor", "cloud RMSE", "grid RMSE", "ratio"
+    );
+    let mut best: Option<(String, f64)> = None;
+    for kind in PredictorKind::all_default() {
+        let c = fleet_prediction_error(&cloud, UsageAttribute::Cpu, kind, skip, warmup);
+        let g = fleet_prediction_error(&grid, UsageAttribute::Cpu, kind, skip, warmup);
+        println!(
+            "{:<18}  {:>12.4}  {:>12.4}  {:>7.0}x",
+            kind.label(),
+            c.rmse(),
+            g.rmse(),
+            c.rmse() / g.rmse().max(1e-9)
+        );
+        if best.as_ref().is_none_or(|(_, e)| c.rmse() < *e) {
+            best = Some((kind.label(), c.rmse()));
+        }
+    }
+
+    let (name, rmse) = best.expect("predictors ran");
+    println!(
+        "\nBest cloud predictor: {name} (RMSE {rmse:.4} of capacity).\n\
+         The gap to the grid column is the paper's conclusion in one table:\n\
+         cloud host load is noisy and weakly autocorrelated, so even the\n\
+         best short-window predictor cannot get close to grid accuracy."
+    );
+
+    // Memory is the easy half of the cloud prediction problem (Tables II
+    // vs III: memory dwells ~10 minutes per band, CPU ~6).
+    let cpu = fleet_prediction_error(
+        &cloud,
+        UsageAttribute::Cpu,
+        PredictorKind::LastValue,
+        skip,
+        warmup,
+    );
+    let mem = fleet_prediction_error(
+        &cloud,
+        UsageAttribute::MemoryUsed,
+        PredictorKind::LastValue,
+        skip,
+        warmup,
+    );
+    println!(
+        "\ncloud last-value RMSE: cpu {:.4} vs memory {:.4} — memory moves slower,\n\
+         exactly as the paper's run-length tables (II vs III) say.",
+        cpu.rmse(),
+        mem.rmse()
+    );
+}

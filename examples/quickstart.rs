@@ -1,0 +1,49 @@
+//! Quickstart: generate a cloud workload, simulate it, characterize it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cloudgrid::prelude::*;
+
+fn main() {
+    // 1. A Google-like workload for a 32-machine fleet over one day.
+    //    `scaled_for_hostload` preserves the real trace's per-machine task
+    //    density (tens of running tasks per machine, warm services).
+    let machines = 32;
+    let workload = GoogleWorkload::scaled_for_hostload(machines, DAY).generate(42);
+    println!(
+        "generated {} jobs / {} tasks over one day",
+        workload.jobs.len(),
+        workload.num_tasks()
+    );
+
+    // 2. Replay it through the cluster simulator: priority-preemptive
+    //    scheduling, load-balancing placement, failure injection, and
+    //    5-minute usage sampling, exactly as the paper describes the
+    //    Google cluster.
+    let config = SimConfig::google(FleetConfig::google(machines));
+    let trace = Simulator::new(config).run(&workload);
+    println!(
+        "simulated: {} events, {} host series",
+        trace.events.len(),
+        trace.host_series.len()
+    );
+
+    // 3. Run the paper's entire characterization battery.
+    let report = characterize(&trace);
+    println!("\n{report}");
+
+    // 4. Individual analyses are available piecemeal, e.g. the queue
+    //    timeline of machine 0 (paper Fig. 8):
+    let timeline = QueueTimeline::for_machine(&trace, MachineId(0));
+    let end = timeline.at(trace.horizon - 1);
+    println!(
+        "machine m0 at end of day: {} running, {} finished, {} abnormal",
+        end.running, end.finished, end.abnormal
+    );
+
+    // 5. Reports serialize to JSON for downstream tooling.
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    println!("\nreport JSON is {} bytes", json.len());
+}

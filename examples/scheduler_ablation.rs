@@ -1,0 +1,58 @@
+//! Placement-policy ablation: how the paper's "balance the demand"
+//! scheduler shapes host load.
+//!
+//! Section II describes the Google scheduler as preferring the "best"
+//! (least-loaded) machine to balance demand. This example replays the same
+//! workload under the three placement policies the simulator supports and
+//! compares the resulting host-load spread — making the design choice the
+//! paper attributes to Google measurable.
+//!
+//! ```text
+//! cargo run --release --example scheduler_ablation
+//! ```
+
+use cloudgrid::prelude::*;
+use cloudgrid::stats::Summary;
+use cloudgrid::trace::usage::UsageAttribute;
+
+fn max_load_spread(trace: &Trace) -> (Summary, usize) {
+    let maxima: Vec<f64> = trace
+        .host_series
+        .iter()
+        .map(|s| {
+            let m = &trace.machines[s.machine.index()];
+            s.max_attribute(UsageAttribute::Cpu) / m.cpu_capacity
+        })
+        .collect();
+    let busy = maxima.iter().filter(|&&v| v > 0.05).count();
+    (Summary::of(&maxima), busy)
+}
+
+fn main() {
+    let machines = 32;
+    let workload = GoogleWorkload::scaled_for_hostload(machines, 12 * HOUR).generate(5);
+
+    println!(
+        "{:<12}  {:>9}  {:>9}  {:>9}  {:>10}",
+        "policy", "mean max", "min max", "max max", "busy hosts"
+    );
+    for (name, policy) in [
+        ("balance", PlacementPolicy::LoadBalance),
+        ("best-fit", PlacementPolicy::BestFit),
+        ("first-fit", PlacementPolicy::FirstFit),
+    ] {
+        let config = SimConfig::google(FleetConfig::google(machines)).with_placement(policy);
+        let trace = Simulator::new(config).run(&workload);
+        let (spread, busy) = max_load_spread(&trace);
+        println!(
+            "{name:<12}  {:>9.2}  {:>9.2}  {:>9.2}  {busy:>7}/{machines}",
+            spread.mean, spread.min, spread.max
+        );
+    }
+
+    println!(
+        "\nLoad balancing spreads peak load across every host (the paper's\n\
+         'approximately optimal resource utilization'); best-fit packs a few\n\
+         hosts to their peaks and leaves the rest idle."
+    );
+}

@@ -1,0 +1,49 @@
+# gnuplot figures.gp  (run inside the plots directory)
+set terminal pngcairo size 900,600
+set key bottom right
+
+set output 'fig3.png'
+set title 'Fig. 3 - CDF of job length'
+set xlabel 'Job length (s)'; set ylabel 'CDF'; set yrange [0:1]
+plot for [i=2:9] 'fig3.dat' using 1:i with lines title columnheader(i)
+
+set output 'fig4_google.png'
+set title 'Fig. 4a - mass-count of task length (google)'
+set xlabel 'Task execution time (days)'; set ylabel 'CDF'
+plot 'fig4_google.dat' using 1:2 with lines title 'count', \
+     'fig4_google.dat' using 1:3 with lines title 'mass'
+
+set output 'fig4_auvergrid.png'
+set title 'Fig. 4b - mass-count of task length (auvergrid)'
+plot 'fig4_auvergrid.dat' using 1:2 with lines title 'count', \
+     'fig4_auvergrid.dat' using 1:3 with lines title 'mass'
+
+set output 'fig5.png'
+set title 'Fig. 5 - CDF of submission interval'
+set xlabel 'Interval (s)'; set ylabel 'CDF'
+plot for [i=2:9] 'fig5.dat' using 1:i with lines title columnheader(i)
+
+set output 'fig6a.png'
+set title 'Fig. 6a - per-job CPU usage'
+set xlabel 'CPU utilization (processors)'; set ylabel 'CDF'
+plot 'fig6a.dat' using 1:2 with lines title 'google', \
+     'fig6a.dat' using 1:3 with lines title 'auvergrid', \
+     'fig6a.dat' using 1:4 with lines title 'das-2'
+
+set output 'fig6b.png'
+set title 'Fig. 6b - per-job memory usage'
+set xlabel 'Memory (MB)'; set ylabel 'CDF'
+plot 'fig6b.dat' using 1:2 with lines title 'google@32GB', \
+     'fig6b.dat' using 1:3 with lines title 'google@64GB', \
+     'fig6b.dat' using 1:4 with lines title 'auvergrid'
+
+set output 'fig13_google.png'
+set title 'Fig. 13 - host load (google, machine 0)'
+set xlabel 'Time (day)'; set ylabel 'Relative usage'; set yrange [0:1]
+plot 'fig13_google.dat' using 1:2 with lines title 'cpu', \
+     'fig13_google.dat' using 1:3 with lines title 'mem'
+
+set output 'fig13_auvergrid.png'
+set title 'Fig. 13 - host load (auvergrid, machine 0)'
+plot 'fig13_auvergrid.dat' using 1:2 with lines title 'cpu', \
+     'fig13_auvergrid.dat' using 1:3 with lines title 'mem'

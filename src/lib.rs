@@ -1,0 +1,70 @@
+//! **cloudgrid** — a reproduction of *"Characterization and Comparison of
+//! Cloud versus Grid Workloads"* (Di, Kondo, Cirne; IEEE CLUSTER 2012).
+//!
+//! The paper characterizes the 2011 Google cluster trace against seven
+//! Grid/HPC traces. The original data is proprietary/external, so this
+//! workspace substitutes **calibrated synthetic workload generators** and a
+//! **discrete-event cluster simulator**, then runs the paper's full
+//! statistical battery on the simulated traces. Every table and figure of
+//! the paper has a corresponding experiment in `cgc-bench`
+//! (`cargo run -p cgc-bench --bin run_experiments`).
+//!
+//! This crate is a facade re-exporting the workspace's public API:
+//!
+//! * [`trace`] — the trace data model (jobs, tasks, machines, events,
+//!   usage samples);
+//! * [`stats`] — the statistics toolkit (ECDF, mass–count disparity,
+//!   fairness index, noise, autocorrelation, run lengths);
+//! * [`gen`] — the Google and grid workload generators;
+//! * [`sim`] — the cluster simulator;
+//! * [`core`] — the characterization pipeline and
+//!   [`CharacterizationReport`].
+//!
+//! # Quick start
+//!
+//! ```
+//! use cloudgrid::prelude::*;
+//!
+//! // A small Google-like cluster over six hours.
+//! let workload = GoogleWorkload::scaled_for_hostload(16, 6 * HOUR).generate(1);
+//! let config = SimConfig::google(FleetConfig::google(16));
+//! let trace = Simulator::new(config).run(&workload);
+//!
+//! // Run the paper's full characterization.
+//! let report = characterize(&trace);
+//! assert_eq!(report.system, "google");
+//! println!("{report}");
+//! ```
+
+pub use cgc_core as core;
+pub use cgc_gen as gen;
+pub use cgc_sim as sim;
+pub use cgc_stats as stats;
+pub use cgc_trace as trace;
+
+pub use cgc_core::{characterize, CharacterizationReport};
+
+/// The most common imports, bundled.
+pub mod prelude {
+    pub use cgc_core::{characterize, CharacterizationReport};
+    pub use cgc_gen::{FleetConfig, GoogleWorkload, GridSystem, GridWorkload, Workload};
+    pub use cgc_sim::{OutcomeModel, PlacementPolicy, SimConfig, Simulator};
+    pub use cgc_stats::{Ecdf, MassCount, Summary};
+    pub use cgc_trace::{
+        Demand, JobId, MachineId, Priority, PriorityClass, QueueTimeline, TaskId, Trace,
+        TraceBuilder, UserId, DAY, HOUR, MINUTE,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_compose() {
+        let workload = GoogleWorkload::scaled(8, HOUR).generate(3);
+        let trace = workload.into_workload_trace();
+        let report = crate::characterize(&trace);
+        assert_eq!(report.system, "google");
+    }
+}

@@ -1,0 +1,134 @@
+//! Cross-crate property tests: the simulator must uphold trace invariants
+//! for arbitrary (small) workloads, and statistics must agree across
+//! independent implementations.
+
+use cloudgrid::prelude::*;
+use cloudgrid::trace::task::{TaskEventKind, TaskOutcome};
+use proptest::prelude::*;
+
+/// Strategy: a small arbitrary workload (a handful of jobs with arbitrary
+/// demands, runtimes, and priorities).
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    let task = (1u64..4_000, 0.01f64..0.6, 0.01f64..0.6, 0.1f64..1.0).prop_map(
+        |(runtime, cpu, mem, util)| cloudgrid::gen::TaskSpec {
+            demand: Demand::new(cpu, mem),
+            runtime,
+            cpu_processors: cpu * 8.0 * util,
+            utilization: util,
+        },
+    );
+    let job = (0u64..20_000, 1u8..=12, prop::collection::vec(task, 1..4)).prop_map(
+        |(submit, level, tasks)| cloudgrid::gen::JobSpec {
+            submit,
+            user: UserId(0),
+            priority: Priority::from_level(level),
+            tasks,
+        },
+    );
+    prop::collection::vec(job, 1..12).prop_map(|mut jobs| {
+        jobs.sort_by_key(|j| j.submit);
+        Workload {
+            system: "prop".into(),
+            horizon: 8 * HOUR,
+            jobs,
+        }
+    })
+}
+
+fn sim_config(seed: u64, preemption: bool) -> SimConfig {
+    let mut c = SimConfig::google(FleetConfig::google(3)).with_seed(seed);
+    c.preemption = preemption;
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The simulator always emits a state-machine-valid trace (the builder
+    /// inside `run` would panic otherwise), tasks never exceed their
+    /// resubmission budget, and per-sample usage never exceeds capacity.
+    #[test]
+    fn simulator_upholds_trace_invariants(
+        workload in arb_workload(),
+        seed in 0u64..500,
+        preemption in any::<bool>(),
+    ) {
+        let config = sim_config(seed, preemption);
+        let max_attempts = config.max_resubmits + 1;
+        let trace = Simulator::new(config).run(&workload);
+
+        for t in &trace.tasks {
+            prop_assert!(t.attempts <= max_attempts, "task {} attempts {}", t.id, t.attempts);
+            if t.outcome == TaskOutcome::Finished {
+                prop_assert!(t.execution_time > 0);
+            }
+        }
+        for s in &trace.host_series {
+            let m = &trace.machines[s.machine.index()];
+            for sample in &s.samples {
+                prop_assert!(sample.cpu.total() <= m.cpu_capacity + 1e-9);
+                prop_assert!(sample.memory_used.total() <= m.memory_capacity + 1e-9);
+                prop_assert!(sample.memory_assigned.total() <= m.memory_capacity + 1e-9);
+                prop_assert!(sample.page_cache >= 0.0);
+            }
+        }
+        // Event log: every Schedule pairs with at most one completion per
+        // attempt, so schedules >= completions and attempts == schedules.
+        let schedules =
+            trace.events.iter().filter(|e| e.kind == TaskEventKind::Schedule).count() as u64;
+        let completions = trace.completion_counts().total();
+        prop_assert!(completions <= schedules);
+        let total_attempts: u64 = trace.tasks.iter().map(|t| t.attempts as u64).sum();
+        prop_assert_eq!(total_attempts, schedules);
+    }
+
+    /// Without preemption there are no evictions, ever.
+    #[test]
+    fn no_preemption_no_evictions(workload in arb_workload(), seed in 0u64..200) {
+        let trace = Simulator::new(sim_config(seed, false)).run(&workload);
+        prop_assert_eq!(trace.completion_counts().evict, 0);
+    }
+
+    /// Trace serialization round-trips for arbitrary simulated traces.
+    #[test]
+    fn io_round_trip(workload in arb_workload(), seed in 0u64..100) {
+        let trace = Simulator::new(sim_config(seed, true)).run(&workload);
+        let text = cloudgrid::trace::io::write_trace(&trace);
+        let parsed = cloudgrid::trace::io::read_trace(&text).unwrap();
+        prop_assert_eq!(parsed, trace);
+    }
+
+    /// The characterization never panics on arbitrary simulated traces and
+    /// reports consistent totals.
+    #[test]
+    fn characterize_total_consistency(workload in arb_workload(), seed in 0u64..100) {
+        let trace = Simulator::new(sim_config(seed, true)).run(&workload);
+        let report = characterize(&trace);
+        prop_assert_eq!(
+            report.workload.priorities.total_jobs() as usize,
+            trace.jobs.len()
+        );
+        prop_assert_eq!(
+            report.workload.priorities.total_tasks() as usize,
+            trace.tasks.len()
+        );
+        if let Some(tl) = &report.workload.task_length {
+            prop_assert!(tl.masscount.mm_distance >= 0.0);
+            prop_assert!(tl.frac_under_10min <= tl.frac_under_1h);
+            prop_assert!(tl.frac_under_1h <= tl.frac_under_3h);
+        }
+    }
+
+    /// Job CPU usage (Formula 4) equals cpu-seconds over wall-clock for
+    /// every finished job, independent of scheduling.
+    #[test]
+    fn formula4_consistency(workload in arb_workload(), seed in 0u64..100) {
+        let trace = Simulator::new(sim_config(seed, true)).run(&workload);
+        for job in &trace.jobs {
+            if let (Some(usage), Some(len)) = (job.cpu_usage(), job.length()) {
+                prop_assert!(usage >= 0.0);
+                prop_assert!((usage * len as f64 - job.cpu_seconds).abs() < 1e-6);
+            }
+        }
+    }
+}

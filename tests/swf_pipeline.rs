@@ -1,0 +1,102 @@
+//! Real-data ingestion path: SWF log → trace → characterization → JSON.
+
+use cloudgrid::prelude::*;
+use cloudgrid::trace::swf::{parse_swf, read_swf_trace, swf_to_trace, SwfImportOptions};
+
+fn sample_log(jobs: usize) -> String {
+    let mut out = String::from("; Version: 2.2\n; Computer: integration sample\n");
+    for i in 0..jobs as u64 {
+        let submit = i * 500;
+        let run = 900 + (i % 13) * 777;
+        let procs = 1 + (i % 4);
+        let status = if i % 19 == 0 { 5 } else { 1 };
+        out.push_str(&format!(
+            "{} {} {} {} {} {} {} {} {} -1 {} {} 1 -1 1 -1 -1 -1\n",
+            i + 1,
+            submit,
+            i % 3 * 30,
+            run,
+            procs,
+            run,
+            131_072,
+            procs,
+            run * 2,
+            status,
+            i % 11,
+        ));
+    }
+    out
+}
+
+#[test]
+fn swf_log_runs_through_full_characterization() {
+    let text = sample_log(200);
+    let trace = read_swf_trace(&text, &SwfImportOptions::default()).unwrap();
+    assert_eq!(trace.jobs.len(), 200);
+
+    let report = characterize(&trace);
+    // Workload-side analyses all fire; host-load side is absent (SWF logs
+    // carry no per-machine usage).
+    assert!(report.workload.job_length.is_some());
+    assert!(report.workload.submission.is_some());
+    assert!(report.workload.task_length.is_some());
+    assert!(report.hostload.is_none());
+
+    // And the report serializes for downstream tooling.
+    let json = serde_json::to_string(&report).unwrap();
+    assert!(json.contains("\"system\":\"swf\""));
+}
+
+#[test]
+fn swf_import_matches_manual_field_math() {
+    let text = sample_log(50);
+    let jobs = parse_swf(&text).unwrap();
+    let trace = swf_to_trace(&jobs, &SwfImportOptions::default());
+    for (raw, job) in jobs.iter().zip(&trace.jobs) {
+        assert_eq!(job.submit_time, raw.submit as u64);
+        let expect = raw.submit as u64 + raw.wait.max(0) as u64 + raw.run_time as u64;
+        assert_eq!(job.completion_time, Some(expect));
+        // Formula 4 numerator: processors × run time.
+        let cpu_s = raw.processors as f64 * raw.run_time as f64;
+        assert!((job.cpu_seconds - cpu_s).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn swf_trace_statistics_are_internally_consistent() {
+    let text = sample_log(300);
+    let trace = read_swf_trace(&text, &SwfImportOptions::default()).unwrap();
+    let analysis =
+        cloudgrid::core::workload::submission_analysis(&trace).expect("many submissions");
+    // 300 jobs every 500 s = 7.2 jobs per hour on average.
+    assert!(
+        (analysis.rate.avg - 7.2).abs() < 0.6,
+        "avg={}",
+        analysis.rate.avg
+    );
+    // Perfectly regular arrivals have fairness ~1 (the trailing partial
+    // hour shaves a little off).
+    assert!(
+        analysis.rate.fairness > 0.9,
+        "fairness={}",
+        analysis.rate.fairness
+    );
+
+    let users = cloudgrid::core::workload::user_activity(&trace).expect("users present");
+    assert_eq!(users.users, 11);
+}
+
+#[test]
+fn cancelled_jobs_survive_the_pipeline() {
+    let text = sample_log(40); // every 19th job is cancelled (status 5)
+    let trace = read_swf_trace(&text, &SwfImportOptions::default()).unwrap();
+    use cloudgrid::trace::task::TaskOutcome;
+    let killed = trace
+        .tasks
+        .iter()
+        .filter(|t| t.outcome == TaskOutcome::Killed)
+        .count();
+    assert!(killed >= 2, "killed={killed}");
+    // Killed jobs still have lengths (submission to termination).
+    assert_eq!(trace.job_lengths().len(), 40);
+}
