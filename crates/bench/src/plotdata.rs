@@ -105,12 +105,8 @@ fn fig6_dat(lab: &Lab) -> (String, String) {
                 .curve(0.0, 5.0, 101)
         })
         .collect();
-    for i in 0..curves[0].len() {
-        let _ = writeln!(
-            cpu,
-            "{:.3} {:.5} {:.5} {:.5}",
-            curves[0][i].0, curves[0][i].1, curves[1][i].1, curves[2][i].1
-        );
+    for ((&(x, g), &(_, a)), &(_, d)) in curves[0].iter().zip(&curves[1]).zip(&curves[2]) {
+        let _ = writeln!(cpu, "{x:.3} {g:.5} {a:.5} {d:.5}");
     }
 
     let mut mem = String::from("# mem_mb google32 google64 auvergrid\n");

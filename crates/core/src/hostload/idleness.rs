@@ -46,7 +46,10 @@ impl IdlenessReport {
 /// discussion uses CPU with generous thresholds; `threshold` is relative
 /// usage (0–1), e.g. 0.2 for "under one fifth of capacity".
 pub fn idleness(trace: &Trace, attr: UsageAttribute, threshold: f64) -> Option<IdlenessReport> {
-    assert!((0.0..=1.0).contains(&threshold), "threshold must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&threshold),
+        "threshold must be in [0, 1]"
+    );
     let counts: Vec<(u64, u64, u64, u64)> = trace
         .host_series
         .par_iter()
@@ -79,9 +82,9 @@ pub fn idleness(trace: &Trace, attr: UsageAttribute, threshold: f64) -> Option<I
         })
         .collect();
 
-    let (idle_all, idle_mid, idle_high, total) = counts
-        .into_iter()
-        .fold((0, 0, 0, 0), |a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2, a.3 + b.3));
+    let (idle_all, idle_mid, idle_high, total) = counts.into_iter().fold((0, 0, 0, 0), |a, b| {
+        (a.0 + b.0, a.1 + b.1, a.2 + b.2, a.3 + b.3)
+    });
     if total == 0 {
         return None;
     }

@@ -11,7 +11,10 @@
 //!   execution times and the §VI headline quantiles;
 //! * [`workload::submission`] — the Fig. 5 submission-interval CDF and the
 //!   Table I jobs-per-hour row with Jain fairness;
-//! * [`workload::utilization`] — the Fig. 6 per-job CPU and memory CDFs.
+//! * [`workload::utilization`] — the Fig. 6 per-job CPU and memory CDFs;
+//! * [`workload::resubmission`] — the §IV.B.1 completion-event mix
+//!   (59.2% abnormal on Google) and attempts-per-task CDF, exposing the
+//!   crash-loop behaviour the fault model injects.
 //!
 //! **Host load** (Section IV, over machines):
 //! * [`hostload::max_load`] — Fig. 7 maximum-load distributions per

@@ -10,8 +10,9 @@ use crate::hostload::{
     HostComparison, LevelRunTable, MaxLoadDistribution, QueueRunLengths, UsageMassCount,
 };
 use crate::workload::{
-    job_length_analysis, priority_histogram, submission_analysis, task_length_analysis,
-    JobLengthAnalysis, PriorityHistogram, SubmissionAnalysis, TaskLengthAnalysis,
+    job_length_analysis, priority_histogram, resubmission_analysis, submission_analysis,
+    task_length_analysis, JobLengthAnalysis, PriorityHistogram, ResubmissionAnalysis,
+    SubmissionAnalysis, TaskLengthAnalysis,
 };
 use cgc_stats::Summary;
 use cgc_trace::usage::UsageAttribute;
@@ -34,6 +35,8 @@ pub struct WorkloadSection {
     pub cpu_usage: Option<Summary>,
     /// Fig. 6(b) summary at a 32 GB reference capacity (MB).
     pub memory_mb_at_32gb: Option<Summary>,
+    /// §IV.B.1 completion mix and resubmission behaviour.
+    pub resubmission: Option<ResubmissionAnalysis>,
 }
 
 /// Host-load side of the report (paper Section IV).
@@ -87,6 +90,7 @@ pub fn characterize(trace: &Trace) -> CharacterizationReport {
         cpu_usage: crate::workload::job_cpu_usage(trace).map(|e| Summary::of(e.values())),
         memory_mb_at_32gb: crate::workload::job_memory_mb(trace, 32.0)
             .map(|e| Summary::of(e.values())),
+        resubmission: resubmission_analysis(trace),
     };
 
     let hostload = if trace.host_series.iter().any(|s| !s.is_empty()) {
@@ -164,6 +168,20 @@ impl fmt::Display for CharacterizationReport {
                 f,
                 "job cpu usage (processors): mean {:.2} max {:.1}",
                 c.mean, c.max
+            )?;
+        }
+        if let Some(r) = &w.resubmission {
+            writeln!(
+                f,
+                "completions: {:.1}% abnormal (fail {:.0}% / kill {:.0}% of abnormal); \
+                 attempts mean {:.2} max {}  crash-loopers {}  mean retry gap {:.0}s",
+                100.0 * r.abnormal_fraction,
+                100.0 * r.fail_share_of_abnormal,
+                100.0 * r.kill_share_of_abnormal,
+                r.mean_attempts,
+                r.max_attempts,
+                r.crash_looper_tasks,
+                r.mean_resubmit_gap
             )?;
         }
         if let Some(h) = &self.hostload {

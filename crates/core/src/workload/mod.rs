@@ -3,6 +3,7 @@
 
 pub mod job_length;
 pub mod priority;
+pub mod resubmission;
 pub mod submission;
 pub mod task_length;
 pub mod users;
@@ -10,6 +11,7 @@ pub mod utilization;
 
 pub use job_length::{job_length_analysis, JobLengthAnalysis};
 pub use priority::{priority_histogram, PriorityHistogram};
+pub use resubmission::{resubmission_analysis, ResubmissionAnalysis, CRASH_LOOP_ATTEMPTS};
 pub use submission::{submission_analysis, RateRow, SubmissionAnalysis};
 pub use task_length::{task_length_analysis, TaskLengthAnalysis};
 pub use users::{user_activity, UserActivity};

@@ -1,0 +1,236 @@
+//! Resubmission and completion-mix analysis (paper §IV.B.1, Fig. 1).
+//!
+//! The paper's headline failure statistic: 59.2% of the Google trace's
+//! 44 million completion events are abnormal — failures make up ~50% and
+//! user kills ~30.7% of the abnormal ones — and the counts are inflated
+//! by crash loops, tasks resubmitted again and again after failing.
+//! Grid systems sit at the other extreme, with tasks almost always
+//! finishing. This analyzer reports both views: the per-event completion
+//! mix (overall and per priority class) and the per-task resubmission
+//! behaviour (attempts CDF, crash-looper count, inter-attempt waits).
+
+use cgc_stats::Ecdf;
+use cgc_trace::trace::CompletionCounts;
+use cgc_trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// A task with at least this many scheduling attempts is counted as a
+/// crash-looper (a deterministic failure being retried).
+pub const CRASH_LOOP_ATTEMPTS: u32 = 10;
+
+/// Completion-event mix and per-task resubmission statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResubmissionAnalysis {
+    /// System label the statistics came from.
+    pub system: String,
+    /// Completion events by kind, trace-wide.
+    pub completions: CompletionCounts,
+    /// Share of completion events that are abnormal (paper: 0.592).
+    pub abnormal_fraction: f64,
+    /// Failures as a share of abnormal events (paper: ~0.50).
+    pub fail_share_of_abnormal: f64,
+    /// Kills as a share of abnormal events (paper: ~0.307).
+    pub kill_share_of_abnormal: f64,
+    /// Abnormal share per priority class `[low, middle, high]`; `NaN`-free
+    /// (0 where a class saw no completions).
+    pub abnormal_share_by_class: [f64; 3],
+    /// Largest number of attempts any task made.
+    pub max_attempts: u32,
+    /// Mean attempts over tasks that ever ran.
+    pub mean_attempts: f64,
+    /// Tasks with at least [`CRASH_LOOP_ATTEMPTS`] attempts.
+    pub crash_looper_tasks: u64,
+    /// Mean per-task inter-attempt gap in seconds, over resubmitted tasks
+    /// (0 when nothing was resubmitted); reflects scheduler backoff.
+    pub mean_resubmit_gap: f64,
+    /// CDF of attempts per task (tasks that ever ran).
+    #[serde(skip)]
+    attempts_cdf: Option<Ecdf>,
+}
+
+impl ResubmissionAnalysis {
+    /// The attempts-per-task ECDF (present unless deserialized).
+    pub fn attempts_cdf(&self) -> Option<&Ecdf> {
+        self.attempts_cdf.as_ref()
+    }
+
+    /// Fraction of tasks needing more than one attempt.
+    pub fn resubmitted_fraction(&self) -> f64 {
+        self.attempts_cdf
+            .as_ref()
+            .map_or(0.0, |cdf| 1.0 - cdf.eval(1.0))
+    }
+}
+
+/// Analyzes resubmission behaviour; `None` if no task ever ran.
+pub fn resubmission_analysis(trace: &Trace) -> Option<ResubmissionAnalysis> {
+    let attempts: Vec<f64> = trace
+        .tasks
+        .iter()
+        .filter(|t| t.ever_ran())
+        .map(|t| f64::from(t.attempts))
+        .collect();
+    if attempts.is_empty() {
+        return None;
+    }
+
+    // Per-class completion-event tallies: (total, abnormal).
+    let mut by_class = [(0u64, 0u64); 3];
+    for e in &trace.events {
+        if !e.kind.is_completion() {
+            continue;
+        }
+        // Tolerate partial traces (lenient parses): an event whose task
+        // record was skipped simply drops out of the per-class view.
+        let Some(task) = trace.tasks.get(e.task.index()) else {
+            continue;
+        };
+        let slot = &mut by_class[task.priority.class().index()];
+        slot.0 += 1;
+        if e.kind.is_abnormal_completion() {
+            slot.1 += 1;
+        }
+    }
+    let abnormal_share_by_class = by_class.map(|(total, abnormal)| {
+        if total == 0 {
+            0.0
+        } else {
+            abnormal as f64 / total as f64
+        }
+    });
+
+    let completions = trace.completion_counts();
+    let abnormal = completions.abnormal();
+    let kill_share_of_abnormal = if abnormal == 0 {
+        0.0
+    } else {
+        completions.kill as f64 / abnormal as f64
+    };
+
+    let gaps: Vec<f64> = trace
+        .tasks
+        .iter()
+        .filter_map(|t| t.mean_resubmit_gap())
+        .collect();
+    let mean_resubmit_gap = if gaps.is_empty() {
+        0.0
+    } else {
+        gaps.iter().sum::<f64>() / gaps.len() as f64
+    };
+
+    let cdf = Ecdf::new(attempts);
+    Some(ResubmissionAnalysis {
+        system: trace.system.clone(),
+        completions,
+        abnormal_fraction: completions.abnormal_fraction(),
+        fail_share_of_abnormal: completions.fail_share_of_abnormal(),
+        kill_share_of_abnormal,
+        abnormal_share_by_class,
+        max_attempts: cdf.max() as u32,
+        mean_attempts: cdf.mean(),
+        crash_looper_tasks: trace
+            .tasks
+            .iter()
+            .filter(|t| t.attempts >= CRASH_LOOP_ATTEMPTS)
+            .count() as u64,
+        mean_resubmit_gap,
+        attempts_cdf: Some(cdf),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgc_trace::task::{TaskEvent, TaskEventKind};
+    use cgc_trace::{Demand, Priority, TraceBuilder, UserId};
+
+    /// One machine; each entry is (priority level, number of fail-retry
+    /// cycles before finishing).
+    fn trace_with(specs: &[(u8, u32)]) -> Trace {
+        let mut b = TraceBuilder::new("t", 1_000_000);
+        let m = b.add_machine(1.0, 1.0, 1.0);
+        let mut clock = 0u64;
+        for &(level, fail_cycles) in specs {
+            let j = b.add_job(UserId(0), Priority::from_level(level), clock);
+            let t = b.add_task(j, Demand::new(0.01, 0.01));
+            for cycle in 0..=fail_cycles {
+                b.push_event(TaskEvent {
+                    time: clock,
+                    task: t,
+                    machine: None,
+                    kind: TaskEventKind::Submit,
+                });
+                b.push_event(TaskEvent {
+                    time: clock + 2,
+                    task: t,
+                    machine: Some(m),
+                    kind: TaskEventKind::Schedule,
+                });
+                let kind = if cycle == fail_cycles {
+                    TaskEventKind::Finish
+                } else {
+                    TaskEventKind::Fail
+                };
+                b.push_event(TaskEvent {
+                    time: clock + 10,
+                    task: t,
+                    machine: Some(m),
+                    kind,
+                });
+                clock += 30; // 20 s between death and next submit+schedule
+            }
+            clock += 100;
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn attempt_statistics() {
+        let trace = trace_with(&[(1, 0), (1, 2), (5, 11)]);
+        let a = resubmission_analysis(&trace).unwrap();
+        assert_eq!(a.max_attempts, 12);
+        assert_eq!(a.crash_looper_tasks, 1);
+        assert!((a.mean_attempts - (1.0 + 3.0 + 12.0) / 3.0).abs() < 1e-12);
+        let cdf = a.attempts_cdf().unwrap();
+        assert!((cdf.eval(1.0) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((a.resubmitted_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn completion_mix_counts_all_attempts() {
+        let trace = trace_with(&[(1, 0), (1, 2)]);
+        let a = resubmission_analysis(&trace).unwrap();
+        // 2 finishes + 2 fails = 4 completion events, half abnormal.
+        assert_eq!(a.completions.total(), 4);
+        assert!((a.abnormal_fraction - 0.5).abs() < 1e-12);
+        assert!((a.fail_share_of_abnormal - 1.0).abs() < 1e-12);
+        assert_eq!(a.kill_share_of_abnormal, 0.0);
+    }
+
+    #[test]
+    fn per_class_shares() {
+        // Low priority fails twice then finishes; high priority finishes
+        // outright: abnormal share 2/3 for low, 0 for high.
+        let trace = trace_with(&[(1, 2), (10, 0)]);
+        let a = resubmission_analysis(&trace).unwrap();
+        assert!((a.abnormal_share_by_class[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(a.abnormal_share_by_class[1], 0.0);
+        assert_eq!(a.abnormal_share_by_class[2], 0.0);
+    }
+
+    #[test]
+    fn resubmit_gaps_are_averaged() {
+        let trace = trace_with(&[(1, 1)]);
+        let a = resubmission_analysis(&trace).unwrap();
+        // Death at t+10, next submit at t+30, schedule at t+32: gap 22 s.
+        assert!((a.mean_resubmit_gap - 22.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn none_when_nothing_ran() {
+        let mut b = TraceBuilder::new("t", 100);
+        b.add_job(UserId(0), Priority::from_level(1), 0);
+        let trace = b.build().unwrap();
+        assert!(resubmission_analysis(&trace).is_none());
+    }
+}

@@ -1,0 +1,93 @@
+//! End-to-end fault pipeline: generator → simulator with fault injection →
+//! resubmission analyzer, checked against the paper's §IV.B.1 numbers.
+
+use cgc_core::workload::{resubmission_analysis, CRASH_LOOP_ATTEMPTS};
+use cgc_gen::{FleetConfig, GoogleWorkload, GridSystem, GridWorkload};
+use cgc_sim::{FaultConfig, SimConfig, Simulator};
+use cgc_trace::HOUR;
+
+/// Google preset plus the calibrated fault model: the completion-event mix
+/// lands on the paper's 59.2% abnormal share and the attempts-per-task
+/// distribution is heavy-tailed (crash-loopers reach the attempt cap).
+#[test]
+fn google_faults_hit_paper_abnormal_share() {
+    let w = GoogleWorkload::scaled_for_hostload(20, 12 * HOUR).generate(4);
+    let config = SimConfig::google(FleetConfig::google(20)).with_faults(FaultConfig::google());
+    let trace = Simulator::new(config).run(&w);
+    let a = resubmission_analysis(&trace).expect("tasks ran");
+
+    assert!(a.completions.total() > 300, "too few completions");
+    // Paper: 59.2% of completion events are abnormal. The acceptance band
+    // is ±3 points.
+    assert!(
+        (a.abnormal_fraction - 0.592).abs() < 0.03,
+        "abnormal={:.3}",
+        a.abnormal_fraction
+    );
+    // Failures dominate the abnormal events (paper: ~50%), kills follow
+    // (paper: ~30.7%).
+    assert!(
+        (a.fail_share_of_abnormal - 0.5).abs() < 0.2,
+        "fail share={:.3}",
+        a.fail_share_of_abnormal
+    );
+    assert!(
+        a.kill_share_of_abnormal > 0.1,
+        "kill share={:.3}",
+        a.kill_share_of_abnormal
+    );
+
+    // Heavy tail: most tasks take one attempt, but crash-loopers push the
+    // maximum to the attempt cap and beyond the analyzer's looper bar.
+    assert!(
+        a.max_attempts >= CRASH_LOOP_ATTEMPTS,
+        "max attempts={}",
+        a.max_attempts
+    );
+    assert!(a.crash_looper_tasks >= 1, "no crash-loopers detected");
+    assert!(a.mean_attempts < 3.0, "mean attempts={}", a.mean_attempts);
+    let cdf = a.attempts_cdf().expect("cdf present");
+    assert!(
+        cdf.eval(1.0) > 0.5,
+        "most tasks should finish in one attempt: F(1)={}",
+        cdf.eval(1.0)
+    );
+    // Backoff shows up as non-zero inter-attempt gaps.
+    assert!(a.mean_resubmit_gap > 0.0);
+}
+
+/// Grid preset plus grid faults: tasks almost always finish (paper:
+/// abnormal share below 10%, the other extreme of the comparison).
+#[test]
+fn grid_faults_stay_mostly_normal() {
+    let w = GridWorkload::scaled(GridSystem::AuverGrid, 24 * HOUR, 0.2).generate(3);
+    let config = SimConfig::grid(FleetConfig::homogeneous(16)).with_faults(FaultConfig::grid());
+    let trace = Simulator::new(config).run(&w);
+    let a = resubmission_analysis(&trace).expect("tasks ran");
+
+    assert!(
+        a.abnormal_fraction < 0.10,
+        "grid abnormal={:.3}",
+        a.abnormal_fraction
+    );
+    // Grid tasks rarely loop: the attempts distribution is short-tailed.
+    assert!(a.mean_attempts < 1.2, "mean attempts={}", a.mean_attempts);
+}
+
+/// The characterization report carries the resubmission section for any
+/// trace in which tasks ran.
+#[test]
+fn report_includes_resubmission_section() {
+    let w = GoogleWorkload::scaled_for_hostload(6, 3 * HOUR).generate(2);
+    let config = SimConfig::google(FleetConfig::google(6)).with_faults(FaultConfig::google());
+    let trace = Simulator::new(config).run(&w);
+    let report = cgc_core::characterize(&trace);
+    let r = report
+        .workload
+        .resubmission
+        .as_ref()
+        .expect("section present");
+    assert_eq!(r.system, trace.system);
+    // The Display output mentions the completion mix.
+    assert!(report.to_string().contains("completions:"));
+}

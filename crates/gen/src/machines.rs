@@ -10,6 +10,10 @@ use cgc_trace::{MachineRecord, TraceBuilder};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+fn one_machine_per_domain() -> usize {
+    1
+}
+
 /// Configuration of a machine fleet.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetConfig {
@@ -21,28 +25,68 @@ pub struct FleetConfig {
     pub memory_classes: Vec<(f64, f64)>,
     /// Page-cache capacity (uniform across the fleet).
     pub page_cache_capacity: f64,
+    /// Machines per failure domain (rack / power domain). Machines are
+    /// assigned to domains in id order: domain `d` owns machines
+    /// `d*N .. (d+1)*N`. With 1 (the default) every machine is its own
+    /// domain and fault injection degenerates to independent node churn.
+    #[serde(default = "one_machine_per_domain")]
+    pub machines_per_domain: usize,
 }
 
 impl FleetConfig {
     /// The Google-like heterogeneous fleet: CPU classes {0.25, 0.5, 1},
-    /// memory classes {0.25, 0.5, 0.75, 1}, dominated by mid-size machines.
+    /// memory classes {0.25, 0.5, 0.75, 1}, dominated by mid-size
+    /// machines, racked 10 to a failure domain.
     pub fn google(count: usize) -> Self {
         FleetConfig {
             count,
             cpu_classes: vec![(0.25, 0.30), (0.5, 0.55), (1.0, 0.15)],
             memory_classes: vec![(0.25, 0.25), (0.5, 0.45), (0.75, 0.22), (1.0, 0.08)],
             page_cache_capacity: 1.0,
+            machines_per_domain: 10,
         }
     }
 
-    /// A homogeneous grid cluster (every node identical, full capacity).
+    /// A homogeneous grid cluster (every node identical, full capacity,
+    /// no rack-level failure correlation).
     pub fn homogeneous(count: usize) -> Self {
         FleetConfig {
             count,
             cpu_classes: vec![(1.0, 1.0)],
             memory_classes: vec![(1.0, 1.0)],
             page_cache_capacity: 1.0,
+            machines_per_domain: 1,
         }
+    }
+
+    /// Replaces the failure-domain width (builder style). A width of 0 is
+    /// treated as 1.
+    pub fn with_domains(mut self, machines_per_domain: usize) -> Self {
+        self.machines_per_domain = machines_per_domain;
+        self
+    }
+
+    /// Effective domain width (guards against a configured 0).
+    fn domain_width(&self) -> usize {
+        self.machines_per_domain.max(1)
+    }
+
+    /// Number of failure domains in the fleet.
+    pub fn num_domains(&self) -> usize {
+        self.count.div_ceil(self.domain_width())
+    }
+
+    /// Failure domain of a machine index.
+    pub fn domain_of(&self, machine: usize) -> usize {
+        machine / self.domain_width()
+    }
+
+    /// Machine indices belonging to a domain (empty if out of range).
+    pub fn domain_members(&self, domain: usize) -> std::ops::Range<usize> {
+        let w = self.domain_width();
+        let start = (domain * w).min(self.count);
+        let end = (start + w).min(self.count);
+        start..end
     }
 
     /// Draws the fleet.
@@ -121,6 +165,24 @@ mod tests {
         let a = FleetConfig::google(100).generate(&mut StdRng::seed_from_u64(11));
         let b = FleetConfig::google(100).generate(&mut StdRng::seed_from_u64(11));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn domain_topology_partitions_the_fleet() {
+        let fleet = FleetConfig::google(25); // 10 per domain -> 3 domains
+        assert_eq!(fleet.num_domains(), 3);
+        assert_eq!(fleet.domain_members(0), 0..10);
+        assert_eq!(fleet.domain_members(2), 20..25);
+        assert_eq!(fleet.domain_members(3), 25..25);
+        for m in 0..fleet.count {
+            assert!(fleet.domain_members(fleet.domain_of(m)).contains(&m));
+        }
+        // Grid fleets default to one machine per domain.
+        assert_eq!(FleetConfig::homogeneous(5).num_domains(), 5);
+        // Width 0 degenerates to independent machines instead of dividing
+        // by zero.
+        assert_eq!(FleetConfig::homogeneous(5).with_domains(0).num_domains(), 5);
+        assert_eq!(FleetConfig::google(40).with_domains(20).num_domains(), 2);
     }
 
     #[test]

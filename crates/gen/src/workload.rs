@@ -118,6 +118,7 @@ impl Workload {
                     demand: t.demand,
                     execution_time: t.runtime,
                     attempts: 1,
+                    resubmit_wait: 0,
                     outcome: if finished {
                         TaskOutcome::Finished
                     } else {

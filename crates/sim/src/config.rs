@@ -1,5 +1,6 @@
 //! Simulator configuration.
 
+use crate::faults::FaultConfig;
 use crate::outcome::OutcomeModel;
 use cgc_gen::FleetConfig;
 use cgc_trace::{Duration, SAMPLE_PERIOD};
@@ -66,6 +67,11 @@ pub struct SimConfig {
     pub machine_failures_per_day: f64,
     /// Outage duration range in seconds (uniform).
     pub outage_duration: (u64, u64),
+    /// Correlated-failure injection (domain outages, crash-loopers,
+    /// backoff, blacklisting). Disabled in the presets so existing seeds
+    /// reproduce bit-identical traces; see [`FaultConfig`].
+    #[serde(default = "FaultConfig::none")]
+    pub faults: FaultConfig,
 }
 
 impl SimConfig {
@@ -87,6 +93,7 @@ impl SimConfig {
             memory_headroom: 0.92,
             machine_failures_per_day: 0.0,
             outage_duration: (600, 4 * 3_600),
+            faults: FaultConfig::none(),
         }
     }
 
@@ -108,6 +115,7 @@ impl SimConfig {
             memory_headroom: 1.0,
             machine_failures_per_day: 0.0,
             outage_duration: (1_800, 12 * 3_600),
+            faults: FaultConfig::none(),
         }
     }
 
@@ -126,6 +134,12 @@ impl SimConfig {
     /// Enables machine churn at the given per-machine daily outage rate.
     pub fn with_machine_churn(mut self, failures_per_day: f64) -> Self {
         self.machine_failures_per_day = failures_per_day;
+        self
+    }
+
+    /// Enables fault injection (builder style).
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
         self
     }
 }
@@ -155,8 +169,18 @@ mod tests {
     fn builder_methods() {
         let c = SimConfig::google(FleetConfig::google(10))
             .with_seed(9)
-            .with_placement(PlacementPolicy::BestFit);
+            .with_placement(PlacementPolicy::BestFit)
+            .with_faults(FaultConfig::google());
         assert_eq!(c.seed, 9);
         assert_eq!(c.placement, PlacementPolicy::BestFit);
+        assert!(c.faults.enabled());
+    }
+
+    #[test]
+    fn presets_keep_faults_disabled() {
+        assert!(!SimConfig::google(FleetConfig::google(10)).faults.enabled());
+        assert!(!SimConfig::grid(FleetConfig::homogeneous(10))
+            .faults
+            .enabled());
     }
 }

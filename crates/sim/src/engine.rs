@@ -30,7 +30,7 @@ use cgc_trace::{
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
 /// Maximum placement failures per scheduling pass before the pass gives
 /// up. Deep enough that narrow jobs behind wide head-of-line blockers
@@ -53,9 +53,12 @@ enum EventKind {
     Complete { task: usize, attempt: u32 },
     /// Deferred scheduling pass (models scheduler reaction latency).
     Kick,
-    /// A machine goes down; its running tasks fail.
-    MachineDown { machine: usize },
-    /// A machine returns to service.
+    /// A machine goes down until `until`; its running tasks fail.
+    /// Overlapping outages (node churn plus a domain outage) extend the
+    /// downtime to the latest `until`.
+    MachineDown { machine: usize, until: Timestamp },
+    /// A machine returns to service (ignored while a longer outage holds
+    /// the machine down).
     MachineUp { machine: usize },
 }
 
@@ -112,6 +115,9 @@ struct MachineState {
     running: Vec<RunningTask>,
     /// False while the machine is in an outage.
     up: bool,
+    /// End of the latest outage covering this machine; `MachineUp` events
+    /// that fire before it are stale and ignored.
+    down_until: Timestamp,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,6 +145,13 @@ struct Engine<'a> {
     completion_kind: Vec<TaskEventKind>,
     /// Accumulated core-seconds per job (for Formula 4 CPU usage).
     job_cpu_seconds: Vec<f64>,
+    /// Failures so far per task (drives the backoff exponent).
+    fails: Vec<u32>,
+    /// Whether each task is a deterministic crash-looper; decided lazily
+    /// at first submission so fault-free runs draw no extra randomness.
+    looper: Vec<Option<bool>>,
+    /// Per-(task, machine) failure counts for blacklisting.
+    host_failures: HashMap<(usize, usize), u32>,
     series: Vec<HostSeries>,
     horizon: Duration,
 }
@@ -192,6 +205,7 @@ impl Simulator {
                     free: placeable,
                     running: Vec::new(),
                     up: true,
+                    down_until: 0,
                 }
             })
             .collect::<Vec<_>>();
@@ -216,6 +230,9 @@ impl Simulator {
             resubmits_left: vec![self.config.max_resubmits; n_tasks],
             completion_kind: vec![TaskEventKind::Finish; n_tasks],
             job_cpu_seconds: vec![0.0; workload.jobs.len()],
+            fails: vec![0; n_tasks],
+            looper: vec![None; n_tasks],
+            host_failures: HashMap::new(),
             series,
             horizon: workload.horizon,
         };
@@ -233,6 +250,8 @@ impl Simulator {
         if self.config.machine_failures_per_day > 0.0 {
             engine.seed_outages(workload.horizon);
         }
+        // Seed correlated failure-domain outages (scripted + random).
+        engine.seed_domain_outages(workload.horizon);
 
         engine.run();
 
@@ -275,7 +294,9 @@ impl Engine<'_> {
                     self.handle_complete(ev.time, task, attempt)
                 }
                 EventKind::Kick => self.schedule_pass(ev.time),
-                EventKind::MachineDown { machine } => self.handle_machine_down(ev.time, machine),
+                EventKind::MachineDown { machine, until } => {
+                    self.handle_machine_down(ev.time, machine, until)
+                }
                 EventKind::MachineUp { machine } => self.handle_machine_up(ev.time, machine),
             }
         }
@@ -303,7 +324,29 @@ impl Engine<'_> {
         });
     }
 
+    /// Bimodal failure model: is this task a deterministic crash-looper?
+    /// Decided once, at first submission, so that fault-free
+    /// configurations draw exactly the same random sequence as before the
+    /// fault model existed.
+    fn is_crash_looper(&mut self, task: usize) -> bool {
+        if let Some(l) = self.looper[task] {
+            return l;
+        }
+        let fraction = self.config.faults.crash_loop_fraction;
+        let l = fraction > 0.0 && self.rng.gen_bool(fraction.min(1.0));
+        if l {
+            // Borg-style throttle: the looper gets a fixed attempt budget
+            // instead of the regular resubmission budget.
+            self.resubmits_left[task] = self.config.faults.crash_loop_attempt_cap.saturating_sub(1);
+        }
+        self.looper[task] = Some(l);
+        l
+    }
+
     fn handle_submit(&mut self, time: Timestamp, task: usize) {
+        if self.config.faults.crash_loop_fraction > 0.0 {
+            self.is_crash_looper(task);
+        }
         self.emit(time, task, None, TaskEventKind::Submit);
         self.phase[task] = TaskPhase::Pending;
         let level = self.tasks[task].priority.level();
@@ -341,12 +384,33 @@ impl Engine<'_> {
         self.emit(time, task, Some(machine), kind);
         self.phase[task] = TaskPhase::Dead;
 
-        if kind == TaskEventKind::Fail && self.resubmits_left[task] > 0 {
-            self.resubmits_left[task] -= 1;
-            self.push(time + 1, EventKind::Submit { task });
+        if kind == TaskEventKind::Fail {
+            self.fails[task] += 1;
+            if self.config.faults.blacklist_after > 0 {
+                *self.host_failures.entry((task, machine)).or_insert(0) += 1;
+            }
+            if self.resubmits_left[task] > 0 {
+                self.resubmits_left[task] -= 1;
+                let delay = self.retry_delay(task, 1);
+                self.push(time + delay, EventKind::Submit { task });
+            }
         }
 
         self.schedule_pass(time);
+    }
+
+    /// Scheduler-side delay before resubmitting a failed task: fixed
+    /// `legacy` seconds without faults, exponential backoff with jitter
+    /// when faults are enabled.
+    fn retry_delay(&mut self, task: usize, legacy: Duration) -> Duration {
+        if self.config.faults.enabled() {
+            self.config
+                .faults
+                .retry
+                .delay(self.fails[task], &mut self.rng)
+        } else {
+            legacy
+        }
     }
 
     fn take_samples(&mut self, time: Timestamp) {
@@ -423,12 +487,12 @@ impl Engine<'_> {
     /// Tries to place one task, possibly via preemption. Returns success.
     fn try_place(&mut self, time: Timestamp, task: usize) -> bool {
         let info = self.tasks[task];
-        if let Some(mi) = self.pick_machine(&info.demand) {
+        if let Some(mi) = self.pick_machine(task, &info.demand) {
             self.start_task(time, task, mi);
             return true;
         }
         if self.config.preemption {
-            if let Some(mi) = self.pick_preemption_target(&info) {
+            if let Some(mi) = self.pick_preemption_target(task, &info) {
                 self.evict_for(time, mi, &info);
                 debug_assert!(info.demand.fits_within(&self.machines[mi].free));
                 self.start_task(time, task, mi);
@@ -438,35 +502,59 @@ impl Engine<'_> {
         false
     }
 
-    fn pick_machine(&self, demand: &Demand) -> Option<usize> {
-        let fits = self
-            .machines
-            .iter()
-            .enumerate()
-            .filter(|(_, m)| m.up && demand.fits_within(&m.free));
+    /// True if the scheduler should avoid placing `task` on `machine`
+    /// (the task failed there too often).
+    fn blacklisted(&self, task: usize, machine: usize) -> bool {
+        let threshold = self.config.faults.blacklist_after;
+        threshold > 0
+            && self
+                .host_failures
+                .get(&(task, machine))
+                .is_some_and(|&n| n >= threshold)
+    }
+
+    /// Applies the placement policy to a candidate list (indices into
+    /// `self.machines`, id-ordered).
+    fn select_by_policy(&self, candidates: &[usize]) -> Option<usize> {
+        let key = |&i: &usize| (self.machines[i].free.cpu, self.machines[i].free.memory);
         match self.config.placement {
-            PlacementPolicy::LoadBalance => fits
-                .max_by(|a, b| {
-                    (a.1.free.cpu, a.1.free.memory)
-                        .partial_cmp(&(b.1.free.cpu, b.1.free.memory))
-                        .expect("capacities are finite")
-                })
-                .map(|(i, _)| i),
-            PlacementPolicy::BestFit => fits
-                .min_by(|a, b| {
-                    (a.1.free.cpu, a.1.free.memory)
-                        .partial_cmp(&(b.1.free.cpu, b.1.free.memory))
-                        .expect("capacities are finite")
-                })
-                .map(|(i, _)| i),
-            PlacementPolicy::FirstFit => fits.map(|(i, _)| i).next(),
+            PlacementPolicy::LoadBalance => candidates
+                .iter()
+                .max_by(|a, b| key(a).partial_cmp(&key(b)).expect("capacities are finite"))
+                .copied(),
+            PlacementPolicy::BestFit => candidates
+                .iter()
+                .min_by(|a, b| key(a).partial_cmp(&key(b)).expect("capacities are finite"))
+                .copied(),
+            PlacementPolicy::FirstFit => candidates.first().copied(),
         }
     }
 
+    fn pick_machine(&self, task: usize, demand: &Demand) -> Option<usize> {
+        // Two tiers: preferred machines first, blacklisted ones only as a
+        // desperation fallback (better a flaky host than starvation).
+        let mut preferred = Vec::new();
+        let mut last_resort = Vec::new();
+        for (mi, m) in self.machines.iter().enumerate() {
+            if m.up && demand.fits_within(&m.free) {
+                if self.blacklisted(task, mi) {
+                    last_resort.push(mi);
+                } else {
+                    preferred.push(mi);
+                }
+            }
+        }
+        self.select_by_policy(&preferred)
+            .or_else(|| self.select_by_policy(&last_resort))
+    }
+
     /// Finds a machine where evicting strictly-lower-priority tasks frees
-    /// enough room. Prefers the machine sacrificing the least demand.
-    fn pick_preemption_target(&self, info: &TaskInfo) -> Option<usize> {
-        let mut best: Option<(usize, f64)> = None;
+    /// enough room. Prefers non-blacklisted machines, then the machine
+    /// sacrificing the least demand.
+    fn pick_preemption_target(&self, task: usize, info: &TaskInfo) -> Option<usize> {
+        // best = (blacklisted, sacrificed): prefer clean hosts, then the
+        // cheapest eviction set.
+        let mut best: Option<(usize, (bool, f64))> = None;
         for (mi, m) in self.machines.iter().enumerate() {
             if !m.up {
                 continue;
@@ -480,9 +568,10 @@ impl Engine<'_> {
                 }
             }
             if info.demand.fits_within(&avail) {
+                let score = (self.blacklisted(task, mi), sacrificed);
                 match best {
-                    Some((_, s)) if s <= sacrificed => {}
-                    _ => best = Some((mi, sacrificed)),
+                    Some((_, s)) if s <= score => {}
+                    _ => best = Some((mi, score)),
                 }
             }
         }
@@ -535,7 +624,14 @@ impl Engine<'_> {
 
     fn start_task(&mut self, time: Timestamp, task: usize, mi: usize) {
         let info = self.tasks[task];
-        let plan = self.config.outcome.draw(&mut self.rng);
+        let plan = if self.looper[task] == Some(true) {
+            // Crash-loopers fail deterministically, early in the run
+            // (missing binary, bad config): the defining behaviour behind
+            // the Google trace's inflated abnormal-event counts.
+            AttemptPlan::Fail(self.rng.gen_range(0.01..0.08))
+        } else {
+            self.config.outcome.draw(&mut self.rng)
+        };
         let duration = plan.duration(info.runtime);
         self.attempt[task] = self.attempt[task].wrapping_add(1);
         let attempt = self.attempt[task];
@@ -584,15 +680,74 @@ impl Engine<'_> {
                 } else {
                     lo.max(1)
                 };
-                self.push(down_at, EventKind::MachineDown { machine: mi });
-                self.push(down_at + duration, EventKind::MachineUp { machine: mi });
+                self.push(
+                    down_at,
+                    EventKind::MachineDown {
+                        machine: mi,
+                        until: down_at + duration,
+                    },
+                );
                 // The machine cannot fail again while down.
                 t += duration as f64;
             }
         }
     }
 
-    fn handle_machine_down(&mut self, time: Timestamp, mi: usize) {
+    /// Draws the correlated-outage schedule: scripted outages first, then
+    /// a Poisson process per failure domain. Every machine of an affected
+    /// domain goes down at the same instant.
+    fn seed_domain_outages(&mut self, horizon: Duration) {
+        let faults = self.config.faults.clone();
+        for o in &faults.injected_outages {
+            if o.at < horizon {
+                self.push_domain_outage(o.domain, o.at, o.duration.max(1));
+            }
+        }
+        if faults.domain_outages_per_day <= 0.0 {
+            return;
+        }
+        let rate_per_sec = faults.domain_outages_per_day / 86_400.0;
+        let (lo, hi) = faults.domain_outage_duration;
+        for domain in 0..self.config.fleet.num_domains() {
+            let mut t = 0.0f64;
+            loop {
+                let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+                t += -u.ln() / rate_per_sec;
+                if t >= horizon as f64 {
+                    break;
+                }
+                let duration = if hi > lo {
+                    self.rng.gen_range(lo..hi)
+                } else {
+                    lo.max(1)
+                };
+                self.push_domain_outage(domain, t as Timestamp, duration);
+                t += duration as f64;
+            }
+        }
+    }
+
+    fn push_domain_outage(&mut self, domain: usize, at: Timestamp, duration: Duration) {
+        for machine in self.config.fleet.domain_members(domain) {
+            if machine < self.machines.len() {
+                self.push(
+                    at,
+                    EventKind::MachineDown {
+                        machine,
+                        until: at + duration,
+                    },
+                );
+            }
+        }
+    }
+
+    fn handle_machine_down(&mut self, time: Timestamp, mi: usize, until: Timestamp) {
+        // Extend, never shorten: overlapping outages keep the machine
+        // down until the latest scheduled return.
+        if until > self.machines[mi].down_until {
+            self.machines[mi].down_until = until;
+            self.push(until, EventKind::MachineUp { machine: mi });
+        }
         self.machines[mi].up = false;
         // Every running task dies with the machine.
         let victims: Vec<usize> = self.machines[mi].running.iter().map(|r| r.task).collect();
@@ -610,9 +765,11 @@ impl Engine<'_> {
             self.phase[task] = TaskPhase::Dead;
             self.completion_kind[task] = TaskEventKind::Fail;
             self.emit(time, task, Some(mi), TaskEventKind::Fail);
+            self.fails[task] += 1;
             if self.resubmits_left[task] > 0 {
                 self.resubmits_left[task] -= 1;
-                self.push(time + 60, EventKind::Submit { task });
+                let delay = self.retry_delay(task, 60);
+                self.push(time + delay, EventKind::Submit { task });
             }
         }
         // Free capacity is irrelevant while down; reset for the return.
@@ -621,6 +778,9 @@ impl Engine<'_> {
     }
 
     fn handle_machine_up(&mut self, time: Timestamp, mi: usize) {
+        if time < self.machines[mi].down_until {
+            return; // a longer overlapping outage still holds it down
+        }
         self.machines[mi].up = true;
         self.schedule_pass(time);
     }

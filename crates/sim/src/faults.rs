@@ -1,0 +1,264 @@
+//! Correlated failure injection and retry policy.
+//!
+//! The paper's sharpest Cloud-vs-Grid contrast is failure behaviour
+//! (§IV.B.1): 59.2% of Google completion events are abnormal, and the
+//! event counts are inflated by *crash loops* — tasks that fail
+//! deterministically and are resubmitted over and over. The base
+//! [`OutcomeModel`](crate::OutcomeModel) draws i.i.d. per-attempt
+//! outcomes, which cannot produce either the heavy-tailed attempts-per-
+//! task distribution or correlated bursts of failures. This module adds:
+//!
+//! * **failure domains** — racks/power domains defined by
+//!   [`cgc_gen::FleetConfig::machines_per_domain`]; a domain outage downs
+//!   every member machine at the same instant, failing all their tasks;
+//! * a **bimodal task-failure model** — a small fraction of tasks are
+//!   deterministic *crash-loopers* whose every attempt fails quickly,
+//!   while the rest fail transiently per the base outcome model;
+//! * **exponential backoff with jitter** between resubmissions
+//!   ([`RetryPolicy`]), so retries of the same task never land in the
+//!   same scheduling instant;
+//! * **per-task machine blacklisting** — after repeated failures on the
+//!   same host the scheduler stops placing that task there (with a
+//!   desperation fallback when every fitting machine is blacklisted);
+//! * a **crash-loop throttle** capping runaway resubmission, Borg-style:
+//!   a crash-looper is abandoned after
+//!   [`crash_loop_attempt_cap`](FaultConfig::crash_loop_attempt_cap)
+//!   attempts.
+//!
+//! Everything is driven by the simulator's seeded RNG, so runs remain
+//! reproducible; the `google()`/`grid()` presets of
+//! [`SimConfig`](crate::SimConfig) keep faults disabled and behave
+//! exactly as before — opt in with
+//! [`SimConfig::with_faults`](crate::SimConfig::with_faults).
+
+use cgc_trace::{Duration, Timestamp};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Exponential backoff with multiplicative jitter between resubmissions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Delay before the first retry, in seconds.
+    pub base: Duration,
+    /// Ceiling on the backoff delay, in seconds.
+    pub max: Duration,
+    /// Jitter fraction: the delay is scaled by a uniform factor in
+    /// `1 ± jitter` (0 disables jitter).
+    pub jitter: f64,
+}
+
+impl RetryPolicy {
+    /// No waiting beyond one second — the legacy immediate-retry
+    /// behaviour, kept for fault-free configurations.
+    pub fn immediate() -> Self {
+        RetryPolicy {
+            base: 1,
+            max: 1,
+            jitter: 0.0,
+        }
+    }
+
+    /// Delay before the next attempt, given how many times the task has
+    /// failed so far (≥ 1 when called). Doubles per failure from `base`
+    /// up to `max`, then jitters. Always at least one second.
+    pub fn delay<R: Rng + ?Sized>(&self, failures: u32, rng: &mut R) -> Duration {
+        let exp = failures.saturating_sub(1).min(32);
+        let nominal = self
+            .base
+            .max(1)
+            .saturating_mul(1u64.checked_shl(exp).unwrap_or(u64::MAX))
+            .min(self.max.max(1));
+        if self.jitter <= 0.0 {
+            return nominal;
+        }
+        let lo = (1.0 - self.jitter).max(0.0);
+        let factor = rng.gen_range(lo..1.0 + self.jitter);
+        ((nominal as f64 * factor).round() as Duration).max(1)
+    }
+}
+
+/// One scripted domain outage (for deterministic tests and what-if runs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DomainOutage {
+    /// Failure-domain index (see `FleetConfig::machines_per_domain`).
+    pub domain: usize,
+    /// When every machine in the domain goes down.
+    pub at: Timestamp,
+    /// How long the outage lasts, in seconds.
+    pub duration: Duration,
+}
+
+/// Fault-injection configuration, disabled by default.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Expected correlated outages per failure domain and day (0 disables
+    /// random domain outages; scripted ones still fire).
+    pub domain_outages_per_day: f64,
+    /// Domain-outage duration range in seconds (uniform).
+    pub domain_outage_duration: (u64, u64),
+    /// Fraction of tasks that are deterministic crash-loopers: every
+    /// attempt fails almost immediately, regardless of the outcome model.
+    pub crash_loop_fraction: f64,
+    /// Total attempts granted to a crash-looper before the scheduler
+    /// gives up on it (the Borg-style crash-loop throttle).
+    pub crash_loop_attempt_cap: u32,
+    /// Backoff between resubmissions of failed tasks.
+    pub retry: RetryPolicy,
+    /// After this many failures of one task on one machine, the scheduler
+    /// stops placing the task there (0 disables blacklisting).
+    pub blacklist_after: u32,
+    /// Scripted outages, fired in addition to the random schedule.
+    pub injected_outages: Vec<DomainOutage>,
+}
+
+impl FaultConfig {
+    /// Faults fully disabled: the simulator behaves exactly as without
+    /// this module (bit-identical traces for a given seed).
+    pub fn none() -> Self {
+        FaultConfig {
+            domain_outages_per_day: 0.0,
+            domain_outage_duration: (600, 3_600),
+            crash_loop_fraction: 0.0,
+            crash_loop_attempt_cap: 0,
+            retry: RetryPolicy::immediate(),
+            blacklist_after: 0,
+            injected_outages: Vec::new(),
+        }
+    }
+
+    /// Google-like faults. The crash-looper fraction and attempt cap are
+    /// calibrated so that, combined with `OutcomeModel::google()` and
+    /// preemption-driven evictions, the completion-event mix lands on the
+    /// paper's 59.2% abnormal share (see DESIGN.md, "Fault model").
+    pub fn google() -> Self {
+        FaultConfig {
+            domain_outages_per_day: 0.03,
+            domain_outage_duration: (600, 7_200),
+            crash_loop_fraction: 0.012,
+            crash_loop_attempt_cap: 12,
+            retry: RetryPolicy {
+                base: 10,
+                max: 960,
+                jitter: 0.5,
+            },
+            blacklist_after: 3,
+            injected_outages: Vec::new(),
+        }
+    }
+
+    /// Grid-like faults: node failures exist but crash loops are rare and
+    /// schedulers retry patiently (minutes, not seconds).
+    pub fn grid() -> Self {
+        FaultConfig {
+            domain_outages_per_day: 0.005,
+            domain_outage_duration: (1_800, 12 * 3_600),
+            crash_loop_fraction: 0.001,
+            crash_loop_attempt_cap: 4,
+            retry: RetryPolicy {
+                base: 60,
+                max: 3_600,
+                jitter: 0.3,
+            },
+            blacklist_after: 2,
+            injected_outages: Vec::new(),
+        }
+    }
+
+    /// True if any fault mechanism is active.
+    pub fn enabled(&self) -> bool {
+        self.domain_outages_per_day > 0.0
+            || self.crash_loop_fraction > 0.0
+            || self.blacklist_after > 0
+            || !self.injected_outages.is_empty()
+            || self.retry != RetryPolicy::immediate()
+    }
+
+    /// Adds a scripted outage (builder style).
+    pub fn with_outage(mut self, domain: usize, at: Timestamp, duration: Duration) -> Self {
+        self.injected_outages.push(DomainOutage {
+            domain,
+            at,
+            duration,
+        });
+        self
+    }
+
+    /// Replaces the crash-looper fraction (builder style).
+    pub fn with_crash_loop_fraction(mut self, fraction: f64) -> Self {
+        self.crash_loop_fraction = fraction;
+        self
+    }
+
+    /// Replaces the retry policy (builder style).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn backoff_doubles_up_to_max() {
+        let p = RetryPolicy {
+            base: 10,
+            max: 100,
+            jitter: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(p.delay(1, &mut rng), 10);
+        assert_eq!(p.delay(2, &mut rng), 20);
+        assert_eq!(p.delay(3, &mut rng), 40);
+        assert_eq!(p.delay(4, &mut rng), 80);
+        assert_eq!(p.delay(5, &mut rng), 100); // capped
+        assert_eq!(p.delay(60, &mut rng), 100); // huge counts do not overflow
+    }
+
+    #[test]
+    fn jitter_stays_in_band_and_above_one() {
+        let p = RetryPolicy {
+            base: 8,
+            max: 1_000,
+            jitter: 0.5,
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        for failures in 1..6 {
+            for _ in 0..200 {
+                let d = p.delay(failures, &mut rng);
+                let nominal = 8u64 << (failures - 1);
+                assert!(d >= 1);
+                assert!(d as f64 >= nominal as f64 * 0.5 - 1.0);
+                assert!(d as f64 <= nominal as f64 * 1.5 + 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn none_is_disabled_and_presets_are_enabled() {
+        assert!(!FaultConfig::none().enabled());
+        assert!(FaultConfig::google().enabled());
+        assert!(FaultConfig::grid().enabled());
+        // A single scripted outage is enough to enable faults.
+        assert!(FaultConfig::none().with_outage(0, 100, 60).enabled());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let f = FaultConfig::none()
+            .with_crash_loop_fraction(0.5)
+            .with_retry(RetryPolicy {
+                base: 2,
+                max: 64,
+                jitter: 0.1,
+            })
+            .with_outage(1, 500, 300);
+        assert_eq!(f.crash_loop_fraction, 0.5);
+        assert_eq!(f.retry.base, 2);
+        assert_eq!(f.injected_outages.len(), 1);
+        assert_eq!(f.injected_outages[0].domain, 1);
+    }
+}

@@ -6,7 +6,10 @@
 //! lower ones, placement favours the "best" (least-loaded) machine to
 //! balance demand, and evicted tasks are resubmitted. A failure-injection
 //! model reproduces the trace's completion-event mix (59.2% abnormal;
-//! failures ≈ 50% and kills ≈ 30.7% of the abnormal events).
+//! failures ≈ 50% and kills ≈ 30.7% of the abnormal events), and the
+//! [`faults`] module layers correlated rack outages, crash-loopers,
+//! retry backoff, and machine blacklisting on top (opt-in via
+//! [`SimConfig::with_faults`]).
 //!
 //! The simulator emits a fully validated [`cgc_trace::Trace`]: the complete
 //! task event log plus per-machine usage samples at the Google trace's
@@ -25,8 +28,10 @@
 
 pub mod config;
 pub mod engine;
+pub mod faults;
 pub mod outcome;
 
 pub use config::{PlacementPolicy, SimConfig};
 pub use engine::Simulator;
-pub use outcome::{AttemptPlan, OutcomeModel};
+pub use faults::{DomainOutage, FaultConfig, RetryPolicy};
+pub use outcome::{AttemptPlan, InvalidOutcomeModel, OutcomeModel};

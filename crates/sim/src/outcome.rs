@@ -44,6 +44,25 @@ impl AttemptPlan {
     }
 }
 
+/// Error for outcome probabilities that do not form a distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvalidOutcomeModel {
+    /// The offending total probability mass (or NaN).
+    pub mass: f64,
+}
+
+impl std::fmt::Display for InvalidOutcomeModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "outcome probabilities must be in [0, 1] and sum to at most 1, got mass {}",
+            self.mass
+        )
+    }
+}
+
+impl std::error::Error for InvalidOutcomeModel {}
+
 /// Per-attempt outcome probabilities.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct OutcomeModel {
@@ -56,6 +75,31 @@ pub struct OutcomeModel {
 }
 
 impl OutcomeModel {
+    /// Validating constructor: each probability must lie in `[0, 1]` and
+    /// their sum must not exceed 1. Unlike the old `debug_assert!` in
+    /// [`draw`](Self::draw), this rejects invalid configurations in
+    /// release builds too.
+    pub fn new(p_fail: f64, p_kill: f64, p_lost: f64) -> Result<Self, InvalidOutcomeModel> {
+        let model = OutcomeModel {
+            p_fail,
+            p_kill,
+            p_lost,
+        };
+        model.validate()?;
+        Ok(model)
+    }
+
+    /// Checks that the probabilities form a (sub-)distribution.
+    pub fn validate(&self) -> Result<(), InvalidOutcomeModel> {
+        let mass = self.p_fail + self.p_kill + self.p_lost;
+        let each_ok = [self.p_fail, self.p_kill, self.p_lost]
+            .iter()
+            .all(|p| (0.0..=1.0).contains(p));
+        if !each_ok || !mass.is_finite() || mass > 1.0 {
+            return Err(InvalidOutcomeModel { mass });
+        }
+        Ok(())
+    }
     /// Calibrated to the Google trace's 59.2% abnormal completions
     /// (fail 50%, kill 30.7% of abnormal), leaving room for the
     /// preemption-driven evictions the engine adds on top.
@@ -86,8 +130,12 @@ impl OutcomeModel {
     }
 
     /// Draws the plan for one attempt.
+    ///
+    /// Models should be built through [`new`](Self::new) so that invalid
+    /// probability masses are rejected up front; the assertion here only
+    /// guards debug builds against field-level mutation.
     pub fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> AttemptPlan {
-        debug_assert!(self.p_fail + self.p_kill + self.p_lost <= 1.0);
+        debug_assert!(self.validate().is_ok());
         let u: f64 = rng.gen_range(0.0..1.0);
         if u < self.p_fail {
             // Crashes cluster early in the run: most failures are
@@ -160,6 +208,20 @@ mod tests {
         for _ in 0..1_000 {
             assert_eq!(model.draw(&mut rng), AttemptPlan::Finish);
         }
+    }
+
+    #[test]
+    fn constructor_rejects_bad_mass() {
+        assert!(OutcomeModel::new(0.5, 0.4, 0.3).is_err());
+        assert!(OutcomeModel::new(-0.1, 0.0, 0.0).is_err());
+        assert!(OutcomeModel::new(f64::NAN, 0.0, 0.0).is_err());
+        assert!(OutcomeModel::new(1.1, 0.0, 0.0).is_err());
+        let ok = OutcomeModel::new(0.3, 0.2, 0.01).unwrap();
+        assert_eq!(ok.p_fail, 0.3);
+        // Presets validate, of course.
+        assert!(OutcomeModel::google().validate().is_ok());
+        assert!(OutcomeModel::grid().validate().is_ok());
+        assert!(OutcomeModel::always_finish().validate().is_ok());
     }
 
     #[test]

@@ -1,0 +1,242 @@
+//! Integration tests of the fault-injection layer: correlated domain
+//! outages, crash-loopers, retry backoff, and blacklisting.
+
+use cgc_gen::workload::{JobSpec, TaskSpec, Workload};
+use cgc_gen::FleetConfig;
+use cgc_sim::{FaultConfig, OutcomeModel, RetryPolicy, SimConfig, Simulator};
+use cgc_trace::task::{TaskEventKind, TaskOutcome};
+use cgc_trace::{MachineId, Priority, Timestamp, Trace, UserId, HOUR};
+
+fn tiny_task(runtime: u64, cpu: f64, mem: f64) -> TaskSpec {
+    TaskSpec {
+        demand: cgc_trace::Demand::new(cpu, mem),
+        runtime,
+        cpu_processors: cpu * 8.0,
+        utilization: 0.8,
+    }
+}
+
+fn manual_workload(horizon: u64, jobs: Vec<JobSpec>) -> Workload {
+    Workload {
+        system: "manual".into(),
+        horizon,
+        jobs,
+    }
+}
+
+/// Exact-packing config with a deterministic outcome model, so every
+/// abnormal event in these tests comes from the fault layer.
+fn quiet_config(fleet: FleetConfig) -> SimConfig {
+    let mut c = SimConfig::google(fleet);
+    c.outcome = OutcomeModel::always_finish();
+    c.schedule_latency = 0;
+    c.cpu_overcommit = 1.0;
+    c.memory_headroom = 1.0;
+    c
+}
+
+/// Per-task Schedule-event times, in file (= simulation) order.
+fn schedule_times(trace: &Trace) -> Vec<Vec<Timestamp>> {
+    let mut times = vec![Vec::new(); trace.tasks.len()];
+    for e in &trace.events {
+        if e.kind == TaskEventKind::Schedule {
+            times[e.task.index()].push(e.time);
+        }
+    }
+    times
+}
+
+const OUTAGE_AT: Timestamp = 3_600;
+const OUTAGE_LEN: u64 = 1_800;
+
+/// A scripted rack outage: every machine of the domain goes dark at the
+/// same instant, their tasks fail and are resubmitted with backoff, and
+/// the machines report zero usage until they return to service.
+#[test]
+fn scripted_rack_outage_downs_whole_domain() {
+    // 6 machines, 3 per domain: domain 0 = {0,1,2}, domain 1 = {3,4,5}.
+    let fleet = FleetConfig::homogeneous(6).with_domains(3);
+    let faults = FaultConfig::none()
+        .with_outage(0, OUTAGE_AT, OUTAGE_LEN)
+        .with_retry(RetryPolicy {
+            base: 30,
+            max: 960,
+            jitter: 0.0,
+        });
+    let config = quiet_config(fleet).with_faults(faults);
+    let budget = 1 + config.max_resubmits;
+    // 12 long tasks: load-balancing spreads two onto each machine, so the
+    // whole fleet is busy when the rack dies.
+    let jobs = (0..12)
+        .map(|i| JobSpec {
+            submit: i,
+            user: UserId(0),
+            priority: Priority::from_level(5),
+            tasks: vec![tiny_task(4 * HOUR, 0.3, 0.1)],
+        })
+        .collect();
+    let trace = Simulator::new(config).run(&manual_workload(3 * HOUR, jobs));
+
+    // Every machine of domain 0 — and only domain 0 — fails running tasks
+    // at the outage instant.
+    let failed_on: std::collections::BTreeSet<usize> = trace
+        .events
+        .iter()
+        .filter(|e| e.kind == TaskEventKind::Fail && e.time == OUTAGE_AT)
+        .filter_map(|e| e.machine.map(MachineId::index))
+        .collect();
+    assert_eq!(
+        failed_on,
+        [0, 1, 2].into(),
+        "the whole rack must fail simultaneously"
+    );
+
+    // During the outage the downed machines report all-zero samples while
+    // the surviving domain keeps working (300 s sampling grid).
+    let sample = |mi: usize, t: Timestamp| &trace.host_series[mi].samples[(t / 300) as usize];
+    for t in [3_900, 4_200, 4_500, 4_800, 5_100] {
+        for mi in 0..3 {
+            let s = sample(mi, t);
+            assert_eq!(s.cpu.total(), 0.0, "machine {mi} must be silent at {t}");
+            assert_eq!(s.memory_used.total(), 0.0);
+        }
+        assert!(
+            (3..6).any(|mi| sample(mi, t).cpu.total() > 0.0),
+            "the surviving domain must keep running at {t}"
+        );
+    }
+    // Before the outage the rack was busy; after MachineUp it takes work
+    // again (the displaced tasks do not all fit in the surviving domain).
+    assert!((0..3).all(|mi| sample(mi, 3_300).cpu.total() > 0.0));
+    let after = OUTAGE_AT + OUTAGE_LEN + 300;
+    assert!(
+        (0..3).any(|mi| sample(mi, after).cpu.total() > 0.0),
+        "recovered machines must be schedulable again"
+    );
+
+    // Every task that died in the outage was resubmitted within budget,
+    // with backoff: no two attempts of one task scheduled in the same
+    // second.
+    let mut resubmitted = 0;
+    for (ti, times) in schedule_times(&trace).iter().enumerate() {
+        let t = &trace.tasks[ti];
+        assert!(t.attempts <= budget, "task {ti} exceeded its budget");
+        for pair in times.windows(2) {
+            assert!(
+                pair[1] > pair[0],
+                "task {ti} rescheduled in the same second: {pair:?}"
+            );
+        }
+        if t.attempts > 1 {
+            resubmitted += 1;
+            // The retry waited at least the configured base delay.
+            assert!(t.resubmit_wait >= 30, "task {ti} retried without backoff");
+        }
+    }
+    assert!(resubmitted >= 6, "all rack tasks should have retried");
+}
+
+/// Crash-loopers fail every attempt and are cut off by the Borg-style
+/// attempt cap, with exponentially-backed-off, never-same-second retries.
+#[test]
+fn crash_loopers_are_throttled_and_backed_off() {
+    let mut faults = FaultConfig::none();
+    faults.crash_loop_fraction = 1.0; // every task loops, for test signal
+    faults.crash_loop_attempt_cap = 6;
+    faults.retry = RetryPolicy {
+        base: 5,
+        max: 160,
+        jitter: 0.5,
+    };
+    let config = quiet_config(FleetConfig::homogeneous(2)).with_faults(faults);
+    let jobs = (0..4)
+        .map(|i| JobSpec {
+            submit: i * 50,
+            user: UserId(0),
+            priority: Priority::from_level(5),
+            tasks: vec![tiny_task(600, 0.2, 0.1)],
+        })
+        .collect();
+    let trace = Simulator::new(config).run(&manual_workload(6 * HOUR, jobs));
+
+    for (ti, t) in trace.tasks.iter().enumerate() {
+        assert_eq!(t.outcome, TaskOutcome::Failed, "task {ti}");
+        assert_eq!(t.attempts, 6, "task {ti} must stop at the attempt cap");
+    }
+    for (ti, times) in schedule_times(&trace).iter().enumerate() {
+        assert_eq!(times.len(), 6);
+        for pair in times.windows(2) {
+            assert!(
+                pair[1] > pair[0],
+                "task {ti} rescheduled in the same second: {pair:?}"
+            );
+        }
+    }
+    // All completions are failures: the outcome model never fails anything,
+    // so the whole abnormal mix is the crash-loop model's doing.
+    let c = trace.completion_counts();
+    assert_eq!(c.abnormal(), c.total());
+    assert_eq!(c.fail, c.total());
+}
+
+/// Repeated failures of one task on one machine blacklist that machine:
+/// later attempts run elsewhere, and once every host is blacklisted the
+/// desperation fallback still places the task instead of starving it.
+#[test]
+fn blacklisting_moves_repeat_offenders() {
+    // One crash-looper on a two-machine fleet. Its failures are genuine
+    // (not machine outages, which deliberately don't count), so after two
+    // failures on the first host the blacklist forces a move.
+    let mut faults = FaultConfig::none().with_retry(RetryPolicy {
+        base: 10,
+        max: 40,
+        jitter: 0.0,
+    });
+    faults.crash_loop_fraction = 1.0;
+    faults.crash_loop_attempt_cap = 8;
+    faults.blacklist_after = 2;
+    let config = quiet_config(FleetConfig::homogeneous(2)).with_faults(faults);
+    let jobs = vec![JobSpec {
+        submit: 0,
+        user: UserId(0),
+        priority: Priority::from_level(5),
+        tasks: vec![tiny_task(600, 0.2, 0.1)],
+    }];
+    let trace = Simulator::new(config).run(&manual_workload(4 * HOUR, jobs));
+
+    let machines: Vec<usize> = trace
+        .events
+        .iter()
+        .filter(|e| e.kind == TaskEventKind::Schedule)
+        .filter_map(|e| e.machine.map(MachineId::index))
+        .collect();
+    // All 8 attempts were placed: desperation fallback beats starvation
+    // even with both machines eventually blacklisted.
+    assert_eq!(machines.len(), 8);
+    assert_eq!(trace.tasks[0].attempts, 8);
+    // An idle fleet keeps load-balancing onto the same host, so the first
+    // move away from it is the blacklist's doing.
+    assert_eq!(
+        machines[0], machines[1],
+        "pre-blacklist placement is sticky"
+    );
+    assert_ne!(
+        machines[2], machines[1],
+        "two failures must blacklist the host: {machines:?}"
+    );
+    assert!(
+        machines.contains(&0) && machines.contains(&1),
+        "both machines should have been tried: {machines:?}"
+    );
+}
+
+/// Fault-free configurations are bit-identical to the pre-fault engine:
+/// attaching `FaultConfig::none()` changes nothing about the trace.
+#[test]
+fn disabled_faults_do_not_perturb_the_simulation() {
+    let w = cgc_gen::GoogleWorkload::scaled_for_hostload(5, 3 * HOUR).generate(9);
+    let base = SimConfig::google(FleetConfig::google(5)).with_seed(77);
+    let a = Simulator::new(base.clone()).run(&w);
+    let b = Simulator::new(base.with_faults(FaultConfig::none())).run(&w);
+    assert_eq!(a, b);
+}

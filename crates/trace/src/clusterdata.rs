@@ -290,17 +290,18 @@ pub fn import_clusterdata(
         // Repair: a task first seen via SCHEDULE (its SUBMIT predates the
         // trace window) gets a synthetic submission at the same instant.
         let mut effective = current;
-        if current == TaskState::Unsubmitted && kind != TaskEventKind::Submit {
-            if current.apply(TaskEventKind::Submit).is_ok() {
-                builder.push_event(TaskEvent {
-                    time,
-                    task: tid,
-                    machine: None,
-                    kind: TaskEventKind::Submit,
-                });
-                stats.submits_synthesized += 1;
-                effective = TaskState::Pending;
-            }
+        if current == TaskState::Unsubmitted
+            && kind != TaskEventKind::Submit
+            && current.apply(TaskEventKind::Submit).is_ok()
+        {
+            builder.push_event(TaskEvent {
+                time,
+                task: tid,
+                machine: None,
+                kind: TaskEventKind::Submit,
+            });
+            stats.submits_synthesized += 1;
+            effective = TaskState::Pending;
         }
         // Scheduling events need a machine; completions of running tasks
         // need their machine too. Use a placeholder when the log omits it.
@@ -360,8 +361,10 @@ pub fn import_clusterdata(
     machine_ids.sort_unstable();
     for mid in machine_ids {
         let windows = &per_machine[&mid];
+        let Some(&last) = windows.keys().max() else {
+            continue;
+        };
         let mut series = HostSeries::new(mid, 0, SAMPLE_PERIOD);
-        let last = *windows.keys().max().expect("non-empty by construction");
         for w in 0..=last {
             series
                 .samples
@@ -370,17 +373,21 @@ pub fn import_clusterdata(
         builder.add_host_series(series);
     }
 
-    let mut trace = finish(builder, horizon);
+    let mut trace = finish(builder, horizon)?;
     trace.system = system.to_string();
     Ok((trace, stats))
 }
 
-fn finish(builder: crate::trace::TraceBuilder, horizon: Duration) -> Trace {
-    let mut trace = builder
-        .build()
-        .expect("importer only emits repaired, legal sequences");
+fn finish(builder: crate::trace::TraceBuilder, horizon: Duration) -> Result<Trace, ImportError> {
+    // The repair pass is designed to emit only legal sequences, but a bug
+    // there must surface as an error, not a panic on real-world data.
+    let mut trace = builder.build().map_err(|source| ImportError {
+        table: "task_events",
+        line: 0,
+        message: format!("repaired event log still invalid: {source}"),
+    })?;
     trace.horizon = horizon;
-    trace
+    Ok(trace)
 }
 
 #[cfg(test)]

@@ -13,25 +13,47 @@
 //! #jobs
 //! <id>,<user>,<priority>,<submit>,<completion|->,<cpu_seconds>,<mean_memory>
 //! #tasks
-//! <id>,<job>,<priority>,<submit>,<cpu>,<mem>,<exec>,<attempts>,<outcome>
+//! <id>,<job>,<priority>,<submit>,<cpu>,<mem>,<exec>,<attempts>,<resubmit_wait>,<outcome>
 //! #events
 //! <time>,<task>,<machine|->,<kind>
 //! #series <machine> <start> <period>
 //! <cpu_l>,<cpu_m>,<cpu_h>,<mu_l>,...,<page_cache>
 //! ```
+//!
+//! Task lines with nine fields (the format before `resubmit_wait` was
+//! recorded) are still accepted, with the wait defaulting to zero.
+//!
+//! # Robustness
+//!
+//! [`read_trace`] is *strict*: the first malformed line aborts the parse
+//! with a [`ParseError`] carrying the offending line number. No input —
+//! however corrupt — makes it panic. Beyond per-line syntax it validates
+//! structural invariants that downstream consumers rely on: record ids are
+//! dense and in file order, tasks reference declared jobs, events reference
+//! declared tasks and replay legally through the task life-cycle state
+//! machine, and usage series reference declared machines. A trace returned
+//! by `read_trace` is therefore safe to hand to any analyzer.
+//!
+//! [`read_trace_lenient`] degrades gracefully instead of aborting: corrupt
+//! lines are skipped and reported as warnings (one [`ParseError`] per
+//! skipped line), so a partially corrupted or truncated trace still yields
+//! every salvageable record. Analyzers then operate on the partial trace.
 
 use crate::ids::{JobId, MachineId, TaskId, UserId};
 use crate::job::JobRecord;
 use crate::machine::MachineRecord;
 use crate::priority::Priority;
 use crate::resources::Demand;
-use crate::task::{TaskEvent, TaskEventKind, TaskOutcome, TaskRecord};
+use crate::task::{TaskEvent, TaskEventKind, TaskOutcome, TaskRecord, TaskState};
 use crate::trace::Trace;
 use crate::usage::{ClassSplit, HostSeries, UsageSample};
 use std::fmt::Write as _;
 use std::str::FromStr;
 
 /// Error produced while parsing a serialized trace.
+///
+/// In lenient mode the same type describes a *warning*: a line that was
+/// skipped instead of aborting the parse.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError {
     /// 1-based line number.
@@ -47,6 +69,16 @@ impl std::fmt::Display for ParseError {
 }
 
 impl std::error::Error for ParseError {}
+
+/// Result of a lenient parse: the salvaged trace plus one warning per
+/// skipped line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LenientParse {
+    /// The records that parsed cleanly.
+    pub trace: Trace,
+    /// Skipped lines, in file order.
+    pub warnings: Vec<ParseError>,
+}
 
 fn outcome_tag(o: TaskOutcome) -> &'static str {
     match o {
@@ -136,7 +168,7 @@ pub fn write_trace(trace: &Trace) -> String {
     for t in &trace.tasks {
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{}",
             t.id.0,
             t.job.0,
             t.priority.level(),
@@ -145,6 +177,7 @@ pub fn write_trace(trace: &Trace) -> String {
             t.demand.memory,
             t.execution_time,
             t.attempts,
+            t.resubmit_wait,
             outcome_tag(t.outcome)
         );
     }
@@ -210,9 +243,32 @@ impl<'a> LineParser<'a> {
         Ok(fields)
     }
 
+    /// Like [`fields`](Self::fields) but accepting any count in
+    /// `lo..=hi` (legacy format tolerance).
+    fn fields_between(&self, lo: usize, hi: usize) -> Result<Vec<&'a str>, ParseError> {
+        let fields: Vec<&str> = self.line.split(',').collect();
+        if fields.len() < lo || fields.len() > hi {
+            return Err(self.err(format!(
+                "expected {lo}..={hi} comma-separated fields, found {}",
+                fields.len()
+            )));
+        }
+        Ok(fields)
+    }
+
     fn parse<T: FromStr>(&self, s: &str, what: &str) -> Result<T, ParseError> {
         s.parse()
             .map_err(|_| self.err(format!("invalid {what}: {s:?}")))
+    }
+
+    /// Parses a float and rejects NaN/infinity, which would silently
+    /// poison downstream statistics (sorting, comparisons).
+    fn parse_f64(&self, s: &str, what: &str) -> Result<f64, ParseError> {
+        let v: f64 = self.parse(s, what)?;
+        if !v.is_finite() {
+            return Err(self.err(format!("non-finite {what}: {s:?}")));
+        }
+        Ok(v)
     }
 }
 
@@ -226,171 +282,313 @@ enum Section {
     Series,
 }
 
-/// Parses a trace previously produced by [`write_trace`].
-pub fn read_trace(text: &str) -> Result<Trace, ParseError> {
-    let mut system = String::new();
-    let mut horizon = 0;
-    let mut machines = Vec::new();
-    let mut jobs: Vec<JobRecord> = Vec::new();
-    let mut tasks: Vec<TaskRecord> = Vec::new();
-    let mut events = Vec::new();
-    let mut host_series: Vec<HostSeries> = Vec::new();
-    let mut section = Section::Preamble;
+/// Accumulated parse state; one [`line`](ParserState::line) call per input
+/// line, each returning `Err` for exactly the lines strict mode aborts on
+/// and lenient mode skips.
+struct ParserState {
+    system: String,
+    horizon: u64,
+    machines: Vec<MachineRecord>,
+    jobs: Vec<JobRecord>,
+    tasks: Vec<TaskRecord>,
+    /// Replayed life-cycle state per task, to validate the event log.
+    states: Vec<TaskState>,
+    events: Vec<TaskEvent>,
+    host_series: Vec<HostSeries>,
+    /// Whether the current `#series` header was accepted (samples attach
+    /// to `host_series.last_mut()` only while true).
+    series_open: bool,
+    section: Section,
+}
 
-    for (i, raw) in text.lines().enumerate() {
-        let p = LineParser {
-            line_no: i + 1,
-            line: raw,
+impl ParserState {
+    fn new() -> Self {
+        ParserState {
+            system: String::new(),
+            horizon: 0,
+            machines: Vec::new(),
+            jobs: Vec::new(),
+            tasks: Vec::new(),
+            states: Vec::new(),
+            events: Vec::new(),
+            host_series: Vec::new(),
+            series_open: false,
+            section: Section::Preamble,
+        }
+    }
+
+    fn line(&mut self, p: &LineParser<'_>, line: &str) -> Result<(), ParseError> {
+        if let Some(rest) = line.strip_prefix('#') {
+            return self.header(p, rest);
+        }
+        match self.section {
+            Section::Preamble => Err(p.err("data before any section header")),
+            Section::Machines => self.machine_line(p),
+            Section::Jobs => self.job_line(p),
+            Section::Tasks => self.task_line(p),
+            Section::Events => self.event_line(p),
+            Section::Series => self.series_line(p),
+        }
+    }
+
+    fn header(&mut self, p: &LineParser<'_>, rest: &str) -> Result<(), ParseError> {
+        let mut words = rest.split_whitespace();
+        match words.next() {
+            Some("trace") => {
+                self.system = words
+                    .next()
+                    .ok_or_else(|| p.err("missing system name"))?
+                    .to_string();
+                self.horizon = p.parse(
+                    words.next().ok_or_else(|| p.err("missing horizon"))?,
+                    "horizon",
+                )?;
+            }
+            Some("machines") => self.section = Section::Machines,
+            Some("jobs") => self.section = Section::Jobs,
+            Some("tasks") => self.section = Section::Tasks,
+            Some("events") => self.section = Section::Events,
+            Some("series") => {
+                // A failed series header closes the current series so that
+                // subsequent sample lines cannot attach to the wrong one.
+                self.section = Section::Series;
+                self.series_open = false;
+                let machine: u32 = p.parse(
+                    words
+                        .next()
+                        .ok_or_else(|| p.err("missing series machine"))?,
+                    "machine id",
+                )?;
+                if machine as usize >= self.machines.len() {
+                    return Err(p.err(format!("series references unknown machine {machine}")));
+                }
+                let start = p.parse(
+                    words.next().ok_or_else(|| p.err("missing series start"))?,
+                    "start",
+                )?;
+                let period = p.parse(
+                    words.next().ok_or_else(|| p.err("missing series period"))?,
+                    "period",
+                )?;
+                self.host_series
+                    .push(HostSeries::new(MachineId(machine), start, period));
+                self.series_open = true;
+            }
+            other => return Err(p.err(format!("unknown section {other:?}"))),
+        }
+        Ok(())
+    }
+
+    fn machine_line(&mut self, p: &LineParser<'_>) -> Result<(), ParseError> {
+        let f = p.fields(4)?;
+        let id: u32 = p.parse(f[0], "machine id")?;
+        if id as usize != self.machines.len() {
+            return Err(p.err(format!(
+                "machine id {id} out of order (expected {})",
+                self.machines.len()
+            )));
+        }
+        self.machines.push(MachineRecord::new(
+            MachineId(id),
+            p.parse_f64(f[1], "cpu capacity")?,
+            p.parse_f64(f[2], "memory capacity")?,
+            p.parse_f64(f[3], "page-cache capacity")?,
+        ));
+        Ok(())
+    }
+
+    fn job_line(&mut self, p: &LineParser<'_>) -> Result<(), ParseError> {
+        let f = p.fields(7)?;
+        let id: u32 = p.parse(f[0], "job id")?;
+        if id as usize != self.jobs.len() {
+            return Err(p.err(format!(
+                "job id {id} out of order (expected {})",
+                self.jobs.len()
+            )));
+        }
+        let priority: u8 = p.parse(f[2], "priority")?;
+        self.jobs.push(JobRecord {
+            id: JobId(id),
+            user: UserId(p.parse(f[1], "user id")?),
+            priority: Priority::new(priority)
+                .ok_or_else(|| p.err(format!("priority {priority} out of range")))?,
+            submit_time: p.parse(f[3], "submit time")?,
+            tasks: Vec::new(),
+            completion_time: if f[4] == "-" {
+                None
+            } else {
+                Some(p.parse(f[4], "completion time")?)
+            },
+            cpu_seconds: p.parse_f64(f[5], "cpu seconds")?,
+            mean_memory: p.parse_f64(f[6], "mean memory")?,
+        });
+        Ok(())
+    }
+
+    fn task_line(&mut self, p: &LineParser<'_>) -> Result<(), ParseError> {
+        // Nine fields is the legacy format without `resubmit_wait`.
+        let f = p.fields_between(9, 10)?;
+        let id: u32 = p.parse(f[0], "task id")?;
+        if id as usize != self.tasks.len() {
+            return Err(p.err(format!(
+                "task id {id} out of order (expected {})",
+                self.tasks.len()
+            )));
+        }
+        let priority: u8 = p.parse(f[2], "priority")?;
+        let job = JobId(p.parse(f[1], "job id")?);
+        let (resubmit_wait, outcome_field) = if f.len() == 10 {
+            (p.parse(f[8], "resubmit wait")?, f[9])
+        } else {
+            (0, f[8])
         };
+        let record = TaskRecord {
+            id: TaskId(id),
+            job,
+            priority: Priority::new(priority)
+                .ok_or_else(|| p.err(format!("priority {priority} out of range")))?,
+            submit_time: p.parse(f[3], "submit time")?,
+            demand: Demand::new(
+                p.parse_f64(f[4], "cpu demand")?,
+                p.parse_f64(f[5], "mem demand")?,
+            ),
+            execution_time: p.parse(f[6], "execution time")?,
+            attempts: p.parse(f[7], "attempts")?,
+            resubmit_wait,
+            outcome: parse_outcome(outcome_field)
+                .ok_or_else(|| p.err(format!("unknown outcome {outcome_field:?}")))?,
+        };
+        let ji = job.index();
+        if ji >= self.jobs.len() {
+            return Err(p.err(format!("task references unknown job {job}")));
+        }
+        self.jobs[ji].tasks.push(record.id);
+        self.tasks.push(record);
+        self.states.push(TaskState::Unsubmitted);
+        Ok(())
+    }
+
+    fn event_line(&mut self, p: &LineParser<'_>) -> Result<(), ParseError> {
+        let f = p.fields(4)?;
+        let task = TaskId(p.parse(f[1], "task id")?);
+        let kind = parse_event_kind(f[3])
+            .ok_or_else(|| p.err(format!("unknown event kind {:?}", f[3])))?;
+        let Some(state) = self.states.get_mut(task.index()) else {
+            return Err(p.err(format!("event references unknown task {task}")));
+        };
+        // Replay through the life-cycle state machine so that consumers
+        // (queue timelines, the resubmission analyzer) can trust the log.
+        let next = state
+            .apply(kind)
+            .map_err(|source| p.err(format!("illegal event for task {task}: {source}")))?;
+        *state = next;
+        self.events.push(TaskEvent {
+            time: p.parse(f[0], "time")?,
+            task,
+            machine: if f[2] == "-" {
+                None
+            } else {
+                Some(MachineId(p.parse(f[2], "machine id")?))
+            },
+            kind,
+        });
+        Ok(())
+    }
+
+    fn series_line(&mut self, p: &LineParser<'_>) -> Result<(), ParseError> {
+        let f = p.fields(10)?;
+        let Some(series) = self.host_series.last_mut().filter(|_| self.series_open) else {
+            return Err(p.err("usage sample outside any #series section"));
+        };
+        series.samples.push(UsageSample {
+            cpu: ClassSplit {
+                low: p.parse_f64(f[0], "cpu low")?,
+                middle: p.parse_f64(f[1], "cpu middle")?,
+                high: p.parse_f64(f[2], "cpu high")?,
+            },
+            memory_used: ClassSplit {
+                low: p.parse_f64(f[3], "mem-used low")?,
+                middle: p.parse_f64(f[4], "mem-used middle")?,
+                high: p.parse_f64(f[5], "mem-used high")?,
+            },
+            memory_assigned: ClassSplit {
+                low: p.parse_f64(f[6], "mem-assigned low")?,
+                middle: p.parse_f64(f[7], "mem-assigned middle")?,
+                high: p.parse_f64(f[8], "mem-assigned high")?,
+            },
+            page_cache: p.parse_f64(f[9], "page cache")?,
+        });
+        Ok(())
+    }
+
+    fn finish(self) -> Trace {
+        Trace {
+            system: self.system,
+            horizon: self.horizon,
+            machines: self.machines,
+            jobs: self.jobs,
+            tasks: self.tasks,
+            events: self.events,
+            host_series: self.host_series,
+        }
+    }
+}
+
+/// Feeds every non-blank line to `st`, routing per-line errors through
+/// `sink` — which either aborts (strict) or records a warning (lenient).
+fn parse_lines(
+    text: &str,
+    st: &mut ParserState,
+    mut sink: impl FnMut(ParseError) -> Result<(), ParseError>,
+) -> Result<(), ParseError> {
+    for (i, raw) in text.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() {
             continue;
         }
-        if let Some(rest) = line.strip_prefix('#') {
-            let mut words = rest.split_whitespace();
-            match words.next() {
-                Some("trace") => {
-                    system = words
-                        .next()
-                        .ok_or_else(|| p.err("missing system name"))?
-                        .to_string();
-                    horizon = p.parse(
-                        words.next().ok_or_else(|| p.err("missing horizon"))?,
-                        "horizon",
-                    )?;
-                }
-                Some("machines") => section = Section::Machines,
-                Some("jobs") => section = Section::Jobs,
-                Some("tasks") => section = Section::Tasks,
-                Some("events") => section = Section::Events,
-                Some("series") => {
-                    let machine: u32 = p.parse(
-                        words
-                            .next()
-                            .ok_or_else(|| p.err("missing series machine"))?,
-                        "machine id",
-                    )?;
-                    let start = p.parse(
-                        words.next().ok_or_else(|| p.err("missing series start"))?,
-                        "start",
-                    )?;
-                    let period = p.parse(
-                        words.next().ok_or_else(|| p.err("missing series period"))?,
-                        "period",
-                    )?;
-                    host_series.push(HostSeries::new(MachineId(machine), start, period));
-                    section = Section::Series;
-                }
-                other => return Err(p.err(format!("unknown section {other:?}"))),
-            }
-            continue;
-        }
-
-        match section {
-            Section::Preamble => return Err(p.err("data before any section header")),
-            Section::Machines => {
-                let f = p.fields(4)?;
-                let id: u32 = p.parse(f[0], "machine id")?;
-                machines.push(MachineRecord::new(
-                    MachineId(id),
-                    p.parse(f[1], "cpu capacity")?,
-                    p.parse(f[2], "memory capacity")?,
-                    p.parse(f[3], "page-cache capacity")?,
-                ));
-            }
-            Section::Jobs => {
-                let f = p.fields(7)?;
-                let priority: u8 = p.parse(f[2], "priority")?;
-                jobs.push(JobRecord {
-                    id: JobId(p.parse(f[0], "job id")?),
-                    user: UserId(p.parse(f[1], "user id")?),
-                    priority: Priority::new(priority)
-                        .ok_or_else(|| p.err(format!("priority {priority} out of range")))?,
-                    submit_time: p.parse(f[3], "submit time")?,
-                    tasks: Vec::new(),
-                    completion_time: if f[4] == "-" {
-                        None
-                    } else {
-                        Some(p.parse(f[4], "completion time")?)
-                    },
-                    cpu_seconds: p.parse(f[5], "cpu seconds")?,
-                    mean_memory: p.parse(f[6], "mean memory")?,
-                });
-            }
-            Section::Tasks => {
-                let f = p.fields(9)?;
-                let priority: u8 = p.parse(f[2], "priority")?;
-                let job = JobId(p.parse(f[1], "job id")?);
-                let id = TaskId(p.parse(f[0], "task id")?);
-                let record = TaskRecord {
-                    id,
-                    job,
-                    priority: Priority::new(priority)
-                        .ok_or_else(|| p.err(format!("priority {priority} out of range")))?,
-                    submit_time: p.parse(f[3], "submit time")?,
-                    demand: Demand::new(p.parse(f[4], "cpu demand")?, p.parse(f[5], "mem demand")?),
-                    execution_time: p.parse(f[6], "execution time")?,
-                    attempts: p.parse(f[7], "attempts")?,
-                    outcome: parse_outcome(f[8])
-                        .ok_or_else(|| p.err(format!("unknown outcome {:?}", f[8])))?,
-                };
-                let ji = job.index();
-                if ji >= jobs.len() {
-                    return Err(p.err(format!("task references unknown job {job}")));
-                }
-                jobs[ji].tasks.push(id);
-                tasks.push(record);
-            }
-            Section::Events => {
-                let f = p.fields(4)?;
-                events.push(TaskEvent {
-                    time: p.parse(f[0], "time")?,
-                    task: TaskId(p.parse(f[1], "task id")?),
-                    machine: if f[2] == "-" {
-                        None
-                    } else {
-                        Some(MachineId(p.parse(f[2], "machine id")?))
-                    },
-                    kind: parse_event_kind(f[3])
-                        .ok_or_else(|| p.err(format!("unknown event kind {:?}", f[3])))?,
-                });
-            }
-            Section::Series => {
-                let f = p.fields(10)?;
-                let series = host_series
-                    .last_mut()
-                    .expect("series section always opens with a #series header");
-                series.samples.push(UsageSample {
-                    cpu: ClassSplit {
-                        low: p.parse(f[0], "cpu low")?,
-                        middle: p.parse(f[1], "cpu middle")?,
-                        high: p.parse(f[2], "cpu high")?,
-                    },
-                    memory_used: ClassSplit {
-                        low: p.parse(f[3], "mem-used low")?,
-                        middle: p.parse(f[4], "mem-used middle")?,
-                        high: p.parse(f[5], "mem-used high")?,
-                    },
-                    memory_assigned: ClassSplit {
-                        low: p.parse(f[6], "mem-assigned low")?,
-                        middle: p.parse(f[7], "mem-assigned middle")?,
-                        high: p.parse(f[8], "mem-assigned high")?,
-                    },
-                    page_cache: p.parse(f[9], "page cache")?,
-                });
-            }
+        let p = LineParser {
+            line_no: i + 1,
+            line,
+        };
+        if let Err(e) = st.line(&p, line) {
+            sink(e)?;
         }
     }
+    Ok(())
+}
 
-    Ok(Trace {
-        system,
-        horizon,
-        machines,
-        jobs,
-        tasks,
-        events,
-        host_series,
-    })
+/// Parses a trace previously produced by [`write_trace`], strictly: the
+/// first malformed line aborts with a [`ParseError`].
+///
+/// The returned trace satisfies the structural invariants analyzers rely
+/// on (dense ids, valid cross-references, a legal event log); see the
+/// module docs.
+pub fn read_trace(text: &str) -> Result<Trace, ParseError> {
+    let mut st = ParserState::new();
+    parse_lines(text, &mut st, Err)?;
+    Ok(st.finish())
+}
+
+/// Parses a trace leniently: corrupt lines are skipped and returned as
+/// warnings instead of aborting, so partially corrupted or truncated
+/// traces still yield every salvageable record.
+///
+/// On well-formed input this is exactly [`read_trace`] with no warnings.
+/// Note that one corrupt line can shadow later ones (a skipped task makes
+/// ids non-dense, a skipped event invalidates its successors), so the
+/// warning list may be longer than the number of originally corrupted
+/// lines.
+pub fn read_trace_lenient(text: &str) -> LenientParse {
+    let mut st = ParserState::new();
+    let mut warnings = Vec::new();
+    let _ = parse_lines(text, &mut st, |e| {
+        warnings.push(e);
+        Ok(())
+    });
+    LenientParse {
+        trace: st.finish(),
+        warnings,
+    }
 }
 
 #[cfg(test)]
@@ -446,6 +644,30 @@ mod tests {
         b.build().unwrap()
     }
 
+    /// A trace with a resubmission, so `resubmit_wait` is non-zero.
+    fn resubmitted_trace() -> Trace {
+        let mut b = TraceBuilder::new("retry", 3_600);
+        let m = b.add_machine(1.0, 1.0, 1.0);
+        let j = b.add_job(UserId(0), Priority::from_level(4), 0);
+        let t = b.add_task(j, Demand::new(0.1, 0.1));
+        for (time, machine, kind) in [
+            (0, None, TaskEventKind::Submit),
+            (5, Some(m), TaskEventKind::Schedule),
+            (100, Some(m), TaskEventKind::Fail),
+            (130, None, TaskEventKind::Submit),
+            (160, Some(m), TaskEventKind::Schedule),
+            (400, Some(m), TaskEventKind::Finish),
+        ] {
+            b.push_event(TaskEvent {
+                time,
+                task: t,
+                machine,
+                kind,
+            });
+        }
+        b.build().unwrap()
+    }
+
     #[test]
     fn round_trip_preserves_trace() {
         let trace = sample_trace();
@@ -455,10 +677,26 @@ mod tests {
     }
 
     #[test]
+    fn round_trip_preserves_resubmit_wait() {
+        let trace = resubmitted_trace();
+        assert_eq!(trace.tasks[0].resubmit_wait, 60); // 100 -> 160
+        let parsed = read_trace(&write_trace(&trace)).unwrap();
+        assert_eq!(parsed, trace);
+    }
+
+    #[test]
     fn round_trip_empty_trace() {
         let trace = TraceBuilder::new("empty", 100).build().unwrap();
         let parsed = read_trace(&write_trace(&trace)).unwrap();
         assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn legacy_nine_field_task_lines_accepted() {
+        let text = "#trace x 10\n#jobs\n0,0,1,0,-,0,0\n#tasks\n0,0,1,0,0.1,0.1,10,1,finished\n";
+        let trace = read_trace(text).unwrap();
+        assert_eq!(trace.tasks[0].resubmit_wait, 0);
+        assert_eq!(trace.tasks[0].attempts, 1);
     }
 
     #[test]
@@ -484,6 +722,62 @@ mod tests {
     }
 
     #[test]
+    fn event_with_unknown_task_rejected() {
+        let text = "#trace x 10\n#events\n1,7,-,submit\n";
+        let err = read_trace(text).unwrap_err();
+        assert!(err.message.contains("unknown task"));
+    }
+
+    #[test]
+    fn illegal_event_sequence_rejected() {
+        // Schedule before submit violates the life-cycle state machine.
+        let text = "#trace x 10\n#jobs\n0,0,1,0,-,0,0\n#tasks\n\
+                    0,0,1,0,0.1,0.1,0,0,0,unfinished\n#events\n5,0,0,schedule\n";
+        let err = read_trace(text).unwrap_err();
+        assert_eq!(err.line, 7);
+        assert!(err.message.contains("illegal event"));
+    }
+
+    #[test]
+    fn non_dense_ids_rejected() {
+        let text = "#trace x 10\n#machines\n1,0.5,0.5,1\n";
+        let err = read_trace(text).unwrap_err();
+        assert!(err.message.contains("out of order"));
+    }
+
+    #[test]
+    fn series_for_unknown_machine_rejected() {
+        let text = "#trace x 10\n#series 3 0 300\n";
+        let err = read_trace(text).unwrap_err();
+        assert!(err.message.contains("unknown machine"));
+    }
+
+    #[test]
+    fn sample_outside_series_rejected_with_line_number() {
+        // A corrupt series header must not let samples attach anywhere.
+        let text = "#trace x 10\n#machines\n0,1,1,1\n#series bad 0 300\n\
+                    0,0,0,0,0,0,0,0,0,0\n";
+        let err = read_trace(text).unwrap_err();
+        assert_eq!(err.line, 4);
+        let lenient = read_trace_lenient(text);
+        assert_eq!(lenient.warnings.len(), 2);
+        assert_eq!(lenient.warnings[1].line, 5);
+        assert!(lenient.warnings[1].message.contains("outside any #series"));
+        assert!(lenient.trace.host_series.is_empty());
+    }
+
+    #[test]
+    fn non_finite_floats_rejected() {
+        for text in [
+            "#trace x 10\n#machines\n0,NaN,1,1\n",
+            "#trace x 10\n#machines\n0,inf,1,1\n",
+        ] {
+            let err = read_trace(text).unwrap_err();
+            assert!(err.message.contains("non-finite"), "{}", err.message);
+        }
+    }
+
+    #[test]
     fn data_before_section_rejected() {
         let text = "#trace x 10\n0,1,2,3\n";
         let err = read_trace(text).unwrap_err();
@@ -504,5 +798,60 @@ mod tests {
         text = text.replace("#jobs", "\n#jobs\n");
         let parsed = read_trace(&text).unwrap();
         assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn lenient_matches_strict_on_clean_input() {
+        let trace = resubmitted_trace();
+        let lenient = read_trace_lenient(&write_trace(&trace));
+        assert!(lenient.warnings.is_empty());
+        assert_eq!(lenient.trace, trace);
+    }
+
+    #[test]
+    fn lenient_skips_corrupt_lines_and_reports_them() {
+        let trace = sample_trace();
+        let text = write_trace(&trace);
+        // Corrupt the single machine line and the finish event.
+        let corrupted: String = text
+            .lines()
+            .map(|l| {
+                if l.starts_with("0,0.5,0.75") {
+                    "garbage machine line\n".to_string()
+                } else if l == "170,0,0,finish" {
+                    "170,0,0,explode\n".to_string()
+                } else {
+                    format!("{l}\n")
+                }
+            })
+            .collect();
+        assert!(read_trace(&corrupted).is_err());
+        let lenient = read_trace_lenient(&corrupted);
+        // The machine line, the event, and the series header (which now
+        // references a machine that failed to parse) are reported.
+        assert!(lenient.warnings.len() >= 3);
+        assert!(lenient
+            .warnings
+            .iter()
+            .any(|w| w.message.contains("expected 4")));
+        assert!(lenient
+            .warnings
+            .iter()
+            .any(|w| w.message.contains("explode")));
+        // Jobs, tasks and the surviving events still parsed.
+        assert_eq!(lenient.trace.jobs.len(), 1);
+        assert_eq!(lenient.trace.tasks.len(), 1);
+        assert_eq!(lenient.trace.events.len(), 2);
+        assert!(lenient.trace.machines.is_empty());
+    }
+
+    #[test]
+    fn lenient_survives_truncation() {
+        let trace = resubmitted_trace();
+        let text = write_trace(&trace);
+        // Chop the file at every possible byte boundary: never panic.
+        for cut in 0..text.len() {
+            let _ = read_trace_lenient(&text[..cut.min(text.len())]);
+        }
     }
 }

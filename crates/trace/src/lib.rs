@@ -35,6 +35,7 @@ pub mod trace;
 pub mod usage;
 
 pub use ids::{JobId, MachineId, TaskId, UserId};
+pub use io::{read_trace, read_trace_lenient, write_trace, LenientParse, ParseError};
 pub use job::JobRecord;
 pub use machine::{MachineRecord, CPU_CAPACITY_CLASSES, MEMORY_CAPACITY_CLASSES};
 pub use normalize::{normalize_trace, NormalizationFactors};

@@ -163,6 +163,7 @@ pub fn swf_to_trace(jobs: &[SwfJob], options: &SwfImportOptions) -> Trace {
             demand: Demand::new((processors / options.reference_cores).min(1.0), mem_norm),
             execution_time: run,
             attempts: u32::from(run > 0),
+            resubmit_wait: 0,
             outcome,
         });
         out_jobs.push(JobRecord {

@@ -196,6 +196,14 @@ pub struct TaskRecord {
     pub execution_time: u64,
     /// Number of times the task was scheduled.
     pub attempts: u32,
+    /// Total seconds between the end of one attempt and the start of the
+    /// next, summed over resubmissions (scheduler backoff plus queueing).
+    ///
+    /// Zero for tasks scheduled at most once. Together with `attempts`
+    /// this captures the crash-loop behaviour the paper observes in the
+    /// Google trace: failed tasks are resubmitted over and over, inflating
+    /// completion-event counts (§IV.B.1).
+    pub resubmit_wait: u64,
     /// Final disposition.
     pub outcome: TaskOutcome,
 }
@@ -205,6 +213,14 @@ impl TaskRecord {
     #[inline]
     pub fn ever_ran(&self) -> bool {
         self.attempts > 0
+    }
+
+    /// Mean gap between consecutive attempts, in seconds.
+    ///
+    /// `None` for tasks scheduled at most once (no inter-attempt gaps).
+    #[inline]
+    pub fn mean_resubmit_gap(&self) -> Option<f64> {
+        (self.attempts > 1).then(|| self.resubmit_wait as f64 / (self.attempts - 1) as f64)
     }
 }
 
@@ -297,6 +313,25 @@ mod tests {
         }
         assert!(!TaskEventKind::Submit.is_completion());
         assert!(!TaskEventKind::Schedule.is_abnormal_completion());
+    }
+
+    #[test]
+    fn mean_resubmit_gap_needs_two_attempts() {
+        let mut r = TaskRecord {
+            id: TaskId(0),
+            job: JobId(0),
+            priority: Priority::from_level(1),
+            submit_time: 0,
+            demand: Demand::new(0.01, 0.01),
+            execution_time: 50,
+            attempts: 1,
+            resubmit_wait: 0,
+            outcome: TaskOutcome::Finished,
+        };
+        assert_eq!(r.mean_resubmit_gap(), None);
+        r.attempts = 4;
+        r.resubmit_wait = 90;
+        assert_eq!(r.mean_resubmit_gap(), Some(30.0));
     }
 
     #[test]

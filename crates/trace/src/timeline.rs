@@ -57,6 +57,9 @@ impl QueueTimeline {
             submit_targets.resize(trace.events.len(), false);
             for (i, e) in trace.events.iter().enumerate() {
                 let ti = e.task.index();
+                if ti >= n_tasks {
+                    continue;
+                }
                 match e.kind {
                     TaskEventKind::Submit => open_submit[ti] = Some(i),
                     TaskEventKind::Schedule => {
@@ -81,10 +84,15 @@ impl QueueTimeline {
 
         for (i, e) in trace.events.iter().enumerate() {
             let ti = e.task.index();
-            let prev = state[ti];
-            state[ti] = prev
-                .apply(e.kind)
-                .expect("built traces contain only legal events");
+            // Built and parsed traces contain only legal, in-range events;
+            // skip anything else so hand-assembled traces cannot panic us.
+            let Some(&prev) = state.get(ti) else {
+                continue;
+            };
+            let Ok(next) = prev.apply(e.kind) else {
+                continue;
+            };
+            state[ti] = next;
             let mut changed = false;
             match e.kind {
                 TaskEventKind::Submit if submit_targets[i] => {

@@ -258,6 +258,7 @@ impl TraceBuilder {
             demand,
             execution_time: 0,
             attempts: 0,
+            resubmit_wait: 0,
             outcome: TaskOutcome::Unfinished,
         });
         id
@@ -302,6 +303,7 @@ impl TraceBuilder {
         let mut states = vec![TaskState::Unsubmitted; self.tasks.len()];
         let mut run_started = vec![0u64; self.tasks.len()];
         let mut first_submit = vec![None::<Timestamp>; self.tasks.len()];
+        let mut last_dead = vec![None::<Timestamp>; self.tasks.len()];
 
         for e in &self.events {
             let ti = e.task.index();
@@ -327,11 +329,17 @@ impl TraceBuilder {
                 TaskEventKind::Schedule => {
                     run_started[ti] = e.time;
                     self.tasks[ti].attempts += 1;
+                    // Inter-attempt gap: dead-time between the end of the
+                    // previous attempt and this (re)scheduling.
+                    if let Some(dead_at) = last_dead[ti] {
+                        self.tasks[ti].resubmit_wait += e.time.saturating_sub(dead_at);
+                    }
                 }
                 kind if kind.is_completion() => {
                     if prev == TaskState::Running {
                         self.tasks[ti].execution_time += e.time.saturating_sub(run_started[ti]);
                     }
+                    last_dead[ti] = Some(e.time);
                     self.tasks[ti].outcome = match kind {
                         TaskEventKind::Finish => TaskOutcome::Finished,
                         TaskEventKind::Evict => TaskOutcome::Evicted,
@@ -445,6 +453,11 @@ mod tests {
         assert_eq!(r2.execution_time, (300 - 120) + (500 - 320));
         assert_eq!(r2.attempts, 2);
         assert_eq!(r2.outcome, TaskOutcome::Finished);
+        // Fail at 300, rescheduled at 320: 20 s of inter-attempt gap.
+        assert_eq!(r2.resubmit_wait, 20);
+        assert_eq!(r2.mean_resubmit_gap(), Some(20.0));
+        // The task that ran once has no gaps.
+        assert_eq!(r1.resubmit_wait, 0);
     }
 
     #[test]
