@@ -99,7 +99,7 @@ fn main() {
                 std::process::exit(1);
             })
         } else {
-            let mut trace = cgc_trace::io::read_trace(&text).unwrap_or_else(|e| {
+            let mut trace = cgc_trace::io::read_trace_parallel(&text).unwrap_or_else(|e| {
                 eprintln!("trace parse error: {e}");
                 std::process::exit(1);
             });

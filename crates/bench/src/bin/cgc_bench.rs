@@ -1,0 +1,281 @@
+//! End-to-end pipeline benchmark: generate → simulate → write → read →
+//! characterize on the google preset, timed stage by stage.
+//!
+//! ```text
+//! cgc-bench [--quick] [--machines N] [--horizon SECONDS] [--shards N]
+//!           [--threads N] [--seed N] [--out PATH]
+//! ```
+//!
+//! Writes `BENCH_pipeline.json`: per-stage wall-clock and throughput
+//! (tasks/s, samples/s), peak RSS, and — measured in the same process, on
+//! the same inputs — the *pre-sharding baseline*: the single-shard
+//! simulator and the sequential whole-string parser that this harness
+//! replaced. `end_to_end.speedup` is the ratio of the two pipelines, so
+//! the perf trajectory is tracked run over run by diffing the JSON.
+//!
+//! The optimized and baseline simulations use the same `(seed, shards)`
+//! model only when `--shards 1`; with more shards they are different
+//! models by design (see DESIGN.md §5), which is why the baseline is
+//! reported separately instead of asserted equal.
+
+use cgc_core::characterize;
+use cgc_gen::{FleetConfig, GoogleWorkload};
+use cgc_sim::{FaultConfig, SimConfig, Simulator};
+use cgc_trace::io::{read_trace, read_trace_parallel, write_trace};
+use serde::Serialize;
+use std::time::Instant;
+
+/// The `BENCH_pipeline.json` document. Field names are the file format —
+/// rename only with a schema bump.
+#[derive(Serialize)]
+struct BenchReport {
+    schema: &'static str,
+    preset: &'static str,
+    config: BenchConfig,
+    counts: Counts,
+    stages: Vec<Stage>,
+    baseline: Baseline,
+    end_to_end: EndToEnd,
+    peak_rss_bytes: Option<u64>,
+}
+
+#[derive(Serialize)]
+struct BenchConfig {
+    machines: usize,
+    horizon: u64,
+    shards: usize,
+    threads: usize,
+    seed: u64,
+}
+
+#[derive(Serialize)]
+struct Counts {
+    jobs: usize,
+    tasks: usize,
+    events: usize,
+    samples: usize,
+    trace_bytes: usize,
+}
+
+#[derive(Serialize)]
+struct Stage {
+    stage: &'static str,
+    seconds: f64,
+    tasks_per_s: Option<f64>,
+    samples_per_s: Option<f64>,
+}
+
+#[derive(Serialize)]
+struct Baseline {
+    description: &'static str,
+    simulate_seconds: f64,
+    read_seconds: f64,
+    total_seconds: f64,
+}
+
+#[derive(Serialize)]
+struct EndToEnd {
+    total_seconds: f64,
+    speedup: f64,
+}
+
+struct Args {
+    machines: usize,
+    horizon: u64,
+    shards: usize,
+    threads: usize,
+    seed: u64,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        machines: 200,
+        horizon: 12 * 3_600,
+        shards: 4,
+        threads: 4,
+        seed: 1,
+        out: "BENCH_pipeline.json".into(),
+    };
+    let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().unwrap_or_else(|| {
+            eprintln!("{flag} requires a value");
+            std::process::exit(2);
+        })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => {
+                a.machines = 60;
+                a.horizon = 2 * 3_600;
+            }
+            "--machines" => a.machines = parse(&value(&mut args, "--machines"), "--machines"),
+            "--horizon" => a.horizon = parse(&value(&mut args, "--horizon"), "--horizon"),
+            "--shards" => a.shards = parse(&value(&mut args, "--shards"), "--shards"),
+            "--threads" => a.threads = parse(&value(&mut args, "--threads"), "--threads"),
+            "--seed" => a.seed = parse(&value(&mut args, "--seed"), "--seed"),
+            "--out" => a.out = value(&mut args, "--out"),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: cgc-bench [--quick] [--machines N] [--horizon SECONDS] \
+                     [--shards N] [--threads N] [--seed N] [--out PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unexpected argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    a
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("invalid value for {flag}: {s:?}");
+        std::process::exit(2);
+    })
+}
+
+/// Times one closure, returning (seconds, result).
+fn timed<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let start = Instant::now();
+    let out = f();
+    (start.elapsed().as_secs_f64(), out)
+}
+
+/// Peak resident set size in bytes, from `/proc/self/status` (`VmHWM`).
+/// `None` off Linux or if the field is missing.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+fn per(n: usize, seconds: f64) -> Option<f64> {
+    (seconds > 0.0).then(|| n as f64 / seconds)
+}
+
+fn tasks_stage(name: &'static str, seconds: f64, tasks: usize) -> Stage {
+    Stage {
+        stage: name,
+        seconds,
+        tasks_per_s: per(tasks, seconds),
+        samples_per_s: None,
+    }
+}
+
+fn samples_stage(name: &'static str, seconds: f64, samples: usize) -> Stage {
+    Stage {
+        stage: name,
+        seconds,
+        tasks_per_s: None,
+        samples_per_s: per(samples, seconds),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    eprintln!(
+        "cgc-bench: google preset, {} machines, {} s horizon, {} shards, {} threads",
+        args.machines, args.horizon, args.shards, args.threads
+    );
+
+    // --- generate -----------------------------------------------------
+    let (gen_s, workload) =
+        timed(|| GoogleWorkload::scaled(args.machines, args.horizon).generate(args.seed));
+    let n_tasks: usize = workload.jobs.iter().map(|j| j.tasks.len()).sum();
+    eprintln!(
+        "generate: {:.3}s ({} jobs, {n_tasks} tasks)",
+        gen_s,
+        workload.jobs.len()
+    );
+
+    let config = SimConfig::google(FleetConfig::google(args.machines))
+        .with_faults(FaultConfig::google())
+        .with_shards(args.shards)
+        .with_threads(args.threads);
+
+    // --- simulate (optimized: sharded, threaded) ----------------------
+    let (sim_s, trace) = timed(|| Simulator::new(config.clone()).run(&workload));
+    let n_events = trace.events.len();
+    let n_samples: usize = trace.host_series.iter().map(|s| s.samples.len()).sum();
+    eprintln!("simulate: {sim_s:.3}s ({n_events} events, {n_samples} samples)");
+
+    // --- simulate (baseline: the pre-sharding single-engine path) -----
+    let baseline_config = config.clone().with_shards(1).with_threads(1);
+    let (sim_base_s, _) = timed(|| Simulator::new(baseline_config).run(&workload));
+    eprintln!("simulate/baseline: {sim_base_s:.3}s (1 shard, 1 thread)");
+
+    // --- write --------------------------------------------------------
+    let (write_s, text) = timed(|| write_trace(&trace));
+    eprintln!("write: {:.3}s ({} bytes)", write_s, text.len());
+
+    // --- read (optimized: parallel strict parser) ---------------------
+    let (read_s, reread) = timed(|| read_trace_parallel(&text).expect("own output parses"));
+    assert_eq!(reread, trace, "read-back must round-trip");
+    drop(reread);
+
+    // --- read (baseline: sequential strict parser) --------------------
+    let (read_base_s, _) = timed(|| read_trace(&text).expect("own output parses"));
+    eprintln!("read: {read_s:.3}s parallel, {read_base_s:.3}s sequential");
+
+    // --- characterize -------------------------------------------------
+    let (char_s, report) = timed(|| characterize(&trace));
+    eprintln!("characterize: {char_s:.3}s ({})", report.system);
+
+    let total = gen_s + sim_s + write_s + read_s + char_s;
+    let total_baseline = gen_s + sim_base_s + write_s + read_base_s + char_s;
+
+    let out = BenchReport {
+        schema: "cgc-bench/pipeline/v1",
+        preset: "google",
+        config: BenchConfig {
+            machines: args.machines,
+            horizon: args.horizon,
+            shards: args.shards,
+            threads: args.threads,
+            seed: args.seed,
+        },
+        counts: Counts {
+            jobs: trace.jobs.len(),
+            tasks: trace.tasks.len(),
+            events: n_events,
+            samples: n_samples,
+            trace_bytes: text.len(),
+        },
+        stages: vec![
+            tasks_stage("generate", gen_s, n_tasks),
+            tasks_stage("simulate", sim_s, n_tasks),
+            samples_stage("write", write_s, n_samples),
+            tasks_stage("read", read_s, n_tasks),
+            samples_stage("characterize", char_s, n_samples),
+        ],
+        baseline: Baseline {
+            description: "pre-sharding pipeline: 1-shard 1-thread simulator, sequential parser",
+            simulate_seconds: sim_base_s,
+            read_seconds: read_base_s,
+            total_seconds: total_baseline,
+        },
+        end_to_end: EndToEnd {
+            total_seconds: total,
+            speedup: if total > 0.0 {
+                total_baseline / total
+            } else {
+                0.0
+            },
+        },
+        peak_rss_bytes: peak_rss_bytes(),
+    };
+
+    let pretty = serde_json::to_string_pretty(&out).expect("report serializes");
+    std::fs::write(&args.out, &pretty).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", args.out);
+        std::process::exit(1);
+    });
+    println!("{pretty}");
+    eprintln!("wrote {}", args.out);
+}

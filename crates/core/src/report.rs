@@ -81,50 +81,135 @@ const MAX_LOAD_BINS: usize = 25;
 const QUEUE_SAMPLE_PERIOD: u64 = 60;
 
 /// Runs every supported analysis on the trace.
+///
+/// Every analysis is an independent pure pass over the shared `&Trace`,
+/// so the two report sections — and the analyses within each — are forked
+/// onto the rayon pool with [`rayon::join`]. The result is deterministic
+/// regardless of thread count: each analysis writes only its own slot in
+/// the report.
 pub fn characterize(trace: &Trace) -> CharacterizationReport {
-    let workload = WorkloadSection {
-        priorities: priority_histogram(trace),
-        job_length: job_length_analysis(trace),
-        submission: submission_analysis(trace),
-        task_length: task_length_analysis(trace),
-        cpu_usage: crate::workload::job_cpu_usage(trace).map(|e| Summary::of(e.values())),
-        memory_mb_at_32gb: crate::workload::job_memory_mb(trace, 32.0)
-            .map(|e| Summary::of(e.values())),
-        resubmission: resubmission_analysis(trace),
-    };
-
-    let hostload = if trace.host_series.iter().any(|s| !s.is_empty()) {
-        Some(HostloadSection {
-            max_loads: UsageAttribute::ALL
-                .iter()
-                .map(|&attr| max_load_distribution(trace, attr, MAX_LOAD_BINS))
-                .collect(),
-            queue_runs: queue_runlengths(trace, QUEUE_SAMPLE_PERIOD),
-            cpu_level_runs: usage_level_runs(trace, UsageAttribute::Cpu, None),
-            memory_level_runs: usage_level_runs(trace, UsageAttribute::MemoryUsed, None),
-            cpu_masscount: usage_masscount(trace, UsageAttribute::Cpu, None),
-            cpu_masscount_high: usage_masscount(
-                trace,
-                UsageAttribute::Cpu,
-                Some(PriorityClass::Middle),
-            ),
-            memory_masscount: usage_masscount(trace, UsageAttribute::MemoryUsed, None),
-            memory_masscount_high: usage_masscount(
-                trace,
-                UsageAttribute::MemoryUsed,
-                Some(PriorityClass::Middle),
-            ),
-            comparison: host_comparison(trace, 0),
-        })
-    } else {
-        None
-    };
-
+    let (workload, hostload) = rayon::join(|| workload_section(trace), || hostload_section(trace));
     CharacterizationReport {
         system: trace.system.clone(),
         workload,
         hostload,
     }
+}
+
+/// Section III analyses, pairwise forked.
+fn workload_section(trace: &Trace) -> WorkloadSection {
+    let ((job_length, task_length), ((submission, resubmission), (cpu_usage, memory_mb))) =
+        rayon::join(
+            || {
+                rayon::join(
+                    || job_length_analysis(trace),
+                    || task_length_analysis(trace),
+                )
+            },
+            || {
+                rayon::join(
+                    || {
+                        rayon::join(
+                            || submission_analysis(trace),
+                            || resubmission_analysis(trace),
+                        )
+                    },
+                    || {
+                        rayon::join(
+                            || {
+                                crate::workload::job_cpu_usage(trace)
+                                    .map(|e| Summary::of(e.values()))
+                            },
+                            || {
+                                crate::workload::job_memory_mb(trace, 32.0)
+                                    .map(|e| Summary::of(e.values()))
+                            },
+                        )
+                    },
+                )
+            },
+        );
+    WorkloadSection {
+        priorities: priority_histogram(trace),
+        job_length,
+        submission,
+        task_length,
+        cpu_usage,
+        memory_mb_at_32gb: memory_mb,
+        resubmission,
+    }
+}
+
+/// Section IV analyses, pairwise forked; the four mass-count passes are
+/// the heavy ones and get their own subtree.
+fn hostload_section(trace: &Trace) -> Option<HostloadSection> {
+    if !trace.host_series.iter().any(|s| !s.is_empty()) {
+        return None;
+    }
+    let ((max_loads, queue_runs), ((cpu_level_runs, memory_level_runs), masscounts)) = rayon::join(
+        || {
+            rayon::join(
+                || {
+                    UsageAttribute::ALL
+                        .iter()
+                        .map(|&attr| max_load_distribution(trace, attr, MAX_LOAD_BINS))
+                        .collect()
+                },
+                || queue_runlengths(trace, QUEUE_SAMPLE_PERIOD),
+            )
+        },
+        || {
+            rayon::join(
+                || {
+                    rayon::join(
+                        || usage_level_runs(trace, UsageAttribute::Cpu, None),
+                        || usage_level_runs(trace, UsageAttribute::MemoryUsed, None),
+                    )
+                },
+                || {
+                    rayon::join(
+                        || {
+                            rayon::join(
+                                || usage_masscount(trace, UsageAttribute::Cpu, None),
+                                || {
+                                    usage_masscount(
+                                        trace,
+                                        UsageAttribute::Cpu,
+                                        Some(PriorityClass::Middle),
+                                    )
+                                },
+                            )
+                        },
+                        || {
+                            rayon::join(
+                                || usage_masscount(trace, UsageAttribute::MemoryUsed, None),
+                                || {
+                                    usage_masscount(
+                                        trace,
+                                        UsageAttribute::MemoryUsed,
+                                        Some(PriorityClass::Middle),
+                                    )
+                                },
+                            )
+                        },
+                    )
+                },
+            )
+        },
+    );
+    let ((cpu_masscount, cpu_masscount_high), (memory_masscount, memory_masscount_high)) =
+        masscounts;
+    Some(HostloadSection {
+        max_loads,
+        queue_runs,
+        cpu_level_runs,
+        memory_level_runs,
+        cpu_masscount,
+        cpu_masscount_high,
+        memory_masscount,
+        memory_masscount_high,
+        comparison: host_comparison(trace, 0),
+    })
 }
 
 impl fmt::Display for CharacterizationReport {

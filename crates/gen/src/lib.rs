@@ -36,6 +36,23 @@ pub use grid::{GridSystem, GridWorkload};
 pub use machines::FleetConfig;
 pub use workload::{JobSpec, TaskSpec, Workload};
 
+/// Derives an independent RNG stream seed from a master seed.
+///
+/// Used by the sharded simulator to give each shard its own deterministic
+/// random stream: `split_seed(master, s)` for shard `s`. The mixer is
+/// splitmix64 (Steele et al., the same finalizer `StdRng::seed_from_u64`
+/// builds on), so streams are decorrelated even for adjacent indices, and
+/// the mapping is a pure function — independent of thread count, platform
+/// and execution order.
+pub fn split_seed(master: u64, stream: u64) -> u64 {
+    let mut z = master
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(stream.wrapping_mul(0xD1B5_4A32_D192_ED03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Number of physical cores on the largest ("capacity 1.0") machine.
 ///
 /// The Google trace normalizes CPU by the largest machine; to express the

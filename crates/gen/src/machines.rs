@@ -89,6 +89,39 @@ impl FleetConfig {
         start..end
     }
 
+    /// Partitions the fleet's failure domains into at most `shards`
+    /// contiguous groups of near-equal machine count, returned as
+    /// `(domain_range, machine_range)` pairs covering the fleet exactly.
+    ///
+    /// Shard boundaries always coincide with domain boundaries, so a
+    /// correlated domain outage never straddles two shards. The split is a
+    /// pure function of the fleet topology and `shards` — it does not
+    /// depend on thread count, which is what makes sharded simulation
+    /// output reproducible on any machine.
+    pub fn shard_ranges(
+        &self,
+        shards: usize,
+    ) -> Vec<(std::ops::Range<usize>, std::ops::Range<usize>)> {
+        let domains = self.num_domains();
+        let shards = shards.clamp(1, domains.max(1));
+        (0..shards)
+            .map(|s| {
+                // Even split of the domain list: shard s owns domains
+                // [s*D/S, (s+1)*D/S). Every domain lands in exactly one
+                // shard; widths differ by at most one domain.
+                let d0 = s * domains / shards;
+                let d1 = (s + 1) * domains / shards;
+                let m0 = self.domain_members(d0).start;
+                let m1 = if d1 == domains {
+                    self.count
+                } else {
+                    self.domain_members(d1).start
+                };
+                (d0..d1, m0..m1)
+            })
+            .collect()
+    }
+
     /// Draws the fleet.
     pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<MachineRecord> {
         assert!(self.count > 0, "fleet must have at least one machine");
@@ -190,5 +223,64 @@ mod tests {
     fn empty_fleet_rejected() {
         let mut rng = StdRng::seed_from_u64(3);
         let _ = FleetConfig::google(0).generate(&mut rng);
+    }
+
+    #[test]
+    fn shard_ranges_cover_fleet_on_domain_boundaries() {
+        for (count, per_domain, shards) in [
+            (25usize, 10usize, 3usize),
+            (100, 10, 4),
+            (100, 10, 7),
+            (5, 1, 8), // more shards than domains: clamped
+            (40, 20, 2),
+            (33, 10, 1),
+        ] {
+            let fleet = FleetConfig::google(count).with_domains(per_domain);
+            let ranges = fleet.shard_ranges(shards);
+            assert!(!ranges.is_empty());
+            assert!(ranges.len() <= shards.max(1));
+            // Exact cover, in order, no gaps or overlaps.
+            assert_eq!(ranges.first().unwrap().1.start, 0);
+            assert_eq!(ranges.last().unwrap().1.end, count);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].0.end, w[1].0.start);
+                assert_eq!(w[0].1.end, w[1].1.start);
+            }
+            // Every shard boundary is a domain boundary: no domain's
+            // member range straddles two shards.
+            for (domains, machines) in &ranges {
+                for d in domains.clone() {
+                    let m = fleet.domain_members(d);
+                    assert!(
+                        m.start >= machines.start && m.end <= machines.end,
+                        "domain {d} straddles shard {machines:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_ranges_balance_machine_counts() {
+        let fleet = FleetConfig::google(1_000); // 100 domains of 10
+        let ranges = fleet.shard_ranges(8);
+        assert_eq!(ranges.len(), 8);
+        let sizes: Vec<usize> = ranges.iter().map(|(_, m)| m.len()).collect();
+        let (min, max) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
+        // Even split up to one domain of slack.
+        assert!(max - min <= 10, "sizes={sizes:?}");
+    }
+
+    #[test]
+    fn split_seed_streams_are_distinct_and_stable() {
+        use crate::split_seed;
+        let a = split_seed(0xC10D, 0);
+        let b = split_seed(0xC10D, 1);
+        assert_ne!(a, b);
+        assert_ne!(a, 0xC10D);
+        // Pure function: same inputs, same stream.
+        assert_eq!(split_seed(7, 3), split_seed(7, 3));
+        // Different masters diverge on the same stream index.
+        assert_ne!(split_seed(7, 3), split_seed(8, 3));
     }
 }

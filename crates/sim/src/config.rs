@@ -72,6 +72,27 @@ pub struct SimConfig {
     /// reproduce bit-identical traces; see [`FaultConfig`].
     #[serde(default = "FaultConfig::none")]
     pub faults: FaultConfig,
+    /// Number of independent simulation shards (≤ 1 disables sharding and
+    /// runs the single global engine, exactly as before sharding existed).
+    ///
+    /// Shards partition the fleet along failure-domain boundaries and the
+    /// jobs along with it; each shard is an independent DES with its own
+    /// RNG stream split from [`seed`](Self::seed). The shard count — not
+    /// the thread count — defines the simulated model, so the output for
+    /// a given `(seed, shards)` is bit-identical however many threads run
+    /// it. Clamped to the number of failure domains.
+    #[serde(default = "one")]
+    pub shards: usize,
+    /// Worker threads for sharded runs: ≤ 1 runs shards sequentially on
+    /// the caller's thread, anything larger hands them to the rayon pool.
+    /// Pure execution knob — never affects the output (see
+    /// [`shards`](Self::shards)).
+    #[serde(default = "one")]
+    pub threads: usize,
+}
+
+fn one() -> usize {
+    1
 }
 
 impl SimConfig {
@@ -94,6 +115,8 @@ impl SimConfig {
             machine_failures_per_day: 0.0,
             outage_duration: (600, 4 * 3_600),
             faults: FaultConfig::none(),
+            shards: 1,
+            threads: 1,
         }
     }
 
@@ -116,6 +139,8 @@ impl SimConfig {
             machine_failures_per_day: 0.0,
             outage_duration: (1_800, 12 * 3_600),
             faults: FaultConfig::none(),
+            shards: 1,
+            threads: 1,
         }
     }
 
@@ -140,6 +165,20 @@ impl SimConfig {
     /// Enables fault injection (builder style).
     pub fn with_faults(mut self, faults: FaultConfig) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Sets the shard count (builder style). This changes the simulated
+    /// model — see [`shards`](Self::shards).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the worker-thread count (builder style). Never changes the
+    /// output — see [`threads`](Self::threads).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 }
@@ -174,6 +213,21 @@ mod tests {
         assert_eq!(c.seed, 9);
         assert_eq!(c.placement, PlacementPolicy::BestFit);
         assert!(c.faults.enabled());
+    }
+
+    #[test]
+    fn shard_and_thread_knobs_default_to_one() {
+        let c = SimConfig::google(FleetConfig::google(10));
+        assert_eq!((c.shards, c.threads), (1, 1));
+        let c = c.with_shards(4).with_threads(8);
+        assert_eq!((c.shards, c.threads), (4, 8));
+        // Old serialized configs (no shard fields) still deserialize.
+        let json = serde_json::to_string(&SimConfig::grid(FleetConfig::homogeneous(5))).unwrap();
+        let stripped = json
+            .replace(",\"shards\":1", "")
+            .replace(",\"threads\":1", "");
+        let back: SimConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!((back.shards, back.threads), (1, 1));
     }
 
     #[test]

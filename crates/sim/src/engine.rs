@@ -18,19 +18,36 @@
 //! The engine emits a [`Trace`] through [`cgc_trace::TraceBuilder`], which
 //! re-validates the whole event stream against the task life-cycle state
 //! machine — an end-to-end consistency check on the simulation itself.
+//!
+//! # Sharded execution
+//!
+//! With [`SimConfig::shards`] > 1 the fleet is split along failure-domain
+//! boundaries into independent shards ([`crate::shard::ShardPlan`]), each
+//! simulated by its own engine with a private RNG stream split from the
+//! master seed. Shard outputs carry global ids and merge into one
+//! canonical trace; because the plan and the merge order are pure
+//! functions of the config, the output for a given `(seed, shards)` is
+//! bit-identical whether the shards run on 1 thread or 8
+//! ([`SimConfig::threads`]). `shards <= 1` takes the pre-sharding code
+//! path and reproduces historical seeded traces exactly.
 
 use crate::config::{PlacementPolicy, SimConfig};
 use crate::outcome::AttemptPlan;
+use crate::shard::{ShardPlan, ShardSpec};
 use cgc_gen::Workload;
 use cgc_trace::task::{TaskEvent, TaskEventKind};
 use cgc_trace::usage::{ClassSplit, HostSeries, UsageSample};
 use cgc_trace::{
-    Demand, Duration, JobId, MachineId, Priority, TaskId, Timestamp, Trace, TraceBuilder,
+    Demand, Duration, JobId, MachineId, MachineRecord, Priority, TaskId, Timestamp, Trace,
+    TraceBuilder,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::mem;
+use std::ops::Range;
 
 /// Maximum placement failures per scheduling pass before the pass gives
 /// up. Deep enough that narrow jobs behind wide head-of-line blockers
@@ -42,6 +59,27 @@ const MAX_SCAN_FAILURES: usize = 512;
 #[derive(Debug, Clone)]
 pub struct Simulator {
     config: SimConfig,
+}
+
+/// Reusable engine allocations: the event heap and every per-pass scratch
+/// buffer. One run leaves its capacities behind for the next, so repeated
+/// simulations (parameter sweeps, benchmarks) stop paying the allocation
+/// tax — pass the same scratch to [`Simulator::run_with_scratch`].
+#[derive(Default)]
+pub struct SimScratch {
+    heap: BinaryHeap<QueuedEvent>,
+    preferred: Vec<usize>,
+    last_resort: Vec<usize>,
+    pass_buf: Vec<((Reverse<u8>, u64), usize)>,
+    victims: Vec<(u8, Reverse<Timestamp>, usize)>,
+    down_victims: Vec<usize>,
+}
+
+impl SimScratch {
+    /// An empty scratch (allocates lazily on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,6 +122,7 @@ impl PartialOrd for QueuedEvent {
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct TaskInfo {
+    /// Engine-local job index (position in the engine's job list).
     job: usize,
     demand: Demand,
     priority: Priority,
@@ -127,23 +166,56 @@ enum TaskPhase {
     Dead,
 }
 
+/// One engine's slice of the run: which machines and jobs it owns (in
+/// global-id space) and its private RNG. The unsharded run is the
+/// degenerate case — the whole fleet, every job, the master RNG.
+struct EngineInput<'w> {
+    records: &'w [MachineRecord],
+    /// Global id of `records[0]` (shards own contiguous machine ranges).
+    machine_base: usize,
+    /// Failure domains owned by this engine (global indices).
+    domains: Range<usize>,
+    /// Global indices of the jobs this engine simulates, ascending.
+    jobs: &'w [usize],
+    /// Prefix sums of per-job task counts over the *whole* workload:
+    /// job `j`'s `k`-th task has the global task id `task_base[j] + k`.
+    task_base: &'w [usize],
+    rng: StdRng,
+}
+
+/// What one engine run produces, already in global-id space.
+struct EngineOutput {
+    events: Vec<TaskEvent>,
+    /// `(global job index, core-seconds)`, ascending by job.
+    job_cpu_seconds: Vec<(usize, f64)>,
+    series: Vec<HostSeries>,
+}
+
 struct Engine<'a> {
     config: &'a SimConfig,
     rng: StdRng,
-    builder: TraceBuilder,
+    /// Emitted events (global task/machine ids), pushed to the trace
+    /// builder at merge time in emission order.
+    events: Vec<TaskEvent>,
     heap: BinaryHeap<QueuedEvent>,
     seq: u64,
     /// Pending queue ordered by (descending priority, FCFS sequence).
     pending: BTreeMap<(Reverse<u8>, u64), usize>,
     machines: Vec<MachineState>,
+    /// Global id of local machine 0.
+    machine_base: usize,
+    /// Failure domains this engine owns (global indices).
+    domains: Range<usize>,
     tasks: Vec<TaskInfo>,
+    /// Local task index → global task id.
+    task_gid: Vec<usize>,
     phase: Vec<TaskPhase>,
     attempt: Vec<u32>,
     resubmits_left: Vec<u32>,
     /// How each task's current attempt will terminate (set at schedule
     /// time, read when the completion event fires).
     completion_kind: Vec<TaskEventKind>,
-    /// Accumulated core-seconds per job (for Formula 4 CPU usage).
+    /// Accumulated core-seconds per local job (for Formula 4 CPU usage).
     job_cpu_seconds: Vec<f64>,
     /// Failures so far per task (drives the backoff exponent).
     fails: Vec<u32>,
@@ -154,6 +226,14 @@ struct Engine<'a> {
     host_failures: HashMap<(usize, usize), u32>,
     series: Vec<HostSeries>,
     horizon: Duration,
+    // Scratch buffers (from SimScratch; returned after the run). Taken
+    // with `mem::take` inside the methods that use them, so the hot
+    // scheduling paths never allocate per dispatch.
+    preferred: Vec<usize>,
+    last_resort: Vec<usize>,
+    pass_buf: Vec<((Reverse<u8>, u64), usize)>,
+    victims: Vec<(u8, Reverse<Timestamp>, usize)>,
+    down_victims: Vec<usize>,
 }
 
 impl Simulator {
@@ -162,110 +242,288 @@ impl Simulator {
         Simulator { config }
     }
 
+    /// The configuration this simulator runs.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
     /// Runs the workload to the end of its horizon and returns the
     /// validated trace.
     pub fn run(&self, workload: &Workload) -> Trace {
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut builder = TraceBuilder::new(workload.system.clone(), workload.horizon);
-        self.config.fleet.populate(&mut builder, &mut rng);
+        self.run_with_scratch(workload, &mut SimScratch::new())
+    }
 
-        // Flatten the workload into dense task/job tables.
-        let mut tasks = Vec::with_capacity(workload.num_tasks());
-        let mut mean_memory = Vec::with_capacity(workload.jobs.len());
-        for spec in &workload.jobs {
-            let job_id = builder.add_job(spec.user, spec.priority, spec.submit);
-            for t in &spec.tasks {
-                builder.add_task(job_id, t.demand);
-                tasks.push(TaskInfo {
-                    job: job_id.index(),
-                    demand: t.demand,
-                    priority: spec.priority,
-                    runtime: t.runtime.max(1),
-                    cpu_processors: t.cpu_processors,
-                    utilization: t.utilization,
-                });
+    /// Like [`run`](Self::run), but reuses the caller's scratch
+    /// allocations (event heap, scheduling buffers) across runs. The
+    /// scratch never influences the output — only how much the run
+    /// allocates.
+    pub fn run_with_scratch(&self, workload: &Workload, scratch: &mut SimScratch) -> Trace {
+        let config = &self.config;
+        // The fleet is drawn once from the master seed, before any
+        // sharding decision, so the machine population is identical for
+        // every shard count.
+        let mut master = StdRng::seed_from_u64(config.seed);
+        let records = config.fleet.generate(&mut master);
+
+        let outputs: Vec<EngineOutput> = if config.shards <= 1 {
+            // Pre-sharding path: one engine owns everything and continues
+            // the master RNG right after the fleet draws, which keeps
+            // every historical seeded trace bit-identical.
+            let jobs: Vec<usize> = (0..workload.jobs.len()).collect();
+            let mut task_base = Vec::with_capacity(workload.jobs.len() + 1);
+            task_base.push(0);
+            for (j, spec) in workload.jobs.iter().enumerate() {
+                task_base.push(task_base[j] + spec.tasks.len());
             }
-            mean_memory.push(spec.nominal_memory());
-        }
-
-        let machines = self
-            .config
-            .fleet
-            .generate(&mut StdRng::seed_from_u64(self.config.seed))
-            .into_iter()
-            .map(|m| {
-                let capacity = m.capacity();
-                let placeable = Demand::new(
-                    capacity.cpu * self.config.cpu_overcommit,
-                    capacity.memory * self.config.memory_headroom,
-                );
-                MachineState {
-                    capacity,
-                    placeable,
-                    free: placeable,
-                    running: Vec::new(),
-                    up: true,
-                    down_until: 0,
-                }
-            })
-            .collect::<Vec<_>>();
-        let series = machines
-            .iter()
-            .enumerate()
-            .map(|(i, _)| HostSeries::new(MachineId::from(i), 0, self.config.sample_period))
-            .collect();
-
-        let n_tasks = tasks.len();
-        let mut engine = Engine {
-            config: &self.config,
-            rng,
-            builder,
-            heap: BinaryHeap::new(),
-            seq: 0,
-            pending: BTreeMap::new(),
-            machines,
-            tasks,
-            phase: vec![TaskPhase::Dead; n_tasks],
-            attempt: vec![0; n_tasks],
-            resubmits_left: vec![self.config.max_resubmits; n_tasks],
-            completion_kind: vec![TaskEventKind::Finish; n_tasks],
-            job_cpu_seconds: vec![0.0; workload.jobs.len()],
-            fails: vec![0; n_tasks],
-            looper: vec![None; n_tasks],
-            host_failures: HashMap::new(),
-            series,
-            horizon: workload.horizon,
+            vec![run_engine(
+                config,
+                workload,
+                EngineInput {
+                    records: &records,
+                    machine_base: 0,
+                    domains: 0..config.fleet.num_domains(),
+                    jobs: &jobs,
+                    task_base: &task_base,
+                    rng: master,
+                },
+                scratch,
+            )]
+        } else {
+            let plan = ShardPlan::new(&config.fleet, workload, config.shards, config.seed);
+            let run_one = |spec: &ShardSpec| {
+                run_engine(
+                    config,
+                    workload,
+                    EngineInput {
+                        records: &records[spec.machines.clone()],
+                        machine_base: spec.machines.start,
+                        domains: spec.domains.clone(),
+                        jobs: &spec.jobs,
+                        task_base: &plan.task_base,
+                        rng: StdRng::seed_from_u64(spec.seed),
+                    },
+                    &mut SimScratch::new(),
+                )
+            };
+            // The thread count only picks the executor; both arms produce
+            // shard outputs in shard-index order (rayon's indexed collect
+            // preserves order), so the merge below is identical.
+            if config.threads > 1 {
+                plan.shards.par_iter().map(run_one).collect()
+            } else {
+                plan.shards.iter().map(run_one).collect()
+            }
         };
 
-        // Seed the heap with every task submission.
-        let mut task_idx = 0usize;
-        for spec in &workload.jobs {
-            for _ in &spec.tasks {
-                engine.push(spec.submit, EventKind::Submit { task: task_idx });
-                task_idx += 1;
+        merge_outputs(workload, &records, outputs)
+    }
+}
+
+/// Runs one engine over its machine/job slice.
+fn run_engine(
+    config: &SimConfig,
+    workload: &Workload,
+    input: EngineInput<'_>,
+    scratch: &mut SimScratch,
+) -> EngineOutput {
+    let EngineInput {
+        records,
+        machine_base,
+        domains,
+        jobs,
+        task_base,
+        rng,
+    } = input;
+
+    // Flatten this engine's jobs into dense local task tables.
+    let n_tasks: usize = jobs.iter().map(|&j| workload.jobs[j].tasks.len()).sum();
+    let mut tasks = Vec::with_capacity(n_tasks);
+    let mut task_gid = Vec::with_capacity(n_tasks);
+    for (local_job, &j) in jobs.iter().enumerate() {
+        let spec = &workload.jobs[j];
+        for (k, t) in spec.tasks.iter().enumerate() {
+            task_gid.push(task_base[j] + k);
+            tasks.push(TaskInfo {
+                job: local_job,
+                demand: t.demand,
+                priority: spec.priority,
+                runtime: t.runtime.max(1),
+                cpu_processors: t.cpu_processors,
+                utilization: t.utilization,
+            });
+        }
+    }
+
+    let machines: Vec<MachineState> = records
+        .iter()
+        .map(|m| {
+            let capacity = m.capacity();
+            let placeable = Demand::new(
+                capacity.cpu * config.cpu_overcommit,
+                capacity.memory * config.memory_headroom,
+            );
+            MachineState {
+                capacity,
+                placeable,
+                free: placeable,
+                running: Vec::with_capacity(8),
+                up: true,
+                down_until: 0,
             }
-        }
+        })
+        .collect();
+    // Pre-size every sample grid: the run appends exactly one sample per
+    // period per machine, so reserve once instead of doubling along.
+    let n_samples = (workload.horizon / config.sample_period.max(1)) as usize + 1;
+    let series = (0..machines.len())
+        .map(|i| {
+            let mut s = HostSeries::new(MachineId::from(machine_base + i), 0, config.sample_period);
+            s.samples.reserve(n_samples);
+            s
+        })
+        .collect();
 
-        // Seed machine outages: per-machine Poisson over the horizon.
-        if self.config.machine_failures_per_day > 0.0 {
-            engine.seed_outages(workload.horizon);
-        }
-        // Seed correlated failure-domain outages (scripted + random).
-        engine.seed_domain_outages(workload.horizon);
+    let SimScratch {
+        mut heap,
+        preferred,
+        last_resort,
+        pass_buf,
+        victims,
+        down_victims,
+    } = mem::take(scratch);
+    heap.clear();
+    if heap.capacity() < n_tasks {
+        heap.reserve(n_tasks - heap.capacity());
+    }
 
-        engine.run();
+    let mut engine = Engine {
+        config,
+        rng,
+        events: Vec::with_capacity(3 * n_tasks + 8),
+        heap,
+        seq: 0,
+        pending: BTreeMap::new(),
+        machines,
+        machine_base,
+        domains,
+        tasks,
+        task_gid,
+        phase: vec![TaskPhase::Dead; n_tasks],
+        attempt: vec![0; n_tasks],
+        resubmits_left: vec![config.max_resubmits; n_tasks],
+        completion_kind: vec![TaskEventKind::Finish; n_tasks],
+        job_cpu_seconds: vec![0.0; jobs.len()],
+        fails: vec![0; n_tasks],
+        looper: vec![None; n_tasks],
+        host_failures: HashMap::new(),
+        series,
+        horizon: workload.horizon,
+        preferred,
+        last_resort,
+        pass_buf,
+        victims,
+        down_victims,
+    };
 
-        let mut builder = engine.builder;
-        for (j, &cpu_s) in engine.job_cpu_seconds.iter().enumerate() {
-            builder.set_job_usage(JobId::from(j), cpu_s, mean_memory[j]);
+    // Seed the heap with every task submission.
+    let mut task_idx = 0usize;
+    for &j in jobs {
+        let spec = &workload.jobs[j];
+        for _ in &spec.tasks {
+            engine.push(spec.submit, EventKind::Submit { task: task_idx });
+            task_idx += 1;
         }
-        for s in engine.series {
+    }
+
+    // Seed machine outages: per-machine Poisson over the horizon.
+    if config.machine_failures_per_day > 0.0 {
+        engine.seed_outages(workload.horizon);
+    }
+    // Seed correlated failure-domain outages (scripted + random).
+    engine.seed_domain_outages(workload.horizon);
+
+    engine.run();
+
+    // Hand the scratch allocations back for the next run, and map
+    // per-job usage to global job ids for the merge.
+    let Engine {
+        mut heap,
+        mut preferred,
+        mut last_resort,
+        mut pass_buf,
+        mut victims,
+        mut down_victims,
+        events,
+        job_cpu_seconds,
+        series,
+        ..
+    } = engine;
+    heap.clear();
+    preferred.clear();
+    last_resort.clear();
+    pass_buf.clear();
+    victims.clear();
+    down_victims.clear();
+    *scratch = SimScratch {
+        heap,
+        preferred,
+        last_resort,
+        pass_buf,
+        victims,
+        down_victims,
+    };
+
+    EngineOutput {
+        events,
+        job_cpu_seconds: job_cpu_seconds
+            .into_iter()
+            .enumerate()
+            .map(|(local, cpu_s)| (jobs[local], cpu_s))
+            .collect(),
+        series,
+    }
+}
+
+/// Assembles engine outputs into the canonical trace.
+///
+/// Machines, jobs and tasks are added in global-id order straight from
+/// the fleet and workload tables, so their ids never depend on the shard
+/// layout. Events are pushed shard by shard: every task lives in exactly
+/// one shard, so the builder's stable `(time, task)` sort sees the same
+/// within-task emission order no matter how shards interleave. Series in
+/// shard order *is* ascending machine-id order, because shards own
+/// contiguous machine ranges.
+fn merge_outputs(
+    workload: &Workload,
+    records: &[MachineRecord],
+    outputs: Vec<EngineOutput>,
+) -> Trace {
+    let mut builder = TraceBuilder::new(workload.system.clone(), workload.horizon);
+    for m in records {
+        builder.add_machine(m.cpu_capacity, m.memory_capacity, m.page_cache_capacity);
+    }
+    let mut mean_memory = Vec::with_capacity(workload.jobs.len());
+    for spec in &workload.jobs {
+        let job_id = builder.add_job(spec.user, spec.priority, spec.submit);
+        for t in &spec.tasks {
+            builder.add_task(job_id, t.demand);
+        }
+        mean_memory.push(spec.nominal_memory());
+    }
+    for out in outputs {
+        for ev in out.events {
+            builder.push_event(ev);
+        }
+        for (job, cpu_s) in out.job_cpu_seconds {
+            builder.set_job_usage(JobId::from(job), cpu_s, mean_memory[job]);
+        }
+        for s in out.series {
             builder.add_host_series(s);
         }
-        builder
-            .build()
-            .expect("simulator emits only legal event sequences")
     }
+    builder
+        .build()
+        .expect("simulator emits only legal event sequences")
 }
 
 impl Engine<'_> {
@@ -316,10 +574,10 @@ impl Engine<'_> {
     }
 
     fn emit(&mut self, time: Timestamp, task: usize, machine: Option<usize>, kind: TaskEventKind) {
-        self.builder.push_event(TaskEvent {
+        self.events.push(TaskEvent {
             time,
-            task: TaskId::from(task),
-            machine: machine.map(MachineId::from),
+            task: TaskId::from(self.task_gid[task]),
+            machine: machine.map(|mi| MachineId::from(self.machine_base + mi)),
             kind,
         });
     }
@@ -466,22 +724,23 @@ impl Engine<'_> {
 
     /// Attempts to schedule pending tasks, in priority-then-FCFS order.
     fn schedule_pass(&mut self, time: Timestamp) {
+        // Snapshot the queue into the reusable pass buffer (try_place
+        // needs `&mut self`, so we cannot iterate the map directly).
+        let mut keys = mem::take(&mut self.pass_buf);
+        keys.clear();
+        keys.extend(self.pending.iter().map(|(&k, &t)| (k, t)));
         let mut failures = 0usize;
-        let mut scheduled: Vec<(Reverse<u8>, u64)> = Vec::new();
-        let keys: Vec<((Reverse<u8>, u64), usize)> =
-            self.pending.iter().map(|(&k, &t)| (k, t)).collect();
-        for (key, task) in keys {
+        for &(key, task) in &keys {
             if failures >= MAX_SCAN_FAILURES {
                 break;
             }
-            match self.try_place(time, task) {
-                true => scheduled.push(key),
-                false => failures += 1,
+            if self.try_place(time, task) {
+                self.pending.remove(&key);
+            } else {
+                failures += 1;
             }
         }
-        for key in scheduled {
-            self.pending.remove(&key);
-        }
+        self.pass_buf = keys;
     }
 
     /// Tries to place one task, possibly via preemption. Returns success.
@@ -530,11 +789,14 @@ impl Engine<'_> {
         }
     }
 
-    fn pick_machine(&self, task: usize, demand: &Demand) -> Option<usize> {
+    fn pick_machine(&mut self, task: usize, demand: &Demand) -> Option<usize> {
         // Two tiers: preferred machines first, blacklisted ones only as a
         // desperation fallback (better a flaky host than starvation).
-        let mut preferred = Vec::new();
-        let mut last_resort = Vec::new();
+        // Candidate lists live in reusable scratch buffers.
+        let mut preferred = mem::take(&mut self.preferred);
+        let mut last_resort = mem::take(&mut self.last_resort);
+        preferred.clear();
+        last_resort.clear();
         for (mi, m) in self.machines.iter().enumerate() {
             if m.up && demand.fits_within(&m.free) {
                 if self.blacklisted(task, mi) {
@@ -544,8 +806,12 @@ impl Engine<'_> {
                 }
             }
         }
-        self.select_by_policy(&preferred)
-            .or_else(|| self.select_by_policy(&last_resort))
+        let pick = self
+            .select_by_policy(&preferred)
+            .or_else(|| self.select_by_policy(&last_resort));
+        self.preferred = preferred;
+        self.last_resort = last_resort;
+        pick
     }
 
     /// Finds a machine where evicting strictly-lower-priority tasks frees
@@ -581,19 +847,23 @@ impl Engine<'_> {
     /// Evicts lowest-priority tasks from `mi` until `info.demand` fits.
     fn evict_for(&mut self, time: Timestamp, mi: usize, info: &TaskInfo) {
         // Evict in ascending priority, then youngest first (less work lost).
-        let mut victims: Vec<(u8, Reverse<Timestamp>, usize)> = self.machines[mi]
-            .running
-            .iter()
-            .filter(|r| info.priority.preempts(r.priority))
-            .map(|r| (r.priority.level(), Reverse(r.start), r.task))
-            .collect();
+        let mut victims = mem::take(&mut self.victims);
+        victims.clear();
+        victims.extend(
+            self.machines[mi]
+                .running
+                .iter()
+                .filter(|r| info.priority.preempts(r.priority))
+                .map(|r| (r.priority.level(), Reverse(r.start), r.task)),
+        );
         victims.sort();
-        for (_, _, victim) in victims {
+        for &(_, _, victim) in &victims {
             if info.demand.fits_within(&self.machines[mi].free) {
                 break;
             }
             self.evict_task(time, mi, victim);
         }
+        self.victims = victims;
     }
 
     fn evict_task(&mut self, time: Timestamp, mi: usize, task: usize) {
@@ -694,11 +964,11 @@ impl Engine<'_> {
     }
 
     /// Draws the correlated-outage schedule: scripted outages first, then
-    /// a Poisson process per failure domain. Every machine of an affected
-    /// domain goes down at the same instant.
+    /// a Poisson process per failure domain this engine owns. Every
+    /// machine of an affected domain goes down at the same instant.
     fn seed_domain_outages(&mut self, horizon: Duration) {
         let faults = self.config.faults.clone();
-        for o in &faults.injected_outages {
+        for o in faults.injected_outages_in(self.domains.clone()) {
             if o.at < horizon {
                 self.push_domain_outage(o.domain, o.at, o.duration.max(1));
             }
@@ -708,7 +978,7 @@ impl Engine<'_> {
         }
         let rate_per_sec = faults.domain_outages_per_day / 86_400.0;
         let (lo, hi) = faults.domain_outage_duration;
-        for domain in 0..self.config.fleet.num_domains() {
+        for domain in self.domains.clone() {
             let mut t = 0.0f64;
             loop {
                 let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
@@ -729,11 +999,14 @@ impl Engine<'_> {
 
     fn push_domain_outage(&mut self, domain: usize, at: Timestamp, duration: Duration) {
         for machine in self.config.fleet.domain_members(domain) {
-            if machine < self.machines.len() {
+            // Members are global ids; this engine owns a contiguous slice
+            // starting at `machine_base`.
+            let local = machine.wrapping_sub(self.machine_base);
+            if machine >= self.machine_base && local < self.machines.len() {
                 self.push(
                     at,
                     EventKind::MachineDown {
-                        machine,
+                        machine: local,
                         until: at + duration,
                     },
                 );
@@ -750,8 +1023,10 @@ impl Engine<'_> {
         }
         self.machines[mi].up = false;
         // Every running task dies with the machine.
-        let victims: Vec<usize> = self.machines[mi].running.iter().map(|r| r.task).collect();
-        for task in victims {
+        let mut victims = mem::take(&mut self.down_victims);
+        victims.clear();
+        victims.extend(self.machines[mi].running.iter().map(|r| r.task));
+        for &task in &victims {
             let m = &mut self.machines[mi];
             let pos = m
                 .running
@@ -772,6 +1047,7 @@ impl Engine<'_> {
                 self.push(time + delay, EventKind::Submit { task });
             }
         }
+        self.down_victims = victims;
         // Free capacity is irrelevant while down; reset for the return.
         let m = &mut self.machines[mi];
         m.free = m.placeable;

@@ -173,6 +173,19 @@ impl FaultConfig {
             || self.retry != RetryPolicy::immediate()
     }
 
+    /// Scripted outages whose failure domain lies in `domains`. The
+    /// sharded simulator uses this so each shard replays exactly its own
+    /// racks' outages (shard boundaries are domain-aligned, so no outage
+    /// is split or double-counted).
+    pub fn injected_outages_in(
+        &self,
+        domains: std::ops::Range<usize>,
+    ) -> impl Iterator<Item = &DomainOutage> {
+        self.injected_outages
+            .iter()
+            .filter(move |o| domains.contains(&o.domain))
+    }
+
     /// Adds a scripted outage (builder style).
     pub fn with_outage(mut self, domain: usize, at: Timestamp, duration: Duration) -> Self {
         self.injected_outages.push(DomainOutage {

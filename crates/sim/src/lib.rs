@@ -30,8 +30,9 @@ pub mod config;
 pub mod engine;
 pub mod faults;
 pub mod outcome;
+pub mod shard;
 
 pub use config::{PlacementPolicy, SimConfig};
-pub use engine::Simulator;
+pub use engine::{SimScratch, Simulator};
 pub use faults::{DomainOutage, FaultConfig, RetryPolicy};
 pub use outcome::{AttemptPlan, InvalidOutcomeModel, OutcomeModel};

@@ -1,0 +1,156 @@
+//! Deterministic shard planning for the parallel simulator.
+//!
+//! A shard is a contiguous group of failure domains plus the jobs routed to
+//! it. The plan is a pure function of `(fleet, workload, shards, seed)` —
+//! thread count never enters it — which is the first half of the
+//! bit-reproducibility argument (DESIGN.md §5): with a fixed plan and a
+//! private RNG stream per shard, every shard computes the same records no
+//! matter which thread runs it, and the canonical merge in
+//! [`crate::engine`] assembles them in a fixed order.
+//!
+//! Shard boundaries always coincide with failure-domain boundaries
+//! ([`FleetConfig::shard_ranges`]), so a correlated rack outage never
+//! straddles two shards.
+
+use cgc_gen::{split_seed, FleetConfig, Workload};
+use std::ops::Range;
+
+/// One shard of the simulation: a contiguous domain/machine slice of the
+/// fleet, the jobs routed to it, and its private RNG stream seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Shard index (also the RNG stream index).
+    pub index: usize,
+    /// Failure domains owned by this shard.
+    pub domains: Range<usize>,
+    /// Machines owned by this shard (global ids, contiguous).
+    pub machines: Range<usize>,
+    /// Global indices of the jobs this shard simulates, ascending.
+    pub jobs: Vec<usize>,
+    /// Seed of this shard's private RNG stream.
+    pub seed: u64,
+}
+
+/// The full shard plan for one simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// The shards, in machine-id order.
+    pub shards: Vec<ShardSpec>,
+    /// Prefix sums of per-job task counts: job `j`'s `k`-th task has the
+    /// global task id `task_base[j] + k`. Length `jobs + 1`.
+    pub task_base: Vec<usize>,
+}
+
+impl ShardPlan {
+    /// Builds the plan: domain-aligned machine ranges via
+    /// [`FleetConfig::shard_ranges`], then greedy min-load job routing —
+    /// each job (in submission-table order) goes to the shard with the
+    /// lowest tasks-per-machine load, ties to the lowest shard index.
+    pub fn new(fleet: &FleetConfig, workload: &Workload, shards: usize, master_seed: u64) -> Self {
+        let mut specs: Vec<ShardSpec> = fleet
+            .shard_ranges(shards)
+            .into_iter()
+            .enumerate()
+            .map(|(index, (domains, machines))| ShardSpec {
+                index,
+                domains,
+                machines,
+                jobs: Vec::new(),
+                seed: split_seed(master_seed, index as u64),
+            })
+            .collect();
+
+        let mut task_base = Vec::with_capacity(workload.jobs.len() + 1);
+        task_base.push(0);
+        let mut assigned = vec![0usize; specs.len()];
+        for (j, spec) in workload.jobs.iter().enumerate() {
+            task_base.push(task_base[j] + spec.tasks.len());
+            // Integer cross-multiplied load comparison — no float ties:
+            // load(s) = assigned(s) / machines(s), and the `.then` on the
+            // index makes the order total, so `min_by` is unambiguous.
+            let best = (0..specs.len())
+                .min_by(|&a, &b| {
+                    let ma = specs[a].machines.len().max(1);
+                    let mb = specs[b].machines.len().max(1);
+                    (assigned[a] * mb).cmp(&(assigned[b] * ma)).then(a.cmp(&b))
+                })
+                .expect("shard_ranges returns at least one shard");
+            assigned[best] += spec.tasks.len().max(1);
+            specs[best].jobs.push(j);
+        }
+        ShardPlan {
+            shards: specs,
+            task_base,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgc_gen::GoogleWorkload;
+
+    fn plan(shards: usize) -> (ShardPlan, Workload) {
+        let workload = GoogleWorkload::scaled(40, 2 * 3_600).generate(7);
+        let fleet = FleetConfig::google(40); // 4 domains of 10
+        (ShardPlan::new(&fleet, &workload, shards, 0xC10D), workload)
+    }
+
+    #[test]
+    fn every_job_lands_in_exactly_one_shard() {
+        let (p, w) = plan(4);
+        let mut seen = vec![0usize; w.jobs.len()];
+        for s in &p.shards {
+            assert!(s.jobs.windows(2).all(|w| w[0] < w[1]), "jobs not ascending");
+            for &j in &s.jobs {
+                seen[j] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&n| n == 1), "job lost or duplicated");
+    }
+
+    #[test]
+    fn task_base_is_the_task_count_prefix() {
+        let (p, w) = plan(2);
+        assert_eq!(p.task_base.len(), w.jobs.len() + 1);
+        assert_eq!(*p.task_base.last().unwrap(), w.num_tasks());
+        for (j, spec) in w.jobs.iter().enumerate() {
+            assert_eq!(p.task_base[j + 1] - p.task_base[j], spec.tasks.len());
+        }
+    }
+
+    #[test]
+    fn plan_is_a_pure_function_of_its_inputs() {
+        let (a, _) = plan(4);
+        let (b, _) = plan(4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn load_is_roughly_balanced() {
+        let (p, w) = plan(4);
+        let loads: Vec<usize> = p
+            .shards
+            .iter()
+            .map(|s| s.jobs.iter().map(|&j| w.jobs[j].tasks.len()).sum())
+            .collect();
+        let total: usize = loads.iter().sum();
+        assert_eq!(total, w.num_tasks());
+        let max = *loads.iter().max().unwrap();
+        // Greedy min-load keeps the heaviest shard within the mean plus
+        // one job's worth of tasks.
+        let biggest_job = w.jobs.iter().map(|j| j.tasks.len()).max().unwrap_or(0);
+        assert!(
+            max <= total / loads.len() + biggest_job,
+            "max={max} total={total} biggest_job={biggest_job}"
+        );
+    }
+
+    #[test]
+    fn shard_seeds_are_distinct_streams() {
+        let (p, _) = plan(4);
+        for pair in p.shards.windows(2) {
+            assert_ne!(pair[0].seed, pair[1].seed);
+        }
+    }
+}

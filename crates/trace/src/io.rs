@@ -232,28 +232,43 @@ impl<'a> LineParser<'a> {
         }
     }
 
-    fn fields(&self, expected: usize) -> Result<Vec<&'a str>, ParseError> {
-        let fields: Vec<&str> = self.line.split(',').collect();
-        if fields.len() != expected {
-            return Err(self.err(format!(
-                "expected {expected} comma-separated fields, found {}",
-                fields.len()
-            )));
+    /// Splits the line on commas into a stack array — the hot path of
+    /// every parse, so no per-line `Vec` is allocated. Fields beyond `N`
+    /// are counted (for the error message) but not stored.
+    fn split_into<const N: usize>(&self) -> ([&'a str; N], usize) {
+        let mut out = [""; N];
+        let mut n = 0;
+        for f in self.line.split(',') {
+            if n < N {
+                out[n] = f;
+            }
+            n += 1;
+        }
+        (out, n)
+    }
+
+    fn fields<const N: usize>(&self) -> Result<[&'a str; N], ParseError> {
+        let (fields, n) = self.split_into::<N>();
+        if n != N {
+            return Err(self.err(format!("expected {N} comma-separated fields, found {n}")));
         }
         Ok(fields)
     }
 
     /// Like [`fields`](Self::fields) but accepting any count in
-    /// `lo..=hi` (legacy format tolerance).
-    fn fields_between(&self, lo: usize, hi: usize) -> Result<Vec<&'a str>, ParseError> {
-        let fields: Vec<&str> = self.line.split(',').collect();
-        if fields.len() < lo || fields.len() > hi {
+    /// `lo..=HI` (legacy format tolerance); returns the actual count.
+    fn fields_between<const HI: usize>(
+        &self,
+        lo: usize,
+    ) -> Result<([&'a str; HI], usize), ParseError> {
+        let (fields, n) = self.split_into::<HI>();
+        if n < lo || n > HI {
             return Err(self.err(format!(
-                "expected {lo}..={hi} comma-separated fields, found {}",
-                fields.len()
+                "expected {lo}..={hi} comma-separated fields, found {n}",
+                hi = HI
             )));
         }
-        Ok(fields)
+        Ok((fields, n))
     }
 
     fn parse<T: FromStr>(&self, s: &str, what: &str) -> Result<T, ParseError> {
@@ -380,7 +395,7 @@ impl ParserState {
     }
 
     fn machine_line(&mut self, p: &LineParser<'_>) -> Result<(), ParseError> {
-        let f = p.fields(4)?;
+        let f = p.fields::<4>()?;
         let id: u32 = p.parse(f[0], "machine id")?;
         if id as usize != self.machines.len() {
             return Err(p.err(format!(
@@ -398,7 +413,7 @@ impl ParserState {
     }
 
     fn job_line(&mut self, p: &LineParser<'_>) -> Result<(), ParseError> {
-        let f = p.fields(7)?;
+        let f = p.fields::<7>()?;
         let id: u32 = p.parse(f[0], "job id")?;
         if id as usize != self.jobs.len() {
             return Err(p.err(format!(
@@ -427,7 +442,7 @@ impl ParserState {
 
     fn task_line(&mut self, p: &LineParser<'_>) -> Result<(), ParseError> {
         // Nine fields is the legacy format without `resubmit_wait`.
-        let f = p.fields_between(9, 10)?;
+        let (f, n) = p.fields_between::<10>(9)?;
         let id: u32 = p.parse(f[0], "task id")?;
         if id as usize != self.tasks.len() {
             return Err(p.err(format!(
@@ -437,7 +452,7 @@ impl ParserState {
         }
         let priority: u8 = p.parse(f[2], "priority")?;
         let job = JobId(p.parse(f[1], "job id")?);
-        let (resubmit_wait, outcome_field) = if f.len() == 10 {
+        let (resubmit_wait, outcome_field) = if n == 10 {
             (p.parse(f[8], "resubmit wait")?, f[9])
         } else {
             (0, f[8])
@@ -469,7 +484,7 @@ impl ParserState {
     }
 
     fn event_line(&mut self, p: &LineParser<'_>) -> Result<(), ParseError> {
-        let f = p.fields(4)?;
+        let f = p.fields::<4>()?;
         let task = TaskId(p.parse(f[1], "task id")?);
         let kind = parse_event_kind(f[3])
             .ok_or_else(|| p.err(format!("unknown event kind {:?}", f[3])))?;
@@ -496,7 +511,7 @@ impl ParserState {
     }
 
     fn series_line(&mut self, p: &LineParser<'_>) -> Result<(), ParseError> {
-        let f = p.fields(10)?;
+        let f = p.fields::<10>()?;
         let Some(series) = self.host_series.last_mut().filter(|_| self.series_open) else {
             return Err(p.err("usage sample outside any #series section"));
         };
@@ -589,6 +604,559 @@ pub fn read_trace_lenient(text: &str) -> LenientParse {
         trace: st.finish(),
         warnings,
     }
+}
+
+/// Feeds every non-blank line from `reader` to `st` through one reused
+/// line buffer — no whole-file `String` and no per-line allocation.
+/// I/O errors (including invalid UTF-8) surface as a [`ParseError`] on
+/// the offending line and end the stream.
+fn parse_reader<R: std::io::BufRead>(
+    mut reader: R,
+    st: &mut ParserState,
+    mut sink: impl FnMut(ParseError) -> Result<(), ParseError>,
+) -> Result<(), ParseError> {
+    let mut buf = String::new();
+    let mut line_no = 0usize;
+    loop {
+        buf.clear();
+        line_no += 1;
+        match reader.read_line(&mut buf) {
+            Ok(0) => return Ok(()),
+            Ok(_) => {}
+            Err(e) => {
+                // The stream position is unreliable after a read error;
+                // report and stop rather than risk spinning.
+                sink(ParseError {
+                    line: line_no,
+                    message: format!("read error: {e}"),
+                })?;
+                return Ok(());
+            }
+        }
+        let line = buf.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let p = LineParser { line_no, line };
+        if let Err(e) = st.line(&p, line) {
+            sink(e)?;
+        }
+    }
+}
+
+/// Streaming counterpart of [`read_trace`]: parses directly from a
+/// [`BufRead`](std::io::BufRead) without materializing the file as one
+/// `String`. Identical acceptance, errors and output on the same bytes.
+pub fn read_trace_from<R: std::io::BufRead>(reader: R) -> Result<Trace, ParseError> {
+    let mut st = ParserState::new();
+    parse_reader(reader, &mut st, Err)?;
+    Ok(st.finish())
+}
+
+/// Streaming counterpart of [`read_trace_lenient`].
+pub fn read_trace_lenient_from<R: std::io::BufRead>(reader: R) -> LenientParse {
+    let mut st = ParserState::new();
+    let mut warnings = Vec::new();
+    let _ = parse_reader(reader, &mut st, |e| {
+        warnings.push(e);
+        Ok(())
+    });
+    LenientParse {
+        trace: st.finish(),
+        warnings,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel strict parsing
+// ---------------------------------------------------------------------------
+//
+// Three passes. (1) A sequential *routing* pass walks the lines, executes
+// section headers (they carry all the cross-line state: current section,
+// the open `#series`) and tags every data line with its section; it stops
+// at the first header-level error, exactly where the sequential parser
+// would. (2) The tagged data lines — where all the `str::parse` work
+// lives — are parsed *in parallel* into self-contained `Row`s that record
+// either the fully parsed record or the first within-line error in the
+// sequential parser's field order. (3) A sequential *merge* pass replays
+// rows in line order, interleaving the state-dependent checks (dense ids,
+// job/task cross-references, the event life-cycle machine) at the same
+// points the sequential parser performs them, so the first error reported
+// is byte-for-byte the one `read_trace` reports.
+
+#[derive(Clone, Copy, PartialEq)]
+enum DataSection {
+    Machines,
+    Jobs,
+    Tasks,
+    Events,
+    Series,
+}
+
+enum Routed<'a> {
+    /// A data line, tagged with its section.
+    Data {
+        line_no: usize,
+        section: DataSection,
+        line: &'a str,
+    },
+    /// A `#series` header that passed routing-time validation.
+    OpenSeries {
+        machine: u32,
+        start: Timestamp,
+        period: u64,
+    },
+}
+
+use crate::Timestamp;
+
+/// Where a within-line syntax error sits relative to the line's
+/// state-dependent checks (which the merge pass replays in order).
+enum RowErr {
+    /// Before any state check (unparsable id, bad field count, ...).
+    Early(ParseError),
+    /// The record id parsed but a later field did not: the id density
+    /// check runs first, then this error surfaces.
+    AfterId { id: u32, err: ParseError },
+    /// An event's task and kind parsed but time/machine did not: the
+    /// task-exists and life-cycle checks run first.
+    AfterEventChecks {
+        task: u32,
+        kind: TaskEventKind,
+        err: ParseError,
+    },
+    /// A sample's field count was right but a value did not parse: the
+    /// outside-any-series check runs first.
+    AfterSeriesCheck(ParseError),
+}
+
+enum Row {
+    Machine {
+        id: u32,
+        cpu: f64,
+        mem: f64,
+        pc: f64,
+    },
+    Job(Box<JobRecord>),
+    Task(Box<TaskRecord>),
+    Event(TaskEvent),
+    Sample(Box<UsageSample>),
+    Err(RowErr),
+}
+
+/// Routing pass: headers run here (sequentially); data lines are tagged.
+/// Returns the preamble, the routed lines up to the first header error,
+/// and that error if any. Series headers are validated against the raw
+/// machine-line count: it can only exceed the sequential parser's machine
+/// count when an earlier machine line is broken, and that earlier error
+/// wins during the merge anyway.
+fn route(text: &str) -> (String, u64, Vec<Routed<'_>>, Option<ParseError>) {
+    let mut system = String::new();
+    let mut horizon = 0u64;
+    let mut section: Option<DataSection> = None;
+    let mut machine_lines = 0usize;
+    let mut items = Vec::new();
+    // Routing stops at the first header-level error but keeps everything
+    // routed so far: an error on an *earlier* data line must win, and only
+    // the merge pass can tell. `try { }` blocks would express this best;
+    // a closure per header does the job.
+    let mut abort = None;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let line_no = i + 1;
+        let p = LineParser { line_no, line };
+        let Some(rest) = line.strip_prefix('#') else {
+            match section {
+                None => {
+                    abort = Some(p.err("data before any section header"));
+                    break;
+                }
+                Some(sec) => {
+                    if sec == DataSection::Machines {
+                        machine_lines += 1;
+                    }
+                    items.push(Routed::Data {
+                        line_no,
+                        section: sec,
+                        line,
+                    });
+                }
+            }
+            continue;
+        };
+        let mut words = rest.split_whitespace();
+        let header = (|| -> Result<(), ParseError> {
+            match words.next() {
+                Some("trace") => {
+                    system = words
+                        .next()
+                        .ok_or_else(|| p.err("missing system name"))?
+                        .to_string();
+                    horizon = p.parse(
+                        words.next().ok_or_else(|| p.err("missing horizon"))?,
+                        "horizon",
+                    )?;
+                }
+                Some("machines") => section = Some(DataSection::Machines),
+                Some("jobs") => section = Some(DataSection::Jobs),
+                Some("tasks") => section = Some(DataSection::Tasks),
+                Some("events") => section = Some(DataSection::Events),
+                Some("series") => {
+                    section = Some(DataSection::Series);
+                    let machine: u32 = p.parse(
+                        words
+                            .next()
+                            .ok_or_else(|| p.err("missing series machine"))?,
+                        "machine id",
+                    )?;
+                    // Validated against the *raw* machine-line count: it can
+                    // only exceed the parsed count when an earlier machine
+                    // line is broken, and that earlier error wins in merge.
+                    if machine as usize >= machine_lines {
+                        return Err(p.err(format!("series references unknown machine {machine}")));
+                    }
+                    let start = p.parse(
+                        words.next().ok_or_else(|| p.err("missing series start"))?,
+                        "start",
+                    )?;
+                    let period = p.parse(
+                        words.next().ok_or_else(|| p.err("missing series period"))?,
+                        "period",
+                    )?;
+                    items.push(Routed::OpenSeries {
+                        machine,
+                        start,
+                        period,
+                    });
+                }
+                other => return Err(p.err(format!("unknown section {other:?}"))),
+            }
+            Ok(())
+        })();
+        if let Err(e) = header {
+            abort = Some(e);
+            break;
+        }
+    }
+    (system, horizon, items, abort)
+}
+
+fn parse_row(p: &LineParser<'_>, section: DataSection) -> Row {
+    match section {
+        DataSection::Machines => machine_row(p),
+        DataSection::Jobs => job_row(p),
+        DataSection::Tasks => task_row(p),
+        DataSection::Events => event_row(p),
+        DataSection::Series => sample_row(p),
+    }
+}
+
+fn machine_row(p: &LineParser<'_>) -> Row {
+    let f = match p.fields::<4>() {
+        Ok(f) => f,
+        Err(e) => return Row::Err(RowErr::Early(e)),
+    };
+    let id: u32 = match p.parse(f[0], "machine id") {
+        Ok(v) => v,
+        Err(e) => return Row::Err(RowErr::Early(e)),
+    };
+    let rest = || -> Result<(f64, f64, f64), ParseError> {
+        Ok((
+            p.parse_f64(f[1], "cpu capacity")?,
+            p.parse_f64(f[2], "memory capacity")?,
+            p.parse_f64(f[3], "page-cache capacity")?,
+        ))
+    };
+    match rest() {
+        Ok((cpu, mem, pc)) => Row::Machine { id, cpu, mem, pc },
+        Err(err) => Row::Err(RowErr::AfterId { id, err }),
+    }
+}
+
+fn job_row(p: &LineParser<'_>) -> Row {
+    let f = match p.fields::<7>() {
+        Ok(f) => f,
+        Err(e) => return Row::Err(RowErr::Early(e)),
+    };
+    let id: u32 = match p.parse(f[0], "job id") {
+        Ok(v) => v,
+        Err(e) => return Row::Err(RowErr::Early(e)),
+    };
+    // Field order below mirrors the sequential parser exactly, so the
+    // first error of a broken line is the same error it would report.
+    let rest = || -> Result<JobRecord, ParseError> {
+        let priority: u8 = p.parse(f[2], "priority")?;
+        Ok(JobRecord {
+            id: JobId(id),
+            user: UserId(p.parse(f[1], "user id")?),
+            priority: Priority::new(priority)
+                .ok_or_else(|| p.err(format!("priority {priority} out of range")))?,
+            submit_time: p.parse(f[3], "submit time")?,
+            tasks: Vec::new(),
+            completion_time: if f[4] == "-" {
+                None
+            } else {
+                Some(p.parse(f[4], "completion time")?)
+            },
+            cpu_seconds: p.parse_f64(f[5], "cpu seconds")?,
+            mean_memory: p.parse_f64(f[6], "mean memory")?,
+        })
+    };
+    match rest() {
+        Ok(record) => Row::Job(Box::new(record)),
+        Err(err) => Row::Err(RowErr::AfterId { id, err }),
+    }
+}
+
+fn task_row(p: &LineParser<'_>) -> Row {
+    let (f, n) = match p.fields_between::<10>(9) {
+        Ok(v) => v,
+        Err(e) => return Row::Err(RowErr::Early(e)),
+    };
+    let id: u32 = match p.parse(f[0], "task id") {
+        Ok(v) => v,
+        Err(e) => return Row::Err(RowErr::Early(e)),
+    };
+    let rest = || -> Result<TaskRecord, ParseError> {
+        let priority: u8 = p.parse(f[2], "priority")?;
+        let job = JobId(p.parse(f[1], "job id")?);
+        let (resubmit_wait, outcome_field) = if n == 10 {
+            (p.parse(f[8], "resubmit wait")?, f[9])
+        } else {
+            (0, f[8])
+        };
+        Ok(TaskRecord {
+            id: TaskId(id),
+            job,
+            priority: Priority::new(priority)
+                .ok_or_else(|| p.err(format!("priority {priority} out of range")))?,
+            submit_time: p.parse(f[3], "submit time")?,
+            demand: Demand::new(
+                p.parse_f64(f[4], "cpu demand")?,
+                p.parse_f64(f[5], "mem demand")?,
+            ),
+            execution_time: p.parse(f[6], "execution time")?,
+            attempts: p.parse(f[7], "attempts")?,
+            resubmit_wait,
+            outcome: parse_outcome(outcome_field)
+                .ok_or_else(|| p.err(format!("unknown outcome {outcome_field:?}")))?,
+        })
+    };
+    match rest() {
+        Ok(record) => Row::Task(Box::new(record)),
+        Err(err) => Row::Err(RowErr::AfterId { id, err }),
+    }
+}
+
+fn event_row(p: &LineParser<'_>) -> Row {
+    let f = match p.fields::<4>() {
+        Ok(f) => f,
+        Err(e) => return Row::Err(RowErr::Early(e)),
+    };
+    let task: u32 = match p.parse(f[1], "task id") {
+        Ok(v) => v,
+        Err(e) => return Row::Err(RowErr::Early(e)),
+    };
+    let kind = match parse_event_kind(f[3])
+        .ok_or_else(|| p.err(format!("unknown event kind {:?}", f[3])))
+    {
+        Ok(k) => k,
+        Err(e) => return Row::Err(RowErr::Early(e)),
+    };
+    let rest = || -> Result<(Timestamp, Option<MachineId>), ParseError> {
+        Ok((
+            p.parse(f[0], "time")?,
+            if f[2] == "-" {
+                None
+            } else {
+                Some(MachineId(p.parse(f[2], "machine id")?))
+            },
+        ))
+    };
+    match rest() {
+        Ok((time, machine)) => Row::Event(TaskEvent {
+            time,
+            task: TaskId(task),
+            machine,
+            kind,
+        }),
+        Err(err) => Row::Err(RowErr::AfterEventChecks { task, kind, err }),
+    }
+}
+
+fn sample_row(p: &LineParser<'_>) -> Row {
+    let f = match p.fields::<10>() {
+        Ok(f) => f,
+        Err(e) => return Row::Err(RowErr::Early(e)),
+    };
+    let rest = || -> Result<UsageSample, ParseError> {
+        Ok(UsageSample {
+            cpu: ClassSplit {
+                low: p.parse_f64(f[0], "cpu low")?,
+                middle: p.parse_f64(f[1], "cpu middle")?,
+                high: p.parse_f64(f[2], "cpu high")?,
+            },
+            memory_used: ClassSplit {
+                low: p.parse_f64(f[3], "mem-used low")?,
+                middle: p.parse_f64(f[4], "mem-used middle")?,
+                high: p.parse_f64(f[5], "mem-used high")?,
+            },
+            memory_assigned: ClassSplit {
+                low: p.parse_f64(f[6], "mem-assigned low")?,
+                middle: p.parse_f64(f[7], "mem-assigned middle")?,
+                high: p.parse_f64(f[8], "mem-assigned high")?,
+            },
+            page_cache: p.parse_f64(f[9], "page cache")?,
+        })
+    };
+    match rest() {
+        Ok(sample) => Row::Sample(Box::new(sample)),
+        Err(e) => Row::Err(RowErr::AfterSeriesCheck(e)),
+    }
+}
+
+/// Parallel counterpart of [`read_trace`]: same acceptance, same output,
+/// same first-error line numbers, with the per-line field parsing fanned
+/// out over the rayon pool. Worth it for multi-megabyte traces; for small
+/// inputs [`read_trace`] has less overhead.
+pub fn read_trace_parallel(text: &str) -> Result<Trace, ParseError> {
+    use rayon::prelude::*;
+
+    let (system, horizon, items, abort) = route(text);
+    let rows: Vec<Option<Row>> = items
+        .par_iter()
+        .map(|it| match it {
+            Routed::Data {
+                line_no,
+                section,
+                line,
+            } => Some(parse_row(
+                &LineParser {
+                    line_no: *line_no,
+                    line,
+                },
+                *section,
+            )),
+            Routed::OpenSeries { .. } => None,
+        })
+        .collect();
+
+    // Merge pass: replay rows in line order with the state-dependent
+    // checks at sequential positions.
+    let mut st = ParserState::new();
+    st.system = system;
+    st.horizon = horizon;
+    for (item, row) in items.iter().zip(rows) {
+        let (line_no, section) = match item {
+            Routed::OpenSeries {
+                machine,
+                start,
+                period,
+            } => {
+                st.host_series
+                    .push(HostSeries::new(MachineId(*machine), *start, *period));
+                st.series_open = true;
+                continue;
+            }
+            Routed::Data {
+                line_no, section, ..
+            } => (*line_no, *section),
+        };
+        let err_at = |message: String| ParseError {
+            line: line_no,
+            message,
+        };
+        let dense = |id: u32, have: usize, what: &str| -> Result<(), ParseError> {
+            if id as usize != have {
+                Err(err_at(format!(
+                    "{what} id {id} out of order (expected {have})"
+                )))
+            } else {
+                Ok(())
+            }
+        };
+        match row.expect("every Data item parses to a row") {
+            Row::Machine { id, cpu, mem, pc } => {
+                dense(id, st.machines.len(), "machine")?;
+                st.machines
+                    .push(MachineRecord::new(MachineId(id), cpu, mem, pc));
+            }
+            Row::Job(record) => {
+                dense(record.id.0, st.jobs.len(), "job")?;
+                st.jobs.push(*record);
+            }
+            Row::Task(record) => {
+                dense(record.id.0, st.tasks.len(), "task")?;
+                let ji = record.job.index();
+                if ji >= st.jobs.len() {
+                    return Err(err_at(format!(
+                        "task references unknown job {}",
+                        record.job
+                    )));
+                }
+                st.jobs[ji].tasks.push(record.id);
+                st.tasks.push(*record);
+                st.states.push(TaskState::Unsubmitted);
+            }
+            Row::Event(event) => {
+                apply_event_checks(&mut st, event.task, event.kind, &err_at)?;
+                st.events.push(event);
+            }
+            Row::Sample(sample) => {
+                let Some(series) = st.host_series.last_mut().filter(|_| st.series_open) else {
+                    return Err(err_at("usage sample outside any #series section".into()));
+                };
+                series.samples.push(*sample);
+            }
+            Row::Err(RowErr::Early(e)) => return Err(e),
+            Row::Err(RowErr::AfterId { id, err }) => {
+                let (have, what) = match section {
+                    DataSection::Machines => (st.machines.len(), "machine"),
+                    DataSection::Jobs => (st.jobs.len(), "job"),
+                    DataSection::Tasks => (st.tasks.len(), "task"),
+                    // Events/series lines never produce AfterId.
+                    _ => unreachable!("AfterId outside a record section"),
+                };
+                dense(id, have, what)?;
+                return Err(err);
+            }
+            Row::Err(RowErr::AfterEventChecks { task, kind, err }) => {
+                apply_event_checks(&mut st, TaskId(task), kind, &err_at)?;
+                return Err(err);
+            }
+            Row::Err(RowErr::AfterSeriesCheck(err)) => {
+                if !st.series_open || st.host_series.is_empty() {
+                    return Err(err_at("usage sample outside any #series section".into()));
+                }
+                return Err(err);
+            }
+        }
+    }
+    if let Some(e) = abort {
+        return Err(e);
+    }
+    Ok(st.finish())
+}
+
+/// The state-dependent half of event parsing: the referenced task must
+/// exist and the event must be legal in its life-cycle state machine.
+fn apply_event_checks(
+    st: &mut ParserState,
+    task: TaskId,
+    kind: TaskEventKind,
+    err_at: &impl Fn(String) -> ParseError,
+) -> Result<(), ParseError> {
+    let Some(state) = st.states.get_mut(task.index()) else {
+        return Err(err_at(format!("event references unknown task {task}")));
+    };
+    let next = state
+        .apply(kind)
+        .map_err(|source| err_at(format!("illegal event for task {task}: {source}")))?;
+    *state = next;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -853,5 +1421,115 @@ mod tests {
         for cut in 0..text.len() {
             let _ = read_trace_lenient(&text[..cut.min(text.len())]);
         }
+    }
+
+    /// Every input a reader test in this module exercises, plus a few
+    /// extra torture cases — used to pin the streaming and parallel
+    /// readers to the in-memory sequential one, error-for-error.
+    fn equivalence_inputs() -> Vec<String> {
+        let mut inputs = vec![
+            write_trace(&sample_trace()),
+            write_trace(&resubmitted_trace()),
+            write_trace(&TraceBuilder::new("empty", 100).build().unwrap()),
+        ];
+        inputs.extend(
+            [
+                "",
+                "#trace x 10\n",
+                // Legacy nine-field task line.
+                "#trace x 10\n#jobs\n0,0,1,0,-,0,0\n#tasks\n0,0,1,0,0.1,0.1,10,1,finished\n",
+                // Data before any section header.
+                "0,1,2,3\n",
+                "#trace x 10\n0,1,2,3\n",
+                // Header errors.
+                "#trace\n",
+                "#trace x\n",
+                "#trace x ten\n",
+                "#unknown\n",
+                "#series 0 0 300\n",
+                // Per-line syntax errors.
+                "#trace x 10\n#machines\n0,0.5\n",
+                "#trace x 10\n#machines\n1,0.5,0.5,1\n",
+                "#trace x 10\n#machines\nx,0.5,0.5,1\n",
+                "#trace x 10\n#machines\n0,nope,0.5,1\n",
+                "#trace x 10\n#machines\n0,NaN,1,1\n",
+                "#trace x 10\n#jobs\n0,0,99,0,-,0,0\n",
+                "#trace x 10\n#tasks\n0,5,1,0,0.1,0.1,10,1,finished\n",
+                "#trace x 10\n#events\n1,7,-,submit\n",
+                "#trace x 10\n#events\n1,0,-,explode\n",
+                "#trace x 10\n#jobs\n0,0,1,0,-,0,0\n#tasks\n\
+                 0,0,1,0,0.1,0.1,0,0,0,unfinished\n#events\n5,0,0,schedule\n",
+                // Within-line error behind a state check: the unknown-task
+                // check must fire before the bad-time error.
+                "#trace x 10\n#events\nbadtime,7,-,submit\n",
+                // Series errors.
+                "#trace x 10\n#series 3 0 300\n",
+                "#trace x 10\n#machines\n0,1,1,1\n#series bad 0 300\n0,0,0,0,0,0,0,0,0,0\n",
+                "#trace x 10\n#machines\n0,1,1,1\n#series 0 0 300\n0,0,bad,0,0,0,0,0,0,0\n",
+                "#trace x 10\n#machines\n0,1,1,1\n#series 0 0 300\n0,0,0\n",
+                // Broken machine line shadowing a series header that the
+                // raw line count would accept.
+                "#trace x 10\n#machines\n0,1,1,1\nbroken\n#series 1 0 300\n0,0,0,0,0,0,0,0,0,0\n",
+            ]
+            .into_iter()
+            .map(String::from),
+        );
+        // Blank and whitespace-only lines sprinkled in.
+        inputs.push(write_trace(&sample_trace()).replace("#jobs", "\n  \n#jobs\n"));
+        inputs
+    }
+
+    #[test]
+    fn streaming_reader_matches_in_memory_reader() {
+        for text in equivalence_inputs() {
+            assert_eq!(
+                read_trace_from(text.as_bytes()),
+                read_trace(&text),
+                "strict streaming diverged on {text:?}"
+            );
+            assert_eq!(
+                read_trace_lenient_from(text.as_bytes()),
+                read_trace_lenient(&text),
+                "lenient streaming diverged on {text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_reader_matches_sequential_reader() {
+        for text in equivalence_inputs() {
+            assert_eq!(
+                read_trace_parallel(&text),
+                read_trace(&text),
+                "parallel reader diverged on {text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_reader_reports_io_errors_as_parse_errors() {
+        struct FailAfter<'a>(&'a [u8]);
+        impl std::io::Read for FailAfter<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.0.is_empty() {
+                    return Err(std::io::Error::other("disk on fire"));
+                }
+                let n = self.0.len().min(buf.len());
+                buf[..n].copy_from_slice(&self.0[..n]);
+                self.0 = &self.0[n..];
+                Ok(n)
+            }
+        }
+        let text = write_trace(&sample_trace());
+        let reader = std::io::BufReader::with_capacity(16, FailAfter(text.as_bytes()));
+        let err = read_trace_from(reader).unwrap_err();
+        assert!(err.message.contains("read error"), "{}", err.message);
+        // Lenient mode records the failure and keeps what it already has.
+        let reader = std::io::BufReader::with_capacity(16, FailAfter(text.as_bytes()));
+        let lenient = read_trace_lenient_from(reader);
+        assert!(lenient
+            .warnings
+            .iter()
+            .any(|w| w.message.contains("read error")));
     }
 }

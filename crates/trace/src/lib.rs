@@ -35,7 +35,10 @@ pub mod trace;
 pub mod usage;
 
 pub use ids::{JobId, MachineId, TaskId, UserId};
-pub use io::{read_trace, read_trace_lenient, write_trace, LenientParse, ParseError};
+pub use io::{
+    read_trace, read_trace_from, read_trace_lenient, read_trace_lenient_from, read_trace_parallel,
+    write_trace, LenientParse, ParseError,
+};
 pub use job::JobRecord;
 pub use machine::{MachineRecord, CPU_CAPACITY_CLASSES, MEMORY_CAPACITY_CLASSES};
 pub use normalize::{normalize_trace, NormalizationFactors};

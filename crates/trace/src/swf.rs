@@ -70,11 +70,24 @@ pub fn parse_swf(text: &str) -> Result<Vec<SwfJob>, SwfError> {
         if line.is_empty() || line.starts_with(';') {
             continue;
         }
-        let fields: Vec<&str> = line.split_whitespace().collect();
-        if fields.len() < 18 {
+        // Only fields 0–11 are consumed, so split into a stack array and
+        // stop counting once the line is provably long enough — no
+        // per-line `Vec` in the hot loop.
+        let mut fields = [""; 12];
+        let mut n = 0;
+        for f in line.split_whitespace() {
+            if n < fields.len() {
+                fields[n] = f;
+            }
+            n += 1;
+            if n >= 18 {
+                break;
+            }
+        }
+        if n < 18 {
             return Err(SwfError {
                 line: i + 1,
-                message: format!("expected 18 fields, found {}", fields.len()),
+                message: format!("expected 18 fields, found {n}"),
             });
         }
         let parse = |idx: usize, what: &str| -> Result<i64, SwfError> {
