@@ -6,16 +6,32 @@
 //! characterization — optionally as JSON.
 //!
 //! ```text
-//! analyze_trace <FILE> [--swf] [--json] [--system NAME]
+//! analyze_trace <FILE> [--swf] [--json] [--system NAME] [--lenient] [--metrics]
 //! analyze_trace --clusterdata <task_events.csv> <task_usage.csv> <machine_events.csv> [--json]
 //! ```
+//!
+//! `--lenient` parses cgct traces in salvage mode: corrupt lines are
+//! skipped and summarized on stderr instead of aborting the run.
+//! `--metrics` enables the observability layer and appends a pipeline
+//! metrics snapshot — as a `metrics` key next to `report` under `--json`,
+//! as a table on stderr otherwise. `CGC_TRACE=1` additionally streams one
+//! compact stderr line per pipeline stage.
 //!
 //! This is the adoption path for real data: download an SWF log from the
 //! PWA, point this tool at it, and compare the resulting statistics to the
 //! paper's (and to this repository's generated systems).
 
-use cgc_core::characterize;
+use cgc_core::{characterize, CharacterizationReport};
+use cgc_obs::MetricsSnapshot;
 use cgc_trace::swf::{read_swf_trace, SwfImportOptions};
+use serde::Serialize;
+
+/// `--json --metrics` output: the report plus the metrics snapshot.
+#[derive(Serialize)]
+struct ReportWithMetrics {
+    report: CharacterizationReport,
+    metrics: MetricsSnapshot,
+}
 
 fn read(path: &str) -> String {
     std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -24,10 +40,17 @@ fn read(path: &str) -> String {
     })
 }
 
+const USAGE: &str =
+    "usage: analyze_trace <FILE> [--swf] [--json] [--system NAME] [--lenient] [--metrics]";
+
 fn main() {
+    cgc_obs::init_from_env();
+
     let mut path: Option<String> = None;
     let mut as_swf = false;
     let mut as_json = false;
+    let mut lenient = false;
+    let mut with_metrics = false;
     let mut system: Option<String> = None;
     let mut clusterdata: Option<(String, String, String)> = None;
 
@@ -47,6 +70,8 @@ fn main() {
                 clusterdata = Some((next(), next(), next()));
             }
             "--json" => as_json = true,
+            "--lenient" => lenient = true,
+            "--metrics" => with_metrics = true,
             "--system" => {
                 system = Some(args.next().unwrap_or_else(|| {
                     eprintln!("--system requires a name");
@@ -54,7 +79,7 @@ fn main() {
                 }));
             }
             "--help" | "-h" => {
-                eprintln!("usage: analyze_trace <FILE> [--swf] [--json] [--system NAME]");
+                eprintln!("{USAGE}");
                 return;
             }
             other if path.is_none() => path = Some(other.to_string()),
@@ -64,7 +89,16 @@ fn main() {
             }
         }
     }
+
+    if with_metrics {
+        cgc_obs::set_enabled(true);
+        cgc_obs::metrics().reset();
+    }
+
     let trace = if let Some((events, usage, machines)) = clusterdata {
+        if lenient {
+            eprintln!("note: --lenient only applies to cgct traces; clusterdata import has its own salvage rules");
+        }
         let (trace, stats) = cgc_trace::clusterdata::import_clusterdata(
             &read(&events),
             &read(&usage),
@@ -82,7 +116,7 @@ fn main() {
         trace
     } else {
         let Some(path) = path else {
-            eprintln!("usage: analyze_trace <FILE> [--swf] [--json] [--system NAME]");
+            eprintln!("{USAGE}");
             eprintln!("       analyze_trace --clusterdata <events> <usage> <machines> [--json]");
             std::process::exit(2);
         };
@@ -90,6 +124,9 @@ fn main() {
         // Detect SWF by flag or by content (SWF has no '#trace' preamble).
         let swf_like = as_swf || !text.lines().any(|l| l.starts_with("#trace"));
         if swf_like {
+            if lenient {
+                eprintln!("note: --lenient only applies to cgct traces; parsing SWF strictly");
+            }
             let options = SwfImportOptions {
                 system: system.unwrap_or_else(|| "swf".into()),
                 ..SwfImportOptions::default()
@@ -99,10 +136,23 @@ fn main() {
                 std::process::exit(1);
             })
         } else {
-            let mut trace = cgc_trace::io::read_trace_parallel(&text).unwrap_or_else(|e| {
-                eprintln!("trace parse error: {e}");
-                std::process::exit(1);
-            });
+            let mut trace = if lenient {
+                let parsed = cgc_trace::io::read_trace_lenient(&text);
+                let diagnostics = parsed.diagnostics(&path);
+                if let Some(summary) = diagnostics.summary() {
+                    eprintln!("{summary}");
+                    if with_metrics {
+                        eprint!("{}", diagnostics.render_table());
+                    }
+                }
+                parsed.trace
+            } else {
+                cgc_trace::io::read_trace_parallel(&text).unwrap_or_else(|e| {
+                    eprintln!("trace parse error: {e}");
+                    eprintln!("hint: re-run with --lenient to skip corrupt lines");
+                    std::process::exit(1);
+                })
+            };
             if let Some(name) = system {
                 trace.system = name;
             }
@@ -112,11 +162,25 @@ fn main() {
 
     let report = characterize(&trace);
     if as_json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&report).expect("report serializes")
-        );
+        if with_metrics {
+            let bundle = ReportWithMetrics {
+                report,
+                metrics: cgc_obs::metrics().snapshot(),
+            };
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&bundle).expect("bundle serializes")
+            );
+        } else {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&report).expect("report serializes")
+            );
+        }
     } else {
         println!("{report}");
+        if with_metrics {
+            eprint!("{}", cgc_obs::metrics().snapshot().render_table());
+        }
     }
 }

@@ -17,9 +17,17 @@
 //! model only when `--shards 1`; with more shards they are different
 //! models by design (see DESIGN.md §5), which is why the baseline is
 //! reported separately instead of asserted equal.
+//!
+//! The run also enables the observability layer and snapshots its
+//! counters right after the optimized pipeline (before the baseline
+//! re-runs, which would double-count). The deterministic counters land in
+//! the JSON under `counters` and are cross-checked here against the trace
+//! itself — CI diffs them against the committed file to catch silent
+//! pipeline drift.
 
 use cgc_core::characterize;
 use cgc_gen::{FleetConfig, GoogleWorkload};
+use cgc_obs::PipelineCounters;
 use cgc_sim::{FaultConfig, SimConfig, Simulator};
 use cgc_trace::io::{read_trace, read_trace_parallel, write_trace};
 use serde::Serialize;
@@ -33,6 +41,10 @@ struct BenchReport {
     preset: &'static str,
     config: BenchConfig,
     counts: Counts,
+    /// Deterministic pipeline counters for the optimized pipeline only
+    /// (snapshotted before the baseline re-runs). Timings are excluded:
+    /// they vary run to run, these must not.
+    counters: PipelineCounters,
     stages: Vec<Stage>,
     baseline: Baseline,
     end_to_end: EndToEnd,
@@ -178,6 +190,10 @@ fn samples_stage(name: &'static str, seconds: f64, samples: usize) -> Stage {
 }
 
 fn main() {
+    cgc_obs::init_from_env();
+    cgc_obs::set_enabled(true);
+    cgc_obs::metrics().reset();
+
     let args = parse_args();
     eprintln!(
         "cgc-bench: google preset, {} machines, {} s horizon, {} shards, {} threads",
@@ -205,11 +221,6 @@ fn main() {
     let n_samples: usize = trace.host_series.iter().map(|s| s.samples.len()).sum();
     eprintln!("simulate: {sim_s:.3}s ({n_events} events, {n_samples} samples)");
 
-    // --- simulate (baseline: the pre-sharding single-engine path) -----
-    let baseline_config = config.clone().with_shards(1).with_threads(1);
-    let (sim_base_s, _) = timed(|| Simulator::new(baseline_config).run(&workload));
-    eprintln!("simulate/baseline: {sim_base_s:.3}s (1 shard, 1 thread)");
-
     // --- write --------------------------------------------------------
     let (write_s, text) = timed(|| write_trace(&trace));
     eprintln!("write: {:.3}s ({} bytes)", write_s, text.len());
@@ -219,13 +230,45 @@ fn main() {
     assert_eq!(reread, trace, "read-back must round-trip");
     drop(reread);
 
-    // --- read (baseline: sequential strict parser) --------------------
-    let (read_base_s, _) = timed(|| read_trace(&text).expect("own output parses"));
-    eprintln!("read: {read_s:.3}s parallel, {read_base_s:.3}s sequential");
-
     // --- characterize -------------------------------------------------
     let (char_s, report) = timed(|| characterize(&trace));
     eprintln!("characterize: {char_s:.3}s ({})", report.system);
+
+    // --- metrics snapshot ---------------------------------------------
+    // Taken before the baseline re-runs below, so the counters describe
+    // the optimized pipeline exactly once — and can be cross-checked
+    // against the trace itself.
+    let snapshot = cgc_obs::metrics().snapshot();
+    let c = &snapshot.counters;
+    assert_eq!(c.jobs_generated as usize, trace.jobs.len(), "jobs counter");
+    assert_eq!(
+        c.tasks_generated as usize,
+        trace.tasks.len(),
+        "tasks counter"
+    );
+    assert_eq!(c.events_simulated as usize, n_events, "events counter");
+    assert_eq!(c.samples_recorded as usize, n_samples, "samples counter");
+    assert_eq!(c.bytes_read as usize, text.len(), "bytes-read counter");
+    assert_eq!(c.lines_salvaged, 0, "strict parse salvages nothing");
+    assert_eq!(
+        c.events_per_shard.iter().sum::<u64>(),
+        c.events_simulated,
+        "per-shard events sum to the total"
+    );
+    assert!(
+        c.events_per_shard.len() <= args.shards.max(1),
+        "no more shard slots than shards"
+    );
+    eprint!("{}", snapshot.render_table());
+
+    // --- simulate (baseline: the pre-sharding single-engine path) -----
+    let baseline_config = config.clone().with_shards(1).with_threads(1);
+    let (sim_base_s, _) = timed(|| Simulator::new(baseline_config).run(&workload));
+    eprintln!("simulate/baseline: {sim_base_s:.3}s (1 shard, 1 thread)");
+
+    // --- read (baseline: sequential strict parser) --------------------
+    let (read_base_s, _) = timed(|| read_trace(&text).expect("own output parses"));
+    eprintln!("read: {read_s:.3}s parallel, {read_base_s:.3}s sequential");
 
     let total = gen_s + sim_s + write_s + read_s + char_s;
     let total_baseline = gen_s + sim_base_s + write_s + read_base_s + char_s;
@@ -247,6 +290,7 @@ fn main() {
             samples: n_samples,
             trace_bytes: text.len(),
         },
+        counters: snapshot.counters,
         stages: vec![
             tasks_stage("generate", gen_s, n_tasks),
             tasks_stage("simulate", sim_s, n_tasks),

@@ -2,25 +2,35 @@
 //!
 //! Usage:
 //! ```text
-//! run_experiments [IDS...] [--full] [--json PATH]
+//! run_experiments [IDS...] [--full] [--json PATH] [--metrics]
 //! ```
 //! With no ids, every experiment runs in paper order. `--full` switches to
 //! month-scale horizons; `--json` additionally writes the structured
-//! results to a file.
+//! results to a file. `--metrics` enables the observability layer and
+//! prints the pipeline metrics table to stderr when all experiments are
+//! done; `CGC_TRACE=1` streams per-stage span timings live.
 
 use cgc_bench::{all_experiment_ids, export_plots, run_experiment, Lab, Scale};
 use std::io::Write;
 
 fn main() {
+    cgc_obs::init_from_env();
+
     let mut ids: Vec<String> = Vec::new();
     let mut scale = Scale::Quick;
     let mut json_path: Option<String> = None;
     let mut plots_dir: Option<String> = None;
+    let mut with_metrics = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--full" => scale = Scale::Full,
+            "--metrics" => {
+                with_metrics = true;
+                cgc_obs::set_enabled(true);
+                cgc_obs::metrics().reset();
+            }
             "--json" => {
                 json_path = Some(args.next().unwrap_or_else(|| {
                     eprintln!("--json requires a path");
@@ -34,7 +44,9 @@ fn main() {
                 }));
             }
             "--help" | "-h" => {
-                eprintln!("usage: run_experiments [IDS...] [--full] [--json PATH] [--plots DIR]");
+                eprintln!(
+                    "usage: run_experiments [IDS...] [--full] [--json PATH] [--plots DIR] [--metrics]"
+                );
                 eprintln!("known ids: {}", all_experiment_ids().join(" "));
                 return;
             }
@@ -81,5 +93,9 @@ fn main() {
             std::process::exit(1);
         });
         eprintln!("wrote {} results to {path}", results.len());
+    }
+
+    if with_metrics {
+        eprint!("{}", cgc_obs::metrics().snapshot().render_table());
     }
 }

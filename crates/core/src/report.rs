@@ -88,6 +88,7 @@ const QUEUE_SAMPLE_PERIOD: u64 = 60;
 /// regardless of thread count: each analysis writes only its own slot in
 /// the report.
 pub fn characterize(trace: &Trace) -> CharacterizationReport {
+    let _span = cgc_obs::span(cgc_obs::stages::CHARACTERIZE);
     let (workload, hostload) = rayon::join(|| workload_section(trace), || hostload_section(trace));
     CharacterizationReport {
         system: trace.system.clone(),
@@ -96,33 +97,46 @@ pub fn characterize(trace: &Trace) -> CharacterizationReport {
     }
 }
 
+/// Runs one analysis under its observability span, so per-analysis
+/// durations land in the metrics snapshot (and the span observer) even
+/// though the analyses execute on rayon worker threads.
+fn spanned<T>(stage: &'static str, f: impl FnOnce() -> T) -> T {
+    let _span = cgc_obs::span(stage);
+    f()
+}
+
 /// Section III analyses, pairwise forked.
 fn workload_section(trace: &Trace) -> WorkloadSection {
+    use cgc_obs::stages;
     let ((job_length, task_length), ((submission, resubmission), (cpu_usage, memory_mb))) =
         rayon::join(
             || {
                 rayon::join(
-                    || job_length_analysis(trace),
-                    || task_length_analysis(trace),
+                    || spanned(stages::A_JOB_LENGTH, || job_length_analysis(trace)),
+                    || spanned(stages::A_TASK_LENGTH, || task_length_analysis(trace)),
                 )
             },
             || {
                 rayon::join(
                     || {
                         rayon::join(
-                            || submission_analysis(trace),
-                            || resubmission_analysis(trace),
+                            || spanned(stages::A_SUBMISSION, || submission_analysis(trace)),
+                            || spanned(stages::A_RESUBMISSION, || resubmission_analysis(trace)),
                         )
                     },
                     || {
                         rayon::join(
                             || {
-                                crate::workload::job_cpu_usage(trace)
-                                    .map(|e| Summary::of(e.values()))
+                                spanned(stages::A_CPU_USAGE, || {
+                                    crate::workload::job_cpu_usage(trace)
+                                        .map(|e| Summary::of(e.values()))
+                                })
                             },
                             || {
-                                crate::workload::job_memory_mb(trace, 32.0)
-                                    .map(|e| Summary::of(e.values()))
+                                spanned(stages::A_MEMORY, || {
+                                    crate::workload::job_memory_mb(trace, 32.0)
+                                        .map(|e| Summary::of(e.values()))
+                                })
                             },
                         )
                     },
@@ -130,7 +144,7 @@ fn workload_section(trace: &Trace) -> WorkloadSection {
             },
         );
     WorkloadSection {
-        priorities: priority_histogram(trace),
+        priorities: spanned(stages::A_PRIORITIES, || priority_histogram(trace)),
         job_length,
         submission,
         task_length,
@@ -146,49 +160,76 @@ fn hostload_section(trace: &Trace) -> Option<HostloadSection> {
     if !trace.host_series.iter().any(|s| !s.is_empty()) {
         return None;
     }
+    use cgc_obs::stages;
     let ((max_loads, queue_runs), ((cpu_level_runs, memory_level_runs), masscounts)) = rayon::join(
         || {
             rayon::join(
                 || {
-                    UsageAttribute::ALL
-                        .iter()
-                        .map(|&attr| max_load_distribution(trace, attr, MAX_LOAD_BINS))
-                        .collect()
+                    spanned(stages::A_MAX_LOADS, || {
+                        UsageAttribute::ALL
+                            .iter()
+                            .map(|&attr| max_load_distribution(trace, attr, MAX_LOAD_BINS))
+                            .collect()
+                    })
                 },
-                || queue_runlengths(trace, QUEUE_SAMPLE_PERIOD),
+                || {
+                    spanned(stages::A_QUEUE_RUNS, || {
+                        queue_runlengths(trace, QUEUE_SAMPLE_PERIOD)
+                    })
+                },
             )
         },
         || {
             rayon::join(
                 || {
                     rayon::join(
-                        || usage_level_runs(trace, UsageAttribute::Cpu, None),
-                        || usage_level_runs(trace, UsageAttribute::MemoryUsed, None),
+                        || {
+                            spanned(stages::A_LEVEL_RUNS, || {
+                                usage_level_runs(trace, UsageAttribute::Cpu, None)
+                            })
+                        },
+                        || {
+                            spanned(stages::A_LEVEL_RUNS, || {
+                                usage_level_runs(trace, UsageAttribute::MemoryUsed, None)
+                            })
+                        },
                     )
                 },
                 || {
                     rayon::join(
                         || {
                             rayon::join(
-                                || usage_masscount(trace, UsageAttribute::Cpu, None),
                                 || {
-                                    usage_masscount(
-                                        trace,
-                                        UsageAttribute::Cpu,
-                                        Some(PriorityClass::Middle),
-                                    )
+                                    spanned(stages::A_MASSCOUNT, || {
+                                        usage_masscount(trace, UsageAttribute::Cpu, None)
+                                    })
+                                },
+                                || {
+                                    spanned(stages::A_MASSCOUNT, || {
+                                        usage_masscount(
+                                            trace,
+                                            UsageAttribute::Cpu,
+                                            Some(PriorityClass::Middle),
+                                        )
+                                    })
                                 },
                             )
                         },
                         || {
                             rayon::join(
-                                || usage_masscount(trace, UsageAttribute::MemoryUsed, None),
                                 || {
-                                    usage_masscount(
-                                        trace,
-                                        UsageAttribute::MemoryUsed,
-                                        Some(PriorityClass::Middle),
-                                    )
+                                    spanned(stages::A_MASSCOUNT, || {
+                                        usage_masscount(trace, UsageAttribute::MemoryUsed, None)
+                                    })
+                                },
+                                || {
+                                    spanned(stages::A_MASSCOUNT, || {
+                                        usage_masscount(
+                                            trace,
+                                            UsageAttribute::MemoryUsed,
+                                            Some(PriorityClass::Middle),
+                                        )
+                                    })
                                 },
                             )
                         },
@@ -208,7 +249,7 @@ fn hostload_section(trace: &Trace) -> Option<HostloadSection> {
         cpu_masscount_high,
         memory_masscount,
         memory_masscount_high,
-        comparison: host_comparison(trace, 0),
+        comparison: spanned(stages::A_COMPARISON, || host_comparison(trace, 0)),
     })
 }
 

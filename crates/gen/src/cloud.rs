@@ -301,6 +301,7 @@ impl GoogleWorkload {
 
     /// Generates the workload deterministically from a seed.
     pub fn generate(&self, seed: u64) -> Workload {
+        let _span = cgc_obs::span(cgc_obs::stages::GENERATE);
         let mut rng = StdRng::seed_from_u64(seed);
         let arrivals = generate_arrivals(&self.rate_profile(), self.horizon, &mut rng);
 
@@ -405,6 +406,10 @@ impl GoogleWorkload {
         }
         all_jobs.extend(jobs);
 
+        if cgc_obs::enabled() {
+            let tasks: usize = all_jobs.iter().map(|j| j.tasks.len()).sum();
+            cgc_obs::metrics().record_generated(all_jobs.len() as u64, tasks as u64);
+        }
         Workload {
             system: "google".into(),
             horizon: self.horizon,

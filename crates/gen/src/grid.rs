@@ -377,6 +377,7 @@ impl GridWorkload {
 
     /// Generates the workload deterministically from a seed.
     pub fn generate(&self, seed: u64) -> Workload {
+        let _span = cgc_obs::span(cgc_obs::stages::GENERATE);
         let mut rng = StdRng::seed_from_u64(seed ^ (self.system as u64) << 32);
         let mut profile = self.system.rate_profile();
         profile.mean_per_hour *= self.rate_scale;
@@ -405,7 +406,7 @@ impl GridWorkload {
         let max_runtime = self.system.max_runtime() as f64;
         let users = UserSampler::zipf(self.num_users, 1.0);
 
-        let jobs = arrivals
+        let jobs: Vec<JobSpec> = arrivals
             .into_iter()
             .map(|submit| {
                 let runtime = lengths.sample(&mut rng).clamp(30.0, max_runtime);
@@ -433,6 +434,10 @@ impl GridWorkload {
             })
             .collect();
 
+        if cgc_obs::enabled() {
+            let tasks: usize = jobs.iter().map(|j| j.tasks.len()).sum();
+            cgc_obs::metrics().record_generated(jobs.len() as u64, tasks as u64);
+        }
         Workload {
             system: self.system.label().into(),
             horizon: self.horizon,

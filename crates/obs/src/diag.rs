@@ -1,0 +1,199 @@
+//! Structured ingest diagnostics.
+//!
+//! Lenient trace parsing produces one warning per skipped line. Instead
+//! of every caller dropping that list on the floor, [`Diagnostics`]
+//! collects the warnings with their source label and renders them two
+//! ways: a one-line `skipped N lines (first: …)` summary for normal
+//! output, and a per-category table for `--metrics`-style deep dives.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One skipped input line.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IngestWarning {
+    /// 1-based line number in the source.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl fmt::Display for IngestWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+/// A sink of ingest warnings for one source (a file path, `<stdin>`, a
+/// synthetic label).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostics {
+    /// Label of the input these warnings came from.
+    pub source: String,
+    /// Skipped lines, in input order.
+    pub warnings: Vec<IngestWarning>,
+}
+
+impl Diagnostics {
+    /// An empty sink for the named source.
+    pub fn new(source: impl Into<String>) -> Self {
+        Diagnostics {
+            source: source.into(),
+            warnings: Vec::new(),
+        }
+    }
+
+    /// Records one skipped line.
+    pub fn record(&mut self, line: usize, message: impl Into<String>) {
+        self.warnings.push(IngestWarning {
+            line,
+            message: message.into(),
+        });
+    }
+
+    /// Number of warnings recorded.
+    pub fn len(&self) -> usize {
+        self.warnings.len()
+    }
+
+    /// Whether no warnings were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.warnings.is_empty()
+    }
+
+    /// The `skipped N lines (first: …)` one-liner, or `None` when clean.
+    pub fn summary(&self) -> Option<String> {
+        let first = self.warnings.first()?;
+        Some(format!(
+            "{}: skipped {} line{} (first: line {}: {})",
+            self.source,
+            self.warnings.len(),
+            if self.warnings.len() == 1 { "" } else { "s" },
+            first.line,
+            first.message
+        ))
+    }
+
+    /// A per-category table: warnings grouped by their message shape
+    /// (digits and quoted payloads normalized away), with a count and
+    /// an example line per category, most frequent first.
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if self.warnings.is_empty() {
+            let _ = writeln!(out, "{}: no ingest warnings", self.source);
+            return out;
+        }
+        // (category, count, first line) preserving first-seen order for
+        // equal counts so output is deterministic.
+        let mut categories: Vec<(String, usize, usize)> = Vec::new();
+        for w in &self.warnings {
+            let cat = categorize(&w.message);
+            match categories.iter_mut().find(|(c, _, _)| *c == cat) {
+                Some((_, n, _)) => *n += 1,
+                None => categories.push((cat, 1, w.line)),
+            }
+        }
+        categories.sort_by_key(|c| std::cmp::Reverse(c.1));
+        let _ = writeln!(
+            out,
+            "{}: {} skipped line{}",
+            self.source,
+            self.warnings.len(),
+            if self.warnings.len() == 1 { "" } else { "s" }
+        );
+        let _ = writeln!(out, "  {:>6}  {:>10}  category", "count", "first line");
+        for (cat, count, line) in &categories {
+            let _ = writeln!(out, "  {count:>6}  {line:>10}  {cat}");
+        }
+        out
+    }
+}
+
+/// Normalizes a warning message into its category: digit runs collapse
+/// to `N`, quoted payloads to `"…"`, so `task id 7 out of order` and
+/// `task id 9 out of order` land in one bucket.
+fn categorize(message: &str) -> String {
+    let mut out = String::with_capacity(message.len());
+    let mut chars = message.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c.is_ascii_digit() {
+            while chars
+                .peek()
+                .is_some_and(|c| c.is_ascii_digit() || *c == '.')
+            {
+                chars.next();
+            }
+            out.push('N');
+        } else if c == '"' {
+            for c in chars.by_ref() {
+                if c == '"' {
+                    break;
+                }
+            }
+            out.push_str("\"…\"");
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Diagnostics {
+        let mut d = Diagnostics::new("trace.cgct");
+        d.record(3, "machine id 7 out of order (expected 2)");
+        d.record(9, "machine id 12 out of order (expected 2)");
+        d.record(14, "unknown event kind \"explode\"");
+        d
+    }
+
+    #[test]
+    fn summary_names_first_warning() {
+        let d = sample();
+        let s = d.summary().unwrap();
+        assert!(s.contains("skipped 3 lines"), "{s}");
+        assert!(s.contains("first: line 3"), "{s}");
+        assert!(Diagnostics::new("x").summary().is_none());
+    }
+
+    #[test]
+    fn table_groups_by_category() {
+        let table = sample().render_table();
+        // The two out-of-order warnings collapse into one category.
+        let row = table
+            .lines()
+            .find(|l| l.contains("machine id N out of order (expected N)"))
+            .expect("category row present");
+        assert!(row.split_whitespace().next() == Some("2"), "{row}");
+        assert!(table.contains("unknown event kind \"…\""), "{table}");
+    }
+
+    #[test]
+    fn empty_sink_renders_cleanly() {
+        let d = Diagnostics::new("clean.cgct");
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+        assert!(d.render_table().contains("no ingest warnings"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = sample();
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Diagnostics = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn display_matches_parse_error_format() {
+        let w = IngestWarning {
+            line: 4,
+            message: "bad".into(),
+        };
+        assert_eq!(w.to_string(), "line 4: bad");
+    }
+}

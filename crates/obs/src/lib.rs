@@ -1,0 +1,105 @@
+//! Observability for the generate → simulate → write → read →
+//! characterize pipeline.
+//!
+//! Three tools, deliberately std-only so every crate in the workspace can
+//! afford the dependency:
+//!
+//! * [`span`] / [`span_indexed`] — lightweight tracing spans around each
+//!   pipeline stage. A span measures its own wall-clock on drop and
+//!   reports it to the global [`metrics`] registry and to an optional
+//!   [`SpanObserver`] (the binaries install [`CompactStderr`] when the
+//!   `CGC_TRACE` environment variable is set; see [`init_from_env`]).
+//! * [`metrics`] — a process-global, lock-free [`PipelineMetrics`]
+//!   registry of counters and per-stage duration histograms, snapshotted
+//!   into a serializable [`MetricsSnapshot`].
+//! * [`Diagnostics`] — a structured sink for ingest warnings (lenient
+//!   trace parsing), rendered as a `skipped N lines (first: …)` summary
+//!   or a per-category table instead of being silently dropped.
+//!
+//! # Zero-cost when disabled
+//!
+//! Instrumentation is off by default. Counters check one relaxed
+//! [`AtomicBool`](std::sync::atomic::AtomicBool) load and skip the write;
+//! spans never read the clock unless metrics are enabled or an observer
+//! is installed. Nothing here touches any RNG or changes control flow, so
+//! enabling instrumentation can never alter simulator output — the
+//! workspace's `tests/determinism.rs` suite pins that contract by running
+//! the bit-identity checks with instrumentation on.
+
+mod diag;
+mod metrics;
+mod span;
+
+pub use diag::{Diagnostics, IngestWarning};
+pub use metrics::{
+    enabled, metrics, set_enabled, Counter, MetricsSnapshot, PipelineCounters, PipelineMetrics,
+    StageTiming, MAX_SHARD_SLOTS,
+};
+pub use span::{
+    init_from_env, set_observer, span, span_indexed, CompactStderr, Span, SpanObserver,
+};
+
+/// Canonical stage names, shared by spans and the per-stage duration
+/// histograms. Using these constants (rather than ad-hoc strings) keeps
+/// every producer and consumer of a stage's timing on the same slot.
+pub mod stages {
+    /// Workload generation (`cgc_gen`).
+    pub const GENERATE: &str = "generate";
+    /// Whole simulation run, all shards plus merge (`cgc_sim`).
+    pub const SIMULATE: &str = "simulate";
+    /// One engine over one shard's machine/job slice.
+    pub const SHARD: &str = "simulate/shard";
+    /// Assembling shard outputs into the canonical trace.
+    pub const MERGE: &str = "simulate/merge";
+    /// Trace serialization (`write_trace`).
+    pub const WRITE: &str = "write";
+    /// Trace parsing, strict or lenient, sequential or parallel.
+    pub const READ: &str = "read";
+    /// The full characterization report (`cgc_core`).
+    pub const CHARACTERIZE: &str = "characterize";
+    /// Individual analyses inside `characterize`.
+    pub const A_PRIORITIES: &str = "analysis/priorities";
+    pub const A_JOB_LENGTH: &str = "analysis/job_length";
+    pub const A_TASK_LENGTH: &str = "analysis/task_length";
+    pub const A_SUBMISSION: &str = "analysis/submission";
+    pub const A_RESUBMISSION: &str = "analysis/resubmission";
+    pub const A_CPU_USAGE: &str = "analysis/cpu_usage";
+    pub const A_MEMORY: &str = "analysis/memory";
+    pub const A_MAX_LOADS: &str = "analysis/max_loads";
+    pub const A_QUEUE_RUNS: &str = "analysis/queue_runs";
+    pub const A_LEVEL_RUNS: &str = "analysis/level_runs";
+    pub const A_MASSCOUNT: &str = "analysis/masscount";
+    pub const A_COMPARISON: &str = "analysis/comparison";
+    /// Fallback slot for stage names not in the canonical list.
+    pub const OTHER: &str = "other";
+
+    /// Every stage, in display order; `OTHER` is last and doubles as the
+    /// fallback histogram slot.
+    pub const ALL: [&str; 20] = [
+        GENERATE,
+        SIMULATE,
+        SHARD,
+        MERGE,
+        WRITE,
+        READ,
+        CHARACTERIZE,
+        A_PRIORITIES,
+        A_JOB_LENGTH,
+        A_TASK_LENGTH,
+        A_SUBMISSION,
+        A_RESUBMISSION,
+        A_CPU_USAGE,
+        A_MEMORY,
+        A_MAX_LOADS,
+        A_QUEUE_RUNS,
+        A_LEVEL_RUNS,
+        A_MASSCOUNT,
+        A_COMPARISON,
+        OTHER,
+    ];
+
+    /// Histogram slot of a stage name (`OTHER` for unknown names).
+    pub(crate) fn slot(name: &str) -> usize {
+        ALL.iter().position(|&s| s == name).unwrap_or(ALL.len() - 1)
+    }
+}

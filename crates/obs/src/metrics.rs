@@ -1,0 +1,433 @@
+//! The lock-free pipeline metrics registry.
+//!
+//! One process-global [`PipelineMetrics`] holds every counter and
+//! per-stage duration histogram. All state is plain atomics updated with
+//! `Relaxed` ordering: producers on different threads never synchronize
+//! through the registry, they only contribute monotone sums, so a
+//! [`snapshot`](PipelineMetrics::snapshot) taken after the instrumented
+//! work joined (the normal case: snapshot from the thread that ran the
+//! pipeline) sees exact totals.
+
+use crate::stages;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns metrics collection on or off (off by default).
+///
+/// Disabled counters skip their atomic writes, so instrumented hot loops
+/// cost one relaxed load. Toggling never affects simulator output.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether metrics collection is currently enabled.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// A monotone counter, gated on the global enable flag.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds `n` if metrics are enabled; a no-op otherwise.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of per-shard event slots. Shards beyond this fold into the
+/// last slot (the fleet presets top out far below it).
+pub const MAX_SHARD_SLOTS: usize = 64;
+
+const N_BUCKETS: usize = 16;
+
+/// Per-stage duration histogram: count, total, max, and power-of-two
+/// millisecond buckets (`buckets[i]` counts durations in
+/// `[2^(i-1), 2^i) ms`, with the last bucket open-ended).
+struct TimingSlot {
+    count: AtomicU64,
+    total_nanos: AtomicU64,
+    max_nanos: AtomicU64,
+    buckets: [AtomicU64; N_BUCKETS],
+}
+
+impl TimingSlot {
+    const fn new() -> Self {
+        TimingSlot {
+            count: AtomicU64::new(0),
+            total_nanos: AtomicU64::new(0),
+            max_nanos: AtomicU64::new(0),
+            buckets: [const { AtomicU64::new(0) }; N_BUCKETS],
+        }
+    }
+
+    fn record(&self, nanos: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+        let ms = nanos / 1_000_000;
+        let idx = (u64::BITS - ms.leading_zeros()) as usize;
+        self.buckets[idx.min(N_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.total_nanos.store(0, Ordering::Relaxed);
+        self.max_nanos.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The global registry: one counter per pipeline quantity, one duration
+/// histogram per stage. Obtain it with [`metrics`].
+pub struct PipelineMetrics {
+    /// Jobs produced by the workload generators.
+    pub jobs_generated: Counter,
+    /// Tasks produced by the workload generators.
+    pub tasks_generated: Counter,
+    /// Trace events emitted by the simulator, summed over shards.
+    pub events_simulated: Counter,
+    /// Usage samples recorded by the simulator.
+    pub samples_recorded: Counter,
+    /// Task attempts placed onto a machine (Schedule events).
+    pub placements: Counter,
+    /// Preemption evictions (Evict events).
+    pub evictions: Counter,
+    /// Machine-down events applied by the fault injector.
+    pub fault_injections: Counter,
+    /// Resubmissions handled after a failure or eviction (each one went
+    /// through the retry/backoff path).
+    pub retries: Counter,
+    /// Placement passes that saw a fitting-but-blacklisted machine.
+    pub blacklist_hits: Counter,
+    /// Non-blank lines fed to the trace parsers.
+    pub lines_parsed: Counter,
+    /// Lines skipped (and reported as warnings) by the lenient parsers.
+    pub lines_salvaged: Counter,
+    /// Bytes handed to the trace parsers.
+    pub bytes_read: Counter,
+    events_per_shard: [AtomicU64; MAX_SHARD_SLOTS],
+    timings: [TimingSlot; stages::ALL.len()],
+}
+
+static METRICS: PipelineMetrics = PipelineMetrics::new();
+
+/// The process-global metrics registry.
+pub fn metrics() -> &'static PipelineMetrics {
+    &METRICS
+}
+
+impl PipelineMetrics {
+    const fn new() -> Self {
+        PipelineMetrics {
+            jobs_generated: Counter::new(),
+            tasks_generated: Counter::new(),
+            events_simulated: Counter::new(),
+            samples_recorded: Counter::new(),
+            placements: Counter::new(),
+            evictions: Counter::new(),
+            fault_injections: Counter::new(),
+            retries: Counter::new(),
+            blacklist_hits: Counter::new(),
+            lines_parsed: Counter::new(),
+            lines_salvaged: Counter::new(),
+            bytes_read: Counter::new(),
+            events_per_shard: [const { AtomicU64::new(0) }; MAX_SHARD_SLOTS],
+            timings: [const { TimingSlot::new() }; stages::ALL.len()],
+        }
+    }
+
+    /// Convenience for the generators: one call per generated workload.
+    pub fn record_generated(&self, jobs: u64, tasks: u64) {
+        self.jobs_generated.add(jobs);
+        self.tasks_generated.add(tasks);
+    }
+
+    /// Credits `events` to `shard` (and to the global event total).
+    /// Shards at or beyond [`MAX_SHARD_SLOTS`] share the last slot.
+    pub fn record_shard_events(&self, shard: usize, events: u64) {
+        if !enabled() {
+            return;
+        }
+        self.events_simulated.add(events);
+        self.events_per_shard[shard.min(MAX_SHARD_SLOTS - 1)].fetch_add(events, Ordering::Relaxed);
+    }
+
+    /// Records one duration into the stage's histogram. Spans call this
+    /// on drop; it is public so callers timing a stage by other means can
+    /// contribute to the same slot.
+    pub fn record_duration(&self, stage: &str, nanos: u64) {
+        if enabled() {
+            self.timings[stages::slot(stage)].record(nanos);
+        }
+    }
+
+    /// Zeroes every counter and histogram. Tests use this to measure one
+    /// pipeline run in isolation; the binaries call it before the run
+    /// whose snapshot they will report.
+    pub fn reset(&self) {
+        for c in [
+            &self.jobs_generated,
+            &self.tasks_generated,
+            &self.events_simulated,
+            &self.samples_recorded,
+            &self.placements,
+            &self.evictions,
+            &self.fault_injections,
+            &self.retries,
+            &self.blacklist_hits,
+            &self.lines_parsed,
+            &self.lines_salvaged,
+            &self.bytes_read,
+        ] {
+            c.reset();
+        }
+        for s in &self.events_per_shard {
+            s.store(0, Ordering::Relaxed);
+        }
+        for t in &self.timings {
+            t.reset();
+        }
+    }
+
+    /// Copies the current totals into a serializable snapshot.
+    ///
+    /// `counters` is fully deterministic for a fixed seed and config;
+    /// `timings` is wall-clock and varies run to run. Consumers that diff
+    /// snapshots (CI does, for `BENCH_pipeline.json`) compare `counters`
+    /// only.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let shards_used = self
+            .events_per_shard
+            .iter()
+            .rposition(|s| s.load(Ordering::Relaxed) > 0)
+            .map_or(0, |i| i + 1);
+        let counters = PipelineCounters {
+            jobs_generated: self.jobs_generated.get(),
+            tasks_generated: self.tasks_generated.get(),
+            events_simulated: self.events_simulated.get(),
+            samples_recorded: self.samples_recorded.get(),
+            events_per_shard: self.events_per_shard[..shards_used]
+                .iter()
+                .map(|s| s.load(Ordering::Relaxed))
+                .collect(),
+            placements: self.placements.get(),
+            evictions: self.evictions.get(),
+            fault_injections: self.fault_injections.get(),
+            retries: self.retries.get(),
+            blacklist_hits: self.blacklist_hits.get(),
+            lines_parsed: self.lines_parsed.get(),
+            lines_salvaged: self.lines_salvaged.get(),
+            bytes_read: self.bytes_read.get(),
+        };
+        let timings = stages::ALL
+            .iter()
+            .zip(&self.timings)
+            .filter(|(_, slot)| slot.count.load(Ordering::Relaxed) > 0)
+            .map(|(&name, slot)| StageTiming {
+                stage: name.to_string(),
+                count: slot.count.load(Ordering::Relaxed),
+                total_nanos: slot.total_nanos.load(Ordering::Relaxed),
+                max_nanos: slot.max_nanos.load(Ordering::Relaxed),
+                buckets_ms_pow2: slot
+                    .buckets
+                    .iter()
+                    .map(|b| b.load(Ordering::Relaxed))
+                    .collect(),
+            })
+            .collect();
+        MetricsSnapshot { counters, timings }
+    }
+}
+
+/// The deterministic half of a snapshot: pure event/record counts that
+/// depend only on seed and configuration, never on wall-clock or thread
+/// scheduling.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PipelineCounters {
+    pub jobs_generated: u64,
+    pub tasks_generated: u64,
+    pub events_simulated: u64,
+    pub samples_recorded: u64,
+    /// Events per shard, trimmed to the highest shard that reported any.
+    pub events_per_shard: Vec<u64>,
+    pub placements: u64,
+    pub evictions: u64,
+    pub fault_injections: u64,
+    pub retries: u64,
+    pub blacklist_hits: u64,
+    pub lines_parsed: u64,
+    pub lines_salvaged: u64,
+    pub bytes_read: u64,
+}
+
+/// One stage's duration histogram, as captured in a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// Stage name (one of [`crate::stages::ALL`]).
+    pub stage: String,
+    /// Number of recorded durations.
+    pub count: u64,
+    /// Sum of recorded durations.
+    pub total_nanos: u64,
+    /// Largest recorded duration.
+    pub max_nanos: u64,
+    /// Power-of-two millisecond buckets; `buckets_ms_pow2[i]` counts
+    /// durations in `[2^(i-1), 2^i)` ms, last bucket open-ended.
+    pub buckets_ms_pow2: Vec<u64>,
+}
+
+/// A point-in-time copy of the registry, serializable for reports.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Deterministic counts (safe to diff across runs of the same seed).
+    pub counters: PipelineCounters,
+    /// Wall-clock histograms, only for stages that recorded anything.
+    pub timings: Vec<StageTiming>,
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as an aligned two-section table, the form
+    /// the binaries print to stderr.
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write as _;
+        let c = &self.counters;
+        let mut out = String::new();
+        let _ = writeln!(out, "pipeline counters:");
+        let rows: &[(&str, u64)] = &[
+            ("jobs generated", c.jobs_generated),
+            ("tasks generated", c.tasks_generated),
+            ("events simulated", c.events_simulated),
+            ("samples recorded", c.samples_recorded),
+            ("placements", c.placements),
+            ("evictions", c.evictions),
+            ("fault injections", c.fault_injections),
+            ("retries", c.retries),
+            ("blacklist hits", c.blacklist_hits),
+            ("lines parsed", c.lines_parsed),
+            ("lines salvaged", c.lines_salvaged),
+            ("bytes read", c.bytes_read),
+        ];
+        for (label, value) in rows {
+            let _ = writeln!(out, "  {label:<18} {value}");
+        }
+        if !c.events_per_shard.is_empty() {
+            let shards: Vec<String> = c.events_per_shard.iter().map(u64::to_string).collect();
+            let _ = writeln!(out, "  {:<18} [{}]", "events per shard", shards.join(", "));
+        }
+        if !self.timings.is_empty() {
+            let _ = writeln!(out, "stage timings:");
+            for t in &self.timings {
+                let total_ms = t.total_nanos as f64 / 1e6;
+                let max_ms = t.max_nanos as f64 / 1e6;
+                let _ = writeln!(
+                    out,
+                    "  {:<22} n={:<5} total {:>10.3} ms  max {:>10.3} ms",
+                    t.stage, t.count, total_ms, max_ms
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Global enable flag + global registry: the stateful assertions run
+    /// in one test so parallel test threads cannot interleave.
+    #[test]
+    fn gating_reset_and_snapshot() {
+        let m = metrics();
+        set_enabled(false);
+        m.reset();
+        m.jobs_generated.add(5);
+        m.record_shard_events(0, 10);
+        m.record_duration(stages::READ, 1_000_000);
+        assert_eq!(m.jobs_generated.get(), 0, "disabled counters must not move");
+        let snap = m.snapshot();
+        assert_eq!(snap.counters, PipelineCounters::default());
+        assert!(snap.timings.is_empty());
+
+        set_enabled(true);
+        m.jobs_generated.add(5);
+        m.record_generated(2, 40);
+        m.record_shard_events(1, 10);
+        m.record_shard_events(3, 7);
+        m.record_duration(stages::READ, 2_000_000);
+        m.record_duration("no-such-stage", 1);
+        let snap = m.snapshot();
+        set_enabled(false);
+        assert_eq!(snap.counters.jobs_generated, 7);
+        assert_eq!(snap.counters.tasks_generated, 40);
+        assert_eq!(snap.counters.events_simulated, 17);
+        // Trimmed to the highest shard that reported: slots 0..=3.
+        assert_eq!(snap.counters.events_per_shard, vec![0, 10, 0, 7]);
+        let read = snap.timings.iter().find(|t| t.stage == stages::READ);
+        assert_eq!(read.expect("read slot populated").count, 1);
+        assert!(snap.timings.iter().any(|t| t.stage == stages::OTHER));
+
+        m.reset();
+        assert_eq!(m.snapshot().counters, PipelineCounters::default());
+    }
+
+    #[test]
+    fn snapshot_serializes_and_round_trips() {
+        let snap = MetricsSnapshot {
+            counters: PipelineCounters {
+                jobs_generated: 3,
+                events_per_shard: vec![1, 2],
+                ..PipelineCounters::default()
+            },
+            timings: vec![StageTiming {
+                stage: stages::SHARD.to_string(),
+                count: 2,
+                total_nanos: 5_000,
+                max_nanos: 4_000,
+                buckets_ms_pow2: vec![2],
+            }],
+        };
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn render_table_lists_every_counter() {
+        let snap = MetricsSnapshot {
+            counters: PipelineCounters {
+                events_per_shard: vec![4, 5],
+                ..PipelineCounters::default()
+            },
+            timings: Vec::new(),
+        };
+        let table = snap.render_table();
+        for label in ["jobs generated", "blacklist hits", "events per shard"] {
+            assert!(table.contains(label), "missing {label:?} in:\n{table}");
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Pipeline-stage spans and the span observer hook.
+//!
+//! A [`Span`] is an RAII guard: created when a stage begins, it measures
+//! wall-clock until drop and reports the duration to the global metrics
+//! registry (if enabled) and to the installed [`SpanObserver`] (if any).
+//! When neither consumer exists, [`span`] never reads the clock — the
+//! guard is a no-op struct, so leaving instrumentation in library code
+//! costs nothing in the common (disabled) case.
+
+use crate::metrics::{enabled, metrics};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Receives span open/close notifications. Implementations must be
+/// cheap and thread-safe: spans fire from rayon worker threads.
+pub trait SpanObserver: Send + Sync {
+    /// A span was created. Default: ignore.
+    fn enter(&self, _name: &'static str, _index: Option<usize>) {}
+    /// A span ended after `nanos` of wall-clock.
+    fn exit(&self, name: &'static str, index: Option<usize>, nanos: u64);
+}
+
+static OBSERVER: OnceLock<Box<dyn SpanObserver>> = OnceLock::new();
+
+/// Installs the process-wide span observer. At most one observer can
+/// ever be installed; a second call returns `false` and drops `obs`.
+pub fn set_observer(obs: Box<dyn SpanObserver>) -> bool {
+    OBSERVER.set(obs).is_ok()
+}
+
+fn observer() -> Option<&'static dyn SpanObserver> {
+    OBSERVER.get().map(|b| b.as_ref())
+}
+
+/// Installs [`CompactStderr`] when the `CGC_TRACE` environment variable
+/// is set to anything but `0` or the empty string. The binaries call
+/// this once at startup so `CGC_TRACE=1 cargo run …` traces any of them.
+pub fn init_from_env() {
+    match std::env::var("CGC_TRACE") {
+        Ok(v) if !v.is_empty() && v != "0" => {
+            set_observer(Box::new(CompactStderr));
+        }
+        _ => {}
+    }
+}
+
+/// The default subscriber: one compact stderr line per closed span.
+///
+/// ```text
+/// [cgc] simulate/shard#2 184.31 ms
+/// ```
+pub struct CompactStderr;
+
+impl SpanObserver for CompactStderr {
+    fn exit(&self, name: &'static str, index: Option<usize>, nanos: u64) {
+        let ms = nanos as f64 / 1e6;
+        match index {
+            Some(i) => eprintln!("[cgc] {name}#{i} {ms:.2} ms"),
+            None => eprintln!("[cgc] {name} {ms:.2} ms"),
+        }
+    }
+}
+
+/// RAII guard for one stage execution; see [`span`].
+pub struct Span {
+    name: &'static str,
+    index: Option<usize>,
+    /// `None` when instrumentation was off at creation: the drop is then
+    /// a no-op and the clock is never read.
+    start: Option<Instant>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else {
+            return;
+        };
+        let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        metrics().record_duration(self.name, nanos);
+        if let Some(obs) = observer() {
+            obs.exit(self.name, self.index, nanos);
+        }
+    }
+}
+
+/// Opens a span for `name` (use the constants in [`crate::stages`]).
+/// Hold the returned guard for the duration of the stage.
+pub fn span(name: &'static str) -> Span {
+    span_inner(name, None)
+}
+
+/// Like [`span`] but tagged with an index (shard number, experiment
+/// number) that the observer shows as `name#index`.
+pub fn span_indexed(name: &'static str, index: usize) -> Span {
+    span_inner(name, Some(index))
+}
+
+fn span_inner(name: &'static str, index: Option<usize>) -> Span {
+    let live = enabled() || OBSERVER.get().is_some();
+    let start = live.then(Instant::now);
+    if start.is_some() {
+        if let Some(obs) = observer() {
+            obs.enter(name, index);
+        }
+    }
+    Span { name, index, start }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stages;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static CLOSED: AtomicU64 = AtomicU64::new(0);
+
+    struct CountingObserver;
+    impl SpanObserver for CountingObserver {
+        fn exit(&self, _name: &'static str, _index: Option<usize>, _nanos: u64) {
+            CLOSED.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn spans_reach_the_observer_and_only_one_installs() {
+        assert!(set_observer(Box::new(CountingObserver)));
+        assert!(!set_observer(Box::new(CountingObserver)), "second install");
+        let before = CLOSED.load(Ordering::Relaxed);
+        drop(span(stages::WRITE));
+        drop(span_indexed(stages::SHARD, 3));
+        assert_eq!(CLOSED.load(Ordering::Relaxed), before + 2);
+    }
+}

@@ -181,6 +181,19 @@ struct EngineInput<'w> {
     /// job `j`'s `k`-th task has the global task id `task_base[j] + k`.
     task_base: &'w [usize],
     rng: StdRng,
+    /// Shard index for metrics attribution (0 for the unsharded run).
+    shard: usize,
+}
+
+/// Per-engine event tallies, batched in plain integers on the hot paths
+/// and flushed to the global metrics registry once per engine run.
+#[derive(Default)]
+struct EngineCounters {
+    placements: u64,
+    evictions: u64,
+    retries: u64,
+    fault_injections: u64,
+    blacklist_hits: u64,
 }
 
 /// What one engine run produces, already in global-id space.
@@ -234,6 +247,7 @@ struct Engine<'a> {
     pass_buf: Vec<((Reverse<u8>, u64), usize)>,
     victims: Vec<(u8, Reverse<Timestamp>, usize)>,
     down_victims: Vec<usize>,
+    counters: EngineCounters,
 }
 
 impl Simulator {
@@ -258,6 +272,7 @@ impl Simulator {
     /// scratch never influences the output — only how much the run
     /// allocates.
     pub fn run_with_scratch(&self, workload: &Workload, scratch: &mut SimScratch) -> Trace {
+        let _span = cgc_obs::span(cgc_obs::stages::SIMULATE);
         let config = &self.config;
         // The fleet is drawn once from the master seed, before any
         // sharding decision, so the machine population is identical for
@@ -285,12 +300,13 @@ impl Simulator {
                     jobs: &jobs,
                     task_base: &task_base,
                     rng: master,
+                    shard: 0,
                 },
                 scratch,
             )]
         } else {
             let plan = ShardPlan::new(&config.fleet, workload, config.shards, config.seed);
-            let run_one = |spec: &ShardSpec| {
+            let run_one = |(shard, spec): (usize, &ShardSpec)| {
                 run_engine(
                     config,
                     workload,
@@ -301,6 +317,7 @@ impl Simulator {
                         jobs: &spec.jobs,
                         task_base: &plan.task_base,
                         rng: StdRng::seed_from_u64(spec.seed),
+                        shard,
                     },
                     &mut SimScratch::new(),
                 )
@@ -309,9 +326,9 @@ impl Simulator {
             // shard outputs in shard-index order (rayon's indexed collect
             // preserves order), so the merge below is identical.
             if config.threads > 1 {
-                plan.shards.par_iter().map(run_one).collect()
+                plan.shards.par_iter().enumerate().map(run_one).collect()
             } else {
-                plan.shards.iter().map(run_one).collect()
+                plan.shards.iter().enumerate().map(run_one).collect()
             }
         };
 
@@ -333,7 +350,9 @@ fn run_engine(
         jobs,
         task_base,
         rng,
+        shard,
     } = input;
+    let _span = cgc_obs::span_indexed(cgc_obs::stages::SHARD, shard);
 
     // Flatten this engine's jobs into dense local task tables.
     let n_tasks: usize = jobs.iter().map(|&j| workload.jobs[j].tasks.len()).sum();
@@ -423,6 +442,7 @@ fn run_engine(
         pass_buf,
         victims,
         down_victims,
+        counters: EngineCounters::default(),
     };
 
     // Seed the heap with every task submission.
@@ -443,6 +463,21 @@ fn run_engine(
     engine.seed_domain_outages(workload.horizon);
 
     engine.run();
+
+    // Flush the batched tallies to the global registry in one shot per
+    // engine run (each `add` is gated on the instrumentation switch).
+    {
+        let m = cgc_obs::metrics();
+        let c = &engine.counters;
+        m.placements.add(c.placements);
+        m.evictions.add(c.evictions);
+        m.retries.add(c.retries);
+        m.fault_injections.add(c.fault_injections);
+        m.blacklist_hits.add(c.blacklist_hits);
+        let samples: u64 = engine.series.iter().map(|s| s.samples.len() as u64).sum();
+        m.samples_recorded.add(samples);
+        m.record_shard_events(shard, engine.events.len() as u64);
+    }
 
     // Hand the scratch allocations back for the next run, and map
     // per-job usage to global job ids for the merge.
@@ -498,6 +533,7 @@ fn merge_outputs(
     records: &[MachineRecord],
     outputs: Vec<EngineOutput>,
 ) -> Trace {
+    let _span = cgc_obs::span(cgc_obs::stages::MERGE);
     let mut builder = TraceBuilder::new(workload.system.clone(), workload.horizon);
     for m in records {
         builder.add_machine(m.cpu_capacity, m.memory_capacity, m.page_cache_capacity);
@@ -604,6 +640,11 @@ impl Engine<'_> {
     fn handle_submit(&mut self, time: Timestamp, task: usize) {
         if self.config.faults.crash_loop_fraction > 0.0 {
             self.is_crash_looper(task);
+        }
+        // A non-zero attempt number means a resubmission after a failure
+        // or eviction: exactly the retries that reach the trace.
+        if self.attempt[task] > 0 {
+            self.counters.retries += 1;
         }
         self.emit(time, task, None, TaskEventKind::Submit);
         self.phase[task] = TaskPhase::Pending;
@@ -806,6 +847,9 @@ impl Engine<'_> {
                 }
             }
         }
+        // Every fitting-but-blacklisted machine is one hit the blacklist
+        // scored, whether or not the fallback tier ends up being used.
+        self.counters.blacklist_hits += last_resort.len() as u64;
         let pick = self
             .select_by_policy(&preferred)
             .or_else(|| self.select_by_policy(&last_resort));
@@ -881,6 +925,7 @@ impl Engine<'_> {
         self.job_cpu_seconds[info.job] += info.cpu_processors * (time - r.start) as f64;
         self.attempt[task] += 1; // invalidate the queued completion
         self.phase[task] = TaskPhase::Dead;
+        self.counters.evictions += 1;
         self.emit(time, task, Some(mi), TaskEventKind::Evict);
 
         if self.resubmits_left[task] > 0 {
@@ -906,6 +951,7 @@ impl Engine<'_> {
         self.attempt[task] = self.attempt[task].wrapping_add(1);
         let attempt = self.attempt[task];
 
+        self.counters.placements += 1;
         self.emit(time, task, Some(mi), TaskEventKind::Schedule);
         self.phase[task] = TaskPhase::Running { machine: mi };
         self.completion_kind[task] = match plan {
@@ -1015,6 +1061,7 @@ impl Engine<'_> {
     }
 
     fn handle_machine_down(&mut self, time: Timestamp, mi: usize, until: Timestamp) {
+        self.counters.fault_injections += 1;
         // Extend, never shorten: overlapping outages keep the machine
         // down until the latest scheduled return.
         if until > self.machines[mi].down_until {

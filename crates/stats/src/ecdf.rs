@@ -39,10 +39,12 @@ impl Ecdf {
         self.sorted.len()
     }
 
-    /// Always false: construction rejects empty samples.
+    /// Whether the sample is empty. Construction rejects empty samples,
+    /// so this is false for every reachable value, but it delegates to
+    /// the data rather than asserting the invariant a second time.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        false
+        self.sorted.is_empty()
     }
 
     /// `F(x) = P(X <= x)`.
@@ -100,9 +102,16 @@ impl Ecdf {
 
     /// Evaluates the CDF at `n` evenly spaced points across `[lo, hi]`,
     /// producing a plottable curve like the paper's figures.
+    ///
+    /// A degenerate range (`hi == lo`, which a constant sample produces
+    /// via `curve(min(), max(), n)`) yields a flat staircase: `n` points
+    /// all at `x = lo` with `y = F(lo)`.
     pub fn curve(&self, lo: f64, hi: f64, n: usize) -> Vec<(f64, f64)> {
         assert!(n >= 2, "need at least two curve points");
-        assert!(hi > lo, "curve range must be non-empty");
+        assert!(hi >= lo, "curve range must not be inverted");
+        if hi == lo {
+            return vec![(lo, self.eval(lo)); n];
+        }
         (0..n)
             .map(|i| {
                 let x = lo + (hi - lo) * i as f64 / (n - 1) as f64;
@@ -175,6 +184,24 @@ mod tests {
         assert!(curve.windows(2).all(|w| w[0].1 <= w[1].1));
         assert_eq!(curve[0].1, 0.0);
         assert_eq!(curve.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn degenerate_curve_is_flat() {
+        // A constant sample makes min() == max(); curve over that range
+        // used to panic, now it returns a flat staircase at F(lo) = 1.
+        let e = Ecdf::new(vec![5.0, 5.0, 5.0]);
+        let curve = e.curve(e.min(), e.max(), 4);
+        assert_eq!(curve, vec![(5.0, 1.0); 4]);
+        // Degenerate range below the sample: F is 0 there.
+        assert_eq!(e.curve(1.0, 1.0, 2), vec![(1.0, 0.0); 2]);
+        assert!(!e.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_curve_range_rejected() {
+        let _ = Ecdf::new(vec![1.0]).curve(2.0, 1.0, 4);
     }
 
     #[test]

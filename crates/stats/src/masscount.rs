@@ -95,10 +95,12 @@ impl MassCount {
         self.sorted.len()
     }
 
-    /// Never true: empty samples are rejected at construction.
+    /// Whether the sample is empty. Construction rejects empty samples,
+    /// so this is false for every reachable value, but it delegates to
+    /// the data rather than asserting the invariant a second time.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        false
+        self.sorted.is_empty()
     }
 
     /// Total mass.
@@ -297,6 +299,13 @@ mod tests {
     fn empty_and_zero_mass_rejected() {
         assert!(MassCount::new(vec![]).is_none());
         assert!(MassCount::new(vec![0.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn is_empty_reflects_the_data() {
+        let mc = MassCount::new(vec![1.0, 2.0]).unwrap();
+        assert!(!mc.is_empty());
+        assert_eq!(mc.len(), 2);
     }
 
     #[test]

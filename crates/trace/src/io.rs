@@ -80,6 +80,41 @@ pub struct LenientParse {
     pub warnings: Vec<ParseError>,
 }
 
+impl LenientParse {
+    /// Packages the warnings as structured [`Diagnostics`] labelled with
+    /// the input's source (a path, `<stdin>`, a synthetic name), ready
+    /// for the one-line summary or per-category table renderings.
+    pub fn diagnostics(&self, source: impl Into<String>) -> cgc_obs::Diagnostics {
+        let mut d = cgc_obs::Diagnostics::new(source);
+        for w in &self.warnings {
+            d.record(w.line, w.message.clone());
+        }
+        d
+    }
+}
+
+/// Batches ingest counter updates and flushes them to the global metrics
+/// registry on drop, so strict-mode early aborts still account for the
+/// work done up to the offending line.
+struct IngestTally {
+    lines: u64,
+    bytes: u64,
+}
+
+impl IngestTally {
+    fn new() -> Self {
+        IngestTally { lines: 0, bytes: 0 }
+    }
+}
+
+impl Drop for IngestTally {
+    fn drop(&mut self) {
+        let m = cgc_obs::metrics();
+        m.lines_parsed.add(self.lines);
+        m.bytes_read.add(self.bytes);
+    }
+}
+
 fn outcome_tag(o: TaskOutcome) -> &'static str {
     match o {
         TaskOutcome::Finished => "finished",
@@ -134,6 +169,7 @@ fn parse_event_kind(s: &str) -> Option<TaskEventKind> {
 
 /// Serializes a trace to the sectioned-CSV text format.
 pub fn write_trace(trace: &Trace) -> String {
+    let _span = cgc_obs::span(cgc_obs::stages::WRITE);
     let mut out = String::new();
     let _ = writeln!(out, "#trace {} {}", trace.system, trace.horizon);
 
@@ -556,11 +592,14 @@ fn parse_lines(
     st: &mut ParserState,
     mut sink: impl FnMut(ParseError) -> Result<(), ParseError>,
 ) -> Result<(), ParseError> {
+    let mut tally = IngestTally::new();
+    tally.bytes = text.len() as u64;
     for (i, raw) in text.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() {
             continue;
         }
+        tally.lines += 1;
         let p = LineParser {
             line_no: i + 1,
             line,
@@ -579,6 +618,7 @@ fn parse_lines(
 /// on (dense ids, valid cross-references, a legal event log); see the
 /// module docs.
 pub fn read_trace(text: &str) -> Result<Trace, ParseError> {
+    let _span = cgc_obs::span(cgc_obs::stages::READ);
     let mut st = ParserState::new();
     parse_lines(text, &mut st, Err)?;
     Ok(st.finish())
@@ -594,12 +634,14 @@ pub fn read_trace(text: &str) -> Result<Trace, ParseError> {
 /// warning list may be longer than the number of originally corrupted
 /// lines.
 pub fn read_trace_lenient(text: &str) -> LenientParse {
+    let _span = cgc_obs::span(cgc_obs::stages::READ);
     let mut st = ParserState::new();
     let mut warnings = Vec::new();
     let _ = parse_lines(text, &mut st, |e| {
         warnings.push(e);
         Ok(())
     });
+    cgc_obs::metrics().lines_salvaged.add(warnings.len() as u64);
     LenientParse {
         trace: st.finish(),
         warnings,
@@ -615,6 +657,7 @@ fn parse_reader<R: std::io::BufRead>(
     st: &mut ParserState,
     mut sink: impl FnMut(ParseError) -> Result<(), ParseError>,
 ) -> Result<(), ParseError> {
+    let mut tally = IngestTally::new();
     let mut buf = String::new();
     let mut line_no = 0usize;
     loop {
@@ -622,7 +665,7 @@ fn parse_reader<R: std::io::BufRead>(
         line_no += 1;
         match reader.read_line(&mut buf) {
             Ok(0) => return Ok(()),
-            Ok(_) => {}
+            Ok(n) => tally.bytes += n as u64,
             Err(e) => {
                 // The stream position is unreliable after a read error;
                 // report and stop rather than risk spinning.
@@ -637,6 +680,7 @@ fn parse_reader<R: std::io::BufRead>(
         if line.is_empty() {
             continue;
         }
+        tally.lines += 1;
         let p = LineParser { line_no, line };
         if let Err(e) = st.line(&p, line) {
             sink(e)?;
@@ -648,6 +692,7 @@ fn parse_reader<R: std::io::BufRead>(
 /// [`BufRead`](std::io::BufRead) without materializing the file as one
 /// `String`. Identical acceptance, errors and output on the same bytes.
 pub fn read_trace_from<R: std::io::BufRead>(reader: R) -> Result<Trace, ParseError> {
+    let _span = cgc_obs::span(cgc_obs::stages::READ);
     let mut st = ParserState::new();
     parse_reader(reader, &mut st, Err)?;
     Ok(st.finish())
@@ -655,12 +700,14 @@ pub fn read_trace_from<R: std::io::BufRead>(reader: R) -> Result<Trace, ParseErr
 
 /// Streaming counterpart of [`read_trace_lenient`].
 pub fn read_trace_lenient_from<R: std::io::BufRead>(reader: R) -> LenientParse {
+    let _span = cgc_obs::span(cgc_obs::stages::READ);
     let mut st = ParserState::new();
     let mut warnings = Vec::new();
     let _ = parse_reader(reader, &mut st, |e| {
         warnings.push(e);
         Ok(())
     });
+    cgc_obs::metrics().lines_salvaged.add(warnings.len() as u64);
     LenientParse {
         trace: st.finish(),
         warnings,
@@ -760,12 +807,15 @@ fn route(text: &str) -> (String, u64, Vec<Routed<'_>>, Option<ParseError>) {
     // routed so far: an error on an *earlier* data line must win, and only
     // the merge pass can tell. `try { }` blocks would express this best;
     // a closure per header does the job.
+    let mut tally = IngestTally::new();
+    tally.bytes = text.len() as u64;
     let mut abort = None;
     for (i, raw) in text.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() {
             continue;
         }
+        tally.lines += 1;
         let line_no = i + 1;
         let p = LineParser { line_no, line };
         let Some(rest) = line.strip_prefix('#') else {
@@ -1025,6 +1075,7 @@ fn sample_row(p: &LineParser<'_>) -> Row {
 pub fn read_trace_parallel(text: &str) -> Result<Trace, ParseError> {
     use rayon::prelude::*;
 
+    let _span = cgc_obs::span(cgc_obs::stages::READ);
     let (system, horizon, items, abort) = route(text);
     let rows: Vec<Option<Row>> = items
         .par_iter()

@@ -5,11 +5,13 @@
 //! trace only records events, so [`QueueTimeline::for_machine`] rebuilds the
 //! step functions by replaying the log. Pending tasks are not bound to a
 //! machine until scheduled; following the paper's per-machine view, a
-//! pending task is attributed to the machine where that attempt eventually
-//! ran (attempts that die while pending count against no machine's
-//! pending queue but do appear in the abnormal tally of the machine of
-//! their previous attempt, if any — a machineless death with no prior
-//! attempt is dropped from per-machine views).
+//! pending task's *pending spell* is attributed to the machine where that
+//! attempt eventually ran. An attempt that dies while still pending
+//! (kill/lost with no machine on the event) counts against no machine's
+//! pending queue, but its death is charged to the `abnormal` tally of the
+//! machine of the task's previous attempt; a machineless death with no
+//! prior attempt belongs to no machine and is dropped from per-machine
+//! views entirely.
 
 use crate::ids::MachineId;
 use crate::task::{TaskEventKind, TaskState};
@@ -46,7 +48,6 @@ impl QueueTimeline {
         // following Schedule (if any), walking its events in time order.
         // Events are already time-sorted in a built trace.
         let n_tasks = trace.tasks.len();
-        let mut pending_target: Vec<Option<MachineId>> = vec![None; n_tasks];
         // For each event index, whether the Submit it represents targets
         // this machine.
         let mut submit_targets = Vec::new();
@@ -68,7 +69,6 @@ impl QueueTimeline {
                                 submit_targets[si] = true;
                             }
                         }
-                        pending_target[ti] = e.machine;
                     }
                     _ => {}
                 }
@@ -81,6 +81,9 @@ impl QueueTimeline {
         let mut state: Vec<TaskState> = vec![TaskState::Unsubmitted; n_tasks];
         // Whether this task's *current pending attempt* targets the machine.
         let mut pending_here: Vec<bool> = vec![false; n_tasks];
+        // Machine of each task's most recent scheduled attempt, so deaths
+        // while pending (which carry no machine) can be charged to it.
+        let mut prev_machine: Vec<Option<MachineId>> = vec![None; n_tasks];
 
         for (i, e) in trace.events.iter().enumerate() {
             let ti = e.task.index();
@@ -106,6 +109,7 @@ impl QueueTimeline {
                         counts.pending -= 1;
                         changed = true;
                     }
+                    prev_machine[ti] = e.machine;
                     if e.machine == Some(machine) {
                         counts.running += 1;
                         changed = true;
@@ -122,17 +126,20 @@ impl QueueTimeline {
                         counts.pending -= 1;
                         changed = true;
                     }
-                    if here || (prev == TaskState::Pending && e.machine.is_none()) {
-                        // Deaths while pending have no machine; skip them in
-                        // per-machine tallies unless explicitly tagged.
-                        if here {
-                            if kind == TaskEventKind::Finish {
-                                counts.finished += 1;
-                            } else {
-                                counts.abnormal += 1;
-                            }
-                            changed = true;
+                    // A death while pending carries no machine on the
+                    // event; charge it to the machine of the previous
+                    // attempt (module docs). With no prior attempt it
+                    // belongs to no machine and stays untallied.
+                    let pending_death_here = prev == TaskState::Pending
+                        && e.machine.is_none()
+                        && prev_machine[ti] == Some(machine);
+                    if here || pending_death_here {
+                        if kind == TaskEventKind::Finish {
+                            counts.finished += 1;
+                        } else {
+                            counts.abnormal += 1;
                         }
+                        changed = true;
                     }
                 }
                 _ => {}
@@ -315,6 +322,39 @@ mod tests {
         assert_eq!(m1.at(70).pending, 1);
         assert_eq!(m1.at(100).running, 1);
         assert_eq!(m1.at(200).finished, 1);
+    }
+
+    #[test]
+    fn pending_death_charged_to_previous_attempt() {
+        // A task evicted from machine 0, resubmitted, then killed while
+        // still pending: the kill event carries no machine, but the death
+        // belongs to machine 0's abnormal tally (its previous attempt ran
+        // there). A task killed while pending with no prior attempt
+        // belongs to no machine at all.
+        let mut b = TraceBuilder::new("test", 1_000);
+        b.add_machine(1.0, 1.0, 1.0);
+        b.add_machine(1.0, 1.0, 1.0);
+        let j = b.add_job(UserId(0), Priority::from_level(2), 0);
+        let t = b.add_task(j, Demand::new(0.1, 0.1));
+        let u = b.add_task(j, Demand::new(0.1, 0.1));
+        b.push_event(event(0, t, None, TaskEventKind::Submit));
+        b.push_event(event(5, u, None, TaskEventKind::Submit));
+        b.push_event(event(10, t, Some(0), TaskEventKind::Schedule));
+        b.push_event(event(50, t, Some(0), TaskEventKind::Evict));
+        b.push_event(event(50, t, None, TaskEventKind::Submit));
+        b.push_event(event(80, u, None, TaskEventKind::Kill));
+        b.push_event(event(90, t, None, TaskEventKind::Kill));
+        let trace = b.build().unwrap();
+
+        let m0 = QueueTimeline::for_machine(&trace, MachineId(0));
+        // Evict at 50 plus the pending death at 90.
+        assert_eq!(m0.at(70).abnormal, 1);
+        assert_eq!(m0.at(999).abnormal, 2, "pending death missed");
+        assert_eq!(m0.at(999).pending, 0);
+        assert_eq!(m0.at(999).running, 0);
+        // Task `u` never ran anywhere: its death counts on no machine.
+        let m1 = QueueTimeline::for_machine(&trace, MachineId(1));
+        assert_eq!(m1.at(999), QueueCounts::default());
     }
 
     #[test]

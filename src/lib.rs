@@ -18,7 +18,12 @@
 //! * [`gen`] — the Google and grid workload generators;
 //! * [`sim`] — the cluster simulator;
 //! * [`core`] — the characterization pipeline and
-//!   [`CharacterizationReport`].
+//!   [`CharacterizationReport`];
+//! * [`obs`] — the observability layer: pipeline-stage spans, the
+//!   lock-free metrics registry and its serializable snapshot, and
+//!   structured ingest diagnostics. Off by default and zero-cost when
+//!   disabled; flip it on with [`obs::set_enabled`] or export
+//!   `CGC_TRACE=1` to stream compact span timings from any binary.
 //!
 //! # Quick start
 //!
@@ -38,6 +43,7 @@
 
 pub use cgc_core as core;
 pub use cgc_gen as gen;
+pub use cgc_obs as obs;
 pub use cgc_sim as sim;
 pub use cgc_stats as stats;
 pub use cgc_trace as trace;

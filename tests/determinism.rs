@@ -71,6 +71,23 @@ fn every_reader_agrees_on_a_full_simulated_trace() {
 }
 
 #[test]
+fn instrumentation_never_changes_the_trace() {
+    // The observability layer must be a pure observer: with metrics
+    // enabled, every thread count still emits the reference bytes.
+    // (Counter determinism itself lives in tests/metrics.rs, which owns
+    // the process-global registry; here other tests run concurrently.)
+    let reference = run_text(google_config(true).with_shards(4).with_threads(1));
+    cloudgrid::obs::set_enabled(true);
+    for threads in [1, 2, 8] {
+        let got = run_text(google_config(true).with_shards(4).with_threads(threads));
+        assert_eq!(
+            got, reference,
+            "threads={threads}: instrumentation altered the output bytes"
+        );
+    }
+}
+
+#[test]
 fn shard_count_is_a_model_parameter_not_an_execution_detail() {
     // Different shard counts are *allowed* to produce different traces
     // (they are different models); what must hold is that every shard

@@ -1,0 +1,115 @@
+//! Ground truth for the observability counters.
+//!
+//! The pipeline metrics are only worth diffing in CI if they mean what
+//! they claim. This test runs the real pipeline — generate → simulate →
+//! write → lenient read — and checks every deterministic counter against
+//! the trace itself. A single `#[test]` holds it all because the metrics
+//! registry is process-global: parallel test functions would interleave
+//! their increments.
+
+use cloudgrid::gen::{FleetConfig, GoogleWorkload};
+use cloudgrid::obs;
+use cloudgrid::sim::{FaultConfig, SimConfig, Simulator};
+use cloudgrid::trace::io::{read_trace_lenient, write_trace};
+use cloudgrid::trace::TaskEventKind;
+
+const MACHINES: usize = 40;
+const HORIZON: u64 = 4 * 3_600;
+
+#[test]
+fn counters_match_the_trace_they_describe() {
+    obs::set_enabled(true);
+    obs::metrics().reset();
+
+    // --- generate + simulate ------------------------------------------
+    let workload = GoogleWorkload::scaled(MACHINES, HORIZON).generate(11);
+    let config = SimConfig::google(FleetConfig::google(MACHINES))
+        .with_faults(FaultConfig::google().with_outage(1, 3_600, 900))
+        .with_shards(2)
+        .with_threads(2);
+    let trace = Simulator::new(config).run(&workload);
+
+    let snapshot = obs::metrics().snapshot();
+    let c = &snapshot.counters;
+
+    assert_eq!(c.jobs_generated as usize, trace.jobs.len());
+    assert_eq!(c.tasks_generated as usize, trace.tasks.len());
+    assert_eq!(c.events_simulated as usize, trace.events.len());
+    let samples: usize = trace.host_series.iter().map(|s| s.samples.len()).sum();
+    assert_eq!(c.samples_recorded as usize, samples);
+
+    // Placements and evictions are literally event counts in the trace.
+    let count = |kind: TaskEventKind| trace.events.iter().filter(|e| e.kind == kind).count() as u64;
+    assert_eq!(c.placements, count(TaskEventKind::Schedule));
+    assert_eq!(c.evictions, count(TaskEventKind::Evict));
+
+    // A retry is any Submit after a task's first, exactly as emitted.
+    let submits = count(TaskEventKind::Submit);
+    let submitted_tasks = {
+        let mut seen = vec![false; trace.tasks.len()];
+        for e in &trace.events {
+            if e.kind == TaskEventKind::Submit {
+                seen[e.task.index()] = true;
+            }
+        }
+        seen.iter().filter(|s| **s).count() as u64
+    };
+    assert_eq!(c.retries, submits - submitted_tasks);
+
+    // Per-shard attribution covers every simulated event exactly once.
+    assert_eq!(c.events_per_shard.iter().sum::<u64>(), c.events_simulated);
+    assert!(c.events_per_shard.len() <= 2, "two shards, two slots");
+
+    // Nothing was read yet, so the ingest counters are still zero.
+    assert_eq!(c.bytes_read, 0);
+    assert_eq!(c.lines_parsed, 0);
+    assert_eq!(c.lines_salvaged, 0);
+
+    // --- write + lenient read -----------------------------------------
+    obs::metrics().reset();
+    let text = write_trace(&trace);
+
+    // Corrupt a few data lines (not headers) so salvage has work to do.
+    let corrupted: String = text
+        .lines()
+        .enumerate()
+        .map(|(i, line)| {
+            if !line.starts_with('#') && !line.is_empty() && i % 97 == 0 {
+                "garbage,not,a,row".to_string()
+            } else {
+                line.to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+
+    let parsed = read_trace_lenient(&corrupted);
+    assert!(!parsed.warnings.is_empty(), "corruption must be reported");
+
+    let c = obs::metrics().snapshot().counters;
+    assert_eq!(c.bytes_read as usize, corrupted.len());
+    assert_eq!(c.lines_salvaged as usize, parsed.warnings.len());
+    let non_blank = corrupted.lines().filter(|l| !l.trim().is_empty()).count();
+    assert_eq!(c.lines_parsed as usize, non_blank);
+
+    // Counters survive serialization round-trips bit-for-bit.
+    let json = serde_json::to_string(&c).expect("counters serialize");
+    let back: obs::PipelineCounters = serde_json::from_str(&json).expect("counters deserialize");
+    assert_eq!(back, c);
+
+    // --- thread-count independence ------------------------------------
+    // The counters describe the (seed, config) model, not the execution:
+    // rerunning the same pipeline on one thread must reproduce them
+    // exactly, per-shard attribution included.
+    let rerun = |threads: usize| {
+        obs::metrics().reset();
+        let workload = GoogleWorkload::scaled(MACHINES, HORIZON).generate(11);
+        let config = SimConfig::google(FleetConfig::google(MACHINES))
+            .with_faults(FaultConfig::google().with_outage(1, 3_600, 900))
+            .with_shards(2)
+            .with_threads(threads);
+        Simulator::new(config).run(&workload);
+        obs::metrics().snapshot().counters
+    };
+    assert_eq!(rerun(1), rerun(2), "counters must not depend on threads");
+}
