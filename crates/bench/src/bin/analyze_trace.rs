@@ -7,11 +7,20 @@
 //!
 //! ```text
 //! analyze_trace <FILE> [--swf] [--json] [--system NAME] [--lenient] [--metrics]
+//! analyze_trace <FILE> --stream [--approx] [--json] [--system NAME] [--metrics]
 //! analyze_trace --clusterdata <task_events.csv> <task_usage.csv> <machine_events.csv> [--json]
 //! ```
 //!
 //! `--lenient` parses cgct traces in salvage mode: corrupt lines are
 //! skipped and summarized on stderr instead of aborting the run.
+//! `--stream` characterizes a cgct trace out-of-core: record batches feed
+//! the analysis passes directly, so memory stays bounded by the batch size
+//! plus the pass accumulators instead of the whole trace. Workload
+//! sections are bit-identical to the in-memory path; host-load sections
+//! need whole per-machine series and are skipped (a stderr note says so
+//! when the trace carries usage samples). `--approx` additionally bounds
+//! the accumulators themselves with reservoir sampling — exact
+//! counts/extrema/means, approximate medians and curves.
 //! `--metrics` enables the observability layer and appends a pipeline
 //! metrics snapshot — as a `metrics` key next to `report` under `--json`,
 //! as a table on stderr otherwise. `CGC_TRACE=1` additionally streams one
@@ -40,8 +49,7 @@ fn read(path: &str) -> String {
     })
 }
 
-const USAGE: &str =
-    "usage: analyze_trace <FILE> [--swf] [--json] [--system NAME] [--lenient] [--metrics]";
+const USAGE: &str = "usage: analyze_trace <FILE> [--swf] [--json] [--system NAME] [--lenient] [--metrics]\n       analyze_trace <FILE> --stream [--approx] [--json] [--system NAME] [--metrics]";
 
 fn main() {
     cgc_obs::init_from_env();
@@ -51,6 +59,8 @@ fn main() {
     let mut as_json = false;
     let mut lenient = false;
     let mut with_metrics = false;
+    let mut streaming = false;
+    let mut approx = false;
     let mut system: Option<String> = None;
     let mut clusterdata: Option<(String, String, String)> = None;
 
@@ -58,6 +68,8 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--swf" => as_swf = true,
+            "--stream" => streaming = true,
+            "--approx" => approx = true,
             "--clusterdata" => {
                 let mut next = || {
                     args.next().unwrap_or_else(|| {
@@ -93,6 +105,62 @@ fn main() {
     if with_metrics {
         cgc_obs::set_enabled(true);
         cgc_obs::metrics().reset();
+    }
+
+    if approx && !streaming {
+        eprintln!("--approx requires --stream");
+        std::process::exit(2);
+    }
+    if streaming {
+        if as_swf || lenient || clusterdata.is_some() {
+            eprintln!(
+                "--stream reads strict cgct traces only; it cannot combine with --swf, --lenient, or --clusterdata"
+            );
+            std::process::exit(2);
+        }
+        let Some(path) = path else {
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        };
+        let file = std::fs::File::open(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        let opts = cgc_core::StreamOptions {
+            approx,
+            ..Default::default()
+        };
+        let (mut report, stats) =
+            cgc_core::characterize_stream(std::io::BufReader::new(file), &opts).unwrap_or_else(
+                |e| {
+                    eprintln!("trace parse error: {e}");
+                    eprintln!("hint: --stream parses strictly; run without it to use --lenient");
+                    std::process::exit(1);
+                },
+            );
+        if let Some(name) = system {
+            report.system = name;
+        }
+        if stats.samples > 0 {
+            eprintln!(
+                "note: trace carries {} usage samples; host-load sections are skipped in \
+                 --stream mode (run without --stream for the full report)",
+                stats.samples
+            );
+        }
+        eprintln!(
+            "stream: {} batches, {} jobs, {} tasks, {} events, {} bytes read, \
+             peak accumulators {} bytes{}",
+            stats.batches,
+            stats.jobs,
+            stats.tasks,
+            stats.events,
+            stats.bytes_read,
+            stats.peak_accumulator_bytes,
+            if stats.approx { " (approx)" } else { "" }
+        );
+        emit(report, as_json, with_metrics);
+        return;
     }
 
     let trace = if let Some((events, usage, machines)) = clusterdata {
@@ -161,6 +229,11 @@ fn main() {
     };
 
     let report = characterize(&trace);
+    emit(report, as_json, with_metrics);
+}
+
+/// Prints the report — shared by the in-memory and streaming paths.
+fn emit(report: CharacterizationReport, as_json: bool, with_metrics: bool) {
     if as_json {
         if with_metrics {
             let bundle = ReportWithMetrics {

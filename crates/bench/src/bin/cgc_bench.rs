@@ -6,6 +6,12 @@
 //!           [--threads N] [--seed N] [--out PATH]
 //! ```
 //!
+//! The `stream` block compares the in-memory characterization against
+//! `characterize_stream` on the same trace file. Peak RSS is a
+//! process-wide high-water mark, so each side runs in its own child
+//! process (`--worker`, hidden) and reports its own `VmHWM`; the parent —
+//! whose RSS already peaked during simulation — only collects.
+//!
 //! Writes `BENCH_pipeline.json`: per-stage wall-clock and throughput
 //! (tasks/s, samples/s), peak RSS, and — measured in the same process, on
 //! the same inputs — the *pre-sharding baseline*: the single-shard
@@ -47,8 +53,28 @@ struct BenchReport {
     counters: PipelineCounters,
     stages: Vec<Stage>,
     baseline: Baseline,
+    /// In-memory vs out-of-core characterization of the same trace file,
+    /// each measured in its own child process so `peak_rss_bytes` is that
+    /// pipeline's own high-water mark.
+    stream: StreamComparison,
     end_to_end: EndToEnd,
     peak_rss_bytes: Option<u64>,
+}
+
+#[derive(Serialize)]
+struct StreamComparison {
+    description: &'static str,
+    in_memory: ChildRun,
+    streaming: ChildRun,
+    /// `streaming.peak_rss_bytes / in_memory.peak_rss_bytes` — below 1.0
+    /// when the out-of-core path holds less than the materialized trace.
+    rss_ratio: f64,
+}
+
+#[derive(Serialize)]
+struct ChildRun {
+    seconds: f64,
+    peak_rss_bytes: u64,
 }
 
 #[derive(Serialize)]
@@ -189,7 +215,70 @@ fn samples_stage(name: &'static str, seconds: f64, samples: usize) -> Stage {
     }
 }
 
+/// Hidden child mode: characterize the trace at `path` one way, print
+/// `seconds=` / `peak_rss_bytes=` lines, exit. A fresh process makes
+/// `VmHWM` measure exactly this pipeline.
+fn worker(mode: &str, path: &str) -> ! {
+    let start = Instant::now();
+    match mode {
+        "in-memory" => {
+            let text = std::fs::read_to_string(path).expect("trace file readable");
+            let trace = read_trace_parallel(&text).expect("trace parses");
+            std::hint::black_box(characterize(&trace));
+        }
+        "stream" => {
+            let file = std::fs::File::open(path).expect("trace file readable");
+            let opts = cgc_core::StreamOptions::default();
+            let (report, _stats) =
+                cgc_core::characterize_stream(std::io::BufReader::new(file), &opts)
+                    .expect("trace parses");
+            std::hint::black_box(report);
+        }
+        other => {
+            eprintln!("unknown worker mode {other:?}");
+            std::process::exit(2);
+        }
+    }
+    println!("seconds={}", start.elapsed().as_secs_f64());
+    println!("peak_rss_bytes={}", peak_rss_bytes().unwrap_or(0));
+    std::process::exit(0);
+}
+
+/// Runs one `--worker` child on the trace file and parses its report.
+fn child_run(mode: &'static str, trace_path: &std::path::Path) -> ChildRun {
+    let exe = std::env::current_exe().expect("own executable path");
+    let out = std::process::Command::new(exe)
+        .arg("--worker")
+        .arg(mode)
+        .arg(trace_path)
+        .output()
+        .expect("spawn worker");
+    assert!(
+        out.status.success(),
+        "worker {mode} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    let field = |key: &str| {
+        let prefix = format!("{key}=");
+        text.lines()
+            .find_map(|l| l.strip_prefix(&prefix))
+            .unwrap_or_else(|| panic!("worker {mode} output missing {key}"))
+            .trim()
+            .to_string()
+    };
+    ChildRun {
+        seconds: parse(&field("seconds"), "seconds"),
+        peak_rss_bytes: parse(&field("peak_rss_bytes"), "peak_rss_bytes"),
+    }
+}
+
 fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    if argv.len() == 4 && argv[1] == "--worker" {
+        worker(&argv[2], &argv[3]);
+    }
+
     cgc_obs::init_from_env();
     cgc_obs::set_enabled(true);
     cgc_obs::metrics().reset();
@@ -270,6 +359,25 @@ fn main() {
     let (read_base_s, _) = timed(|| read_trace(&text).expect("own output parses"));
     eprintln!("read: {read_s:.3}s parallel, {read_base_s:.3}s sequential");
 
+    // --- characterize from disk: in-memory vs streaming children ------
+    let trace_path = std::env::temp_dir().join(format!("cgc-bench-{}.cgct", std::process::id()));
+    std::fs::write(&trace_path, &text).expect("temp trace file writes");
+    let in_memory = child_run("in-memory", &trace_path);
+    let streaming = child_run("stream", &trace_path);
+    let _ = std::fs::remove_file(&trace_path);
+    let rss_ratio = if in_memory.peak_rss_bytes > 0 {
+        streaming.peak_rss_bytes as f64 / in_memory.peak_rss_bytes as f64
+    } else {
+        0.0
+    };
+    eprintln!(
+        "characterize_stream: {:.3}s, peak RSS {:.1} MB vs {:.1} MB in-memory (ratio {:.2})",
+        streaming.seconds,
+        streaming.peak_rss_bytes as f64 / (1 << 20) as f64,
+        in_memory.peak_rss_bytes as f64 / (1 << 20) as f64,
+        rss_ratio
+    );
+
     let total = gen_s + sim_s + write_s + read_s + char_s;
     let total_baseline = gen_s + sim_base_s + write_s + read_base_s + char_s;
 
@@ -297,12 +405,20 @@ fn main() {
             samples_stage("write", write_s, n_samples),
             tasks_stage("read", read_s, n_tasks),
             samples_stage("characterize", char_s, n_samples),
+            tasks_stage("characterize_stream", streaming.seconds, n_tasks),
         ],
         baseline: Baseline {
             description: "pre-sharding pipeline: 1-shard 1-thread simulator, sequential parser",
             simulate_seconds: sim_base_s,
             read_seconds: read_base_s,
             total_seconds: total_baseline,
+        },
+        stream: StreamComparison {
+            description: "characterize from disk, per-child VmHWM: \
+                          read_trace_parallel+characterize vs characterize_stream",
+            in_memory,
+            streaming,
+            rss_ratio,
         },
         end_to_end: EndToEnd {
             total_seconds: total,

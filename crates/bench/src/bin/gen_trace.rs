@@ -1,0 +1,91 @@
+//! Generate a synthetic trace file on disk.
+//!
+//! ```text
+//! gen_trace <OUT> [--machines N] [--horizon SECONDS] [--seed N] [--workload-only]
+//! ```
+//!
+//! Runs the google preset (generator + simulator) and writes the
+//! sectioned-CSV trace to `OUT` — the fixture producer for smoke tests
+//! that need a real on-disk trace, e.g. the CI job exercising
+//! `analyze_trace --stream`. `--workload-only` skips the simulation, so
+//! the trace has jobs/tasks/events but no machines or usage samples.
+
+use cgc_gen::{FleetConfig, GoogleWorkload};
+use cgc_sim::{FaultConfig, SimConfig, Simulator};
+use cgc_trace::io::write_trace;
+
+const USAGE: &str =
+    "usage: gen_trace <OUT> [--machines N] [--horizon SECONDS] [--seed N] [--workload-only]";
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("invalid value for {flag}: {s:?}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let mut out: Option<String> = None;
+    let mut machines: usize = 40;
+    let mut horizon: u64 = 2 * 3_600;
+    let mut seed: u64 = 1;
+    let mut workload_only = false;
+
+    let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().unwrap_or_else(|| {
+            eprintln!("{flag} requires a value");
+            std::process::exit(2);
+        })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--machines" => machines = parse(&value(&mut args, "--machines"), "--machines"),
+            "--horizon" => horizon = parse(&value(&mut args, "--horizon"), "--horizon"),
+            "--seed" => seed = parse(&value(&mut args, "--seed"), "--seed"),
+            "--workload-only" => workload_only = true,
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                return;
+            }
+            other if out.is_none() => out = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(out) = out else {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+
+    // The hostload scaling keeps the per-machine job pressure of the full
+    // trace, so even short fixtures carry enough records to exercise the
+    // analyses (plain `scaled` yields almost no jobs at fixture sizes).
+    let workload = GoogleWorkload::scaled_for_hostload(machines, horizon).generate(seed);
+    let trace = if workload_only {
+        workload.into_workload_trace()
+    } else {
+        let config =
+            SimConfig::google(FleetConfig::google(machines)).with_faults(FaultConfig::google());
+        Simulator::new(config).run(&workload)
+    };
+    let text = write_trace(&trace);
+    std::fs::write(&out, &text).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "wrote {out}: {} jobs, {} tasks, {} events, {} samples, {} bytes",
+        trace.jobs.len(),
+        trace.tasks.len(),
+        trace.events.len(),
+        trace
+            .host_series
+            .iter()
+            .map(|s| s.samples.len())
+            .sum::<usize>(),
+        text.len()
+    );
+}

@@ -77,8 +77,8 @@ pub fn ext_diurnal(lab: &Lab) -> ExperimentResult {
     let mut detail_rows = vec![vec!["system".to_string(), "diurnal strength".to_string()]];
     // Fraction of the hourly-rate variance explained by the 24 h cycle.
     let strength = |trace: &cgc_trace::Trace| {
-        let times = trace.submission_times();
-        let counts = counts_per_window(&times, HOUR, trace.horizon);
+        let view = cgc_core::TraceView::new(trace);
+        let counts = counts_per_window(view.submission_times(), HOUR, trace.horizon);
         let xs: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
         period_power(&xs, 24.0)
     };
@@ -285,7 +285,7 @@ pub fn ext_fit(lab: &Lab) -> ExperimentResult {
         lab.google_workload(),
         lab.grid_workload(GridSystem::AuverGrid),
     ] {
-        let lengths: Vec<f64> = trace
+        let lengths: Vec<f64> = cgc_core::TraceView::new(&trace)
             .task_execution_times()
             .iter()
             .map(|&d| (d as f64).max(1.0))

@@ -78,13 +78,11 @@ fn fig5_dat(lab: &Lab) -> String {
 
 /// Fig. 4: mass-count staircases. Columns: days, count CDF, mass CDF.
 fn fig4_dat(trace: &Trace) -> String {
-    let lengths = trace.task_execution_times();
-    let mc = MassCount::from_durations(&lengths).expect("tasks ran");
+    let view = cgc_core::TraceView::new(trace);
+    let mc = MassCount::from_durations(view.task_execution_times()).expect("tasks ran");
     let mut out = String::from("# days count_cdf mass_cdf\n");
     let day = cgc_trace::DAY as f64;
-    let curves = mc.curves();
-    let step = (curves.len() / 512).max(1);
-    for (x, fc, fm) in curves.into_iter().step_by(step) {
+    for (x, fc, fm) in cgc_stats::decimate(mc.curves(), 512) {
         let _ = writeln!(out, "{:.6} {fc:.5} {fm:.5}", x / day);
     }
     out

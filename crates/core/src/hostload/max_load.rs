@@ -7,6 +7,7 @@
 //! nominal capacities, consumed-memory maxima around 80% of capacity, and
 //! assigned-memory maxima around 90%.
 
+use crate::view::{capacity_for, TraceView};
 use cgc_stats::Histogram;
 use cgc_trace::usage::UsageAttribute;
 use cgc_trace::{MachineRecord, Trace, CPU_CAPACITY_CLASSES, MEMORY_CAPACITY_CLASSES};
@@ -34,14 +35,6 @@ pub struct MaxLoadDistribution {
     pub attribute: UsageAttribute,
     /// Per-class statistics, ascending by capacity.
     pub classes: Vec<ClassMaxLoad>,
-}
-
-fn capacity_for(m: &MachineRecord, attr: UsageAttribute) -> f64 {
-    match attr {
-        UsageAttribute::Cpu => m.cpu_capacity,
-        UsageAttribute::MemoryUsed | UsageAttribute::MemoryAssigned => m.memory_capacity,
-        UsageAttribute::PageCache => m.page_cache_capacity,
-    }
 }
 
 fn classes_for(attr: UsageAttribute) -> Vec<f64> {
@@ -79,6 +72,41 @@ pub fn max_load_distribution(
         })
         .collect();
 
+    group_per_machine(attr, &class_caps, &per_machine, bins)
+}
+
+/// [`max_load_distribution`] over a shared [`TraceView`]: reuses the
+/// view's cached per-machine capacities and peaks instead of re-scanning
+/// every sample. Machine order matches the trace path, so the result is
+/// bit-identical.
+pub(crate) fn max_load_from_view(
+    view: &TraceView<'_>,
+    attr: UsageAttribute,
+    bins: usize,
+) -> MaxLoadDistribution {
+    let class_caps = classes_for(attr);
+    let series = view.attribute_series(attr);
+    let per_machine: Vec<(usize, f64, f64)> = series
+        .capacities
+        .iter()
+        .zip(series.peaks.iter())
+        .map(|(&cap, &max)| {
+            let class = MachineRecord::capacity_class(cap, &class_caps);
+            (class, max, max / cap)
+        })
+        .collect();
+
+    group_per_machine(attr, &class_caps, &per_machine, bins)
+}
+
+/// Histogramming shared by the trace and view paths: groups per-machine
+/// `(class, max, relative max)` rows into per-class statistics.
+fn group_per_machine(
+    attr: UsageAttribute,
+    class_caps: &[f64],
+    per_machine: &[(usize, f64, f64)],
+    bins: usize,
+) -> MaxLoadDistribution {
     let classes = class_caps
         .iter()
         .enumerate()
@@ -189,6 +217,18 @@ mod tests {
         let d = max_load_distribution(&trace_two_classes(), UsageAttribute::Cpu, 5);
         let total: u64 = d.classes.iter().map(|c| c.histogram.total()).sum();
         assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn view_path_matches_trace_path() {
+        let trace = trace_two_classes();
+        let view = TraceView::new(&trace);
+        for attr in UsageAttribute::ALL {
+            assert_eq!(
+                max_load_from_view(&view, attr, 10),
+                max_load_distribution(&trace, attr, 10)
+            );
+        }
     }
 
     #[test]

@@ -17,3 +17,5 @@ pub use max_load::{max_load_distribution, ClassMaxLoad, MaxLoadDistribution};
 pub use queue_state::{queue_runlengths, IntervalRow, QueueRunLengths};
 pub use usage_levels::{level_band_series, usage_level_runs, LevelRow, LevelRunTable};
 pub use usage_masscount::{usage_masscount, UsageMassCount};
+
+pub(crate) use usage_masscount::usage_masscount_from_view;

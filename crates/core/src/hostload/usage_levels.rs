@@ -11,6 +11,7 @@
 //!   minutes per band (30/70 joint ratio) versus memory's slower 9–10
 //!   minutes (20/80) — CPU load changes much faster.
 
+use crate::view::TraceView;
 use cgc_stats::{durations_by_level, LevelQuantizer, MassCount, MassCountSummary, Summary};
 use cgc_trace::usage::{HostSeries, UsageAttribute};
 use cgc_trace::{MachineId, PriorityClass, Trace};
@@ -82,7 +83,43 @@ pub fn usage_level_runs(
         })
         .collect();
 
-    let rows = (0..levels)
+    table_from_runs(attr, min_class, &quantizer, per_machine)
+}
+
+/// The all-tasks [`usage_level_runs`] over a shared [`TraceView`]: the
+/// relative series come from the view's cached raw values and capacities.
+/// Machine order matches the trace path, so the result is bit-identical.
+pub(crate) fn usage_level_runs_from_view(
+    view: &TraceView<'_>,
+    attr: UsageAttribute,
+) -> LevelRunTable {
+    let quantizer = LevelQuantizer::usage_bands();
+    let levels = quantizer.num_levels();
+    let series = view.attribute_series(attr);
+
+    let per_machine: Vec<Vec<Vec<f64>>> = series
+        .values
+        .iter()
+        .zip(series.capacities.iter().zip(series.periods.iter()))
+        .map(|(values, (&cap, &period))| {
+            let rel: Vec<f64> = values.iter().map(|&v| v / cap).collect();
+            let quantized = quantizer.quantize_series(&rel);
+            durations_by_level(&quantized, period as f64 / 60.0, levels)
+        })
+        .collect();
+
+    table_from_runs(attr, None, &quantizer, per_machine)
+}
+
+/// Row aggregation shared by the trace and view paths: per-machine,
+/// per-band run durations to the five Table II/III rows.
+fn table_from_runs(
+    attr: UsageAttribute,
+    min_class: Option<PriorityClass>,
+    quantizer: &LevelQuantizer,
+    per_machine: Vec<Vec<Vec<f64>>>,
+) -> LevelRunTable {
+    let rows = (0..quantizer.num_levels())
         .map(|level| {
             let durations: Vec<f64> = per_machine
                 .iter()
@@ -194,6 +231,18 @@ mod tests {
         // (band 0), the rest 0 (band 0) — a single band-0 run.
         assert_eq!(high.rows[0].runs, 1);
         assert_ne!(all.rows[0].runs, high.rows[0].runs);
+    }
+
+    #[test]
+    fn view_path_matches_trace_path() {
+        let trace = banded_trace();
+        let view = TraceView::new(&trace);
+        for attr in UsageAttribute::ALL {
+            assert_eq!(
+                usage_level_runs_from_view(&view, attr),
+                usage_level_runs(&trace, attr, None)
+            );
+        }
     }
 
     #[test]

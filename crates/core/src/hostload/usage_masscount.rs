@@ -6,6 +6,7 @@
 //! ≈ 20% / 50% from the high-priority view), and near-uniform distributions
 //! (large joint ratios ≈ 40/60, small mm-distances ≈ 13%).
 
+use crate::view::TraceView;
 use cgc_stats::{MassCount, MassCountSummary, Summary};
 use cgc_trace::usage::UsageAttribute;
 use cgc_trace::{PriorityClass, Trace};
@@ -49,6 +50,34 @@ pub fn usage_masscount(
                 .map(move |v| 100.0 * v / cap)
         })
         .collect();
+    assemble(attr, min_class, percents)
+}
+
+/// The all-tasks [`usage_masscount`] over a shared [`TraceView`]: reuses
+/// the view's cached raw attribute values instead of re-extracting them.
+/// Series and sample order match the trace path, so the pooled vector —
+/// and hence the result — is bit-identical.
+pub(crate) fn usage_masscount_from_view(
+    view: &TraceView<'_>,
+    attr: UsageAttribute,
+) -> Option<UsageMassCount> {
+    let series = view.attribute_series(attr);
+    let percents: Vec<f64> = series
+        .values
+        .iter()
+        .zip(series.capacities.iter())
+        .flat_map(|(values, &cap)| values.iter().map(move |&v| 100.0 * v / cap))
+        .collect();
+    assemble(attr, None, percents)
+}
+
+/// Finish-math shared by the trace and view paths: pooled percentages to
+/// the analysis, `None` when the pool is empty or carries no mass.
+fn assemble(
+    attr: UsageAttribute,
+    min_class: Option<PriorityClass>,
+    percents: Vec<f64>,
+) -> Option<UsageMassCount> {
     let mc = MassCount::new(percents.clone())?;
     Some(UsageMassCount {
         attribute: attr,
@@ -111,6 +140,18 @@ mod tests {
         let hi = usage_masscount(&trace(), UsageAttribute::Cpu, Some(PriorityClass::High)).unwrap();
         assert!(hi.percent.mean < all.percent.mean);
         assert!((hi.percent.mean - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn view_path_matches_trace_path() {
+        let t = trace();
+        let view = TraceView::new(&t);
+        for attr in UsageAttribute::ALL {
+            assert_eq!(
+                usage_masscount_from_view(&view, attr),
+                usage_masscount(&t, attr, None)
+            );
+        }
     }
 
     #[test]

@@ -28,12 +28,23 @@
 //!   cloud–grid comparison.
 //!
 //! [`report::characterize`] bundles everything into one serializable
-//! [`report::CharacterizationReport`]. Per-host analyses fan out across the
-//! fleet with rayon.
+//! [`report::CharacterizationReport`]. Since the analysis-pass refactor
+//! every workload analysis is an [`pass::AnalysisPass`] accumulator fed by
+//! a single shared sweep over the records, host-load analyses share one
+//! [`view::TraceView`] of derived products, and [`stream::characterize_stream`]
+//! runs the same workload passes out-of-core over record batches without
+//! materializing the trace. Per-host analyses fan out across the fleet
+//! with rayon.
 
 pub mod hostload;
+pub mod pass;
 pub mod predict;
 pub mod report;
+pub mod stream;
+pub mod view;
 pub mod workload;
 
+pub use pass::{workload_passes, AnalysisPass, PassContext, PassOutput};
 pub use report::{characterize, CharacterizationReport};
+pub use stream::{characterize_stream, StreamOptions, StreamStats};
+pub use view::TraceView;

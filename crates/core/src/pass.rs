@@ -1,0 +1,599 @@
+//! The analysis-pass framework: one shared sweep, many accumulators.
+//!
+//! Every analysis in [`crate::report::characterize`] used to be an
+//! independent function-per-figure scan over the whole [`Trace`]. This
+//! module inverts that: an [`AnalysisPass`] *observes* records as a
+//! driver sweeps them once (`observe_job` / `observe_task` /
+//! `observe_event` / `observe_sample`), then turns its accumulator into
+//! a report section in [`finish`](AnalysisPass::finish). Two drivers
+//! share the same registry of passes:
+//!
+//! * the in-memory driver in [`crate::report`] sweeps a materialized
+//!   trace (host-load passes additionally get a whole-trace
+//!   [`run_full`](AnalysisPass::run_full) over a shared [`TraceView`]);
+//! * the out-of-core driver in [`crate::stream`] feeds record batches
+//!   from [`cgc_trace::TraceBatches`] without ever materializing the
+//!   trace.
+//!
+//! Workload passes accumulate either exactly (bit-identical to the
+//! per-figure scans) or — behind the explicit `approx` flag — in bounded
+//! memory via [`StreamingSummary`] moments plus a [`Reservoir`] sample.
+
+use crate::hostload::{
+    max_load, queue_runlengths, usage_masscount, usage_masscount_from_view, HostComparison,
+    LevelRunTable, MaxLoadDistribution, QueueRunLengths, UsageMassCount,
+};
+use crate::report::{HostloadSection, WorkloadSection};
+use crate::view::TraceView;
+use crate::workload::{
+    JobLengthAnalysis, PriorityHistogram, ResubmissionAnalysis, SubmissionAnalysis,
+    TaskLengthAnalysis,
+};
+use cgc_stats::{Reservoir, StreamingSummary, Summary};
+use cgc_trace::usage::{UsageAttribute, UsageSample};
+use cgc_trace::{JobRecord, MachineId, PriorityClass, TaskEvent, TaskRecord};
+
+/// Histogram resolution of the Fig. 7 reproduction.
+pub(crate) const MAX_LOAD_BINS: usize = 25;
+
+/// Sampling period for the Fig. 9 queue-state series, in seconds.
+pub(crate) const QUEUE_SAMPLE_PERIOD: u64 = 60;
+
+/// Reference machine-memory capacity (GB) for the Fig. 6(b) summary.
+pub(crate) const MEMORY_REFERENCE_GB: f64 = 32.0;
+
+/// Reservoir capacity per approximate accumulator: large enough that
+/// medians and mass–count shapes are stable, small enough that a full
+/// workload registry stays in the low megabytes.
+pub(crate) const APPROX_SAMPLE: usize = 1 << 16;
+
+/// One analysis over a trace, driven record-by-record.
+///
+/// The driver calls the `observe_*` hooks for every record (in file
+/// order), then [`finish`](Self::finish) exactly once. Host-load passes,
+/// which need whole per-machine series rather than a record stream,
+/// implement [`run_full`](Self::run_full) instead and report
+/// [`streamable`](Self::streamable)` == false`.
+pub trait AnalysisPass: Send {
+    /// The `cgc_obs::stages` name this pass reports under.
+    fn stage(&self) -> &'static str;
+
+    /// Whether the pass can run from a record stream alone. Host-load
+    /// passes return `false` and only work with [`run_full`](Self::run_full).
+    fn streamable(&self) -> bool {
+        true
+    }
+
+    /// Observes one job record.
+    fn observe_job(&mut self, _job: &JobRecord) {}
+
+    /// Observes one task record.
+    fn observe_task(&mut self, _task: &TaskRecord) {}
+
+    /// Observes one task event. Events arrive after the task they
+    /// reference (the trace format guarantees it).
+    fn observe_event(&mut self, _event: &TaskEvent) {}
+
+    /// Observes one host usage sample.
+    fn observe_sample(&mut self, _machine: MachineId, _sample: &UsageSample) {}
+
+    /// Whole-trace computation for passes that cannot stream; the
+    /// in-memory driver calls it once with the shared view.
+    fn run_full(&mut self, _view: &TraceView<'_>) {}
+
+    /// Approximate heap footprint of the accumulator, for the streaming
+    /// driver's peak-memory metric.
+    fn accumulator_bytes(&self) -> usize {
+        0
+    }
+
+    /// Consumes the accumulator and produces the pass's report section.
+    fn finish(self: Box<Self>, ctx: &PassContext) -> PassOutput;
+}
+
+/// Trace-level facts every pass may need at finish time.
+#[derive(Debug, Clone)]
+pub struct PassContext {
+    /// System label of the analyzed trace.
+    pub system: String,
+    /// Trace horizon in seconds.
+    pub horizon: u64,
+}
+
+/// What a pass produced; the assembly functions route each variant into
+/// its report slot.
+#[derive(Debug)]
+pub enum PassOutput {
+    /// Fig. 2 histograms.
+    Priorities(PriorityHistogram),
+    /// Fig. 3.
+    JobLength(Option<JobLengthAnalysis>),
+    /// Fig. 5 + Table I.
+    Submission(Option<SubmissionAnalysis>),
+    /// Fig. 4 + §VI quantiles.
+    TaskLength(Option<TaskLengthAnalysis>),
+    /// Fig. 6(a) summary.
+    CpuUsage(Option<Summary>),
+    /// Fig. 6(b) summary.
+    Memory(Option<Summary>),
+    /// §IV.B.1 completion mix.
+    Resubmission(Option<ResubmissionAnalysis>),
+    /// Fig. 7, all four attributes.
+    MaxLoads(Vec<MaxLoadDistribution>),
+    /// Fig. 9.
+    QueueRuns(QueueRunLengths),
+    /// Table II/III (routed by the table's attribute).
+    LevelRuns(LevelRunTable),
+    /// Figs. 11/12 (routed by attribute and priority view, which must be
+    /// carried here because `result` is `None` for all-zero usage).
+    MassCount {
+        /// The attribute analyzed.
+        attribute: UsageAttribute,
+        /// `None` for all tasks, `Some` for the high-priority view.
+        min_class: Option<PriorityClass>,
+        /// The analysis, if the trace had any usage mass.
+        result: Option<UsageMassCount>,
+    },
+    /// Fig. 13 headline numbers.
+    Comparison(Option<HostComparison>),
+}
+
+/// Value accumulator of the workload passes: an exact growing vector, or
+/// bounded-memory moments plus a reservoir sample when `approx` is on.
+#[derive(Debug)]
+pub(crate) enum ValueAcc {
+    Exact(Vec<f64>),
+    Approx {
+        moments: StreamingSummary,
+        sample: Reservoir,
+    },
+}
+
+/// A [`ValueAcc`] opened up for finish-math.
+pub(crate) enum ResolvedValues {
+    Exact(Vec<f64>),
+    Approx {
+        moments: StreamingSummary,
+        sample: Vec<f64>,
+    },
+}
+
+impl ValueAcc {
+    pub(crate) fn new(approx: bool) -> Self {
+        if approx {
+            ValueAcc::Approx {
+                moments: StreamingSummary::new(),
+                sample: Reservoir::new(APPROX_SAMPLE),
+            }
+        } else {
+            ValueAcc::Exact(Vec::new())
+        }
+    }
+
+    pub(crate) fn push(&mut self, v: f64) {
+        match self {
+            ValueAcc::Exact(values) => values.push(v),
+            ValueAcc::Approx { moments, sample } => {
+                moments.push(v);
+                sample.push(v);
+            }
+        }
+    }
+
+    /// Heap bytes held by the accumulator.
+    pub(crate) fn bytes(&self) -> usize {
+        let values = match self {
+            ValueAcc::Exact(values) => values.len(),
+            ValueAcc::Approx { sample, .. } => sample.len(),
+        };
+        values * std::mem::size_of::<f64>()
+    }
+
+    pub(crate) fn resolve(self) -> ResolvedValues {
+        match self {
+            ValueAcc::Exact(values) => ResolvedValues::Exact(values),
+            ValueAcc::Approx { moments, sample } => ResolvedValues::Approx {
+                moments,
+                sample: sample.values().to_vec(),
+            },
+        }
+    }
+}
+
+/// Merges exact streaming moments into a sample-derived summary: every
+/// scalar the moments track exactly (count/min/max/mean/std) replaces
+/// its sample estimate; the median — unavailable without the sample —
+/// stays sample-based.
+pub(crate) fn approx_summary(sample_summary: &Summary, moments: &StreamingSummary) -> Summary {
+    let mut s = moments.summary();
+    s.median = sample_summary.median;
+    s
+}
+
+/// Runs `f` under an observability span, so per-pass durations land in
+/// the metrics snapshot even on rayon worker threads.
+pub(crate) fn spanned<T>(stage: &'static str, f: impl FnOnce() -> T) -> T {
+    let _span = cgc_obs::span(stage);
+    f()
+}
+
+/// The workload registry: every Section III pass, in report order.
+///
+/// With `approx` off, finished sections are bit-identical to the
+/// function-per-figure analyses; with it on, value accumulators are
+/// bounded and distribution shapes come from reservoir samples.
+pub fn workload_passes(approx: bool) -> Vec<Box<dyn AnalysisPass>> {
+    use crate::workload::{
+        job_length::JobLengthPass,
+        priority::PriorityPass,
+        resubmission::ResubmissionPass,
+        submission::SubmissionPass,
+        task_length::TaskLengthPass,
+        utilization::{CpuUsagePass, MemoryPass},
+    };
+    vec![
+        Box::new(PriorityPass::default()),
+        Box::new(JobLengthPass::new(approx)),
+        Box::new(SubmissionPass::default()),
+        Box::new(TaskLengthPass::new(approx)),
+        Box::new(CpuUsagePass::new(approx)),
+        Box::new(MemoryPass::new(MEMORY_REFERENCE_GB, approx)),
+        Box::new(ResubmissionPass::new(approx)),
+    ]
+}
+
+/// The host-load registry: every Section IV pass, in report order. None
+/// of these stream; the in-memory driver runs them over a shared
+/// [`TraceView`].
+pub fn hostload_passes() -> Vec<Box<dyn AnalysisPass>> {
+    let mut passes: Vec<Box<dyn AnalysisPass>> = vec![
+        Box::new(MaxLoadsPass::default()),
+        Box::new(QueueRunsPass::default()),
+        Box::new(LevelRunsPass::new(UsageAttribute::Cpu)),
+        Box::new(LevelRunsPass::new(UsageAttribute::MemoryUsed)),
+    ];
+    for attr in [UsageAttribute::Cpu, UsageAttribute::MemoryUsed] {
+        passes.push(Box::new(MassCountPass::new(attr, None)));
+        passes.push(Box::new(MassCountPass::new(
+            attr,
+            Some(PriorityClass::Middle),
+        )));
+    }
+    passes.push(Box::new(ComparisonPass::default()));
+    passes
+}
+
+/// Feeds one chunk of records — a whole trace or one stream batch — to
+/// every pass, in record order.
+pub fn observe_records(
+    passes: &mut [Box<dyn AnalysisPass>],
+    jobs: &[JobRecord],
+    tasks: &[TaskRecord],
+    events: &[TaskEvent],
+) {
+    for job in jobs {
+        for pass in passes.iter_mut() {
+            pass.observe_job(job);
+        }
+    }
+    for task in tasks {
+        for pass in passes.iter_mut() {
+            pass.observe_task(task);
+        }
+    }
+    for event in events {
+        for pass in passes.iter_mut() {
+            pass.observe_event(event);
+        }
+    }
+}
+
+/// Finishes a workload registry into the report section, spanning each
+/// pass's finish under its stage name.
+///
+/// # Panics
+/// If `passes` is not a full workload registry (every slot must be
+/// produced exactly once).
+pub fn finish_workload(passes: Vec<Box<dyn AnalysisPass>>, ctx: &PassContext) -> WorkloadSection {
+    let mut priorities = None;
+    let mut job_length = None;
+    let mut submission = None;
+    let mut task_length = None;
+    let mut cpu_usage = None;
+    let mut memory = None;
+    let mut resubmission = None;
+    for pass in passes {
+        let stage = pass.stage();
+        match spanned(stage, || pass.finish(ctx)) {
+            PassOutput::Priorities(h) => priorities = Some(h),
+            PassOutput::JobLength(a) => job_length = Some(a),
+            PassOutput::Submission(a) => submission = Some(a),
+            PassOutput::TaskLength(a) => task_length = Some(a),
+            PassOutput::CpuUsage(s) => cpu_usage = Some(s),
+            PassOutput::Memory(s) => memory = Some(s),
+            PassOutput::Resubmission(a) => resubmission = Some(a),
+            other => panic!("host-load output {other:?} in a workload registry"),
+        }
+    }
+    WorkloadSection {
+        priorities: priorities.expect("registry provides a priorities pass"),
+        job_length: job_length.expect("registry provides a job-length pass"),
+        submission: submission.expect("registry provides a submission pass"),
+        task_length: task_length.expect("registry provides a task-length pass"),
+        cpu_usage: cpu_usage.expect("registry provides a cpu-usage pass"),
+        memory_mb_at_32gb: memory.expect("registry provides a memory pass"),
+        resubmission: resubmission.expect("registry provides a resubmission pass"),
+    }
+}
+
+/// Runs the host-load registry over a shared view — `run_full`s forked
+/// onto the rayon pool — and assembles the report section.
+pub(crate) fn run_hostload(view: &TraceView<'_>, ctx: &PassContext) -> HostloadSection {
+    let mut passes = hostload_passes();
+    run_full_parallel(&mut passes, view);
+
+    let mut max_loads = None;
+    let mut queue_runs = None;
+    let mut cpu_level_runs = None;
+    let mut memory_level_runs = None;
+    let mut cpu_masscount = None;
+    let mut cpu_masscount_high = None;
+    let mut memory_masscount = None;
+    let mut memory_masscount_high = None;
+    let mut comparison = None;
+    for pass in passes {
+        match pass.finish(ctx) {
+            PassOutput::MaxLoads(v) => max_loads = Some(v),
+            PassOutput::QueueRuns(q) => queue_runs = Some(q),
+            PassOutput::LevelRuns(t) => match t.attribute {
+                UsageAttribute::Cpu => cpu_level_runs = Some(t),
+                _ => memory_level_runs = Some(t),
+            },
+            PassOutput::MassCount {
+                attribute,
+                min_class,
+                result,
+            } => match (attribute, min_class) {
+                (UsageAttribute::Cpu, None) => cpu_masscount = Some(result),
+                (UsageAttribute::Cpu, Some(_)) => cpu_masscount_high = Some(result),
+                (_, None) => memory_masscount = Some(result),
+                (_, Some(_)) => memory_masscount_high = Some(result),
+            },
+            PassOutput::Comparison(c) => comparison = Some(c),
+            other => panic!("workload output {other:?} in a host-load registry"),
+        }
+    }
+    HostloadSection {
+        max_loads: max_loads.expect("registry provides a max-loads pass"),
+        queue_runs: queue_runs.expect("registry provides a queue-runs pass"),
+        cpu_level_runs: cpu_level_runs.expect("registry provides a CPU level-runs pass"),
+        memory_level_runs: memory_level_runs.expect("registry provides a memory level-runs pass"),
+        cpu_masscount: cpu_masscount.expect("registry provides a CPU mass-count pass"),
+        cpu_masscount_high: cpu_masscount_high.expect("registry provides the high-priority view"),
+        memory_masscount: memory_masscount.expect("registry provides a memory mass-count pass"),
+        memory_masscount_high: memory_masscount_high
+            .expect("registry provides the high-priority view"),
+        comparison: comparison.expect("registry provides a comparison pass"),
+    }
+}
+
+/// Forks `run_full` calls pairwise onto the rayon pool, each under its
+/// pass's span. Output slots are disjoint, so the result is
+/// deterministic regardless of thread count.
+fn run_full_parallel(passes: &mut [Box<dyn AnalysisPass>], view: &TraceView<'_>) {
+    match passes {
+        [] => {}
+        [pass] => spanned(pass.stage(), || pass.run_full(view)),
+        _ => {
+            let (a, b) = passes.split_at_mut(passes.len() / 2);
+            rayon::join(|| run_full_parallel(a, view), || run_full_parallel(b, view));
+        }
+    }
+}
+
+/// Fig. 7 over all four attributes.
+#[derive(Default)]
+struct MaxLoadsPass {
+    out: Vec<MaxLoadDistribution>,
+}
+
+impl AnalysisPass for MaxLoadsPass {
+    fn stage(&self) -> &'static str {
+        cgc_obs::stages::A_MAX_LOADS
+    }
+
+    fn streamable(&self) -> bool {
+        false
+    }
+
+    fn run_full(&mut self, view: &TraceView<'_>) {
+        self.out = UsageAttribute::ALL
+            .iter()
+            .map(|&attr| max_load::max_load_from_view(view, attr, MAX_LOAD_BINS))
+            .collect();
+    }
+
+    fn finish(self: Box<Self>, _ctx: &PassContext) -> PassOutput {
+        PassOutput::MaxLoads(self.out)
+    }
+}
+
+/// Fig. 9.
+#[derive(Default)]
+struct QueueRunsPass {
+    out: Option<QueueRunLengths>,
+}
+
+impl AnalysisPass for QueueRunsPass {
+    fn stage(&self) -> &'static str {
+        cgc_obs::stages::A_QUEUE_RUNS
+    }
+
+    fn streamable(&self) -> bool {
+        false
+    }
+
+    fn run_full(&mut self, view: &TraceView<'_>) {
+        self.out = Some(queue_runlengths(view.trace(), QUEUE_SAMPLE_PERIOD));
+    }
+
+    fn finish(self: Box<Self>, _ctx: &PassContext) -> PassOutput {
+        PassOutput::QueueRuns(self.out.expect("run_full executes before finish"))
+    }
+}
+
+/// Table II/III for one attribute (all tasks).
+struct LevelRunsPass {
+    attr: UsageAttribute,
+    out: Option<LevelRunTable>,
+}
+
+impl LevelRunsPass {
+    fn new(attr: UsageAttribute) -> Self {
+        LevelRunsPass { attr, out: None }
+    }
+}
+
+impl AnalysisPass for LevelRunsPass {
+    fn stage(&self) -> &'static str {
+        cgc_obs::stages::A_LEVEL_RUNS
+    }
+
+    fn streamable(&self) -> bool {
+        false
+    }
+
+    fn run_full(&mut self, view: &TraceView<'_>) {
+        self.out = Some(crate::hostload::usage_levels::usage_level_runs_from_view(
+            view, self.attr,
+        ));
+    }
+
+    fn finish(self: Box<Self>, _ctx: &PassContext) -> PassOutput {
+        PassOutput::LevelRuns(self.out.expect("run_full executes before finish"))
+    }
+}
+
+/// Figs. 11/12 for one attribute and priority view.
+struct MassCountPass {
+    attr: UsageAttribute,
+    min_class: Option<PriorityClass>,
+    out: Option<UsageMassCount>,
+}
+
+impl MassCountPass {
+    fn new(attr: UsageAttribute, min_class: Option<PriorityClass>) -> Self {
+        MassCountPass {
+            attr,
+            min_class,
+            out: None,
+        }
+    }
+}
+
+impl AnalysisPass for MassCountPass {
+    fn stage(&self) -> &'static str {
+        cgc_obs::stages::A_MASSCOUNT
+    }
+
+    fn streamable(&self) -> bool {
+        false
+    }
+
+    fn run_full(&mut self, view: &TraceView<'_>) {
+        // The all-tasks views share the cached attribute extraction; the
+        // per-class views need a different sample split, which only the
+        // trace itself can provide.
+        self.out = match self.min_class {
+            None => usage_masscount_from_view(view, self.attr),
+            Some(_) => usage_masscount(view.trace(), self.attr, self.min_class),
+        };
+    }
+
+    fn finish(self: Box<Self>, _ctx: &PassContext) -> PassOutput {
+        PassOutput::MassCount {
+            attribute: self.attr,
+            min_class: self.min_class,
+            result: self.out,
+        }
+    }
+}
+
+/// Fig. 13.
+#[derive(Default)]
+struct ComparisonPass {
+    out: Option<HostComparison>,
+}
+
+impl AnalysisPass for ComparisonPass {
+    fn stage(&self) -> &'static str {
+        cgc_obs::stages::A_COMPARISON
+    }
+
+    fn streamable(&self) -> bool {
+        false
+    }
+
+    fn run_full(&mut self, view: &TraceView<'_>) {
+        self.out = crate::hostload::host_comparison(view.trace(), 0);
+    }
+
+    fn finish(self: Box<Self>, _ctx: &PassContext) -> PassOutput {
+        PassOutput::Comparison(self.out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registries_cover_their_sections() {
+        assert_eq!(workload_passes(false).len(), 7);
+        assert!(workload_passes(false).iter().all(|p| p.streamable()));
+        assert_eq!(hostload_passes().len(), 9);
+        assert!(hostload_passes().iter().all(|p| !p.streamable()));
+    }
+
+    #[test]
+    fn exact_value_acc_keeps_everything() {
+        let mut acc = ValueAcc::new(false);
+        for v in [3.0, 1.0, 2.0] {
+            acc.push(v);
+        }
+        assert_eq!(acc.bytes(), 3 * 8);
+        match acc.resolve() {
+            ResolvedValues::Exact(values) => assert_eq!(values, vec![3.0, 1.0, 2.0]),
+            ResolvedValues::Approx { .. } => panic!("exact accumulator resolved as approx"),
+        }
+    }
+
+    #[test]
+    fn approx_value_acc_is_bounded() {
+        let mut acc = ValueAcc::new(true);
+        for i in 0..(APPROX_SAMPLE + 100) {
+            acc.push(i as f64);
+        }
+        assert!(acc.bytes() <= APPROX_SAMPLE * 8);
+        match acc.resolve() {
+            ResolvedValues::Approx { moments, sample } => {
+                assert_eq!(moments.count(), (APPROX_SAMPLE + 100) as u64);
+                assert_eq!(sample.len(), APPROX_SAMPLE);
+            }
+            ResolvedValues::Exact(_) => panic!("approx accumulator resolved as exact"),
+        }
+    }
+
+    #[test]
+    fn approx_summary_prefers_exact_moments() {
+        let mut moments = StreamingSummary::new();
+        for v in [1.0, 2.0, 3.0, 10.0] {
+            moments.push(v);
+        }
+        let sample = Summary::of(&[1.0, 3.0]);
+        let s = approx_summary(&sample, &moments);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.max, 10.0);
+        assert_eq!(s.median, sample.median);
+    }
+}

@@ -4,19 +4,25 @@
 //! sections are skipped for workload-only traces) and returns a
 //! serializable [`CharacterizationReport`] whose `Display` output reads
 //! like the paper's summary section.
+//!
+//! Since the analysis-pass refactor this is a thin driver: workload
+//! analyses are [`crate::pass::AnalysisPass`] accumulators fed by one
+//! shared sweep over the trace's records, and host-load analyses run over
+//! one shared [`TraceView`] that extracts each attribute series exactly
+//! once. The report JSON is bit-identical to the old function-per-figure
+//! scans.
 
 use crate::hostload::{
-    host_comparison, max_load_distribution, queue_runlengths, usage_level_runs, usage_masscount,
     HostComparison, LevelRunTable, MaxLoadDistribution, QueueRunLengths, UsageMassCount,
 };
+use crate::pass::{self, PassContext};
+use crate::view::TraceView;
 use crate::workload::{
-    job_length_analysis, priority_histogram, resubmission_analysis, submission_analysis,
-    task_length_analysis, JobLengthAnalysis, PriorityHistogram, ResubmissionAnalysis,
-    SubmissionAnalysis, TaskLengthAnalysis,
+    JobLengthAnalysis, PriorityHistogram, ResubmissionAnalysis, SubmissionAnalysis,
+    TaskLengthAnalysis,
 };
 use cgc_stats::Summary;
-use cgc_trace::usage::UsageAttribute;
-use cgc_trace::{PriorityClass, Trace};
+use cgc_trace::Trace;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -74,22 +80,25 @@ pub struct CharacterizationReport {
     pub hostload: Option<HostloadSection>,
 }
 
-/// Histogram resolution of the Fig. 7 reproduction.
-const MAX_LOAD_BINS: usize = 25;
-
-/// Sampling period for the Fig. 9 queue-state series, in seconds.
-const QUEUE_SAMPLE_PERIOD: u64 = 60;
-
 /// Runs every supported analysis on the trace.
 ///
-/// Every analysis is an independent pure pass over the shared `&Trace`,
-/// so the two report sections — and the analyses within each — are forked
-/// onto the rayon pool with [`rayon::join`]. The result is deterministic
-/// regardless of thread count: each analysis writes only its own slot in
-/// the report.
+/// The workload section comes from one shared sweep over the job, task,
+/// and event records feeding every registered [`crate::pass::AnalysisPass`]
+/// at once; the host-load section runs its (non-streamable) passes over a
+/// shared [`TraceView`], forked onto the rayon pool. The result is
+/// deterministic regardless of thread count: each pass writes only its
+/// own slot in the report.
 pub fn characterize(trace: &Trace) -> CharacterizationReport {
     let _span = cgc_obs::span(cgc_obs::stages::CHARACTERIZE);
-    let (workload, hostload) = rayon::join(|| workload_section(trace), || hostload_section(trace));
+    let view = TraceView::new(trace);
+    let ctx = PassContext {
+        system: trace.system.clone(),
+        horizon: trace.horizon,
+    };
+    let (workload, hostload) = rayon::join(
+        || workload_section(trace, &ctx),
+        || hostload_section(&view, &ctx),
+    );
     CharacterizationReport {
         system: trace.system.clone(),
         workload,
@@ -97,160 +106,23 @@ pub fn characterize(trace: &Trace) -> CharacterizationReport {
     }
 }
 
-/// Runs one analysis under its observability span, so per-analysis
-/// durations land in the metrics snapshot (and the span observer) even
-/// though the analyses execute on rayon worker threads.
-fn spanned<T>(stage: &'static str, f: impl FnOnce() -> T) -> T {
-    let _span = cgc_obs::span(stage);
-    f()
+/// Section III: sweep the records once through the workload registry,
+/// then finish each pass into its report slot.
+fn workload_section(trace: &Trace, ctx: &PassContext) -> WorkloadSection {
+    let mut passes = pass::workload_passes(false);
+    pass::spanned(cgc_obs::stages::A_SWEEP, || {
+        pass::observe_records(&mut passes, &trace.jobs, &trace.tasks, &trace.events);
+    });
+    pass::finish_workload(passes, ctx)
 }
 
-/// Section III analyses, pairwise forked.
-fn workload_section(trace: &Trace) -> WorkloadSection {
-    use cgc_obs::stages;
-    let ((job_length, task_length), ((submission, resubmission), (cpu_usage, memory_mb))) =
-        rayon::join(
-            || {
-                rayon::join(
-                    || spanned(stages::A_JOB_LENGTH, || job_length_analysis(trace)),
-                    || spanned(stages::A_TASK_LENGTH, || task_length_analysis(trace)),
-                )
-            },
-            || {
-                rayon::join(
-                    || {
-                        rayon::join(
-                            || spanned(stages::A_SUBMISSION, || submission_analysis(trace)),
-                            || spanned(stages::A_RESUBMISSION, || resubmission_analysis(trace)),
-                        )
-                    },
-                    || {
-                        rayon::join(
-                            || {
-                                spanned(stages::A_CPU_USAGE, || {
-                                    crate::workload::job_cpu_usage(trace)
-                                        .map(|e| Summary::of(e.values()))
-                                })
-                            },
-                            || {
-                                spanned(stages::A_MEMORY, || {
-                                    crate::workload::job_memory_mb(trace, 32.0)
-                                        .map(|e| Summary::of(e.values()))
-                                })
-                            },
-                        )
-                    },
-                )
-            },
-        );
-    WorkloadSection {
-        priorities: spanned(stages::A_PRIORITIES, || priority_histogram(trace)),
-        job_length,
-        submission,
-        task_length,
-        cpu_usage,
-        memory_mb_at_32gb: memory_mb,
-        resubmission,
-    }
-}
-
-/// Section IV analyses, pairwise forked; the four mass-count passes are
-/// the heavy ones and get their own subtree.
-fn hostload_section(trace: &Trace) -> Option<HostloadSection> {
-    if !trace.host_series.iter().any(|s| !s.is_empty()) {
+/// Section IV: run the host-load registry over the shared view. `None`
+/// for workload-only traces (no machine reported a sample).
+fn hostload_section(view: &TraceView<'_>, ctx: &PassContext) -> Option<HostloadSection> {
+    if !view.trace().host_series.iter().any(|s| !s.is_empty()) {
         return None;
     }
-    use cgc_obs::stages;
-    let ((max_loads, queue_runs), ((cpu_level_runs, memory_level_runs), masscounts)) = rayon::join(
-        || {
-            rayon::join(
-                || {
-                    spanned(stages::A_MAX_LOADS, || {
-                        UsageAttribute::ALL
-                            .iter()
-                            .map(|&attr| max_load_distribution(trace, attr, MAX_LOAD_BINS))
-                            .collect()
-                    })
-                },
-                || {
-                    spanned(stages::A_QUEUE_RUNS, || {
-                        queue_runlengths(trace, QUEUE_SAMPLE_PERIOD)
-                    })
-                },
-            )
-        },
-        || {
-            rayon::join(
-                || {
-                    rayon::join(
-                        || {
-                            spanned(stages::A_LEVEL_RUNS, || {
-                                usage_level_runs(trace, UsageAttribute::Cpu, None)
-                            })
-                        },
-                        || {
-                            spanned(stages::A_LEVEL_RUNS, || {
-                                usage_level_runs(trace, UsageAttribute::MemoryUsed, None)
-                            })
-                        },
-                    )
-                },
-                || {
-                    rayon::join(
-                        || {
-                            rayon::join(
-                                || {
-                                    spanned(stages::A_MASSCOUNT, || {
-                                        usage_masscount(trace, UsageAttribute::Cpu, None)
-                                    })
-                                },
-                                || {
-                                    spanned(stages::A_MASSCOUNT, || {
-                                        usage_masscount(
-                                            trace,
-                                            UsageAttribute::Cpu,
-                                            Some(PriorityClass::Middle),
-                                        )
-                                    })
-                                },
-                            )
-                        },
-                        || {
-                            rayon::join(
-                                || {
-                                    spanned(stages::A_MASSCOUNT, || {
-                                        usage_masscount(trace, UsageAttribute::MemoryUsed, None)
-                                    })
-                                },
-                                || {
-                                    spanned(stages::A_MASSCOUNT, || {
-                                        usage_masscount(
-                                            trace,
-                                            UsageAttribute::MemoryUsed,
-                                            Some(PriorityClass::Middle),
-                                        )
-                                    })
-                                },
-                            )
-                        },
-                    )
-                },
-            )
-        },
-    );
-    let ((cpu_masscount, cpu_masscount_high), (memory_masscount, memory_masscount_high)) =
-        masscounts;
-    Some(HostloadSection {
-        max_loads,
-        queue_runs,
-        cpu_level_runs,
-        memory_level_runs,
-        cpu_masscount,
-        cpu_masscount_high,
-        memory_masscount,
-        memory_masscount_high,
-        comparison: spanned(stages::A_COMPARISON, || host_comparison(trace, 0)),
-    })
+    Some(pass::run_hostload(view, ctx))
 }
 
 impl fmt::Display for CharacterizationReport {

@@ -1,0 +1,251 @@
+//! Out-of-core characterization: the workload passes fed batch-by-batch.
+//!
+//! [`characterize_stream`] runs the same registry as
+//! [`characterize`](crate::report::characterize), but feeds it record
+//! batches from [`cgc_trace::TraceBatches`] instead of a materialized
+//! [`Trace`](cgc_trace::Trace) — memory stays bounded by the batch size
+//! plus the pass accumulators. In exact mode (the default) the workload
+//! section is bit-identical to the in-memory report; with
+//! [`StreamOptions::approx`] the accumulators themselves become bounded
+//! (streaming moments plus reservoir samples) at the cost of
+//! approximate medians, curves, and mass–count shapes.
+//!
+//! Host-load analyses need whole per-machine series and therefore cannot
+//! stream: the report's `hostload` is always `None` here, and callers
+//! should point users at the in-memory path when the stream carried
+//! usage samples ([`StreamStats::samples`] `> 0`).
+
+use crate::pass::{self, PassContext};
+use crate::report::CharacterizationReport;
+use cgc_trace::io::ParseError;
+use cgc_trace::{TraceBatches, DEFAULT_BATCH_RECORDS};
+use serde::Serialize;
+use std::io::BufRead;
+
+/// Tuning knobs for [`characterize_stream`].
+#[derive(Debug, Clone)]
+pub struct StreamOptions {
+    /// Records per batch (the final batch may be smaller). Must be
+    /// positive.
+    pub batch_records: usize,
+    /// Bound accumulator memory with reservoir sampling instead of exact
+    /// value vectors. Summaries keep exact counts/extrema/means; medians
+    /// and distribution shapes become sample estimates.
+    pub approx: bool,
+}
+
+impl Default for StreamOptions {
+    fn default() -> Self {
+        StreamOptions {
+            batch_records: DEFAULT_BATCH_RECORDS,
+            approx: false,
+        }
+    }
+}
+
+/// What one streaming run saw and spent.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct StreamStats {
+    /// Batches processed (at least one, even for empty input).
+    pub batches: u64,
+    /// Machine records seen.
+    pub machines: u64,
+    /// Job records seen.
+    pub jobs: u64,
+    /// Task records seen.
+    pub tasks: u64,
+    /// Task events seen.
+    pub events: u64,
+    /// Usage samples seen — and dropped: host-load analyses don't stream.
+    pub samples: u64,
+    /// Bytes consumed from the reader.
+    pub bytes_read: u64,
+    /// Peak total accumulator footprint across the passes, sampled at
+    /// batch boundaries.
+    pub peak_accumulator_bytes: u64,
+    /// Whether accumulators were bounded ([`StreamOptions::approx`]).
+    pub approx: bool,
+}
+
+/// Characterizes a trace from a reader without materializing it.
+///
+/// Parsing is exactly as strict as [`cgc_trace::read_trace`]: the first
+/// malformed line aborts with the same [`ParseError`].
+///
+/// # Panics
+/// If [`StreamOptions::batch_records`] is zero.
+pub fn characterize_stream<R: BufRead>(
+    reader: R,
+    opts: &StreamOptions,
+) -> Result<(CharacterizationReport, StreamStats), ParseError> {
+    let _span = cgc_obs::span(cgc_obs::stages::STREAM);
+    let mut batches = TraceBatches::with_batch_records(reader, opts.batch_records);
+    let mut passes = pass::workload_passes(opts.approx);
+    let mut stats = StreamStats {
+        batches: 0,
+        machines: 0,
+        jobs: 0,
+        tasks: 0,
+        events: 0,
+        samples: 0,
+        bytes_read: 0,
+        peak_accumulator_bytes: 0,
+        approx: opts.approx,
+    };
+    for batch in &mut batches {
+        let batch = batch?;
+        pass::spanned(cgc_obs::stages::A_SWEEP, || {
+            pass::observe_records(&mut passes, &batch.jobs, &batch.tasks, &batch.events);
+        });
+        stats.batches += 1;
+        stats.machines += batch.machines.len() as u64;
+        stats.jobs += batch.jobs.len() as u64;
+        stats.tasks += batch.tasks.len() as u64;
+        stats.events += batch.events.len() as u64;
+        stats.samples += batch.samples;
+        let held: usize = passes.iter().map(|p| p.accumulator_bytes()).sum();
+        stats.peak_accumulator_bytes = stats.peak_accumulator_bytes.max(held as u64);
+    }
+    stats.bytes_read = batches.bytes_read();
+    let ctx = PassContext {
+        system: batches.system().to_string(),
+        horizon: batches.horizon(),
+    };
+    let workload = pass::finish_workload(passes, &ctx);
+    Ok((
+        CharacterizationReport {
+            system: ctx.system,
+            workload,
+            hostload: None,
+        },
+        stats,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgc_trace::io::write_trace;
+    use cgc_trace::task::{TaskEvent, TaskEventKind};
+    use cgc_trace::usage::{HostSeries, UsageSample};
+    use cgc_trace::{Demand, Priority, Trace, TraceBuilder, UserId};
+    use std::io::Cursor;
+
+    fn sample_trace() -> Trace {
+        let mut b = TraceBuilder::new("stream-core", 7_200);
+        let m0 = b.add_machine(0.5, 0.75, 1.0);
+        for ji in 0..20u64 {
+            let j = b.add_job(
+                UserId((ji % 4) as u32),
+                Priority::from_level((ji % 12) as u8 + 1),
+                ji * 30,
+            );
+            b.set_job_usage(j, 5.0 * (ji + 1) as f64, 0.01);
+            let t = b.add_task(j, Demand::new(0.02, 0.01));
+            b.push_event(TaskEvent {
+                time: ji * 30,
+                task: t,
+                machine: None,
+                kind: TaskEventKind::Submit,
+            });
+            b.push_event(TaskEvent {
+                time: ji * 30 + 2,
+                task: t,
+                machine: Some(m0),
+                kind: TaskEventKind::Schedule,
+            });
+            let kind = if ji % 5 == 0 {
+                TaskEventKind::Fail
+            } else {
+                TaskEventKind::Finish
+            };
+            b.push_event(TaskEvent {
+                time: ji * 30 + 40,
+                task: t,
+                machine: Some(m0),
+                kind,
+            });
+        }
+        let mut series = HostSeries::new(m0, 0, 300);
+        series.samples = vec![UsageSample::default(); 3];
+        b.add_host_series(series);
+        b.build().expect("legal event sequence")
+    }
+
+    #[test]
+    fn exact_stream_matches_in_memory_workload() {
+        let trace = sample_trace();
+        let text = write_trace(&trace);
+        let whole = crate::report::characterize(&trace);
+        for batch_records in [1, 7, 1 << 20] {
+            let (report, stats) = characterize_stream(
+                Cursor::new(&text),
+                &StreamOptions {
+                    batch_records,
+                    approx: false,
+                },
+            )
+            .expect("well-formed trace");
+            assert_eq!(report.system, whole.system);
+            assert_eq!(report.workload, whole.workload);
+            assert!(report.hostload.is_none());
+            assert_eq!(stats.jobs, 20);
+            assert_eq!(stats.samples, 3);
+            assert!(stats.peak_accumulator_bytes > 0);
+            assert_eq!(stats.bytes_read, text.len() as u64);
+        }
+    }
+
+    #[test]
+    fn approx_stream_keeps_exact_counts_and_extrema() {
+        let trace = sample_trace();
+        let text = write_trace(&trace);
+        let whole = crate::report::characterize(&trace);
+        let (report, stats) = characterize_stream(
+            Cursor::new(&text),
+            &StreamOptions {
+                batch_records: 4,
+                approx: true,
+            },
+        )
+        .expect("well-formed trace");
+        assert!(stats.approx);
+        let (a, b) = (
+            report.workload.job_length.unwrap().summary,
+            whole.workload.job_length.unwrap().summary,
+        );
+        assert_eq!(a.count, b.count);
+        assert_eq!(a.min, b.min);
+        assert_eq!(a.max, b.max);
+        assert!((a.mean - b.mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        let text = "#trace sys 100\n#machines\nnot-a-machine\n";
+        let err = characterize_stream(Cursor::new(text), &StreamOptions::default())
+            .expect_err("malformed line must abort");
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_report() {
+        let (report, stats) =
+            characterize_stream(Cursor::new(""), &StreamOptions::default()).unwrap();
+        assert_eq!(stats.batches, 1);
+        assert!(report.workload.job_length.is_none());
+        assert_eq!(report.workload.priorities.total_jobs(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_size_panics() {
+        let _ = characterize_stream(
+            Cursor::new(""),
+            &StreamOptions {
+                batch_records: 0,
+                approx: false,
+            },
+        );
+    }
+}

@@ -1,0 +1,223 @@
+//! Shared derived products of one trace, computed at most once.
+//!
+//! Several analyses re-derive the same intermediates from a
+//! [`Trace`]: the sorted submission timestamps, the job/task length
+//! vectors, and — by far the heaviest — the per-machine per-attribute
+//! usage series with their capacities and peaks. [`TraceView`] wraps a
+//! borrowed trace and memoizes each product behind a [`OnceLock`], so the
+//! analysis passes driven by [`crate::report::characterize`] (and any
+//! external consumer, e.g. the plot-data exporter) share one computation
+//! and one allocation per product.
+//!
+//! Every cached product is stored in its *raw* form — attribute values
+//! are not pre-divided by capacity — because consumers scale differently
+//! (`v / cap` for level bands, `100.0 * v / cap` for mass–count
+//! percentages) and the two expressions are not bit-identical when
+//! reassociated. Keeping raw values lets each consumer apply its own
+//! arithmetic and reproduce the pre-refactor reports byte for byte.
+
+use cgc_trace::usage::UsageAttribute;
+use cgc_trace::{MachineRecord, Timestamp, Trace};
+use rayon::prelude::*;
+use std::sync::OnceLock;
+
+/// The capacity of `m` governing attribute `attr` (memory attributes
+/// share the memory capacity).
+pub(crate) fn capacity_for(m: &MachineRecord, attr: UsageAttribute) -> f64 {
+    match attr {
+        UsageAttribute::Cpu => m.cpu_capacity,
+        UsageAttribute::MemoryUsed | UsageAttribute::MemoryAssigned => m.memory_capacity,
+        UsageAttribute::PageCache => m.page_cache_capacity,
+    }
+}
+
+/// One attribute extracted from every non-empty host series, in trace
+/// order: the machine's capacity for the attribute, the series' sampling
+/// period, the raw per-sample values, and their peak.
+///
+/// Index `i` of each vector refers to the `i`-th non-empty entry of
+/// [`Trace::host_series`].
+#[derive(Debug, Clone, Default)]
+pub struct AttributeSeries {
+    /// Capacity of the owning machine for this attribute.
+    pub capacities: Vec<f64>,
+    /// Sampling period of each series, in seconds.
+    pub periods: Vec<u64>,
+    /// Raw attribute values per sample (not scaled by capacity).
+    pub values: Vec<Vec<f64>>,
+    /// Peak raw value per series (`fold(0.0, f64::max)`, matching
+    /// [`HostSeries::max_attribute`](cgc_trace::HostSeries::max_attribute)).
+    pub peaks: Vec<f64>,
+}
+
+impl AttributeSeries {
+    /// Number of (non-empty) series captured.
+    pub fn len(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// Whether no machine reported samples.
+    pub fn is_empty(&self) -> bool {
+        self.capacities.is_empty()
+    }
+}
+
+fn attribute_slot(attr: UsageAttribute) -> usize {
+    match attr {
+        UsageAttribute::Cpu => 0,
+        UsageAttribute::MemoryUsed => 1,
+        UsageAttribute::MemoryAssigned => 2,
+        UsageAttribute::PageCache => 3,
+    }
+}
+
+/// Borrowed trace plus lazily cached derived products.
+///
+/// Cheap to construct (no product is computed until asked for) and
+/// `Sync`, so parallel analysis passes can share one view; the first
+/// pass to ask for a product computes it, later ones reuse it.
+pub struct TraceView<'a> {
+    trace: &'a Trace,
+    submission_times: OnceLock<Vec<Timestamp>>,
+    job_lengths: OnceLock<Vec<u64>>,
+    task_execution_times: OnceLock<Vec<u64>>,
+    attributes: [OnceLock<AttributeSeries>; 4],
+}
+
+impl<'a> TraceView<'a> {
+    /// Wraps a trace. No derived product is computed yet.
+    pub fn new(trace: &'a Trace) -> Self {
+        TraceView {
+            trace,
+            submission_times: OnceLock::new(),
+            job_lengths: OnceLock::new(),
+            task_execution_times: OnceLock::new(),
+            attributes: [
+                OnceLock::new(),
+                OnceLock::new(),
+                OnceLock::new(),
+                OnceLock::new(),
+            ],
+        }
+    }
+
+    /// The underlying trace.
+    pub fn trace(&self) -> &'a Trace {
+        self.trace
+    }
+
+    /// Job submission times, ascending (computed once).
+    pub fn submission_times(&self) -> &[Timestamp] {
+        self.submission_times.get_or_init(|| {
+            let mut times: Vec<Timestamp> = self.trace.jobs.iter().map(|j| j.submit_time).collect();
+            times.sort_unstable();
+            times
+        })
+    }
+
+    /// Lengths of all finished jobs, in seconds, in job order (computed
+    /// once).
+    pub fn job_lengths(&self) -> &[u64] {
+        self.job_lengths
+            .get_or_init(|| self.trace.jobs.iter().filter_map(|j| j.length()).collect())
+    }
+
+    /// Execution times of all tasks that ever ran, in task order
+    /// (computed once).
+    pub fn task_execution_times(&self) -> &[u64] {
+        self.task_execution_times.get_or_init(|| {
+            self.trace
+                .tasks
+                .iter()
+                .filter(|t| t.ever_ran())
+                .map(|t| t.execution_time)
+                .collect()
+        })
+    }
+
+    /// One attribute over every non-empty host series (computed once per
+    /// attribute). The extraction scans every sample of every machine —
+    /// the heavy part of the host-load analyses — so it fans out over the
+    /// rayon pool; order is preserved.
+    pub fn attribute_series(&self, attr: UsageAttribute) -> &AttributeSeries {
+        self.attributes[attribute_slot(attr)].get_or_init(|| {
+            let per_series: Vec<(f64, u64, Vec<f64>, f64)> = self
+                .trace
+                .host_series
+                .par_iter()
+                .filter(|s| !s.is_empty())
+                .map(|s| {
+                    let m = &self.trace.machines[s.machine.index()];
+                    let cap = capacity_for(m, attr);
+                    let values = s.attribute(attr, None);
+                    let peak = values.iter().copied().fold(0.0, f64::max);
+                    (cap, s.period, values, peak)
+                })
+                .collect();
+            let mut out = AttributeSeries::default();
+            for (cap, period, values, peak) in per_series {
+                out.capacities.push(cap);
+                out.periods.push(period);
+                out.values.push(values);
+                out.peaks.push(peak);
+            }
+            out
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgc_trace::usage::{ClassSplit, HostSeries, UsageSample};
+    use cgc_trace::TraceBuilder;
+
+    fn sample(cpu: f64) -> UsageSample {
+        UsageSample {
+            cpu: ClassSplit {
+                low: cpu,
+                middle: 0.0,
+                high: 0.0,
+            },
+            memory_used: ClassSplit::ZERO,
+            memory_assigned: ClassSplit::ZERO,
+            page_cache: 0.0,
+        }
+    }
+
+    fn trace() -> Trace {
+        let mut b = TraceBuilder::new("v", 900);
+        let m0 = b.add_machine(0.5, 0.5, 1.0);
+        let m1 = b.add_machine(1.0, 1.0, 1.0);
+        let mut s0 = HostSeries::new(m0, 0, 300);
+        s0.samples.extend([sample(0.1), sample(0.4)]);
+        b.add_host_series(s0);
+        // m1 reports an empty series: must be skipped.
+        b.add_host_series(HostSeries::new(m1, 0, 300));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn attribute_series_skips_empty_and_keeps_raw_values() {
+        let t = trace();
+        let view = TraceView::new(&t);
+        let a = view.attribute_series(UsageAttribute::Cpu);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.capacities, vec![0.5]);
+        assert_eq!(a.periods, vec![300]);
+        assert_eq!(a.values[0], vec![0.1, 0.4]);
+        assert_eq!(a.peaks, vec![0.4]);
+    }
+
+    #[test]
+    fn cached_products_match_the_trace_helpers() {
+        let t = trace();
+        let view = TraceView::new(&t);
+        assert_eq!(view.submission_times(), &t.submission_times()[..]);
+        assert_eq!(view.task_execution_times(), &t.task_execution_times()[..]);
+        assert_eq!(view.job_lengths(), &t.job_lengths()[..]);
+        // Second call returns the same cached slice.
+        let first = view.submission_times().as_ptr();
+        assert_eq!(view.submission_times().as_ptr(), first);
+    }
+}

@@ -4,6 +4,7 @@
 //! paper's finding: over 80% of Google jobs finish within 1000 seconds,
 //! while most grid jobs run longer than 2000 seconds.
 
+use crate::pass::{AnalysisPass, PassContext, PassOutput, ResolvedValues, ValueAcc};
 use cgc_stats::{Ecdf, Summary};
 use cgc_trace::Trace;
 use serde::{Deserialize, Serialize};
@@ -34,19 +35,74 @@ impl JobLengthAnalysis {
 
 /// Analyzes finished-job lengths; `None` if the trace has no finished jobs.
 pub fn job_length_analysis(trace: &Trace) -> Option<JobLengthAnalysis> {
-    let lengths = trace.job_lengths();
+    let lengths: Vec<f64> = trace
+        .jobs
+        .iter()
+        .filter_map(|j| j.length())
+        .map(|l| l as f64)
+        .collect();
+    assemble(trace.system.clone(), lengths)
+}
+
+/// Finish-math shared by [`job_length_analysis`] and [`JobLengthPass`]:
+/// lengths (seconds, job order) to the full analysis.
+fn assemble(system: String, lengths: Vec<f64>) -> Option<JobLengthAnalysis> {
     if lengths.is_empty() {
         return None;
     }
-    let ecdf = Ecdf::from_durations(&lengths);
+    let summary = Summary::of(&lengths);
+    let ecdf = Ecdf::new(lengths);
     Some(JobLengthAnalysis {
-        system: trace.system.clone(),
-        summary: Summary::of_durations(&lengths),
+        system,
+        summary,
         frac_under_1000s: ecdf.eval(1_000.0),
         frac_under_2000s: ecdf.eval(2_000.0),
         cdf_curve: ecdf.curve(0.0, 10_000.0, 101),
         ecdf: Some(ecdf),
     })
+}
+
+/// Accumulating [`AnalysisPass`] form of [`job_length_analysis`].
+#[derive(Debug)]
+pub(crate) struct JobLengthPass {
+    lengths: ValueAcc,
+}
+
+impl JobLengthPass {
+    pub(crate) fn new(approx: bool) -> Self {
+        JobLengthPass {
+            lengths: ValueAcc::new(approx),
+        }
+    }
+}
+
+impl AnalysisPass for JobLengthPass {
+    fn stage(&self) -> &'static str {
+        cgc_obs::stages::A_JOB_LENGTH
+    }
+
+    fn observe_job(&mut self, job: &cgc_trace::JobRecord) {
+        if let Some(len) = job.length() {
+            self.lengths.push(len as f64);
+        }
+    }
+
+    fn accumulator_bytes(&self) -> usize {
+        self.lengths.bytes()
+    }
+
+    fn finish(self: Box<Self>, ctx: &PassContext) -> PassOutput {
+        let analysis = match self.lengths.resolve() {
+            ResolvedValues::Exact(lengths) => assemble(ctx.system.clone(), lengths),
+            ResolvedValues::Approx { moments, sample } => {
+                assemble(ctx.system.clone(), sample).map(|mut a| {
+                    a.summary = crate::pass::approx_summary(&a.summary, &moments);
+                    a
+                })
+            }
+        };
+        PassOutput::JobLength(analysis)
+    }
 }
 
 #[cfg(test)]

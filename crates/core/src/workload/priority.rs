@@ -5,6 +5,7 @@
 //! machine can still be idle from a high-priority task's point of view —
 //! drives all the per-class host-load views later.
 
+use crate::pass::{AnalysisPass, PassContext, PassOutput};
 use cgc_trace::priority::NUM_PRIORITIES;
 use cgc_trace::{PriorityClass, Trace};
 use serde::{Deserialize, Serialize};
@@ -56,17 +57,55 @@ impl PriorityHistogram {
 
 /// Computes the Fig. 2 histograms from a trace.
 pub fn priority_histogram(trace: &Trace) -> PriorityHistogram {
-    let mut h = PriorityHistogram {
-        jobs: [0; NUM_PRIORITIES],
-        tasks: [0; NUM_PRIORITIES],
-    };
+    let mut pass = PriorityPass::default();
     for j in &trace.jobs {
-        h.jobs[j.priority.index()] += 1;
+        pass.observe_job(j);
     }
     for t in &trace.tasks {
-        h.tasks[t.priority.index()] += 1;
+        pass.observe_task(t);
     }
-    h
+    pass.histogram
+}
+
+/// Accumulating [`AnalysisPass`] form of [`priority_histogram`]. The
+/// histogram is fixed-size, so this pass streams in O(1) memory with no
+/// approximation.
+#[derive(Debug)]
+pub(crate) struct PriorityPass {
+    histogram: PriorityHistogram,
+}
+
+impl Default for PriorityPass {
+    fn default() -> Self {
+        PriorityPass {
+            histogram: PriorityHistogram {
+                jobs: [0; NUM_PRIORITIES],
+                tasks: [0; NUM_PRIORITIES],
+            },
+        }
+    }
+}
+
+impl AnalysisPass for PriorityPass {
+    fn stage(&self) -> &'static str {
+        cgc_obs::stages::A_PRIORITIES
+    }
+
+    fn observe_job(&mut self, job: &cgc_trace::JobRecord) {
+        self.histogram.jobs[job.priority.index()] += 1;
+    }
+
+    fn observe_task(&mut self, task: &cgc_trace::TaskRecord) {
+        self.histogram.tasks[task.priority.index()] += 1;
+    }
+
+    fn accumulator_bytes(&self) -> usize {
+        std::mem::size_of::<PriorityHistogram>()
+    }
+
+    fn finish(self: Box<Self>, _ctx: &PassContext) -> PassOutput {
+        PassOutput::Priorities(self.histogram)
+    }
 }
 
 #[cfg(test)]

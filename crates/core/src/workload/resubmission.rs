@@ -9,9 +9,10 @@
 //! mix (overall and per priority class) and the per-task resubmission
 //! behaviour (attempts CDF, crash-looper count, inter-attempt waits).
 
+use crate::pass::{AnalysisPass, PassContext, PassOutput, ResolvedValues, ValueAcc};
 use cgc_stats::Ecdf;
 use cgc_trace::trace::CompletionCounts;
-use cgc_trace::Trace;
+use cgc_trace::{TaskEventKind, Trace};
 use serde::{Deserialize, Serialize};
 
 /// A task with at least this many scheduling attempts is counted as a
@@ -136,6 +137,140 @@ pub fn resubmission_analysis(trace: &Trace) -> Option<ResubmissionAnalysis> {
         mean_resubmit_gap,
         attempts_cdf: Some(cdf),
     })
+}
+
+/// Accumulating [`AnalysisPass`] form of [`resubmission_analysis`].
+///
+/// Besides the attempts accumulator it keeps one byte per task (the
+/// priority class, so completion events — which only carry a task id —
+/// can be attributed to a class). Ids are dense and events always follow
+/// their task's declaration, so the lookup also works batch-by-batch.
+#[derive(Debug)]
+pub(crate) struct ResubmissionPass {
+    attempts: ValueAcc,
+    /// Priority-class index of task `i`, pushed in task-id order.
+    classes: Vec<u8>,
+    /// Per-class completion tallies: `(total, abnormal)`.
+    by_class: [(u64, u64); 3],
+    completions: CompletionCounts,
+    gap_sum: f64,
+    gap_count: u64,
+    crash_loopers: u64,
+}
+
+impl ResubmissionPass {
+    pub(crate) fn new(approx: bool) -> Self {
+        ResubmissionPass {
+            attempts: ValueAcc::new(approx),
+            classes: Vec::new(),
+            by_class: [(0, 0); 3],
+            completions: CompletionCounts::default(),
+            gap_sum: 0.0,
+            gap_count: 0,
+            crash_loopers: 0,
+        }
+    }
+}
+
+impl AnalysisPass for ResubmissionPass {
+    fn stage(&self) -> &'static str {
+        cgc_obs::stages::A_RESUBMISSION
+    }
+
+    fn observe_task(&mut self, task: &cgc_trace::TaskRecord) {
+        if task.ever_ran() {
+            self.attempts.push(f64::from(task.attempts));
+        }
+        self.classes.push(task.priority.class().index() as u8);
+        if let Some(gap) = task.mean_resubmit_gap() {
+            self.gap_sum += gap;
+            self.gap_count += 1;
+        }
+        if task.attempts >= CRASH_LOOP_ATTEMPTS {
+            self.crash_loopers += 1;
+        }
+    }
+
+    fn observe_event(&mut self, event: &cgc_trace::TaskEvent) {
+        match event.kind {
+            TaskEventKind::Finish => self.completions.finish += 1,
+            TaskEventKind::Evict => self.completions.evict += 1,
+            TaskEventKind::Fail => self.completions.fail += 1,
+            TaskEventKind::Kill => self.completions.kill += 1,
+            TaskEventKind::Lost => self.completions.lost += 1,
+            _ => {}
+        }
+        if event.kind.is_completion() {
+            // Tolerate partial traces (lenient parses): an event whose
+            // task record was skipped drops out of the per-class view.
+            if let Some(&class) = self.classes.get(event.task.index()) {
+                let slot = &mut self.by_class[class as usize];
+                slot.0 += 1;
+                if event.kind.is_abnormal_completion() {
+                    slot.1 += 1;
+                }
+            }
+        }
+    }
+
+    fn accumulator_bytes(&self) -> usize {
+        self.attempts.bytes() + self.classes.len()
+    }
+
+    fn finish(self: Box<Self>, ctx: &PassContext) -> PassOutput {
+        let (cdf, max_attempts, mean_attempts) = match self.attempts.resolve() {
+            ResolvedValues::Exact(attempts) => {
+                if attempts.is_empty() {
+                    return PassOutput::Resubmission(None);
+                }
+                let cdf = Ecdf::new(attempts);
+                let max = cdf.max() as u32;
+                let mean = cdf.mean();
+                (cdf, max, mean)
+            }
+            ResolvedValues::Approx { moments, sample } => {
+                if moments.count() == 0 {
+                    return PassOutput::Resubmission(None);
+                }
+                // Max and mean come from the exact moments; only the CDF
+                // shape is sample-based.
+                let s = moments.summary();
+                (Ecdf::new(sample), s.max as u32, s.mean)
+            }
+        };
+        let abnormal_share_by_class = self.by_class.map(|(total, abnormal)| {
+            if total == 0 {
+                0.0
+            } else {
+                abnormal as f64 / total as f64
+            }
+        });
+        let completions = self.completions;
+        let abnormal = completions.abnormal();
+        let kill_share_of_abnormal = if abnormal == 0 {
+            0.0
+        } else {
+            completions.kill as f64 / abnormal as f64
+        };
+        let mean_resubmit_gap = if self.gap_count == 0 {
+            0.0
+        } else {
+            self.gap_sum / self.gap_count as f64
+        };
+        PassOutput::Resubmission(Some(ResubmissionAnalysis {
+            system: ctx.system.clone(),
+            completions,
+            abnormal_fraction: completions.abnormal_fraction(),
+            fail_share_of_abnormal: completions.fail_share_of_abnormal(),
+            kill_share_of_abnormal,
+            abnormal_share_by_class,
+            max_attempts,
+            mean_attempts,
+            crash_looper_tasks: self.crash_loopers,
+            mean_resubmit_gap,
+            attempts_cdf: Some(cdf),
+        }))
+    }
 }
 
 #[cfg(test)]

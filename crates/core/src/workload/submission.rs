@@ -6,6 +6,7 @@
 //! reads 36 / 552 / 1421 at fairness 0.94; grids sit one to two orders of
 //! magnitude lower in rate and far lower in fairness.
 
+use crate::pass::{AnalysisPass, PassContext, PassOutput};
 use cgc_stats::{counts_per_window, jain_fairness_counts, Ecdf, Summary};
 use cgc_trace::{Trace, HOUR};
 use serde::{Deserialize, Serialize};
@@ -48,16 +49,25 @@ impl SubmissionAnalysis {
 /// Analyzes submission frequency; `None` if the trace has fewer than two
 /// jobs (no intervals to speak of).
 pub fn submission_analysis(trace: &Trace) -> Option<SubmissionAnalysis> {
-    let times = trace.submission_times();
-    if times.len() < 2 || trace.horizon == 0 {
+    assemble(
+        trace.system.clone(),
+        trace.horizon,
+        trace.submission_times(),
+    )
+}
+
+/// Finish-math shared by [`submission_analysis`] and [`SubmissionPass`]:
+/// sorted submission times to the full analysis.
+fn assemble(system: String, horizon: u64, times: Vec<u64>) -> Option<SubmissionAnalysis> {
+    if times.len() < 2 || horizon == 0 {
         return None;
     }
     let intervals: Vec<u64> = times.windows(2).map(|w| w[1] - w[0]).collect();
-    let counts = counts_per_window(&times, HOUR, trace.horizon);
+    let counts = counts_per_window(&times, HOUR, horizon);
     let count_summary = Summary::of(&counts.iter().map(|&c| c as f64).collect::<Vec<_>>());
     let ecdf = Ecdf::from_durations(&intervals);
     Some(SubmissionAnalysis {
-        system: trace.system.clone(),
+        system,
         rate: RateRow {
             max: count_summary.max,
             avg: count_summary.mean,
@@ -68,6 +78,37 @@ pub fn submission_analysis(trace: &Trace) -> Option<SubmissionAnalysis> {
         interval_cdf: ecdf.curve(0.0, 2_000.0, 101),
         intervals: Some(ecdf),
     })
+}
+
+/// Accumulating [`AnalysisPass`] form of [`submission_analysis`].
+///
+/// Always exact: the analysis needs the *sorted* submission stream (for
+/// consecutive intervals and hourly windows), which a bounded sample
+/// cannot provide, so the accumulator is the timestamp vector itself —
+/// 8 bytes per job, the smallest full-fidelity representation.
+#[derive(Debug, Default)]
+pub(crate) struct SubmissionPass {
+    times: Vec<u64>,
+}
+
+impl AnalysisPass for SubmissionPass {
+    fn stage(&self) -> &'static str {
+        cgc_obs::stages::A_SUBMISSION
+    }
+
+    fn observe_job(&mut self, job: &cgc_trace::JobRecord) {
+        self.times.push(job.submit_time);
+    }
+
+    fn accumulator_bytes(&self) -> usize {
+        self.times.len() * std::mem::size_of::<u64>()
+    }
+
+    fn finish(self: Box<Self>, ctx: &PassContext) -> PassOutput {
+        let mut times = self.times;
+        times.sort_unstable();
+        PassOutput::Submission(assemble(ctx.system.clone(), ctx.horizon, times))
+    }
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@
 //! 24/76 — because the handful of week-long services carries almost all the
 //! compute mass while 55% of tasks finish within 10 minutes.
 
+use crate::pass::{AnalysisPass, PassContext, PassOutput, ResolvedValues, ValueAcc};
 use cgc_stats::{MassCount, MassCountSummary, Summary};
 use cgc_trace::{Trace, HOUR, MINUTE};
 use serde::{Deserialize, Serialize};
@@ -33,18 +34,34 @@ pub struct TaskLengthAnalysis {
 /// Analyzes task execution times; `None` if no task ever ran (or all
 /// execution times are zero).
 pub fn task_length_analysis(trace: &Trace) -> Option<TaskLengthAnalysis> {
-    let lengths = trace.task_execution_times();
-    let mc = MassCount::from_durations(&lengths)?;
+    let lengths: Vec<f64> = trace
+        .tasks
+        .iter()
+        .filter(|t| t.ever_ran())
+        .map(|t| t.execution_time as f64)
+        .collect();
+    assemble(trace.system.clone(), lengths)
+}
+
+/// Finish-math shared by [`task_length_analysis`] and [`TaskLengthPass`]:
+/// execution times (seconds, task order) to the full analysis.
+///
+/// The under-threshold fractions come from one `partition_point` probe
+/// per threshold on the mass–count's sorted lengths, replacing the three
+/// O(n) filter scans the analysis used to make over the raw vector.
+fn assemble(system: String, lengths: Vec<f64>) -> Option<TaskLengthAnalysis> {
+    let summary = Summary::of(&lengths);
     let n = lengths.len() as f64;
-    let frac_under = |secs: f64| lengths.iter().filter(|&&l| (l as f64) <= secs).count() as f64 / n;
+    let mc = MassCount::new(lengths)?;
+    let frac_under = |secs: f64| mc.sorted().partition_point(|&l| l <= secs) as f64 / n;
     let day = cgc_trace::DAY as f64;
-    let curves = decimate(mc.curves(), 512)
+    let curves = cgc_stats::decimate(mc.curves(), 512)
         .into_iter()
         .map(|(x, fc, fm)| (x / day, fc, fm))
         .collect();
     Some(TaskLengthAnalysis {
-        system: trace.system.clone(),
-        summary: Summary::of_durations(&lengths),
+        system,
+        summary,
         masscount: mc.summary(),
         frac_under_10min: frac_under(10.0 * MINUTE as f64),
         frac_under_1h: frac_under(HOUR as f64),
@@ -53,18 +70,47 @@ pub fn task_length_analysis(trace: &Trace) -> Option<TaskLengthAnalysis> {
     })
 }
 
-fn decimate<T: Copy>(points: Vec<T>, max: usize) -> Vec<T> {
-    if points.len() <= max {
-        return points;
+/// Accumulating [`AnalysisPass`] form of [`task_length_analysis`].
+#[derive(Debug)]
+pub(crate) struct TaskLengthPass {
+    lengths: ValueAcc,
+}
+
+impl TaskLengthPass {
+    pub(crate) fn new(approx: bool) -> Self {
+        TaskLengthPass {
+            lengths: ValueAcc::new(approx),
+        }
     }
-    let step = points.len() as f64 / max as f64;
-    let mut out: Vec<T> = (0..max)
-        .map(|i| points[(i as f64 * step) as usize])
-        .collect();
-    if let Some(&last) = points.last() {
-        *out.last_mut().expect("max >= 1") = last;
+}
+
+impl AnalysisPass for TaskLengthPass {
+    fn stage(&self) -> &'static str {
+        cgc_obs::stages::A_TASK_LENGTH
     }
-    out
+
+    fn observe_task(&mut self, task: &cgc_trace::TaskRecord) {
+        if task.ever_ran() {
+            self.lengths.push(task.execution_time as f64);
+        }
+    }
+
+    fn accumulator_bytes(&self) -> usize {
+        self.lengths.bytes()
+    }
+
+    fn finish(self: Box<Self>, ctx: &PassContext) -> PassOutput {
+        let analysis = match self.lengths.resolve() {
+            ResolvedValues::Exact(lengths) => assemble(ctx.system.clone(), lengths),
+            ResolvedValues::Approx { moments, sample } => {
+                assemble(ctx.system.clone(), sample).map(|mut a| {
+                    a.summary = crate::pass::approx_summary(&a.summary, &moments);
+                    a
+                })
+            }
+        };
+        PassOutput::TaskLength(analysis)
+    }
 }
 
 #[cfg(test)]

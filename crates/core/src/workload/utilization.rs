@@ -7,7 +7,8 @@
 //! Fig. 6(b) de-normalizes under assumed 32 GB / 64 GB machine capacities,
 //! which [`job_memory_mb`] reproduces via its `max_capacity_gb` parameter.
 
-use cgc_stats::Ecdf;
+use crate::pass::{AnalysisPass, PassContext, PassOutput, ResolvedValues, ValueAcc};
+use cgc_stats::{Ecdf, Summary};
 use cgc_trace::Trace;
 
 /// ECDF of per-job CPU usage in processor units; `None` if no job finished.
@@ -33,6 +34,99 @@ pub fn job_memory_mb(trace: &Trace, max_capacity_gb: f64) -> Option<Ecdf> {
         .map(|j| j.mean_memory * max_capacity_gb * 1_024.0)
         .collect();
     Some(Ecdf::new(values))
+}
+
+/// The report's scalar view of either utilization ECDF: the summary of
+/// the sorted sample (so this matches `Summary::of(ecdf.values())` from
+/// the pre-pass report assembly bit for bit). `None` for no values.
+fn ecdf_summary(values: Vec<f64>) -> Option<Summary> {
+    if values.is_empty() {
+        return None;
+    }
+    let ecdf = Ecdf::new(values);
+    Some(Summary::of(ecdf.values()))
+}
+
+fn finish_summary(acc: ValueAcc) -> Option<Summary> {
+    match acc.resolve() {
+        ResolvedValues::Exact(values) => ecdf_summary(values),
+        ResolvedValues::Approx { moments, sample } => {
+            ecdf_summary(sample).map(|s| crate::pass::approx_summary(&s, &moments))
+        }
+    }
+}
+
+/// Accumulating [`AnalysisPass`] form of the Fig. 6(a) summary
+/// (`job_cpu_usage` reduced to a [`Summary`]).
+#[derive(Debug)]
+pub(crate) struct CpuUsagePass {
+    usages: ValueAcc,
+}
+
+impl CpuUsagePass {
+    pub(crate) fn new(approx: bool) -> Self {
+        CpuUsagePass {
+            usages: ValueAcc::new(approx),
+        }
+    }
+}
+
+impl AnalysisPass for CpuUsagePass {
+    fn stage(&self) -> &'static str {
+        cgc_obs::stages::A_CPU_USAGE
+    }
+
+    fn observe_job(&mut self, job: &cgc_trace::JobRecord) {
+        if let Some(u) = job.cpu_usage() {
+            self.usages.push(u);
+        }
+    }
+
+    fn accumulator_bytes(&self) -> usize {
+        self.usages.bytes()
+    }
+
+    fn finish(self: Box<Self>, _ctx: &PassContext) -> PassOutput {
+        PassOutput::CpuUsage(finish_summary(self.usages))
+    }
+}
+
+/// Accumulating [`AnalysisPass`] form of the Fig. 6(b) summary
+/// (`job_memory_mb` at the report's 32 GB reference, reduced to a
+/// [`Summary`]).
+#[derive(Debug)]
+pub(crate) struct MemoryPass {
+    max_capacity_gb: f64,
+    values: ValueAcc,
+}
+
+impl MemoryPass {
+    pub(crate) fn new(max_capacity_gb: f64, approx: bool) -> Self {
+        assert!(max_capacity_gb > 0.0, "capacity must be positive");
+        MemoryPass {
+            max_capacity_gb,
+            values: ValueAcc::new(approx),
+        }
+    }
+}
+
+impl AnalysisPass for MemoryPass {
+    fn stage(&self) -> &'static str {
+        cgc_obs::stages::A_MEMORY
+    }
+
+    fn observe_job(&mut self, job: &cgc_trace::JobRecord) {
+        self.values
+            .push(job.mean_memory * self.max_capacity_gb * 1_024.0);
+    }
+
+    fn accumulator_bytes(&self) -> usize {
+        self.values.bytes()
+    }
+
+    fn finish(self: Box<Self>, _ctx: &PassContext) -> PassOutput {
+        PassOutput::Memory(finish_summary(self.values))
+    }
 }
 
 #[cfg(test)]

@@ -57,6 +57,10 @@ pub mod stages {
     pub const READ: &str = "read";
     /// The full characterization report (`cgc_core`).
     pub const CHARACTERIZE: &str = "characterize";
+    /// Streaming (out-of-core) characterization over record batches.
+    pub const STREAM: &str = "characterize/stream";
+    /// The single shared record sweep feeding every analysis pass.
+    pub const A_SWEEP: &str = "analysis/sweep";
     /// Individual analyses inside `characterize`.
     pub const A_PRIORITIES: &str = "analysis/priorities";
     pub const A_JOB_LENGTH: &str = "analysis/job_length";
@@ -75,7 +79,7 @@ pub mod stages {
 
     /// Every stage, in display order; `OTHER` is last and doubles as the
     /// fallback histogram slot.
-    pub const ALL: [&str; 20] = [
+    pub const ALL: [&str; 22] = [
         GENERATE,
         SIMULATE,
         SHARD,
@@ -83,6 +87,8 @@ pub mod stages {
         WRITE,
         READ,
         CHARACTERIZE,
+        STREAM,
+        A_SWEEP,
         A_PRIORITIES,
         A_JOB_LENGTH,
         A_TASK_LENGTH,

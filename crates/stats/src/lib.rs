@@ -15,7 +15,9 @@
 //! * run-length analysis of quantized level series ([`runlength`]) behind
 //!   Tables II/III and Fig. 9,
 //! * fixed-window event binning ([`binning`]) for jobs-per-hour rates,
-//! * scalar summaries ([`summary`]).
+//! * scalar summaries ([`summary`]),
+//! * streaming accumulators and curve decimation ([`stream`]) for the
+//!   out-of-core analysis mode.
 //!
 //! All functions are pure and operate on plain slices so they can be used
 //! on any data source, not just traces.
@@ -33,6 +35,7 @@ pub mod ks;
 pub mod masscount;
 pub mod periodicity;
 pub mod runlength;
+pub mod stream;
 pub mod summary;
 
 pub use autocorr::{autocorrelation, mean_autocorrelation};
@@ -48,4 +51,5 @@ pub use ks::{ks_against_quantiles, ks_distance};
 pub use masscount::{MassCount, MassCountSummary};
 pub use periodicity::{diurnal_strength, period_power, periodogram};
 pub use runlength::{durations_by_level, run_lengths, LevelQuantizer, Run};
+pub use stream::{decimate, Reservoir, StreamingSummary};
 pub use summary::Summary;

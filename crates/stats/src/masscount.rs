@@ -109,6 +109,14 @@ impl MassCount {
         *self.prefix.last().expect("prefix always has n+1 entries")
     }
 
+    /// The sorted sizes, ascending. Lets callers answer "how many items
+    /// are `<= x`" via `partition_point` without re-scanning the raw
+    /// sample.
+    #[inline]
+    pub fn sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+
     /// Count CDF `Fc(x)`.
     pub fn count_cdf(&self, x: f64) -> f64 {
         let count = self.sorted.partition_point(|&v| v <= x);

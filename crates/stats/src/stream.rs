@@ -1,0 +1,433 @@
+//! Streaming (out-of-core) accumulators and shared curve decimation.
+//!
+//! The analysis-pass framework in `cgc-core` can consume a trace either
+//! fully materialized or as a stream of record batches. The streaming mode
+//! needs accumulators whose memory does not grow with the trace:
+//!
+//! * [`StreamingSummary`] — a mergeable Welford accumulator for
+//!   count/min/max/mean/std in O(1) memory;
+//! * [`Reservoir`] — a fixed-capacity uniform sample (Algorithm R) with a
+//!   deterministic internal RNG, for bounded-memory approximations of
+//!   ECDF and mass–count statistics behind an explicit `approx` flag.
+//!
+//! [`decimate`] is the staircase-decimation helper shared by the Fig. 4
+//! report curves and the plot-data exporter: it thins a plottable
+//! staircase to at most `max` points while always keeping the last point
+//! (so CDFs still end at 1).
+
+use crate::summary::Summary;
+
+/// Thins `points` to at most `max` entries by even index striding,
+/// always retaining the final point.
+///
+/// For `points.len() <= max` the input is returned unchanged. `max` must
+/// be at least 1 when decimation actually occurs.
+pub fn decimate<T: Copy>(points: Vec<T>, max: usize) -> Vec<T> {
+    if points.len() <= max {
+        return points;
+    }
+    let step = points.len() as f64 / max as f64;
+    let mut out: Vec<T> = (0..max)
+        .map(|i| points[(i as f64 * step) as usize])
+        .collect();
+    if let Some(&last) = points.last() {
+        *out.last_mut().expect("max >= 1") = last;
+    }
+    out
+}
+
+/// Mergeable scalar-summary accumulator (Welford's algorithm).
+///
+/// Unlike [`Summary::of`], which needs the whole sample in memory, this
+/// accumulates in O(1) space and two reservoir-less accumulators can be
+/// [merged](Self::merge) (Chan et al. parallel variance). The resulting
+/// moments are mathematically equal to the batch computation but **not
+/// bit-identical** (different floating-point summation order), and the
+/// median is unavailable without the sample — [`summary`](Self::summary)
+/// reports the mean in its place. Exact reports therefore keep using
+/// [`Summary::of`]; this type backs the explicitly-approximate streaming
+/// mode and progress metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StreamingSummary {
+    count: u64,
+    min: f64,
+    max: f64,
+    mean: f64,
+    /// Sum of squared deviations from the running mean.
+    m2: f64,
+}
+
+impl StreamingSummary {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        StreamingSummary::default()
+    }
+
+    /// Number of observations so far.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Folds one observation in. NaNs are rejected.
+    pub fn push(&mut self, v: f64) {
+        assert!(!v.is_nan(), "streaming summary input must not contain NaN");
+        self.count += 1;
+        if self.count == 1 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        let delta = v - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (v - self.mean);
+    }
+
+    /// Folds another accumulator in (parallel Welford combination).
+    pub fn merge(&mut self, other: &StreamingSummary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+    }
+
+    /// Mean of the observations (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population standard deviation (0 if empty).
+    pub fn std(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).max(0.0).sqrt()
+        }
+    }
+
+    /// Renders as a [`Summary`]. The median slot carries the mean (the
+    /// exact median needs the sample); see the type docs.
+    pub fn summary(&self) -> Summary {
+        if self.count == 0 {
+            return Summary::of(&[]);
+        }
+        Summary {
+            count: self.count as usize,
+            min: self.min,
+            max: self.max,
+            mean: self.mean(),
+            std: self.std(),
+            median: self.mean(),
+        }
+    }
+}
+
+/// Deterministic xorshift64* generator for [`Reservoir`].
+///
+/// Statistical quality is ample for reservoir index selection, and being
+/// self-contained keeps `cgc-stats` free of RNG dependencies while making
+/// reservoir contents reproducible run over run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SampleRng(u64);
+
+impl SampleRng {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform index in `[0, n)`.
+    fn index(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Fixed seed: reservoirs are part of deterministic reports, so the
+/// sequence must be identical across runs and platforms.
+const RESERVOIR_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Fixed-capacity uniform random sample of a stream (Vitter's
+/// Algorithm R) with a deterministic internal RNG.
+///
+/// After `n` pushes every observation is retained with probability
+/// `capacity / n`, so ECDF / mass–count statistics over
+/// [`values`](Self::values) approximate the full-stream statistics with
+/// bounded memory. Used by the streaming analysis mode behind its
+/// explicit `approx` flag; results are deterministic for a given input
+/// sequence but not equal to the exact statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reservoir {
+    sample: Vec<f64>,
+    capacity: usize,
+    seen: u64,
+    rng: SampleRng,
+}
+
+impl Reservoir {
+    /// An empty reservoir retaining at most `capacity` observations.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "reservoir capacity must be positive");
+        Reservoir {
+            sample: Vec::new(),
+            capacity,
+            seen: 0,
+            rng: SampleRng(RESERVOIR_SEED),
+        }
+    }
+
+    /// Offers one observation to the sample.
+    pub fn push(&mut self, v: f64) {
+        self.seen += 1;
+        if self.sample.len() < self.capacity {
+            self.sample.push(v);
+            return;
+        }
+        let j = self.rng.index(self.seen);
+        if (j as usize) < self.capacity {
+            self.sample[j as usize] = v;
+        }
+    }
+
+    /// Merges another reservoir: draws the retained union proportionally
+    /// to how many observations each side has seen, so the result remains
+    /// an approximately uniform sample of the combined stream.
+    pub fn merge(&mut self, other: Reservoir) {
+        if other.seen == 0 {
+            return;
+        }
+        if self.seen == 0 {
+            let capacity = self.capacity;
+            *self = other;
+            self.capacity = capacity;
+            self.sample.truncate(capacity);
+            return;
+        }
+        let mut a = std::mem::take(&mut self.sample);
+        let mut b = other.sample;
+        let mut wa = self.seen as f64;
+        let mut wb = other.seen as f64;
+        let mut out = Vec::with_capacity(self.capacity);
+        while out.len() < self.capacity && (!a.is_empty() || !b.is_empty()) {
+            let from_a = if b.is_empty() {
+                true
+            } else if a.is_empty() {
+                false
+            } else {
+                self.rng.f64() * (wa + wb) < wa
+            };
+            let side = if from_a { &mut a } else { &mut b };
+            let weight = if from_a { &mut wa } else { &mut wb };
+            let per_item = *weight / side.len() as f64;
+            let i = self.rng.index(side.len() as u64) as usize;
+            out.push(side.swap_remove(i));
+            *weight -= per_item;
+        }
+        self.sample = out;
+        self.seen += other.seen;
+    }
+
+    /// The retained sample, in retention order.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.sample
+    }
+
+    /// Total observations offered so far.
+    #[inline]
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Number of retained observations.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.sample.len()
+    }
+
+    /// Whether nothing has been retained yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.sample.is_empty()
+    }
+
+    /// Maximum retained observations.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decimate_keeps_short_inputs() {
+        let pts = vec![1, 2, 3];
+        assert_eq!(decimate(pts.clone(), 10), pts);
+        assert_eq!(decimate(pts.clone(), 3), pts);
+    }
+
+    #[test]
+    fn decimate_bounds_and_keeps_last() {
+        let pts: Vec<usize> = (0..10_000).collect();
+        let out = decimate(pts, 512);
+        assert_eq!(out.len(), 512);
+        assert_eq!(out[0], 0);
+        assert_eq!(*out.last().unwrap(), 9_999);
+        assert!(out.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn streaming_summary_matches_batch_moments() {
+        let sample = [3.0, 1.0, 4.0, 1.5, 9.2, 2.6];
+        let batch = Summary::of(&sample);
+        let mut s = StreamingSummary::new();
+        for &v in &sample {
+            s.push(v);
+        }
+        assert_eq!(s.count(), 6);
+        assert!((s.mean() - batch.mean).abs() < 1e-12);
+        assert!((s.std() - batch.std).abs() < 1e-12);
+        assert_eq!(s.summary().min, batch.min);
+        assert_eq!(s.summary().max, batch.max);
+    }
+
+    #[test]
+    fn streaming_summary_merge_equals_single_stream() {
+        let (left, right) = ([1.0, 5.0, 2.0], [8.0, 0.5, 3.0, 7.0]);
+        let mut a = StreamingSummary::new();
+        let mut b = StreamingSummary::new();
+        left.iter().for_each(|&v| a.push(v));
+        right.iter().for_each(|&v| b.push(v));
+        a.merge(&b);
+        let mut whole = StreamingSummary::new();
+        left.iter().chain(&right).for_each(|&v| whole.push(v));
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-12);
+        assert!((a.std() - whole.std()).abs() < 1e-12);
+        assert_eq!(a.summary().min, whole.summary().min);
+        assert_eq!(a.summary().max, whole.summary().max);
+    }
+
+    #[test]
+    fn empty_streaming_summary_is_zeroed() {
+        let s = StreamingSummary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std(), 0.0);
+        assert_eq!(s.summary().count, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn streaming_summary_rejects_nan() {
+        StreamingSummary::new().push(f64::NAN);
+    }
+
+    #[test]
+    fn reservoir_keeps_everything_under_capacity() {
+        let mut r = Reservoir::new(100);
+        for i in 0..50 {
+            r.push(i as f64);
+        }
+        assert_eq!(r.len(), 50);
+        assert_eq!(r.seen(), 50);
+        let expected: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        assert_eq!(r.values(), &expected[..]);
+    }
+
+    #[test]
+    fn reservoir_is_bounded_and_deterministic() {
+        let fill = |n: u64| {
+            let mut r = Reservoir::new(64);
+            for i in 0..n {
+                r.push(i as f64);
+            }
+            r
+        };
+        let a = fill(10_000);
+        assert_eq!(a.len(), 64);
+        assert_eq!(a.seen(), 10_000);
+        // Same input sequence, same retained sample.
+        assert_eq!(a, fill(10_000));
+    }
+
+    #[test]
+    fn reservoir_sample_is_roughly_uniform() {
+        let mut r = Reservoir::new(500);
+        for i in 0..100_000 {
+            r.push(i as f64);
+        }
+        let mean = r.values().iter().sum::<f64>() / r.len() as f64;
+        // Uniform over [0, 1e5): mean ~ 5e4, std of the sample mean ~ 1.3e3.
+        assert!((mean - 50_000.0).abs() < 6_000.0, "mean {mean}");
+    }
+
+    #[test]
+    fn reservoir_merge_preserves_counts_and_bounds() {
+        let mut a = Reservoir::new(32);
+        let mut b = Reservoir::new(32);
+        for i in 0..1_000 {
+            a.push(i as f64);
+        }
+        for i in 1_000..3_000 {
+            b.push(i as f64);
+        }
+        a.merge(b);
+        assert_eq!(a.seen(), 3_000);
+        assert_eq!(a.len(), 32);
+        assert!(a.values().iter().all(|&v| (0.0..3_000.0).contains(&v)));
+        // Two thirds of the stream came from b's range, so the merged
+        // sample should lean that way.
+        let from_b = a.values().iter().filter(|&&v| v >= 1_000.0).count();
+        assert!(from_b > 10, "only {from_b} of 32 from the larger side");
+    }
+
+    #[test]
+    fn reservoir_merge_into_empty() {
+        let mut a = Reservoir::new(8);
+        let mut b = Reservoir::new(8);
+        for i in 0..100 {
+            b.push(i as f64);
+        }
+        a.merge(b);
+        assert_eq!(a.seen(), 100);
+        assert_eq!(a.len(), 8);
+        let mut c = Reservoir::new(8);
+        c.merge(Reservoir::new(8));
+        assert_eq!(c.seen(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = Reservoir::new(0);
+    }
+}

@@ -96,13 +96,13 @@ impl LenientParse {
 /// Batches ingest counter updates and flushes them to the global metrics
 /// registry on drop, so strict-mode early aborts still account for the
 /// work done up to the offending line.
-struct IngestTally {
-    lines: u64,
-    bytes: u64,
+pub(crate) struct IngestTally {
+    pub(crate) lines: u64,
+    pub(crate) bytes: u64,
 }
 
 impl IngestTally {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         IngestTally { lines: 0, bytes: 0 }
     }
 }
@@ -255,9 +255,9 @@ pub fn write_trace(trace: &Trace) -> String {
     out
 }
 
-struct LineParser<'a> {
-    line_no: usize,
-    line: &'a str,
+pub(crate) struct LineParser<'a> {
+    pub(crate) line_no: usize,
+    pub(crate) line: &'a str,
 }
 
 impl<'a> LineParser<'a> {
@@ -336,13 +336,25 @@ enum Section {
 /// Accumulated parse state; one [`line`](ParserState::line) call per input
 /// line, each returning `Err` for exactly the lines strict mode aborts on
 /// and lenient mode skips.
-struct ParserState {
+///
+/// The `*_drained` offsets support the record-batch streaming reader
+/// ([`crate::stream::TraceBatches`]): records handed off to the consumer
+/// are removed from the vectors, and every dense-id / cross-reference
+/// check accounts for `drained + len`. The whole-trace readers never
+/// drain, so the offsets stay zero and behaviour (including error
+/// messages) is unchanged.
+pub(crate) struct ParserState {
     system: String,
     horizon: u64,
     machines: Vec<MachineRecord>,
+    machines_drained: usize,
     jobs: Vec<JobRecord>,
+    jobs_drained: usize,
     tasks: Vec<TaskRecord>,
+    tasks_drained: usize,
     /// Replayed life-cycle state per task, to validate the event log.
+    /// Never drained: an event may reference any earlier task, and one
+    /// state per task is cheap even for very large traces.
     states: Vec<TaskState>,
     events: Vec<TaskEvent>,
     host_series: Vec<HostSeries>,
@@ -353,13 +365,16 @@ struct ParserState {
 }
 
 impl ParserState {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         ParserState {
             system: String::new(),
             horizon: 0,
             machines: Vec::new(),
+            machines_drained: 0,
             jobs: Vec::new(),
+            jobs_drained: 0,
             tasks: Vec::new(),
+            tasks_drained: 0,
             states: Vec::new(),
             events: Vec::new(),
             host_series: Vec::new(),
@@ -368,7 +383,63 @@ impl ParserState {
         }
     }
 
-    fn line(&mut self, p: &LineParser<'_>, line: &str) -> Result<(), ParseError> {
+    pub(crate) fn system(&self) -> &str {
+        &self.system
+    }
+
+    pub(crate) fn horizon(&self) -> u64 {
+        self.horizon
+    }
+
+    /// Records parsed but not yet handed off — the batching reader drains
+    /// once this crosses its batch size.
+    pub(crate) fn pending_records(&self) -> usize {
+        self.machines.len()
+            + self.jobs.len()
+            + self.tasks.len()
+            + self.events.len()
+            + self
+                .host_series
+                .iter()
+                .map(|s| s.samples.len())
+                .sum::<usize>()
+    }
+
+    /// Hands off everything parsed since the previous drain, leaving the
+    /// state ready to keep parsing: the drained offsets advance so
+    /// dense-id checks stay correct, the task life-cycle states are
+    /// retained in full (events may reference any earlier task), and an
+    /// open `#series` keeps its header — so later sample lines still
+    /// attach to it — but sheds its samples.
+    pub(crate) fn drain_batch(&mut self) -> crate::stream::TraceBatch {
+        self.machines_drained += self.machines.len();
+        self.jobs_drained += self.jobs.len();
+        self.tasks_drained += self.tasks.len();
+        let samples = self
+            .host_series
+            .iter()
+            .map(|s| s.samples.len() as u64)
+            .sum();
+        if self.series_open {
+            let open = self.host_series.pop().map(|mut s| {
+                s.samples = Vec::new();
+                s
+            });
+            self.host_series.clear();
+            self.host_series.extend(open);
+        } else {
+            self.host_series.clear();
+        }
+        crate::stream::TraceBatch {
+            machines: std::mem::take(&mut self.machines),
+            jobs: std::mem::take(&mut self.jobs),
+            tasks: std::mem::take(&mut self.tasks),
+            events: std::mem::take(&mut self.events),
+            samples,
+        }
+    }
+
+    pub(crate) fn line(&mut self, p: &LineParser<'_>, line: &str) -> Result<(), ParseError> {
         if let Some(rest) = line.strip_prefix('#') {
             return self.header(p, rest);
         }
@@ -410,7 +481,7 @@ impl ParserState {
                         .ok_or_else(|| p.err("missing series machine"))?,
                     "machine id",
                 )?;
-                if machine as usize >= self.machines.len() {
+                if (machine as usize) >= self.machines_drained + self.machines.len() {
                     return Err(p.err(format!("series references unknown machine {machine}")));
                 }
                 let start = p.parse(
@@ -433,10 +504,10 @@ impl ParserState {
     fn machine_line(&mut self, p: &LineParser<'_>) -> Result<(), ParseError> {
         let f = p.fields::<4>()?;
         let id: u32 = p.parse(f[0], "machine id")?;
-        if id as usize != self.machines.len() {
+        let expected = self.machines_drained + self.machines.len();
+        if id as usize != expected {
             return Err(p.err(format!(
-                "machine id {id} out of order (expected {})",
-                self.machines.len()
+                "machine id {id} out of order (expected {expected})"
             )));
         }
         self.machines.push(MachineRecord::new(
@@ -451,11 +522,9 @@ impl ParserState {
     fn job_line(&mut self, p: &LineParser<'_>) -> Result<(), ParseError> {
         let f = p.fields::<7>()?;
         let id: u32 = p.parse(f[0], "job id")?;
-        if id as usize != self.jobs.len() {
-            return Err(p.err(format!(
-                "job id {id} out of order (expected {})",
-                self.jobs.len()
-            )));
+        let expected = self.jobs_drained + self.jobs.len();
+        if id as usize != expected {
+            return Err(p.err(format!("job id {id} out of order (expected {expected})")));
         }
         let priority: u8 = p.parse(f[2], "priority")?;
         self.jobs.push(JobRecord {
@@ -480,11 +549,9 @@ impl ParserState {
         // Nine fields is the legacy format without `resubmit_wait`.
         let (f, n) = p.fields_between::<10>(9)?;
         let id: u32 = p.parse(f[0], "task id")?;
-        if id as usize != self.tasks.len() {
-            return Err(p.err(format!(
-                "task id {id} out of order (expected {})",
-                self.tasks.len()
-            )));
+        let expected = self.tasks_drained + self.tasks.len();
+        if id as usize != expected {
+            return Err(p.err(format!("task id {id} out of order (expected {expected})")));
         }
         let priority: u8 = p.parse(f[2], "priority")?;
         let job = JobId(p.parse(f[1], "job id")?);
@@ -510,10 +577,17 @@ impl ParserState {
                 .ok_or_else(|| p.err(format!("unknown outcome {outcome_field:?}")))?,
         };
         let ji = job.index();
-        if ji >= self.jobs.len() {
+        if ji >= self.jobs_drained + self.jobs.len() {
             return Err(p.err(format!("task references unknown job {job}")));
         }
-        self.jobs[ji].tasks.push(record.id);
+        // A job drained to a streaming consumer can no longer receive the
+        // back-reference; batch consumers don't use `JobRecord::tasks`.
+        if let Some(j) = ji
+            .checked_sub(self.jobs_drained)
+            .and_then(|i| self.jobs.get_mut(i))
+        {
+            j.tasks.push(record.id);
+        }
         self.tasks.push(record);
         self.states.push(TaskState::Unsubmitted);
         Ok(())

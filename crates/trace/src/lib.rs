@@ -27,6 +27,7 @@ pub mod machine;
 pub mod normalize;
 pub mod priority;
 pub mod resources;
+pub mod stream;
 pub mod swf;
 pub mod task;
 pub mod time;
@@ -44,6 +45,7 @@ pub use machine::{MachineRecord, CPU_CAPACITY_CLASSES, MEMORY_CAPACITY_CLASSES};
 pub use normalize::{normalize_trace, NormalizationFactors};
 pub use priority::{Priority, PriorityClass};
 pub use resources::Demand;
+pub use stream::{TraceBatch, TraceBatches, DEFAULT_BATCH_RECORDS};
 pub use task::{TaskEvent, TaskEventKind, TaskOutcome, TaskRecord, TaskState};
 pub use time::{Duration, Timestamp, DAY, HOUR, MINUTE, SAMPLE_PERIOD};
 pub use timeline::{QueueCounts, QueueTimeline};

@@ -1,0 +1,335 @@
+//! Record-batch streaming over the sectioned-CSV trace format.
+//!
+//! [`TraceBatches`] parses a trace incrementally from any
+//! [`BufRead`](std::io::BufRead) and yields [`TraceBatch`]es of records
+//! instead of one materialized [`Trace`](crate::Trace) — the out-of-core
+//! ingestion path behind `analyze_trace --stream`. Memory stays bounded
+//! by the batch size (plus one life-cycle state per task, kept so the
+//! event log is validated exactly as strictly as [`read_trace`]):
+//!
+//! ```text
+//! whole-trace:  file ──read_trace──▶ Trace ──▶ analyses
+//! streaming:    file ──TraceBatches──▶ batch ▶ batch ▶ … ──▶ passes
+//! ```
+//!
+//! Parsing is strict and byte-for-byte equivalent to
+//! [`read_trace_from`](crate::read_trace_from): the same lines are
+//! accepted, the first malformed line aborts the stream with the same
+//! [`ParseError`] (message included), and the concatenated batches hold
+//! exactly the records the whole-trace reader would return. The one
+//! intentional difference: `JobRecord::tasks` back-references are only
+//! populated while the owning job is still in the current batch —
+//! consumers of batches must not rely on them.
+//!
+//! [`read_trace`]: crate::read_trace
+
+use crate::io::{IngestTally, LineParser, ParseError, ParserState};
+use crate::job::JobRecord;
+use crate::machine::MachineRecord;
+use crate::task::{TaskEvent, TaskRecord};
+use std::io::BufRead;
+
+/// Default batch size, in records. Large enough that per-batch overhead
+/// (vector reallocation, pass dispatch) is negligible, small enough that
+/// a batch is a rounding error next to a materialized trace.
+pub const DEFAULT_BATCH_RECORDS: usize = 64 * 1024;
+
+/// One chunk of parsed trace records, in file order.
+///
+/// Ids are globally dense across the whole stream, so a record in batch
+/// *n* may reference a record from any earlier batch (a task its job, an
+/// event its task). Usage samples are counted, not carried: the streaming
+/// analyses are workload-side only, and host-load analyses need whole
+/// series anyway (they fall back to the in-memory path).
+#[derive(Debug, Clone, Default)]
+pub struct TraceBatch {
+    /// Machines declared in this chunk.
+    pub machines: Vec<MachineRecord>,
+    /// Jobs declared in this chunk. `JobRecord::tasks` is only populated
+    /// for tasks that appeared in the same chunk — do not rely on it.
+    pub jobs: Vec<JobRecord>,
+    /// Tasks declared in this chunk.
+    pub tasks: Vec<TaskRecord>,
+    /// Task events logged in this chunk.
+    pub events: Vec<TaskEvent>,
+    /// Host usage samples seen (and dropped) in this chunk.
+    pub samples: u64,
+}
+
+impl TraceBatch {
+    /// Total records in the batch, samples included.
+    pub fn records(&self) -> usize {
+        self.machines.len()
+            + self.jobs.len()
+            + self.tasks.len()
+            + self.events.len()
+            + self.samples as usize
+    }
+
+    /// True when the batch carries no records at all.
+    pub fn is_empty(&self) -> bool {
+        self.records() == 0
+    }
+}
+
+/// Strict streaming parser yielding [`TraceBatch`]es.
+///
+/// Iteration ends after the first `Err` (the stream is not resumable past
+/// a malformed line, mirroring strict [`read_trace`](crate::read_trace))
+/// or after the final batch at end of input. The final batch is always
+/// emitted, even when empty, so every well-formed stream yields at least
+/// one `Ok` item and [`system`](Self::system)/[`horizon`](Self::horizon)
+/// are reliable once iteration finishes.
+pub struct TraceBatches<R: BufRead> {
+    reader: R,
+    st: ParserState,
+    batch_records: usize,
+    buf: String,
+    line_no: usize,
+    tally: IngestTally,
+    done: bool,
+}
+
+impl<R: BufRead> TraceBatches<R> {
+    /// Streams batches of [`DEFAULT_BATCH_RECORDS`] records.
+    pub fn new(reader: R) -> Self {
+        Self::with_batch_records(reader, DEFAULT_BATCH_RECORDS)
+    }
+
+    /// Streams batches of at least `batch_records` records (the final
+    /// batch may be smaller).
+    ///
+    /// # Panics
+    /// If `batch_records` is zero.
+    pub fn with_batch_records(reader: R, batch_records: usize) -> Self {
+        assert!(batch_records > 0, "batch size must be positive");
+        TraceBatches {
+            reader,
+            st: ParserState::new(),
+            batch_records,
+            buf: String::new(),
+            line_no: 0,
+            tally: IngestTally::new(),
+            done: false,
+        }
+    }
+
+    /// The system name from the `#trace` header — empty until that header
+    /// has been parsed (it precedes all records, so any yielded non-empty
+    /// batch implies the name is final).
+    pub fn system(&self) -> &str {
+        self.st.system()
+    }
+
+    /// The horizon from the `#trace` header; `0` until parsed.
+    pub fn horizon(&self) -> u64 {
+        self.st.horizon()
+    }
+
+    /// Bytes consumed from the reader so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.tally.bytes
+    }
+}
+
+impl<R: BufRead> Iterator for TraceBatches<R> {
+    type Item = Result<TraceBatch, ParseError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            self.buf.clear();
+            self.line_no += 1;
+            match self.reader.read_line(&mut self.buf) {
+                Ok(0) => {
+                    self.done = true;
+                    return Some(Ok(self.st.drain_batch()));
+                }
+                Ok(n) => self.tally.bytes += n as u64,
+                Err(e) => {
+                    // Same contract as the whole-trace readers: stream
+                    // position is unreliable after a read error, so
+                    // report and stop.
+                    self.done = true;
+                    return Some(Err(ParseError {
+                        line: self.line_no,
+                        message: format!("read error: {e}"),
+                    }));
+                }
+            }
+            let line = self.buf.trim();
+            if line.is_empty() {
+                continue;
+            }
+            self.tally.lines += 1;
+            let p = LineParser {
+                line_no: self.line_no,
+                line,
+            };
+            if let Err(e) = self.st.line(&p, line) {
+                self.done = true;
+                return Some(Err(e));
+            }
+            if self.st.pending_records() >= self.batch_records {
+                return Some(Ok(self.st.drain_batch()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::{read_trace, write_trace};
+    use crate::priority::Priority;
+    use crate::resources::Demand;
+    use crate::task::{TaskEvent, TaskEventKind};
+    use crate::trace::TraceBuilder;
+    use crate::usage::UsageSample;
+    use crate::UserId;
+
+    fn sample_trace() -> crate::Trace {
+        let mut b = TraceBuilder::new("stream-test", 7_200);
+        let m0 = b.add_machine(0.5, 0.75, 1.0);
+        let _m1 = b.add_machine(1.0, 1.0, 1.0);
+        let mut last_task = None;
+        for ji in 0..5u64 {
+            let j = b.add_job(UserId(ji as u32), Priority::from_level(4), ji * 60);
+            b.set_job_usage(j, 10.0 * (ji + 1) as f64, 0.01);
+            for _ in 0..3 {
+                let t = b.add_task(j, Demand::new(0.02, 0.01));
+                b.push_event(TaskEvent {
+                    time: ji * 60,
+                    task: t,
+                    machine: None,
+                    kind: TaskEventKind::Submit,
+                });
+                b.push_event(TaskEvent {
+                    time: ji * 60 + 5,
+                    task: t,
+                    machine: Some(m0),
+                    kind: TaskEventKind::Schedule,
+                });
+                last_task = Some(t);
+            }
+        }
+        b.push_event(TaskEvent {
+            time: 400,
+            task: last_task.unwrap(),
+            machine: Some(m0),
+            kind: TaskEventKind::Finish,
+        });
+        let mut series = crate::usage::HostSeries::new(m0, 0, 300);
+        series.samples = vec![UsageSample::default(); 4];
+        b.add_host_series(series);
+        b.build().expect("legal event sequence")
+    }
+
+    /// Concatenated batches must equal the whole-trace reader's records,
+    /// for every batch size — including pathological size 1.
+    #[test]
+    fn batches_concatenate_to_the_full_trace() {
+        let trace = sample_trace();
+        let text = write_trace(&trace);
+        let whole = read_trace(&text).unwrap();
+        for batch_records in [1, 3, 7, 1 << 20] {
+            let mut it =
+                TraceBatches::with_batch_records(std::io::Cursor::new(&text), batch_records);
+            let mut machines = Vec::new();
+            let mut jobs = Vec::new();
+            let mut tasks = Vec::new();
+            let mut events = Vec::new();
+            let mut samples = 0;
+            for batch in &mut it {
+                let batch = batch.expect("well-formed trace");
+                machines.extend(batch.machines);
+                jobs.extend(batch.jobs);
+                tasks.extend(batch.tasks);
+                events.extend(batch.events);
+                samples += batch.samples;
+            }
+            assert_eq!(it.system(), whole.system);
+            assert_eq!(it.horizon(), whole.horizon);
+            assert_eq!(machines, whole.machines);
+            assert_eq!(tasks, whole.tasks);
+            assert_eq!(events, whole.events);
+            assert_eq!(
+                samples,
+                whole
+                    .host_series
+                    .iter()
+                    .map(|s| s.samples.len() as u64)
+                    .sum::<u64>()
+            );
+            // Jobs match except for the documented `tasks` back-reference.
+            assert_eq!(jobs.len(), whole.jobs.len());
+            for (a, b) in jobs.iter().zip(&whole.jobs) {
+                let mut a = a.clone();
+                a.tasks = b.tasks.clone();
+                assert_eq!(&a, b);
+            }
+        }
+    }
+
+    /// The streaming parser rejects exactly what the strict reader
+    /// rejects, with an identical error.
+    #[test]
+    fn errors_match_the_strict_reader() {
+        let trace = sample_trace();
+        let good = write_trace(&trace);
+        let corruptions = [
+            ("0,bogus,0.75,1.0", "#machines"),
+            ("9,0,4,0,0.02,0.01,60,1,0,finished", "#tasks"),
+            ("17,2,4,0,-,10.0,0.01", "#jobs"),
+            ("600,999,-,finish", "#events"),
+        ];
+        for (bad_line, after_header) in corruptions {
+            let mut lines: Vec<&str> = good.lines().collect();
+            let at = lines.iter().position(|l| *l == after_header).unwrap() + 1;
+            lines.insert(at, bad_line);
+            let text = lines.join("\n");
+            let want = read_trace(&text).expect_err("corrupt line must be rejected");
+            let got = TraceBatches::with_batch_records(std::io::Cursor::new(&text), 2)
+                .find_map(|b| b.err())
+                .expect("streaming parser must reject too");
+            assert_eq!(got, want);
+        }
+    }
+
+    /// After an error, iteration stops: no further batches are yielded.
+    #[test]
+    fn stream_ends_after_an_error() {
+        let text = "#trace sys 100\n#machines\nnot-a-machine\n#jobs\n";
+        let items: Vec<_> = TraceBatches::new(std::io::Cursor::new(text)).collect();
+        assert_eq!(items.len(), 1);
+        assert!(items[0].is_err());
+    }
+
+    /// A series split across a batch boundary keeps attaching samples to
+    /// the open header instead of erroring or mis-attaching.
+    #[test]
+    fn open_series_survives_batch_boundaries() {
+        let trace = sample_trace();
+        let text = write_trace(&trace);
+        let total: u64 = TraceBatches::with_batch_records(std::io::Cursor::new(&text), 1)
+            .map(|b| b.expect("well-formed").samples)
+            .sum();
+        assert_eq!(total, 4);
+    }
+
+    /// Empty input yields exactly one empty batch.
+    #[test]
+    fn empty_input_yields_one_empty_batch() {
+        let items: Vec<_> = TraceBatches::new(std::io::Cursor::new("")).collect();
+        assert_eq!(items.len(), 1);
+        assert!(items[0].as_ref().unwrap().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_size_panics() {
+        let _ = TraceBatches::with_batch_records(std::io::Cursor::new(""), 0);
+    }
+}

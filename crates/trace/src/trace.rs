@@ -42,6 +42,11 @@ pub struct Trace {
 
 impl Trace {
     /// Job submission times, ascending.
+    ///
+    /// Superseded by `cgc_core::TraceView::submission_times`, which
+    /// computes the sorted vector once per trace instead of allocating
+    /// and re-sorting per call; hidden so new code reaches for the view.
+    #[doc(hidden)]
     pub fn submission_times(&self) -> Vec<Timestamp> {
         let mut times: Vec<Timestamp> = self.jobs.iter().map(|j| j.submit_time).collect();
         times.sort_unstable();
@@ -54,6 +59,11 @@ impl Trace {
     }
 
     /// Execution times of all tasks that ever ran, in seconds.
+    ///
+    /// Superseded by `cgc_core::TraceView::task_execution_times` (one
+    /// shared allocation per trace); hidden so new code reaches for the
+    /// view.
+    #[doc(hidden)]
     pub fn task_execution_times(&self) -> Vec<u64> {
         self.tasks
             .iter()

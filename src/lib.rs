@@ -48,11 +48,13 @@ pub use cgc_sim as sim;
 pub use cgc_stats as stats;
 pub use cgc_trace as trace;
 
-pub use cgc_core::{characterize, CharacterizationReport};
+pub use cgc_core::{
+    characterize, characterize_stream, CharacterizationReport, StreamOptions, StreamStats,
+};
 
 /// The most common imports, bundled.
 pub mod prelude {
-    pub use cgc_core::{characterize, CharacterizationReport};
+    pub use cgc_core::{characterize, characterize_stream, CharacterizationReport};
     pub use cgc_gen::{FleetConfig, GoogleWorkload, GridSystem, GridWorkload, Workload};
     pub use cgc_sim::{OutcomeModel, PlacementPolicy, SimConfig, Simulator};
     pub use cgc_stats::{Ecdf, MassCount, Summary};

@@ -88,6 +88,36 @@ fn instrumentation_never_changes_the_trace() {
 }
 
 #[test]
+fn streaming_report_is_independent_of_batch_size_and_run() {
+    use cloudgrid::{characterize_stream, StreamOptions};
+    use std::io::Cursor;
+
+    let text = run_text(google_config(true).with_shards(4));
+    let reference = {
+        let (report, _) =
+            characterize_stream(Cursor::new(text.as_bytes()), &StreamOptions::default())
+                .expect("simulator emits a valid trace");
+        serde_json::to_string(&report).unwrap()
+    };
+    // Batch size is an execution knob, not a model parameter: any chunking
+    // of the record stream — and any repeat run — must emit the same bytes.
+    for batch_records in [1, 64, 4_096, usize::MAX] {
+        let opts = StreamOptions {
+            batch_records,
+            ..StreamOptions::default()
+        };
+        let (report, stats) = characterize_stream(Cursor::new(text.as_bytes()), &opts)
+            .expect("simulator emits a valid trace");
+        assert_eq!(
+            serde_json::to_string(&report).unwrap(),
+            reference,
+            "batch_records={batch_records} diverged"
+        );
+        assert_eq!(stats.bytes_read as usize, text.len());
+    }
+}
+
+#[test]
 fn shard_count_is_a_model_parameter_not_an_execution_detail() {
     // Different shard counts are *allowed* to produce different traces
     // (they are different models); what must hold is that every shard

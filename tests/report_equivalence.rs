@@ -1,0 +1,127 @@
+//! Golden equivalence of the pass-driver report.
+//!
+//! The analysis-pass refactor promises that `characterize` — one shared
+//! sweep feeding every registered pass — produces JSON byte-identical to
+//! the old function-per-figure scans, and that `characterize_stream`
+//! reproduces the workload section from disk without materializing the
+//! trace. These tests pin both promises on a cloud and a grid preset.
+
+use cloudgrid::core::hostload::{
+    host_comparison, max_load_distribution, queue_runlengths, usage_level_runs, usage_masscount,
+};
+use cloudgrid::core::report::{HostloadSection, WorkloadSection};
+use cloudgrid::core::workload::{
+    job_cpu_usage, job_length_analysis, job_memory_mb, priority_histogram, resubmission_analysis,
+    submission_analysis, task_length_analysis,
+};
+use cloudgrid::prelude::*;
+use cloudgrid::trace::usage::UsageAttribute;
+use cloudgrid::StreamOptions;
+use std::io::Cursor;
+
+/// Fig. 7 bin count and Fig. 9 sample period, as fixed by `characterize`.
+const MAX_LOAD_BINS: usize = 25;
+const QUEUE_SAMPLE_PERIOD: u64 = 60;
+
+fn google_preset() -> Trace {
+    let machines = 12;
+    let workload = GoogleWorkload::scaled_for_hostload(machines, 12 * HOUR).generate(21);
+    Simulator::new(SimConfig::google(FleetConfig::google(machines))).run(&workload)
+}
+
+fn grid_preset() -> Trace {
+    let machines = 12;
+    let workload =
+        GridWorkload::scaled(GridSystem::AuverGrid, 2 * DAY, machines as f64 / 30.0).generate(22);
+    Simulator::new(SimConfig::grid(FleetConfig::homogeneous(machines))).run(&workload)
+}
+
+/// The old report driver, reassembled from the direct analysis functions.
+fn direct_workload(trace: &Trace) -> WorkloadSection {
+    WorkloadSection {
+        priorities: priority_histogram(trace),
+        job_length: job_length_analysis(trace),
+        submission: submission_analysis(trace),
+        task_length: task_length_analysis(trace),
+        cpu_usage: job_cpu_usage(trace).map(|e| Summary::of(e.values())),
+        memory_mb_at_32gb: job_memory_mb(trace, 32.0).map(|e| Summary::of(e.values())),
+        resubmission: resubmission_analysis(trace),
+    }
+}
+
+fn direct_hostload(trace: &Trace) -> Option<HostloadSection> {
+    if !trace.host_series.iter().any(|s| !s.is_empty()) {
+        return None;
+    }
+    Some(HostloadSection {
+        max_loads: UsageAttribute::ALL
+            .iter()
+            .map(|&attr| max_load_distribution(trace, attr, MAX_LOAD_BINS))
+            .collect(),
+        queue_runs: queue_runlengths(trace, QUEUE_SAMPLE_PERIOD),
+        cpu_level_runs: usage_level_runs(trace, UsageAttribute::Cpu, None),
+        memory_level_runs: usage_level_runs(trace, UsageAttribute::MemoryUsed, None),
+        cpu_masscount: usage_masscount(trace, UsageAttribute::Cpu, None),
+        cpu_masscount_high: usage_masscount(
+            trace,
+            UsageAttribute::Cpu,
+            Some(PriorityClass::Middle),
+        ),
+        memory_masscount: usage_masscount(trace, UsageAttribute::MemoryUsed, None),
+        memory_masscount_high: usage_masscount(
+            trace,
+            UsageAttribute::MemoryUsed,
+            Some(PriorityClass::Middle),
+        ),
+        comparison: host_comparison(trace, 0),
+    })
+}
+
+#[test]
+fn pass_driver_matches_direct_analyses_byte_for_byte() {
+    for trace in [google_preset(), grid_preset()] {
+        let report = characterize(&trace);
+        let direct = CharacterizationReport {
+            system: trace.system.clone(),
+            workload: direct_workload(&trace),
+            hostload: direct_hostload(&trace),
+        };
+        assert_eq!(
+            serde_json::to_string(&report).unwrap(),
+            serde_json::to_string(&direct).unwrap(),
+            "report diverged from direct analyses on {}",
+            trace.system
+        );
+    }
+}
+
+#[test]
+fn streaming_workload_section_is_byte_identical() {
+    for trace in [google_preset(), grid_preset()] {
+        let in_memory = characterize(&trace);
+        let text = cloudgrid::trace::io::write_trace(&trace);
+        for batch_records in [997, StreamOptions::default().batch_records] {
+            let opts = StreamOptions {
+                batch_records,
+                ..StreamOptions::default()
+            };
+            let (streamed, stats) =
+                cloudgrid::characterize_stream(Cursor::new(text.as_bytes()), &opts)
+                    .expect("stream parses its own writer output");
+            assert_eq!(streamed.system, in_memory.system);
+            assert!(
+                streamed.hostload.is_none(),
+                "streaming mode must skip host-load sections"
+            );
+            assert_eq!(
+                serde_json::to_string(&streamed.workload).unwrap(),
+                serde_json::to_string(&in_memory.workload).unwrap(),
+                "streamed workload section diverged on {} (batch {batch_records})",
+                trace.system
+            );
+            assert_eq!(stats.jobs as usize, trace.jobs.len());
+            assert_eq!(stats.tasks as usize, trace.tasks.len());
+            assert_eq!(stats.events as usize, trace.events.len());
+        }
+    }
+}
