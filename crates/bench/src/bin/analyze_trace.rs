@@ -6,7 +6,7 @@
 //! characterization — optionally as JSON.
 //!
 //! ```text
-//! analyze_trace <FILE> [--swf] [--json] [--system NAME] [--lenient] [--metrics]
+//! analyze_trace <FILE> [--swf] [--json] [--system NAME] [--lenient] [--metrics] [--telemetry PATH]
 //! analyze_trace <FILE> --stream [--approx] [--json] [--system NAME] [--metrics]
 //! analyze_trace --clusterdata <task_events.csv> <task_usage.csv> <machine_events.csv> [--json]
 //! ```
@@ -24,7 +24,12 @@
 //! `--metrics` enables the observability layer and appends a pipeline
 //! metrics snapshot — as a `metrics` key next to `report` under `--json`,
 //! as a table on stderr otherwise. `CGC_TRACE=1` additionally streams one
-//! compact stderr line per pipeline stage.
+//! compact stderr line per pipeline stage, and `CGC_TRACE_OUT=spans.json`
+//! writes the span tree as a Chrome Trace Event file for Perfetto.
+//! `--telemetry PATH` replays the trace's event log on a 5-minute
+//! sim-time grid and writes the versioned telemetry bundle (queue
+//! timelines, queueing-delay histograms, free capacity) to `PATH`; it
+//! needs the materialized trace, so it cannot combine with `--stream`.
 //!
 //! This is the adoption path for real data: download an SWF log from the
 //! PWA, point this tool at it, and compare the resulting statistics to the
@@ -49,7 +54,11 @@ fn read(path: &str) -> String {
     })
 }
 
-const USAGE: &str = "usage: analyze_trace <FILE> [--swf] [--json] [--system NAME] [--lenient] [--metrics]\n       analyze_trace <FILE> --stream [--approx] [--json] [--system NAME] [--metrics]";
+const USAGE: &str = "usage: analyze_trace <FILE> [--swf] [--json] [--system NAME] [--lenient] [--metrics] [--telemetry PATH]\n       analyze_trace <FILE> --stream [--approx] [--json] [--system NAME] [--metrics]";
+
+/// Sim-time grid for `--telemetry` replays, seconds — the paper's
+/// 5-minute usage-sampling period.
+const TELEMETRY_INTERVAL: u64 = 300;
 
 fn main() {
     cgc_obs::init_from_env();
@@ -61,6 +70,7 @@ fn main() {
     let mut with_metrics = false;
     let mut streaming = false;
     let mut approx = false;
+    let mut telemetry: Option<String> = None;
     let mut system: Option<String> = None;
     let mut clusterdata: Option<(String, String, String)> = None;
 
@@ -84,6 +94,12 @@ fn main() {
             "--json" => as_json = true,
             "--lenient" => lenient = true,
             "--metrics" => with_metrics = true,
+            "--telemetry" => {
+                telemetry = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--telemetry requires a path");
+                    std::process::exit(2);
+                }));
+            }
             "--system" => {
                 system = Some(args.next().unwrap_or_else(|| {
                     eprintln!("--system requires a name");
@@ -109,6 +125,12 @@ fn main() {
 
     if approx && !streaming {
         eprintln!("--approx requires --stream");
+        std::process::exit(2);
+    }
+    if telemetry.is_some() && streaming {
+        eprintln!(
+            "--telemetry replays the materialized event log; it cannot combine with --stream"
+        );
         std::process::exit(2);
     }
     if streaming {
@@ -160,6 +182,7 @@ fn main() {
             if stats.approx { " (approx)" } else { "" }
         );
         emit(report, as_json, with_metrics);
+        cgc_obs::flush_observers();
         return;
     }
 
@@ -228,8 +251,24 @@ fn main() {
         }
     };
 
+    if let Some(path) = telemetry {
+        let bundle = cgc_core::telemetry_from_trace(&trace, TELEMETRY_INTERVAL);
+        let json = serde_json::to_string_pretty(&bundle).expect("telemetry serializes");
+        std::fs::write(&path, json).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "wrote telemetry ({} ticks at {}s, {} first placements) to {path}",
+            bundle.timeline.len(),
+            bundle.interval,
+            bundle.queue_delay.iter().map(|h| h.count()).sum::<u64>()
+        );
+    }
+
     let report = characterize(&trace);
     emit(report, as_json, with_metrics);
+    cgc_obs::flush_observers();
 }
 
 /// Prints the report — shared by the in-memory and streaming paths.

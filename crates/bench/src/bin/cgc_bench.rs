@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cgc-bench [--quick] [--machines N] [--horizon SECONDS] [--shards N]
-//!           [--threads N] [--seed N] [--out PATH]
+//!           [--threads N] [--seed N] [--out PATH] [--telemetry PATH]
 //! ```
 //!
 //! The `stream` block compares the in-memory characterization against
@@ -30,14 +30,26 @@
 //! the JSON under `counters` and are cross-checked here against the trace
 //! itself — CI diffs them against the committed file to catch silent
 //! pipeline drift.
+//!
+//! The optimized simulation runs with the sim-time telemetry probe
+//! attached (5-minute grid): per-band queueing-delay percentiles land in
+//! the JSON under `queue_delay_percentiles` — deterministic, so CI diffs
+//! them exactly alongside `counters` — and `--telemetry PATH` writes the
+//! full versioned bundle (timeline, capacity, histograms) for offline
+//! inspection.
 
 use cgc_core::characterize;
 use cgc_gen::{FleetConfig, GoogleWorkload};
-use cgc_obs::PipelineCounters;
+use cgc_obs::{PipelineCounters, QueueDelayPercentiles};
 use cgc_sim::{FaultConfig, SimConfig, Simulator};
 use cgc_trace::io::{read_trace, read_trace_parallel, write_trace};
 use serde::Serialize;
 use std::time::Instant;
+
+/// Sim-time sampling interval for the telemetry probe, seconds. Fixed so
+/// the percentile block in `BENCH_pipeline.json` is comparable run over
+/// run.
+const TELEMETRY_INTERVAL: u64 = 300;
 
 /// The `BENCH_pipeline.json` document. Field names are the file format —
 /// rename only with a schema bump.
@@ -51,6 +63,10 @@ struct BenchReport {
     /// (snapshotted before the baseline re-runs). Timings are excluded:
     /// they vary run to run, these must not.
     counters: PipelineCounters,
+    /// Deterministic queueing-delay percentiles per priority band from
+    /// the simulate stage's telemetry probe (first submit → first
+    /// placement, seconds). CI diffs these exactly, like `counters`.
+    queue_delay_percentiles: Vec<QueueDelayPercentiles>,
     stages: Vec<Stage>,
     baseline: Baseline,
     /// In-memory vs out-of-core characterization of the same trace file,
@@ -124,6 +140,7 @@ struct Args {
     threads: usize,
     seed: u64,
     out: String,
+    telemetry: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -134,6 +151,7 @@ fn parse_args() -> Args {
         threads: 4,
         seed: 1,
         out: "BENCH_pipeline.json".into(),
+        telemetry: None,
     };
     let mut args = std::env::args().skip(1);
     let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -154,10 +172,11 @@ fn parse_args() -> Args {
             "--threads" => a.threads = parse(&value(&mut args, "--threads"), "--threads"),
             "--seed" => a.seed = parse(&value(&mut args, "--seed"), "--seed"),
             "--out" => a.out = value(&mut args, "--out"),
+            "--telemetry" => a.telemetry = Some(value(&mut args, "--telemetry")),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: cgc-bench [--quick] [--machines N] [--horizon SECONDS] \
-                     [--shards N] [--threads N] [--seed N] [--out PATH]"
+                     [--shards N] [--threads N] [--seed N] [--out PATH] [--telemetry PATH]"
                 );
                 std::process::exit(0);
             }
@@ -305,7 +324,8 @@ fn main() {
         .with_threads(args.threads);
 
     // --- simulate (optimized: sharded, threaded) ----------------------
-    let (sim_s, trace) = timed(|| Simulator::new(config.clone()).run(&workload));
+    let (sim_s, (trace, telemetry)) =
+        timed(|| Simulator::new(config.clone()).run_with_telemetry(&workload, TELEMETRY_INTERVAL));
     let n_events = trace.events.len();
     let n_samples: usize = trace.host_series.iter().map(|s| s.samples.len()).sum();
     eprintln!("simulate: {sim_s:.3}s ({n_events} events, {n_samples} samples)");
@@ -350,6 +370,27 @@ fn main() {
     );
     eprint!("{}", snapshot.render_table());
 
+    // --- telemetry ----------------------------------------------------
+    let queue_delay_percentiles = telemetry.queue_delay_percentiles();
+    for p in &queue_delay_percentiles {
+        eprintln!(
+            "queue delay [{}]: {} placements, p50 {}s p90 {}s p99 {}s",
+            p.band, p.samples, p.p50, p.p90, p.p99
+        );
+    }
+    if let Some(path) = &args.telemetry {
+        let json = serde_json::to_string_pretty(&telemetry).expect("telemetry serializes");
+        std::fs::write(path, json).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "wrote telemetry ({} ticks at {}s) to {path}",
+            telemetry.timeline.len(),
+            telemetry.interval
+        );
+    }
+
     // --- simulate (baseline: the pre-sharding single-engine path) -----
     let baseline_config = config.clone().with_shards(1).with_threads(1);
     let (sim_base_s, _) = timed(|| Simulator::new(baseline_config).run(&workload));
@@ -382,7 +423,7 @@ fn main() {
     let total_baseline = gen_s + sim_base_s + write_s + read_base_s + char_s;
 
     let out = BenchReport {
-        schema: "cgc-bench/pipeline/v1",
+        schema: "cgc-bench/pipeline/v2",
         preset: "google",
         config: BenchConfig {
             machines: args.machines,
@@ -399,6 +440,7 @@ fn main() {
             trace_bytes: text.len(),
         },
         counters: snapshot.counters,
+        queue_delay_percentiles,
         stages: vec![
             tasks_stage("generate", gen_s, n_tasks),
             tasks_stage("simulate", sim_s, n_tasks),
@@ -438,4 +480,5 @@ fn main() {
     });
     println!("{pretty}");
     eprintln!("wrote {}", args.out);
+    cgc_obs::flush_observers();
 }

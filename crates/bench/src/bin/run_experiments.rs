@@ -2,13 +2,18 @@
 //!
 //! Usage:
 //! ```text
-//! run_experiments [IDS...] [--full] [--json PATH] [--metrics]
+//! run_experiments [IDS...] [--full] [--json PATH] [--metrics] [--telemetry PATH]
 //! ```
 //! With no ids, every experiment runs in paper order. `--full` switches to
 //! month-scale horizons; `--json` additionally writes the structured
 //! results to a file. `--metrics` enables the observability layer and
 //! prints the pipeline metrics table to stderr when all experiments are
-//! done; `CGC_TRACE=1` streams per-stage span timings live.
+//! done; `CGC_TRACE=1` streams per-stage span timings live, and
+//! `CGC_TRACE_OUT=spans.json` writes the span tree as a Chrome Trace
+//! Event file for Perfetto. `--telemetry PATH` replays the lab's shared
+//! google simulation on a 5-minute sim-time grid and writes the versioned
+//! telemetry bundle (queue timelines, queueing-delay histograms) to
+//! `PATH`.
 
 use cgc_bench::{all_experiment_ids, export_plots, run_experiment, Lab, Scale};
 use std::io::Write;
@@ -20,6 +25,7 @@ fn main() {
     let mut scale = Scale::Quick;
     let mut json_path: Option<String> = None;
     let mut plots_dir: Option<String> = None;
+    let mut telemetry_path: Option<String> = None;
     let mut with_metrics = false;
 
     let mut args = std::env::args().skip(1);
@@ -43,9 +49,16 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--telemetry" => {
+                telemetry_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--telemetry requires a path");
+                    std::process::exit(2);
+                }));
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: run_experiments [IDS...] [--full] [--json PATH] [--plots DIR] [--metrics]"
+                    "usage: run_experiments [IDS...] [--full] [--json PATH] [--plots DIR] \
+                     [--metrics] [--telemetry PATH]"
                 );
                 eprintln!("known ids: {}", all_experiment_ids().join(" "));
                 return;
@@ -95,7 +108,25 @@ fn main() {
         eprintln!("wrote {} results to {path}", results.len());
     }
 
+    if let Some(path) = telemetry_path {
+        // The paper's 5-minute sampling period, on the lab's shared
+        // google simulation (memoized: free if an experiment already
+        // simulated it).
+        let bundle = cgc_core::telemetry_from_trace(&lab.google_sim(), 300);
+        let json = serde_json::to_string_pretty(&bundle).expect("telemetry serializes");
+        std::fs::write(&path, json).unwrap_or_else(|e| {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "wrote telemetry ({} ticks at {}s) to {path}",
+            bundle.timeline.len(),
+            bundle.interval
+        );
+    }
+
     if with_metrics {
         eprint!("{}", cgc_obs::metrics().snapshot().render_table());
     }
+    cgc_obs::flush_observers();
 }

@@ -41,10 +41,12 @@ pub mod pass;
 pub mod predict;
 pub mod report;
 pub mod stream;
+pub mod telemetry;
 pub mod view;
 pub mod workload;
 
 pub use pass::{workload_passes, AnalysisPass, PassContext, PassOutput};
 pub use report::{characterize, CharacterizationReport};
 pub use stream::{characterize_stream, StreamOptions, StreamStats};
+pub use telemetry::telemetry_from_trace;
 pub use view::TraceView;

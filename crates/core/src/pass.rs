@@ -211,9 +211,13 @@ pub(crate) fn approx_summary(sample_summary: &Summary, moments: &StreamingSummar
 }
 
 /// Runs `f` under an observability span, so per-pass durations land in
-/// the metrics snapshot even on rayon worker threads.
-pub(crate) fn spanned<T>(stage: &'static str, f: impl FnOnce() -> T) -> T {
-    let _span = cgc_obs::span(stage);
+/// the metrics snapshot even on rayon worker threads. `parent` is the id
+/// of the logical enclosing span (the characterize/stream root): rayon
+/// forks break the thread-local span stack, so the hierarchy is carried
+/// explicitly and trace exports still show passes nested under their
+/// driver.
+pub(crate) fn spanned<T>(stage: &'static str, parent: Option<u64>, f: impl FnOnce() -> T) -> T {
+    let _span = cgc_obs::span_under(stage, parent);
     f()
 }
 
@@ -289,12 +293,18 @@ pub fn observe_records(
 }
 
 /// Finishes a workload registry into the report section, spanning each
-/// pass's finish under its stage name.
+/// pass's finish under its stage name (parented to `parent`, the
+/// driver's root span, so exported span trees stay connected across
+/// rayon threads).
 ///
 /// # Panics
 /// If `passes` is not a full workload registry (every slot must be
 /// produced exactly once).
-pub fn finish_workload(passes: Vec<Box<dyn AnalysisPass>>, ctx: &PassContext) -> WorkloadSection {
+pub fn finish_workload(
+    passes: Vec<Box<dyn AnalysisPass>>,
+    ctx: &PassContext,
+    parent: Option<u64>,
+) -> WorkloadSection {
     let mut priorities = None;
     let mut job_length = None;
     let mut submission = None;
@@ -304,7 +314,7 @@ pub fn finish_workload(passes: Vec<Box<dyn AnalysisPass>>, ctx: &PassContext) ->
     let mut resubmission = None;
     for pass in passes {
         let stage = pass.stage();
-        match spanned(stage, || pass.finish(ctx)) {
+        match spanned(stage, parent, || pass.finish(ctx)) {
             PassOutput::Priorities(h) => priorities = Some(h),
             PassOutput::JobLength(a) => job_length = Some(a),
             PassOutput::Submission(a) => submission = Some(a),
@@ -328,9 +338,13 @@ pub fn finish_workload(passes: Vec<Box<dyn AnalysisPass>>, ctx: &PassContext) ->
 
 /// Runs the host-load registry over a shared view — `run_full`s forked
 /// onto the rayon pool — and assembles the report section.
-pub(crate) fn run_hostload(view: &TraceView<'_>, ctx: &PassContext) -> HostloadSection {
+pub(crate) fn run_hostload(
+    view: &TraceView<'_>,
+    ctx: &PassContext,
+    parent: Option<u64>,
+) -> HostloadSection {
     let mut passes = hostload_passes();
-    run_full_parallel(&mut passes, view);
+    run_full_parallel(&mut passes, view, parent);
 
     let mut max_loads = None;
     let mut queue_runs = None;
@@ -380,13 +394,20 @@ pub(crate) fn run_hostload(view: &TraceView<'_>, ctx: &PassContext) -> HostloadS
 /// Forks `run_full` calls pairwise onto the rayon pool, each under its
 /// pass's span. Output slots are disjoint, so the result is
 /// deterministic regardless of thread count.
-fn run_full_parallel(passes: &mut [Box<dyn AnalysisPass>], view: &TraceView<'_>) {
+fn run_full_parallel(
+    passes: &mut [Box<dyn AnalysisPass>],
+    view: &TraceView<'_>,
+    parent: Option<u64>,
+) {
     match passes {
         [] => {}
-        [pass] => spanned(pass.stage(), || pass.run_full(view)),
+        [pass] => spanned(pass.stage(), parent, || pass.run_full(view)),
         _ => {
             let (a, b) = passes.split_at_mut(passes.len() / 2);
-            rayon::join(|| run_full_parallel(a, view), || run_full_parallel(b, view));
+            rayon::join(
+                || run_full_parallel(a, view, parent),
+                || run_full_parallel(b, view, parent),
+            );
         }
     }
 }

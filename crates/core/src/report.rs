@@ -89,15 +89,19 @@ pub struct CharacterizationReport {
 /// deterministic regardless of thread count: each pass writes only its
 /// own slot in the report.
 pub fn characterize(trace: &Trace) -> CharacterizationReport {
-    let _span = cgc_obs::span(cgc_obs::stages::CHARACTERIZE);
+    let span = cgc_obs::span(cgc_obs::stages::CHARACTERIZE);
+    // The sections fork onto rayon threads, which breaks the
+    // thread-local span chain; carry the root id explicitly so exported
+    // span trees keep every analysis nested under `characterize`.
+    let root = span.id();
     let view = TraceView::new(trace);
     let ctx = PassContext {
         system: trace.system.clone(),
         horizon: trace.horizon,
     };
     let (workload, hostload) = rayon::join(
-        || workload_section(trace, &ctx),
-        || hostload_section(&view, &ctx),
+        || workload_section(trace, &ctx, root),
+        || hostload_section(&view, &ctx, root),
     );
     CharacterizationReport {
         system: trace.system.clone(),
@@ -108,21 +112,25 @@ pub fn characterize(trace: &Trace) -> CharacterizationReport {
 
 /// Section III: sweep the records once through the workload registry,
 /// then finish each pass into its report slot.
-fn workload_section(trace: &Trace, ctx: &PassContext) -> WorkloadSection {
+fn workload_section(trace: &Trace, ctx: &PassContext, parent: Option<u64>) -> WorkloadSection {
     let mut passes = pass::workload_passes(false);
-    pass::spanned(cgc_obs::stages::A_SWEEP, || {
+    pass::spanned(cgc_obs::stages::A_SWEEP, parent, || {
         pass::observe_records(&mut passes, &trace.jobs, &trace.tasks, &trace.events);
     });
-    pass::finish_workload(passes, ctx)
+    pass::finish_workload(passes, ctx, parent)
 }
 
 /// Section IV: run the host-load registry over the shared view. `None`
 /// for workload-only traces (no machine reported a sample).
-fn hostload_section(view: &TraceView<'_>, ctx: &PassContext) -> Option<HostloadSection> {
+fn hostload_section(
+    view: &TraceView<'_>,
+    ctx: &PassContext,
+    parent: Option<u64>,
+) -> Option<HostloadSection> {
     if !view.trace().host_series.iter().any(|s| !s.is_empty()) {
         return None;
     }
-    Some(pass::run_hostload(view, ctx))
+    Some(pass::run_hostload(view, ctx, parent))
 }
 
 impl fmt::Display for CharacterizationReport {

@@ -78,7 +78,8 @@ pub fn characterize_stream<R: BufRead>(
     reader: R,
     opts: &StreamOptions,
 ) -> Result<(CharacterizationReport, StreamStats), ParseError> {
-    let _span = cgc_obs::span(cgc_obs::stages::STREAM);
+    let span = cgc_obs::span(cgc_obs::stages::STREAM);
+    let root = span.id();
     let mut batches = TraceBatches::with_batch_records(reader, opts.batch_records);
     let mut passes = pass::workload_passes(opts.approx);
     let mut stats = StreamStats {
@@ -94,7 +95,7 @@ pub fn characterize_stream<R: BufRead>(
     };
     for batch in &mut batches {
         let batch = batch?;
-        pass::spanned(cgc_obs::stages::A_SWEEP, || {
+        pass::spanned(cgc_obs::stages::A_SWEEP, root, || {
             pass::observe_records(&mut passes, &batch.jobs, &batch.tasks, &batch.events);
         });
         stats.batches += 1;
@@ -111,7 +112,7 @@ pub fn characterize_stream<R: BufRead>(
         system: batches.system().to_string(),
         horizon: batches.horizon(),
     };
-    let workload = pass::finish_workload(passes, &ctx);
+    let workload = pass::finish_workload(passes, &ctx, root);
     Ok((
         CharacterizationReport {
             system: ctx.system,

@@ -1,0 +1,176 @@
+//! Chrome Trace Event export: spans → Perfetto-loadable JSON.
+//!
+//! [`ChromeTraceWriter`] is a [`SpanObserver`] that appends one complete
+//! (`"ph": "X"`) Trace Event per closed span to a JSON array on disk —
+//! the format both `chrome://tracing` and <https://ui.perfetto.dev> load
+//! directly. Install it via `CGC_TRACE_OUT=trace.json`
+//! ([`crate::init_from_env`]) or [`crate::add_observer`]; call
+//! [`crate::flush_observers`] (the binaries do, on exit) to close the
+//! array so the file parses as strict JSON.
+//!
+//! Each event carries the span's timing (`ts`/`dur` in microseconds since
+//! the process anchor), a per-thread track (`tid` is the span's dense
+//! thread id, so shard spans land on the rayon worker that ran them), and
+//! the span tree in `args`: the span `id`, its `parent` id, and the
+//! `index` (shard number) when one was set. Events are written in
+//! span-close order; trace viewers sort by `ts`, so no buffering or
+//! sorting happens here — the writer holds one `Mutex<BufWriter>` and
+//! never allocates per event beyond the formatted line.
+
+use crate::span::{SpanMeta, SpanObserver};
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufWriter, Write as _};
+use std::path::Path;
+use std::sync::Mutex;
+
+struct WriterState {
+    out: BufWriter<File>,
+    events: u64,
+    closed: bool,
+}
+
+/// Writes closed spans as Chrome Trace Events; see the module docs.
+pub struct ChromeTraceWriter {
+    state: Mutex<WriterState>,
+}
+
+impl ChromeTraceWriter {
+    /// Creates `path` (truncating) and writes the array opener plus one
+    /// process-name metadata event.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let mut out = BufWriter::new(File::create(path)?);
+        write!(
+            out,
+            "[{{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":\"cgc\"}}}}",
+            pid = std::process::id()
+        )?;
+        Ok(ChromeTraceWriter {
+            state: Mutex::new(WriterState {
+                out,
+                events: 1,
+                closed: false,
+            }),
+        })
+    }
+
+    /// Number of events written so far (including the metadata event).
+    pub fn events_written(&self) -> u64 {
+        self.state.lock().expect("trace writer poisoned").events
+    }
+}
+
+impl SpanObserver for ChromeTraceWriter {
+    fn exit(&self, span: &SpanMeta, start_micros: f64, nanos: u64) {
+        // Stage names are static identifiers ([a-z/_#0-9]) and need no
+        // JSON escaping; everything else is numeric.
+        let mut line = String::with_capacity(160);
+        let _ = write!(
+            line,
+            ",\n{{\"name\":\"{name}\",\"cat\":\"cgc\",\"ph\":\"X\",\"ts\":{ts:.3},\
+             \"dur\":{dur:.3},\"pid\":{pid},\"tid\":{tid},\"args\":{{\"id\":{id}",
+            name = span.name,
+            ts = start_micros,
+            dur = nanos as f64 / 1e3,
+            pid = std::process::id(),
+            tid = span.tid,
+            id = span.id,
+        );
+        if let Some(parent) = span.parent {
+            let _ = write!(line, ",\"parent\":{parent}");
+        }
+        if let Some(index) = span.index {
+            let _ = write!(line, ",\"index\":{index}");
+        }
+        line.push_str("}}");
+
+        let mut state = self.state.lock().expect("trace writer poisoned");
+        if state.closed {
+            return; // a span outlived the flush; dropping it keeps the JSON valid
+        }
+        if state.out.write_all(line.as_bytes()).is_ok() {
+            state.events += 1;
+        }
+    }
+
+    /// Closes the JSON array and flushes to disk. Idempotent; spans
+    /// closing afterwards are dropped.
+    fn flush(&self) {
+        let mut state = self.state.lock().expect("trace writer poisoned");
+        if !state.closed {
+            state.closed = true;
+            let _ = state.out.write_all(b"\n]\n");
+        }
+        let _ = state.out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(name: &'static str, id: u64, parent: Option<u64>) -> SpanMeta {
+        SpanMeta {
+            name,
+            index: (name == "simulate/shard").then_some(2),
+            id,
+            parent,
+            tid: 7,
+        }
+    }
+
+    /// The Chrome Trace Event shape the writer must produce. Required
+    /// fields (`name`/`ph`/`ts`) make deserialization itself the
+    /// "every event has ph/ts/name" check.
+    #[derive(serde::Deserialize)]
+    struct Event {
+        name: String,
+        ph: String,
+        #[allow(dead_code)]
+        ts: f64,
+        #[serde(default)]
+        dur: f64,
+        #[serde(default)]
+        tid: u64,
+        #[serde(default)]
+        args: Option<Args>,
+    }
+
+    #[derive(serde::Deserialize)]
+    struct Args {
+        #[serde(default)]
+        id: Option<u64>,
+        #[serde(default)]
+        parent: Option<u64>,
+        #[serde(default)]
+        index: Option<u64>,
+    }
+
+    #[test]
+    fn written_file_is_valid_chrome_trace_json() {
+        let path = std::env::temp_dir().join(format!("cgc-obs-export-{}.json", std::process::id()));
+        let writer = ChromeTraceWriter::create(&path).expect("temp file creates");
+        writer.exit(&meta("simulate", 1, None), 0.0, 2_000_000);
+        writer.exit(&meta("simulate/shard", 2, Some(1)), 10.5, 1_500);
+        writer.flush();
+        writer.exit(&meta("write", 3, None), 99.0, 1); // after close: dropped
+        writer.flush(); // idempotent
+
+        let text = std::fs::read_to_string(&path).expect("trace file readable");
+        let _ = std::fs::remove_file(&path);
+        let events: Vec<Event> = serde_json::from_str(&text).expect("strict JSON array");
+        assert_eq!(events.len(), 3, "metadata + two spans, late span dropped");
+        let shard = events
+            .iter()
+            .find(|e| e.name == "simulate/shard")
+            .expect("shard span exported");
+        assert_eq!(shard.ph, "X");
+        assert!((shard.dur - 1.5).abs() < 1e-9, "1500 ns = 1.5 us");
+        assert_eq!(shard.tid, 7);
+        let args = shard.args.as_ref().expect("span events carry args");
+        assert_eq!(args.id, Some(2));
+        assert_eq!(args.parent, Some(1));
+        assert_eq!(args.index, Some(2));
+    }
+}

@@ -1,0 +1,338 @@
+//! Log-bucketed histograms for sim-time telemetry.
+//!
+//! Queueing delays, resubmit waits, and attempt run lengths span six
+//! orders of magnitude (a second to a week), so uniform bins are useless
+//! and exact sample vectors are too heavy to key on every sim-time tick.
+//! [`LogHistogram`] keeps HDR-style buckets — four linear sub-buckets per
+//! power-of-two octave, bounding relative error at 25% — over the full
+//! `u64` range, in at most [`MAX_BUCKETS`] counters.
+//!
+//! Everything here is deterministic: bucket boundaries are pure integer
+//! arithmetic, percentiles come from bucket lower bounds clamped into the
+//! observed `[min, max]`, and [`merge`](LogHistogram::merge) is a plain
+//! element-wise sum. Telemetry built from these histograms is therefore
+//! byte-identical across thread counts as long as values are recorded in
+//! a deterministic multiset (order never matters).
+
+use serde::{Deserialize, Serialize};
+
+/// Sub-buckets per power-of-two octave (2 significand bits).
+const SUB: u64 = 4;
+
+/// Upper bound on the bucket index + 1: values `0..4` get exact buckets,
+/// octaves 2..=63 get [`SUB`] buckets each.
+pub const MAX_BUCKETS: usize = (SUB + (64 - 2) * SUB) as usize;
+
+/// Bucket index of `value`.
+///
+/// Values below `SUB` map exactly; larger values map to
+/// `(octave, sub-bucket)` where the sub-bucket is the two bits after the
+/// leading one.
+pub fn bucket_of(value: u64) -> usize {
+    if value < SUB {
+        value as usize
+    } else {
+        let k = 63 - u64::from(value.leading_zeros()); // msb position, >= 2
+        let sub = (value >> (k - 2)) & (SUB - 1);
+        (SUB + (k - 2) * SUB + sub) as usize
+    }
+}
+
+/// Inclusive `[lo, hi]` bounds of a bucket. Every value maps into the
+/// bounds of its own bucket: `bounds(bucket_of(v)).0 <= v <=
+/// bounds(bucket_of(v)).1`.
+pub fn bucket_bounds(bucket: usize) -> (u64, u64) {
+    let b = bucket as u64;
+    if b < SUB {
+        (b, b)
+    } else {
+        let k = 2 + (b - SUB) / SUB;
+        let sub = (b - SUB) % SUB;
+        let width = 1u64 << (k - 2);
+        let lo = (SUB + sub) << (k - 2);
+        // The topmost bucket's exclusive bound is 2^64; inclusive math
+        // avoids the overflow.
+        (lo, lo + (width - 1))
+    }
+}
+
+/// A mergeable log-bucketed histogram over `u64` values (seconds, here).
+///
+/// Buckets are stored trimmed to the highest one ever hit, so an empty or
+/// small-valued histogram serializes to a handful of numbers.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LogHistogram {
+    /// Bucket counts, trimmed (index with [`bucket_bounds`]).
+    counts: Vec<u64>,
+    /// Total recorded values.
+    count: u64,
+    /// Sum of recorded values (saturating).
+    sum: u64,
+    /// Smallest recorded value (0 when empty).
+    min: u64,
+    /// Largest recorded value (0 when empty).
+    max: u64,
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        let b = bucket_of(value);
+        if self.counts.len() <= b {
+            self.counts.resize(b + 1, 0);
+        }
+        self.counts[b] += 1;
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Total number of recorded values.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing was recorded.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of recorded values (saturating at `u64::MAX`).
+    #[inline]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value, `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded value, `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of recorded values, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Trimmed bucket counts (index with [`bucket_bounds`]).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Nearest-rank percentile for `q` in `[0, 1]`, `None` when empty.
+    ///
+    /// Returns the lower bound of the bucket holding the `ceil(q·count)`-th
+    /// value, clamped into `[min, max]` — so a single-sample or all-equal
+    /// histogram reports the exact value at every `q`. Deterministic: pure
+    /// integer bucket walking, no interpolation.
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_bounds(b).0.clamp(self.min, self.max));
+            }
+        }
+        // Unreachable with a consistent histogram; be lenient on one
+        // deserialized with a short `counts` vector.
+        Some(self.max)
+    }
+
+    /// Adds every recorded value of `other` into `self` (element-wise
+    /// bucket sum — associative, commutative, deterministic).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (slot, &c) in self.counts.iter_mut().zip(&other.counts) {
+            *slot += c;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn of(values: &[u64]) -> LogHistogram {
+        let mut h = LogHistogram::new();
+        for &v in values {
+            h.record(v);
+        }
+        h
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..4 {
+            assert_eq!(bucket_of(v), v as usize);
+            assert_eq!(bucket_bounds(v as usize), (v, v));
+        }
+    }
+
+    #[test]
+    fn buckets_are_contiguous() {
+        // Each bucket's lower bound is the previous upper bound + 1.
+        for b in 1..MAX_BUCKETS {
+            assert_eq!(
+                bucket_bounds(b).0,
+                bucket_bounds(b - 1).1 + 1,
+                "gap between buckets {} and {b}",
+                b - 1
+            );
+        }
+    }
+
+    #[test]
+    fn extremes_round_trip() {
+        for v in [0, 1, 3, 4, 5, 7, 8, 1023, 1024, u64::MAX - 1, u64::MAX] {
+            let (lo, hi) = bucket_bounds(bucket_of(v));
+            assert!(lo <= v && v <= hi, "{v} outside [{lo}, {hi}]");
+        }
+        assert!(bucket_of(u64::MAX) < MAX_BUCKETS);
+    }
+
+    #[test]
+    fn percentile_empty_is_none() {
+        assert_eq!(LogHistogram::new().percentile(0.5), None);
+        assert_eq!(LogHistogram::new().mean(), None);
+        assert_eq!(LogHistogram::new().min(), None);
+    }
+
+    #[test]
+    fn percentile_single_sample_is_the_sample() {
+        let h = of(&[937]);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), Some(937));
+        }
+    }
+
+    #[test]
+    fn percentile_all_equal_is_that_value() {
+        let h = of(&[600; 50]);
+        for q in [0.01, 0.5, 0.9, 0.99] {
+            assert_eq!(h.percentile(q), Some(600));
+        }
+    }
+
+    #[test]
+    fn percentiles_are_ordered_and_bounded() {
+        let h = of(&[1, 2, 3, 10, 100, 1000, 10_000, 100_000]);
+        let p50 = h.percentile(0.5).unwrap();
+        let p90 = h.percentile(0.9).unwrap();
+        let p99 = h.percentile(0.99).unwrap();
+        assert!(p50 <= p90 && p90 <= p99);
+        assert!(p50 >= h.min().unwrap() && p99 <= h.max().unwrap());
+    }
+
+    #[test]
+    fn merge_equals_recording_everything() {
+        let mut a = of(&[0, 5, 17, 300]);
+        let b = of(&[2, 300, 100_000]);
+        a.merge(&b);
+        assert_eq!(a, of(&[0, 5, 17, 300, 2, 300, 100_000]));
+        let mut empty = LogHistogram::new();
+        empty.merge(&a);
+        assert_eq!(empty, a);
+        a.merge(&LogHistogram::new());
+        assert_eq!(empty, a);
+    }
+
+    #[test]
+    fn serde_snapshot_round_trips() {
+        let h = of(&[0, 1, 4, 9, 300, 86_400, u64::MAX]);
+        let json = serde_json::to_string(&h).unwrap();
+        let back: LogHistogram = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(back.percentile(0.5), h.percentile(0.5));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// value → bucket → bounds always contains the value.
+        #[test]
+        fn bucket_bounds_contain_value(v in 0u64..=u64::MAX) {
+            let b = bucket_of(v);
+            prop_assert!(b < MAX_BUCKETS);
+            let (lo, hi) = bucket_bounds(b);
+            prop_assert!(lo <= v && v <= hi, "{} outside [{}, {}]", v, lo, hi);
+        }
+
+        /// bucket_of is monotone: a larger value never lands in an
+        /// earlier bucket.
+        #[test]
+        fn bucket_of_is_monotone(a in 0u64..=u64::MAX, b in 0u64..=u64::MAX) {
+            let (lo, hi) = (a.min(b), a.max(b));
+            prop_assert!(bucket_of(lo) <= bucket_of(hi));
+        }
+
+        /// Recording preserves totals and keeps percentiles in range.
+        #[test]
+        fn totals_and_percentiles(values in prop::collection::vec(0u64..1_000_000, 1..200)) {
+            let mut h = LogHistogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            prop_assert_eq!(h.count(), values.len() as u64);
+            prop_assert_eq!(h.sum(), values.iter().sum::<u64>());
+            prop_assert_eq!(h.min(), values.iter().min().copied());
+            prop_assert_eq!(h.max(), values.iter().max().copied());
+            for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+                let p = h.percentile(q).unwrap();
+                prop_assert!(h.min().unwrap() <= p && p <= h.max().unwrap());
+            }
+        }
+
+        /// Serde round-trip is lossless for arbitrary contents. Values
+        /// stay within the f64-exact integer range so the property holds
+        /// under any JSON number representation.
+        #[test]
+        fn serde_round_trip(values in prop::collection::vec(0u64..(1u64 << 40), 0..50)) {
+            let mut h = LogHistogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let json = serde_json::to_string(&h).unwrap();
+            let back: LogHistogram = serde_json::from_str(&json).unwrap();
+            prop_assert_eq!(back, h);
+        }
+    }
+}

@@ -1,17 +1,27 @@
 //! Observability for the generate → simulate → write → read →
 //! characterize pipeline.
 //!
-//! Three tools, deliberately std-only so every crate in the workspace can
+//! Five tools, deliberately std-only so every crate in the workspace can
 //! afford the dependency:
 //!
-//! * [`span`] / [`span_indexed`] — lightweight tracing spans around each
-//!   pipeline stage. A span measures its own wall-clock on drop and
-//!   reports it to the global [`metrics`] registry and to an optional
-//!   [`SpanObserver`] (the binaries install [`CompactStderr`] when the
-//!   `CGC_TRACE` environment variable is set; see [`init_from_env`]).
+//! * [`span`] / [`span_indexed`] / [`span_under`] — hierarchical tracing
+//!   spans around each pipeline stage. A span measures its own
+//!   wall-clock on drop, carries a process-unique id, a parent id, and
+//!   thread attribution, and reports to the global [`metrics`] registry
+//!   and to every installed [`SpanObserver`] (the binaries install
+//!   [`CompactStderr`] when `CGC_TRACE` is set and a
+//!   [`ChromeTraceWriter`] when `CGC_TRACE_OUT=<path>` is; see
+//!   [`init_from_env`]).
+//! * [`export`] — the Chrome Trace Event writer: spans become a
+//!   Perfetto / `chrome://tracing`-loadable JSON file.
 //! * [`metrics`] — a process-global, lock-free [`PipelineMetrics`]
 //!   registry of counters and per-stage duration histograms, snapshotted
 //!   into a serializable [`MetricsSnapshot`].
+//! * [`timeline`] / [`hist`] — **sim-time telemetry** containers: the
+//!   versioned [`TelemetryBundle`] of queue/capacity timelines plus
+//!   log-bucketed [`LogHistogram`]s of queueing delay, resubmit wait,
+//!   and attempt run length. Producers key everything on simulated time,
+//!   so bundles are byte-identical across thread counts.
 //! * [`Diagnostics`] — a structured sink for ingest warnings (lenient
 //!   trace parsing), rendered as a `skipped N lines (first: …)` summary
 //!   or a per-category table instead of being silently dropped.
@@ -24,19 +34,29 @@
 //! is installed. Nothing here touches any RNG or changes control flow, so
 //! enabling instrumentation can never alter simulator output — the
 //! workspace's `tests/determinism.rs` suite pins that contract by running
-//! the bit-identity checks with instrumentation on.
+//! the bit-identity checks with instrumentation on (and re-proves it for
+//! the telemetry recorder).
 
 mod diag;
+pub mod export;
+pub mod hist;
 mod metrics;
 mod span;
+pub mod timeline;
 
 pub use diag::{Diagnostics, IngestWarning};
+pub use export::ChromeTraceWriter;
+pub use hist::LogHistogram;
 pub use metrics::{
     enabled, metrics, set_enabled, Counter, MetricsSnapshot, PipelineCounters, PipelineMetrics,
     StageTiming, MAX_SHARD_SLOTS,
 };
 pub use span::{
-    init_from_env, set_observer, span, span_indexed, CompactStderr, Span, SpanObserver,
+    add_observer, flush_observers, init_from_env, span, span_indexed, span_under, CompactStderr,
+    Span, SpanMeta, SpanObserver,
+};
+pub use timeline::{
+    CapacitySample, QueueDelayPercentiles, TelemetryBundle, TimelineSample, BAND_NAMES, NUM_BANDS,
 };
 
 /// Canonical stage names, shared by spans and the per-stage duration

@@ -130,6 +130,9 @@ pub struct PipelineMetrics {
     /// Bytes handed to the trace parsers.
     pub bytes_read: Counter,
     events_per_shard: [AtomicU64; MAX_SHARD_SLOTS],
+    /// Set when a shard index at or beyond [`MAX_SHARD_SLOTS`] reported
+    /// events: per-shard attribution folded into the last slot.
+    shards_clamped: AtomicBool,
     timings: [TimingSlot; stages::ALL.len()],
 }
 
@@ -156,6 +159,7 @@ impl PipelineMetrics {
             lines_salvaged: Counter::new(),
             bytes_read: Counter::new(),
             events_per_shard: [const { AtomicU64::new(0) }; MAX_SHARD_SLOTS],
+            shards_clamped: AtomicBool::new(false),
             timings: [const { TimingSlot::new() }; stages::ALL.len()],
         }
     }
@@ -173,6 +177,9 @@ impl PipelineMetrics {
             return;
         }
         self.events_simulated.add(events);
+        if shard >= MAX_SHARD_SLOTS {
+            self.shards_clamped.store(true, Ordering::Relaxed);
+        }
         self.events_per_shard[shard.min(MAX_SHARD_SLOTS - 1)].fetch_add(events, Ordering::Relaxed);
     }
 
@@ -208,6 +215,7 @@ impl PipelineMetrics {
         for s in &self.events_per_shard {
             s.store(0, Ordering::Relaxed);
         }
+        self.shards_clamped.store(false, Ordering::Relaxed);
         for t in &self.timings {
             t.reset();
         }
@@ -242,6 +250,7 @@ impl PipelineMetrics {
             lines_parsed: self.lines_parsed.get(),
             lines_salvaged: self.lines_salvaged.get(),
             bytes_read: self.bytes_read.get(),
+            shards_clamped: self.shards_clamped.load(Ordering::Relaxed),
         };
         let timings = stages::ALL
             .iter()
@@ -282,6 +291,11 @@ pub struct PipelineCounters {
     pub lines_parsed: u64,
     pub lines_salvaged: u64,
     pub bytes_read: u64,
+    /// True when a shard index at or beyond [`MAX_SHARD_SLOTS`] reported
+    /// events, meaning `events_per_shard` folded high shards into its
+    /// last slot instead of attributing them individually.
+    #[serde(default)]
+    pub shards_clamped: bool,
 }
 
 /// One stage's duration histogram, as captured in a snapshot.
@@ -338,6 +352,13 @@ impl MetricsSnapshot {
             let shards: Vec<String> = c.events_per_shard.iter().map(u64::to_string).collect();
             let _ = writeln!(out, "  {:<18} [{}]", "events per shard", shards.join(", "));
         }
+        if c.shards_clamped {
+            let _ = writeln!(
+                out,
+                "  warning: shard indices >= {MAX_SHARD_SLOTS} were folded into the last \
+                 events-per-shard slot"
+            );
+        }
         if !self.timings.is_empty() {
             let _ = writeln!(out, "stage timings:");
             for t in &self.timings {
@@ -390,6 +411,21 @@ mod tests {
         let read = snap.timings.iter().find(|t| t.stage == stages::READ);
         assert_eq!(read.expect("read slot populated").count, 1);
         assert!(snap.timings.iter().any(|t| t.stage == stages::OTHER));
+        assert!(!snap.counters.shards_clamped, "no shard hit the clamp yet");
+
+        // A shard index beyond the slot array folds into the last slot —
+        // and the snapshot must say so instead of merging silently.
+        set_enabled(true);
+        m.record_shard_events(MAX_SHARD_SLOTS + 5, 3);
+        let snap = m.snapshot();
+        set_enabled(false);
+        assert!(snap.counters.shards_clamped);
+        assert_eq!(snap.counters.events_per_shard.len(), MAX_SHARD_SLOTS);
+        assert_eq!(*snap.counters.events_per_shard.last().unwrap(), 3);
+        assert!(
+            snap.render_table().contains("warning: shard indices"),
+            "clamp warning missing from the rendered table"
+        );
 
         m.reset();
         assert_eq!(m.snapshot().counters, PipelineCounters::default());

@@ -1,46 +1,133 @@
-//! Pipeline-stage spans and the span observer hook.
+//! Hierarchical pipeline-stage spans and the span-observer fan-out.
 //!
 //! A [`Span`] is an RAII guard: created when a stage begins, it measures
-//! wall-clock until drop and reports the duration to the global metrics
-//! registry (if enabled) and to the installed [`SpanObserver`] (if any).
-//! When neither consumer exists, [`span`] never reads the clock — the
-//! guard is a no-op struct, so leaving instrumentation in library code
-//! costs nothing in the common (disabled) case.
+//! wall-clock until drop and reports to the global metrics registry (if
+//! enabled) and to every installed [`SpanObserver`]. When no consumer
+//! exists, [`span`] never reads the clock or allocates an id — the guard
+//! is a no-op struct, so leaving instrumentation in library code costs
+//! nothing in the common (disabled) case.
+//!
+//! # Hierarchy and attribution
+//!
+//! Live spans carry a process-unique `id` and a `parent` id, resolved
+//! from a thread-local stack of open spans — so nested stages form a tree
+//! without any explicit threading. Work that hops threads (rayon forks)
+//! breaks the thread-local chain; [`span_under`] re-attaches a child to
+//! an explicit parent id captured before the fork. Every span also
+//! records the small dense id of the thread that opened it, which is how
+//! the Chrome-trace export lays spans out into per-thread tracks.
+//!
+//! # Observers
+//!
+//! [`add_observer`] installs any number of observers; all of them see
+//! every span ([`CompactStderr`] streaming to stderr and
+//! [`ChromeTraceWriter`](crate::ChromeTraceWriter) writing `trace.json`
+//! routinely run together). [`init_from_env`] wires both from the
+//! `CGC_TRACE` / `CGC_TRACE_OUT` environment variables; binaries call
+//! [`flush_observers`] before exiting so file-backed observers can close
+//! their output.
 
 use crate::metrics::{enabled, metrics};
-use std::sync::OnceLock;
+use std::cell::RefCell;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
 use std::time::Instant;
+
+/// Identity of one live span, as shown to observers.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanMeta {
+    /// Stage name (one of [`crate::stages`]).
+    pub name: &'static str,
+    /// Optional index (shard number, experiment number).
+    pub index: Option<usize>,
+    /// Process-unique span id (never 0).
+    pub id: u64,
+    /// Id of the enclosing span, if any.
+    pub parent: Option<u64>,
+    /// Small dense id of the thread that opened the span.
+    pub tid: u64,
+}
 
 /// Receives span open/close notifications. Implementations must be
 /// cheap and thread-safe: spans fire from rayon worker threads.
 pub trait SpanObserver: Send + Sync {
     /// A span was created. Default: ignore.
-    fn enter(&self, _name: &'static str, _index: Option<usize>) {}
-    /// A span ended after `nanos` of wall-clock.
-    fn exit(&self, name: &'static str, index: Option<usize>, nanos: u64);
+    fn enter(&self, _span: &SpanMeta) {}
+    /// A span ended after `nanos` of wall-clock. `start_micros` is the
+    /// span's start, in microseconds since the process-wide anchor — the
+    /// timebase Chrome-trace `ts` fields use.
+    fn exit(&self, span: &SpanMeta, start_micros: f64, nanos: u64);
+    /// The process is about to exit; finalize any buffered output.
+    /// Default: nothing to flush.
+    fn flush(&self) {}
 }
 
-static OBSERVER: OnceLock<Box<dyn SpanObserver>> = OnceLock::new();
+static OBSERVERS: RwLock<Vec<Arc<dyn SpanObserver>>> = RwLock::new(Vec::new());
+/// Mirror of `OBSERVERS.len()`, readable without taking the lock: the
+/// disabled-instrumentation fast path is one relaxed load.
+static N_OBSERVERS: AtomicUsize = AtomicUsize::new(0);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
 
-/// Installs the process-wide span observer. At most one observer can
-/// ever be installed; a second call returns `false` and drops `obs`.
-pub fn set_observer(obs: Box<dyn SpanObserver>) -> bool {
-    OBSERVER.set(obs).is_ok()
+thread_local! {
+    /// Stack of open span ids on this thread (innermost last).
+    static OPEN: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// This thread's dense id, assigned on first span.
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
 }
 
-fn observer() -> Option<&'static dyn SpanObserver> {
-    OBSERVER.get().map(|b| b.as_ref())
+/// The process-wide epoch that span timestamps are measured against.
+fn anchor() -> Instant {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    *ANCHOR.get_or_init(Instant::now)
 }
 
-/// Installs [`CompactStderr`] when the `CGC_TRACE` environment variable
-/// is set to anything but `0` or the empty string. The binaries call
-/// this once at startup so `CGC_TRACE=1 cargo run …` traces any of them.
+/// Installs an observer. Any number can be active at once; each sees
+/// every span from the moment it is added.
+pub fn add_observer(obs: Arc<dyn SpanObserver>) {
+    let mut observers = OBSERVERS.write().expect("observer registry poisoned");
+    observers.push(obs);
+    N_OBSERVERS.store(observers.len(), Ordering::Release);
+}
+
+/// Calls [`SpanObserver::flush`] on every installed observer. Binaries
+/// call this once before exiting so file-backed observers (the Chrome
+/// trace writer) can close their JSON.
+pub fn flush_observers() {
+    for obs in OBSERVERS.read().expect("observer registry poisoned").iter() {
+        obs.flush();
+    }
+}
+
+fn with_observers(f: impl Fn(&dyn SpanObserver)) {
+    for obs in OBSERVERS.read().expect("observer registry poisoned").iter() {
+        f(obs.as_ref());
+    }
+}
+
+/// Wires observers from the environment; the binaries call this once at
+/// startup.
+///
+/// * `CGC_TRACE` set (non-empty, not `0`): stream one compact stderr
+///   line per closed span ([`CompactStderr`]).
+/// * `CGC_TRACE_OUT=<path>`: write a Perfetto / `chrome://tracing`
+///   loadable Chrome Trace Event JSON to `<path>`
+///   ([`ChromeTraceWriter`](crate::ChromeTraceWriter)); finalized by
+///   [`flush_observers`].
 pub fn init_from_env() {
-    match std::env::var("CGC_TRACE") {
-        Ok(v) if !v.is_empty() && v != "0" => {
-            set_observer(Box::new(CompactStderr));
+    if let Ok(v) = std::env::var("CGC_TRACE") {
+        if !v.is_empty() && v != "0" {
+            add_observer(Arc::new(CompactStderr));
         }
-        _ => {}
+    }
+    if let Ok(path) = std::env::var("CGC_TRACE_OUT") {
+        if !path.is_empty() {
+            match crate::ChromeTraceWriter::create(std::path::Path::new(&path)) {
+                Ok(writer) => add_observer(Arc::new(writer)),
+                Err(e) => eprintln!("[cgc] cannot open CGC_TRACE_OUT={path}: {e}"),
+            }
+        }
     }
 }
 
@@ -49,85 +136,172 @@ pub fn init_from_env() {
 /// ```text
 /// [cgc] simulate/shard#2 184.31 ms
 /// ```
+///
+/// Each line is built in a buffer and issued as a single write on the
+/// locked stream, so lines from concurrent shard threads never
+/// interleave mid-line.
 pub struct CompactStderr;
 
 impl SpanObserver for CompactStderr {
-    fn exit(&self, name: &'static str, index: Option<usize>, nanos: u64) {
+    fn exit(&self, span: &SpanMeta, _start_micros: f64, nanos: u64) {
         let ms = nanos as f64 / 1e6;
-        match index {
-            Some(i) => eprintln!("[cgc] {name}#{i} {ms:.2} ms"),
-            None => eprintln!("[cgc] {name} {ms:.2} ms"),
-        }
+        let line = match span.index {
+            Some(i) => format!("[cgc] {}#{i} {ms:.2} ms\n", span.name),
+            None => format!("[cgc] {} {ms:.2} ms\n", span.name),
+        };
+        let _ = std::io::stderr().lock().write_all(line.as_bytes());
     }
 }
 
 /// RAII guard for one stage execution; see [`span`].
 pub struct Span {
-    name: &'static str,
-    index: Option<usize>,
     /// `None` when instrumentation was off at creation: the drop is then
-    /// a no-op and the clock is never read.
-    start: Option<Instant>,
+    /// a no-op, the clock was never read, and no id was allocated.
+    live: Option<LiveSpan>,
+}
+
+struct LiveSpan {
+    meta: SpanMeta,
+    start: Instant,
+}
+
+impl Span {
+    /// The span's process-unique id, for re-parenting child spans across
+    /// thread hops with [`span_under`]. `None` when instrumentation was
+    /// off at creation.
+    pub fn id(&self) -> Option<u64> {
+        self.live.as_ref().map(|l| l.meta.id)
+    }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
-        let Some(start) = self.start else {
+        let Some(live) = self.live.take() else {
             return;
         };
-        let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-        metrics().record_duration(self.name, nanos);
-        if let Some(obs) = observer() {
-            obs.exit(self.name, self.index, nanos);
+        OPEN.with(|open| {
+            let mut open = open.borrow_mut();
+            if open.last() == Some(&live.meta.id) {
+                open.pop();
+            }
+        });
+        let nanos = live.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        metrics().record_duration(live.meta.name, nanos);
+        if N_OBSERVERS.load(Ordering::Acquire) > 0 {
+            let start_micros = live.start.saturating_duration_since(anchor()).as_secs_f64() * 1e6;
+            with_observers(|obs| obs.exit(&live.meta, start_micros, nanos));
         }
     }
 }
 
 /// Opens a span for `name` (use the constants in [`crate::stages`]).
-/// Hold the returned guard for the duration of the stage.
+/// Hold the returned guard for the duration of the stage. The parent is
+/// the innermost span still open on this thread.
 pub fn span(name: &'static str) -> Span {
-    span_inner(name, None)
+    span_inner(name, None, None)
 }
 
 /// Like [`span`] but tagged with an index (shard number, experiment
-/// number) that the observer shows as `name#index`.
+/// number) that observers show as `name#index`.
 pub fn span_indexed(name: &'static str, index: usize) -> Span {
-    span_inner(name, Some(index))
+    span_inner(name, Some(index), None)
 }
 
-fn span_inner(name: &'static str, index: Option<usize>) -> Span {
-    let live = enabled() || OBSERVER.get().is_some();
-    let start = live.then(Instant::now);
-    if start.is_some() {
-        if let Some(obs) = observer() {
-            obs.enter(name, index);
-        }
+/// Opens a span under an explicit parent id (from [`Span::id`]), for
+/// work running on a different thread than its logical parent. `None`
+/// falls back to the thread-local parent, so callers can pass through
+/// whatever the enclosing span returned.
+pub fn span_under(name: &'static str, parent: Option<u64>) -> Span {
+    span_inner(name, None, parent)
+}
+
+fn span_inner(name: &'static str, index: Option<usize>, parent: Option<u64>) -> Span {
+    let live = enabled() || N_OBSERVERS.load(Ordering::Acquire) > 0;
+    if !live {
+        return Span { live: None };
     }
-    Span { name, index, start }
+    // Anchor before the start timestamp so start_micros is never negative.
+    anchor();
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let meta = SpanMeta {
+        name,
+        index,
+        id,
+        parent: parent.or_else(|| OPEN.with(|open| open.borrow().last().copied())),
+        tid: TID.with(|t| *t),
+    };
+    OPEN.with(|open| open.borrow_mut().push(id));
+    if N_OBSERVERS.load(Ordering::Acquire) > 0 {
+        with_observers(|obs| obs.enter(&meta));
+    }
+    Span {
+        live: Some(LiveSpan {
+            meta,
+            start: Instant::now(),
+        }),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::stages;
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
 
-    static CLOSED: AtomicU64 = AtomicU64::new(0);
+    struct Recording {
+        exits: Mutex<Vec<(String, Option<u64>, u64)>>,
+    }
 
-    struct CountingObserver;
-    impl SpanObserver for CountingObserver {
-        fn exit(&self, _name: &'static str, _index: Option<usize>, _nanos: u64) {
-            CLOSED.fetch_add(1, Ordering::Relaxed);
+    impl SpanObserver for Recording {
+        fn exit(&self, span: &SpanMeta, _start_micros: f64, _nanos: u64) {
+            self.exits
+                .lock()
+                .unwrap()
+                .push((span.name.to_string(), span.parent, span.id));
         }
     }
 
     #[test]
-    fn spans_reach_the_observer_and_only_one_installs() {
-        assert!(set_observer(Box::new(CountingObserver)));
-        assert!(!set_observer(Box::new(CountingObserver)), "second install");
-        let before = CLOSED.load(Ordering::Relaxed);
+    fn every_observer_sees_spans_and_parents_nest() {
+        let first = Arc::new(Recording {
+            exits: Mutex::new(Vec::new()),
+        });
+        let second = Arc::new(Recording {
+            exits: Mutex::new(Vec::new()),
+        });
+        add_observer(first.clone());
+        add_observer(second.clone());
+
+        let (outer_id, explicit_child);
+        {
+            let outer = span(stages::CHARACTERIZE);
+            outer_id = outer.id().expect("observer installed, span is live");
+            drop(span(stages::A_SWEEP)); // nested: parent = outer
+            explicit_child = span_under(stages::A_PRIORITIES, Some(outer_id));
+            drop(explicit_child);
+        }
+
+        for obs in [&first, &second] {
+            let exits = obs.exits.lock().unwrap();
+            let find = |name: &str| {
+                exits
+                    .iter()
+                    .find(|(n, _, _)| n == name)
+                    .unwrap_or_else(|| panic!("missing exit for {name}"))
+                    .clone()
+            };
+            assert_eq!(find(stages::A_SWEEP).1, Some(outer_id), "nested parent");
+            assert_eq!(
+                find(stages::A_PRIORITIES).1,
+                Some(outer_id),
+                "explicit parent"
+            );
+            assert_eq!(find(stages::CHARACTERIZE).2, outer_id);
+        }
+        // Sibling spans after the tree closed have no parent.
         drop(span(stages::WRITE));
-        drop(span_indexed(stages::SHARD, 3));
-        assert_eq!(CLOSED.load(Ordering::Relaxed), before + 2);
+        let exits = first.exits.lock().unwrap();
+        let write = exits.iter().find(|(n, _, _)| n == stages::WRITE).unwrap();
+        assert_eq!(write.1, None, "top-level span must not inherit a parent");
     }
 }

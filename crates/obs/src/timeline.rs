@@ -1,0 +1,250 @@
+//! Sim-time telemetry: timelines, queueing-delay histograms, and the
+//! versioned export bundle.
+//!
+//! The simulator (and the trace replayer in `cgc-core`) sample cluster
+//! state on a fixed **sim-time** grid — never wall clock — so a bundle is
+//! a pure function of `(seed, config, interval)`: byte-identical however
+//! many threads produced it. Per-shard bundles merge by element-wise
+//! summation in shard order ([`TelemetryBundle::absorb`]), which keeps the
+//! merged bundle deterministic too.
+//!
+//! The bundle is a self-describing JSON document (`schema` field, band
+//! names spelled out) so external tooling can consume it without reading
+//! this crate.
+
+use crate::hist::LogHistogram;
+use serde::{Deserialize, Serialize};
+
+/// Priority bands, following the paper's three-way clustering of the 12
+/// Google priorities (low 1–4, middle 5–8, high 9–12).
+pub const NUM_BANDS: usize = 3;
+
+/// Display names of the bands, index-aligned with every per-band array.
+pub const BAND_NAMES: [&str; NUM_BANDS] = ["low", "middle", "high"];
+
+/// Queue/run state at one sim-time tick, summed over shards.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimelineSample {
+    /// Sim time of the tick, seconds.
+    pub t: u64,
+    /// Pending-queue depth per priority band.
+    pub pending: [u64; NUM_BANDS],
+    /// Tasks running across the fleet.
+    pub running: u64,
+    /// Events waiting in the simulator's event heap (0 in trace replays).
+    pub heap_events: u64,
+    /// `(task, machine)` pairs at or above the blacklist threshold
+    /// (0 in trace replays).
+    pub blacklisted: u64,
+}
+
+/// Free capacity at one sim-time tick, summed over up machines.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapacitySample {
+    /// Sim time of the tick, seconds.
+    pub t: u64,
+    /// Free CPU, in the fleet's processor units.
+    pub free_cpu: f64,
+    /// Free memory, in the fleet's normalized units.
+    pub free_memory: f64,
+}
+
+/// Deterministic queueing-delay percentiles for one priority band, the
+/// block `cgc-bench` embeds in `BENCH_pipeline.json`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueueDelayPercentiles {
+    /// Band name (one of [`BAND_NAMES`]).
+    pub band: String,
+    /// Number of first placements observed in this band.
+    pub samples: u64,
+    /// Median queueing delay, seconds (0 when the band saw no task).
+    pub p50: u64,
+    /// 90th-percentile queueing delay, seconds.
+    pub p90: u64,
+    /// 99th-percentile queueing delay, seconds.
+    pub p99: u64,
+}
+
+/// The versioned telemetry document: timeline, capacity series, and the
+/// queueing histograms, as written by `--telemetry <path>`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryBundle {
+    /// Format tag, [`TelemetryBundle::SCHEMA`].
+    pub schema: String,
+    /// Where the numbers came from: `"simulation"` (engine probes, full
+    /// fidelity) or `"trace-replay"` (reconstructed from a trace's event
+    /// log; heap/blacklist sizes unavailable, capacity vs nominal).
+    pub source: String,
+    /// Sampling interval of the sim-time grid, seconds.
+    pub interval: u64,
+    /// Horizon the grid covers: ticks at `0, interval, … < horizon`.
+    pub horizon: u64,
+    /// Band names, index-aligned with `queue_delay` and
+    /// `TimelineSample::pending`.
+    pub bands: Vec<String>,
+    /// Queue/run state per tick.
+    pub timeline: Vec<TimelineSample>,
+    /// Free capacity per tick.
+    pub capacity: Vec<CapacitySample>,
+    /// Per-band queueing delay: first submit → first placement, seconds.
+    pub queue_delay: Vec<LogHistogram>,
+    /// Resubmit wait: end of one attempt → start of the next, seconds.
+    pub resubmit_wait: LogHistogram,
+    /// Per-attempt run length: placement → completion, seconds.
+    pub run_length: LogHistogram,
+}
+
+impl TelemetryBundle {
+    /// Current schema tag of the exported JSON.
+    pub const SCHEMA: &'static str = "cgc-telemetry/v1";
+
+    /// An empty bundle over the given grid. `interval` is clamped to at
+    /// least one second.
+    pub fn new(source: &str, interval: u64, horizon: u64) -> Self {
+        TelemetryBundle {
+            schema: Self::SCHEMA.to_string(),
+            source: source.to_string(),
+            interval: interval.max(1),
+            horizon,
+            bands: BAND_NAMES.iter().map(|s| s.to_string()).collect(),
+            timeline: Vec::new(),
+            capacity: Vec::new(),
+            queue_delay: vec![LogHistogram::new(); NUM_BANDS],
+            resubmit_wait: LogHistogram::new(),
+            run_length: LogHistogram::new(),
+        }
+    }
+
+    /// Appends one tick to both series.
+    pub fn push_tick(&mut self, timeline: TimelineSample, free_cpu: f64, free_memory: f64) {
+        let t = timeline.t;
+        self.timeline.push(timeline);
+        self.capacity.push(CapacitySample {
+            t,
+            free_cpu,
+            free_memory,
+        });
+    }
+
+    /// Merges a shard's bundle into this one by element-wise summation.
+    /// Callers absorb shards in shard-index order, so the merged floats
+    /// are summed in a fixed order and the result stays deterministic.
+    ///
+    /// # Panics
+    /// If the bundles disagree on interval or grid length (they never do
+    /// for shards of one run).
+    pub fn absorb(&mut self, other: &TelemetryBundle) {
+        assert_eq!(self.interval, other.interval, "telemetry grid mismatch");
+        assert_eq!(
+            self.timeline.len(),
+            other.timeline.len(),
+            "telemetry tick-count mismatch"
+        );
+        for (mine, theirs) in self.timeline.iter_mut().zip(&other.timeline) {
+            debug_assert_eq!(mine.t, theirs.t);
+            for (p, q) in mine.pending.iter_mut().zip(&theirs.pending) {
+                *p += q;
+            }
+            mine.running += theirs.running;
+            mine.heap_events += theirs.heap_events;
+            mine.blacklisted += theirs.blacklisted;
+        }
+        for (mine, theirs) in self.capacity.iter_mut().zip(&other.capacity) {
+            mine.free_cpu += theirs.free_cpu;
+            mine.free_memory += theirs.free_memory;
+        }
+        for (mine, theirs) in self.queue_delay.iter_mut().zip(&other.queue_delay) {
+            mine.merge(theirs);
+        }
+        self.resubmit_wait.merge(&other.resubmit_wait);
+        self.run_length.merge(&other.run_length);
+    }
+
+    /// The deterministic p50/p90/p99 queueing delay per band. Bands that
+    /// saw no first placement report zeros with `samples: 0`.
+    pub fn queue_delay_percentiles(&self) -> Vec<QueueDelayPercentiles> {
+        self.queue_delay
+            .iter()
+            .enumerate()
+            .map(|(i, h)| QueueDelayPercentiles {
+                band: BAND_NAMES.get(i).copied().unwrap_or("other").to_string(),
+                samples: h.count(),
+                p50: h.percentile(0.50).unwrap_or(0),
+                p90: h.percentile(0.90).unwrap_or(0),
+                p99: h.percentile(0.99).unwrap_or(0),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tick(t: u64, pending: [u64; NUM_BANDS], running: u64) -> TimelineSample {
+        TimelineSample {
+            t,
+            pending,
+            running,
+            heap_events: running + 1,
+            blacklisted: 0,
+        }
+    }
+
+    #[test]
+    fn absorb_sums_everything_elementwise() {
+        let mut a = TelemetryBundle::new("simulation", 300, 600);
+        a.push_tick(tick(0, [1, 0, 2], 3), 10.0, 20.0);
+        a.push_tick(tick(300, [0, 1, 0], 1), 5.0, 5.0);
+        a.queue_delay[0].record(10);
+        a.resubmit_wait.record(60);
+
+        let mut b = TelemetryBundle::new("simulation", 300, 600);
+        b.push_tick(tick(0, [2, 2, 2], 1), 1.0, 2.0);
+        b.push_tick(tick(300, [0, 0, 1], 0), 1.0, 1.0);
+        b.queue_delay[0].record(30);
+        b.run_length.record(900);
+
+        a.absorb(&b);
+        assert_eq!(a.timeline[0].pending, [3, 2, 4]);
+        assert_eq!(a.timeline[0].running, 4);
+        assert_eq!(a.timeline[1].pending, [0, 1, 1]);
+        assert!((a.capacity[0].free_cpu - 11.0).abs() < 1e-12);
+        assert!((a.capacity[1].free_memory - 6.0).abs() < 1e-12);
+        assert_eq!(a.queue_delay[0].count(), 2);
+        assert_eq!(a.resubmit_wait.count(), 1);
+        assert_eq!(a.run_length.count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "tick-count mismatch")]
+    fn absorb_rejects_mismatched_grids() {
+        let mut a = TelemetryBundle::new("simulation", 300, 600);
+        a.push_tick(tick(0, [0; NUM_BANDS], 0), 0.0, 0.0);
+        let b = TelemetryBundle::new("simulation", 300, 600);
+        a.absorb(&b);
+    }
+
+    #[test]
+    fn percentiles_cover_every_band_even_when_empty() {
+        let mut b = TelemetryBundle::new("trace-replay", 60, 120);
+        b.queue_delay[2].record(5);
+        b.queue_delay[2].record(5);
+        let p = b.queue_delay_percentiles();
+        assert_eq!(p.len(), NUM_BANDS);
+        assert_eq!(p[0].band, "low");
+        assert_eq!((p[0].samples, p[0].p99), (0, 0));
+        assert_eq!((p[2].samples, p[2].p50), (2, 5));
+    }
+
+    #[test]
+    fn bundle_serde_round_trips() {
+        let mut b = TelemetryBundle::new("simulation", 300, 900);
+        b.push_tick(tick(0, [4, 5, 6], 7), 1.5, 2.5);
+        b.queue_delay[1].record(12);
+        let json = serde_json::to_string_pretty(&b).unwrap();
+        let back: TelemetryBundle = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, b);
+        assert_eq!(back.schema, TelemetryBundle::SCHEMA);
+    }
+}

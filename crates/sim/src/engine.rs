@@ -30,11 +30,25 @@
 //! bit-identical whether the shards run on 1 thread or 8
 //! ([`SimConfig::threads`]). `shards <= 1` takes the pre-sharding code
 //! path and reproduces historical seeded traces exactly.
+//!
+//! # Sim-time telemetry
+//!
+//! [`Simulator::run_with_telemetry`] attaches a [`TelemetryProbe`] to
+//! every engine: on a fixed sim-time grid it samples pending-queue depth
+//! per priority band, the running-task count, free CPU/memory over up
+//! machines, the event-heap size, and the blacklist size, and it feeds
+//! log-bucketed histograms of per-band queueing delay (first submit →
+//! first placement), resubmit wait, and per-attempt run length. The
+//! probe only *reads* engine state — it never touches the RNG or the
+//! event stream — so a telemetry run emits the same trace as a plain
+//! run, and per-shard bundles merged in shard order are byte-identical
+//! across thread counts ([`cgc_obs::TelemetryBundle::absorb`]).
 
 use crate::config::{PlacementPolicy, SimConfig};
 use crate::outcome::AttemptPlan;
 use crate::shard::{ShardPlan, ShardSpec};
 use cgc_gen::Workload;
+use cgc_obs::{TelemetryBundle, TimelineSample, NUM_BANDS};
 use cgc_trace::task::{TaskEvent, TaskEventKind};
 use cgc_trace::usage::{ClassSplit, HostSeries, UsageSample};
 use cgc_trace::{
@@ -166,6 +180,45 @@ enum TaskPhase {
     Dead,
 }
 
+/// Sim-time telemetry recorder, attached to an engine by
+/// [`Simulator::run_with_telemetry`]. Pure observer: it reads queue and
+/// fleet state at tick boundaries and at the existing life-cycle hooks,
+/// and never draws randomness or schedules events — the determinism
+/// suite pins that a telemetry run's trace is bit-identical to a plain
+/// run's.
+struct TelemetryProbe {
+    /// Tick spacing of the sim-time grid, seconds (>= 1).
+    interval: Duration,
+    bundle: TelemetryBundle,
+    /// First submission time per local task; `u64::MAX` until submitted.
+    first_submit: Vec<Timestamp>,
+    /// Whether the task has been placed at least once (the queueing-delay
+    /// histogram counts only the first placement).
+    ever_placed: Vec<bool>,
+    /// End time of the task's previous attempt; `u64::MAX` if none.
+    last_end: Vec<Timestamp>,
+}
+
+impl TelemetryProbe {
+    fn new(interval: Duration, horizon: Duration, n_tasks: usize) -> Self {
+        TelemetryProbe {
+            interval: interval.max(1),
+            bundle: TelemetryBundle::new("simulation", interval, horizon),
+            first_submit: vec![Timestamp::MAX; n_tasks],
+            ever_placed: vec![false; n_tasks],
+            last_end: vec![Timestamp::MAX; n_tasks],
+        }
+    }
+
+    /// Records the end of one attempt (finish, fail, kill, eviction, or
+    /// machine loss): feeds the run-length histogram and arms the
+    /// resubmit-wait measurement for the next placement.
+    fn attempt_ended(&mut self, time: Timestamp, task: usize, start: Timestamp) {
+        self.bundle.run_length.record(time.saturating_sub(start));
+        self.last_end[task] = time;
+    }
+}
+
 /// One engine's slice of the run: which machines and jobs it owns (in
 /// global-id space) and its private RNG. The unsharded run is the
 /// degenerate case — the whole fleet, every job, the master RNG.
@@ -183,6 +236,8 @@ struct EngineInput<'w> {
     rng: StdRng,
     /// Shard index for metrics attribution (0 for the unsharded run).
     shard: usize,
+    /// Telemetry sampling interval; `None` runs without a probe.
+    telemetry: Option<Duration>,
 }
 
 /// Per-engine event tallies, batched in plain integers on the hot paths
@@ -202,6 +257,8 @@ struct EngineOutput {
     /// `(global job index, core-seconds)`, ascending by job.
     job_cpu_seconds: Vec<(usize, f64)>,
     series: Vec<HostSeries>,
+    /// This engine's telemetry bundle, when a probe was attached.
+    telemetry: Option<TelemetryBundle>,
 }
 
 struct Engine<'a> {
@@ -248,6 +305,8 @@ struct Engine<'a> {
     victims: Vec<(u8, Reverse<Timestamp>, usize)>,
     down_victims: Vec<usize>,
     counters: EngineCounters,
+    /// Sim-time telemetry recorder; `None` outside telemetry runs.
+    telemetry: Option<TelemetryProbe>,
 }
 
 impl Simulator {
@@ -272,6 +331,30 @@ impl Simulator {
     /// scratch never influences the output — only how much the run
     /// allocates.
     pub fn run_with_scratch(&self, workload: &Workload, scratch: &mut SimScratch) -> Trace {
+        self.run_inner(workload, scratch, None).0
+    }
+
+    /// Like [`run`](Self::run), but also records sim-time telemetry on a
+    /// grid of ticks at `0, interval, … < horizon` seconds. The probe is
+    /// a pure observer: the returned trace is bit-identical to what
+    /// [`run`](Self::run) produces, and the bundle itself is
+    /// byte-identical for a given `(seed, shards, interval)` no matter
+    /// how many threads executed the shards.
+    pub fn run_with_telemetry(
+        &self,
+        workload: &Workload,
+        interval: Duration,
+    ) -> (Trace, TelemetryBundle) {
+        let (trace, telemetry) = self.run_inner(workload, &mut SimScratch::new(), Some(interval));
+        (trace, telemetry.expect("telemetry requested"))
+    }
+
+    fn run_inner(
+        &self,
+        workload: &Workload,
+        scratch: &mut SimScratch,
+        telemetry: Option<Duration>,
+    ) -> (Trace, Option<TelemetryBundle>) {
         let _span = cgc_obs::span(cgc_obs::stages::SIMULATE);
         let config = &self.config;
         // The fleet is drawn once from the master seed, before any
@@ -301,6 +384,7 @@ impl Simulator {
                     task_base: &task_base,
                     rng: master,
                     shard: 0,
+                    telemetry,
                 },
                 scratch,
             )]
@@ -318,6 +402,7 @@ impl Simulator {
                         task_base: &plan.task_base,
                         rng: StdRng::seed_from_u64(spec.seed),
                         shard,
+                        telemetry,
                     },
                     &mut SimScratch::new(),
                 )
@@ -332,7 +417,26 @@ impl Simulator {
             }
         };
 
-        merge_outputs(workload, &records, outputs)
+        // Fold shard bundles in shard-index order: element-wise integer
+        // sums and a fixed f64 summation order keep the merged bundle
+        // byte-identical across thread counts.
+        let mut outputs = outputs;
+        let bundle = telemetry.map(|_| {
+            let mut merged: Option<TelemetryBundle> = None;
+            for out in &mut outputs {
+                let shard_bundle = out
+                    .telemetry
+                    .take()
+                    .expect("probe attached to every engine");
+                match &mut merged {
+                    Some(m) => m.absorb(&shard_bundle),
+                    None => merged = Some(shard_bundle),
+                }
+            }
+            merged.expect("at least one engine ran")
+        });
+
+        (merge_outputs(workload, &records, outputs), bundle)
     }
 }
 
@@ -351,6 +455,7 @@ fn run_engine(
         task_base,
         rng,
         shard,
+        telemetry,
     } = input;
     let _span = cgc_obs::span_indexed(cgc_obs::stages::SHARD, shard);
 
@@ -443,6 +548,7 @@ fn run_engine(
         victims,
         down_victims,
         counters: EngineCounters::default(),
+        telemetry: telemetry.map(|iv| TelemetryProbe::new(iv, workload.horizon, n_tasks)),
     };
 
     // Seed the heap with every task submission.
@@ -491,6 +597,7 @@ fn run_engine(
         events,
         job_cpu_seconds,
         series,
+        telemetry: probe,
         ..
     } = engine;
     heap.clear();
@@ -516,6 +623,7 @@ fn run_engine(
             .map(|(local, cpu_s)| (jobs[local], cpu_s))
             .collect(),
         series,
+        telemetry: probe.map(|p| p.bundle),
     }
 }
 
@@ -574,6 +682,19 @@ impl Engine<'_> {
 
     fn run(&mut self) {
         let mut next_sample: Timestamp = 0;
+        // The telemetry grid advances exactly like the usage-sample grid:
+        // a tick fires once every event before it has been processed, so
+        // tick contents depend only on sim-time state — never on how
+        // same-timestamp events happened to be ordered.
+        let tick_step = match &self.telemetry {
+            Some(p) => p.interval,
+            None => Timestamp::MAX,
+        };
+        let mut next_tick: Timestamp = if self.telemetry.is_some() {
+            0
+        } else {
+            Timestamp::MAX
+        };
         while let Some(ev) = self.heap.pop() {
             if ev.time >= self.horizon {
                 break;
@@ -581,6 +702,10 @@ impl Engine<'_> {
             while next_sample <= ev.time {
                 self.take_samples(next_sample);
                 next_sample += self.config.sample_period;
+            }
+            while next_tick <= ev.time {
+                self.telemetry_tick(next_tick);
+                next_tick = next_tick.saturating_add(tick_step);
             }
             match ev.kind {
                 EventKind::Submit { task } => self.handle_submit(ev.time, task),
@@ -594,10 +719,14 @@ impl Engine<'_> {
                 EventKind::MachineUp { machine } => self.handle_machine_up(ev.time, machine),
             }
         }
-        // Finish the sampling grid to the horizon.
+        // Finish the sampling grids to the horizon.
         while next_sample < self.horizon {
             self.take_samples(next_sample);
             next_sample += self.config.sample_period;
+        }
+        while next_tick < self.horizon {
+            self.telemetry_tick(next_tick);
+            next_tick = next_tick.saturating_add(tick_step);
         }
         // Account CPU time of tasks still running at the horizon.
         for m in &self.machines {
@@ -647,6 +776,11 @@ impl Engine<'_> {
             self.counters.retries += 1;
         }
         self.emit(time, task, None, TaskEventKind::Submit);
+        if let Some(p) = self.telemetry.as_mut() {
+            if p.first_submit[task] == Timestamp::MAX {
+                p.first_submit[task] = time;
+            }
+        }
         self.phase[task] = TaskPhase::Pending;
         let level = self.tasks[task].priority.level();
         self.seq += 1;
@@ -681,6 +815,9 @@ impl Engine<'_> {
         // the kind rides along in `pending_completion_kind`.
         let kind = self.completion_kind[task];
         self.emit(time, task, Some(machine), kind);
+        if let Some(p) = self.telemetry.as_mut() {
+            p.attempt_ended(time, task, r.start);
+        }
         self.phase[task] = TaskPhase::Dead;
 
         if kind == TaskEventKind::Fail {
@@ -710,6 +847,58 @@ impl Engine<'_> {
         } else {
             legacy
         }
+    }
+
+    /// Records one telemetry tick: queue depths, fleet occupancy, free
+    /// capacity, heap and blacklist sizes. Reads only; costs nothing
+    /// outside telemetry runs.
+    fn telemetry_tick(&mut self, time: Timestamp) {
+        let Engine {
+            telemetry,
+            pending,
+            tasks,
+            machines,
+            heap,
+            host_failures,
+            config,
+            ..
+        } = self;
+        let Some(probe) = telemetry.as_mut() else {
+            return;
+        };
+        let mut per_band = [0u64; NUM_BANDS];
+        for &task in pending.values() {
+            per_band[tasks[task].priority.class().index()] += 1;
+        }
+        let mut running = 0u64;
+        let mut free_cpu = 0.0;
+        let mut free_memory = 0.0;
+        for m in machines.iter() {
+            if m.up {
+                // Running tasks only live on up machines: an outage fails
+                // its tasks before any later tick can observe them.
+                running += m.running.len() as u64;
+                free_cpu += m.free.cpu;
+                free_memory += m.free.memory;
+            }
+        }
+        let threshold = config.faults.blacklist_after;
+        let blacklisted = if threshold > 0 {
+            host_failures.values().filter(|&&n| n >= threshold).count() as u64
+        } else {
+            0
+        };
+        probe.bundle.push_tick(
+            TimelineSample {
+                t: time,
+                pending: per_band,
+                running,
+                heap_events: heap.len() as u64,
+                blacklisted,
+            },
+            free_cpu,
+            free_memory,
+        );
     }
 
     fn take_samples(&mut self, time: Timestamp) {
@@ -927,6 +1116,9 @@ impl Engine<'_> {
         self.phase[task] = TaskPhase::Dead;
         self.counters.evictions += 1;
         self.emit(time, task, Some(mi), TaskEventKind::Evict);
+        if let Some(p) = self.telemetry.as_mut() {
+            p.attempt_ended(time, task, r.start);
+        }
 
         if self.resubmits_left[task] > 0 {
             self.resubmits_left[task] -= 1;
@@ -953,6 +1145,18 @@ impl Engine<'_> {
 
         self.counters.placements += 1;
         self.emit(time, task, Some(mi), TaskEventKind::Schedule);
+        if let Some(p) = self.telemetry.as_mut() {
+            if !p.ever_placed[task] {
+                p.ever_placed[task] = true;
+                let band = info.priority.class().index();
+                p.bundle.queue_delay[band].record(time.saturating_sub(p.first_submit[task]));
+            }
+            if p.last_end[task] != Timestamp::MAX {
+                p.bundle
+                    .resubmit_wait
+                    .record(time.saturating_sub(p.last_end[task]));
+            }
+        }
         self.phase[task] = TaskPhase::Running { machine: mi };
         self.completion_kind[task] = match plan {
             AttemptPlan::Finish => TaskEventKind::Finish,
@@ -1087,6 +1291,9 @@ impl Engine<'_> {
             self.phase[task] = TaskPhase::Dead;
             self.completion_kind[task] = TaskEventKind::Fail;
             self.emit(time, task, Some(mi), TaskEventKind::Fail);
+            if let Some(p) = self.telemetry.as_mut() {
+                p.attempt_ended(time, task, r.start);
+            }
             self.fails[task] += 1;
             if self.resubmits_left[task] > 0 {
                 self.resubmits_left[task] -= 1;

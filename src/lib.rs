@@ -19,11 +19,14 @@
 //! * [`sim`] — the cluster simulator;
 //! * [`core`] — the characterization pipeline and
 //!   [`CharacterizationReport`];
-//! * [`obs`] — the observability layer: pipeline-stage spans, the
-//!   lock-free metrics registry and its serializable snapshot, and
-//!   structured ingest diagnostics. Off by default and zero-cost when
-//!   disabled; flip it on with [`obs::set_enabled`] or export
-//!   `CGC_TRACE=1` to stream compact span timings from any binary.
+//! * [`obs`] — the observability layer: hierarchical pipeline-stage
+//!   spans, the lock-free metrics registry and its serializable snapshot,
+//!   sim-time telemetry bundles, and structured ingest diagnostics. Off
+//!   by default and zero-cost when disabled; flip it on with
+//!   [`obs::set_enabled`], export `CGC_TRACE=1` to stream compact span
+//!   timings from any binary, or export `CGC_TRACE_OUT=spans.json` to
+//!   write the span tree as a Chrome Trace Event file loadable in
+//!   Perfetto / `chrome://tracing`.
 //!
 //! # Quick start
 //!
@@ -49,7 +52,8 @@ pub use cgc_stats as stats;
 pub use cgc_trace as trace;
 
 pub use cgc_core::{
-    characterize, characterize_stream, CharacterizationReport, StreamOptions, StreamStats,
+    characterize, characterize_stream, telemetry_from_trace, CharacterizationReport, StreamOptions,
+    StreamStats,
 };
 
 /// The most common imports, bundled.

@@ -88,6 +88,33 @@ fn instrumentation_never_changes_the_trace() {
 }
 
 #[test]
+fn telemetry_is_deterministic_and_a_pure_observer() {
+    // The telemetry probe is keyed on sim-time, so its bundle — f64
+    // capacity sums included — must be bit-identical across thread
+    // counts, and attaching it must not perturb the emitted trace.
+    let workload = GoogleWorkload::scaled(MACHINES, HORIZON).generate(7);
+    let reference_trace = run_text(google_config(true).with_shards(4).with_threads(1));
+    let mut reference_bundle: Option<String> = None;
+    for threads in [1, 2, 8] {
+        let config = google_config(true).with_shards(4).with_threads(threads);
+        let (trace, bundle) = Simulator::new(config).run_with_telemetry(&workload, 300);
+        assert_eq!(
+            write_trace(&trace),
+            reference_trace,
+            "threads={threads}: the telemetry probe altered the trace"
+        );
+        let json = serde_json::to_string_pretty(&bundle).expect("bundle serializes");
+        match &reference_bundle {
+            None => reference_bundle = Some(json),
+            Some(reference) => assert_eq!(
+                &json, reference,
+                "threads={threads}: telemetry bundle diverged"
+            ),
+        }
+    }
+}
+
+#[test]
 fn streaming_report_is_independent_of_batch_size_and_run() {
     use cloudgrid::{characterize_stream, StreamOptions};
     use std::io::Cursor;

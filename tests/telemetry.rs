@@ -1,0 +1,132 @@
+//! Sim-time telemetry and span-export contracts.
+//!
+//! Two properties pin the observability layer's fidelity:
+//!
+//! 1. **Engine ≡ replay.** The live probe inside the engine and
+//!    [`cloudgrid::telemetry_from_trace`] replaying the emitted trace use
+//!    the same sim-time tick rule, so every field a trace can express —
+//!    per-band pending depth, running count, and the three histograms —
+//!    must match exactly. (Free capacity, heap size, and blacklist size
+//!    are engine-internal and differ by design.)
+//! 2. **Chrome Trace Event export is loadable.** A `ChromeTraceWriter`
+//!    fed by a real characterization run must produce a strict JSON
+//!    array whose events carry the fields Perfetto requires, with child
+//!    spans pointing at a live parent id.
+
+use cloudgrid::gen::{FleetConfig, GoogleWorkload};
+use cloudgrid::obs::{add_observer, flush_observers, ChromeTraceWriter};
+use cloudgrid::sim::{FaultConfig, SimConfig, Simulator};
+use cloudgrid::telemetry_from_trace;
+use std::sync::Arc;
+
+const MACHINES: usize = 60;
+const HORIZON: u64 = 6 * 3_600;
+const INTERVAL: u64 = 300;
+
+#[test]
+fn engine_and_replay_telemetry_agree_on_trace_derivable_fields() {
+    // Faults on: evictions, machine-down kills, and resubmits must all
+    // reconcile between the probe's life-cycle hooks and the event log.
+    let config = SimConfig::google(FleetConfig::google(MACHINES))
+        .with_faults(FaultConfig::google().with_outage(1, 3_600, 900))
+        .with_shards(4);
+    let workload = GoogleWorkload::scaled(MACHINES, HORIZON).generate(7);
+    let (trace, engine) = Simulator::new(config).run_with_telemetry(&workload, INTERVAL);
+    let replay = telemetry_from_trace(&trace, INTERVAL);
+
+    assert_eq!(engine.source, "simulation");
+    assert_eq!(replay.source, "trace-replay");
+    assert_eq!(engine.bands, replay.bands);
+    assert_eq!(engine.timeline.len(), replay.timeline.len());
+    assert_eq!(engine.timeline.len() as u64, HORIZON.div_ceil(INTERVAL));
+    for (e, r) in engine.timeline.iter().zip(&replay.timeline) {
+        assert_eq!(e.t, r.t);
+        assert_eq!(e.pending, r.pending, "pending diverged at t={}", e.t);
+        assert_eq!(e.running, r.running, "running diverged at t={}", e.t);
+    }
+    assert_eq!(engine.queue_delay, replay.queue_delay);
+    assert_eq!(engine.resubmit_wait, replay.resubmit_wait);
+    assert_eq!(engine.run_length, replay.run_length);
+
+    // The scenario must actually exercise the histograms, or the
+    // equality above proves nothing.
+    let placements: u64 = engine.queue_delay.iter().map(|h| h.count()).sum();
+    assert!(placements > 0, "no first placements recorded");
+    assert!(engine.run_length.count() > 0, "no attempts recorded");
+    assert!(
+        engine.resubmit_wait.count() > 0,
+        "faults should force resubmits"
+    );
+    assert!(engine.timeline.iter().any(|s| s.running > 0));
+}
+
+/// One Chrome Trace Event, as Perfetto reads it. Unknown fields are
+/// ignored, so this stays valid as the exporter grows.
+#[derive(serde::Deserialize)]
+struct Event {
+    name: String,
+    ph: String,
+    ts: f64,
+    #[serde(default)]
+    dur: f64,
+    #[serde(default)]
+    args: Option<Args>,
+}
+
+#[derive(serde::Deserialize, Default)]
+struct Args {
+    #[serde(default)]
+    id: Option<u64>,
+    #[serde(default)]
+    parent: Option<u64>,
+}
+
+#[test]
+fn chrome_trace_export_is_a_loadable_event_array() {
+    let path = std::env::temp_dir().join(format!("cgc-telemetry-test-{}.json", std::process::id()));
+    add_observer(Arc::new(
+        ChromeTraceWriter::create(&path).expect("trace file creates"),
+    ));
+
+    // Drive real spans through the observer: a simulation plus the full
+    // characterization (whose analysis spans re-parent across rayon).
+    let config = SimConfig::google(FleetConfig::google(16)).with_shards(2);
+    let workload = GoogleWorkload::scaled_for_hostload(16, 3_600).generate(3);
+    let trace = Simulator::new(config).run(&workload);
+    let report = cloudgrid::characterize(&trace);
+    assert_eq!(report.system, "google");
+    flush_observers();
+
+    let text = std::fs::read_to_string(&path).expect("trace file readable");
+    let _ = std::fs::remove_file(&path);
+    let events: Vec<Event> = serde_json::from_str(&text).expect("strict JSON array");
+
+    assert!(
+        events.iter().any(|e| e.ph == "M"),
+        "missing process-name metadata event"
+    );
+    let spans: Vec<&Event> = events.iter().filter(|e| e.ph == "X").collect();
+    assert!(!spans.is_empty(), "no complete events exported");
+    for e in &spans {
+        assert!(!e.name.is_empty());
+        assert!(e.ts >= 0.0 && e.dur >= 0.0, "{}: negative time", e.name);
+        assert!(
+            e.args.as_ref().and_then(|a| a.id).is_some(),
+            "{}: span without id",
+            e.name
+        );
+    }
+    // The characterize root must exist and have children attached to its
+    // id — the explicit re-parenting across the rayon fork.
+    let root = spans
+        .iter()
+        .find(|e| e.name == "characterize")
+        .expect("characterize span exported");
+    let root_id = root.args.as_ref().unwrap().id.unwrap();
+    assert!(
+        spans
+            .iter()
+            .any(|e| e.args.as_ref().and_then(|a| a.parent) == Some(root_id)),
+        "no span is parented under characterize"
+    );
+}
