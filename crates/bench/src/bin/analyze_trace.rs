@@ -28,8 +28,12 @@
 //! writes the span tree as a Chrome Trace Event file for Perfetto.
 //! `--telemetry PATH` replays the trace's event log on a 5-minute
 //! sim-time grid and writes the versioned telemetry bundle (queue
-//! timelines, queueing-delay histograms, free capacity) to `PATH`; it
-//! needs the materialized trace, so it cannot combine with `--stream`.
+//! timelines, queueing-delay histograms, free capacity) to `PATH`
+//! atomically; it needs the materialized trace, so it cannot combine with
+//! `--stream`. `--max-salvage PCT` bounds lenient salvage: when more than
+//! `PCT` percent of non-blank lines were skipped, the run exits 1 instead
+//! of quietly characterizing a mostly-corrupt trace (the default keeps
+//! the historical behavior of salvaging without limit).
 //!
 //! This is the adoption path for real data: download an SWF log from the
 //! PWA, point this tool at it, and compare the resulting statistics to the
@@ -54,7 +58,7 @@ fn read(path: &str) -> String {
     })
 }
 
-const USAGE: &str = "usage: analyze_trace <FILE> [--swf] [--json] [--system NAME] [--lenient] [--metrics] [--telemetry PATH]\n       analyze_trace <FILE> --stream [--approx] [--json] [--system NAME] [--metrics]";
+const USAGE: &str = "usage: analyze_trace <FILE> [--swf] [--json] [--system NAME] [--lenient] [--max-salvage PCT] [--metrics] [--telemetry PATH]\n       analyze_trace <FILE> --stream [--approx] [--json] [--system NAME] [--metrics]";
 
 /// Sim-time grid for `--telemetry` replays, seconds — the paper's
 /// 5-minute usage-sampling period.
@@ -67,6 +71,7 @@ fn main() {
     let mut as_swf = false;
     let mut as_json = false;
     let mut lenient = false;
+    let mut max_salvage: Option<f64> = None;
     let mut with_metrics = false;
     let mut streaming = false;
     let mut approx = false;
@@ -93,6 +98,21 @@ fn main() {
             }
             "--json" => as_json = true,
             "--lenient" => lenient = true,
+            "--max-salvage" => {
+                let raw = args.next().unwrap_or_else(|| {
+                    eprintln!("--max-salvage requires a percentage (0-100)");
+                    std::process::exit(2);
+                });
+                let pct: f64 = raw.parse().unwrap_or_else(|_| {
+                    eprintln!("invalid value for --max-salvage: {raw:?}");
+                    std::process::exit(2);
+                });
+                if !(0.0..=100.0).contains(&pct) {
+                    eprintln!("--max-salvage must be between 0 and 100, got {pct}");
+                    std::process::exit(2);
+                }
+                max_salvage = Some(pct);
+            }
             "--metrics" => with_metrics = true,
             "--telemetry" => {
                 telemetry = Some(args.next().unwrap_or_else(|| {
@@ -125,6 +145,10 @@ fn main() {
 
     if approx && !streaming {
         eprintln!("--approx requires --stream");
+        std::process::exit(2);
+    }
+    if max_salvage.is_some() && !lenient {
+        eprintln!("--max-salvage bounds lenient salvage; it requires --lenient");
         std::process::exit(2);
     }
     if telemetry.is_some() && streaming {
@@ -236,6 +260,18 @@ fn main() {
                         eprint!("{}", diagnostics.render_table());
                     }
                 }
+                if let Some(limit) = max_salvage {
+                    let pct = parsed.salvage_percent();
+                    if pct > limit {
+                        eprintln!(
+                            "salvage rate {pct:.2}% exceeds --max-salvage {limit}% \
+                             ({} of {} lines skipped); refusing to characterize",
+                            parsed.warnings.len(),
+                            parsed.lines_seen
+                        );
+                        std::process::exit(1);
+                    }
+                }
                 parsed.trace
             } else {
                 cgc_trace::io::read_trace_parallel(&text).unwrap_or_else(|e| {
@@ -254,7 +290,7 @@ fn main() {
     if let Some(path) = telemetry {
         let bundle = cgc_core::telemetry_from_trace(&trace, TELEMETRY_INTERVAL);
         let json = serde_json::to_string_pretty(&bundle).expect("telemetry serializes");
-        std::fs::write(&path, json).unwrap_or_else(|e| {
+        cgc_trace::write_atomic(&path, json.as_bytes()).unwrap_or_else(|e| {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(1);
         });

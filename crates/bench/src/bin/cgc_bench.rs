@@ -380,7 +380,7 @@ fn main() {
     }
     if let Some(path) = &args.telemetry {
         let json = serde_json::to_string_pretty(&telemetry).expect("telemetry serializes");
-        std::fs::write(path, json).unwrap_or_else(|e| {
+        cgc_trace::write_atomic(path, json.as_bytes()).unwrap_or_else(|e| {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(1);
         });
@@ -402,7 +402,10 @@ fn main() {
 
     // --- characterize from disk: in-memory vs streaming children ------
     let trace_path = std::env::temp_dir().join(format!("cgc-bench-{}.cgct", std::process::id()));
-    std::fs::write(&trace_path, &text).expect("temp trace file writes");
+    cgc_trace::write_atomic(&trace_path, text.as_bytes()).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", trace_path.display());
+        std::process::exit(1);
+    });
     let in_memory = child_run("in-memory", &trace_path);
     let streaming = child_run("stream", &trace_path);
     let _ = std::fs::remove_file(&trace_path);
@@ -474,7 +477,7 @@ fn main() {
     };
 
     let pretty = serde_json::to_string_pretty(&out).expect("report serializes");
-    std::fs::write(&args.out, &pretty).unwrap_or_else(|e| {
+    cgc_trace::write_atomic(&args.out, pretty.as_bytes()).unwrap_or_else(|e| {
         eprintln!("cannot write {}: {e}", args.out);
         std::process::exit(1);
     });

@@ -1,21 +1,41 @@
-//! Generate a synthetic trace file on disk.
+//! Generate a synthetic trace file on disk, crash-safely.
 //!
 //! ```text
 //! gen_trace <OUT> [--machines N] [--horizon SECONDS] [--seed N] [--workload-only]
+//!                 [--checkpoint-every SECONDS] [--checkpoint PATH]
+//!                 [--resume PATH] [--die-after N]
 //! ```
 //!
 //! Runs the google preset (generator + simulator) and writes the
 //! sectioned-CSV trace to `OUT` — the fixture producer for smoke tests
 //! that need a real on-disk trace, e.g. the CI job exercising
-//! `analyze_trace --stream`. `--workload-only` skips the simulation, so
-//! the trace has jobs/tasks/events but no machines or usage samples.
+//! `analyze_trace --stream`. The trace is **sealed** (an `#integrity`
+//! trailer with record counts and a CRC-32) and written **atomically**
+//! (temp file + fsync + rename), so a crash mid-write never leaves a torn
+//! file and readers can detect truncation or bit rot.
+//!
+//! `--workload-only` skips the simulation, so the trace has jobs/tasks/
+//! events but no machines or usage samples.
+//!
+//! # Crash recovery
+//!
+//! `--checkpoint-every S` snapshots the full simulator state every `S`
+//! sim-seconds to `<OUT>.ckpt` (or `--checkpoint PATH`). After a crash,
+//! `--resume PATH` continues from the latest checkpoint and produces a
+//! byte-identical trace to an uninterrupted run. `--die-after N` aborts
+//! the process (exit 70) after the Nth checkpoint write — a deterministic
+//! stand-in for `kill -9` that the CI chaos-smoke job uses to prove the
+//! interrupt/resume/compare cycle end to end.
 
 use cgc_gen::{FleetConfig, GoogleWorkload};
-use cgc_sim::{FaultConfig, SimConfig, Simulator};
-use cgc_trace::io::write_trace;
+use cgc_sim::{load_checkpoint, CheckpointOptions, FaultConfig, SimConfig, Simulator};
+use cgc_trace::io::write_trace_sealed;
+use cgc_trace::write_atomic;
+use std::path::Path;
 
-const USAGE: &str =
-    "usage: gen_trace <OUT> [--machines N] [--horizon SECONDS] [--seed N] [--workload-only]";
+const USAGE: &str = "usage: gen_trace <OUT> [--machines N] [--horizon SECONDS] [--seed N] \
+     [--workload-only] [--checkpoint-every SECONDS] [--checkpoint PATH] [--resume PATH] \
+     [--die-after N]";
 
 fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
     s.parse().unwrap_or_else(|_| {
@@ -30,6 +50,10 @@ fn main() {
     let mut horizon: u64 = 2 * 3_600;
     let mut seed: u64 = 1;
     let mut workload_only = false;
+    let mut checkpoint_every: Option<u64> = None;
+    let mut checkpoint_path: Option<String> = None;
+    let mut resume_path: Option<String> = None;
+    let mut die_after: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -44,6 +68,17 @@ fn main() {
             "--horizon" => horizon = parse(&value(&mut args, "--horizon"), "--horizon"),
             "--seed" => seed = parse(&value(&mut args, "--seed"), "--seed"),
             "--workload-only" => workload_only = true,
+            "--checkpoint-every" => {
+                checkpoint_every = Some(parse(
+                    &value(&mut args, "--checkpoint-every"),
+                    "--checkpoint-every",
+                ))
+            }
+            "--checkpoint" => checkpoint_path = Some(value(&mut args, "--checkpoint")),
+            "--resume" => resume_path = Some(value(&mut args, "--resume")),
+            "--die-after" => {
+                die_after = Some(parse(&value(&mut args, "--die-after"), "--die-after"))
+            }
             "--help" | "-h" => {
                 eprintln!("{USAGE}");
                 return;
@@ -59,6 +94,10 @@ fn main() {
         eprintln!("{USAGE}");
         std::process::exit(2);
     };
+    if workload_only && (checkpoint_every.is_some() || resume_path.is_some()) {
+        eprintln!("--checkpoint-every/--resume need a simulation; drop --workload-only");
+        std::process::exit(2);
+    }
 
     // The hostload scaling keeps the per-machine job pressure of the full
     // trace, so even short fixtures carry enough records to exercise the
@@ -69,15 +108,43 @@ fn main() {
     } else {
         let config =
             SimConfig::google(FleetConfig::google(machines)).with_faults(FaultConfig::google());
-        Simulator::new(config).run(&workload)
+        let sim = Simulator::new(config);
+        if checkpoint_every.is_none() && resume_path.is_none() && die_after.is_none() {
+            sim.run(&workload)
+        } else {
+            let options = checkpoint_every.map(|every| {
+                let path = checkpoint_path
+                    .clone()
+                    .unwrap_or_else(|| format!("{out}.ckpt"));
+                CheckpointOptions {
+                    path: path.into(),
+                    every,
+                    retain_all: false,
+                    die_after,
+                }
+            });
+            let resume = resume_path.map(|p| {
+                load_checkpoint(Path::new(&p)).unwrap_or_else(|e| {
+                    eprintln!("cannot resume from {p}: {e}");
+                    std::process::exit(1);
+                })
+            });
+            let (trace, _telemetry) = sim
+                .run_checkpointed(&workload, None, options.as_ref(), resume.as_ref())
+                .unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                });
+            trace
+        }
     };
-    let text = write_trace(&trace);
-    std::fs::write(&out, &text).unwrap_or_else(|e| {
+    let text = write_trace_sealed(&trace);
+    write_atomic(&out, text.as_bytes()).unwrap_or_else(|e| {
         eprintln!("cannot write {out}: {e}");
         std::process::exit(1);
     });
     eprintln!(
-        "wrote {out}: {} jobs, {} tasks, {} events, {} samples, {} bytes",
+        "wrote {out}: {} jobs, {} tasks, {} events, {} samples, {} bytes (sealed)",
         trace.jobs.len(),
         trace.tasks.len(),
         trace.events.len(),

@@ -101,7 +101,7 @@ fn main() {
 
     if let Some(path) = json_path {
         let json = serde_json::to_string_pretty(&results).expect("results serialize");
-        std::fs::write(&path, json).unwrap_or_else(|e| {
+        cgc_trace::write_atomic(&path, json.as_bytes()).unwrap_or_else(|e| {
             eprintln!("failed to write {path}: {e}");
             std::process::exit(1);
         });
@@ -114,7 +114,7 @@ fn main() {
         // simulated it).
         let bundle = cgc_core::telemetry_from_trace(&lab.google_sim(), 300);
         let json = serde_json::to_string_pretty(&bundle).expect("telemetry serializes");
-        std::fs::write(&path, json).unwrap_or_else(|e| {
+        cgc_trace::write_atomic(&path, json.as_bytes()).unwrap_or_else(|e| {
             eprintln!("failed to write {path}: {e}");
             std::process::exit(1);
         });

@@ -28,7 +28,7 @@ fn fig_systems(lab: &Lab) -> Vec<std::sync::Arc<Trace>> {
 }
 
 fn write_file(dir: &Path, name: &str, content: &str) -> io::Result<()> {
-    fs::write(dir.join(name), content)
+    cgc_trace::write_atomic(dir.join(name), content.as_bytes())
 }
 
 /// Fig. 3: job-length CDF per system. Columns: length_s, then one CDF

@@ -129,6 +129,14 @@ pub struct PipelineMetrics {
     pub lines_salvaged: Counter,
     /// Bytes handed to the trace parsers.
     pub bytes_read: Counter,
+    /// Artifacts whose `#integrity` verification failed (checksum or
+    /// record-count mismatch, malformed trailer, missing required
+    /// trailer).
+    pub integrity_failures: Counter,
+    /// Simulator checkpoints written to disk.
+    pub checkpoint_writes: Counter,
+    /// Simulator runs restored from a checkpoint.
+    pub checkpoint_restores: Counter,
     events_per_shard: [AtomicU64; MAX_SHARD_SLOTS],
     /// Set when a shard index at or beyond [`MAX_SHARD_SLOTS`] reported
     /// events: per-shard attribution folded into the last slot.
@@ -158,6 +166,9 @@ impl PipelineMetrics {
             lines_parsed: Counter::new(),
             lines_salvaged: Counter::new(),
             bytes_read: Counter::new(),
+            integrity_failures: Counter::new(),
+            checkpoint_writes: Counter::new(),
+            checkpoint_restores: Counter::new(),
             events_per_shard: [const { AtomicU64::new(0) }; MAX_SHARD_SLOTS],
             shards_clamped: AtomicBool::new(false),
             timings: [const { TimingSlot::new() }; stages::ALL.len()],
@@ -209,6 +220,9 @@ impl PipelineMetrics {
             &self.lines_parsed,
             &self.lines_salvaged,
             &self.bytes_read,
+            &self.integrity_failures,
+            &self.checkpoint_writes,
+            &self.checkpoint_restores,
         ] {
             c.reset();
         }
@@ -250,6 +264,9 @@ impl PipelineMetrics {
             lines_parsed: self.lines_parsed.get(),
             lines_salvaged: self.lines_salvaged.get(),
             bytes_read: self.bytes_read.get(),
+            integrity_failures: self.integrity_failures.get(),
+            checkpoint_writes: self.checkpoint_writes.get(),
+            checkpoint_restores: self.checkpoint_restores.get(),
             shards_clamped: self.shards_clamped.load(Ordering::Relaxed),
         };
         let timings = stages::ALL
@@ -291,6 +308,16 @@ pub struct PipelineCounters {
     pub lines_parsed: u64,
     pub lines_salvaged: u64,
     pub bytes_read: u64,
+    /// Artifacts whose `#integrity` verification failed. Absent in
+    /// snapshots from before the durability layer; defaults to zero.
+    #[serde(default)]
+    pub integrity_failures: u64,
+    /// Simulator checkpoints written to disk.
+    #[serde(default)]
+    pub checkpoint_writes: u64,
+    /// Simulator runs restored from a checkpoint.
+    #[serde(default)]
+    pub checkpoint_restores: u64,
     /// True when a shard index at or beyond [`MAX_SHARD_SLOTS`] reported
     /// events, meaning `events_per_shard` folded high shards into its
     /// last slot instead of attributing them individually.
@@ -344,13 +371,16 @@ impl MetricsSnapshot {
             ("lines parsed", c.lines_parsed),
             ("lines salvaged", c.lines_salvaged),
             ("bytes read", c.bytes_read),
+            ("integrity failures", c.integrity_failures),
+            ("checkpoint writes", c.checkpoint_writes),
+            ("checkpoint restores", c.checkpoint_restores),
         ];
         for (label, value) in rows {
-            let _ = writeln!(out, "  {label:<18} {value}");
+            let _ = writeln!(out, "  {label:<19} {value}");
         }
         if !c.events_per_shard.is_empty() {
             let shards: Vec<String> = c.events_per_shard.iter().map(u64::to_string).collect();
-            let _ = writeln!(out, "  {:<18} [{}]", "events per shard", shards.join(", "));
+            let _ = writeln!(out, "  {:<19} [{}]", "events per shard", shards.join(", "));
         }
         if c.shards_clamped {
             let _ = writeln!(
@@ -462,7 +492,14 @@ mod tests {
             timings: Vec::new(),
         };
         let table = snap.render_table();
-        for label in ["jobs generated", "blacklist hits", "events per shard"] {
+        for label in [
+            "jobs generated",
+            "blacklist hits",
+            "integrity failures",
+            "checkpoint writes",
+            "checkpoint restores",
+            "events per shard",
+        ] {
             assert!(table.contains(label), "missing {label:?} in:\n{table}");
         }
     }

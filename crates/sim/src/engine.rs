@@ -44,6 +44,11 @@
 //! run, and per-shard bundles merged in shard order are byte-identical
 //! across thread counts ([`cgc_obs::TelemetryBundle::absorb`]).
 
+use crate::checkpoint::{
+    run_fingerprint, CheckpointError, CheckpointOptions, CheckpointSink, CounterSnapshot,
+    EngineSnapshot, HeapEntry, HeapEventKind, HostFailureSnapshot, MachineSnapshot, PendingEntry,
+    PhaseSnapshot, ProbeSnapshot, RngState, RunCheckpoint, RunningSnapshot, CHECKPOINT_VERSION,
+};
 use crate::config::{PlacementPolicy, SimConfig};
 use crate::outcome::AttemptPlan;
 use crate::shard::{ShardPlan, ShardSpec};
@@ -55,8 +60,11 @@ use cgc_trace::{
     Demand, Duration, JobId, MachineId, MachineRecord, Priority, TaskId, Timestamp, Trace,
     TraceBuilder,
 };
-use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+// ChaCha12 *is* what rand 0.8's `StdRng` wraps, and neither type overrides
+// `seed_from_u64`, so naming it directly changes no seeded stream — it only
+// gains the stream-position getters that checkpoint/restore needs.
+use rand_chacha::ChaCha12Rng;
 use rayon::prelude::*;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
@@ -233,11 +241,18 @@ struct EngineInput<'w> {
     /// Prefix sums of per-job task counts over the *whole* workload:
     /// job `j`'s `k`-th task has the global task id `task_base[j] + k`.
     task_base: &'w [usize],
-    rng: StdRng,
+    rng: ChaCha12Rng,
     /// Shard index for metrics attribution (0 for the unsharded run).
     shard: usize,
     /// Telemetry sampling interval; `None` runs without a probe.
     telemetry: Option<Duration>,
+    /// Checkpoint collector shared by every shard; `None` disables
+    /// checkpointing entirely (the default).
+    sink: Option<&'w CheckpointSink>,
+    /// First sim-time checkpoint boundary (`Timestamp::MAX` when off).
+    next_boundary: Timestamp,
+    /// Snapshot to resume this shard from instead of seeding a fresh run.
+    resume: Option<&'w EngineSnapshot>,
 }
 
 /// Per-engine event tallies, batched in plain integers on the hot paths
@@ -263,7 +278,7 @@ struct EngineOutput {
 
 struct Engine<'a> {
     config: &'a SimConfig,
-    rng: StdRng,
+    rng: ChaCha12Rng,
     /// Emitted events (global task/machine ids), pushed to the trace
     /// builder at merge time in emission order.
     events: Vec<TaskEvent>,
@@ -307,6 +322,23 @@ struct Engine<'a> {
     counters: EngineCounters,
     /// Sim-time telemetry recorder; `None` outside telemetry runs.
     telemetry: Option<TelemetryProbe>,
+    /// Next usage-sample grid point (engine state so checkpoints can
+    /// resume mid-grid).
+    next_sample: Timestamp,
+    /// Next telemetry-tick grid point (`Timestamp::MAX` without a probe).
+    next_tick: Timestamp,
+    /// True once the event loop has drained; checkpoints taken during the
+    /// trailing sample/tick flush resume straight into that flush.
+    drained: bool,
+    /// This engine's shard index (names its slot at the sink).
+    shard: usize,
+    /// Checkpoint collector; `None` disables boundary snapshots.
+    sink: Option<&'a CheckpointSink>,
+    /// Sim-time gap between checkpoint boundaries.
+    ckpt_every: Duration,
+    /// Next checkpoint boundary (`Timestamp::MAX` when checkpointing is
+    /// off, so the hot loop pays one u64 compare and nothing else).
+    next_boundary: Timestamp,
 }
 
 impl Simulator {
@@ -331,7 +363,9 @@ impl Simulator {
     /// scratch never influences the output — only how much the run
     /// allocates.
     pub fn run_with_scratch(&self, workload: &Workload, scratch: &mut SimScratch) -> Trace {
-        self.run_inner(workload, scratch, None).0
+        self.run_inner(workload, scratch, None, None, None)
+            .expect("checkpointing disabled, no error path")
+            .0
     }
 
     /// Like [`run`](Self::run), but also records sim-time telemetry on a
@@ -345,8 +379,41 @@ impl Simulator {
         workload: &Workload,
         interval: Duration,
     ) -> (Trace, TelemetryBundle) {
-        let (trace, telemetry) = self.run_inner(workload, &mut SimScratch::new(), Some(interval));
+        let (trace, telemetry) = self
+            .run_inner(workload, &mut SimScratch::new(), Some(interval), None, None)
+            .expect("checkpointing disabled, no error path");
         (trace, telemetry.expect("telemetry requested"))
+    }
+
+    /// Like [`run`](Self::run), optionally writing periodic checkpoints
+    /// and/or resuming from one — the crash-safe entry point.
+    ///
+    /// With `checkpoint` set, every shard engine snapshots its complete
+    /// state at sim-time boundaries `every, 2·every, …` and the sink
+    /// atomically replaces `checkpoint.path` once all shards reach a
+    /// boundary. With `resume` set, the run starts from the checkpoint's
+    /// boundary instead of t = 0 and produces **byte-identical** trace
+    /// and telemetry output to an uninterrupted run — the contract
+    /// `tests/checkpoint.rs` pins across cut points and thread counts.
+    ///
+    /// `telemetry` must match the interrupted run's interval (a
+    /// checkpoint records whether telemetry was on); a checkpoint from a
+    /// different config, workload, or shard count is rejected as
+    /// [`CheckpointError::Mismatch`] rather than replayed into garbage.
+    pub fn run_checkpointed(
+        &self,
+        workload: &Workload,
+        telemetry: Option<Duration>,
+        checkpoint: Option<&CheckpointOptions>,
+        resume: Option<&RunCheckpoint>,
+    ) -> Result<(Trace, Option<TelemetryBundle>), CheckpointError> {
+        self.run_inner(
+            workload,
+            &mut SimScratch::new(),
+            telemetry,
+            checkpoint,
+            resume,
+        )
     }
 
     fn run_inner(
@@ -354,19 +421,72 @@ impl Simulator {
         workload: &Workload,
         scratch: &mut SimScratch,
         telemetry: Option<Duration>,
-    ) -> (Trace, Option<TelemetryBundle>) {
+        checkpoint: Option<&CheckpointOptions>,
+        resume: Option<&RunCheckpoint>,
+    ) -> Result<(Trace, Option<TelemetryBundle>), CheckpointError> {
         let _span = cgc_obs::span(cgc_obs::stages::SIMULATE);
         let config = &self.config;
         // The fleet is drawn once from the master seed, before any
         // sharding decision, so the machine population is identical for
         // every shard count.
-        let mut master = StdRng::seed_from_u64(config.seed);
+        let mut master = ChaCha12Rng::seed_from_u64(config.seed);
         let records = config.fleet.generate(&mut master);
 
+        // Scenario identity, computed only when checkpoints are in play.
+        let fingerprint = if checkpoint.is_some() || resume.is_some() {
+            Some(run_fingerprint(config, workload))
+        } else {
+            None
+        };
+        if let Some(r) = resume {
+            let fp = fingerprint.expect("resume implies fingerprint");
+            if r.version != CHECKPOINT_VERSION {
+                return Err(CheckpointError::Mismatch(format!(
+                    "checkpoint is format v{}, this build runs v{CHECKPOINT_VERSION}",
+                    r.version
+                )));
+            }
+            if r.fingerprint != fp {
+                return Err(CheckpointError::Mismatch(format!(
+                    "checkpoint fingerprint {:016x} does not match this \
+                     config/workload ({fp:016x}); resuming would not reproduce \
+                     the interrupted run",
+                    r.fingerprint
+                )));
+            }
+            if r.telemetry != telemetry {
+                return Err(CheckpointError::Mismatch(format!(
+                    "checkpoint telemetry interval {:?} does not match the \
+                     requested {telemetry:?}",
+                    r.telemetry
+                )));
+            }
+        }
+
         let outputs: Vec<EngineOutput> = if config.shards <= 1 {
+            if let Some(r) = resume {
+                if r.shards.len() != 1 {
+                    return Err(CheckpointError::Mismatch(format!(
+                        "checkpoint holds {} shard snapshots, this config runs 1",
+                        r.shards.len()
+                    )));
+                }
+            }
+            let sink = checkpoint.map(|o| {
+                CheckpointSink::new(
+                    o.clone(),
+                    fingerprint.expect("checkpoint implies fingerprint"),
+                    telemetry,
+                    1,
+                )
+            });
+            let next_boundary = sink.as_ref().map_or(Timestamp::MAX, |s| {
+                first_boundary(s.every(), resume.map(|r| r.at))
+            });
             // Pre-sharding path: one engine owns everything and continues
             // the master RNG right after the fleet draws, which keeps
-            // every historical seeded trace bit-identical.
+            // every historical seeded trace bit-identical. (On resume the
+            // restored stream position replaces the RNG wholesale.)
             let jobs: Vec<usize> = (0..workload.jobs.len()).collect();
             let mut task_base = Vec::with_capacity(workload.jobs.len() + 1);
             task_base.push(0);
@@ -385,11 +505,35 @@ impl Simulator {
                     rng: master,
                     shard: 0,
                     telemetry,
+                    sink: sink.as_ref(),
+                    next_boundary,
+                    resume: resume.map(|r| &r.shards[0]),
                 },
                 scratch,
             )]
         } else {
             let plan = ShardPlan::new(&config.fleet, workload, config.shards, config.seed);
+            if let Some(r) = resume {
+                if r.shards.len() != plan.shards.len() {
+                    return Err(CheckpointError::Mismatch(format!(
+                        "checkpoint holds {} shard snapshots, this config runs {}",
+                        r.shards.len(),
+                        plan.shards.len()
+                    )));
+                }
+            }
+            let sink = checkpoint.map(|o| {
+                CheckpointSink::new(
+                    o.clone(),
+                    fingerprint.expect("checkpoint implies fingerprint"),
+                    telemetry,
+                    plan.shards.len(),
+                )
+            });
+            let next_boundary = sink.as_ref().map_or(Timestamp::MAX, |s| {
+                first_boundary(s.every(), resume.map(|r| r.at))
+            });
+            let sink_ref = sink.as_ref();
             let run_one = |(shard, spec): (usize, &ShardSpec)| {
                 run_engine(
                     config,
@@ -400,9 +544,12 @@ impl Simulator {
                         domains: spec.domains.clone(),
                         jobs: &spec.jobs,
                         task_base: &plan.task_base,
-                        rng: StdRng::seed_from_u64(spec.seed),
+                        rng: ChaCha12Rng::seed_from_u64(spec.seed),
                         shard,
                         telemetry,
+                        sink: sink_ref,
+                        next_boundary,
+                        resume: resume.map(|r| &r.shards[shard]),
                     },
                     &mut SimScratch::new(),
                 )
@@ -436,7 +583,16 @@ impl Simulator {
             merged.expect("at least one engine ran")
         });
 
-        (merge_outputs(workload, &records, outputs), bundle)
+        Ok((merge_outputs(workload, &records, outputs), bundle))
+    }
+}
+
+/// The first checkpoint boundary of a run: the first multiple of `every`
+/// strictly after the resume point (or just `every` for a fresh run).
+fn first_boundary(every: Duration, resume_at: Option<Timestamp>) -> Timestamp {
+    match resume_at {
+        Some(at) => (at / every).saturating_add(1).saturating_mul(every),
+        None => every,
     }
 }
 
@@ -456,6 +612,9 @@ fn run_engine(
         rng,
         shard,
         telemetry,
+        sink,
+        next_boundary,
+        resume,
     } = input;
     let _span = cgc_obs::span_indexed(cgc_obs::stages::SHARD, shard);
 
@@ -549,24 +708,46 @@ fn run_engine(
         down_victims,
         counters: EngineCounters::default(),
         telemetry: telemetry.map(|iv| TelemetryProbe::new(iv, workload.horizon, n_tasks)),
+        next_sample: 0,
+        next_tick: if telemetry.is_some() {
+            0
+        } else {
+            Timestamp::MAX
+        },
+        drained: false,
+        shard,
+        sink,
+        ckpt_every: sink.map_or(Duration::MAX, |s| s.every()),
+        next_boundary,
     };
 
-    // Seed the heap with every task submission.
-    let mut task_idx = 0usize;
-    for &j in jobs {
-        let spec = &workload.jobs[j];
-        for _ in &spec.tasks {
-            engine.push(spec.submit, EventKind::Submit { task: task_idx });
-            task_idx += 1;
+    match resume {
+        Some(snapshot) => {
+            // Resume: the snapshot replaces the seeded initial state
+            // wholesale — heap, RNG position, queues, machines, emitted
+            // events — so the run continues exactly where it stopped.
+            engine.restore(snapshot);
+            cgc_obs::metrics().checkpoint_restores.add(1);
+        }
+        None => {
+            // Seed the heap with every task submission.
+            let mut task_idx = 0usize;
+            for &j in jobs {
+                let spec = &workload.jobs[j];
+                for _ in &spec.tasks {
+                    engine.push(spec.submit, EventKind::Submit { task: task_idx });
+                    task_idx += 1;
+                }
+            }
+
+            // Seed machine outages: per-machine Poisson over the horizon.
+            if config.machine_failures_per_day > 0.0 {
+                engine.seed_outages(workload.horizon);
+            }
+            // Seed correlated failure-domain outages (scripted + random).
+            engine.seed_domain_outages(workload.horizon);
         }
     }
-
-    // Seed machine outages: per-machine Poisson over the horizon.
-    if config.machine_failures_per_day > 0.0 {
-        engine.seed_outages(workload.horizon);
-    }
-    // Seed correlated failure-domain outages (scripted + random).
-    engine.seed_domain_outages(workload.horizon);
 
     engine.run();
 
@@ -681,7 +862,6 @@ impl Engine<'_> {
     }
 
     fn run(&mut self) {
-        let mut next_sample: Timestamp = 0;
         // The telemetry grid advances exactly like the usage-sample grid:
         // a tick fires once every event before it has been processed, so
         // tick contents depend only on sim-time state — never on how
@@ -690,43 +870,67 @@ impl Engine<'_> {
             Some(p) => p.interval,
             None => Timestamp::MAX,
         };
-        let mut next_tick: Timestamp = if self.telemetry.is_some() {
-            0
-        } else {
-            Timestamp::MAX
-        };
-        while let Some(ev) = self.heap.pop() {
-            if ev.time >= self.horizon {
-                break;
-            }
-            while next_sample <= ev.time {
-                self.take_samples(next_sample);
-                next_sample += self.config.sample_period;
-            }
-            while next_tick <= ev.time {
-                self.telemetry_tick(next_tick);
-                next_tick = next_tick.saturating_add(tick_step);
-            }
-            match ev.kind {
-                EventKind::Submit { task } => self.handle_submit(ev.time, task),
-                EventKind::Complete { task, attempt } => {
-                    self.handle_complete(ev.time, task, attempt)
+        if !self.drained {
+            // Peek-then-pop: a checkpoint boundary at or before the
+            // next event's time snapshots with that event still
+            // queued, so a resumed run pops it afresh and replays the
+            // identical sequence.
+            while let Some(&next) = self.heap.peek() {
+                if next.time >= self.horizon {
+                    // Pop the post-horizon event before stopping, exactly
+                    // like the pre-checkpoint loop did, so the trailing
+                    // telemetry ticks observe the same heap size.
+                    self.heap.pop();
+                    break;
                 }
-                EventKind::Kick => self.schedule_pass(ev.time),
-                EventKind::MachineDown { machine, until } => {
-                    self.handle_machine_down(ev.time, machine, until)
+                while self.next_boundary <= next.time {
+                    let at = self.next_boundary;
+                    self.take_checkpoint(at);
+                    self.next_boundary = at.saturating_add(self.ckpt_every);
                 }
-                EventKind::MachineUp { machine } => self.handle_machine_up(ev.time, machine),
+                let ev = self.heap.pop().expect("peeked just above");
+                while self.next_sample <= ev.time {
+                    let at = self.next_sample;
+                    self.take_samples(at);
+                    self.next_sample += self.config.sample_period;
+                }
+                while self.next_tick <= ev.time {
+                    let at = self.next_tick;
+                    self.telemetry_tick(at);
+                    self.next_tick = at.saturating_add(tick_step);
+                }
+                match ev.kind {
+                    EventKind::Submit { task } => self.handle_submit(ev.time, task),
+                    EventKind::Complete { task, attempt } => {
+                        self.handle_complete(ev.time, task, attempt)
+                    }
+                    EventKind::Kick => self.schedule_pass(ev.time),
+                    EventKind::MachineDown { machine, until } => {
+                        self.handle_machine_down(ev.time, machine, until)
+                    }
+                    EventKind::MachineUp { machine } => self.handle_machine_up(ev.time, machine),
+                }
             }
+            self.drained = true;
+        }
+        // Boundaries past the last event snapshot `drained` state *before*
+        // the trailing grids run (they draw RNG for usage jitter), so a
+        // resume from one skips straight to the flush below.
+        while self.next_boundary < self.horizon {
+            let at = self.next_boundary;
+            self.take_checkpoint(at);
+            self.next_boundary = at.saturating_add(self.ckpt_every);
         }
         // Finish the sampling grids to the horizon.
-        while next_sample < self.horizon {
-            self.take_samples(next_sample);
-            next_sample += self.config.sample_period;
+        while self.next_sample < self.horizon {
+            let at = self.next_sample;
+            self.take_samples(at);
+            self.next_sample += self.config.sample_period;
         }
-        while next_tick < self.horizon {
-            self.telemetry_tick(next_tick);
-            next_tick = next_tick.saturating_add(tick_step);
+        while self.next_tick < self.horizon {
+            let at = self.next_tick;
+            self.telemetry_tick(at);
+            self.next_tick = at.saturating_add(tick_step);
         }
         // Account CPU time of tasks still running at the horizon.
         for m in &self.machines {
@@ -735,6 +939,195 @@ impl Engine<'_> {
                 self.job_cpu_seconds[info.job] +=
                     info.cpu_processors * (self.horizon - r.start) as f64;
             }
+        }
+    }
+
+    /// Hands the sink a complete snapshot of this engine at boundary
+    /// `at`. No-op without a sink; the sink assembles and atomically
+    /// writes the [`RunCheckpoint`] once every shard reaches `at`.
+    fn take_checkpoint(&self, at: Timestamp) {
+        let Some(sink) = self.sink else {
+            return;
+        };
+        sink.submit(self.shard, at, self.snapshot());
+    }
+
+    /// Captures the engine's complete state. Everything the event loop
+    /// reads or mutates is here; collections without a canonical order
+    /// (heap, hash map) are sorted so equal states serialize to equal
+    /// bytes.
+    fn snapshot(&self) -> EngineSnapshot {
+        let mut heap: Vec<HeapEntry> = self
+            .heap
+            .iter()
+            .map(|e| HeapEntry {
+                time: e.time,
+                seq: e.seq,
+                kind: snap_event(e.kind),
+            })
+            .collect();
+        // BinaryHeap iteration order is arbitrary, but pop order is a pure
+        // function of (time, seq) — seq is unique — so sorting here loses
+        // nothing and makes the snapshot canonical.
+        heap.sort_unstable_by_key(|e| (e.time, e.seq));
+        let mut host_failures: Vec<HostFailureSnapshot> = self
+            .host_failures
+            .iter()
+            .map(|(&(task, machine), &count)| HostFailureSnapshot {
+                task,
+                machine,
+                count,
+            })
+            .collect();
+        host_failures.sort_unstable_by_key(|h| (h.task, h.machine));
+        EngineSnapshot {
+            rng: RngState::capture(&self.rng),
+            seq: self.seq,
+            next_sample: self.next_sample,
+            next_tick: self.next_tick,
+            drained: self.drained,
+            events: self.events.clone(),
+            heap,
+            pending: self
+                .pending
+                .iter()
+                .map(|(&(Reverse(level), seq), &task)| PendingEntry { level, seq, task })
+                .collect(),
+            machines: self
+                .machines
+                .iter()
+                .map(|m| MachineSnapshot {
+                    free: m.free,
+                    up: m.up,
+                    down_until: m.down_until,
+                    // Live order is preserved: sampling iterates the
+                    // running set in order, drawing RNG per task.
+                    running: m
+                        .running
+                        .iter()
+                        .map(|r| RunningSnapshot {
+                            task: r.task,
+                            start: r.start,
+                            demand: r.demand,
+                            priority: r.priority,
+                            cpu_base: r.cpu_base,
+                            mem_base: r.mem_base,
+                        })
+                        .collect(),
+                })
+                .collect(),
+            phase: self
+                .phase
+                .iter()
+                .map(|p| match *p {
+                    TaskPhase::Pending => PhaseSnapshot::Pending,
+                    TaskPhase::Running { machine } => PhaseSnapshot::Running { machine },
+                    TaskPhase::Dead => PhaseSnapshot::Dead,
+                })
+                .collect(),
+            attempt: self.attempt.clone(),
+            resubmits_left: self.resubmits_left.clone(),
+            completion_kind: self.completion_kind.clone(),
+            job_cpu_seconds: self.job_cpu_seconds.clone(),
+            fails: self.fails.clone(),
+            looper: self.looper.clone(),
+            host_failures,
+            series: self.series.iter().map(|s| s.samples.clone()).collect(),
+            counters: CounterSnapshot {
+                placements: self.counters.placements,
+                evictions: self.counters.evictions,
+                retries: self.counters.retries,
+                fault_injections: self.counters.fault_injections,
+                blacklist_hits: self.counters.blacklist_hits,
+            },
+            telemetry: self.telemetry.as_ref().map(|p| ProbeSnapshot {
+                bundle: p.bundle.clone(),
+                first_submit: p.first_submit.clone(),
+                ever_placed: p.ever_placed.clone(),
+                last_end: p.last_end.clone(),
+            }),
+        }
+    }
+
+    /// Replaces this freshly-constructed engine's state with a snapshot.
+    /// The caller guarantees (via the checkpoint fingerprint) that the
+    /// snapshot came from the same config and workload, so the static
+    /// tables — tasks, capacities, series metadata — already match.
+    fn restore(&mut self, snap: &EngineSnapshot) {
+        debug_assert_eq!(self.machines.len(), snap.machines.len());
+        debug_assert_eq!(self.phase.len(), snap.phase.len());
+        debug_assert_eq!(self.series.len(), snap.series.len());
+        self.rng = snap.rng.restore();
+        self.seq = snap.seq;
+        self.next_sample = snap.next_sample;
+        self.next_tick = snap.next_tick;
+        self.drained = snap.drained;
+        self.events = snap.events.clone();
+        self.heap.clear();
+        for e in &snap.heap {
+            self.heap.push(QueuedEvent {
+                time: e.time,
+                seq: e.seq,
+                kind: event_from_snap(e.kind),
+            });
+        }
+        self.pending = snap
+            .pending
+            .iter()
+            .map(|p| ((Reverse(p.level), p.seq), p.task))
+            .collect();
+        for (m, ms) in self.machines.iter_mut().zip(&snap.machines) {
+            m.free = ms.free;
+            m.up = ms.up;
+            m.down_until = ms.down_until;
+            m.running = ms
+                .running
+                .iter()
+                .map(|r| RunningTask {
+                    task: r.task,
+                    start: r.start,
+                    demand: r.demand,
+                    priority: r.priority,
+                    cpu_base: r.cpu_base,
+                    mem_base: r.mem_base,
+                })
+                .collect();
+        }
+        self.phase = snap
+            .phase
+            .iter()
+            .map(|p| match *p {
+                PhaseSnapshot::Pending => TaskPhase::Pending,
+                PhaseSnapshot::Running { machine } => TaskPhase::Running { machine },
+                PhaseSnapshot::Dead => TaskPhase::Dead,
+            })
+            .collect();
+        self.attempt = snap.attempt.clone();
+        self.resubmits_left = snap.resubmits_left.clone();
+        self.completion_kind = snap.completion_kind.clone();
+        self.job_cpu_seconds = snap.job_cpu_seconds.clone();
+        self.fails = snap.fails.clone();
+        self.looper = snap.looper.clone();
+        self.host_failures = snap
+            .host_failures
+            .iter()
+            .map(|h| ((h.task, h.machine), h.count))
+            .collect();
+        for (s, samples) in self.series.iter_mut().zip(&snap.series) {
+            s.samples = samples.clone();
+        }
+        self.counters = EngineCounters {
+            placements: snap.counters.placements,
+            evictions: snap.counters.evictions,
+            retries: snap.counters.retries,
+            fault_injections: snap.counters.fault_injections,
+            blacklist_hits: snap.counters.blacklist_hits,
+        };
+        if let (Some(probe), Some(ps)) = (self.telemetry.as_mut(), snap.telemetry.as_ref()) {
+            probe.bundle = ps.bundle.clone();
+            probe.first_submit = ps.first_submit.clone();
+            probe.ever_placed = ps.ever_placed.clone();
+            probe.last_end = ps.last_end.clone();
         }
     }
 
@@ -1313,6 +1706,26 @@ impl Engine<'_> {
         }
         self.machines[mi].up = true;
         self.schedule_pass(time);
+    }
+}
+
+fn snap_event(kind: EventKind) -> HeapEventKind {
+    match kind {
+        EventKind::Submit { task } => HeapEventKind::Submit { task },
+        EventKind::Complete { task, attempt } => HeapEventKind::Complete { task, attempt },
+        EventKind::Kick => HeapEventKind::Kick,
+        EventKind::MachineDown { machine, until } => HeapEventKind::MachineDown { machine, until },
+        EventKind::MachineUp { machine } => HeapEventKind::MachineUp { machine },
+    }
+}
+
+fn event_from_snap(kind: HeapEventKind) -> EventKind {
+    match kind {
+        HeapEventKind::Submit { task } => EventKind::Submit { task },
+        HeapEventKind::Complete { task, attempt } => EventKind::Complete { task, attempt },
+        HeapEventKind::Kick => EventKind::Kick,
+        HeapEventKind::MachineDown { machine, until } => EventKind::MachineDown { machine, until },
+        HeapEventKind::MachineUp { machine } => EventKind::MachineUp { machine },
     }
 }
 

@@ -26,12 +26,17 @@
 //! assert!(!trace.host_series.is_empty());
 //! ```
 
+pub mod checkpoint;
 pub mod config;
 pub mod engine;
 pub mod faults;
 pub mod outcome;
 pub mod shard;
 
+pub use checkpoint::{
+    load_checkpoint, run_fingerprint, save_checkpoint, CheckpointError, CheckpointOptions,
+    EngineSnapshot, RunCheckpoint, CHECKPOINT_VERSION,
+};
 pub use config::{PlacementPolicy, SimConfig};
 pub use engine::{SimScratch, Simulator};
 pub use faults::{DomainOutage, FaultConfig, RetryPolicy};

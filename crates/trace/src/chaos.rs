@@ -1,0 +1,298 @@
+//! Deterministic I/O fault injection for robustness testing.
+//!
+//! The chaos harness wraps readers and writers with seed-driven fault
+//! plans — truncation at byte *N*, a flipped bit, short reads, a read
+//! error mid-stream, an interrupted write — so tests can drive every
+//! ingest and persist path through the failure modes a real deployment
+//! meets (torn writes, bit rot, flaky NFS) and assert one invariant:
+//! **every injected fault ends in a clean typed error or a documented
+//! salvage, never a panic or silently wrong output.**
+//!
+//! Plans are pure functions of a seed (a SplitMix64 stream, no
+//! dependency on the `rand` crate), so a failing case from the seeded
+//! matrix in `tests/chaos.rs` reproduces exactly from its seed.
+
+use std::io::{self, Read, Write};
+
+/// SplitMix64: a tiny, well-distributed PRNG for fault-plan generation.
+/// Not used anywhere near the simulation's RNG streams.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeds the stream.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`0` when `n == 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+}
+
+/// One injected I/O fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The stream ends cleanly after `at` bytes (a torn file).
+    Truncate {
+        /// Bytes delivered before the premature EOF.
+        at: usize,
+    },
+    /// One bit of byte `at` is flipped (bit rot).
+    BitFlip {
+        /// Byte offset of the corrupted byte.
+        at: usize,
+        /// Which bit (0–7) flips.
+        bit: u8,
+    },
+    /// Every `read` returns at most `max` bytes (a dribbling socket or
+    /// pipe); the content itself is intact.
+    ShortReads {
+        /// Per-call byte cap (at least 1).
+        max: usize,
+    },
+    /// The reader fails with an I/O error after `at` bytes.
+    ReadError {
+        /// Bytes delivered before the error.
+        at: usize,
+    },
+    /// The writer fails with an I/O error after accepting `at` bytes (a
+    /// full disk, a yanked cable).
+    InterruptWrite {
+        /// Bytes accepted before the error.
+        at: usize,
+    },
+}
+
+/// A deterministic, seed-derived fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The seed the plan was derived from, for reproduction.
+    pub seed: u64,
+    /// The fault to inject.
+    pub fault: Fault,
+}
+
+impl FaultPlan {
+    /// Derives the plan for `seed` against a stream of `len` bytes. The
+    /// fault class cycles with the seed so a contiguous seed range covers
+    /// the whole matrix; positions land anywhere in `0..len`.
+    pub fn from_seed(seed: u64, len: usize) -> FaultPlan {
+        let mut rng = SplitMix64::new(seed);
+        let at = rng.below(len as u64) as usize;
+        let fault = match seed % 5 {
+            0 => Fault::Truncate { at },
+            1 => Fault::BitFlip {
+                at,
+                bit: (rng.below(8)) as u8,
+            },
+            2 => Fault::ShortReads {
+                max: 1 + rng.below(7) as usize,
+            },
+            3 => Fault::ReadError { at },
+            _ => Fault::InterruptWrite { at },
+        };
+        FaultPlan { seed, fault }
+    }
+}
+
+/// Applies the byte-level faults (truncation, bit flip) to a buffer —
+/// the in-memory equivalent of reading through a [`ChaosReader`].
+/// Stream-level faults (short reads, read errors, interrupted writes)
+/// leave the bytes unchanged.
+pub fn corrupt(bytes: &[u8], fault: Fault) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    match fault {
+        Fault::Truncate { at } => out.truncate(at),
+        Fault::BitFlip { at, bit } => {
+            if let Some(b) = out.get_mut(at) {
+                *b ^= 1 << (bit & 7);
+            }
+        }
+        Fault::ShortReads { .. } | Fault::ReadError { .. } | Fault::InterruptWrite { .. } => {}
+    }
+    out
+}
+
+/// A reader that injects its fault plan into an inner reader.
+pub struct ChaosReader<R> {
+    inner: R,
+    fault: Fault,
+    pos: usize,
+}
+
+impl<R: Read> ChaosReader<R> {
+    /// Wraps `inner` with the given fault.
+    pub fn new(inner: R, fault: Fault) -> Self {
+        ChaosReader {
+            inner,
+            fault,
+            pos: 0,
+        }
+    }
+}
+
+impl<R: Read> Read for ChaosReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let cap = match self.fault {
+            Fault::Truncate { at } => {
+                if self.pos >= at {
+                    return Ok(0);
+                }
+                buf.len().min(at - self.pos)
+            }
+            Fault::ReadError { at } => {
+                if self.pos >= at {
+                    return Err(io::Error::other(format!(
+                        "injected read fault at byte {at}"
+                    )));
+                }
+                buf.len().min(at - self.pos)
+            }
+            Fault::ShortReads { max } => buf.len().min(max.max(1)),
+            _ => buf.len(),
+        };
+        let n = self.inner.read(&mut buf[..cap])?;
+        if let Fault::BitFlip { at, bit } = self.fault {
+            if (self.pos..self.pos + n).contains(&at) {
+                buf[at - self.pos] ^= 1 << (bit & 7);
+            }
+        }
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// A writer that accepts a byte budget and then fails, leaving whatever
+/// prefix it already wrote — the model of a torn write.
+pub struct ChaosWriter<W> {
+    inner: W,
+    fault: Fault,
+    written: usize,
+}
+
+impl<W: Write> ChaosWriter<W> {
+    /// Wraps `inner` with the given fault (only
+    /// [`Fault::InterruptWrite`] has any effect on a writer).
+    pub fn new(inner: W, fault: Fault) -> Self {
+        ChaosWriter {
+            inner,
+            fault,
+            written: 0,
+        }
+    }
+}
+
+impl<W: Write> Write for ChaosWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if let Fault::InterruptWrite { at } = self.fault {
+            if self.written >= at {
+                return Err(io::Error::other(format!(
+                    "injected write fault at byte {at}"
+                )));
+            }
+            let n = self.inner.write(&buf[..buf.len().min(at - self.written)])?;
+            self.written += n;
+            return Ok(n);
+        }
+        let n = self.inner.write(buf)?;
+        self.written += n;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic() {
+        for seed in 0..32 {
+            assert_eq!(
+                FaultPlan::from_seed(seed, 1000),
+                FaultPlan::from_seed(seed, 1000)
+            );
+        }
+    }
+
+    #[test]
+    fn truncating_reader_matches_corrupt() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        let fault = Fault::Truncate { at: 100 };
+        let mut via_reader = Vec::new();
+        ChaosReader::new(&data[..], fault)
+            .read_to_end(&mut via_reader)
+            .unwrap();
+        assert_eq!(via_reader, corrupt(&data, fault));
+        assert_eq!(via_reader.len(), 100);
+    }
+
+    #[test]
+    fn bit_flip_reader_matches_corrupt() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        let fault = Fault::BitFlip { at: 17, bit: 3 };
+        let mut via_reader = Vec::new();
+        // Small reads so the flip lands mid-buffer at least once.
+        let mut r = ChaosReader::new(&data[..], fault);
+        let mut buf = [0u8; 5];
+        loop {
+            let n = r.read(&mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            via_reader.extend_from_slice(&buf[..n]);
+        }
+        assert_eq!(via_reader, corrupt(&data, fault));
+        assert_eq!(via_reader[17], data[17] ^ 0b1000);
+    }
+
+    #[test]
+    fn short_reads_deliver_everything() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        let mut out = Vec::new();
+        ChaosReader::new(&data[..], Fault::ShortReads { max: 3 })
+            .read_to_end(&mut out)
+            .unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn read_error_fires_at_position() {
+        let data = [7u8; 64];
+        let mut out = Vec::new();
+        let err = ChaosReader::new(&data[..], Fault::ReadError { at: 10 })
+            .read_to_end(&mut out)
+            .unwrap_err();
+        assert!(err.to_string().contains("injected read fault"));
+    }
+
+    #[test]
+    fn interrupted_writer_keeps_prefix_then_fails() {
+        let mut sink = Vec::new();
+        let mut w = ChaosWriter::new(&mut sink, Fault::InterruptWrite { at: 4 });
+        assert_eq!(w.write(b"abc").unwrap(), 3);
+        assert_eq!(w.write(b"defg").unwrap(), 1);
+        assert!(w.write(b"hij").is_err());
+        assert_eq!(sink, b"abcd");
+    }
+}

@@ -1,0 +1,196 @@
+//! Durability primitives: CRC-32 checksums and atomic file replacement.
+//!
+//! Every artifact the pipeline persists — traces, telemetry bundles,
+//! experiment JSON, simulator checkpoints — goes through [`write_atomic`]
+//! so that a crash mid-write can never leave a torn file at the target
+//! path: the bytes land in a temporary file in the same directory, are
+//! fsynced, and only then renamed over the target (itself an atomic
+//! operation on POSIX filesystems). [`Crc32`] is the checksum behind the
+//! trace `#integrity` trailer and the checkpoint header; it is the
+//! standard IEEE polynomial (the one `cksum`, zip and PNG use), hand
+//! rolled because the workspace carries no checksum crate.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The IEEE CRC-32 lookup table (polynomial 0xEDB88320, reflected).
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// Streaming IEEE CRC-32 (the `cksum`/zip/PNG polynomial).
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// A fresh checksum over zero bytes.
+    pub fn new() -> Self {
+        Crc32 { state: !0 }
+    }
+
+    /// Folds `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            let idx = (self.state ^ b as u32) & 0xFF;
+            self.state = (self.state >> 8) ^ CRC32_TABLE[idx as usize];
+        }
+    }
+
+    /// The checksum of everything folded in so far. Does not consume the
+    /// state; more bytes may follow.
+    pub fn finalize(&self) -> u32 {
+        !self.state
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finalize()
+}
+
+/// Distinguishes concurrent atomic writes to the same target from the
+/// same process (the pid alone distinguishes processes).
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Writes `bytes` to `path` atomically: all-or-nothing, never a torn or
+/// half-written file at the target, even across a crash or an injected
+/// write fault.
+///
+/// The bytes go to a uniquely named temporary file in the target's
+/// directory (same filesystem, so the final rename cannot degrade to a
+/// copy), the file is fsynced, renamed over the target, and on Unix the
+/// directory is fsynced too so the rename itself survives power loss. On
+/// any error the temporary file is removed and the previous target — if
+/// one existed — is left untouched.
+pub fn write_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> io::Result<()> {
+    write_atomic_with(path, |w| w.write_all(bytes))
+}
+
+/// [`write_atomic`] with caller-supplied serialization: `fill` receives
+/// the temporary file's writer. Exists so tests can interpose fault
+/// injection between the serializer and the file; any `Err` from `fill`
+/// aborts the whole operation with the target untouched.
+pub fn write_atomic_with(
+    path: impl AsRef<Path>,
+    fill: impl FnOnce(&mut dyn Write) -> io::Result<()>,
+) -> io::Result<()> {
+    let path = path.as_ref();
+    let dir: PathBuf = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("artifact");
+    let tmp = dir.join(format!(
+        ".{name}.{}.{}.tmp",
+        std::process::id(),
+        TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let result = (|| {
+        let mut file = fs::File::create(&tmp)?;
+        fill(&mut file)?;
+        file.sync_all()?;
+        drop(file);
+        fs::rename(&tmp, path)?;
+        #[cfg(unix)]
+        fs::File::open(&dir)?.sync_all()?;
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The canonical check value for this polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn crc32_streaming_equals_one_shot() {
+        let data = b"hello, checksummed world";
+        let mut c = Crc32::new();
+        for chunk in data.chunks(3) {
+            c.update(chunk);
+        }
+        assert_eq!(c.finalize(), crc32(data));
+    }
+
+    #[test]
+    fn write_atomic_round_trips() {
+        let dir = std::env::temp_dir().join(format!("cgc-atomic-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("artifact.txt");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        write_atomic(&path, b"second").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_write_leaves_target_and_no_temp_files() {
+        let dir = std::env::temp_dir().join(format!("cgc-atomic-fail-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("artifact.txt");
+        write_atomic(&path, b"intact").unwrap();
+        let err = write_atomic_with(&path, |w| {
+            w.write_all(b"partial garbage ")?;
+            Err(io::Error::other("injected write fault"))
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("injected"));
+        // The old contents survive and no temporary litter remains.
+        assert_eq!(fs::read(&path).unwrap(), b"intact");
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -38,8 +38,27 @@
 //! lines are skipped and reported as warnings (one [`ParseError`] per
 //! skipped line), so a partially corrupted or truncated trace still yields
 //! every salvageable record. Analyzers then operate on the partial trace.
+//!
+//! # Integrity trailer
+//!
+//! [`write_trace_sealed`] appends a self-verification trailer:
+//!
+//! ```text
+//! #integrity v1 machines=M jobs=J tasks=T events=E samples=S crc=XXXXXXXX
+//! ```
+//!
+//! where the counts are per-section record totals and the CRC is IEEE
+//! CRC-32 over every preceding non-blank line (trimmed, `\n`-terminated, so
+//! the checksum is independent of line endings and trailing whitespace).
+//! Every reader verifies the trailer when present: strict mode reports a
+//! mismatch as a [`ParseError`] with [`ParseErrorKind::Integrity`], lenient
+//! mode records it as a warning and keeps the salvaged records. Traces
+//! without a trailer (the pre-sealing format, and [`write_trace`] output)
+//! are accepted unchanged; [`read_trace_verified`] additionally *requires*
+//! the trailer, turning silent truncation into a typed error.
 
 use crate::ids::{JobId, MachineId, TaskId, UserId};
+use crate::integrity::Crc32;
 use crate::job::JobRecord;
 use crate::machine::MachineRecord;
 use crate::priority::Priority;
@@ -49,6 +68,19 @@ use crate::trace::Trace;
 use crate::usage::{ClassSplit, HostSeries, UsageSample};
 use std::fmt::Write as _;
 use std::str::FromStr;
+
+/// What class of failure a [`ParseError`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// A malformed line or a violated structural invariant.
+    Syntax,
+    /// The `#integrity` trailer failed verification (checksum or record
+    /// counts disagree with the content, data follows the trailer, or a
+    /// required trailer is missing).
+    Integrity,
+    /// The underlying reader failed mid-stream.
+    Io,
+}
 
 /// Error produced while parsing a serialized trace.
 ///
@@ -60,6 +92,35 @@ pub struct ParseError {
     pub line: usize,
     /// Description of the problem.
     pub message: String,
+    /// Failure class, for callers that treat corruption differently from
+    /// plain syntax trouble (exit codes, metrics).
+    pub kind: ParseErrorKind,
+}
+
+impl ParseError {
+    pub(crate) fn syntax(line: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            message: message.into(),
+            kind: ParseErrorKind::Syntax,
+        }
+    }
+
+    pub(crate) fn integrity(line: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            message: message.into(),
+            kind: ParseErrorKind::Integrity,
+        }
+    }
+
+    pub(crate) fn io(line: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            message: message.into(),
+            kind: ParseErrorKind::Io,
+        }
+    }
 }
 
 impl std::fmt::Display for ParseError {
@@ -78,6 +139,9 @@ pub struct LenientParse {
     pub trace: Trace,
     /// Skipped lines, in file order.
     pub warnings: Vec<ParseError>,
+    /// Non-blank input lines seen, the denominator for
+    /// [`salvage_percent`](LenientParse::salvage_percent).
+    pub lines_seen: u64,
 }
 
 impl LenientParse {
@@ -90,6 +154,18 @@ impl LenientParse {
             d.record(w.line, w.message.clone());
         }
         d
+    }
+
+    /// Share of non-blank input lines that were skipped, in percent
+    /// (0.0–100.0). Drives `--max-salvage` fail-fast thresholds: a
+    /// mostly-corrupt trace should abort rather than quietly skew a
+    /// report.
+    pub fn salvage_percent(&self) -> f64 {
+        if self.lines_seen == 0 {
+            0.0
+        } else {
+            100.0 * self.warnings.len() as f64 / self.lines_seen as f64
+        }
     }
 }
 
@@ -255,6 +331,39 @@ pub fn write_trace(trace: &Trace) -> String {
     out
 }
 
+/// Serializes a trace like [`write_trace`] and appends the `#integrity`
+/// trailer (per-section record counts plus a CRC-32 of the content), so
+/// readers can detect truncation and bit rot. The sealed bytes are the
+/// plain bytes plus one final line; every reader accepts both forms.
+pub fn write_trace_sealed(trace: &Trace) -> String {
+    let mut out = write_trace(trace);
+    let mut crc = Crc32::new();
+    for raw in out.lines() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        crc.update(line.as_bytes());
+        crc.update(b"\n");
+    }
+    let samples: u64 = trace
+        .host_series
+        .iter()
+        .map(|s| s.samples.len() as u64)
+        .sum();
+    let _ = writeln!(
+        out,
+        "#integrity v1 machines={} jobs={} tasks={} events={} samples={} crc={:08x}",
+        trace.machines.len(),
+        trace.jobs.len(),
+        trace.tasks.len(),
+        trace.events.len(),
+        samples,
+        crc.finalize()
+    );
+    out
+}
+
 pub(crate) struct LineParser<'a> {
     pub(crate) line_no: usize,
     pub(crate) line: &'a str,
@@ -262,10 +371,11 @@ pub(crate) struct LineParser<'a> {
 
 impl<'a> LineParser<'a> {
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError {
-            line: self.line_no,
-            message: message.into(),
-        }
+        ParseError::syntax(self.line_no, message)
+    }
+
+    fn integrity_err(&self, message: impl Into<String>) -> ParseError {
+        ParseError::integrity(self.line_no, message)
     }
 
     /// Splits the line on commas into a stack array — the hot path of
@@ -323,6 +433,79 @@ impl<'a> LineParser<'a> {
     }
 }
 
+/// True for the `#integrity` trailer line (which is excluded from its own
+/// checksum).
+fn is_trailer_line(line: &str) -> bool {
+    line.strip_prefix('#')
+        .is_some_and(|rest| rest.split_whitespace().next() == Some("integrity"))
+}
+
+/// Bumps the corruption counter once per failed trailer verification.
+fn integrity_failed() {
+    cgc_obs::metrics().integrity_failures.add(1);
+}
+
+/// The recorded (or recomputed) contents of an `#integrity` trailer.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct Trailer {
+    machines: u64,
+    jobs: u64,
+    tasks: u64,
+    events: u64,
+    samples: u64,
+    crc: u32,
+}
+
+impl Trailer {
+    /// Parses the words following `#integrity`. `None` on any deviation
+    /// from `v1 machines=M jobs=J tasks=T events=E samples=S crc=HEX`.
+    fn parse<'a>(mut words: impl Iterator<Item = &'a str>) -> Option<Trailer> {
+        if words.next() != Some("v1") {
+            return None;
+        }
+        let mut field =
+            |name: &str| -> Option<&'a str> { words.next()?.strip_prefix(name)?.strip_prefix('=') };
+        let trailer = Trailer {
+            machines: field("machines")?.parse().ok()?,
+            jobs: field("jobs")?.parse().ok()?,
+            tasks: field("tasks")?.parse().ok()?,
+            events: field("events")?.parse().ok()?,
+            samples: field("samples")?.parse().ok()?,
+            crc: u32::from_str_radix(field("crc")?, 16).ok()?,
+        };
+        if words.next().is_some() {
+            return None;
+        }
+        Some(trailer)
+    }
+
+    /// Checks this recorded trailer against the counted one, reporting the
+    /// first disagreement in a fixed order (counts before checksum, so a
+    /// truncated section reads as a count mismatch rather than a CRC one).
+    fn verify(&self, counted: &Trailer) -> Result<(), String> {
+        for (what, recorded, got) in [
+            ("machines", self.machines, counted.machines),
+            ("jobs", self.jobs, counted.jobs),
+            ("tasks", self.tasks, counted.tasks),
+            ("events", self.events, counted.events),
+            ("samples", self.samples, counted.samples),
+        ] {
+            if recorded != got {
+                return Err(format!(
+                    "integrity trailer mismatch: {what} count {got} != recorded {recorded}"
+                ));
+            }
+        }
+        if self.crc != counted.crc {
+            return Err(format!(
+                "integrity checksum mismatch: computed {:08x}, recorded {:08x}",
+                counted.crc, self.crc
+            ));
+        }
+        Ok(())
+    }
+}
+
 #[derive(PartialEq)]
 enum Section {
     Preamble,
@@ -362,6 +545,17 @@ pub(crate) struct ParserState {
     /// to `host_series.last_mut()` only while true).
     series_open: bool,
     section: Section,
+    /// Running CRC-32 over every non-blank line fed so far (trimmed,
+    /// `\n`-terminated), excluding the `#integrity` trailer itself.
+    crc: Crc32,
+    /// Total events accepted, surviving batch drains (the `events` vector
+    /// itself is handed off by the streaming reader).
+    events_seen: u64,
+    /// Total usage samples accepted, surviving batch drains.
+    samples_seen: u64,
+    /// Whether an `#integrity` trailer line was encountered (verified or
+    /// not); any further content is an error.
+    trailer_seen: bool,
 }
 
 impl ParserState {
@@ -380,7 +574,17 @@ impl ParserState {
             host_series: Vec::new(),
             series_open: false,
             section: Section::Preamble,
+            crc: Crc32::new(),
+            events_seen: 0,
+            samples_seen: 0,
+            trailer_seen: false,
         }
+    }
+
+    /// Whether a (successfully verified, in strict mode) `#integrity`
+    /// trailer was present — [`read_trace_verified`] requires it.
+    pub(crate) fn trailer_seen(&self) -> bool {
+        self.trailer_seen
     }
 
     pub(crate) fn system(&self) -> &str {
@@ -440,6 +644,13 @@ impl ParserState {
     }
 
     pub(crate) fn line(&mut self, p: &LineParser<'_>, line: &str) -> Result<(), ParseError> {
+        if self.trailer_seen {
+            return Err(p.integrity_err("data after #integrity trailer"));
+        }
+        if !is_trailer_line(line) {
+            self.crc.update(line.as_bytes());
+            self.crc.update(b"\n");
+        }
         if let Some(rest) = line.strip_prefix('#') {
             return self.header(p, rest);
         }
@@ -495,6 +706,25 @@ impl ParserState {
                 self.host_series
                     .push(HostSeries::new(MachineId(machine), start, period));
                 self.series_open = true;
+            }
+            Some("integrity") => {
+                self.trailer_seen = true;
+                let recorded = Trailer::parse(words).ok_or_else(|| {
+                    integrity_failed();
+                    p.integrity_err("malformed #integrity trailer")
+                })?;
+                let counted = Trailer {
+                    machines: (self.machines_drained + self.machines.len()) as u64,
+                    jobs: (self.jobs_drained + self.jobs.len()) as u64,
+                    tasks: (self.tasks_drained + self.tasks.len()) as u64,
+                    events: self.events_seen,
+                    samples: self.samples_seen,
+                    crc: self.crc.finalize(),
+                };
+                if let Err(message) = recorded.verify(&counted) {
+                    integrity_failed();
+                    return Err(p.integrity_err(message));
+                }
             }
             other => return Err(p.err(format!("unknown section {other:?}"))),
         }
@@ -617,6 +847,7 @@ impl ParserState {
             },
             kind,
         });
+        self.events_seen += 1;
         Ok(())
     }
 
@@ -643,6 +874,7 @@ impl ParserState {
             },
             page_cache: p.parse_f64(f[9], "page cache")?,
         });
+        self.samples_seen += 1;
         Ok(())
     }
 
@@ -661,11 +893,12 @@ impl ParserState {
 
 /// Feeds every non-blank line to `st`, routing per-line errors through
 /// `sink` — which either aborts (strict) or records a warning (lenient).
+/// Returns the number of non-blank lines seen.
 fn parse_lines(
     text: &str,
     st: &mut ParserState,
     mut sink: impl FnMut(ParseError) -> Result<(), ParseError>,
-) -> Result<(), ParseError> {
+) -> Result<u64, ParseError> {
     let mut tally = IngestTally::new();
     tally.bytes = text.len() as u64;
     for (i, raw) in text.lines().enumerate() {
@@ -682,7 +915,7 @@ fn parse_lines(
             sink(e)?;
         }
     }
-    Ok(())
+    Ok(tally.lines)
 }
 
 /// Parses a trace previously produced by [`write_trace`], strictly: the
@@ -695,6 +928,25 @@ pub fn read_trace(text: &str) -> Result<Trace, ParseError> {
     let _span = cgc_obs::span(cgc_obs::stages::READ);
     let mut st = ParserState::new();
     parse_lines(text, &mut st, Err)?;
+    Ok(st.finish())
+}
+
+/// Like [`read_trace`], but additionally *requires* the `#integrity`
+/// trailer written by [`write_trace_sealed`]. A trace that parses cleanly
+/// yet lacks the trailer — the signature of a file truncated at a line
+/// boundary, which plain parsing cannot distinguish from a short but
+/// intact trace — is rejected with [`ParseErrorKind::Integrity`].
+pub fn read_trace_verified(text: &str) -> Result<Trace, ParseError> {
+    let _span = cgc_obs::span(cgc_obs::stages::READ);
+    let mut st = ParserState::new();
+    let lines = parse_lines(text, &mut st, Err)?;
+    if !st.trailer_seen() {
+        integrity_failed();
+        return Err(ParseError::integrity(
+            lines as usize + 1,
+            "missing #integrity trailer (truncated or unsealed trace)",
+        ));
+    }
     Ok(st.finish())
 }
 
@@ -711,14 +963,16 @@ pub fn read_trace_lenient(text: &str) -> LenientParse {
     let _span = cgc_obs::span(cgc_obs::stages::READ);
     let mut st = ParserState::new();
     let mut warnings = Vec::new();
-    let _ = parse_lines(text, &mut st, |e| {
+    let lines_seen = parse_lines(text, &mut st, |e| {
         warnings.push(e);
         Ok(())
-    });
+    })
+    .unwrap_or(0);
     cgc_obs::metrics().lines_salvaged.add(warnings.len() as u64);
     LenientParse {
         trace: st.finish(),
         warnings,
+        lines_seen,
     }
 }
 
@@ -730,7 +984,7 @@ fn parse_reader<R: std::io::BufRead>(
     mut reader: R,
     st: &mut ParserState,
     mut sink: impl FnMut(ParseError) -> Result<(), ParseError>,
-) -> Result<(), ParseError> {
+) -> Result<u64, ParseError> {
     let mut tally = IngestTally::new();
     let mut buf = String::new();
     let mut line_no = 0usize;
@@ -738,16 +992,13 @@ fn parse_reader<R: std::io::BufRead>(
         buf.clear();
         line_no += 1;
         match reader.read_line(&mut buf) {
-            Ok(0) => return Ok(()),
+            Ok(0) => return Ok(tally.lines),
             Ok(n) => tally.bytes += n as u64,
             Err(e) => {
                 // The stream position is unreliable after a read error;
                 // report and stop rather than risk spinning.
-                sink(ParseError {
-                    line: line_no,
-                    message: format!("read error: {e}"),
-                })?;
-                return Ok(());
+                sink(ParseError::io(line_no, format!("read error: {e}")))?;
+                return Ok(tally.lines);
             }
         }
         let line = buf.trim();
@@ -777,14 +1028,16 @@ pub fn read_trace_lenient_from<R: std::io::BufRead>(reader: R) -> LenientParse {
     let _span = cgc_obs::span(cgc_obs::stages::READ);
     let mut st = ParserState::new();
     let mut warnings = Vec::new();
-    let _ = parse_reader(reader, &mut st, |e| {
+    let lines_seen = parse_reader(reader, &mut st, |e| {
         warnings.push(e);
         Ok(())
-    });
+    })
+    .unwrap_or(0);
     cgc_obs::metrics().lines_salvaged.add(warnings.len() as u64);
     LenientParse {
         trace: st.finish(),
         warnings,
+        lines_seen,
     }
 }
 
@@ -876,6 +1129,12 @@ fn route(text: &str) -> (String, u64, Vec<Routed<'_>>, Option<ParseError>) {
     let mut horizon = 0u64;
     let mut section: Option<DataSection> = None;
     let mut machine_lines = 0usize;
+    let mut job_lines = 0u64;
+    let mut task_lines = 0u64;
+    let mut event_lines = 0u64;
+    let mut sample_lines = 0u64;
+    let mut trailer_seen = false;
+    let mut crc = Crc32::new();
     let mut items = Vec::new();
     // Routing stops at the first header-level error but keeps everything
     // routed so far: an error on an *earlier* data line must win, and only
@@ -892,6 +1151,14 @@ fn route(text: &str) -> (String, u64, Vec<Routed<'_>>, Option<ParseError>) {
         tally.lines += 1;
         let line_no = i + 1;
         let p = LineParser { line_no, line };
+        if trailer_seen {
+            abort = Some(p.integrity_err("data after #integrity trailer"));
+            break;
+        }
+        if !is_trailer_line(line) {
+            crc.update(line.as_bytes());
+            crc.update(b"\n");
+        }
         let Some(rest) = line.strip_prefix('#') else {
             match section {
                 None => {
@@ -899,8 +1166,12 @@ fn route(text: &str) -> (String, u64, Vec<Routed<'_>>, Option<ParseError>) {
                     break;
                 }
                 Some(sec) => {
-                    if sec == DataSection::Machines {
-                        machine_lines += 1;
+                    match sec {
+                        DataSection::Machines => machine_lines += 1,
+                        DataSection::Jobs => job_lines += 1,
+                        DataSection::Tasks => task_lines += 1,
+                        DataSection::Events => event_lines += 1,
+                        DataSection::Series => sample_lines += 1,
                     }
                     items.push(Routed::Data {
                         line_no,
@@ -955,6 +1226,29 @@ fn route(text: &str) -> (String, u64, Vec<Routed<'_>>, Option<ParseError>) {
                         start,
                         period,
                     });
+                }
+                Some("integrity") => {
+                    trailer_seen = true;
+                    let recorded = Trailer::parse(words).ok_or_else(|| {
+                        integrity_failed();
+                        p.integrity_err("malformed #integrity trailer")
+                    })?;
+                    // Verified against the *raw* per-section line counts:
+                    // they can only differ from the parsed counts when an
+                    // earlier data line is broken, and that earlier error
+                    // wins during the merge anyway.
+                    let counted = Trailer {
+                        machines: machine_lines as u64,
+                        jobs: job_lines,
+                        tasks: task_lines,
+                        events: event_lines,
+                        samples: sample_lines,
+                        crc: crc.finalize(),
+                    };
+                    if let Err(message) = recorded.verify(&counted) {
+                        integrity_failed();
+                        return Err(p.integrity_err(message));
+                    }
                 }
                 other => return Err(p.err(format!("unknown section {other:?}"))),
             }
@@ -1190,10 +1484,7 @@ pub fn read_trace_parallel(text: &str) -> Result<Trace, ParseError> {
                 line_no, section, ..
             } => (*line_no, *section),
         };
-        let err_at = |message: String| ParseError {
-            line: line_no,
-            message,
-        };
+        let err_at = |message: String| ParseError::syntax(line_no, message);
         let dense = |id: u32, have: usize, what: &str| -> Result<(), ParseError> {
             if id as usize != have {
                 Err(err_at(format!(
@@ -1548,6 +1839,105 @@ mod tests {
         }
     }
 
+    #[test]
+    fn sealed_trace_round_trips_and_verifies() {
+        for trace in [
+            sample_trace(),
+            resubmitted_trace(),
+            TraceBuilder::new("empty", 100).build().unwrap(),
+        ] {
+            let text = write_trace_sealed(&trace);
+            assert_eq!(read_trace(&text).unwrap(), trace);
+            assert_eq!(read_trace_verified(&text).unwrap(), trace);
+            assert_eq!(read_trace_parallel(&text).unwrap(), trace);
+            let lenient = read_trace_lenient(&text);
+            assert!(lenient.warnings.is_empty());
+            assert_eq!(lenient.trace, trace);
+        }
+    }
+
+    #[test]
+    fn verified_reader_requires_the_trailer() {
+        let text = write_trace(&sample_trace());
+        assert!(read_trace(&text).is_ok());
+        let err = read_trace_verified(&text).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::Integrity);
+        assert!(err.message.contains("missing #integrity"));
+    }
+
+    #[test]
+    fn flipped_byte_fails_the_checksum() {
+        let text = write_trace_sealed(&sample_trace());
+        // 0.75 is the sample machine's memory capacity: a content change
+        // that still parses as a valid float.
+        let corrupt = text.replacen("0.75", "0.76", 1);
+        let err = read_trace(&corrupt).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::Integrity);
+        assert!(err.message.contains("checksum mismatch"), "{}", err.message);
+        // Lenient mode keeps the records but reports the corruption.
+        let lenient = read_trace_lenient(&corrupt);
+        assert_eq!(lenient.warnings.len(), 1);
+        assert_eq!(lenient.warnings[0].kind, ParseErrorKind::Integrity);
+        assert_eq!(lenient.trace.machines.len(), 1);
+    }
+
+    #[test]
+    fn truncated_sealed_trace_fails_counts_before_crc() {
+        let text = write_trace_sealed(&sample_trace());
+        // Drop the sample line (the last data line before the trailer).
+        let cut: String = text
+            .lines()
+            .filter(|l| !l.starts_with("0.01,"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let err = read_trace(&cut).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::Integrity);
+        assert!(
+            err.message.contains("samples count 0 != recorded 1"),
+            "{}",
+            err.message
+        );
+    }
+
+    #[test]
+    fn data_after_trailer_rejected() {
+        let mut text = write_trace_sealed(&sample_trace());
+        text.push_str("#machines\n");
+        let err = read_trace(&text).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::Integrity);
+        assert!(err.message.contains("after #integrity"));
+    }
+
+    #[test]
+    fn malformed_and_unsupported_trailers_rejected() {
+        for tail in [
+            "#integrity\n",
+            "#integrity v2 machines=0 jobs=0 tasks=0 events=0 samples=0 crc=0\n",
+            "#integrity v1 machines=0 jobs=0\n",
+            "#integrity v1 machines=0 jobs=0 tasks=0 events=0 samples=0 crc=zz\n",
+        ] {
+            let text = format!("#trace x 10\n{tail}");
+            let err = read_trace(&text).unwrap_err();
+            assert_eq!(err.kind, ParseErrorKind::Integrity, "{tail:?}");
+        }
+    }
+
+    #[test]
+    fn sealed_trace_survives_truncation_at_every_byte() {
+        let text = write_trace_sealed(&resubmitted_trace());
+        // Never panics, and strict verification never accepts a proper
+        // prefix as complete. (Cutting only the final newline leaves the
+        // content bit-for-bit intact, so that cut is excluded.)
+        for cut in 0..text.len() - 1 {
+            let _ = read_trace_lenient(&text[..cut]);
+            assert!(
+                read_trace_verified(&text[..cut]).is_err(),
+                "cut={cut} accepted a truncated sealed trace"
+            );
+        }
+        assert!(read_trace_verified(&text).is_ok());
+    }
+
     /// Every input a reader test in this module exercises, plus a few
     /// extra torture cases — used to pin the streaming and parallel
     /// readers to the in-memory sequential one, error-for-error.
@@ -1601,6 +1991,36 @@ mod tests {
         );
         // Blank and whitespace-only lines sprinkled in.
         inputs.push(write_trace(&sample_trace()).replace("#jobs", "\n  \n#jobs\n"));
+        // Integrity trailers: valid, corrupted content, truncated content,
+        // bad counts, malformed, duplicated, and trailing data.
+        let sealed = write_trace_sealed(&sample_trace());
+        inputs.push(sealed.clone());
+        inputs.push(write_trace_sealed(&resubmitted_trace()));
+        inputs.push(write_trace_sealed(
+            &TraceBuilder::new("empty", 100).build().unwrap(),
+        ));
+        inputs.push(sealed.replacen("0.75", "0.76", 1));
+        inputs.push(
+            sealed
+                .lines()
+                .filter(|l| !l.starts_with("0.01,"))
+                .map(|l| format!("{l}\n"))
+                .collect(),
+        );
+        inputs.push(format!("{sealed}#machines\n"));
+        inputs.push(format!("{sealed}{sealed}"));
+        inputs.push("#integrity\n".into());
+        inputs.push(
+            "#trace x 10\n#integrity v1 machines=9 jobs=0 tasks=0 events=0 samples=0 crc=0\n"
+                .into(),
+        );
+        inputs.push(
+            "#trace x 10\n#integrity v2 machines=0 jobs=0 tasks=0 events=0 samples=0 crc=0\n"
+                .into(),
+        );
+        // A corrupt data line *and* a consequently stale trailer: the data
+        // error must win in every reader.
+        inputs.push(sealed.replacen("#machines\n0,", "#machines\nbroken\n0,", 1));
         inputs
     }
 

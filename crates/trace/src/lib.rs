@@ -19,8 +19,10 @@
 //! * host load is reported as periodic usage samples
 //!   ([`usage::UsageSample`], 5-minute period in the original trace).
 
+pub mod chaos;
 pub mod clusterdata;
 pub mod ids;
+pub mod integrity;
 pub mod io;
 pub mod job;
 pub mod machine;
@@ -35,10 +37,12 @@ pub mod timeline;
 pub mod trace;
 pub mod usage;
 
+pub use chaos::{ChaosReader, ChaosWriter, Fault, FaultPlan};
 pub use ids::{JobId, MachineId, TaskId, UserId};
+pub use integrity::{crc32, write_atomic, write_atomic_with, Crc32};
 pub use io::{
     read_trace, read_trace_from, read_trace_lenient, read_trace_lenient_from, read_trace_parallel,
-    write_trace, LenientParse, ParseError,
+    read_trace_verified, write_trace, write_trace_sealed, LenientParse, ParseError, ParseErrorKind,
 };
 pub use job::JobRecord;
 pub use machine::{MachineRecord, CPU_CAPACITY_CLASSES, MEMORY_CAPACITY_CLASSES};

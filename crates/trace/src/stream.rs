@@ -153,10 +153,10 @@ impl<R: BufRead> Iterator for TraceBatches<R> {
                     // position is unreliable after a read error, so
                     // report and stop.
                     self.done = true;
-                    return Some(Err(ParseError {
-                        line: self.line_no,
-                        message: format!("read error: {e}"),
-                    }));
+                    return Some(Err(ParseError::io(
+                        self.line_no,
+                        format!("read error: {e}"),
+                    )));
                 }
             }
             let line = self.buf.trim();
@@ -317,6 +317,44 @@ mod tests {
             .map(|b| b.expect("well-formed").samples)
             .sum();
         assert_eq!(total, 4);
+    }
+
+    /// A sealed trace streams exactly like the plain one — the trailer is
+    /// verified as it is reached (counts survive every batch drain) and
+    /// carries no records.
+    #[test]
+    fn sealed_trace_streams_and_verifies() {
+        use crate::io::write_trace_sealed;
+        let trace = sample_trace();
+        let text = write_trace_sealed(&trace);
+        for batch_records in [1, 7, 1 << 20] {
+            let total: usize =
+                TraceBatches::with_batch_records(std::io::Cursor::new(&text), batch_records)
+                    .map(|b| b.expect("sealed trace is well-formed").records())
+                    .sum();
+            let whole = read_trace(&text).unwrap();
+            assert_eq!(
+                total,
+                whole.machines.len()
+                    + whole.jobs.len()
+                    + whole.tasks.len()
+                    + whole.events.len()
+                    + whole
+                        .host_series
+                        .iter()
+                        .map(|s| s.samples.len())
+                        .sum::<usize>()
+            );
+        }
+        // A flipped payload byte fails the stream at the trailer with the
+        // strict reader's exact error.
+        let corrupt = text.replacen("0.75", "0.85", 1);
+        let want = read_trace(&corrupt).expect_err("checksum must fail");
+        assert_eq!(want.kind, crate::io::ParseErrorKind::Integrity);
+        let got = TraceBatches::with_batch_records(std::io::Cursor::new(&corrupt), 2)
+            .find_map(|b| b.err())
+            .expect("streaming parser must reject too");
+        assert_eq!(got, want);
     }
 
     /// Empty input yields exactly one empty batch.

@@ -1,0 +1,229 @@
+//! Chaos-injection suite: every injected I/O fault must end in a clean
+//! typed error or a documented salvage — never a panic and never
+//! silently wrong output.
+//!
+//! A seeded fault matrix (`FaultPlan::from_seed`) drives a sealed trace
+//! through truncation, bit flips, short reads, mid-stream read errors,
+//! and interrupted writes. The invariants, per fault class:
+//!
+//! - **Truncate / BitFlip**: [`read_trace_verified`] either reproduces
+//!   the clean trace exactly or returns a typed [`ParseError`]; it never
+//!   accepts corrupted bytes. The lenient reader may salvage, but if it
+//!   reports *zero* warnings while the `#integrity` trailer survived,
+//!   the salvage must equal the clean trace. (Truncation that lands on a
+//!   line boundary removes the trailer along with the tail — exactly the
+//!   case that `read_trace_verified` exists to catch, and the documented
+//!   limit of lenient salvage.)
+//! - **ShortReads**: content is intact, so the streaming reader must
+//!   reproduce the clean trace regardless of read sizes.
+//! - **ReadError**: the streaming reader must surface a typed error.
+//! - **InterruptWrite**: [`write_atomic_with`] must leave a pre-existing
+//!   target byte-identical and leave no temp-file litter behind.
+
+use cloudgrid::gen::{FleetConfig, GoogleWorkload};
+use cloudgrid::sim::{FaultConfig, SimConfig, Simulator};
+use cloudgrid::trace::io::{read_trace, read_trace_lenient, read_trace_verified};
+use cloudgrid::trace::{
+    read_trace_from, write_atomic_with, write_trace_sealed, ChaosReader, ChaosWriter, Fault,
+    FaultPlan, Trace,
+};
+use proptest::prelude::*;
+use std::io::{BufReader, Write};
+use std::path::Path;
+use std::sync::OnceLock;
+
+/// Seeds 0..MATRIX_SEEDS cover every fault class (the class cycles with
+/// `seed % 5`) at positions spread over the whole artifact.
+const MATRIX_SEEDS: u64 = 200;
+
+struct Fixture {
+    trace: Trace,
+    sealed: Vec<u8>,
+}
+
+/// One small simulated trace, sealed, shared by every test.
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let workload = GoogleWorkload::scaled(20, 3_600).generate(3);
+        let config = SimConfig::google(FleetConfig::google(20)).with_faults(FaultConfig::google());
+        let trace = Simulator::new(config).run(&workload);
+        let sealed = write_trace_sealed(&trace).into_bytes();
+        Fixture { trace, sealed }
+    })
+}
+
+/// Whether the `#integrity` trailer survived the corruption as a line.
+fn has_trailer(text: &str) -> bool {
+    text.lines().any(|l| l.trim().starts_with("#integrity"))
+}
+
+/// The Truncate/BitFlip invariants on one corrupted byte buffer.
+fn check_corrupted_bytes(seed: u64, corrupted: &[u8]) {
+    let clean = &fixture().trace;
+    match std::str::from_utf8(corrupted) {
+        Ok(text) => {
+            // Verified read: clean reproduction or typed error — nothing
+            // in between. (Formatting the error exercises Display.)
+            match read_trace_verified(text) {
+                Ok(trace) => assert_eq!(
+                    &trace, clean,
+                    "seed {seed}: verified read accepted corrupted bytes"
+                ),
+                Err(e) => {
+                    let _ = e.to_string();
+                }
+            }
+            // The plain strict reader has no trailer to lean on when
+            // truncation removed it; it must still never panic.
+            let _ = read_trace(text);
+            // Lenient salvage: a silent (warning-free) parse with the
+            // trailer still present must be the clean trace.
+            let parsed = read_trace_lenient(text);
+            if parsed.warnings.is_empty() && has_trailer(text) {
+                assert_eq!(
+                    &parsed.trace, clean,
+                    "seed {seed}: lenient read salvaged silently-wrong output"
+                );
+            }
+        }
+        Err(_) => {
+            // The flip produced invalid UTF-8; the byte-stream reader
+            // must reject it with a typed error, not panic.
+            assert!(
+                read_trace_from(corrupted).is_err(),
+                "seed {seed}: invalid UTF-8 was accepted"
+            );
+        }
+    }
+}
+
+#[test]
+fn seeded_fault_matrix_never_panics_or_lies() {
+    let fx = fixture();
+    let dir = std::env::temp_dir().join(format!("cgc-chaos-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for seed in 0..MATRIX_SEEDS {
+        let plan = FaultPlan::from_seed(seed, fx.sealed.len());
+        match plan.fault {
+            Fault::Truncate { .. } | Fault::BitFlip { .. } => {
+                let corrupted = cloudgrid::trace::chaos::corrupt(&fx.sealed, plan.fault);
+                check_corrupted_bytes(seed, &corrupted);
+            }
+            Fault::ShortReads { .. } => {
+                // Dribbling reads change nothing about the content.
+                let reader = ChaosReader::new(&fx.sealed[..], plan.fault);
+                let trace = read_trace_from(BufReader::new(reader))
+                    .unwrap_or_else(|e| panic!("seed {seed}: short reads broke the parse: {e}"));
+                assert_eq!(
+                    trace, fx.trace,
+                    "seed {seed}: short reads changed the trace"
+                );
+            }
+            Fault::ReadError { .. } => {
+                let reader = ChaosReader::new(&fx.sealed[..], plan.fault);
+                let err = read_trace_from(BufReader::new(reader))
+                    .expect_err("a mid-stream read error must surface");
+                let _ = err.to_string();
+            }
+            Fault::InterruptWrite { .. } => {
+                check_interrupted_write(&dir, seed, plan.fault);
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A torn write through the atomic writer must leave the pre-existing
+/// target intact and clean up its temp file.
+fn check_interrupted_write(dir: &Path, seed: u64, fault: Fault) {
+    let target = dir.join(format!("target-{seed}.cgct"));
+    let original = b"previous checkpointed artifact, must survive torn writes";
+    std::fs::write(&target, original).unwrap();
+
+    let payload = &fixture().sealed;
+    let result = write_atomic_with(&target, |w| {
+        let mut chaos = ChaosWriter::new(w, fault);
+        chaos.write_all(payload)?;
+        chaos.flush()
+    });
+    assert!(
+        result.is_err(),
+        "seed {seed}: the injected write fault must abort the write"
+    );
+    assert_eq!(
+        std::fs::read(&target).unwrap(),
+        original,
+        "seed {seed}: a torn write damaged the existing artifact"
+    );
+    let litter: Vec<String> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".tmp"))
+        .collect();
+    assert!(
+        litter.is_empty(),
+        "seed {seed}: temp-file litter left behind: {litter:?}"
+    );
+    let _ = std::fs::remove_file(&target);
+}
+
+#[test]
+fn fault_free_chaos_wrappers_are_transparent() {
+    // The seam itself must be invisible when no fault fires: a reader
+    // with a fault positioned past EOF delivers identical bytes.
+    let fx = fixture();
+    let reader = ChaosReader::new(
+        &fx.sealed[..],
+        Fault::Truncate {
+            at: fx.sealed.len(),
+        },
+    );
+    let trace = read_trace_from(BufReader::new(reader)).expect("no fault fires");
+    assert_eq!(trace, fx.trace);
+}
+
+#[test]
+fn integrity_failures_are_counted() {
+    // The recovery counters feed `--metrics`: a failed verification must
+    // move `integrity_failures`. Other tests may bump it concurrently, so
+    // assert growth, not an exact value.
+    let fx = fixture();
+    let text = std::str::from_utf8(&fx.sealed).unwrap();
+    let broken = text.replace("#integrity v1", "#integrity v1 machines=9999");
+    cloudgrid::obs::set_enabled(true);
+    let before = cloudgrid::obs::metrics().integrity_failures.get();
+    assert!(read_trace_verified(&broken).is_err());
+    let after = cloudgrid::obs::metrics().integrity_failures.get();
+    assert!(
+        after > before,
+        "integrity_failures did not move ({before} -> {after})"
+    );
+}
+
+proptest! {
+    /// Truncation at *every* byte offset (not just the seeded matrix
+    /// positions): the verified reader never accepts a prefix as the
+    /// whole artifact, and the lenient reader never salvages
+    /// silently-wrong output while the trailer is present.
+    #[test]
+    fn truncation_at_any_offset_is_caught(idx in any::<prop::sample::Index>()) {
+        let fx = fixture();
+        let at = idx.index(fx.sealed.len());
+        let corrupted = cloudgrid::trace::chaos::corrupt(&fx.sealed, Fault::Truncate { at });
+        // Reuse the matrix invariants; `u64::MAX` tags proptest cases in
+        // failure messages.
+        check_corrupted_bytes(u64::MAX, &corrupted);
+        // Cutting at `len - 1` only drops the final newline, which does
+        // not change any line's content; every deeper cut damages or
+        // removes the trailer and must be refused outright.
+        if at + 1 < fx.sealed.len() {
+            let text = std::str::from_utf8(&corrupted).unwrap();
+            prop_assert!(
+                read_trace_verified(text).is_err(),
+                "a strict verified read accepted a truncated artifact (cut at {})", at
+            );
+        }
+    }
+}

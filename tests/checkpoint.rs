@@ -1,0 +1,210 @@
+//! Crash-safe resume determinism.
+//!
+//! Extends the determinism contract of `tests/determinism.rs` to the
+//! checkpoint/restore path: a run interrupted at any checkpoint boundary
+//! and resumed later must produce **byte-identical** trace output — and a
+//! byte-identical telemetry bundle — to an uninterrupted run, on any
+//! worker thread count. Also pins that checkpointing itself is a pure
+//! observer (a checkpointed run emits the reference bytes) and that
+//! resuming against the wrong scenario or a corrupt file yields a typed
+//! error instead of silently-wrong output.
+//!
+//! Tests here never use `CheckpointOptions::die_after` — it aborts the
+//! whole process by design (the CI chaos-smoke job exercises it on the
+//! `gen_trace` binary instead). Multi-cut-point coverage comes from
+//! `retain_all`, which keeps every boundary as `<path>.<t>`.
+
+use cloudgrid::gen::{FleetConfig, GoogleWorkload};
+use cloudgrid::sim::{
+    load_checkpoint, CheckpointError, CheckpointOptions, FaultConfig, SimConfig, Simulator,
+};
+use cloudgrid::trace::io::write_trace;
+use std::path::PathBuf;
+
+const MACHINES: usize = 60;
+const HORIZON: u64 = 6 * 3_600;
+/// Checkpoint interval: boundaries land at t = 7200 and t = 14400.
+const EVERY: u64 = 2 * 3_600;
+const CUT_POINTS: [u64; 2] = [7_200, 14_400];
+const TELEMETRY_INTERVAL: u64 = 300;
+
+/// Same scenario as `tests/determinism.rs`, faults on: the scripted
+/// outage exercises the fault/blacklist state across checkpoints too.
+fn google_config() -> SimConfig {
+    SimConfig::google(FleetConfig::google(MACHINES))
+        .with_faults(FaultConfig::google().with_outage(1, 3_600, 900))
+}
+
+fn workload() -> cloudgrid::gen::Workload {
+    GoogleWorkload::scaled(MACHINES, HORIZON).generate(7)
+}
+
+/// A per-test checkpoint path under the system temp dir (tests in this
+/// binary run concurrently; names must not collide).
+fn ckpt_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("cgc-test-{tag}-{}.ckpt", std::process::id()))
+}
+
+fn cleanup(path: &PathBuf) {
+    let _ = std::fs::remove_file(path);
+    for at in CUT_POINTS {
+        let mut name = path.clone().into_os_string();
+        name.push(format!(".{at}"));
+        let _ = std::fs::remove_file(PathBuf::from(name));
+    }
+}
+
+#[test]
+fn resumed_runs_are_byte_identical_across_cut_points_and_threads() {
+    let workload = workload();
+    for shards in [1usize, 4] {
+        // Uninterrupted reference: trace bytes and telemetry bundle.
+        let config = google_config().with_shards(shards).with_threads(1);
+        let (ref_trace, ref_bundle) =
+            Simulator::new(config.clone()).run_with_telemetry(&workload, TELEMETRY_INTERVAL);
+        let ref_text = write_trace(&ref_trace);
+        let ref_json = serde_json::to_string_pretty(&ref_bundle).expect("bundle serializes");
+
+        // A checkpointed run must emit the same bytes (checkpointing is a
+        // pure observer), while retaining every boundary on disk.
+        let path = ckpt_path(&format!("resume-s{shards}"));
+        let options = CheckpointOptions {
+            path: path.clone(),
+            every: EVERY,
+            retain_all: true,
+            die_after: None,
+        };
+        let (trace, bundle) = Simulator::new(config)
+            .run_checkpointed(&workload, Some(TELEMETRY_INTERVAL), Some(&options), None)
+            .expect("checkpointed run succeeds");
+        assert_eq!(
+            write_trace(&trace),
+            ref_text,
+            "shards={shards}: checkpointing altered the trace"
+        );
+        let json = serde_json::to_string_pretty(&bundle.expect("telemetry requested"))
+            .expect("bundle serializes");
+        assert_eq!(
+            json, ref_json,
+            "shards={shards}: checkpointing altered the telemetry bundle"
+        );
+
+        // Resume from each retained boundary, on several thread counts:
+        // trace AND bundle must reproduce the reference byte for byte.
+        for at in CUT_POINTS {
+            let mut name = path.clone().into_os_string();
+            name.push(format!(".{at}"));
+            let ckpt = load_checkpoint(&PathBuf::from(name)).expect("boundary file loads");
+            assert_eq!(ckpt.at, at);
+            for threads in [1usize, 2, 8] {
+                let config = google_config().with_shards(shards).with_threads(threads);
+                let (trace, bundle) = Simulator::new(config)
+                    .run_checkpointed(&workload, Some(TELEMETRY_INTERVAL), None, Some(&ckpt))
+                    .expect("resume succeeds");
+                assert_eq!(
+                    write_trace(&trace),
+                    ref_text,
+                    "shards={shards} cut={at} threads={threads}: resumed trace diverged"
+                );
+                let json = serde_json::to_string_pretty(&bundle.expect("telemetry requested"))
+                    .expect("bundle serializes");
+                assert_eq!(
+                    json, ref_json,
+                    "shards={shards} cut={at} threads={threads}: resumed bundle diverged"
+                );
+            }
+        }
+        cleanup(&path);
+    }
+}
+
+#[test]
+fn plain_runs_resume_without_telemetry_too() {
+    // The telemetry-free path: `run()` is the reference, the resumed run
+    // carries no probe, and the bundle slot stays empty.
+    let workload = workload();
+    let config = google_config();
+    let reference = write_trace(&Simulator::new(config.clone()).run(&workload));
+
+    let path = ckpt_path("plain");
+    let options = CheckpointOptions {
+        path: path.clone(),
+        every: EVERY,
+        retain_all: false,
+        die_after: None,
+    };
+    let (trace, bundle) = Simulator::new(config.clone())
+        .run_checkpointed(&workload, None, Some(&options), None)
+        .expect("checkpointed run succeeds");
+    assert!(bundle.is_none());
+    assert_eq!(write_trace(&trace), reference);
+
+    // The main path holds the *latest* boundary; resuming it reproduces
+    // the reference bytes.
+    let ckpt = load_checkpoint(&path).expect("checkpoint loads");
+    assert_eq!(ckpt.at, *CUT_POINTS.last().unwrap());
+    let (trace, bundle) = Simulator::new(config)
+        .run_checkpointed(&workload, None, None, Some(&ckpt))
+        .expect("resume succeeds");
+    assert!(bundle.is_none());
+    assert_eq!(write_trace(&trace), reference);
+    cleanup(&path);
+}
+
+#[test]
+fn checkpoint_plumbing_is_inert_when_disabled() {
+    // `run_checkpointed(None, None)` must take the exact code path `run()`
+    // takes: no fingerprinting, no boundaries, identical bytes.
+    let workload = workload();
+    let reference = write_trace(&Simulator::new(google_config()).run(&workload));
+    let (trace, bundle) = Simulator::new(google_config())
+        .run_checkpointed(&workload, None, None, None)
+        .expect("no checkpointing, no error path");
+    assert!(bundle.is_none());
+    assert_eq!(write_trace(&trace), reference);
+}
+
+#[test]
+fn resuming_the_wrong_scenario_is_refused() {
+    let workload = workload();
+    let path = ckpt_path("mismatch");
+    let options = CheckpointOptions {
+        path: path.clone(),
+        every: EVERY,
+        retain_all: false,
+        die_after: None,
+    };
+    Simulator::new(google_config())
+        .run_checkpointed(&workload, None, Some(&options), None)
+        .expect("checkpointed run succeeds");
+    let ckpt = load_checkpoint(&path).expect("checkpoint loads");
+
+    // A different seed is a different scenario.
+    let err = Simulator::new(google_config().with_seed(99))
+        .run_checkpointed(&workload, None, None, Some(&ckpt))
+        .expect_err("wrong seed must be refused");
+    assert!(matches!(err, CheckpointError::Mismatch(_)), "{err}");
+
+    // A different shard count is a different model.
+    let err = Simulator::new(google_config().with_shards(4))
+        .run_checkpointed(&workload, None, None, Some(&ckpt))
+        .expect_err("wrong shard count must be refused");
+    assert!(matches!(err, CheckpointError::Mismatch(_)), "{err}");
+
+    // Telemetry on/off must match what the interrupted run recorded.
+    let err = Simulator::new(google_config())
+        .run_checkpointed(&workload, Some(TELEMETRY_INTERVAL), None, Some(&ckpt))
+        .expect_err("telemetry mismatch must be refused");
+    assert!(matches!(err, CheckpointError::Mismatch(_)), "{err}");
+
+    // A flipped byte in the file is caught before any of that.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+    match load_checkpoint(&path) {
+        Err(CheckpointError::Corrupt(_)) => {}
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+    cleanup(&path);
+}

@@ -87,6 +87,83 @@ fn swf_trace_statistics_are_internally_consistent() {
 }
 
 #[test]
+fn truncated_swf_input_yields_typed_errors_never_panics() {
+    // SWF carries no integrity trailer, so a truncation that lands on a
+    // line boundary legitimately parses as a shorter log; every mid-line
+    // cut must surface as a typed `SwfError` — and no cut may panic.
+    let text = sample_log(30);
+    let whole = parse_swf(&text).expect("the intact log parses");
+    for at in 0..text.len() {
+        match parse_swf(&text[..at]) {
+            Ok(jobs) => assert!(
+                jobs.len() <= whole.len(),
+                "cut at {at}: a prefix cannot contain more jobs"
+            ),
+            Err(e) => {
+                assert!(
+                    e.message.contains("18 fields") || e.message.contains("invalid"),
+                    "cut at {at}: unexpected error {e}"
+                );
+                assert!(e.line >= 1 && e.line <= text.lines().count());
+            }
+        }
+    }
+}
+
+#[test]
+fn garbled_swf_fields_carry_line_numbers() {
+    // A short line reports the field count it found…
+    let err = parse_swf("; header\n1 2 3 4 5\n").unwrap_err();
+    assert_eq!(err.line, 2);
+    assert!(err.message.contains("expected 18 fields"), "{err}");
+    // …and a non-numeric field names itself, with the 1-based line.
+    let mut text = sample_log(3);
+    text = text.replace("131072", "not-a-number");
+    let err = parse_swf(&text).unwrap_err();
+    assert_eq!(err.line, 3, "comment header is two lines");
+    assert!(err.message.contains("invalid"), "{err}");
+    assert!(err.message.contains("not-a-number"), "{err}");
+}
+
+#[test]
+fn lenient_cgct_ingest_reports_salvage_counts() {
+    // The cgct side of the ingestion path: a sealed trace truncated
+    // mid-line salvages with an exact account of what was skipped —
+    // the numbers `analyze_trace --lenient --max-salvage` thresholds on.
+    use cloudgrid::gen::{FleetConfig, GoogleWorkload};
+    use cloudgrid::sim::{SimConfig, Simulator};
+    use cloudgrid::trace::io::{read_trace_lenient, read_trace_verified, write_trace_sealed};
+
+    let workload = GoogleWorkload::scaled(10, 3_600).generate(5);
+    let trace = Simulator::new(SimConfig::google(FleetConfig::google(10))).run(&workload);
+    let sealed = write_trace_sealed(&trace);
+
+    // Intact: zero warnings, zero salvage, verified read agrees.
+    let clean = read_trace_lenient(&sealed);
+    assert!(clean.warnings.is_empty());
+    assert_eq!(clean.salvage_percent(), 0.0);
+    assert_eq!(read_trace_verified(&sealed).unwrap(), clean.trace);
+
+    // Cut a few bytes into a line near the 75% mark — provably mid-line,
+    // so the damaged tail is skipped and counted, never panicked over.
+    let near = sealed.len() - sealed.len() / 4;
+    let nl = sealed[near..].find('\n').expect("lines remain") + near;
+    let cut = nl + 4; // 3 bytes into the next line (every line is longer)
+    assert!(cut < sealed.len());
+    let truncated = &sealed[..cut];
+    let parsed = read_trace_lenient(truncated);
+    assert!(
+        !parsed.warnings.is_empty(),
+        "a mid-line cut must produce at least one warning"
+    );
+    assert_eq!(parsed.lines_seen, truncated.lines().count() as u64);
+    let expect = 100.0 * parsed.warnings.len() as f64 / parsed.lines_seen as f64;
+    assert!((parsed.salvage_percent() - expect).abs() < 1e-12);
+    // And the strict verified reader refuses the same bytes outright.
+    assert!(read_trace_verified(truncated).is_err());
+}
+
+#[test]
 fn cancelled_jobs_survive_the_pipeline() {
     let text = sample_log(40); // every 19th job is cancelled (status 5)
     let trace = read_swf_trace(&text, &SwfImportOptions::default()).unwrap();
