@@ -1,10 +1,20 @@
 //! End-to-end pipeline benchmark: generate → simulate → write → read →
-//! characterize on the google preset, timed stage by stage.
+//! characterize on a named preset, timed stage by stage.
 //!
 //! ```text
-//! cgc-bench [--quick] [--machines N] [--horizon SECONDS] [--shards N]
-//!           [--threads N] [--seed N] [--out PATH] [--telemetry PATH]
+//! cgc-bench [--preset quick|google|large|full] [--machines N]
+//!           [--horizon SECONDS] [--shards N] [--threads N] [--seed N]
+//!           [--sim-only] [--out PATH] [--telemetry PATH]
 //! ```
+//!
+//! Presets size the fleet and the simulated span: `quick` (60 machines,
+//! 2 h) for smoke tests, `google` (200 machines, 12 h) as the tracked
+//! default, `large` (1 000 machines, 24 h) for CI perf gating, and
+//! `full` (12 500 machines, 30 days) — the paper's cluster at the
+//! paper's observation window. At `full` scale the materialized trace
+//! text no longer fits comfortably in memory, which is what `--sim-only`
+//! is for: it runs generate + simulate + the throughput curve and skips
+//! the write/read/characterize stages (their report blocks are `null`).
 //!
 //! The `stream` block compares the in-memory characterization against
 //! `characterize_stream` on the same trace file. Peak RSS is a
@@ -13,35 +23,46 @@
 //! whose RSS already peaked during simulation — only collects.
 //!
 //! Writes `BENCH_pipeline.json`: per-stage wall-clock and throughput
-//! (tasks/s, samples/s), peak RSS, and — measured in the same process, on
-//! the same inputs — the *pre-sharding baseline*: the single-shard
-//! simulator and the sequential whole-string parser that this harness
-//! replaced. `end_to_end.speedup` is the ratio of the two pipelines, so
-//! the perf trajectory is tracked run over run by diffing the JSON.
+//! (tasks/s, samples/s), peak RSS, a `throughput_curve` block (the
+//! simulate stage re-run at 1, 2, and 4 threads with shards fixed, so
+//! thread scaling is tracked run over run), and — measured in the same
+//! process, on the same inputs — the *reference baseline*: the
+//! heap-and-BTreeMap scheduler core ([`SchedulerCore::Reference`]) on a
+//! single shard, the sequential whole-string parser, and the reference
+//! analysis passes (`characterize_reference`: per-machine queue replay,
+//! per-lag autocorrelation, two-sort row summaries). The optimized and
+//! reference cores produce bit-identical traces and reports (pinned by
+//! the `core_equivalence` and `reference_equivalence` suites and
+//! re-asserted in-run), so `end_to_end.speedup` is a like-for-like ratio
+//! of the two pipelines.
 //!
-//! The optimized and baseline simulations use the same `(seed, shards)`
-//! model only when `--shards 1`; with more shards they are different
-//! models by design (see DESIGN.md §5), which is why the baseline is
-//! reported separately instead of asserted equal.
+//! The baseline simulation uses the same `(seed, shards)` model only
+//! when `--shards 1`; with more shards they are different models by
+//! design (see DESIGN.md §5), which is why the baseline is reported
+//! separately instead of asserted equal.
 //!
 //! The run also enables the observability layer and snapshots its
-//! counters right after the optimized pipeline (before the baseline
-//! re-runs, which would double-count). The deterministic counters land in
-//! the JSON under `counters` and are cross-checked here against the trace
-//! itself — CI diffs them against the committed file to catch silent
-//! pipeline drift.
+//! counters right after the optimized pipeline (before the telemetry,
+//! throughput-curve, and baseline re-runs, which would double-count).
+//! The deterministic counters land in the JSON under `counters` and are
+//! cross-checked here against the trace itself — CI diffs them against
+//! the committed file to catch silent pipeline drift.
 //!
-//! The optimized simulation runs with the sim-time telemetry probe
-//! attached (5-minute grid): per-band queueing-delay percentiles land in
-//! the JSON under `queue_delay_percentiles` — deterministic, so CI diffs
-//! them exactly alongside `counters` — and `--telemetry PATH` writes the
-//! full versioned bundle (timeline, capacity, histograms) for offline
+//! The simulation is then re-run with the sim-time telemetry probe
+//! attached (5-minute grid), timed as its own `simulate_telemetry` stage
+//! so the probe's overhead stays visible without entering `end_to_end`
+//! (whose simulate stage is a plain `run()`, symmetric with the
+//! baseline). The probed trace is asserted bit-identical to the plain
+//! run's. Per-band queueing-delay percentiles land in the JSON under
+//! `queue_delay_percentiles` — deterministic, so CI diffs them exactly
+//! alongside `counters` — and `--telemetry PATH` writes the full
+//! versioned bundle (timeline, capacity, histograms) for offline
 //! inspection.
 
-use cgc_core::characterize;
+use cgc_core::{characterize, characterize_reference};
 use cgc_gen::{FleetConfig, GoogleWorkload};
 use cgc_obs::{PipelineCounters, QueueDelayPercentiles};
-use cgc_sim::{FaultConfig, SimConfig, Simulator};
+use cgc_sim::{FaultConfig, SchedulerCore, SimConfig, Simulator};
 use cgc_trace::io::{read_trace, read_trace_parallel, write_trace};
 use serde::Serialize;
 use std::time::Instant;
@@ -50,6 +71,10 @@ use std::time::Instant;
 /// the percentile block in `BENCH_pipeline.json` is comparable run over
 /// run.
 const TELEMETRY_INTERVAL: u64 = 300;
+
+/// Thread counts the simulate stage is re-run at for `throughput_curve`,
+/// with shards held fixed.
+const CURVE_THREADS: [usize; 3] = [1, 2, 4];
 
 /// The `BENCH_pipeline.json` document. Field names are the file format —
 /// rename only with a schema bump.
@@ -60,20 +85,26 @@ struct BenchReport {
     config: BenchConfig,
     counts: Counts,
     /// Deterministic pipeline counters for the optimized pipeline only
-    /// (snapshotted before the baseline re-runs). Timings are excluded:
-    /// they vary run to run, these must not.
+    /// (snapshotted before the curve and baseline re-runs). Timings are
+    /// excluded: they vary run to run, these must not.
     counters: PipelineCounters,
     /// Deterministic queueing-delay percentiles per priority band from
     /// the simulate stage's telemetry probe (first submit → first
     /// placement, seconds). CI diffs these exactly, like `counters`.
     queue_delay_percentiles: Vec<QueueDelayPercentiles>,
     stages: Vec<Stage>,
-    baseline: Baseline,
+    /// Simulate-stage throughput at 1/2/4 threads, shards fixed. CI
+    /// requires `tasks_per_s` to be monotone non-decreasing in threads
+    /// (with slack for timer noise).
+    throughput_curve: Vec<CurvePoint>,
+    /// `null` under `--sim-only`.
+    baseline: Option<Baseline>,
     /// In-memory vs out-of-core characterization of the same trace file,
     /// each measured in its own child process so `peak_rss_bytes` is that
-    /// pipeline's own high-water mark.
-    stream: StreamComparison,
-    end_to_end: EndToEnd,
+    /// pipeline's own high-water mark. `null` under `--sim-only`.
+    stream: Option<StreamComparison>,
+    /// `null` under `--sim-only`.
+    end_to_end: Option<EndToEnd>,
     peak_rss_bytes: Option<u64>,
 }
 
@@ -108,7 +139,8 @@ struct Counts {
     tasks: usize,
     events: usize,
     samples: usize,
-    trace_bytes: usize,
+    /// `null` under `--sim-only` (the trace is never serialized).
+    trace_bytes: Option<usize>,
 }
 
 #[derive(Serialize)]
@@ -120,10 +152,20 @@ struct Stage {
 }
 
 #[derive(Serialize)]
+struct CurvePoint {
+    machines: usize,
+    shards: usize,
+    threads: usize,
+    simulate_seconds: f64,
+    tasks_per_s: f64,
+}
+
+#[derive(Serialize)]
 struct Baseline {
     description: &'static str,
     simulate_seconds: f64,
     read_seconds: f64,
+    characterize_seconds: f64,
     total_seconds: f64,
 }
 
@@ -133,23 +175,50 @@ struct EndToEnd {
     speedup: f64,
 }
 
+/// `(name, machines, horizon_seconds)` of each named preset.
+const PRESETS: [(&str, usize, u64); 4] = [
+    ("quick", 60, 2 * 3_600),
+    ("google", 200, 12 * 3_600),
+    ("large", 1_000, 24 * 3_600),
+    ("full", 12_500, 30 * 24 * 3_600),
+];
+
 struct Args {
+    preset: &'static str,
     machines: usize,
     horizon: u64,
     shards: usize,
     threads: usize,
     seed: u64,
+    sim_only: bool,
     out: String,
     telemetry: Option<String>,
 }
 
+fn preset(name: &str) -> (&'static str, usize, u64) {
+    PRESETS
+        .iter()
+        .find(|(n, _, _)| *n == name)
+        .copied()
+        .unwrap_or_else(|| {
+            eprintln!(
+                "unknown preset {name:?} (expected one of: {})",
+                PRESETS.map(|(n, _, _)| n).join(", ")
+            );
+            std::process::exit(2);
+        })
+}
+
 fn parse_args() -> Args {
+    let (name, machines, horizon) = preset("google");
     let mut a = Args {
-        machines: 200,
-        horizon: 12 * 3_600,
+        preset: name,
+        machines,
+        horizon,
         shards: 4,
         threads: 4,
         seed: 1,
+        sim_only: false,
         out: "BENCH_pipeline.json".into(),
         telemetry: None,
     };
@@ -162,21 +231,30 @@ fn parse_args() -> Args {
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--quick" => {
-                a.machines = 60;
-                a.horizon = 2 * 3_600;
+            "--preset" => {
+                (a.preset, a.machines, a.horizon) = preset(&value(&mut args, "--preset"));
             }
-            "--machines" => a.machines = parse(&value(&mut args, "--machines"), "--machines"),
-            "--horizon" => a.horizon = parse(&value(&mut args, "--horizon"), "--horizon"),
+            // Back-compat alias for `--preset quick`.
+            "--quick" => (a.preset, a.machines, a.horizon) = preset("quick"),
+            "--machines" => {
+                a.machines = parse(&value(&mut args, "--machines"), "--machines");
+                a.preset = "custom";
+            }
+            "--horizon" => {
+                a.horizon = parse(&value(&mut args, "--horizon"), "--horizon");
+                a.preset = "custom";
+            }
             "--shards" => a.shards = parse(&value(&mut args, "--shards"), "--shards"),
             "--threads" => a.threads = parse(&value(&mut args, "--threads"), "--threads"),
             "--seed" => a.seed = parse(&value(&mut args, "--seed"), "--seed"),
+            "--sim-only" => a.sim_only = true,
             "--out" => a.out = value(&mut args, "--out"),
             "--telemetry" => a.telemetry = Some(value(&mut args, "--telemetry")),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: cgc-bench [--quick] [--machines N] [--horizon SECONDS] \
-                     [--shards N] [--threads N] [--seed N] [--out PATH] [--telemetry PATH]"
+                    "usage: cgc-bench [--preset quick|google|large|full] [--machines N] \
+                     [--horizon SECONDS] [--shards N] [--threads N] [--seed N] [--sim-only] \
+                     [--out PATH] [--telemetry PATH]"
                 );
                 std::process::exit(0);
             }
@@ -304,9 +382,32 @@ fn main() {
 
     let args = parse_args();
     eprintln!(
-        "cgc-bench: google preset, {} machines, {} s horizon, {} shards, {} threads",
-        args.machines, args.horizon, args.shards, args.threads
+        "cgc-bench: {} preset, {} machines, {} s horizon, {} shards, {} threads{}",
+        args.preset,
+        args.machines,
+        args.horizon,
+        args.shards,
+        args.threads,
+        if args.sim_only { ", sim-only" } else { "" }
     );
+
+    let config = SimConfig::google(FleetConfig::google(args.machines))
+        .with_faults(FaultConfig::google())
+        .with_shards(args.shards)
+        .with_threads(args.threads);
+
+    // --- warm-up (untimed) --------------------------------------------
+    // The first heavy pass is systematically slower (allocator growth,
+    // page faults, cold branch predictors), and it would land entirely on
+    // the optimized side — the baseline re-runs later in a warm process.
+    // One untimed generate + simulate, then a counter reset, puts every
+    // timed stage at steady state. Skipped under --sim-only, where the
+    // run is long enough to amortize its own cold start.
+    if !args.sim_only {
+        let w = GoogleWorkload::scaled(args.machines, args.horizon).generate(args.seed);
+        std::hint::black_box(Simulator::new(config.clone()).run(&w));
+        cgc_obs::metrics().reset();
+    }
 
     // --- generate -----------------------------------------------------
     let (gen_s, workload) =
@@ -318,35 +419,48 @@ fn main() {
         workload.jobs.len()
     );
 
-    let config = SimConfig::google(FleetConfig::google(args.machines))
-        .with_faults(FaultConfig::google())
-        .with_shards(args.shards)
-        .with_threads(args.threads);
-
     // --- simulate (optimized: sharded, threaded) ----------------------
-    let (sim_s, (trace, telemetry)) =
-        timed(|| Simulator::new(config.clone()).run_with_telemetry(&workload, TELEMETRY_INTERVAL));
+    // Plain `run()`, symmetric with the reference baseline below: the
+    // telemetry probe is attached in a separately-timed re-run after the
+    // counter snapshot, so `end_to_end.speedup` compares like with like.
+    let (sim_s, trace) = timed(|| Simulator::new(config.clone()).run(&workload));
     let n_events = trace.events.len();
     let n_samples: usize = trace.host_series.iter().map(|s| s.samples.len()).sum();
     eprintln!("simulate: {sim_s:.3}s ({n_events} events, {n_samples} samples)");
 
-    // --- write --------------------------------------------------------
-    let (write_s, text) = timed(|| write_trace(&trace));
-    eprintln!("write: {:.3}s ({} bytes)", write_s, text.len());
+    let mut stages = vec![
+        tasks_stage("generate", gen_s, n_tasks),
+        tasks_stage("simulate", sim_s, n_tasks),
+    ];
 
-    // --- read (optimized: parallel strict parser) ---------------------
-    let (read_s, reread) = timed(|| read_trace_parallel(&text).expect("own output parses"));
-    assert_eq!(reread, trace, "read-back must round-trip");
-    drop(reread);
+    // --- write / read / characterize (skipped under --sim-only) -------
+    let mut text = String::new();
+    let mut char_s = 0.0;
+    let mut read_s = 0.0;
+    let mut write_s = 0.0;
+    if !args.sim_only {
+        let (s, t) = timed(|| write_trace(&trace));
+        (write_s, text) = (s, t);
+        eprintln!("write: {:.3}s ({} bytes)", write_s, text.len());
 
-    // --- characterize -------------------------------------------------
-    let (char_s, report) = timed(|| characterize(&trace));
-    eprintln!("characterize: {char_s:.3}s ({})", report.system);
+        let (s, reread) = timed(|| read_trace_parallel(&text).expect("own output parses"));
+        read_s = s;
+        assert_eq!(reread, trace, "read-back must round-trip");
+        drop(reread);
+
+        let (s, report) = timed(|| characterize(&trace));
+        char_s = s;
+        eprintln!("characterize: {char_s:.3}s ({})", report.system);
+
+        stages.push(samples_stage("write", write_s, n_samples));
+        stages.push(tasks_stage("read", read_s, n_tasks));
+        stages.push(samples_stage("characterize", char_s, n_samples));
+    }
 
     // --- metrics snapshot ---------------------------------------------
-    // Taken before the baseline re-runs below, so the counters describe
-    // the optimized pipeline exactly once — and can be cross-checked
-    // against the trace itself.
+    // Taken before the curve and baseline re-runs below, so the counters
+    // describe the optimized pipeline exactly once — and can be
+    // cross-checked against the trace itself.
     let snapshot = cgc_obs::metrics().snapshot();
     let c = &snapshot.counters;
     assert_eq!(c.jobs_generated as usize, trace.jobs.len(), "jobs counter");
@@ -357,8 +471,6 @@ fn main() {
     );
     assert_eq!(c.events_simulated as usize, n_events, "events counter");
     assert_eq!(c.samples_recorded as usize, n_samples, "samples counter");
-    assert_eq!(c.bytes_read as usize, text.len(), "bytes-read counter");
-    assert_eq!(c.lines_salvaged, 0, "strict parse salvages nothing");
     assert_eq!(
         c.events_per_shard.iter().sum::<u64>(),
         c.events_simulated,
@@ -368,7 +480,27 @@ fn main() {
         c.events_per_shard.len() <= args.shards.max(1),
         "no more shard slots than shards"
     );
+    if !args.sim_only {
+        assert_eq!(c.bytes_read as usize, text.len(), "bytes-read counter");
+        assert_eq!(c.lines_salvaged, 0, "strict parse salvages nothing");
+    }
     eprint!("{}", snapshot.render_table());
+
+    // --- simulate again with the telemetry probe attached -------------
+    // The probed run produces a bit-identical trace (pinned by the
+    // determinism suite and re-asserted here). It is timed as its own
+    // stage so the probe's overhead stays visible without contaminating
+    // the end-to-end comparison, and runs after the counter snapshot so
+    // `counters` describes the plain pipeline exactly once.
+    let (sim_tel_s, (tel_trace, telemetry)) =
+        timed(|| Simulator::new(config.clone()).run_with_telemetry(&workload, TELEMETRY_INTERVAL));
+    assert_eq!(
+        tel_trace, trace,
+        "telemetry probe must not perturb the trace"
+    );
+    drop(tel_trace);
+    eprintln!("simulate_telemetry: {sim_tel_s:.3}s (probe on a {TELEMETRY_INTERVAL}s grid)");
+    stages.push(tasks_stage("simulate_telemetry", sim_tel_s, n_tasks));
 
     // --- telemetry ----------------------------------------------------
     let queue_delay_percentiles = telemetry.queue_delay_percentiles();
@@ -391,43 +523,116 @@ fn main() {
         );
     }
 
-    // --- simulate (baseline: the pre-sharding single-engine path) -----
-    let baseline_config = config.clone().with_shards(1).with_threads(1);
-    let (sim_base_s, _) = timed(|| Simulator::new(baseline_config).run(&workload));
-    eprintln!("simulate/baseline: {sim_base_s:.3}s (1 shard, 1 thread)");
+    // --- throughput curve: simulate at 1/2/4 threads, shards fixed ----
+    let throughput_curve: Vec<CurvePoint> = CURVE_THREADS
+        .iter()
+        .map(|&threads| {
+            let cfg = config.clone().with_threads(threads);
+            let (seconds, _) = timed(|| Simulator::new(cfg).run(&workload));
+            let tasks_per_s = per(n_tasks, seconds).unwrap_or(0.0);
+            eprintln!(
+                "throughput_curve: {threads} thread(s) -> {seconds:.3}s ({tasks_per_s:.0} tasks/s)"
+            );
+            CurvePoint {
+                machines: args.machines,
+                shards: args.shards,
+                threads,
+                simulate_seconds: seconds,
+                tasks_per_s,
+            }
+        })
+        .collect();
 
-    // --- read (baseline: sequential strict parser) --------------------
-    let (read_base_s, _) = timed(|| read_trace(&text).expect("own output parses"));
-    eprintln!("read: {read_s:.3}s parallel, {read_base_s:.3}s sequential");
-
-    // --- characterize from disk: in-memory vs streaming children ------
-    let trace_path = std::env::temp_dir().join(format!("cgc-bench-{}.cgct", std::process::id()));
-    cgc_trace::write_atomic(&trace_path, text.as_bytes()).unwrap_or_else(|e| {
-        eprintln!("cannot write {}: {e}", trace_path.display());
-        std::process::exit(1);
-    });
-    let in_memory = child_run("in-memory", &trace_path);
-    let streaming = child_run("stream", &trace_path);
-    let _ = std::fs::remove_file(&trace_path);
-    let rss_ratio = if in_memory.peak_rss_bytes > 0 {
-        streaming.peak_rss_bytes as f64 / in_memory.peak_rss_bytes as f64
+    let (baseline, stream, end_to_end) = if args.sim_only {
+        (None, None, None)
     } else {
-        0.0
-    };
-    eprintln!(
-        "characterize_stream: {:.3}s, peak RSS {:.1} MB vs {:.1} MB in-memory (ratio {:.2})",
-        streaming.seconds,
-        streaming.peak_rss_bytes as f64 / (1 << 20) as f64,
-        in_memory.peak_rss_bytes as f64 / (1 << 20) as f64,
-        rss_ratio
-    );
+        // --- simulate (baseline: the reference scheduler core) --------
+        let baseline_config = config
+            .clone()
+            .with_shards(1)
+            .with_threads(1)
+            .with_core(SchedulerCore::Reference);
+        let (sim_base_s, _) = timed(|| Simulator::new(baseline_config).run(&workload));
+        eprintln!("simulate/baseline: {sim_base_s:.3}s (reference core, 1 shard, 1 thread)");
 
-    let total = gen_s + sim_s + write_s + read_s + char_s;
-    let total_baseline = gen_s + sim_base_s + write_s + read_base_s + char_s;
+        // --- read (baseline: sequential strict parser) ----------------
+        let (read_base_s, _) = timed(|| read_trace(&text).expect("own output parses"));
+        eprintln!("read: {read_s:.3}s parallel, {read_base_s:.3}s sequential");
+
+        // --- characterize (baseline: reference analysis passes) -------
+        // Same report, bit-identical (pinned by `reference_equivalence`),
+        // produced by the pre-optimization pass forms: per-machine queue
+        // replay, per-lag autocorrelation, two-sort row summaries.
+        let (char_base_s, reference_report) = timed(|| characterize_reference(&trace));
+        assert_eq!(
+            serde_json::to_string(&reference_report).expect("report serializes"),
+            serde_json::to_string(&characterize(&trace)).expect("report serializes"),
+            "reference analysis must match the optimized report"
+        );
+        drop(reference_report);
+        eprintln!("characterize: {char_s:.3}s optimized, {char_base_s:.3}s reference");
+
+        // --- characterize from disk: in-memory vs streaming children --
+        let trace_path =
+            std::env::temp_dir().join(format!("cgc-bench-{}.cgct", std::process::id()));
+        cgc_trace::write_atomic(&trace_path, text.as_bytes()).unwrap_or_else(|e| {
+            eprintln!("cannot write {}: {e}", trace_path.display());
+            std::process::exit(1);
+        });
+        let in_memory = child_run("in-memory", &trace_path);
+        let streaming = child_run("stream", &trace_path);
+        let _ = std::fs::remove_file(&trace_path);
+        let rss_ratio = if in_memory.peak_rss_bytes > 0 {
+            streaming.peak_rss_bytes as f64 / in_memory.peak_rss_bytes as f64
+        } else {
+            0.0
+        };
+        eprintln!(
+            "characterize_stream: {:.3}s, peak RSS {:.1} MB vs {:.1} MB in-memory (ratio {:.2})",
+            streaming.seconds,
+            streaming.peak_rss_bytes as f64 / (1 << 20) as f64,
+            in_memory.peak_rss_bytes as f64 / (1 << 20) as f64,
+            rss_ratio
+        );
+        stages.push(tasks_stage(
+            "characterize_stream",
+            streaming.seconds,
+            n_tasks,
+        ));
+
+        let total = gen_s + sim_s + write_s + read_s + char_s;
+        let total_baseline = gen_s + sim_base_s + write_s + read_base_s + char_base_s;
+        (
+            Some(Baseline {
+                description: "reference pipeline: heap/BTreeMap scheduler core \
+                              (SchedulerCore::Reference), 1 shard, 1 thread, sequential \
+                              parser, reference analysis passes",
+                simulate_seconds: sim_base_s,
+                read_seconds: read_base_s,
+                characterize_seconds: char_base_s,
+                total_seconds: total_baseline,
+            }),
+            Some(StreamComparison {
+                description: "characterize from disk, per-child VmHWM: \
+                              read_trace_parallel+characterize vs characterize_stream",
+                in_memory,
+                streaming,
+                rss_ratio,
+            }),
+            Some(EndToEnd {
+                total_seconds: total,
+                speedup: if total > 0.0 {
+                    total_baseline / total
+                } else {
+                    0.0
+                },
+            }),
+        )
+    };
 
     let out = BenchReport {
-        schema: "cgc-bench/pipeline/v2",
-        preset: "google",
+        schema: "cgc-bench/pipeline/v3",
+        preset: args.preset,
         config: BenchConfig {
             machines: args.machines,
             horizon: args.horizon,
@@ -440,39 +645,15 @@ fn main() {
             tasks: trace.tasks.len(),
             events: n_events,
             samples: n_samples,
-            trace_bytes: text.len(),
+            trace_bytes: (!args.sim_only).then(|| text.len()),
         },
         counters: snapshot.counters,
         queue_delay_percentiles,
-        stages: vec![
-            tasks_stage("generate", gen_s, n_tasks),
-            tasks_stage("simulate", sim_s, n_tasks),
-            samples_stage("write", write_s, n_samples),
-            tasks_stage("read", read_s, n_tasks),
-            samples_stage("characterize", char_s, n_samples),
-            tasks_stage("characterize_stream", streaming.seconds, n_tasks),
-        ],
-        baseline: Baseline {
-            description: "pre-sharding pipeline: 1-shard 1-thread simulator, sequential parser",
-            simulate_seconds: sim_base_s,
-            read_seconds: read_base_s,
-            total_seconds: total_baseline,
-        },
-        stream: StreamComparison {
-            description: "characterize from disk, per-child VmHWM: \
-                          read_trace_parallel+characterize vs characterize_stream",
-            in_memory,
-            streaming,
-            rss_ratio,
-        },
-        end_to_end: EndToEnd {
-            total_seconds: total,
-            speedup: if total > 0.0 {
-                total_baseline / total
-            } else {
-                0.0
-            },
-        },
+        stages,
+        throughput_curve,
+        baseline,
+        stream,
+        end_to_end,
         peak_rss_bytes: peak_rss_bytes(),
     };
 

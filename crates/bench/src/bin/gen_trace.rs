@@ -45,6 +45,7 @@ fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
 }
 
 fn main() {
+    cgc_obs::init_from_env();
     let mut out: Option<String> = None;
     let mut machines: usize = 40;
     let mut horizon: u64 = 2 * 3_600;
@@ -155,4 +156,5 @@ fn main() {
             .sum::<usize>(),
         text.len()
     );
+    cgc_obs::flush_observers();
 }

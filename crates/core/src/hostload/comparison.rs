@@ -12,7 +12,7 @@
 //!   (even slightly negative) for Google, clearly positive for grids, i.e.
 //!   grid load is predictable and cloud load is not.
 
-use cgc_stats::{mean_autocorrelation, noise_std};
+use cgc_stats::{mean_autocorrelation, mean_autocorrelation_reference, noise_std};
 use cgc_trace::usage::UsageAttribute;
 use cgc_trace::Trace;
 use rayon::prelude::*;
@@ -89,13 +89,25 @@ pub fn mean_autocorr(trace: &Trace, attr: UsageAttribute, max_lag: usize) -> Opt
 /// zero, while long-range trends (grid diurnal load) push it positive —
 /// exactly the contrast the paper reads off.
 pub fn mean_autocorr_all_lags(trace: &Trace, attr: UsageAttribute, skip: usize) -> Option<f64> {
+    mean_autocorr_all_lags_with(trace, attr, skip, mean_autocorrelation)
+}
+
+/// [`mean_autocorr_all_lags`] with a caller-chosen per-series scalar:
+/// the hoisted production form, or the per-lag reference form the
+/// benchmark baseline uses. Both are bit-identical in result.
+fn mean_autocorr_all_lags_with(
+    trace: &Trace,
+    attr: UsageAttribute,
+    skip: usize,
+    mean_autocorr_fn: fn(&[f64], usize) -> f64,
+) -> Option<f64> {
     let per_machine: Vec<f64> = trace
         .host_series
         .par_iter()
         .filter(|s| s.len() >= skip + 4)
         .map(|s| {
             let series = &s.attribute(attr, None)[skip..];
-            mean_autocorrelation(series, series.len() - 2)
+            mean_autocorr_fn(series, series.len() - 2)
         })
         .collect();
     if per_machine.is_empty() {
@@ -124,6 +136,23 @@ pub struct HostComparison {
 /// `skip` leading warm-up samples per machine. Returns `None` if the
 /// trace has no usable host series.
 pub fn host_comparison(trace: &Trace, skip: usize) -> Option<HostComparison> {
+    host_comparison_with(trace, skip, mean_autocorrelation)
+}
+
+/// The pre-optimization form of [`host_comparison`]: the autocorrelation
+/// aggregate re-derives the series mean and variance at every lag instead
+/// of hoisting them. Bit-identical to the production form — kept as the
+/// benchmark's like-for-like analysis baseline and as a differential
+/// oracle.
+pub fn host_comparison_reference(trace: &Trace, skip: usize) -> Option<HostComparison> {
+    host_comparison_with(trace, skip, mean_autocorrelation_reference)
+}
+
+fn host_comparison_with(
+    trace: &Trace,
+    skip: usize,
+    mean_autocorr_fn: fn(&[f64], usize) -> f64,
+) -> Option<HostComparison> {
     let mut cpu_sum = 0.0;
     let mut mem_sum = 0.0;
     let mut n = 0u64;
@@ -145,8 +174,13 @@ pub fn host_comparison(trace: &Trace, skip: usize) -> Option<HostComparison> {
         cpu_noise: cpu_noise(trace, UsageAttribute::Cpu, NOISE_FILTER_WINDOW, skip)?,
         // Series shorter than the lag window carry no autocorrelation
         // information; report 0 rather than dropping the whole comparison.
-        cpu_autocorrelation: mean_autocorr_all_lags(trace, UsageAttribute::Cpu, skip)
-            .unwrap_or(0.0),
+        cpu_autocorrelation: mean_autocorr_all_lags_with(
+            trace,
+            UsageAttribute::Cpu,
+            skip,
+            mean_autocorr_fn,
+        )
+        .unwrap_or(0.0),
     })
 }
 
@@ -252,6 +286,26 @@ mod tests {
         let churn_trace = trace_from_series(&churn, &mem);
         assert!(mean_autocorr(&trend_trace, UsageAttribute::Cpu, 5).unwrap() > 0.9);
         assert!(mean_autocorr(&churn_trace, UsageAttribute::Cpu, 5).unwrap() < 0.0);
+    }
+
+    #[test]
+    fn reference_form_is_bit_identical() {
+        let cpu: Vec<f64> = (0..120)
+            .map(|i| 0.3 + 0.2 * ((i * 7 % 13) as f64 / 13.0))
+            .collect();
+        let mem: Vec<f64> = (0..120)
+            .map(|i| 0.5 + 0.1 * ((i % 5) as f64 / 5.0))
+            .collect();
+        let trace = trace_from_series(&cpu, &mem);
+        for skip in [0, 3] {
+            let fast = host_comparison(&trace, skip).unwrap();
+            let reference = host_comparison_reference(&trace, skip).unwrap();
+            assert_eq!(
+                fast.cpu_autocorrelation.to_bits(),
+                reference.cpu_autocorrelation.to_bits()
+            );
+            assert_eq!(fast, reference);
+        }
     }
 
     #[test]

@@ -9,13 +9,13 @@ pub mod usage_levels;
 pub mod usage_masscount;
 
 pub use comparison::{
-    cpu_noise, host_comparison, mean_autocorr, mean_autocorr_all_lags, relative_usage_series,
-    HostComparison, NoiseStats,
+    cpu_noise, host_comparison, host_comparison_reference, mean_autocorr, mean_autocorr_all_lags,
+    relative_usage_series, HostComparison, NoiseStats,
 };
 pub use idleness::{idleness, IdlenessReport};
 pub use max_load::{max_load_distribution, ClassMaxLoad, MaxLoadDistribution};
-pub use queue_state::{queue_runlengths, IntervalRow, QueueRunLengths};
+pub use queue_state::{queue_runlengths, queue_runlengths_reference, IntervalRow, QueueRunLengths};
 pub use usage_levels::{level_band_series, usage_level_runs, LevelRow, LevelRunTable};
-pub use usage_masscount::{usage_masscount, UsageMassCount};
+pub use usage_masscount::{usage_masscount, usage_masscount_reference, UsageMassCount};
 
-pub(crate) use usage_masscount::usage_masscount_from_view;
+pub(crate) use usage_masscount::{usage_masscount_from_view, usage_masscount_from_view_reference};

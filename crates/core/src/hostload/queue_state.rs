@@ -46,9 +46,52 @@ pub fn queue_runlengths(trace: &Trace, period: Duration) -> QueueRunLengths {
     let levels = quantizer.num_levels();
     let minutes = period as f64 / 60.0;
 
-    // Per machine: durations per level, in minutes. QueueTimeline
-    // reconstruction scans the whole event log per machine, so this is the
-    // expensive part — parallelize over machines.
+    // One sweep reconstructs every machine's timeline (O(events), vs the
+    // old per-machine replay's O(events × machines)); sampling and
+    // run-length extraction still parallelize over machines.
+    let timelines = QueueTimeline::for_all_machines(trace);
+    let per_machine: Vec<Vec<Vec<f64>>> = timelines
+        .par_iter()
+        .map(|timeline| {
+            let series = timeline.running_series(trace.horizon, period);
+            let quantized: Vec<usize> = series
+                .iter()
+                .map(|&c| quantizer.quantize_count(c))
+                .collect();
+            durations_by_level(&quantized, minutes, levels)
+        })
+        .collect();
+
+    let intervals = (0..levels)
+        .map(|level| {
+            let durations: Vec<f64> = per_machine
+                .iter()
+                .flat_map(|m| m[level].iter().copied())
+                .collect();
+            let runs = durations.len();
+            let (duration_minutes, mc) = MassCount::new_with_summary(durations);
+            IntervalRow {
+                label: quantizer.label(level),
+                runs,
+                duration_minutes,
+                masscount: mc.map(|mc| mc.summary()),
+            }
+        })
+        .collect();
+
+    QueueRunLengths { period, intervals }
+}
+
+/// The pre-optimization form of [`queue_runlengths`]: replays the event
+/// stream once per machine (O(events × machines)) and summarizes each
+/// interval's durations with two independent sorts instead of one shared
+/// sort. Bit-identical to the production form — kept as the benchmark's
+/// like-for-like analysis baseline and as a differential oracle.
+pub fn queue_runlengths_reference(trace: &Trace, period: Duration) -> QueueRunLengths {
+    let quantizer = LevelQuantizer::queue_intervals();
+    let levels = quantizer.num_levels();
+    let minutes = period as f64 / 60.0;
+
     let per_machine: Vec<Vec<Vec<f64>>> = trace
         .machines
         .par_iter()
@@ -149,6 +192,20 @@ mod tests {
         let r = queue_runlengths(&bursty_trace(), 60);
         assert_eq!(r.intervals[0].label, "[0,9]");
         assert_eq!(r.intervals[5].label, "[50,...]");
+    }
+
+    #[test]
+    fn reference_form_is_bit_identical() {
+        let trace = bursty_trace();
+        assert_eq!(
+            queue_runlengths_reference(&trace, 60),
+            queue_runlengths(&trace, 60)
+        );
+        let empty = TraceBuilder::new("t", 1_000).build().unwrap();
+        assert_eq!(
+            queue_runlengths_reference(&empty, 60),
+            queue_runlengths(&empty, 60)
+        );
     }
 
     #[test]

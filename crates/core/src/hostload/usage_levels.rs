@@ -125,6 +125,65 @@ fn table_from_runs(
                 .iter()
                 .flat_map(|m| m[level].iter().copied())
                 .collect();
+            let runs = durations.len();
+            let (duration_minutes, mc) = MassCount::new_with_summary(durations);
+            LevelRow {
+                label: quantizer.label(level),
+                runs,
+                duration_minutes,
+                masscount: mc.map(|mc| mc.summary()),
+            }
+        })
+        .collect();
+
+    LevelRunTable {
+        attribute: attr,
+        min_class,
+        rows,
+    }
+}
+
+/// The pre-optimization form of [`usage_level_runs_from_view`]: each row
+/// summarizes its durations with two independent sorts (one for the
+/// duration summary, one for the mass–count curves) instead of sharing a
+/// single sort. Bit-identical to the production form — kept as the
+/// benchmark's like-for-like analysis baseline and as a differential
+/// oracle.
+pub(crate) fn usage_level_runs_from_view_reference(
+    view: &TraceView<'_>,
+    attr: UsageAttribute,
+) -> LevelRunTable {
+    let quantizer = LevelQuantizer::usage_bands();
+    let levels = quantizer.num_levels();
+    let series = view.attribute_series(attr);
+
+    let per_machine: Vec<Vec<Vec<f64>>> = series
+        .values
+        .iter()
+        .zip(series.capacities.iter().zip(series.periods.iter()))
+        .map(|(values, (&cap, &period))| {
+            let rel: Vec<f64> = values.iter().map(|&v| v / cap).collect();
+            let quantized = quantizer.quantize_series(&rel);
+            durations_by_level(&quantized, period as f64 / 60.0, levels)
+        })
+        .collect();
+
+    table_from_runs_reference(attr, None, &quantizer, per_machine)
+}
+
+/// Two-sort variant of [`table_from_runs`], for the reference path.
+fn table_from_runs_reference(
+    attr: UsageAttribute,
+    min_class: Option<PriorityClass>,
+    quantizer: &LevelQuantizer,
+    per_machine: Vec<Vec<Vec<f64>>>,
+) -> LevelRunTable {
+    let rows = (0..quantizer.num_levels())
+        .map(|level| {
+            let durations: Vec<f64> = per_machine
+                .iter()
+                .flat_map(|m| m[level].iter().copied())
+                .collect();
             LevelRow {
                 label: quantizer.label(level),
                 runs: durations.len(),
@@ -241,6 +300,18 @@ mod tests {
             assert_eq!(
                 usage_level_runs_from_view(&view, attr),
                 usage_level_runs(&trace, attr, None)
+            );
+        }
+    }
+
+    #[test]
+    fn reference_form_is_bit_identical() {
+        let trace = banded_trace();
+        let view = TraceView::new(&trace);
+        for attr in UsageAttribute::ALL {
+            assert_eq!(
+                usage_level_runs_from_view_reference(&view, attr),
+                usage_level_runs_from_view(&view, attr)
             );
         }
     }

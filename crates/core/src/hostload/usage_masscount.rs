@@ -78,12 +78,77 @@ fn assemble(
     min_class: Option<PriorityClass>,
     percents: Vec<f64>,
 ) -> Option<UsageMassCount> {
-    let mc = MassCount::new(percents.clone())?;
+    // One shared sort for the summary's order statistics and the
+    // mass–count curves, instead of cloning the pool and sorting twice.
+    let (percent, mc) = MassCount::new_with_summary(percents);
     Some(UsageMassCount {
         attribute: attr,
         min_class,
-        percent: Summary::of(&percents),
-        masscount: mc.summary(),
+        percent,
+        masscount: mc?.summary(),
+    })
+}
+
+/// The pre-optimization form of [`usage_masscount`]: clones the pooled
+/// percentages and sorts twice — once for the summary's order statistics,
+/// once for the mass–count curves. Bit-identical to the production form —
+/// kept as the benchmark's like-for-like analysis baseline and as a
+/// differential oracle.
+pub fn usage_masscount_reference(
+    trace: &Trace,
+    attr: UsageAttribute,
+    min_class: Option<PriorityClass>,
+) -> Option<UsageMassCount> {
+    let percents: Vec<f64> = trace
+        .host_series
+        .par_iter()
+        .flat_map_iter(|s| {
+            let m = &trace.machines[s.machine.index()];
+            let cap = match attr {
+                UsageAttribute::Cpu => m.cpu_capacity,
+                UsageAttribute::MemoryUsed | UsageAttribute::MemoryAssigned => m.memory_capacity,
+                UsageAttribute::PageCache => m.page_cache_capacity,
+            };
+            s.attribute(attr, min_class)
+                .into_iter()
+                .map(move |v| 100.0 * v / cap)
+        })
+        .collect();
+    assemble_reference(attr, min_class, percents)
+}
+
+/// Two-sort variant of [`usage_masscount_from_view`], for the reference
+/// analysis registry. Pool construction is identical; only the finish-math
+/// differs (and is bit-identical in result).
+pub(crate) fn usage_masscount_from_view_reference(
+    view: &TraceView<'_>,
+    attr: UsageAttribute,
+) -> Option<UsageMassCount> {
+    let series = view.attribute_series(attr);
+    let percents: Vec<f64> = series
+        .values
+        .iter()
+        .zip(series.capacities.iter())
+        .flat_map(|(values, &cap)| values.iter().map(move |&v| 100.0 * v / cap))
+        .collect();
+    assemble_reference(attr, None, percents)
+}
+
+/// Two-sort variant of [`assemble`], for the reference path.
+pub(crate) fn assemble_reference(
+    attr: UsageAttribute,
+    min_class: Option<PriorityClass>,
+    percents: Vec<f64>,
+) -> Option<UsageMassCount> {
+    if percents.is_empty() {
+        return None;
+    }
+    let percent = Summary::of(&percents);
+    Some(UsageMassCount {
+        attribute: attr,
+        min_class,
+        percent,
+        masscount: MassCount::new(percents)?.summary(),
     })
 }
 
@@ -152,6 +217,26 @@ mod tests {
                 usage_masscount(&t, attr, None)
             );
         }
+    }
+
+    #[test]
+    fn reference_form_is_bit_identical() {
+        let t = trace();
+        let view = TraceView::new(&t);
+        for attr in UsageAttribute::ALL {
+            assert_eq!(
+                usage_masscount_reference(&t, attr, None),
+                usage_masscount(&t, attr, None)
+            );
+            assert_eq!(
+                usage_masscount_from_view_reference(&view, attr),
+                usage_masscount_from_view(&view, attr)
+            );
+        }
+        assert_eq!(
+            usage_masscount_reference(&t, UsageAttribute::Cpu, Some(PriorityClass::High)),
+            usage_masscount(&t, UsageAttribute::Cpu, Some(PriorityClass::High))
+        );
     }
 
     #[test]

@@ -45,8 +45,11 @@ pub mod telemetry;
 pub mod view;
 pub mod workload;
 
-pub use pass::{workload_passes, AnalysisPass, PassContext, PassOutput};
-pub use report::{characterize, CharacterizationReport};
+pub use pass::{
+    hostload_passes, hostload_passes_reference, workload_passes, AnalysisPass, PassContext,
+    PassOutput,
+};
+pub use report::{characterize, characterize_reference, CharacterizationReport};
 pub use stream::{characterize_stream, StreamOptions, StreamStats};
 pub use telemetry::telemetry_from_trace;
 pub use view::TraceView;

@@ -20,8 +20,9 @@
 //! memory via [`StreamingSummary`] moments plus a [`Reservoir`] sample.
 
 use crate::hostload::{
-    max_load, queue_runlengths, usage_masscount, usage_masscount_from_view, HostComparison,
-    LevelRunTable, MaxLoadDistribution, QueueRunLengths, UsageMassCount,
+    max_load, queue_runlengths, queue_runlengths_reference, usage_masscount,
+    usage_masscount_from_view, usage_masscount_from_view_reference, usage_masscount_reference,
+    HostComparison, LevelRunTable, MaxLoadDistribution, QueueRunLengths, UsageMassCount,
 };
 use crate::report::{HostloadSection, WorkloadSection};
 use crate::view::TraceView;
@@ -250,20 +251,34 @@ pub fn workload_passes(approx: bool) -> Vec<Box<dyn AnalysisPass>> {
 /// of these stream; the in-memory driver runs them over a shared
 /// [`TraceView`].
 pub fn hostload_passes() -> Vec<Box<dyn AnalysisPass>> {
+    hostload_passes_with(false)
+}
+
+/// The host-load registry with every pass in its pre-optimization
+/// (reference) form: per-machine queue replay, per-lag autocorrelation,
+/// two-sort row summaries. Bit-identical output to [`hostload_passes`] —
+/// this is the analysis half of the benchmark's seed-equivalent baseline
+/// and a whole-report differential oracle.
+pub fn hostload_passes_reference() -> Vec<Box<dyn AnalysisPass>> {
+    hostload_passes_with(true)
+}
+
+fn hostload_passes_with(reference: bool) -> Vec<Box<dyn AnalysisPass>> {
     let mut passes: Vec<Box<dyn AnalysisPass>> = vec![
         Box::new(MaxLoadsPass::default()),
-        Box::new(QueueRunsPass::default()),
-        Box::new(LevelRunsPass::new(UsageAttribute::Cpu)),
-        Box::new(LevelRunsPass::new(UsageAttribute::MemoryUsed)),
+        Box::new(QueueRunsPass::new(reference)),
+        Box::new(LevelRunsPass::new(UsageAttribute::Cpu, reference)),
+        Box::new(LevelRunsPass::new(UsageAttribute::MemoryUsed, reference)),
     ];
     for attr in [UsageAttribute::Cpu, UsageAttribute::MemoryUsed] {
-        passes.push(Box::new(MassCountPass::new(attr, None)));
+        passes.push(Box::new(MassCountPass::new(attr, None, reference)));
         passes.push(Box::new(MassCountPass::new(
             attr,
             Some(PriorityClass::Middle),
+            reference,
         )));
     }
-    passes.push(Box::new(ComparisonPass::default()));
+    passes.push(Box::new(ComparisonPass::new(reference)));
     passes
 }
 
@@ -342,8 +357,9 @@ pub(crate) fn run_hostload(
     view: &TraceView<'_>,
     ctx: &PassContext,
     parent: Option<u64>,
+    reference: bool,
 ) -> HostloadSection {
-    let mut passes = hostload_passes();
+    let mut passes = hostload_passes_with(reference);
     run_full_parallel(&mut passes, view, parent);
 
     let mut max_loads = None;
@@ -440,9 +456,18 @@ impl AnalysisPass for MaxLoadsPass {
 }
 
 /// Fig. 9.
-#[derive(Default)]
 struct QueueRunsPass {
+    reference: bool,
     out: Option<QueueRunLengths>,
+}
+
+impl QueueRunsPass {
+    fn new(reference: bool) -> Self {
+        QueueRunsPass {
+            reference,
+            out: None,
+        }
+    }
 }
 
 impl AnalysisPass for QueueRunsPass {
@@ -455,7 +480,11 @@ impl AnalysisPass for QueueRunsPass {
     }
 
     fn run_full(&mut self, view: &TraceView<'_>) {
-        self.out = Some(queue_runlengths(view.trace(), QUEUE_SAMPLE_PERIOD));
+        self.out = Some(if self.reference {
+            queue_runlengths_reference(view.trace(), QUEUE_SAMPLE_PERIOD)
+        } else {
+            queue_runlengths(view.trace(), QUEUE_SAMPLE_PERIOD)
+        });
     }
 
     fn finish(self: Box<Self>, _ctx: &PassContext) -> PassOutput {
@@ -466,12 +495,17 @@ impl AnalysisPass for QueueRunsPass {
 /// Table II/III for one attribute (all tasks).
 struct LevelRunsPass {
     attr: UsageAttribute,
+    reference: bool,
     out: Option<LevelRunTable>,
 }
 
 impl LevelRunsPass {
-    fn new(attr: UsageAttribute) -> Self {
-        LevelRunsPass { attr, out: None }
+    fn new(attr: UsageAttribute, reference: bool) -> Self {
+        LevelRunsPass {
+            attr,
+            reference,
+            out: None,
+        }
     }
 }
 
@@ -485,9 +519,12 @@ impl AnalysisPass for LevelRunsPass {
     }
 
     fn run_full(&mut self, view: &TraceView<'_>) {
-        self.out = Some(crate::hostload::usage_levels::usage_level_runs_from_view(
-            view, self.attr,
-        ));
+        use crate::hostload::usage_levels;
+        self.out = Some(if self.reference {
+            usage_levels::usage_level_runs_from_view_reference(view, self.attr)
+        } else {
+            usage_levels::usage_level_runs_from_view(view, self.attr)
+        });
     }
 
     fn finish(self: Box<Self>, _ctx: &PassContext) -> PassOutput {
@@ -499,14 +536,16 @@ impl AnalysisPass for LevelRunsPass {
 struct MassCountPass {
     attr: UsageAttribute,
     min_class: Option<PriorityClass>,
+    reference: bool,
     out: Option<UsageMassCount>,
 }
 
 impl MassCountPass {
-    fn new(attr: UsageAttribute, min_class: Option<PriorityClass>) -> Self {
+    fn new(attr: UsageAttribute, min_class: Option<PriorityClass>, reference: bool) -> Self {
         MassCountPass {
             attr,
             min_class,
+            reference,
             out: None,
         }
     }
@@ -525,9 +564,11 @@ impl AnalysisPass for MassCountPass {
         // The all-tasks views share the cached attribute extraction; the
         // per-class views need a different sample split, which only the
         // trace itself can provide.
-        self.out = match self.min_class {
-            None => usage_masscount_from_view(view, self.attr),
-            Some(_) => usage_masscount(view.trace(), self.attr, self.min_class),
+        self.out = match (self.min_class, self.reference) {
+            (None, false) => usage_masscount_from_view(view, self.attr),
+            (None, true) => usage_masscount_from_view_reference(view, self.attr),
+            (Some(_), false) => usage_masscount(view.trace(), self.attr, self.min_class),
+            (Some(_), true) => usage_masscount_reference(view.trace(), self.attr, self.min_class),
         };
     }
 
@@ -541,9 +582,18 @@ impl AnalysisPass for MassCountPass {
 }
 
 /// Fig. 13.
-#[derive(Default)]
 struct ComparisonPass {
+    reference: bool,
     out: Option<HostComparison>,
+}
+
+impl ComparisonPass {
+    fn new(reference: bool) -> Self {
+        ComparisonPass {
+            reference,
+            out: None,
+        }
+    }
 }
 
 impl AnalysisPass for ComparisonPass {
@@ -556,7 +606,11 @@ impl AnalysisPass for ComparisonPass {
     }
 
     fn run_full(&mut self, view: &TraceView<'_>) {
-        self.out = crate::hostload::host_comparison(view.trace(), 0);
+        self.out = if self.reference {
+            crate::hostload::host_comparison_reference(view.trace(), 0)
+        } else {
+            crate::hostload::host_comparison(view.trace(), 0)
+        };
     }
 
     fn finish(self: Box<Self>, _ctx: &PassContext) -> PassOutput {
@@ -574,6 +628,8 @@ mod tests {
         assert!(workload_passes(false).iter().all(|p| p.streamable()));
         assert_eq!(hostload_passes().len(), 9);
         assert!(hostload_passes().iter().all(|p| !p.streamable()));
+        assert_eq!(hostload_passes_reference().len(), 9);
+        assert!(hostload_passes_reference().iter().all(|p| !p.streamable()));
     }
 
     #[test]

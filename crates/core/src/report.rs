@@ -89,6 +89,20 @@ pub struct CharacterizationReport {
 /// deterministic regardless of thread count: each pass writes only its
 /// own slot in the report.
 pub fn characterize(trace: &Trace) -> CharacterizationReport {
+    characterize_with(trace, false)
+}
+
+/// [`characterize`] with the host-load registry in its pre-optimization
+/// (reference) form: per-machine queue replay, per-lag autocorrelation,
+/// and two-sort row summaries instead of the single-sweep/hoisted/
+/// shared-sort implementations. The report is bit-identical — this is
+/// the analysis half of `cgc-bench`'s seed-equivalent baseline and a
+/// whole-report differential oracle for the optimized passes.
+pub fn characterize_reference(trace: &Trace) -> CharacterizationReport {
+    characterize_with(trace, true)
+}
+
+fn characterize_with(trace: &Trace, reference: bool) -> CharacterizationReport {
     let span = cgc_obs::span(cgc_obs::stages::CHARACTERIZE);
     // The sections fork onto rayon threads, which breaks the
     // thread-local span chain; carry the root id explicitly so exported
@@ -101,7 +115,7 @@ pub fn characterize(trace: &Trace) -> CharacterizationReport {
     };
     let (workload, hostload) = rayon::join(
         || workload_section(trace, &ctx, root),
-        || hostload_section(&view, &ctx, root),
+        || hostload_section(&view, &ctx, root, reference),
     );
     CharacterizationReport {
         system: trace.system.clone(),
@@ -126,11 +140,12 @@ fn hostload_section(
     view: &TraceView<'_>,
     ctx: &PassContext,
     parent: Option<u64>,
+    reference: bool,
 ) -> Option<HostloadSection> {
     if !view.trace().host_series.iter().any(|s| !s.is_empty()) {
         return None;
     }
-    Some(pass::run_hostload(view, ctx, parent))
+    Some(pass::run_hostload(view, ctx, parent, reference))
 }
 
 impl fmt::Display for CharacterizationReport {

@@ -1,0 +1,40 @@
+//! The reference (pre-optimization) analysis pipeline must be
+//! bit-identical to the optimized one on a full simulated trace.
+//!
+//! `characterize_reference` is what `cgc-bench` times as the analysis
+//! half of its seed-equivalent baseline; if it ever diverged from
+//! `characterize` the reported speedup would compare different work.
+
+use cgc_gen::{FleetConfig, GoogleWorkload};
+use cgc_sim::{FaultConfig, SimConfig, Simulator};
+use cgc_trace::HOUR;
+
+#[test]
+fn characterize_reference_is_bit_identical() {
+    let w = GoogleWorkload::scaled_for_hostload(12, 6 * HOUR).generate(7);
+    let config = SimConfig::google(FleetConfig::google(12)).with_faults(FaultConfig::google());
+    let trace = Simulator::new(config).run(&w);
+    assert!(
+        trace.host_series.iter().any(|s| !s.is_empty()),
+        "trace must exercise the host-load section"
+    );
+
+    let fast = cgc_core::characterize(&trace);
+    let reference = cgc_core::characterize_reference(&trace);
+    assert_eq!(fast, reference);
+    // Serialized form too: PartialEq on f64 admits 0.0 == -0.0, but the
+    // baseline claim is byte-level identity.
+    assert_eq!(
+        serde_json::to_string(&fast).unwrap(),
+        serde_json::to_string(&reference).unwrap()
+    );
+}
+
+#[test]
+fn characterize_reference_on_empty_trace() {
+    let trace = cgc_trace::TraceBuilder::new("empty", 100).build().unwrap();
+    assert_eq!(
+        cgc_core::characterize(&trace),
+        cgc_core::characterize_reference(&trace)
+    );
+}

@@ -285,8 +285,23 @@ impl PipelineMetrics {
                     .collect(),
             })
             .collect();
-        MetricsSnapshot { counters, timings }
+        MetricsSnapshot {
+            shard_imbalance: shard_imbalance(&counters.events_per_shard),
+            counters,
+            timings,
+        }
     }
+}
+
+/// Max-over-mean ratio of the per-shard event counts; 0.0 when no shard
+/// reported any events.
+fn shard_imbalance(events_per_shard: &[u64]) -> f64 {
+    let total: u64 = events_per_shard.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let max = *events_per_shard.iter().max().expect("total > 0");
+    max as f64 * events_per_shard.len() as f64 / total as f64
 }
 
 /// The deterministic half of a snapshot: pure event/record counts that
@@ -342,10 +357,17 @@ pub struct StageTiming {
 }
 
 /// A point-in-time copy of the registry, serializable for reports.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
     /// Deterministic counts (safe to diff across runs of the same seed).
     pub counters: PipelineCounters,
+    /// Max-over-mean ratio of `events_per_shard` (1.0 = perfectly even,
+    /// `shards` = one shard carried everything). Zero when no shard
+    /// reported events. Derived from `counters`, so deterministic — but
+    /// kept out of [`PipelineCounters`] so exact-diff consumers are
+    /// unaffected.
+    #[serde(default)]
+    pub shard_imbalance: f64,
     /// Wall-clock histograms, only for stages that recorded anything.
     pub timings: Vec<StageTiming>,
 }
@@ -381,6 +403,19 @@ impl MetricsSnapshot {
         if !c.events_per_shard.is_empty() {
             let shards: Vec<String> = c.events_per_shard.iter().map(u64::to_string).collect();
             let _ = writeln!(out, "  {:<19} [{}]", "events per shard", shards.join(", "));
+            let _ = writeln!(
+                out,
+                "  {:<19} {:.2}x",
+                "shard imbalance", self.shard_imbalance
+            );
+        }
+        if self.shard_imbalance > 2.0 {
+            let _ = writeln!(
+                out,
+                "  warning: shard load is imbalanced ({:.2}x max-over-mean) — one shard \
+                 dominates the event count",
+                self.shard_imbalance
+            );
         }
         if c.shards_clamped {
             let _ = writeln!(
@@ -438,6 +473,17 @@ mod tests {
         assert_eq!(snap.counters.events_simulated, 17);
         // Trimmed to the highest shard that reported: slots 0..=3.
         assert_eq!(snap.counters.events_per_shard, vec![0, 10, 0, 7]);
+        // max/mean = 10 / (17/4) ≈ 2.35 — above the 2x warning line.
+        assert!(
+            (snap.shard_imbalance - 40.0 / 17.0).abs() < 1e-12,
+            "imbalance = {}",
+            snap.shard_imbalance
+        );
+        assert!(
+            snap.render_table()
+                .contains("warning: shard load is imbalanced"),
+            "imbalance warning missing from the rendered table"
+        );
         let read = snap.timings.iter().find(|t| t.stage == stages::READ);
         assert_eq!(read.expect("read slot populated").count, 1);
         assert!(snap.timings.iter().any(|t| t.stage == stages::OTHER));
@@ -469,6 +515,7 @@ mod tests {
                 events_per_shard: vec![1, 2],
                 ..PipelineCounters::default()
             },
+            shard_imbalance: 4.0 / 3.0,
             timings: vec![StageTiming {
                 stage: stages::SHARD.to_string(),
                 count: 2,
@@ -489,6 +536,7 @@ mod tests {
                 events_per_shard: vec![4, 5],
                 ..PipelineCounters::default()
             },
+            shard_imbalance: 10.0 / 9.0,
             timings: Vec::new(),
         };
         let table = snap.render_table();
@@ -499,8 +547,13 @@ mod tests {
             "checkpoint writes",
             "checkpoint restores",
             "events per shard",
+            "shard imbalance",
         ] {
             assert!(table.contains(label), "missing {label:?} in:\n{table}");
         }
+        assert!(
+            !table.contains("warning: shard load is imbalanced"),
+            "a 1.11x ratio must not warn:\n{table}"
+        );
     }
 }

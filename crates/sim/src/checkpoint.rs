@@ -349,18 +349,35 @@ impl Fnv1a {
     }
 }
 
+/// Version of the sharded job-routing algorithm, salted into the
+/// fingerprint of sharded runs only. Bump it whenever
+/// [`crate::shard::ShardPlan`] changes its job→shard assignment: the
+/// per-shard task tables a checkpoint indexes into would no longer
+/// match, so an old sharded checkpoint must be refused rather than
+/// replayed into garbage. Unsharded runs have no routing, so their
+/// fingerprints (and checkpoints) stay stable across routing versions.
+const ROUTING_VERSION: u64 = 2;
+
 /// Fingerprints a scenario: the full config (canonical JSON, with the
-/// thread count neutralized — it is an execution knob that never affects
-/// output) plus the workload skeleton (system, horizon, and each job's
-/// submit time, priority and task count). Two runs with equal
-/// fingerprints replay the same scenario, so resuming across them is
-/// sound; the thread count may differ freely.
+/// thread count and scheduler core neutralized — both are execution
+/// knobs that never affect output) plus the workload skeleton (system,
+/// horizon, and each job's submit time, priority and task count). Two
+/// runs with equal fingerprints replay the same scenario, so resuming
+/// across them is sound; threads and core may differ freely.
 pub fn run_fingerprint(config: &SimConfig, workload: &Workload) -> u64 {
     let mut canonical = config.clone();
     canonical.threads = 1;
+    canonical.core = crate::SchedulerCore::Optimized;
     let mut h = Fnv1a::new();
     let cfg_json = serde_json::to_string(&canonical).expect("SimConfig serializes");
+    // Strip the (fixed, canonicalized) core field so configs serialized
+    // before the knob existed hash identically — old unsharded
+    // checkpoints keep resuming.
+    let cfg_json = cfg_json.replace(",\"core\":\"Optimized\"", "");
     h.write(cfg_json.as_bytes());
+    if config.shards > 1 {
+        h.write_u64(ROUTING_VERSION);
+    }
     h.write(workload.system.as_bytes());
     h.write_u64(workload.horizon);
     h.write_u64(workload.jobs.len() as u64);
@@ -722,6 +739,14 @@ mod tests {
             fp,
             run_fingerprint(&base.clone().with_threads(8), &workload),
             "thread count is an execution knob, not part of the scenario"
+        );
+        assert_eq!(
+            fp,
+            run_fingerprint(
+                &base.clone().with_core(crate::SchedulerCore::Reference),
+                &workload
+            ),
+            "the scheduler core is an execution knob, not part of the scenario"
         );
         assert_ne!(
             fp,

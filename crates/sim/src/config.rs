@@ -24,6 +24,28 @@ pub enum PlacementPolicy {
     FirstFit,
 }
 
+/// Which internal data structures the engine runs on. Pure execution
+/// knob: both cores dispatch events in the identical `(time, seq)` order
+/// and produce bit-identical traces, telemetry, and checkpoints (pinned
+/// by the sim equivalence tests), so the choice never changes results —
+/// only how fast they arrive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulerCore {
+    /// `BinaryHeap` event queue + `BTreeMap` pending queue — the original
+    /// engine structures, kept as the benchmark baseline and cross-check.
+    Reference,
+    /// Calendar event queue + SoA pending columns (the default): time
+    /// buckets give amortized O(1) event dispatch and the pending queue
+    /// becomes append-only columns instead of a pointer-chasing tree.
+    Optimized,
+}
+
+impl Default for SchedulerCore {
+    fn default() -> Self {
+        SchedulerCore::Optimized
+    }
+}
+
 /// Full simulator configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -89,6 +111,12 @@ pub struct SimConfig {
     /// [`shards`](Self::shards)).
     #[serde(default = "one")]
     pub threads: usize,
+    /// Engine data-structure backend. Execution-only: results are
+    /// bit-identical across cores (see [`SchedulerCore`]); checkpoint
+    /// fingerprints mask it out, so a run checkpointed under one core
+    /// resumes under the other.
+    #[serde(default)]
+    pub core: SchedulerCore,
 }
 
 fn one() -> usize {
@@ -117,6 +145,7 @@ impl SimConfig {
             faults: FaultConfig::none(),
             shards: 1,
             threads: 1,
+            core: SchedulerCore::Optimized,
         }
     }
 
@@ -141,6 +170,7 @@ impl SimConfig {
             faults: FaultConfig::none(),
             shards: 1,
             threads: 1,
+            core: SchedulerCore::Optimized,
         }
     }
 
@@ -179,6 +209,13 @@ impl SimConfig {
     /// output — see [`threads`](Self::threads).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Selects the engine data-structure backend (builder style). Never
+    /// changes the output — see [`SchedulerCore`].
+    pub fn with_core(mut self, core: SchedulerCore) -> Self {
+        self.core = core;
         self
     }
 }
@@ -228,6 +265,20 @@ mod tests {
             .replace(",\"threads\":1", "");
         let back: SimConfig = serde_json::from_str(&stripped).unwrap();
         assert_eq!((back.shards, back.threads), (1, 1));
+    }
+
+    #[test]
+    fn core_knob_defaults_to_optimized() {
+        let c = SimConfig::google(FleetConfig::google(10));
+        assert_eq!(c.core, SchedulerCore::Optimized);
+        let c = c.with_core(SchedulerCore::Reference);
+        assert_eq!(c.core, SchedulerCore::Reference);
+        // Old serialized configs (no core field) still deserialize.
+        let json = serde_json::to_string(&SimConfig::grid(FleetConfig::homogeneous(5))).unwrap();
+        let stripped = json.replace(",\"core\":\"Optimized\"", "");
+        assert_ne!(json, stripped, "expected the core field in the JSON");
+        let back: SimConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.core, SchedulerCore::Optimized);
     }
 
     #[test]

@@ -51,7 +51,8 @@ use crate::checkpoint::{
 };
 use crate::config::{PlacementPolicy, SimConfig};
 use crate::outcome::AttemptPlan;
-use crate::shard::{ShardPlan, ShardSpec};
+use crate::queue::{EventKind, EventQueue, PendingQueue, QueuedEvent};
+use crate::shard::{JobSlice, ShardPlan, ShardSpec};
 use cgc_gen::Workload;
 use cgc_obs::{TelemetryBundle, TimelineSample, NUM_BANDS};
 use cgc_trace::task::{TaskEvent, TaskEventKind};
@@ -67,7 +68,7 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 use rayon::prelude::*;
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::collections::HashMap;
 use std::mem;
 use std::ops::Range;
 
@@ -83,13 +84,16 @@ pub struct Simulator {
     config: SimConfig,
 }
 
-/// Reusable engine allocations: the event heap and every per-pass scratch
-/// buffer. One run leaves its capacities behind for the next, so repeated
-/// simulations (parameter sweeps, benchmarks) stop paying the allocation
-/// tax — pass the same scratch to [`Simulator::run_with_scratch`].
+/// Reusable engine allocations: the event queue and every per-pass
+/// scratch buffer. One run leaves its capacities behind for the next, so
+/// repeated simulations (parameter sweeps, benchmarks) stop paying the
+/// allocation tax — pass the same scratch to
+/// [`Simulator::run_with_scratch`]. The queue backend is re-derived from
+/// each run's [`SchedulerCore`](crate::SchedulerCore) and horizon, so a
+/// scratch can be reused across configs.
 #[derive(Default)]
 pub struct SimScratch {
-    heap: BinaryHeap<QueuedEvent>,
+    queue: EventQueue,
     preferred: Vec<usize>,
     last_resort: Vec<usize>,
     pass_buf: Vec<((Reverse<u8>, u64), usize)>,
@@ -101,44 +105,6 @@ impl SimScratch {
     /// An empty scratch (allocates lazily on first use).
     pub fn new() -> Self {
         Self::default()
-    }
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum EventKind {
-    /// A task enters the pending queue.
-    Submit { task: usize },
-    /// A running attempt reaches its planned end. Stale if the attempt
-    /// number no longer matches (the task was evicted meanwhile).
-    Complete { task: usize, attempt: u32 },
-    /// Deferred scheduling pass (models scheduler reaction latency).
-    Kick,
-    /// A machine goes down until `until`; its running tasks fail.
-    /// Overlapping outages (node churn plus a domain outage) extend the
-    /// downtime to the latest `until`.
-    MachineDown { machine: usize, until: Timestamp },
-    /// A machine returns to service (ignored while a longer outage holds
-    /// the machine down).
-    MachineUp { machine: usize },
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct QueuedEvent {
-    time: Timestamp,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl Ord for QueuedEvent {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // BinaryHeap is a max-heap; reverse for earliest-first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
-    }
-}
-
-impl PartialOrd for QueuedEvent {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
     }
 }
 
@@ -236,8 +202,8 @@ struct EngineInput<'w> {
     machine_base: usize,
     /// Failure domains owned by this engine (global indices).
     domains: Range<usize>,
-    /// Global indices of the jobs this engine simulates, ascending.
-    jobs: &'w [usize],
+    /// Job slices this engine simulates, ascending by `(job, start)`.
+    jobs: &'w [JobSlice],
     /// Prefix sums of per-job task counts over the *whole* workload:
     /// job `j`'s `k`-th task has the global task id `task_base[j] + k`.
     task_base: &'w [usize],
@@ -269,7 +235,9 @@ struct EngineCounters {
 /// What one engine run produces, already in global-id space.
 struct EngineOutput {
     events: Vec<TaskEvent>,
-    /// `(global job index, core-seconds)`, ascending by job.
+    /// `(global job index, core-seconds)` per routed slice, ascending by
+    /// job; a job split across shards contributes one entry per slice,
+    /// summed at merge time.
     job_cpu_seconds: Vec<(usize, f64)>,
     series: Vec<HostSeries>,
     /// This engine's telemetry bundle, when a probe was attached.
@@ -282,10 +250,10 @@ struct Engine<'a> {
     /// Emitted events (global task/machine ids), pushed to the trace
     /// builder at merge time in emission order.
     events: Vec<TaskEvent>,
-    heap: BinaryHeap<QueuedEvent>,
+    queue: EventQueue,
     seq: u64,
     /// Pending queue ordered by (descending priority, FCFS sequence).
-    pending: BTreeMap<(Reverse<u8>, u64), usize>,
+    pending: PendingQueue,
     machines: Vec<MachineState>,
     /// Global id of local machine 0.
     machine_base: usize,
@@ -487,7 +455,15 @@ impl Simulator {
             // the master RNG right after the fleet draws, which keeps
             // every historical seeded trace bit-identical. (On resume the
             // restored stream position replaces the RNG wholesale.)
-            let jobs: Vec<usize> = (0..workload.jobs.len()).collect();
+            let jobs: Vec<JobSlice> = workload
+                .jobs
+                .iter()
+                .enumerate()
+                .map(|(j, spec)| JobSlice {
+                    job: j,
+                    tasks: 0..spec.tasks.len(),
+                })
+                .collect();
             let mut task_base = Vec::with_capacity(workload.jobs.len() + 1);
             task_base.push(0);
             for (j, spec) in workload.jobs.iter().enumerate() {
@@ -618,14 +594,14 @@ fn run_engine(
     } = input;
     let _span = cgc_obs::span_indexed(cgc_obs::stages::SHARD, shard);
 
-    // Flatten this engine's jobs into dense local task tables.
-    let n_tasks: usize = jobs.iter().map(|&j| workload.jobs[j].tasks.len()).sum();
+    // Flatten this engine's job slices into dense local task tables.
+    let n_tasks: usize = jobs.iter().map(|s| s.tasks.len()).sum();
     let mut tasks = Vec::with_capacity(n_tasks);
     let mut task_gid = Vec::with_capacity(n_tasks);
-    for (local_job, &j) in jobs.iter().enumerate() {
-        let spec = &workload.jobs[j];
-        for (k, t) in spec.tasks.iter().enumerate() {
-            task_gid.push(task_base[j] + k);
+    for (local_job, slice) in jobs.iter().enumerate() {
+        let spec = &workload.jobs[slice.job];
+        for (k, t) in spec.tasks[slice.tasks.clone()].iter().enumerate() {
+            task_gid.push(task_base[slice.job] + slice.tasks.start + k);
             tasks.push(TaskInfo {
                 job: local_job,
                 demand: t.demand,
@@ -667,25 +643,30 @@ fn run_engine(
         .collect();
 
     let SimScratch {
-        mut heap,
-        preferred,
-        last_resort,
-        pass_buf,
+        queue,
+        mut preferred,
+        mut last_resort,
+        mut pass_buf,
         victims,
         down_victims,
     } = mem::take(scratch);
-    heap.clear();
-    if heap.capacity() < n_tasks {
-        heap.reserve(n_tasks - heap.capacity());
-    }
+    // Re-derive capacities from *this* engine's routed slice — a shard
+    // owns only its share of machines and tasks, so sizing from the
+    // global cardinality would over-allocate every shard (and a reused
+    // scratch would under-serve a larger follow-up run).
+    let mut queue = queue.for_core(config.core, workload.horizon, 3 * n_tasks + 8);
+    queue.reserve(n_tasks);
+    preferred.reserve(records.len().saturating_sub(preferred.capacity()));
+    last_resort.reserve(records.len().saturating_sub(last_resort.capacity()));
+    pass_buf.reserve(n_tasks.saturating_sub(pass_buf.capacity()));
 
     let mut engine = Engine {
         config,
         rng,
         events: Vec::with_capacity(3 * n_tasks + 8),
-        heap,
+        queue,
         seq: 0,
-        pending: BTreeMap::new(),
+        pending: PendingQueue::for_core(config.core),
         machines,
         machine_base,
         domains,
@@ -730,11 +711,11 @@ fn run_engine(
             cgc_obs::metrics().checkpoint_restores.add(1);
         }
         None => {
-            // Seed the heap with every task submission.
+            // Seed the queue with every task submission.
             let mut task_idx = 0usize;
-            for &j in jobs {
-                let spec = &workload.jobs[j];
-                for _ in &spec.tasks {
+            for slice in jobs {
+                let spec = &workload.jobs[slice.job];
+                for _ in slice.tasks.clone() {
                     engine.push(spec.submit, EventKind::Submit { task: task_idx });
                     task_idx += 1;
                 }
@@ -769,7 +750,7 @@ fn run_engine(
     // Hand the scratch allocations back for the next run, and map
     // per-job usage to global job ids for the merge.
     let Engine {
-        mut heap,
+        mut queue,
         mut preferred,
         mut last_resort,
         mut pass_buf,
@@ -781,14 +762,14 @@ fn run_engine(
         telemetry: probe,
         ..
     } = engine;
-    heap.clear();
+    queue.clear();
     preferred.clear();
     last_resort.clear();
     pass_buf.clear();
     victims.clear();
     down_victims.clear();
     *scratch = SimScratch {
-        heap,
+        queue,
         preferred,
         last_resort,
         pass_buf,
@@ -801,7 +782,7 @@ fn run_engine(
         job_cpu_seconds: job_cpu_seconds
             .into_iter()
             .enumerate()
-            .map(|(local, cpu_s)| (jobs[local], cpu_s))
+            .map(|(local, cpu_s)| (jobs[local].job, cpu_s))
             .collect(),
         series,
         telemetry: probe.map(|p| p.bundle),
@@ -835,16 +816,24 @@ fn merge_outputs(
         }
         mean_memory.push(spec.nominal_memory());
     }
+    // A job sliced across shards reports core-seconds once per slice;
+    // accumulate in shard order (deterministic f64 summation) and set
+    // each job's usage exactly once. A job in one shard sums a single
+    // term, so unsharded totals are bit-identical to the historical path.
+    let mut job_cpu = vec![0.0f64; workload.jobs.len()];
     for out in outputs {
         for ev in out.events {
             builder.push_event(ev);
         }
         for (job, cpu_s) in out.job_cpu_seconds {
-            builder.set_job_usage(JobId::from(job), cpu_s, mean_memory[job]);
+            job_cpu[job] += cpu_s;
         }
         for s in out.series {
             builder.add_host_series(s);
         }
+    }
+    for (job, &cpu_s) in job_cpu.iter().enumerate() {
+        builder.set_job_usage(JobId::from(job), cpu_s, mean_memory[job]);
     }
     builder
         .build()
@@ -854,7 +843,7 @@ fn merge_outputs(
 impl Engine<'_> {
     fn push(&mut self, time: Timestamp, kind: EventKind) {
         self.seq += 1;
-        self.heap.push(QueuedEvent {
+        self.queue.push(QueuedEvent {
             time,
             seq: self.seq,
             kind,
@@ -875,12 +864,12 @@ impl Engine<'_> {
             // next event's time snapshots with that event still
             // queued, so a resumed run pops it afresh and replays the
             // identical sequence.
-            while let Some(&next) = self.heap.peek() {
+            while let Some(next) = self.queue.peek() {
                 if next.time >= self.horizon {
                     // Pop the post-horizon event before stopping, exactly
                     // like the pre-checkpoint loop did, so the trailing
-                    // telemetry ticks observe the same heap size.
-                    self.heap.pop();
+                    // telemetry ticks observe the same queue size.
+                    self.queue.pop();
                     break;
                 }
                 while self.next_boundary <= next.time {
@@ -888,7 +877,7 @@ impl Engine<'_> {
                     self.take_checkpoint(at);
                     self.next_boundary = at.saturating_add(self.ckpt_every);
                 }
-                let ev = self.heap.pop().expect("peeked just above");
+                let ev = self.queue.pop().expect("peeked just above");
                 while self.next_sample <= ev.time {
                     let at = self.next_sample;
                     self.take_samples(at);
@@ -958,7 +947,7 @@ impl Engine<'_> {
     /// bytes.
     fn snapshot(&self) -> EngineSnapshot {
         let mut heap: Vec<HeapEntry> = self
-            .heap
+            .queue
             .iter()
             .map(|e| HeapEntry {
                 time: e.time,
@@ -966,9 +955,10 @@ impl Engine<'_> {
                 kind: snap_event(e.kind),
             })
             .collect();
-        // BinaryHeap iteration order is arbitrary, but pop order is a pure
-        // function of (time, seq) — seq is unique — so sorting here loses
-        // nothing and makes the snapshot canonical.
+        // Queue iteration order is arbitrary (heap layout, calendar
+        // buckets), but pop order is a pure function of (time, seq) — seq
+        // is unique — so sorting here loses nothing and makes the
+        // snapshot canonical: both cores serialize identical bytes.
         heap.sort_unstable_by_key(|e| (e.time, e.seq));
         let mut host_failures: Vec<HostFailureSnapshot> = self
             .host_failures
@@ -988,11 +978,12 @@ impl Engine<'_> {
             drained: self.drained,
             events: self.events.clone(),
             heap,
-            pending: self
-                .pending
-                .iter()
-                .map(|(&(Reverse(level), seq), &task)| PendingEntry { level, seq, task })
-                .collect(),
+            pending: {
+                let mut pending = Vec::with_capacity(self.pending.len());
+                self.pending
+                    .for_each(|level, seq, task| pending.push(PendingEntry { level, seq, task }));
+                pending
+            },
             machines: self
                 .machines
                 .iter()
@@ -1063,19 +1054,18 @@ impl Engine<'_> {
         self.next_tick = snap.next_tick;
         self.drained = snap.drained;
         self.events = snap.events.clone();
-        self.heap.clear();
+        self.queue.clear();
         for e in &snap.heap {
-            self.heap.push(QueuedEvent {
+            self.queue.push(QueuedEvent {
                 time: e.time,
                 seq: e.seq,
                 kind: event_from_snap(e.kind),
             });
         }
-        self.pending = snap
-            .pending
-            .iter()
-            .map(|p| ((Reverse(p.level), p.seq), p.task))
-            .collect();
+        self.pending.clear();
+        for p in &snap.pending {
+            self.pending.insert(p.level, p.seq, p.task);
+        }
         for (m, ms) in self.machines.iter_mut().zip(&snap.machines) {
             m.free = ms.free;
             m.up = ms.up;
@@ -1177,7 +1167,7 @@ impl Engine<'_> {
         self.phase[task] = TaskPhase::Pending;
         let level = self.tasks[task].priority.level();
         self.seq += 1;
-        self.pending.insert((Reverse(level), self.seq), task);
+        self.pending.insert(level, self.seq, task);
         if self.config.schedule_latency == 0 {
             self.schedule_pass(time);
         } else {
@@ -1251,7 +1241,7 @@ impl Engine<'_> {
             pending,
             tasks,
             machines,
-            heap,
+            queue,
             host_failures,
             config,
             ..
@@ -1260,9 +1250,9 @@ impl Engine<'_> {
             return;
         };
         let mut per_band = [0u64; NUM_BANDS];
-        for &task in pending.values() {
+        pending.for_each(|_, _, task| {
             per_band[tasks[task].priority.class().index()] += 1;
-        }
+        });
         let mut running = 0u64;
         let mut free_cpu = 0.0;
         let mut free_memory = 0.0;
@@ -1286,7 +1276,7 @@ impl Engine<'_> {
                 t: time,
                 pending: per_band,
                 running,
-                heap_events: heap.len() as u64,
+                heap_events: queue.len() as u64,
                 blacklisted,
             },
             free_cpu,
@@ -1348,17 +1338,18 @@ impl Engine<'_> {
     /// Attempts to schedule pending tasks, in priority-then-FCFS order.
     fn schedule_pass(&mut self, time: Timestamp) {
         // Snapshot the queue into the reusable pass buffer (try_place
-        // needs `&mut self`, so we cannot iterate the map directly).
+        // needs `&mut self`, so we cannot iterate the queue directly).
         let mut keys = mem::take(&mut self.pass_buf);
         keys.clear();
-        keys.extend(self.pending.iter().map(|(&k, &t)| (k, t)));
+        self.pending
+            .for_each(|level, seq, task| keys.push(((Reverse(level), seq), task)));
         let mut failures = 0usize;
-        for &(key, task) in &keys {
+        for &((Reverse(level), seq), task) in &keys {
             if failures >= MAX_SCAN_FAILURES {
                 break;
             }
             if self.try_place(time, task) {
-                self.pending.remove(&key);
+                self.pending.remove(level, seq);
             } else {
                 failures += 1;
             }

@@ -31,13 +31,14 @@ pub mod config;
 pub mod engine;
 pub mod faults;
 pub mod outcome;
+mod queue;
 pub mod shard;
 
 pub use checkpoint::{
     load_checkpoint, run_fingerprint, save_checkpoint, CheckpointError, CheckpointOptions,
     EngineSnapshot, RunCheckpoint, CHECKPOINT_VERSION,
 };
-pub use config::{PlacementPolicy, SimConfig};
+pub use config::{PlacementPolicy, SchedulerCore, SimConfig};
 pub use engine::{SimScratch, Simulator};
 pub use faults::{DomainOutage, FaultConfig, RetryPolicy};
 pub use outcome::{AttemptPlan, InvalidOutcomeModel, OutcomeModel};

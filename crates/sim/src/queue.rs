@@ -1,0 +1,688 @@
+//! Event-queue and pending-queue backends for the simulation engine.
+//!
+//! The engine's determinism contract is that events dispatch in strict
+//! `(time, seq)` order (`seq` is unique, so the order is total) and that
+//! the pending queue iterates in `(descending priority, FCFS seq)` order.
+//! This module provides two interchangeable implementations of each,
+//! selected by [`SchedulerCore`](crate::SchedulerCore):
+//!
+//! * **Reference** — `BinaryHeap` events + `BTreeMap` pending, the
+//!   original engine structures. O(log n) per event with pointer-chasing
+//!   node comparisons; kept as the honest benchmark baseline and as a
+//!   cross-check for the optimized core.
+//! * **Optimized** — a [`CalendarQueue`] (time-bucketed ring with a
+//!   far-future overflow heap; amortized O(1) push/pop because sim events
+//!   cluster near the current time) + [`PendingSoa`] (per-priority-level
+//!   append-only columns with tombstone removal; pushes are naturally
+//!   seq-sorted because the engine's sequence counter is monotone).
+//!
+//! Both backends produce *identical* pop/iteration sequences — pinned by
+//! the property tests below and by the sim-level equivalence suite — so
+//! the choice of core never changes a single output byte.
+
+use cgc_trace::{Duration, Timestamp};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+use crate::config::SchedulerCore;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EventKind {
+    /// A task enters the pending queue.
+    Submit { task: usize },
+    /// A running attempt reaches its planned end. Stale if the attempt
+    /// number no longer matches (the task was evicted meanwhile).
+    Complete { task: usize, attempt: u32 },
+    /// Deferred scheduling pass (models scheduler reaction latency).
+    Kick,
+    /// A machine goes down until `until`; its running tasks fail.
+    /// Overlapping outages (node churn plus a domain outage) extend the
+    /// downtime to the latest `until`.
+    MachineDown { machine: usize, until: Timestamp },
+    /// A machine returns to service (ignored while a longer outage holds
+    /// the machine down).
+    MachineUp { machine: usize },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct QueuedEvent {
+    pub(crate) time: Timestamp,
+    pub(crate) seq: u64,
+    pub(crate) kind: EventKind,
+}
+
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; reverse for earliest-first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A calendar queue: a ring of time buckets covering a fixed window of
+/// `nbuckets × width` seconds, plus an overflow min-heap for events past
+/// the window ("ladder" fallback).
+///
+/// * `push`: events inside the window drop into bucket `time / width`
+///   (O(1)); events at or past `limit` go to the overflow heap. An event
+///   for the bucket currently being drained is binary-inserted to keep
+///   that bucket sorted.
+/// * `pop`/`peek`: advance over empty buckets; the first non-empty bucket
+///   is sorted once (descending, so pops are `Vec::pop` from the back)
+///   and then drained. When the ring empties, the window re-anchors at
+///   the overflow minimum and the next window's worth of events is pulled
+///   in.
+///
+/// The window never slides while it holds events, which yields the
+/// ordering invariant: every ring event's time is `< limit` and every
+/// overflow event's is `>= limit`, so the global minimum always lives in
+/// the first non-empty bucket at or after `cur`. Pushes never pre-date
+/// the event being dispatched (the engine only schedules at or after
+/// "now"), so a drained bucket is never repopulated.
+#[derive(Debug)]
+pub(crate) struct CalendarQueue {
+    /// Ring of buckets; event slot = `(time / width) & mask`.
+    buckets: Vec<Vec<QueuedEvent>>,
+    /// `buckets.len() - 1`; the bucket count is a power of two.
+    mask: u64,
+    /// Seconds of sim time per bucket (>= 1).
+    width: u64,
+    /// Absolute index (`time / width`) of the bucket being drained.
+    cur: u64,
+    /// Exclusive upper time bound of the ring window; events at or past
+    /// it overflow. Fixed between re-anchors.
+    limit: Timestamp,
+    /// Whether the current bucket is sorted descending by `(time, seq)`.
+    cur_sorted: bool,
+    /// Far-future events; `QueuedEvent`'s reversed `Ord` makes this a
+    /// min-heap.
+    overflow: BinaryHeap<QueuedEvent>,
+    /// Events currently in ring buckets (`len - overflow.len()`).
+    in_ring: usize,
+    len: usize,
+}
+
+impl CalendarQueue {
+    /// Sizes the ring so the expected event population spreads a few
+    /// events per bucket over roughly one horizon.
+    pub(crate) fn new(horizon: Duration, events_hint: usize) -> CalendarQueue {
+        let n = Self::bucket_count(events_hint);
+        let width = Self::bucket_width(horizon, n);
+        CalendarQueue {
+            buckets: (0..n).map(|_| Vec::new()).collect(),
+            mask: n as u64 - 1,
+            width,
+            cur: 0,
+            limit: width.saturating_mul(n as u64),
+            cur_sorted: false,
+            overflow: BinaryHeap::new(),
+            in_ring: 0,
+            len: 0,
+        }
+    }
+
+    fn bucket_count(events_hint: usize) -> usize {
+        (events_hint / 4).clamp(64, 1 << 16).next_power_of_two()
+    }
+
+    fn bucket_width(horizon: Duration, n: usize) -> u64 {
+        (horizon.max(1)).div_ceil(n as u64).max(1)
+    }
+
+    /// Re-parameterizes for a fresh run, reusing bucket allocations.
+    pub(crate) fn reset(&mut self, horizon: Duration, events_hint: usize) {
+        let n = Self::bucket_count(events_hint);
+        if n != self.buckets.len() {
+            self.buckets.resize_with(n, Vec::new);
+            self.mask = n as u64 - 1;
+        }
+        self.width = Self::bucket_width(horizon, n);
+        self.wipe();
+    }
+
+    /// Empties the queue, keeping the current geometry and allocations.
+    fn wipe(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.cur = 0;
+        self.limit = self.width.saturating_mul(self.buckets.len() as u64);
+        self.cur_sorted = false;
+        self.overflow.clear();
+        self.in_ring = 0;
+        self.len = 0;
+    }
+
+    pub(crate) fn push(&mut self, e: QueuedEvent) {
+        self.len += 1;
+        if e.time >= self.limit {
+            self.overflow.push(e);
+            return;
+        }
+        // An event dated before the bucket being drained (possible only
+        // for same-instant pushes after a re-anchor clamp) joins the
+        // current bucket; ordering holds because that bucket pops sorted.
+        let b = (e.time / self.width).max(self.cur);
+        let slot = (b & self.mask) as usize;
+        if b == self.cur && self.cur_sorted {
+            let v = &mut self.buckets[slot];
+            let pos = v.partition_point(|x| (x.time, x.seq) > (e.time, e.seq));
+            v.insert(pos, e);
+        } else {
+            self.buckets[slot].push(e);
+        }
+        self.in_ring += 1;
+    }
+
+    /// Advances to the first non-empty bucket (re-anchoring from the
+    /// overflow heap if the ring is empty) and sorts it. Returns its
+    /// slot, or `None` when the queue is empty.
+    fn settle(&mut self) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            if self.in_ring == 0 {
+                // Everything left is far-future: re-anchor the window at
+                // the overflow minimum and pull one window's worth in.
+                let head = *self.overflow.peek().expect("len > 0 and ring empty");
+                self.cur = head.time / self.width;
+                self.limit = self
+                    .width
+                    .saturating_mul(self.cur.saturating_add(self.mask + 1));
+                while let Some(&e) = self.overflow.peek() {
+                    if e.time >= self.limit {
+                        break;
+                    }
+                    let e = self.overflow.pop().expect("peeked just above");
+                    let slot = ((e.time / self.width) & self.mask) as usize;
+                    self.buckets[slot].push(e);
+                    self.in_ring += 1;
+                }
+                self.cur_sorted = false;
+            }
+            let slot = (self.cur & self.mask) as usize;
+            if !self.buckets[slot].is_empty() {
+                if !self.cur_sorted {
+                    self.buckets[slot].sort_unstable_by_key(|e| Reverse((e.time, e.seq)));
+                    self.cur_sorted = true;
+                }
+                return Some(slot);
+            }
+            self.cur += 1;
+            self.cur_sorted = false;
+        }
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<QueuedEvent> {
+        let slot = self.settle()?;
+        let e = self.buckets[slot].pop().expect("settled on non-empty");
+        self.len -= 1;
+        self.in_ring -= 1;
+        Some(e)
+    }
+
+    pub(crate) fn peek(&mut self) -> Option<QueuedEvent> {
+        let slot = self.settle()?;
+        self.buckets[slot].last().copied()
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// All queued events in arbitrary order (for snapshots, which sort).
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &QueuedEvent> {
+        self.buckets.iter().flatten().chain(self.overflow.iter())
+    }
+}
+
+/// The engine's event queue, behind a core-selected backend. Both
+/// variants pop in identical `(time, seq)` order.
+#[derive(Debug)]
+pub(crate) enum EventQueue {
+    Heap(BinaryHeap<QueuedEvent>),
+    Calendar(CalendarQueue),
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        EventQueue::Heap(BinaryHeap::new())
+    }
+}
+
+impl EventQueue {
+    /// Converts (or resets) this queue for a run under `core`, reusing
+    /// allocations when the backend already matches.
+    pub(crate) fn for_core(
+        self,
+        core: SchedulerCore,
+        horizon: Duration,
+        hint: usize,
+    ) -> EventQueue {
+        match (self, core) {
+            (EventQueue::Heap(mut h), SchedulerCore::Reference) => {
+                h.clear();
+                EventQueue::Heap(h)
+            }
+            (EventQueue::Calendar(mut c), SchedulerCore::Optimized) => {
+                c.reset(horizon, hint);
+                EventQueue::Calendar(c)
+            }
+            (_, SchedulerCore::Reference) => EventQueue::Heap(BinaryHeap::new()),
+            (_, SchedulerCore::Optimized) => {
+                EventQueue::Calendar(CalendarQueue::new(horizon, hint))
+            }
+        }
+    }
+
+    pub(crate) fn push(&mut self, e: QueuedEvent) {
+        match self {
+            EventQueue::Heap(h) => h.push(e),
+            EventQueue::Calendar(c) => c.push(e),
+        }
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<QueuedEvent> {
+        match self {
+            EventQueue::Heap(h) => h.pop(),
+            EventQueue::Calendar(c) => c.pop(),
+        }
+    }
+
+    /// The next event by `(time, seq)`. Takes `&mut self` because the
+    /// calendar backend may need to settle onto its next bucket.
+    pub(crate) fn peek(&mut self) -> Option<QueuedEvent> {
+        match self {
+            EventQueue::Heap(h) => h.peek().copied(),
+            EventQueue::Calendar(c) => c.peek(),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            EventQueue::Heap(h) => h.len(),
+            EventQueue::Calendar(c) => c.len(),
+        }
+    }
+
+    pub(crate) fn reserve(&mut self, additional: usize) {
+        match self {
+            EventQueue::Heap(h) => {
+                if h.capacity() < additional {
+                    h.reserve(additional - h.capacity());
+                }
+            }
+            // The ring pre-sizes via its bucket count; nothing to do.
+            EventQueue::Calendar(_) => {}
+        }
+    }
+
+    pub(crate) fn clear(&mut self) {
+        match self {
+            EventQueue::Heap(h) => h.clear(),
+            EventQueue::Calendar(c) => c.wipe(),
+        }
+    }
+
+    /// All queued events in arbitrary order (snapshots sort them into the
+    /// canonical `(time, seq)` form, so iteration order never matters).
+    pub(crate) fn iter(&self) -> Box<dyn Iterator<Item = &QueuedEvent> + '_> {
+        match self {
+            EventQueue::Heap(h) => Box::new(h.iter()),
+            EventQueue::Calendar(c) => Box::new(c.iter()),
+        }
+    }
+}
+
+/// SoA pending queue: one append-only `(seq, task)` column per priority
+/// level. The engine's sequence counter is strictly monotone, so each
+/// column is sorted by construction; removal tombstones in place (task =
+/// `usize::MAX`) and compacts lazily once tombstones outnumber live
+/// entries. Iteration order — descending level, then ascending seq —
+/// matches `BTreeMap<(Reverse<u8>, u64), usize>` exactly.
+#[derive(Debug, Default)]
+pub(crate) struct PendingSoa {
+    levels: Vec<Vec<(u64, usize)>>,
+    live: usize,
+    dead: usize,
+}
+
+const TOMBSTONE: usize = usize::MAX;
+
+impl PendingSoa {
+    fn insert(&mut self, level: u8, seq: u64, task: usize) {
+        let l = level as usize;
+        if self.levels.len() <= l {
+            self.levels.resize_with(l + 1, Vec::new);
+        }
+        debug_assert!(
+            self.levels[l].last().map_or(true, |&(s, _)| s < seq),
+            "pending seq must be monotone per level"
+        );
+        self.levels[l].push((seq, task));
+        self.live += 1;
+    }
+
+    fn remove(&mut self, level: u8, seq: u64) {
+        let Some(v) = self.levels.get_mut(level as usize) else {
+            return;
+        };
+        if let Ok(i) = v.binary_search_by_key(&seq, |&(s, _)| s) {
+            if v[i].1 != TOMBSTONE {
+                v[i].1 = TOMBSTONE;
+                self.live -= 1;
+                self.dead += 1;
+            }
+        }
+        if self.dead > 64 && self.dead > self.live {
+            for v in &mut self.levels {
+                v.retain(|&(_, t)| t != TOMBSTONE);
+            }
+            self.dead = 0;
+        }
+    }
+
+    fn for_each(&self, mut f: impl FnMut(u8, u64, usize)) {
+        for l in (0..self.levels.len()).rev() {
+            for &(seq, task) in &self.levels[l] {
+                if task != TOMBSTONE {
+                    f(l as u8, seq, task);
+                }
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        for v in &mut self.levels {
+            v.clear();
+        }
+        self.live = 0;
+        self.dead = 0;
+    }
+}
+
+/// The engine's pending queue, behind a core-selected backend. Both
+/// variants iterate in `(descending level, ascending seq)` order.
+#[derive(Debug)]
+pub(crate) enum PendingQueue {
+    Map(BTreeMap<(Reverse<u8>, u64), usize>),
+    Soa(PendingSoa),
+}
+
+impl PendingQueue {
+    pub(crate) fn for_core(core: SchedulerCore) -> PendingQueue {
+        match core {
+            SchedulerCore::Reference => PendingQueue::Map(BTreeMap::new()),
+            SchedulerCore::Optimized => PendingQueue::Soa(PendingSoa::default()),
+        }
+    }
+
+    pub(crate) fn insert(&mut self, level: u8, seq: u64, task: usize) {
+        match self {
+            PendingQueue::Map(m) => {
+                m.insert((Reverse(level), seq), task);
+            }
+            PendingQueue::Soa(s) => s.insert(level, seq, task),
+        }
+    }
+
+    pub(crate) fn remove(&mut self, level: u8, seq: u64) {
+        match self {
+            PendingQueue::Map(m) => {
+                m.remove(&(Reverse(level), seq));
+            }
+            PendingQueue::Soa(s) => s.remove(level, seq),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            PendingQueue::Map(m) => m.len(),
+            PendingQueue::Soa(s) => s.live,
+        }
+    }
+
+    /// Visits every pending `(level, seq, task)` in descending-level,
+    /// ascending-seq order — the scheduling (and serialization) order.
+    pub(crate) fn for_each(&self, mut f: impl FnMut(u8, u64, usize)) {
+        match self {
+            PendingQueue::Map(m) => {
+                for (&(Reverse(level), seq), &task) in m.iter() {
+                    f(level, seq, task);
+                }
+            }
+            PendingQueue::Soa(s) => s.for_each(f),
+        }
+    }
+
+    pub(crate) fn clear(&mut self) {
+        match self {
+            PendingQueue::Map(m) => m.clear(),
+            PendingQueue::Soa(s) => s.clear(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(time: Timestamp, seq: u64) -> QueuedEvent {
+        QueuedEvent {
+            time,
+            seq,
+            kind: EventKind::Kick,
+        }
+    }
+
+    /// Drains both queues fully, checking every pop agrees.
+    fn drain_both(cal: &mut CalendarQueue, heap: &mut BinaryHeap<QueuedEvent>) {
+        loop {
+            let expect = heap.pop();
+            assert_eq!(cal.peek(), expect, "peek disagrees with heap");
+            let got = cal.pop();
+            assert_eq!(got, expect);
+            if expect.is_none() {
+                break;
+            }
+        }
+        assert_eq!(cal.len(), 0);
+    }
+
+    #[test]
+    fn pops_in_time_seq_order() {
+        let mut cal = CalendarQueue::new(1000, 16);
+        let mut heap = BinaryHeap::new();
+        for (i, &t) in [500u64, 10, 10, 999, 0, 250, 10, 750].iter().enumerate() {
+            let e = ev(t, i as u64 + 1);
+            cal.push(e);
+            heap.push(e);
+        }
+        drain_both(&mut cal, &mut heap);
+    }
+
+    #[test]
+    fn far_future_events_round_trip_through_overflow() {
+        // Window covers [0, ~1000); everything else ladders via overflow.
+        let mut cal = CalendarQueue::new(1000, 16);
+        let mut heap = BinaryHeap::new();
+        for (i, &t) in [5u64, 100_000, 2_000, 999_999, 50, 1_000_000_000]
+            .iter()
+            .enumerate()
+        {
+            let e = ev(t, i as u64 + 1);
+            cal.push(e);
+            heap.push(e);
+        }
+        drain_both(&mut cal, &mut heap);
+    }
+
+    #[test]
+    fn interleaved_push_pop_matches_heap() {
+        // Pops interleave with pushes that are never in the past —
+        // exactly the engine's usage pattern.
+        let mut cal = CalendarQueue::new(10_000, 8);
+        let mut heap = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut push = |cal: &mut CalendarQueue, heap: &mut BinaryHeap<QueuedEvent>, t: u64| {
+            seq += 1;
+            let e = ev(t, seq);
+            cal.push(e);
+            heap.push(e);
+        };
+        push(&mut cal, &mut heap, 100);
+        push(&mut cal, &mut heap, 40_000); // overflow
+        push(&mut cal, &mut heap, 100); // same timestamp, later seq
+        for _ in 0..2 {
+            let a = cal.pop().unwrap();
+            let b = heap.pop().unwrap();
+            assert_eq!((a.time, a.seq), (b.time, b.seq));
+            // Push relative to "now", like event handlers do.
+            push(&mut cal, &mut heap, a.time + 7);
+            push(&mut cal, &mut heap, a.time + 90_000);
+        }
+        drain_both(&mut cal, &mut heap);
+    }
+
+    #[test]
+    fn reset_reuses_and_empties() {
+        let mut cal = CalendarQueue::new(100, 8);
+        cal.push(ev(5, 1));
+        cal.push(ev(500, 2));
+        cal.reset(1_000_000, 4096);
+        assert_eq!(cal.len(), 0);
+        assert_eq!(cal.pop(), None);
+        cal.push(ev(999_999, 3));
+        assert_eq!(cal.pop().map(|e| e.seq), Some(3));
+    }
+
+    #[test]
+    fn pending_soa_orders_like_btreemap() {
+        let mut map = PendingQueue::for_core(SchedulerCore::Reference);
+        let mut soa = PendingQueue::for_core(SchedulerCore::Optimized);
+        let entries: &[(u8, u64, usize)] = &[
+            (2, 1, 10),
+            (0, 2, 11),
+            (2, 3, 12),
+            (9, 4, 13),
+            (0, 5, 14),
+            (2, 6, 15),
+        ];
+        for &(level, seq, task) in entries {
+            map.insert(level, seq, task);
+            soa.insert(level, seq, task);
+        }
+        map.remove(2, 3);
+        soa.remove(2, 3);
+        map.remove(9, 4);
+        soa.remove(9, 4);
+        map.remove(9, 4); // double-remove is a no-op
+        soa.remove(9, 4);
+        assert_eq!(map.len(), soa.len());
+        let collect = |q: &PendingQueue| {
+            let mut v = Vec::new();
+            q.for_each(|l, s, t| v.push((l, s, t)));
+            v
+        };
+        assert_eq!(collect(&map), collect(&soa));
+    }
+
+    #[test]
+    fn pending_soa_compaction_preserves_order() {
+        let mut map = PendingQueue::for_core(SchedulerCore::Reference);
+        let mut soa = PendingQueue::for_core(SchedulerCore::Optimized);
+        for seq in 1..=400u64 {
+            let level = (seq % 3) as u8;
+            map.insert(level, seq, seq as usize);
+            soa.insert(level, seq, seq as usize);
+        }
+        // Remove enough to trigger compaction (dead > 64 && dead > live).
+        for seq in 1..=300u64 {
+            let level = (seq % 3) as u8;
+            map.remove(level, seq);
+            soa.remove(level, seq);
+        }
+        let collect = |q: &PendingQueue| {
+            let mut v = Vec::new();
+            q.for_each(|l, s, t| v.push((l, s, t)));
+            v
+        };
+        assert_eq!(collect(&map), collect(&soa));
+        assert_eq!(map.len(), soa.len());
+        // Removal after compaction still finds its entry.
+        map.remove(1, 301);
+        soa.remove(1, 301);
+        assert_eq!(collect(&map), collect(&soa));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ev(time: Timestamp, seq: u64) -> QueuedEvent {
+        QueuedEvent {
+            time,
+            seq,
+            kind: EventKind::Kick,
+        }
+    }
+
+    proptest! {
+        /// The calendar queue and the reference heap pop identical
+        /// `(time, seq)` sequences under random insert/pop
+        /// interleavings, including far-future and same-timestamp
+        /// events. Each scripted op is `(selector, value)`: selectors
+        /// 0–2 push near the current time (0 offsets exercise
+        /// same-timestamp ties), 3 pushes far future (exercising the
+        /// overflow ladder and re-anchoring), 4–5 pop.
+        #[test]
+        fn calendar_matches_heap(
+            ops in prop::collection::vec((0u64..6, 0u64..10_000_000), 1..200)
+        ) {
+            let mut cal = CalendarQueue::new(50_000, 32);
+            let mut heap = BinaryHeap::new();
+            let mut now = 0u64; // engine invariant: pushes are never in the past
+            let mut seq = 0u64;
+            for (sel, value) in ops {
+                if sel <= 3 {
+                    let ahead = if sel == 3 { 100_000 + value } else { value % 5_000 };
+                    seq += 1;
+                    let e = ev(now + ahead, seq);
+                    cal.push(e);
+                    heap.push(e);
+                } else {
+                    let a = cal.pop();
+                    let b = heap.pop();
+                    prop_assert_eq!(
+                        a.map(|e| (e.time, e.seq)),
+                        b.map(|e| (e.time, e.seq))
+                    );
+                    if let Some(e) = b {
+                        now = e.time;
+                    }
+                }
+                prop_assert_eq!(cal.len(), heap.len());
+            }
+            // Drain whatever is left in lockstep.
+            loop {
+                let a = cal.pop();
+                let b = heap.pop();
+                prop_assert_eq!(
+                    a.map(|e| (e.time, e.seq)),
+                    b.map(|e| (e.time, e.seq))
+                );
+                if b.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+}

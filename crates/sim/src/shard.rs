@@ -1,22 +1,39 @@
 //! Deterministic shard planning for the parallel simulator.
 //!
-//! A shard is a contiguous group of failure domains plus the jobs routed to
-//! it. The plan is a pure function of `(fleet, workload, shards, seed)` —
-//! thread count never enters it — which is the first half of the
-//! bit-reproducibility argument (DESIGN.md §5): with a fixed plan and a
-//! private RNG stream per shard, every shard computes the same records no
-//! matter which thread runs it, and the canonical merge in
+//! A shard is a contiguous group of failure domains plus the job slices
+//! routed to it. The plan is a pure function of `(fleet, workload,
+//! shards, seed)` — thread count never enters it — which is the first
+//! half of the bit-reproducibility argument (DESIGN.md §5): with a fixed
+//! plan and a private RNG stream per shard, every shard computes the same
+//! records no matter which thread runs it, and the canonical merge in
 //! [`crate::engine`] assembles them in a fixed order.
 //!
 //! Shard boundaries always coincide with failure-domain boundaries
 //! ([`FleetConfig::shard_ranges`]), so a correlated rack outage never
 //! straddles two shards.
+//!
+//! Jobs are routed as [`JobSlice`]s, not whole jobs: cloud workloads are
+//! heavy-tailed (the paper's Fig. 2 — one job can hold most of the
+//! trace's tasks), so a wide job is chunked into contiguous task ranges
+//! that spread across shards. Tasks of the same job are independent in
+//! the model (each draws its own placement and outcome), so the split
+//! only changes which RNG stream serves a task — exactly like routing to
+//! a different shard already did.
 
 use cgc_gen::{split_seed, FleetConfig, Workload};
 use std::ops::Range;
 
+/// A contiguous range of one job's tasks, routed to a shard as a unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSlice {
+    /// Global job index.
+    pub job: usize,
+    /// The task range (indices local to the job) this slice covers.
+    pub tasks: Range<usize>,
+}
+
 /// One shard of the simulation: a contiguous domain/machine slice of the
-/// fleet, the jobs routed to it, and its private RNG stream seed.
+/// fleet, the job slices routed to it, and its private RNG stream seed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardSpec {
     /// Shard index (also the RNG stream index).
@@ -25,8 +42,8 @@ pub struct ShardSpec {
     pub domains: Range<usize>,
     /// Machines owned by this shard (global ids, contiguous).
     pub machines: Range<usize>,
-    /// Global indices of the jobs this shard simulates, ascending.
-    pub jobs: Vec<usize>,
+    /// Job slices this shard simulates, ascending by `(job, tasks.start)`.
+    pub jobs: Vec<JobSlice>,
     /// Seed of this shard's private RNG stream.
     pub seed: u64,
 }
@@ -43,9 +60,11 @@ pub struct ShardPlan {
 
 impl ShardPlan {
     /// Builds the plan: domain-aligned machine ranges via
-    /// [`FleetConfig::shard_ranges`], then greedy min-load job routing —
-    /// each job (in submission-table order) goes to the shard with the
-    /// lowest tasks-per-machine load, ties to the lowest shard index.
+    /// [`FleetConfig::shard_ranges`], then greedy min-load routing of job
+    /// slices — wide jobs are first chunked so no single slice exceeds
+    /// ~an eighth of a balanced shard's share, then each slice (in `(job,
+    /// chunk)` order) goes to the shard with the lowest tasks-per-machine
+    /// load, ties to the lowest shard index.
     pub fn new(fleet: &FleetConfig, workload: &Workload, shards: usize, master_seed: u64) -> Self {
         let mut specs: Vec<ShardSpec> = fleet
             .shard_ranges(shards)
@@ -62,21 +81,35 @@ impl ShardPlan {
 
         let mut task_base = Vec::with_capacity(workload.jobs.len() + 1);
         task_base.push(0);
-        let mut assigned = vec![0usize; specs.len()];
         for (j, spec) in workload.jobs.iter().enumerate() {
             task_base.push(task_base[j] + spec.tasks.len());
-            // Integer cross-multiplied load comparison — no float ties:
-            // load(s) = assigned(s) / machines(s), and the `.then` on the
-            // index makes the order total, so `min_by` is unambiguous.
-            let best = (0..specs.len())
-                .min_by(|&a, &b| {
-                    let ma = specs[a].machines.len().max(1);
-                    let mb = specs[b].machines.len().max(1);
-                    (assigned[a] * mb).cmp(&(assigned[b] * ma)).then(a.cmp(&b))
-                })
-                .expect("shard_ranges returns at least one shard");
-            assigned[best] += spec.tasks.len().max(1);
-            specs[best].jobs.push(j);
+        }
+        // Slice cap: aim for ≥ 8 chunks per shard across the whole
+        // workload, so even a single dominant job spreads evenly instead
+        // of pinning one shard at 80%+ of all events.
+        let total_tasks = *task_base.last().expect("prefix has at least the zero");
+        let chunk_cap = (total_tasks.div_ceil(specs.len() * 8)).max(1);
+
+        let mut assigned = vec![0usize; specs.len()];
+        for (j, spec) in workload.jobs.iter().enumerate() {
+            let n = spec.tasks.len();
+            let pieces = n.div_ceil(chunk_cap).max(1);
+            for p in 0..pieces {
+                let tasks = (p * n / pieces)..((p + 1) * n / pieces);
+                // Integer cross-multiplied load comparison — no float
+                // ties: load(s) = assigned(s) / machines(s), and the
+                // `.then` on the index makes the order total, so `min_by`
+                // is unambiguous.
+                let best = (0..specs.len())
+                    .min_by(|&a, &b| {
+                        let ma = specs[a].machines.len().max(1);
+                        let mb = specs[b].machines.len().max(1);
+                        (assigned[a] * mb).cmp(&(assigned[b] * ma)).then(a.cmp(&b))
+                    })
+                    .expect("shard_ranges returns at least one shard");
+                assigned[best] += tasks.len().max(1);
+                specs[best].jobs.push(JobSlice { job: j, tasks });
+            }
         }
         ShardPlan {
             shards: specs,
@@ -97,16 +130,27 @@ mod tests {
     }
 
     #[test]
-    fn every_job_lands_in_exactly_one_shard() {
+    fn every_task_lands_in_exactly_one_shard() {
         let (p, w) = plan(4);
-        let mut seen = vec![0usize; w.jobs.len()];
+        let mut seen: Vec<Vec<usize>> = w.jobs.iter().map(|j| vec![0; j.tasks.len()]).collect();
         for s in &p.shards {
-            assert!(s.jobs.windows(2).all(|w| w[0] < w[1]), "jobs not ascending");
-            for &j in &s.jobs {
-                seen[j] += 1;
+            assert!(
+                s.jobs
+                    .windows(2)
+                    .all(|w| (w[0].job, w[0].tasks.start) < (w[1].job, w[1].tasks.start)),
+                "slices not ascending"
+            );
+            for slice in &s.jobs {
+                assert!(slice.tasks.end <= w.jobs[slice.job].tasks.len());
+                for t in slice.tasks.clone() {
+                    seen[slice.job][t] += 1;
+                }
             }
         }
-        assert!(seen.iter().all(|&n| n == 1), "job lost or duplicated");
+        assert!(
+            seen.iter().flatten().all(|&n| n == 1),
+            "task lost or duplicated"
+        );
     }
 
     #[test]
@@ -132,18 +176,46 @@ mod tests {
         let loads: Vec<usize> = p
             .shards
             .iter()
-            .map(|s| s.jobs.iter().map(|&j| w.jobs[j].tasks.len()).sum())
+            .map(|s| s.jobs.iter().map(|slice| slice.tasks.len()).sum())
             .collect();
         let total: usize = loads.iter().sum();
         assert_eq!(total, w.num_tasks());
         let max = *loads.iter().max().unwrap();
-        // Greedy min-load keeps the heaviest shard within the mean plus
-        // one job's worth of tasks.
-        let biggest_job = w.jobs.iter().map(|j| j.tasks.len()).max().unwrap_or(0);
+        // Slice chunking caps any routed unit at ~total/(shards*8), so
+        // greedy min-load keeps the heaviest shard within the mean plus
+        // one chunk's worth of tasks — even when one job dominates.
+        let chunk_cap = total.div_ceil(p.shards.len() * 8).max(1);
         assert!(
-            max <= total / loads.len() + biggest_job,
-            "max={max} total={total} biggest_job={biggest_job}"
+            max <= total / loads.len() + chunk_cap,
+            "max={max} total={total} chunk_cap={chunk_cap}"
         );
+    }
+
+    #[test]
+    fn wide_jobs_split_across_shards() {
+        // Force the paper's heavy tail (Fig. 2): one job holding most of
+        // the trace's tasks. It must be sliced over more than one shard,
+        // and every task must still land exactly once.
+        let mut workload = GoogleWorkload::scaled(40, 2 * 3_600).generate(7);
+        let template = workload.jobs[0].tasks[0].clone();
+        workload.jobs[0].tasks = vec![template; 400];
+        let fleet = FleetConfig::google(40);
+        let p = ShardPlan::new(&fleet, &workload, 4, 0xC10D);
+        let holders = p
+            .shards
+            .iter()
+            .filter(|s| s.jobs.iter().any(|slice| slice.job == 0))
+            .count();
+        assert!(holders > 1, "dominant job (400 tasks) stayed on one shard");
+        let mut seen = vec![0usize; 400];
+        for s in &p.shards {
+            for slice in s.jobs.iter().filter(|slice| slice.job == 0) {
+                for t in slice.tasks.clone() {
+                    seen[t] += 1;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&n| n == 1), "task lost or duplicated");
     }
 
     #[test]

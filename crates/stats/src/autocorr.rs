@@ -25,13 +25,51 @@ pub fn autocorrelation(series: &[f64], k: usize) -> f64 {
     cov / var
 }
 
+/// The definitional form of [`mean_autocorrelation`]: one full
+/// [`autocorrelation`] evaluation per lag, recomputing the mean and
+/// variance every time.
+///
+/// Kept public as the differential-testing oracle for the hoisted
+/// implementation and as the like-for-like analysis baseline in
+/// `cgc-bench`; the two are bit-identical on every input.
+pub fn mean_autocorrelation_reference(series: &[f64], max_lag: usize) -> f64 {
+    assert!(max_lag >= 1, "need at least lag 1");
+    let sum: f64 = (1..=max_lag).map(|k| autocorrelation(series, k)).sum();
+    sum / max_lag as f64
+}
+
 /// Mean autocorrelation over lags `1..=max_lag`.
 ///
 /// This is the scalar the paper aggregates per machine and averages over
 /// the fleet.
 pub fn mean_autocorrelation(series: &[f64], max_lag: usize) -> f64 {
     assert!(max_lag >= 1, "need at least lag 1");
-    let sum: f64 = (1..=max_lag).map(|k| autocorrelation(series, k)).sum();
+    // Mean and variance do not depend on the lag, so hoist them (and the
+    // per-sample deviations) out of the lag loop. Each lag's covariance is
+    // accumulated over the same index order as `autocorrelation`, and lags
+    // the series is too short for contribute the same exact 0.0, so the sum
+    // is bit-identical to averaging `autocorrelation(series, k)` per lag.
+    let n = series.len();
+    let (mean, var) = if n >= 2 {
+        let mean = series.iter().sum::<f64>() / n as f64;
+        let var: f64 = series.iter().map(|v| (v - mean) * (v - mean)).sum();
+        (mean, var)
+    } else {
+        (0.0, 0.0)
+    };
+    if var == 0.0 {
+        return (1..=max_lag).map(|_| 0.0).sum::<f64>() / max_lag as f64;
+    }
+    let dev: Vec<f64> = series.iter().map(|v| v - mean).collect();
+    let sum: f64 = (1..=max_lag)
+        .map(|k| {
+            if n < k + 2 {
+                return 0.0;
+            }
+            let cov: f64 = (0..n - k).map(|i| dev[i] * dev[i + k]).sum();
+            cov / var
+        })
+        .sum();
     sum / max_lag as f64
 }
 
@@ -102,6 +140,18 @@ mod proptests {
         fn bounded(series in prop::collection::vec(-1e3f64..1e3, 3..200), k in 0usize..10) {
             let r = autocorrelation(&series, k);
             prop_assert!(r.abs() <= 1.0 + 1e-9, "r={r}");
+        }
+
+        /// The hoisted `mean_autocorrelation` is bit-identical to the
+        /// per-lag reference form.
+        #[test]
+        fn mean_matches_per_lag_definition(
+            series in prop::collection::vec(-1e3f64..1e3, 0..60),
+            max_lag in 1usize..70,
+        ) {
+            let reference = mean_autocorrelation_reference(&series, max_lag);
+            let hoisted = mean_autocorrelation(&series, max_lag);
+            prop_assert_eq!(reference.to_bits(), hoisted.to_bits());
         }
 
         /// Shifting a series by a constant leaves autocorrelation unchanged.

@@ -38,7 +38,7 @@ pub mod runlength;
 pub mod stream;
 pub mod summary;
 
-pub use autocorr::{autocorrelation, mean_autocorrelation};
+pub use autocorr::{autocorrelation, mean_autocorrelation, mean_autocorrelation_reference};
 pub use binning::counts_per_window;
 pub use correlation::{pearson, spearman};
 pub use ecdf::Ecdf;

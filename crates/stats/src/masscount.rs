@@ -16,6 +16,7 @@
 //! 24/76 for AuverGrid (Fig. 4) — Google's mass is far more concentrated in
 //! its few long tasks.
 
+use crate::summary::Summary;
 use serde::{Deserialize, Serialize};
 
 /// Mass–count analysis over a sample of non-negative sizes.
@@ -87,6 +88,54 @@ impl MassCount {
     /// Builds from integer durations.
     pub fn from_durations(durations: &[u64]) -> Option<Self> {
         Self::new(durations.iter().map(|&d| d as f64).collect())
+    }
+
+    /// Builds the analysis together with a [`Summary`] of the same sample,
+    /// sharing one sort. Callers that need both (every report row does)
+    /// would otherwise clone the pool and sort it twice — this is
+    /// bit-identical to `(Summary::of(&sample), MassCount::new(sample))`:
+    /// the mean and std accumulate over the sample in its original order,
+    /// and the order statistics read the single sorted copy.
+    ///
+    /// The summary is returned even when the mass–count analysis is
+    /// undefined (`None`): an all-zero sample still has a summary.
+    pub fn new_with_summary(sample: Vec<f64>) -> (Summary, Option<Self>) {
+        assert!(
+            sample.iter().all(|v| *v >= 0.0 && !v.is_nan()),
+            "mass-count sizes must be non-negative and not NaN"
+        );
+        if sample.is_empty() {
+            return (Summary::of(&[]), None);
+        }
+        let n = sample.len() as f64;
+        let mean = sample.iter().sum::<f64>() / n;
+        let var = sample.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let mut sorted = sample;
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN excluded above"));
+        let median = if sorted.len() % 2 == 1 {
+            sorted[sorted.len() / 2]
+        } else {
+            (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
+        };
+        let summary = Summary {
+            count: sorted.len(),
+            min: sorted[0],
+            max: *sorted.last().expect("non-empty"),
+            mean,
+            std: var.sqrt(),
+            median,
+        };
+        let mut prefix = Vec::with_capacity(sorted.len() + 1);
+        prefix.push(0.0);
+        let mut acc = 0.0;
+        for &v in &sorted {
+            acc += v;
+            prefix.push(acc);
+        }
+        if acc <= 0.0 {
+            return (summary, None);
+        }
+        (summary, Some(MassCount { sorted, prefix }))
     }
 
     /// Number of items.
@@ -366,6 +415,17 @@ mod proptests {
                            x in 0.0f64..1e4) {
             let mc = MassCount::new(sample).unwrap();
             prop_assert!(mc.mass_cdf(x) <= mc.count_cdf(x) + 1e-9);
+        }
+
+        /// `new_with_summary` is bit-identical to computing the summary
+        /// and the analysis separately.
+        #[test]
+        fn with_summary_matches_separate(sample in prop::collection::vec(0.0f64..1e4, 0..200)) {
+            let separate_summary = Summary::of(&sample);
+            let separate_mc = MassCount::new(sample.clone());
+            let (summary, mc) = MassCount::new_with_summary(sample);
+            prop_assert_eq!(summary, separate_summary);
+            prop_assert_eq!(mc, separate_mc);
         }
 
         /// mm-distance is non-negative.

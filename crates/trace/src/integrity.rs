@@ -15,9 +15,13 @@ use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// The IEEE CRC-32 lookup table (polynomial 0xEDB88320, reflected).
-const fn crc32_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
+/// The IEEE CRC-32 lookup tables (polynomial 0xEDB88320, reflected),
+/// extended for slicing-by-8: `TABLES[0]` is the classic bytewise table;
+/// `TABLES[k][b]` is the contribution of byte `b` positioned `k` bytes
+/// before the end of an 8-byte block, so eight table lookups advance the
+/// state a full 8 bytes at once.
+const fn crc32_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut crc = i as u32;
@@ -30,13 +34,23 @@ const fn crc32_table() -> [u32; 256] {
             };
             bit += 1;
         }
-        table[i] = crc;
+        tables[0][i] = crc;
         i += 1;
     }
-    table
+    let mut t = 1;
+    while t < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
 }
 
-static CRC32_TABLE: [u32; 256] = crc32_table();
+static CRC32_TABLES: [[u32; 256]; 8] = crc32_tables();
 
 /// Streaming IEEE CRC-32 (the `cksum`/zip/PNG polynomial).
 #[derive(Debug, Clone)]
@@ -56,11 +70,27 @@ impl Crc32 {
         Crc32 { state: !0 }
     }
 
-    /// Folds `bytes` into the checksum.
+    /// Folds `bytes` into the checksum, slicing-by-8: each 8-byte block
+    /// costs eight independent table lookups instead of eight serially
+    /// dependent shift-xor steps. Same polynomial, same result as the
+    /// bytewise loop (the known-vector tests pin it) — only faster.
     pub fn update(&mut self, bytes: &[u8]) {
-        for &b in bytes {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let lo = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) ^ self.state;
+            let hi = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+            self.state = CRC32_TABLES[7][(lo & 0xFF) as usize]
+                ^ CRC32_TABLES[6][((lo >> 8) & 0xFF) as usize]
+                ^ CRC32_TABLES[5][((lo >> 16) & 0xFF) as usize]
+                ^ CRC32_TABLES[4][(lo >> 24) as usize]
+                ^ CRC32_TABLES[3][(hi & 0xFF) as usize]
+                ^ CRC32_TABLES[2][((hi >> 8) & 0xFF) as usize]
+                ^ CRC32_TABLES[1][((hi >> 16) & 0xFF) as usize]
+                ^ CRC32_TABLES[0][(hi >> 24) as usize];
+        }
+        for &b in chunks.remainder() {
             let idx = (self.state ^ b as u32) & 0xFF;
-            self.state = (self.state >> 8) ^ CRC32_TABLE[idx as usize];
+            self.state = (self.state >> 8) ^ CRC32_TABLES[0][idx as usize];
         }
     }
 
@@ -147,6 +177,21 @@ mod tests {
             crc32(b"The quick brown fox jumps over the lazy dog"),
             0x414F_A339
         );
+    }
+
+    #[test]
+    fn crc32_sliced_matches_bytewise_at_every_length() {
+        // Exercise every chunk/remainder split the slicing loop can see,
+        // against the plain one-byte-at-a-time recurrence.
+        let data: Vec<u8> = (0..64u32).map(|i| (i * 131 % 251) as u8).collect();
+        for len in 0..data.len() {
+            let mut bytewise = !0u32;
+            for &b in &data[..len] {
+                let idx = (bytewise ^ b as u32) & 0xFF;
+                bytewise = (bytewise >> 8) ^ CRC32_TABLES[0][idx as usize];
+            }
+            assert_eq!(crc32(&data[..len]), !bytewise, "len={len}");
+        }
     }
 
     #[test]

@@ -243,6 +243,44 @@ fn parse_event_kind(s: &str) -> Option<TaskEventKind> {
     })
 }
 
+/// Appends `v` in decimal — what `{}` prints for a `u64`, minus the
+/// formatting machinery, which dominates the write stage's profile.
+fn push_u64(out: &mut String, mut v: u64) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    out.push_str(std::str::from_utf8(&buf[i..]).expect("decimal digits are ASCII"));
+}
+
+/// Appends `v` exactly as `{}` would print it. Zeros and integral values
+/// (the bulk of trace floats: idle samples, whole-second durations) take
+/// the integer path; everything else falls back to the shortest-repr
+/// float formatter. Byte-for-byte identical output either way.
+fn push_f64(out: &mut String, v: f64) {
+    if v == 0.0 {
+        out.push_str(if v.is_sign_negative() { "-0" } else { "0" });
+        return;
+    }
+    // 2^53: above this not every integer is representable, and `{}` may
+    // disagree with the cast; below it the i64 path is exact.
+    const MAX_EXACT: f64 = 9_007_199_254_740_992.0;
+    if v.trunc() == v && v.abs() < MAX_EXACT {
+        if v < 0.0 {
+            out.push('-');
+        }
+        push_u64(out, (v.abs()) as u64);
+        return;
+    }
+    let _ = write!(out, "{v}");
+}
+
 /// Serializes a trace to the sectioned-CSV text format.
 pub fn write_trace(trace: &Trace) -> String {
     let _span = cgc_obs::span(cgc_obs::stages::WRITE);
@@ -251,81 +289,99 @@ pub fn write_trace(trace: &Trace) -> String {
 
     let _ = writeln!(out, "#machines");
     for m in &trace.machines {
-        let _ = writeln!(
-            out,
-            "{},{},{},{}",
-            m.id.0, m.cpu_capacity, m.memory_capacity, m.page_cache_capacity
-        );
+        push_u64(&mut out, u64::from(m.id.0));
+        out.push(',');
+        push_f64(&mut out, m.cpu_capacity);
+        out.push(',');
+        push_f64(&mut out, m.memory_capacity);
+        out.push(',');
+        push_f64(&mut out, m.page_cache_capacity);
+        out.push('\n');
     }
 
     let _ = writeln!(out, "#jobs");
     for j in &trace.jobs {
-        let completion = j
-            .completion_time
-            .map_or_else(|| "-".to_string(), |t| t.to_string());
-        let _ = writeln!(
-            out,
-            "{},{},{},{},{},{},{}",
-            j.id.0,
-            j.user.0,
-            j.priority.level(),
-            j.submit_time,
-            completion,
-            j.cpu_seconds,
-            j.mean_memory
-        );
+        push_u64(&mut out, u64::from(j.id.0));
+        out.push(',');
+        push_u64(&mut out, u64::from(j.user.0));
+        out.push(',');
+        push_u64(&mut out, u64::from(j.priority.level()));
+        out.push(',');
+        push_u64(&mut out, j.submit_time);
+        out.push(',');
+        match j.completion_time {
+            Some(t) => push_u64(&mut out, t),
+            None => out.push('-'),
+        }
+        out.push(',');
+        push_f64(&mut out, j.cpu_seconds);
+        out.push(',');
+        push_f64(&mut out, j.mean_memory);
+        out.push('\n');
     }
 
     let _ = writeln!(out, "#tasks");
     for t in &trace.tasks {
-        let _ = writeln!(
-            out,
-            "{},{},{},{},{},{},{},{},{},{}",
-            t.id.0,
-            t.job.0,
-            t.priority.level(),
-            t.submit_time,
-            t.demand.cpu,
-            t.demand.memory,
-            t.execution_time,
-            t.attempts,
-            t.resubmit_wait,
-            outcome_tag(t.outcome)
-        );
+        push_u64(&mut out, u64::from(t.id.0));
+        out.push(',');
+        push_u64(&mut out, u64::from(t.job.0));
+        out.push(',');
+        push_u64(&mut out, u64::from(t.priority.level()));
+        out.push(',');
+        push_u64(&mut out, t.submit_time);
+        out.push(',');
+        push_f64(&mut out, t.demand.cpu);
+        out.push(',');
+        push_f64(&mut out, t.demand.memory);
+        out.push(',');
+        push_u64(&mut out, t.execution_time);
+        out.push(',');
+        push_u64(&mut out, t.attempts as u64);
+        out.push(',');
+        push_u64(&mut out, t.resubmit_wait);
+        out.push(',');
+        out.push_str(outcome_tag(t.outcome));
+        out.push('\n');
     }
 
     let _ = writeln!(out, "#events");
     for e in &trace.events {
-        let machine = e
-            .machine
-            .map_or_else(|| "-".to_string(), |m| m.0.to_string());
-        let _ = writeln!(
-            out,
-            "{},{},{},{}",
-            e.time,
-            e.task.0,
-            machine,
-            event_tag(e.kind)
-        );
+        push_u64(&mut out, e.time);
+        out.push(',');
+        push_u64(&mut out, u64::from(e.task.0));
+        out.push(',');
+        match e.machine {
+            Some(m) => push_u64(&mut out, u64::from(m.0)),
+            None => out.push('-'),
+        }
+        out.push(',');
+        out.push_str(event_tag(e.kind));
+        out.push('\n');
     }
 
     for s in &trace.host_series {
         let _ = writeln!(out, "#series {} {} {}", s.machine.0, s.start, s.period);
         for sample in &s.samples {
-            let _ = writeln!(
-                out,
-                "{},{},{},{},{},{},{},{},{},{}",
-                sample.cpu.low,
-                sample.cpu.middle,
-                sample.cpu.high,
-                sample.memory_used.low,
-                sample.memory_used.middle,
-                sample.memory_used.high,
-                sample.memory_assigned.low,
-                sample.memory_assigned.middle,
-                sample.memory_assigned.high,
-                sample.page_cache
-            );
+            push_f64(&mut out, sample.cpu.low);
+            out.push(',');
+            push_f64(&mut out, sample.cpu.middle);
+            out.push(',');
+            push_f64(&mut out, sample.cpu.high);
+            out.push(',');
+            push_f64(&mut out, sample.memory_used.low);
+            out.push(',');
+            push_f64(&mut out, sample.memory_used.middle);
+            out.push(',');
+            push_f64(&mut out, sample.memory_used.high);
+            out.push(',');
+            push_f64(&mut out, sample.memory_assigned.low);
+            out.push(',');
+            push_f64(&mut out, sample.memory_assigned.middle);
+            out.push(',');
+            push_f64(&mut out, sample.memory_assigned.high);
+            out.push(',');
+            push_f64(&mut out, sample.page_cache);
+            out.push('\n');
         }
     }
     out
@@ -425,6 +481,18 @@ impl<'a> LineParser<'a> {
     /// Parses a float and rejects NaN/infinity, which would silently
     /// poison downstream statistics (sorting, comparisons).
     fn parse_f64(&self, s: &str, what: &str) -> Result<f64, ParseError> {
+        // Fast path for the most common field shape in practice: a bare
+        // integer (timestamps, counts, zero usage values). Up to 15
+        // digits every u64 is exactly representable as f64, so the cast
+        // agrees bit-for-bit with the general parser.
+        let b = s.as_bytes();
+        if !b.is_empty() && b.len() <= 15 && b.iter().all(u8::is_ascii_digit) {
+            let mut v = 0u64;
+            for &d in b {
+                v = v * 10 + u64::from(d - b'0');
+            }
+            return Ok(v as f64);
+        }
         let v: f64 = self.parse(s, what)?;
         if !v.is_finite() {
             return Err(self.err(format!("non-finite {what}: {s:?}")));
@@ -1444,6 +1512,15 @@ pub fn read_trace_parallel(text: &str) -> Result<Trace, ParseError> {
     use rayon::prelude::*;
 
     let _span = cgc_obs::span(cgc_obs::stages::READ);
+    // With no parallelism to exploit, the fan-out (routing pass + buffered
+    // row vector + merge replay) is pure overhead over the single-pass
+    // sequential parser; fall through to it. The span is already open, so
+    // inline the parse instead of calling `read_trace`.
+    if std::thread::available_parallelism().map_or(1, |n| n.get()) <= 1 {
+        let mut st = ParserState::new();
+        parse_lines(text, &mut st, Err)?;
+        return Ok(st.finish());
+    }
     let (system, horizon, items, abort) = route(text);
     let rows: Vec<Option<Row>> = items
         .par_iter()
@@ -1580,6 +1657,53 @@ mod tests {
     use super::*;
     use crate::trace::TraceBuilder;
     use crate::usage::UsageSample;
+
+    #[test]
+    fn fast_number_formatting_matches_display() {
+        for v in [0u64, 1, 9, 10, 99, 12_345, u64::MAX] {
+            let mut s = String::new();
+            push_u64(&mut s, v);
+            assert_eq!(s, v.to_string());
+        }
+        for v in [
+            0.0f64,
+            -0.0,
+            1.0,
+            -1.0,
+            42.0,
+            0.125,
+            -0.1,
+            1e-9,
+            123.456,
+            9_007_199_254_740_991.0,
+            9_007_199_254_740_992.0,
+            1.0e300,
+            f64::MIN_POSITIVE,
+        ] {
+            let mut s = String::new();
+            push_f64(&mut s, v);
+            assert_eq!(s, v.to_string(), "mismatch for {v:e}");
+        }
+    }
+
+    #[test]
+    fn parse_f64_integer_fast_path_matches_std() {
+        let p = LineParser {
+            line_no: 1,
+            line: "",
+        };
+        for s in ["0", "7", "300", "999999999999999", "1000000000000000"] {
+            assert_eq!(
+                p.parse_f64(s, "x").unwrap(),
+                s.parse::<f64>().unwrap(),
+                "fast path diverged on {s:?}"
+            );
+        }
+        assert!(p.parse_f64("0.25", "x").unwrap() == 0.25);
+        assert!(p.parse_f64("nan", "x").is_err());
+        assert!(p.parse_f64("inf", "x").is_err());
+        assert!(p.parse_f64("", "x").is_err());
+    }
 
     fn sample_trace() -> Trace {
         let mut b = TraceBuilder::new("roundtrip", 3_600);

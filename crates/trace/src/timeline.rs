@@ -155,6 +155,142 @@ impl QueueTimeline {
         QueueTimeline { machine, steps }
     }
 
+    /// Rebuilds the queue timelines of every machine in the trace in one
+    /// sweep over the event log.
+    ///
+    /// Returns one timeline per entry of `trace.machines`, in that order,
+    /// each identical to what [`for_machine`](Self::for_machine) builds
+    /// for the same machine — but in `O(events + machines)` instead of
+    /// `O(events × machines)`, which is what makes the Fig. 9 aggregation
+    /// affordable at paper scale.
+    pub fn for_all_machines(trace: &Trace) -> Vec<QueueTimeline> {
+        let n_tasks = trace.tasks.len();
+        // Slot per machine id; ids outside `trace.machines` count nowhere.
+        let max_id = trace.machines.iter().map(|m| m.id.index()).max();
+        let mut slot_of: Vec<Option<usize>> = vec![None; max_id.map_or(0, |m| m + 1)];
+        for (slot, m) in trace.machines.iter().enumerate() {
+            slot_of[m.id.index()] = Some(slot);
+        }
+        let slot = |machine: Option<MachineId>| -> Option<usize> {
+            slot_of.get(machine?.index()).copied().flatten()
+        };
+
+        // Pass 1: machine of the Schedule that consumes each Submit event
+        // (the machine its pending spell is attributed to).
+        let mut submit_target: Vec<Option<MachineId>> = vec![None; trace.events.len()];
+        {
+            let mut open_submit: Vec<Option<usize>> = vec![None; n_tasks];
+            for (i, e) in trace.events.iter().enumerate() {
+                let ti = e.task.index();
+                if ti >= n_tasks {
+                    continue;
+                }
+                match e.kind {
+                    TaskEventKind::Submit => open_submit[ti] = Some(i),
+                    TaskEventKind::Schedule => {
+                        if let Some(si) = open_submit[ti].take() {
+                            submit_target[si] = e.machine;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // Pass 2: one replay, applying each event's deltas to the queues
+        // of the machines it touches.
+        let mut counts: Vec<QueueCounts> = vec![QueueCounts::default(); trace.machines.len()];
+        let mut timelines: Vec<QueueTimeline> = trace
+            .machines
+            .iter()
+            .map(|m| QueueTimeline {
+                machine: m.id,
+                steps: vec![(0, QueueCounts::default())],
+            })
+            .collect();
+        let mut state: Vec<TaskState> = vec![TaskState::Unsubmitted; n_tasks];
+        // Machine the task's current pending spell is attributed to.
+        let mut pending_target: Vec<Option<MachineId>> = vec![None; n_tasks];
+        let mut prev_machine: Vec<Option<MachineId>> = vec![None; n_tasks];
+
+        // Mirrors the `changed` bookkeeping of `for_machine`, per slot.
+        let step = |timelines: &mut Vec<QueueTimeline>, s: usize, time, c: QueueCounts| {
+            let steps = &mut timelines[s].steps;
+            match steps.last_mut() {
+                Some(last) if last.0 == time => last.1 = c,
+                _ => steps.push((time, c)),
+            }
+        };
+
+        for (i, e) in trace.events.iter().enumerate() {
+            let ti = e.task.index();
+            let Some(&prev) = state.get(ti) else {
+                continue;
+            };
+            let Ok(next) = prev.apply(e.kind) else {
+                continue;
+            };
+            state[ti] = next;
+            match e.kind {
+                TaskEventKind::Submit => {
+                    if let Some(s) = slot(submit_target[i]) {
+                        pending_target[ti] = submit_target[i];
+                        counts[s].pending += 1;
+                        step(&mut timelines, s, e.time, counts[s]);
+                    }
+                }
+                TaskEventKind::Schedule => {
+                    if let Some(s) = slot(pending_target[ti]) {
+                        pending_target[ti] = None;
+                        counts[s].pending -= 1;
+                        step(&mut timelines, s, e.time, counts[s]);
+                    }
+                    prev_machine[ti] = e.machine;
+                    if let Some(s) = slot(e.machine) {
+                        counts[s].running += 1;
+                        step(&mut timelines, s, e.time, counts[s]);
+                    }
+                }
+                kind if kind.is_completion() => {
+                    if prev == TaskState::Running {
+                        if let Some(s) = slot(e.machine) {
+                            counts[s].running -= 1;
+                            step(&mut timelines, s, e.time, counts[s]);
+                        }
+                    }
+                    if prev == TaskState::Pending {
+                        if let Some(s) = slot(pending_target[ti]) {
+                            pending_target[ti] = None;
+                            counts[s].pending -= 1;
+                            step(&mut timelines, s, e.time, counts[s]);
+                        }
+                    }
+                    // Tally machine: the event's own, or — for a
+                    // machineless death while pending — the machine of
+                    // the previous attempt (module docs).
+                    let tally = if e.machine.is_some() {
+                        e.machine
+                    } else if prev == TaskState::Pending {
+                        prev_machine[ti]
+                    } else {
+                        None
+                    };
+                    if let Some(s) = slot(tally) {
+                        if kind == TaskEventKind::Finish {
+                            counts[s].finished += 1;
+                        } else {
+                            counts[s].abnormal += 1;
+                        }
+                        step(&mut timelines, s, e.time, counts[s]);
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        timelines
+    }
+
     /// Queue counts in effect at time `t`.
     pub fn at(&self, t: Timestamp) -> QueueCounts {
         match self.steps.binary_search_by_key(&t, |s| s.0) {
@@ -363,6 +499,40 @@ mod tests {
         let tl = QueueTimeline::for_machine(&trace, MachineId(0));
         // Exactly at an event timestamp the new counts are in effect.
         assert_eq!(tl.at(100).finished, 1);
+    }
+
+    #[test]
+    fn for_all_machines_matches_per_machine_replay() {
+        // Covers overlap + failure, cross-machine resubmission, and the
+        // machineless pending-death attribution, on every machine.
+        let mut traces = vec![two_task_trace()];
+        {
+            let mut b = TraceBuilder::new("test", 1_000);
+            b.add_machine(1.0, 1.0, 1.0);
+            b.add_machine(1.0, 1.0, 1.0);
+            let j = b.add_job(UserId(0), Priority::from_level(2), 0);
+            let t = b.add_task(j, Demand::new(0.1, 0.1));
+            let u = b.add_task(j, Demand::new(0.1, 0.1));
+            b.push_event(event(0, t, None, TaskEventKind::Submit));
+            b.push_event(event(5, u, None, TaskEventKind::Submit));
+            b.push_event(event(10, t, Some(0), TaskEventKind::Schedule));
+            b.push_event(event(50, t, Some(0), TaskEventKind::Evict));
+            b.push_event(event(50, t, None, TaskEventKind::Submit));
+            b.push_event(event(80, u, None, TaskEventKind::Kill));
+            b.push_event(event(90, t, Some(1), TaskEventKind::Schedule));
+            b.push_event(event(90, t, Some(1), TaskEventKind::Evict));
+            b.push_event(event(90, t, None, TaskEventKind::Submit));
+            b.push_event(event(95, t, None, TaskEventKind::Kill));
+            traces.push(b.build().unwrap());
+        }
+        for trace in &traces {
+            let all = QueueTimeline::for_all_machines(trace);
+            assert_eq!(all.len(), trace.machines.len());
+            for (got, m) in all.iter().zip(&trace.machines) {
+                let want = QueueTimeline::for_machine(trace, m.id);
+                assert_eq!(got, &want, "timeline diverged on {:?}", m.id);
+            }
+        }
     }
 
     #[test]

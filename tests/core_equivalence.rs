@@ -1,0 +1,133 @@
+//! Scheduler-core equivalence: `SchedulerCore::Optimized` (calendar
+//! queue + vector pending set) is an execution knob, not a model change.
+//!
+//! For any fixed `(seed, shards)` scenario the optimized and reference
+//! cores must emit **bit-identical** traces and telemetry bundles — with
+//! faults and churn on, sharded and unsharded — and their checkpoints
+//! must be interchangeable: the snapshot format canonicalizes queue
+//! order, so the files match byte for byte and a run interrupted under
+//! one core resumes byte-identically under the other. This is the
+//! contract that makes `cgc-bench`'s reference baseline like-for-like.
+
+use cloudgrid::gen::{FleetConfig, GoogleWorkload};
+use cloudgrid::sim::{
+    load_checkpoint, CheckpointOptions, FaultConfig, SchedulerCore, SimConfig, Simulator,
+};
+use cloudgrid::trace::io::write_trace;
+use std::path::PathBuf;
+
+const MACHINES: usize = 60;
+const HORIZON: u64 = 6 * 3_600;
+/// Boundaries land at t = 7200 and t = 14400.
+const EVERY: u64 = 2 * 3_600;
+const TELEMETRY_INTERVAL: u64 = 300;
+
+/// Faults plus a scripted outage: blacklist churn and resubmission storms
+/// stress the pending-queue orderings where the two cores differ most.
+fn google_config(core: SchedulerCore, shards: usize) -> SimConfig {
+    SimConfig::google(FleetConfig::google(MACHINES))
+        .with_faults(FaultConfig::google().with_outage(1, 3_600, 900))
+        .with_shards(shards)
+        .with_core(core)
+}
+
+fn workload() -> cloudgrid::gen::Workload {
+    GoogleWorkload::scaled(MACHINES, HORIZON).generate(7)
+}
+
+fn ckpt_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("cgc-core-eq-{tag}-{}.ckpt", std::process::id()))
+}
+
+#[test]
+fn cores_emit_identical_traces_and_telemetry() {
+    let workload = workload();
+    for shards in [1usize, 4] {
+        let (ref_trace, ref_bundle) =
+            Simulator::new(google_config(SchedulerCore::Reference, shards))
+                .run_with_telemetry(&workload, TELEMETRY_INTERVAL);
+        let (opt_trace, opt_bundle) =
+            Simulator::new(google_config(SchedulerCore::Optimized, shards))
+                .run_with_telemetry(&workload, TELEMETRY_INTERVAL);
+        assert_eq!(
+            write_trace(&opt_trace),
+            write_trace(&ref_trace),
+            "shards={shards}: cores diverged on trace bytes"
+        );
+        assert_eq!(
+            serde_json::to_string_pretty(&opt_bundle).unwrap(),
+            serde_json::to_string_pretty(&ref_bundle).unwrap(),
+            "shards={shards}: cores diverged on the telemetry bundle"
+        );
+    }
+}
+
+#[test]
+fn checkpoints_are_interchangeable_between_cores() {
+    let workload = workload();
+    let reference =
+        write_trace(&Simulator::new(google_config(SchedulerCore::Reference, 4)).run(&workload));
+
+    // Checkpoint under each core; the snapshot format sorts queued
+    // events into canonical order, so the files must match byte for
+    // byte — proof the calendar queue holds exactly the heap's state.
+    let mut files = Vec::new();
+    for (tag, core) in [
+        ("ref", SchedulerCore::Reference),
+        ("opt", SchedulerCore::Optimized),
+    ] {
+        let path = ckpt_path(tag);
+        let options = CheckpointOptions {
+            path: path.clone(),
+            every: EVERY,
+            retain_all: false,
+            die_after: None,
+        };
+        let (trace, _) = Simulator::new(google_config(core, 4))
+            .run_checkpointed(&workload, None, Some(&options), None)
+            .expect("checkpointed run succeeds");
+        assert_eq!(
+            write_trace(&trace),
+            reference,
+            "{tag}: checkpointing altered the trace"
+        );
+        files.push(std::fs::read(&path).expect("checkpoint file readable"));
+        let _ = std::fs::remove_file(&path);
+    }
+    assert_eq!(
+        files[0], files[1],
+        "checkpoint bytes differ between scheduler cores"
+    );
+
+    // Cross-core resume: a run interrupted under one core finishes
+    // byte-identically under the other, in both directions. The loaded
+    // checkpoint is a mid-run state (t = 14400 of 21600), so the resumed
+    // half replays through the calendar queue / heap from a restored
+    // snapshot rather than from empty.
+    let path = ckpt_path("cross");
+    let options = CheckpointOptions {
+        path: path.clone(),
+        every: EVERY,
+        retain_all: false,
+        die_after: None,
+    };
+    for (from, to) in [
+        (SchedulerCore::Reference, SchedulerCore::Optimized),
+        (SchedulerCore::Optimized, SchedulerCore::Reference),
+    ] {
+        Simulator::new(google_config(from, 4))
+            .run_checkpointed(&workload, None, Some(&options), None)
+            .expect("checkpointed run succeeds");
+        let ckpt = load_checkpoint(&path).expect("checkpoint loads");
+        assert!(ckpt.at > 0 && ckpt.at < HORIZON, "mid-run boundary");
+        let (trace, _) = Simulator::new(google_config(to, 4))
+            .run_checkpointed(&workload, None, None, Some(&ckpt))
+            .expect("cross-core resume succeeds");
+        assert_eq!(
+            write_trace(&trace),
+            reference,
+            "resume {from:?} -> {to:?} diverged"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}
