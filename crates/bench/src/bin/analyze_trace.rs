@@ -1,9 +1,14 @@
 //! Characterize a trace file from disk.
 //!
 //! Accepts the workspace's sectioned-CSV trace format (written by
-//! `cgc_trace::io::write_trace`), a Parallel Workload Archive SWF log, or
+//! `cgc_trace::io::write_trace`), the binary columnar container
+//! (`gen_trace --format binary`), a Parallel Workload Archive SWF log, or
 //! the Google clusterdata-2011 tables, and prints the paper's
-//! characterization — optionally as JSON.
+//! characterization — optionally as JSON. The format is sniffed from the
+//! file itself (binary containers start with the `CGCB` magic), no flag
+//! needed; binary files are memory-mapped and decoded column-wise
+//! without materializing any text, in both the in-memory and `--stream`
+//! paths, and yield byte-identical reports to their text equivalents.
 //!
 //! ```text
 //! analyze_trace <FILE> [--swf] [--json] [--system NAME] [--lenient] [--metrics] [--telemetry PATH]
@@ -11,8 +16,11 @@
 //! analyze_trace --clusterdata <task_events.csv> <task_usage.csv> <machine_events.csv> [--json]
 //! ```
 //!
-//! `--lenient` parses cgct traces in salvage mode: corrupt lines are
-//! skipped and summarized on stderr instead of aborting the run.
+//! `--lenient` parses text cgct traces in salvage mode: corrupt lines are
+//! skipped and summarized on stderr instead of aborting the run. Binary
+//! containers are always read strictly (each section is CRC-guarded, so
+//! there is no line-level salvage to do); combining them with `--lenient`
+//! is an error.
 //! `--stream` characterizes a cgct trace out-of-core: record batches feed
 //! the analysis passes directly, so memory stays bounded by the batch size
 //! plus the pass accumulators instead of the whole trace. Workload
@@ -168,7 +176,7 @@ fn main() {
             eprintln!("{USAGE}");
             std::process::exit(2);
         };
-        let file = std::fs::File::open(&path).unwrap_or_else(|e| {
+        let mapped = cgc_trace::map_trace(&path).unwrap_or_else(|e| {
             eprintln!("cannot read {path}: {e}");
             std::process::exit(1);
         });
@@ -176,14 +184,18 @@ fn main() {
             approx,
             ..Default::default()
         };
-        let (mut report, stats) =
-            cgc_core::characterize_stream(std::io::BufReader::new(file), &opts).unwrap_or_else(
-                |e| {
-                    eprintln!("trace parse error: {e}");
-                    eprintln!("hint: --stream parses strictly; run without it to use --lenient");
-                    std::process::exit(1);
-                },
-            );
+        let (mut report, stats) = if cgc_trace::is_columnar(&mapped) {
+            cgc_core::characterize_stream_columnar(&mapped, &opts).unwrap_or_else(|e| {
+                eprintln!("trace parse error at byte {}: {}", e.line, e.message);
+                std::process::exit(1);
+            })
+        } else {
+            cgc_core::characterize_stream(&mapped[..], &opts).unwrap_or_else(|e| {
+                eprintln!("trace parse error: {e}");
+                eprintln!("hint: --stream parses strictly; run without it to use --lenient");
+                std::process::exit(1);
+            })
+        };
         if let Some(name) = system {
             report.system = name;
         }
@@ -235,55 +247,88 @@ fn main() {
             eprintln!("       analyze_trace --clusterdata <events> <usage> <machines> [--json]");
             std::process::exit(2);
         };
-        let text = read(&path);
-        // Detect SWF by flag or by content (SWF has no '#trace' preamble).
-        let swf_like = as_swf || !text.lines().any(|l| l.starts_with("#trace"));
-        if swf_like {
-            if lenient {
-                eprintln!("note: --lenient only applies to cgct traces; parsing SWF strictly");
+        let mapped = cgc_trace::map_trace(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        if cgc_trace::is_columnar(&mapped) {
+            if as_swf {
+                eprintln!("--swf cannot apply to a binary columnar container");
+                std::process::exit(2);
             }
-            let options = SwfImportOptions {
-                system: system.unwrap_or_else(|| "swf".into()),
-                ..SwfImportOptions::default()
-            };
-            read_swf_trace(&text, &options).unwrap_or_else(|e| {
-                eprintln!("SWF parse error: {e}");
+            if lenient {
+                eprintln!(
+                    "--lenient applies to text traces only; binary containers are CRC-verified \
+                     per section and always read strictly"
+                );
+                std::process::exit(2);
+            }
+            let mut trace = cgc_trace::read_trace_columnar_parallel(&mapped).unwrap_or_else(|e| {
+                eprintln!("trace parse error at byte {}: {}", e.line, e.message);
                 std::process::exit(1);
-            })
-        } else {
-            let mut trace = if lenient {
-                let parsed = cgc_trace::io::read_trace_lenient(&text);
-                let diagnostics = parsed.diagnostics(&path);
-                if let Some(summary) = diagnostics.summary() {
-                    eprintln!("{summary}");
-                    if with_metrics {
-                        eprint!("{}", diagnostics.render_table());
-                    }
-                }
-                if let Some(limit) = max_salvage {
-                    let pct = parsed.salvage_percent();
-                    if pct > limit {
-                        eprintln!(
-                            "salvage rate {pct:.2}% exceeds --max-salvage {limit}% \
-                             ({} of {} lines skipped); refusing to characterize",
-                            parsed.warnings.len(),
-                            parsed.lines_seen
-                        );
-                        std::process::exit(1);
-                    }
-                }
-                parsed.trace
-            } else {
-                cgc_trace::io::read_trace_parallel(&text).unwrap_or_else(|e| {
-                    eprintln!("trace parse error: {e}");
-                    eprintln!("hint: re-run with --lenient to skip corrupt lines");
-                    std::process::exit(1);
-                })
-            };
+            });
             if let Some(name) = system {
                 trace.system = name;
             }
             trace
+        } else {
+            let text = std::str::from_utf8(&mapped)
+                .unwrap_or_else(|e| {
+                    eprintln!(
+                        "cannot read {path}: not a binary container and not UTF-8 text ({e})"
+                    );
+                    std::process::exit(1);
+                })
+                .to_string();
+            // Detect SWF by flag or by content (SWF has no '#trace' preamble).
+            let swf_like = as_swf || !text.lines().any(|l| l.starts_with("#trace"));
+            if swf_like {
+                if lenient {
+                    eprintln!("note: --lenient only applies to cgct traces; parsing SWF strictly");
+                }
+                let options = SwfImportOptions {
+                    system: system.unwrap_or_else(|| "swf".into()),
+                    ..SwfImportOptions::default()
+                };
+                read_swf_trace(&text, &options).unwrap_or_else(|e| {
+                    eprintln!("SWF parse error: {e}");
+                    std::process::exit(1);
+                })
+            } else {
+                let mut trace = if lenient {
+                    let parsed = cgc_trace::io::read_trace_lenient(&text);
+                    let diagnostics = parsed.diagnostics(&path);
+                    if let Some(summary) = diagnostics.summary() {
+                        eprintln!("{summary}");
+                        if with_metrics {
+                            eprint!("{}", diagnostics.render_table());
+                        }
+                    }
+                    if let Some(limit) = max_salvage {
+                        let pct = parsed.salvage_percent();
+                        if pct > limit {
+                            eprintln!(
+                                "salvage rate {pct:.2}% exceeds --max-salvage {limit}% \
+                             ({} of {} lines skipped); refusing to characterize",
+                                parsed.warnings.len(),
+                                parsed.lines_seen
+                            );
+                            std::process::exit(1);
+                        }
+                    }
+                    parsed.trace
+                } else {
+                    cgc_trace::io::read_trace_parallel(&text).unwrap_or_else(|e| {
+                        eprintln!("trace parse error: {e}");
+                        eprintln!("hint: re-run with --lenient to skip corrupt lines");
+                        std::process::exit(1);
+                    })
+                };
+                if let Some(name) = system {
+                    trace.system = name;
+                }
+                trace
+            }
         }
     };
 

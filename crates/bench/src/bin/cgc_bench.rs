@@ -22,6 +22,12 @@
 //! process (`--worker`, hidden) and reports its own `VmHWM`; the parent —
 //! whose RSS already peaked during simulation — only collects.
 //!
+//! The `formats` block serializes the same trace both ways — sectioned
+//! CSV and the binary columnar container — timing write and strict
+//! parallel read for each (stages `write_binary`/`read_binary`), with
+//! round-trips asserted; CI gates on binary write+read staying at or
+//! below half the text stages.
+//!
 //! Writes `BENCH_pipeline.json`: per-stage wall-clock and throughput
 //! (tasks/s, samples/s), peak RSS, a `throughput_curve` block (the
 //! simulate stage re-run at 1, 2, and 4 threads with shards fixed, so
@@ -103,6 +109,12 @@ struct BenchReport {
     /// each measured in its own child process so `peak_rss_bytes` is that
     /// pipeline's own high-water mark. `null` under `--sim-only`.
     stream: Option<StreamComparison>,
+    /// Text (sectioned CSV) vs binary (columnar container) serialization
+    /// of the same trace: write + strict parallel read wall-clock and the
+    /// on-disk size, plus the binary/text ratios CI gates on. Measured
+    /// after the counter snapshot so `counters` describes the text
+    /// pipeline exactly once. `null` under `--sim-only`.
+    formats: Option<FormatComparison>,
     /// `null` under `--sim-only`.
     end_to_end: Option<EndToEnd>,
     peak_rss_bytes: Option<u64>,
@@ -122,6 +134,25 @@ struct StreamComparison {
 struct ChildRun {
     seconds: f64,
     peak_rss_bytes: u64,
+}
+
+#[derive(Serialize)]
+struct FormatComparison {
+    description: &'static str,
+    text: FormatSide,
+    binary: FormatSide,
+    /// `binary.write_seconds / text.write_seconds` — the CI bench job
+    /// requires write + read combined at or below 0.5× text.
+    binary_over_text_write: f64,
+    /// `binary.read_seconds / text.read_seconds`.
+    binary_over_text_read: f64,
+}
+
+#[derive(Serialize)]
+struct FormatSide {
+    write_seconds: f64,
+    read_seconds: f64,
+    bytes: usize,
 }
 
 #[derive(Serialize)]
@@ -543,8 +574,8 @@ fn main() {
         })
         .collect();
 
-    let (baseline, stream, end_to_end) = if args.sim_only {
-        (None, None, None)
+    let (baseline, stream, formats, end_to_end) = if args.sim_only {
+        (None, None, None, None)
     } else {
         // --- simulate (baseline: the reference scheduler core) --------
         let baseline_config = config
@@ -571,6 +602,52 @@ fn main() {
         );
         drop(reference_report);
         eprintln!("characterize: {char_s:.3}s optimized, {char_base_s:.3}s reference");
+
+        // --- binary columnar container vs the text format --------------
+        // Same trace through both serializations, strict write + parallel
+        // read each, round-trips asserted. Runs after the counter
+        // snapshot, so `counters.bytes_read` still describes the text
+        // pipeline exactly once.
+        let (write_bin_s, binary) = timed(|| cgc_trace::write_trace_columnar(&trace));
+        let (read_bin_s, rebin) = timed(|| {
+            cgc_trace::read_trace_columnar_parallel(&binary).expect("own binary output parses")
+        });
+        assert_eq!(rebin, trace, "binary read-back must round-trip");
+        drop(rebin);
+        eprintln!(
+            "formats: text {write_s:.3}s write / {read_s:.3}s read ({} bytes), \
+             binary {write_bin_s:.3}s write / {read_bin_s:.3}s read ({} bytes)",
+            text.len(),
+            binary.len()
+        );
+        stages.push(samples_stage("write_binary", write_bin_s, n_samples));
+        stages.push(tasks_stage("read_binary", read_bin_s, n_tasks));
+        let formats = FormatComparison {
+            description: "same trace, both serializations: write + strict parallel \
+                          read (write_trace/read_trace_parallel vs \
+                          write_trace_columnar/read_trace_columnar_parallel)",
+            text: FormatSide {
+                write_seconds: write_s,
+                read_seconds: read_s,
+                bytes: text.len(),
+            },
+            binary: FormatSide {
+                write_seconds: write_bin_s,
+                read_seconds: read_bin_s,
+                bytes: binary.len(),
+            },
+            binary_over_text_write: if write_s > 0.0 {
+                write_bin_s / write_s
+            } else {
+                0.0
+            },
+            binary_over_text_read: if read_s > 0.0 {
+                read_bin_s / read_s
+            } else {
+                0.0
+            },
+        };
+        drop(binary);
 
         // --- characterize from disk: in-memory vs streaming children --
         let trace_path =
@@ -619,6 +696,7 @@ fn main() {
                 streaming,
                 rss_ratio,
             }),
+            Some(formats),
             Some(EndToEnd {
                 total_seconds: total,
                 speedup: if total > 0.0 {
@@ -631,7 +709,7 @@ fn main() {
     };
 
     let out = BenchReport {
-        schema: "cgc-bench/pipeline/v3",
+        schema: "cgc-bench/pipeline/v4",
         preset: args.preset,
         config: BenchConfig {
             machines: args.machines,
@@ -645,7 +723,7 @@ fn main() {
             tasks: trace.tasks.len(),
             events: n_events,
             samples: n_samples,
-            trace_bytes: (!args.sim_only).then(|| text.len()),
+            trace_bytes: (!args.sim_only).then_some(text.len()),
         },
         counters: snapshot.counters,
         queue_delay_percentiles,
@@ -653,6 +731,7 @@ fn main() {
         throughput_curve,
         baseline,
         stream,
+        formats,
         end_to_end,
         peak_rss_bytes: peak_rss_bytes(),
     };

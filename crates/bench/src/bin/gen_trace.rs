@@ -1,18 +1,22 @@
 //! Generate a synthetic trace file on disk, crash-safely.
 //!
 //! ```text
-//! gen_trace <OUT> [--machines N] [--horizon SECONDS] [--seed N] [--workload-only]
-//!                 [--checkpoint-every SECONDS] [--checkpoint PATH]
+//! gen_trace <OUT> [--machines N] [--horizon SECONDS] [--seed N] [--format text|binary]
+//!                 [--workload-only] [--checkpoint-every SECONDS] [--checkpoint PATH]
 //!                 [--resume PATH] [--die-after N]
 //! ```
 //!
-//! Runs the google preset (generator + simulator) and writes the
-//! sectioned-CSV trace to `OUT` — the fixture producer for smoke tests
-//! that need a real on-disk trace, e.g. the CI job exercising
-//! `analyze_trace --stream`. The trace is **sealed** (an `#integrity`
-//! trailer with record counts and a CRC-32) and written **atomically**
-//! (temp file + fsync + rename), so a crash mid-write never leaves a torn
-//! file and readers can detect truncation or bit rot.
+//! Runs the google preset (generator + simulator) and writes the trace
+//! to `OUT` — the fixture producer for smoke tests that need a real
+//! on-disk trace, e.g. the CI job exercising `analyze_trace --stream`.
+//! `--format` picks the serialization: `text` (default) writes the
+//! sectioned CSV **sealed** with an `#integrity` trailer (record counts
+//! and a CRC-32); `binary` writes the columnar container, whose header
+//! and sections are each CRC-guarded. Either way the file is written
+//! **atomically** (temp file + fsync + rename), so a crash mid-write
+//! never leaves a torn file and readers can detect truncation or bit
+//! rot. The two formats hold identical records: `analyze_trace` yields
+//! byte-identical reports from either.
 //!
 //! `--workload-only` skips the simulation, so the trace has jobs/tasks/
 //! events but no machines or usage samples.
@@ -29,13 +33,14 @@
 
 use cgc_gen::{FleetConfig, GoogleWorkload};
 use cgc_sim::{load_checkpoint, CheckpointOptions, FaultConfig, SimConfig, Simulator};
+use cgc_trace::columnar::write_columnar_to;
 use cgc_trace::io::write_trace_sealed;
-use cgc_trace::write_atomic;
+use cgc_trace::{write_atomic, write_atomic_with};
 use std::path::Path;
 
 const USAGE: &str = "usage: gen_trace <OUT> [--machines N] [--horizon SECONDS] [--seed N] \
-     [--workload-only] [--checkpoint-every SECONDS] [--checkpoint PATH] [--resume PATH] \
-     [--die-after N]";
+     [--format text|binary] [--workload-only] [--checkpoint-every SECONDS] [--checkpoint PATH] \
+     [--resume PATH] [--die-after N]";
 
 fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
     s.parse().unwrap_or_else(|_| {
@@ -50,6 +55,7 @@ fn main() {
     let mut machines: usize = 40;
     let mut horizon: u64 = 2 * 3_600;
     let mut seed: u64 = 1;
+    let mut binary = false;
     let mut workload_only = false;
     let mut checkpoint_every: Option<u64> = None;
     let mut checkpoint_path: Option<String> = None;
@@ -68,6 +74,14 @@ fn main() {
             "--machines" => machines = parse(&value(&mut args, "--machines"), "--machines"),
             "--horizon" => horizon = parse(&value(&mut args, "--horizon"), "--horizon"),
             "--seed" => seed = parse(&value(&mut args, "--seed"), "--seed"),
+            "--format" => match value(&mut args, "--format").as_str() {
+                "text" => binary = false,
+                "binary" => binary = true,
+                other => {
+                    eprintln!("invalid value for --format: {other:?} (expected text or binary)");
+                    std::process::exit(2);
+                }
+            },
             "--workload-only" => workload_only = true,
             "--checkpoint-every" => {
                 checkpoint_every = Some(parse(
@@ -139,13 +153,24 @@ fn main() {
             trace
         }
     };
-    let text = write_trace_sealed(&trace);
-    write_atomic(&out, text.as_bytes()).unwrap_or_else(|e| {
-        eprintln!("cannot write {out}: {e}");
-        std::process::exit(1);
-    });
+    let bytes_written = if binary {
+        write_atomic_with(&out, |w| write_columnar_to(&trace, w)).unwrap_or_else(|e| {
+            eprintln!("cannot write {out}: {e}");
+            std::process::exit(1);
+        });
+        std::fs::metadata(&out)
+            .map(|m| m.len() as usize)
+            .unwrap_or(0)
+    } else {
+        let text = write_trace_sealed(&trace);
+        write_atomic(&out, text.as_bytes()).unwrap_or_else(|e| {
+            eprintln!("cannot write {out}: {e}");
+            std::process::exit(1);
+        });
+        text.len()
+    };
     eprintln!(
-        "wrote {out}: {} jobs, {} tasks, {} events, {} samples, {} bytes (sealed)",
+        "wrote {out}: {} jobs, {} tasks, {} events, {} samples, {} bytes ({})",
         trace.jobs.len(),
         trace.tasks.len(),
         trace.events.len(),
@@ -154,7 +179,12 @@ fn main() {
             .iter()
             .map(|s| s.samples.len())
             .sum::<usize>(),
-        text.len()
+        bytes_written,
+        if binary {
+            "binary, sealed"
+        } else {
+            "text, sealed"
+        }
     );
     cgc_obs::flush_observers();
 }

@@ -50,6 +50,9 @@ pub use pass::{
     PassOutput,
 };
 pub use report::{characterize, characterize_reference, CharacterizationReport};
-pub use stream::{characterize_stream, StreamOptions, StreamStats};
+pub use stream::{
+    characterize_batches, characterize_stream, characterize_stream_columnar, StreamOptions,
+    StreamStats,
+};
 pub use telemetry::telemetry_from_trace;
 pub use view::TraceView;

@@ -17,8 +17,9 @@
 
 use crate::pass::{self, PassContext};
 use crate::report::CharacterizationReport;
+use cgc_trace::columnar::ColumnarBatches;
 use cgc_trace::io::ParseError;
-use cgc_trace::{TraceBatches, DEFAULT_BATCH_RECORDS};
+use cgc_trace::{BatchSource, TraceBatches, DEFAULT_BATCH_RECORDS};
 use serde::Serialize;
 use std::io::BufRead;
 
@@ -78,9 +79,39 @@ pub fn characterize_stream<R: BufRead>(
     reader: R,
     opts: &StreamOptions,
 ) -> Result<(CharacterizationReport, StreamStats), ParseError> {
+    characterize_batches(
+        TraceBatches::with_batch_records(reader, opts.batch_records),
+        opts,
+    )
+}
+
+/// [`characterize_stream`] over a binary columnar container (typically a
+/// [`map_trace`](cgc_trace::map_trace)d file): the same passes, fed by
+/// [`ColumnarBatches`] — batches are decoded straight from the column
+/// blocks, so no line of text is ever materialized. Container framing
+/// and checksums are verified up front; a corrupt container fails here
+/// before any pass runs.
+///
+/// # Panics
+/// If [`StreamOptions::batch_records`] is zero.
+pub fn characterize_stream_columnar(
+    bytes: &[u8],
+    opts: &StreamOptions,
+) -> Result<(CharacterizationReport, StreamStats), ParseError> {
+    characterize_batches(
+        ColumnarBatches::with_batch_records(bytes, opts.batch_records)?,
+        opts,
+    )
+}
+
+/// The format-agnostic core of the streaming path: runs the workload
+/// passes over any [`BatchSource`].
+pub fn characterize_batches<S: BatchSource>(
+    mut batches: S,
+    opts: &StreamOptions,
+) -> Result<(CharacterizationReport, StreamStats), ParseError> {
     let span = cgc_obs::span(cgc_obs::stages::STREAM);
     let root = span.id();
-    let mut batches = TraceBatches::with_batch_records(reader, opts.batch_records);
     let mut passes = pass::workload_passes(opts.approx);
     let mut stats = StreamStats {
         batches: 0,
@@ -93,7 +124,7 @@ pub fn characterize_stream<R: BufRead>(
         peak_accumulator_bytes: 0,
         approx: opts.approx,
     };
-    for batch in &mut batches {
+    while let Some(batch) = batches.next_batch() {
         let batch = batch?;
         pass::spanned(cgc_obs::stages::A_SWEEP, root, || {
             pass::observe_records(&mut passes, &batch.jobs, &batch.tasks, &batch.events);
@@ -195,6 +226,49 @@ mod tests {
             assert!(stats.peak_accumulator_bytes > 0);
             assert_eq!(stats.bytes_read, text.len() as u64);
         }
+    }
+
+    /// The columnar streaming path is a drop-in for the text one: same
+    /// report (bit-identical in exact mode), same stats, for every batch
+    /// size — the two sources differ only in `bytes_read`, which counts
+    /// container bytes instead of text bytes.
+    #[test]
+    fn columnar_stream_matches_text_stream() {
+        let trace = sample_trace();
+        let text = write_trace(&trace);
+        let bytes = cgc_trace::write_trace_columnar(&trace);
+        for batch_records in [1, 7, 1 << 20] {
+            let opts = StreamOptions {
+                batch_records,
+                approx: false,
+            };
+            let (from_text, text_stats) =
+                characterize_stream(Cursor::new(&text), &opts).expect("text streams");
+            let (from_binary, binary_stats) =
+                characterize_stream_columnar(&bytes, &opts).expect("container streams");
+            assert_eq!(from_binary.system, from_text.system);
+            assert_eq!(from_binary.workload, from_text.workload);
+            assert!(from_binary.hostload.is_none());
+            assert_eq!(binary_stats.bytes_read, bytes.len() as u64);
+            let strip = |mut s: StreamStats| {
+                s.bytes_read = 0;
+                s.peak_accumulator_bytes = 0;
+                s
+            };
+            assert_eq!(strip(binary_stats), strip(text_stats));
+        }
+    }
+
+    /// A corrupt container fails the columnar stream up front with a
+    /// typed integrity error — no pass ever observes salvage.
+    #[test]
+    fn columnar_stream_rejects_corruption_up_front() {
+        let mut bytes = cgc_trace::write_trace_columnar(&sample_trace());
+        let at = bytes.len() / 2;
+        bytes[at] ^= 0x10;
+        let err = characterize_stream_columnar(&bytes, &StreamOptions::default())
+            .expect_err("corrupt container must be rejected");
+        assert_eq!(err.kind, cgc_trace::ParseErrorKind::Integrity);
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub enum PlacementPolicy {
 /// and produce bit-identical traces, telemetry, and checkpoints (pinned
 /// by the sim equivalence tests), so the choice never changes results —
 /// only how fast they arrive.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SchedulerCore {
     /// `BinaryHeap` event queue + `BTreeMap` pending queue — the original
     /// engine structures, kept as the benchmark baseline and cross-check.
@@ -37,13 +37,8 @@ pub enum SchedulerCore {
     /// Calendar event queue + SoA pending columns (the default): time
     /// buckets give amortized O(1) event dispatch and the pending queue
     /// becomes append-only columns instead of a pointer-chasing tree.
+    #[default]
     Optimized,
-}
-
-impl Default for SchedulerCore {
-    fn default() -> Self {
-        SchedulerCore::Optimized
-    }
 }
 
 /// Full simulator configuration.

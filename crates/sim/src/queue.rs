@@ -362,7 +362,7 @@ impl PendingSoa {
             self.levels.resize_with(l + 1, Vec::new);
         }
         debug_assert!(
-            self.levels[l].last().map_or(true, |&(s, _)| s < seq),
+            self.levels[l].last().is_none_or(|&(s, _)| s < seq),
             "pending seq must be monotone per level"
         );
         self.levels[l].push((seq, task));

@@ -272,9 +272,22 @@ pub fn import_clusterdata(
         horizon = horizon.max(time + 1);
         let priority = Priority::from_level(row.priority + 1);
 
-        let job_id = *job_index.entry(row.job).or_insert_with(|| {
-            builder.add_job(UserId((row.job % u32::MAX as u64) as u32), priority, time)
-        });
+        // The table subset carries no user column, so the raw job id
+        // stands in for the user. Dense remapping (first distinct job →
+        // user 0, next → 1, …) keeps distinct raw ids distinct; the old
+        // `row.job % u32::MAX` folding aliased ids 0 and u32::MAX.
+        let job_id = match job_index.get(&row.job) {
+            Some(&id) => id,
+            None => {
+                let user = UserId(
+                    u32::try_from(job_index.len())
+                        .expect("more than u32::MAX distinct jobs in one import"),
+                );
+                let id = builder.add_job(user, priority, time);
+                job_index.insert(row.job, id);
+                id
+            }
+        };
         let tid = *task_index
             .entry((row.job, row.task_index))
             .or_insert_with(|| {
@@ -498,5 +511,25 @@ mod tests {
         assert!(trace.jobs.is_empty());
         assert!(trace.machines.is_empty());
         assert_eq!(stats.events_applied, 0);
+    }
+
+    /// Boundary raw job ids must map to distinct users. The old
+    /// `row.job % u32::MAX` folding aliased jobs `0` and `4294967295`
+    /// (u32::MAX) onto `UserId(0)`; the dense remap keeps every distinct
+    /// raw id distinct and assigns ids in first-seen order.
+    #[test]
+    fn boundary_job_ids_get_distinct_users() {
+        let events = "\
+1000000,,0,0,,0,u,0,3,0.03,0.01,0,0
+2000000,,4294967295,0,,0,u,0,3,0.03,0.01,0,0
+3000000,,4294967296,0,,0,u,0,3,0.03,0.01,0,0
+4000000,,18446744073709551615,0,,0,u,0,3,0.03,0.01,0,0
+";
+        let (trace, _) = import_clusterdata(events, "", MACHINES, "ids").unwrap();
+        assert_eq!(trace.jobs.len(), 4);
+        let users: Vec<u32> = trace.jobs.iter().map(|j| j.user.0).collect();
+        assert_eq!(users, vec![0, 1, 2, 3], "dense, first-seen user ids");
+        let distinct: std::collections::HashSet<u32> = users.into_iter().collect();
+        assert_eq!(distinct.len(), 4, "no two raw job ids share a user");
     }
 }

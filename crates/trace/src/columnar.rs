@@ -1,0 +1,1788 @@
+//! Binary columnar trace container: compact, CRC-guarded, mmap-friendly.
+//!
+//! The sectioned-CSV text format ([`crate::io`]) burns nearly half of the
+//! pipeline's end-to-end wall-clock formatting and re-parsing decimal
+//! strings. This module is the storage format for scale: the same trace
+//! laid out **column per block** in little-endian binary, so the write
+//! side is a sequence of `memcpy`-shaped column sweeps and the read side
+//! decodes fixed-width lanes straight out of a memory-mapped file —
+//! no intermediate strings, no per-record allocation.
+//!
+//! ```text
+//! write:  Trace ──write_columnar_to──▶ [header][MACH][JOBS][TASK][EVNT][SERI]
+//! read:   map_trace ──▶ &[u8] ──read_trace_columnar{,_parallel}──▶ Trace
+//! stream: &[u8] ──ColumnarBatches──▶ batch ▶ batch ▶ … ──▶ passes
+//! ```
+//!
+//! Text stays the import/export path; this container is the machine-to-
+//! machine representation. Round-trip equivalence (text → binary → text
+//! is byte-identical, reports byte-identical across formats) is pinned by
+//! tests here and in `tests/format_equivalence.rs`.
+//!
+//! # On-disk layout (version 1, all integers little-endian)
+//!
+//! ```text
+//! header   magic "CGCB" (4) · version u16 · reserved u16 (0)
+//!          horizon u64 · system_len u32 · system UTF-8 bytes
+//!          zero padding to the next 8-byte boundary
+//!          crc32 u32 (over all header bytes above) · zero padding u32
+//! section  tag (4) · reserved u32 (0) · payload_len u64
+//!          payload (payload_len bytes, always a multiple of 8)
+//!          crc32 u32 (over the payload bytes) · zero padding u32
+//! ```
+//!
+//! Exactly five sections follow the header, in fixed order: `MACH`,
+//! `JOBS`, `TASK`, `EVNT`, `SERI`. Every payload starts with a `u64`
+//! record count and then one contiguous block per column (fixed column
+//! order, see the `write_*` functions); sub-8-byte lanes (`u32`/`u8`)
+//! are zero-padded to the next 8-byte boundary so every block starts
+//! 8-aligned. Ids are implicit — records are stored dense and in order,
+//! exactly as the text format requires them — and `Option` fields use
+//! sentinels: `u64::MAX` for a missing job completion time, `u32::MAX`
+//! for an event without a machine. A container is *always* sealed: the
+//! header and each section carry a CRC-32 (the slicing-by-8 engine from
+//! [`crate::integrity`]), verified before any decoding — every content
+//! byte of the container is checksummed; only the CRC words themselves
+//! and dead padding are not.
+//!
+//! Versioning: readers reject any `version` they do not know (there is
+//! only version 1); `reserved` fields must be written as zero and are
+//! ignored on read, leaving room for compatible flag bits later.
+//!
+//! # Errors
+//!
+//! All failures are typed [`ParseError`]s — never panics — with the same
+//! kinds the text readers use: [`ParseErrorKind::Integrity`] for magic/
+//! version/CRC/truncation damage, [`ParseErrorKind::Syntax`] for
+//! well-framed sections whose decoded records violate the structural
+//! invariants (dense ids, cross-references, the task life-cycle state
+//! machine — checked exactly as strictly as [`crate::read_trace`]).
+//! For binary containers the error's `line` field carries a **byte
+//! offset** into the container instead of a line number.
+//!
+//! # Zero-copy and alignment
+//!
+//! Column accessors ([`ColU64`] and friends) wrap raw byte slices of the
+//! mapped file and decode each lane with `from_le_bytes` on the fly — an
+//! unaligned load, a single instruction on every supported target — so
+//! the container needs no alignment guarantees from the allocator or the
+//! page cache and the accessors are safe on any `&[u8]`.
+
+use crate::integrity::Crc32;
+use crate::io::{IngestTally, ParseError};
+use crate::job::JobRecord;
+use crate::machine::MachineRecord;
+use crate::priority::Priority;
+use crate::resources::Demand;
+use crate::stream::{BatchSource, TraceBatch};
+use crate::task::{TaskEvent, TaskEventKind, TaskOutcome, TaskRecord, TaskState};
+use crate::trace::Trace;
+use crate::usage::{ClassSplit, HostSeries, UsageSample};
+use crate::{JobId, MachineId, TaskId, UserId};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// The container's magic bytes — first four bytes of every binary trace.
+pub const MAGIC: [u8; 4] = *b"CGCB";
+
+/// The one and only format version this build reads and writes.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Section tags, in the fixed on-disk order.
+const SECTION_TAGS: [[u8; 4]; 5] = [*b"MACH", *b"JOBS", *b"TASK", *b"EVNT", *b"SERI"];
+
+/// Bytes of one section header (tag + reserved + payload length).
+const SECTION_HEADER: usize = 16;
+
+/// Bytes of one section trailer (CRC-32 + zero padding).
+const SECTION_TRAILER: usize = 8;
+
+/// True if `bytes` begin with the binary-container magic — the format
+/// sniff used by tools that accept both text and binary traces.
+#[inline]
+pub fn is_columnar(bytes: &[u8]) -> bool {
+    bytes.len() >= MAGIC.len() && bytes[..MAGIC.len()] == MAGIC
+}
+
+/// Rounds `n` up to the next multiple of 8 (column blocks are 8-aligned).
+#[inline]
+fn padded(n: u64) -> u64 {
+    (n + 7) & !7
+}
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+/// Buffers column bytes, tracks the running CRC, and flushes to the
+/// underlying writer in large chunks, so per-element `put_*` calls never
+/// hit the `Write` object (or the CRC engine) one lane at a time.
+struct SectionSink<'w> {
+    w: &'w mut dyn Write,
+    buf: Vec<u8>,
+    crc: Crc32,
+    written: u64,
+}
+
+impl<'w> SectionSink<'w> {
+    const FLUSH_AT: usize = 64 * 1024;
+
+    fn new(w: &'w mut dyn Write) -> Self {
+        SectionSink {
+            w,
+            buf: Vec::with_capacity(Self::FLUSH_AT + 16),
+            crc: Crc32::new(),
+            written: 0,
+        }
+    }
+
+    fn flush_buf(&mut self) -> io::Result<()> {
+        if !self.buf.is_empty() {
+            self.crc.update(&self.buf);
+            self.written += self.buf.len() as u64;
+            self.w.write_all(&self.buf)?;
+            self.buf.clear();
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn put(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.buf.extend_from_slice(bytes);
+        if self.buf.len() >= Self::FLUSH_AT {
+            self.flush_buf()?;
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn put_u64(&mut self, v: u64) -> io::Result<()> {
+        self.put(&v.to_le_bytes())
+    }
+
+    #[inline]
+    fn put_u32(&mut self, v: u32) -> io::Result<()> {
+        self.put(&v.to_le_bytes())
+    }
+
+    #[inline]
+    fn put_f64(&mut self, v: f64) -> io::Result<()> {
+        self.put(&v.to_le_bytes())
+    }
+
+    /// Zero padding that closes a `u32`/`u8` column block at an 8-byte
+    /// boundary.
+    fn pad_block(&mut self, block_bytes: u64) -> io::Result<()> {
+        let pad = (padded(block_bytes) - block_bytes) as usize;
+        self.put(&[0u8; 8][..pad])
+    }
+
+    /// Flushes the tail and returns `(crc, payload bytes written)`.
+    fn finish(mut self) -> io::Result<(u32, u64)> {
+        self.flush_buf()?;
+        Ok((self.crc.finalize(), self.written))
+    }
+}
+
+/// Writes one section: header with the pre-computed payload length, the
+/// payload via `fill`, then the CRC trailer. The pre-computed length is
+/// cross-checked against what `fill` actually produced.
+fn write_section(
+    w: &mut dyn Write,
+    tag: [u8; 4],
+    payload_len: u64,
+    fill: impl FnOnce(&mut SectionSink<'_>) -> io::Result<()>,
+) -> io::Result<()> {
+    w.write_all(&tag)?;
+    w.write_all(&0u32.to_le_bytes())?;
+    w.write_all(&payload_len.to_le_bytes())?;
+    let mut sink = SectionSink::new(w);
+    fill(&mut sink)?;
+    let (crc, written) = sink.finish()?;
+    debug_assert_eq!(written, payload_len, "section {tag:?} length accounting");
+    if written != payload_len {
+        return Err(io::Error::other(format!(
+            "columnar writer bug: section {} payload {written} bytes != declared {payload_len}",
+            String::from_utf8_lossy(&tag)
+        )));
+    }
+    w.write_all(&crc.to_le_bytes())?;
+    w.write_all(&0u32.to_le_bytes())?;
+    Ok(())
+}
+
+fn event_kind_code(kind: TaskEventKind) -> u8 {
+    match kind {
+        TaskEventKind::Submit => 0,
+        TaskEventKind::Schedule => 1,
+        TaskEventKind::Evict => 2,
+        TaskEventKind::Fail => 3,
+        TaskEventKind::Finish => 4,
+        TaskEventKind::Kill => 5,
+        TaskEventKind::Lost => 6,
+        TaskEventKind::UpdatePending => 7,
+        TaskEventKind::UpdateRunning => 8,
+    }
+}
+
+fn event_kind_from_code(code: u8) -> Option<TaskEventKind> {
+    Some(match code {
+        0 => TaskEventKind::Submit,
+        1 => TaskEventKind::Schedule,
+        2 => TaskEventKind::Evict,
+        3 => TaskEventKind::Fail,
+        4 => TaskEventKind::Finish,
+        5 => TaskEventKind::Kill,
+        6 => TaskEventKind::Lost,
+        7 => TaskEventKind::UpdatePending,
+        8 => TaskEventKind::UpdateRunning,
+        _ => return None,
+    })
+}
+
+fn outcome_code(o: TaskOutcome) -> u8 {
+    match o {
+        TaskOutcome::Finished => 0,
+        TaskOutcome::Evicted => 1,
+        TaskOutcome::Failed => 2,
+        TaskOutcome::Killed => 3,
+        TaskOutcome::Lost => 4,
+        TaskOutcome::Unfinished => 5,
+    }
+}
+
+fn outcome_from_code(code: u8) -> Option<TaskOutcome> {
+    Some(match code {
+        0 => TaskOutcome::Finished,
+        1 => TaskOutcome::Evicted,
+        2 => TaskOutcome::Failed,
+        3 => TaskOutcome::Killed,
+        4 => TaskOutcome::Lost,
+        5 => TaskOutcome::Unfinished,
+        _ => return None,
+    })
+}
+
+/// Sentinel for [`JobRecord::completion_time`]` == None`.
+const NO_COMPLETION: u64 = u64::MAX;
+
+/// Sentinel for [`TaskEvent::machine`]` == None`.
+const NO_MACHINE: u32 = u32::MAX;
+
+/// Serializes `trace` as a binary columnar container into `w`.
+///
+/// Streams column by column through an internal chunk buffer — memory
+/// stays O(chunk), not O(trace) — so wrap `w` in a
+/// [`BufWriter`](std::io::BufWriter) only if it is an unbuffered file
+/// (the sink already batches its own writes).
+///
+/// For durability pair it with
+/// [`write_atomic_with`](crate::write_atomic_with):
+///
+/// ```no_run
+/// # let trace = cgc_trace::trace::TraceBuilder::new("t", 0).build().unwrap();
+/// cgc_trace::write_atomic_with("trace.cgcb", |w| {
+///     cgc_trace::columnar::write_columnar_to(&trace, w)
+/// }).unwrap();
+/// ```
+pub fn write_columnar_to(trace: &Trace, w: &mut dyn Write) -> io::Result<()> {
+    let _span = cgc_obs::span(cgc_obs::stages::WRITE);
+
+    // Header, sealed by its own CRC word.
+    let system = trace.system.as_bytes();
+    let system_len = u32::try_from(system.len())
+        .map_err(|_| io::Error::other("system name exceeds u32::MAX bytes"))?;
+    let mut header = Vec::with_capacity(24 + system.len());
+    header.extend_from_slice(&MAGIC);
+    header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    header.extend_from_slice(&0u16.to_le_bytes());
+    header.extend_from_slice(&trace.horizon.to_le_bytes());
+    header.extend_from_slice(&system_len.to_le_bytes());
+    header.extend_from_slice(system);
+    header.resize(padded(header.len() as u64) as usize, 0);
+    w.write_all(&header)?;
+    w.write_all(&crate::integrity::crc32(&header).to_le_bytes())?;
+    w.write_all(&0u32.to_le_bytes())?;
+
+    // MACH: cpu f64 · memory f64 · page_cache f64.
+    let n = trace.machines.len() as u64;
+    write_section(w, SECTION_TAGS[0], 8 + 3 * 8 * n, |s| {
+        s.put_u64(n)?;
+        for m in &trace.machines {
+            s.put_f64(m.cpu_capacity)?;
+        }
+        for m in &trace.machines {
+            s.put_f64(m.memory_capacity)?;
+        }
+        for m in &trace.machines {
+            s.put_f64(m.page_cache_capacity)?;
+        }
+        Ok(())
+    })?;
+
+    // JOBS: user u32 · priority u8 · submit u64 · completion u64
+    //       · cpu_seconds f64 · mean_memory f64.
+    let n = trace.jobs.len() as u64;
+    write_section(
+        w,
+        SECTION_TAGS[1],
+        8 + padded(4 * n) + padded(n) + 3 * 8 * n + 8 * n,
+        |s| {
+            s.put_u64(n)?;
+            for j in &trace.jobs {
+                s.put_u32(j.user.0)?;
+            }
+            s.pad_block(4 * n)?;
+            for j in &trace.jobs {
+                s.put(&[j.priority.level()])?;
+            }
+            s.pad_block(n)?;
+            for j in &trace.jobs {
+                s.put_u64(j.submit_time)?;
+            }
+            for j in &trace.jobs {
+                s.put_u64(j.completion_time.unwrap_or(NO_COMPLETION))?;
+            }
+            for j in &trace.jobs {
+                s.put_f64(j.cpu_seconds)?;
+            }
+            for j in &trace.jobs {
+                s.put_f64(j.mean_memory)?;
+            }
+            Ok(())
+        },
+    )?;
+
+    // TASK: job u32 · priority u8 · submit u64 · cpu f64 · mem f64
+    //       · execution u64 · attempts u32 · resubmit_wait u64 · outcome u8.
+    let n = trace.tasks.len() as u64;
+    write_section(
+        w,
+        SECTION_TAGS[2],
+        8 + 2 * padded(4 * n) + 2 * padded(n) + 5 * 8 * n,
+        |s| {
+            s.put_u64(n)?;
+            for t in &trace.tasks {
+                s.put_u32(t.job.0)?;
+            }
+            s.pad_block(4 * n)?;
+            for t in &trace.tasks {
+                s.put(&[t.priority.level()])?;
+            }
+            s.pad_block(n)?;
+            for t in &trace.tasks {
+                s.put_u64(t.submit_time)?;
+            }
+            for t in &trace.tasks {
+                s.put_f64(t.demand.cpu)?;
+            }
+            for t in &trace.tasks {
+                s.put_f64(t.demand.memory)?;
+            }
+            for t in &trace.tasks {
+                s.put_u64(t.execution_time)?;
+            }
+            for t in &trace.tasks {
+                s.put_u32(t.attempts)?;
+            }
+            s.pad_block(4 * n)?;
+            for t in &trace.tasks {
+                s.put_u64(t.resubmit_wait)?;
+            }
+            for t in &trace.tasks {
+                s.put(&[outcome_code(t.outcome)])?;
+            }
+            s.pad_block(n)?;
+            Ok(())
+        },
+    )?;
+
+    // EVNT: time u64 · task u32 · machine u32 · kind u8.
+    let n = trace.events.len() as u64;
+    write_section(
+        w,
+        SECTION_TAGS[3],
+        8 + 8 * n + 2 * padded(4 * n) + padded(n),
+        |s| {
+            s.put_u64(n)?;
+            for e in &trace.events {
+                s.put_u64(e.time)?;
+            }
+            for e in &trace.events {
+                s.put_u32(e.task.0)?;
+            }
+            s.pad_block(4 * n)?;
+            for e in &trace.events {
+                s.put_u32(e.machine.map_or(NO_MACHINE, |m| m.0))?;
+            }
+            s.pad_block(4 * n)?;
+            for e in &trace.events {
+                s.put(&[event_kind_code(e.kind)])?;
+            }
+            s.pad_block(n)?;
+            Ok(())
+        },
+    )?;
+
+    // SERI: series headers (machine u32 · start u64 · period u64 ·
+    // count u64), then per series ten f64 sample columns in
+    // [`UsageSample`] field order.
+    let s_count = trace.host_series.len() as u64;
+    let sample_total: u64 = trace
+        .host_series
+        .iter()
+        .map(|s| s.samples.len() as u64)
+        .sum();
+    write_section(
+        w,
+        SECTION_TAGS[4],
+        8 + padded(4 * s_count) + 3 * 8 * s_count + 10 * 8 * sample_total,
+        |s| {
+            s.put_u64(s_count)?;
+            for hs in &trace.host_series {
+                s.put_u32(hs.machine.0)?;
+            }
+            s.pad_block(4 * s_count)?;
+            for hs in &trace.host_series {
+                s.put_u64(hs.start)?;
+            }
+            for hs in &trace.host_series {
+                s.put_u64(hs.period)?;
+            }
+            for hs in &trace.host_series {
+                s.put_u64(hs.samples.len() as u64)?;
+            }
+            for hs in &trace.host_series {
+                for f in SAMPLE_FIELDS {
+                    for sample in &hs.samples {
+                        s.put_f64(f(sample))?;
+                    }
+                }
+            }
+            Ok(())
+        },
+    )?;
+    Ok(())
+}
+
+/// The ten [`UsageSample`] lanes, in on-disk column order.
+type SampleField = fn(&UsageSample) -> f64;
+const SAMPLE_FIELDS: [SampleField; 10] = [
+    |s| s.cpu.low,
+    |s| s.cpu.middle,
+    |s| s.cpu.high,
+    |s| s.memory_used.low,
+    |s| s.memory_used.middle,
+    |s| s.memory_used.high,
+    |s| s.memory_assigned.low,
+    |s| s.memory_assigned.middle,
+    |s| s.memory_assigned.high,
+    |s| s.page_cache,
+];
+
+/// [`write_columnar_to`] into a fresh `Vec<u8>` — the binary counterpart
+/// of [`write_trace`](crate::write_trace).
+pub fn write_trace_columnar(trace: &Trace) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_columnar_to(trace, &mut out).expect("writing to a Vec cannot fail");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Column accessors
+// ---------------------------------------------------------------------------
+
+macro_rules! lane_col {
+    ($(#[$doc:meta])* $name:ident, $ty:ty, $width:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy)]
+        pub struct $name<'a> {
+            bytes: &'a [u8],
+        }
+
+        impl<'a> $name<'a> {
+            #[inline]
+            fn new(bytes: &'a [u8]) -> Self {
+                debug_assert_eq!(bytes.len() % $width, 0);
+                Self { bytes }
+            }
+
+            /// Number of lanes in the column.
+            #[inline]
+            pub fn len(&self) -> usize {
+                self.bytes.len() / $width
+            }
+
+            /// True if the column holds no lanes.
+            #[inline]
+            pub fn is_empty(&self) -> bool {
+                self.bytes.is_empty()
+            }
+
+            /// Decodes lane `i`. Panics if out of range, like slice
+            /// indexing — container parsing has already bounds-checked
+            /// every column against its section's record count.
+            #[inline]
+            pub fn get(&self, i: usize) -> $ty {
+                let at = i * $width;
+                <$ty>::from_le_bytes(self.bytes[at..at + $width].try_into().unwrap())
+            }
+
+            /// Iterates all lanes in order.
+            #[inline]
+            pub fn iter(&self) -> impl Iterator<Item = $ty> + 'a {
+                self.bytes
+                    .chunks_exact($width)
+                    .map(|c| <$ty>::from_le_bytes(c.try_into().unwrap()))
+            }
+        }
+    };
+}
+
+lane_col!(
+    /// A zero-copy `u64` column over container bytes.
+    ColU64,
+    u64,
+    8
+);
+lane_col!(
+    /// A zero-copy `f64` column over container bytes.
+    ColF64,
+    f64,
+    8
+);
+lane_col!(
+    /// A zero-copy `u32` column over container bytes.
+    ColU32,
+    u32,
+    4
+);
+
+// ---------------------------------------------------------------------------
+// Parsing: container framing
+// ---------------------------------------------------------------------------
+
+fn eint(offset: usize, message: impl Into<String>) -> ParseError {
+    crate::io::integrity_failed();
+    ParseError::integrity(offset, message)
+}
+
+fn esyn(offset: usize, message: impl Into<String>) -> ParseError {
+    ParseError::syntax(offset, message)
+}
+
+/// A cursor over one section's payload, slicing off 8-aligned column
+/// blocks with bounds checks. `base` is the payload's byte offset in the
+/// container, so errors can point at the failing column.
+struct Payload<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    base: usize,
+    section: &'static str,
+}
+
+impl<'a> Payload<'a> {
+    fn offset(&self) -> usize {
+        self.base + self.pos
+    }
+
+    fn take(&mut self, len: u64, what: &str) -> Result<&'a [u8], ParseError> {
+        let len = usize::try_from(len).map_err(|_| {
+            eint(
+                self.offset(),
+                format!("{} section: {what} column does not fit in memory", self.section),
+            )
+        })?;
+        let end = self.pos.checked_add(len).filter(|&e| e <= self.bytes.len());
+        let Some(end) = end else {
+            return Err(eint(
+                self.offset(),
+                format!(
+                    "{} section: {what} column overruns the payload ({} of {} bytes used)",
+                    self.section,
+                    self.pos,
+                    self.bytes.len()
+                ),
+            ));
+        };
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn count(&mut self) -> Result<u64, ParseError> {
+        let b = self.take(8, "record count")?;
+        Ok(u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn col_u64(&mut self, n: u64, what: &str) -> Result<ColU64<'a>, ParseError> {
+        let len = n
+            .checked_mul(8)
+            .ok_or_else(|| eint(self.offset(), format!("{} count overflows", self.section)))?;
+        Ok(ColU64::new(self.take(len, what)?))
+    }
+
+    fn col_f64(&mut self, n: u64, what: &str) -> Result<ColF64<'a>, ParseError> {
+        Ok(ColF64::new(self.col_u64(n, what)?.bytes))
+    }
+
+    fn col_u32(&mut self, n: u64, what: &str) -> Result<ColU32<'a>, ParseError> {
+        let len = n
+            .checked_mul(4)
+            .ok_or_else(|| eint(self.offset(), format!("{} count overflows", self.section)))?;
+        let col = ColU32::new(self.take(len, what)?);
+        self.take(padded(len) - len, "padding")?;
+        Ok(col)
+    }
+
+    fn col_u8(&mut self, n: u64, what: &str) -> Result<&'a [u8], ParseError> {
+        let col = self.take(n, what)?;
+        self.take(padded(n) - n, "padding")?;
+        Ok(col)
+    }
+
+    fn finish(&self) -> Result<(), ParseError> {
+        if self.pos != self.bytes.len() {
+            return Err(eint(
+                self.offset(),
+                format!(
+                    "{} section: {} trailing payload bytes after the last column",
+                    self.section,
+                    self.bytes.len() - self.pos
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The machines section, as zero-copy columns.
+struct MachineCols<'a> {
+    n: usize,
+    off: usize,
+    cpu: ColF64<'a>,
+    memory: ColF64<'a>,
+    page_cache: ColF64<'a>,
+}
+
+/// The jobs section, as zero-copy columns.
+struct JobCols<'a> {
+    n: usize,
+    off: usize,
+    user: ColU32<'a>,
+    priority: &'a [u8],
+    submit: ColU64<'a>,
+    completion: ColU64<'a>,
+    cpu_seconds: ColF64<'a>,
+    mean_memory: ColF64<'a>,
+}
+
+/// The tasks section, as zero-copy columns.
+struct TaskCols<'a> {
+    n: usize,
+    off: usize,
+    job: ColU32<'a>,
+    priority: &'a [u8],
+    submit: ColU64<'a>,
+    cpu: ColF64<'a>,
+    memory: ColF64<'a>,
+    execution: ColU64<'a>,
+    attempts: ColU32<'a>,
+    resubmit: ColU64<'a>,
+    outcome: &'a [u8],
+}
+
+/// The events section, as zero-copy columns.
+struct EventCols<'a> {
+    n: usize,
+    off: usize,
+    time: ColU64<'a>,
+    task: ColU32<'a>,
+    machine: ColU32<'a>,
+    kind: &'a [u8],
+}
+
+/// The series section: per-series headers plus one shared sample block.
+struct SeriesCols<'a> {
+    s: usize,
+    off: usize,
+    machine: ColU32<'a>,
+    start: ColU64<'a>,
+    period: ColU64<'a>,
+    count: ColU64<'a>,
+    /// `10 × count_i` f64 lanes per series, concatenated.
+    samples: &'a [u8],
+    /// Byte offset of series `i`'s block within `samples` (s + 1 entries).
+    sample_off: Vec<usize>,
+}
+
+impl<'a> SeriesCols<'a> {
+    /// The ten sample columns of series `i`, in [`SAMPLE_FIELDS`] order.
+    fn columns(&self, i: usize) -> [ColF64<'a>; 10] {
+        let block = &self.samples[self.sample_off[i]..self.sample_off[i + 1]];
+        let lane = block.len() / 10;
+        std::array::from_fn(|k| ColF64::new(&block[k * lane..(k + 1) * lane]))
+    }
+}
+
+/// A fully framed container: header decoded, every section's CRC
+/// verified, every column bounds-checked. Records are *not* yet decoded
+/// or structurally validated — that is the readers' job, so the batch
+/// iterator can do it incrementally.
+struct Container<'a> {
+    system: &'a str,
+    horizon: u64,
+    machines: MachineCols<'a>,
+    jobs: JobCols<'a>,
+    tasks: TaskCols<'a>,
+    events: EventCols<'a>,
+    series: SeriesCols<'a>,
+}
+
+impl<'a> Container<'a> {
+    fn parse(bytes: &'a [u8]) -> Result<Self, ParseError> {
+        // --- header ---------------------------------------------------
+        if !is_columnar(bytes) {
+            return Err(eint(0, "not a binary trace container (bad magic)"));
+        }
+        if bytes.len() < 20 {
+            return Err(eint(bytes.len(), "truncated container header"));
+        }
+        let version = u16::from_le_bytes(bytes[4..6].try_into().unwrap());
+        if version != FORMAT_VERSION {
+            return Err(eint(
+                4,
+                format!("unsupported container version {version} (this build reads {FORMAT_VERSION})"),
+            ));
+        }
+        let horizon = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+        let system_len = u32::from_le_bytes(bytes[16..20].try_into().unwrap()) as usize;
+        let system_end = 20usize
+            .checked_add(system_len)
+            .filter(|&e| e <= bytes.len())
+            .ok_or_else(|| eint(16, "system name overruns the container"))?;
+        let header_end = usize::try_from(padded(system_end as u64))
+            .ok()
+            .filter(|&p| p + 8 <= bytes.len())
+            .ok_or_else(|| eint(system_end, "truncated container header"))?;
+        let recorded =
+            u32::from_le_bytes(bytes[header_end..header_end + 4].try_into().unwrap());
+        let computed = crate::integrity::crc32(&bytes[..header_end]);
+        if computed != recorded {
+            return Err(eint(
+                header_end,
+                format!("header checksum mismatch: computed {computed:08x}, recorded {recorded:08x}"),
+            ));
+        }
+        let system = std::str::from_utf8(&bytes[20..system_end])
+            .map_err(|_| esyn(20, "system name is not valid UTF-8"))?;
+        let mut pos = header_end + 8;
+
+        // --- section framing + CRC ------------------------------------
+        let mut payloads: [&'a [u8]; 5] = [&[]; 5];
+        let mut offsets = [0usize; 5];
+        for (i, tag) in SECTION_TAGS.iter().enumerate() {
+            let name = section_name(i);
+            if bytes.len() - pos < SECTION_HEADER + SECTION_TRAILER {
+                return Err(eint(pos, format!("truncated container: {name} section missing")));
+            }
+            if &bytes[pos..pos + 4] != tag {
+                return Err(eint(
+                    pos,
+                    format!(
+                        "expected {name} section tag {:?}, found {:?}",
+                        String::from_utf8_lossy(tag),
+                        String::from_utf8_lossy(&bytes[pos..pos + 4])
+                    ),
+                ));
+            }
+            let payload_len = u64::from_le_bytes(bytes[pos + 8..pos + 16].try_into().unwrap());
+            if payload_len % 8 != 0 {
+                return Err(eint(
+                    pos + 8,
+                    format!("{name} section: payload length {payload_len} is not 8-aligned"),
+                ));
+            }
+            let payload_start = pos + SECTION_HEADER;
+            let payload_end = usize::try_from(payload_len)
+                .ok()
+                .and_then(|l| payload_start.checked_add(l))
+                .filter(|&e| e + SECTION_TRAILER <= bytes.len())
+                .ok_or_else(|| {
+                    eint(
+                        pos + 8,
+                        format!("{name} section: payload of {payload_len} bytes overruns the container"),
+                    )
+                })?;
+            let payload = &bytes[payload_start..payload_end];
+            let recorded = u32::from_le_bytes(bytes[payload_end..payload_end + 4].try_into().unwrap());
+            let computed = crate::integrity::crc32(payload);
+            if computed != recorded {
+                return Err(eint(
+                    payload_end,
+                    format!(
+                        "{name} section checksum mismatch: computed {computed:08x}, recorded {recorded:08x}"
+                    ),
+                ));
+            }
+            payloads[i] = payload;
+            offsets[i] = payload_start;
+            pos = payload_end + SECTION_TRAILER;
+        }
+        if pos != bytes.len() {
+            return Err(eint(
+                pos,
+                format!("{} trailing bytes after the final section", bytes.len() - pos),
+            ));
+        }
+
+        // --- column framing -------------------------------------------
+        let mut p = Payload {
+            bytes: payloads[0],
+            pos: 0,
+            base: offsets[0],
+            section: "machines",
+        };
+        let n = p.count()?;
+        let machines = MachineCols {
+            n: count_to_usize(&p, n)?,
+            off: p.base,
+            cpu: p.col_f64(n, "cpu capacity")?,
+            memory: p.col_f64(n, "memory capacity")?,
+            page_cache: p.col_f64(n, "page-cache capacity")?,
+        };
+        p.finish()?;
+
+        let mut p = Payload {
+            bytes: payloads[1],
+            pos: 0,
+            base: offsets[1],
+            section: "jobs",
+        };
+        let n = p.count()?;
+        let jobs = JobCols {
+            n: count_to_usize(&p, n)?,
+            off: p.base,
+            user: p.col_u32(n, "user id")?,
+            priority: p.col_u8(n, "priority")?,
+            submit: p.col_u64(n, "submit time")?,
+            completion: p.col_u64(n, "completion time")?,
+            cpu_seconds: p.col_f64(n, "cpu seconds")?,
+            mean_memory: p.col_f64(n, "mean memory")?,
+        };
+        p.finish()?;
+
+        let mut p = Payload {
+            bytes: payloads[2],
+            pos: 0,
+            base: offsets[2],
+            section: "tasks",
+        };
+        let n = p.count()?;
+        let tasks = TaskCols {
+            n: count_to_usize(&p, n)?,
+            off: p.base,
+            job: p.col_u32(n, "job id")?,
+            priority: p.col_u8(n, "priority")?,
+            submit: p.col_u64(n, "submit time")?,
+            cpu: p.col_f64(n, "cpu demand")?,
+            memory: p.col_f64(n, "mem demand")?,
+            execution: p.col_u64(n, "execution time")?,
+            attempts: p.col_u32(n, "attempts")?,
+            resubmit: p.col_u64(n, "resubmit wait")?,
+            outcome: p.col_u8(n, "outcome")?,
+        };
+        p.finish()?;
+
+        let mut p = Payload {
+            bytes: payloads[3],
+            pos: 0,
+            base: offsets[3],
+            section: "events",
+        };
+        let n = p.count()?;
+        let events = EventCols {
+            n: count_to_usize(&p, n)?,
+            off: p.base,
+            time: p.col_u64(n, "time")?,
+            task: p.col_u32(n, "task id")?,
+            machine: p.col_u32(n, "machine id")?,
+            kind: p.col_u8(n, "event kind")?,
+        };
+        p.finish()?;
+
+        let mut p = Payload {
+            bytes: payloads[4],
+            pos: 0,
+            base: offsets[4],
+            section: "series",
+        };
+        let s = p.count()?;
+        let machine = p.col_u32(s, "machine id")?;
+        let start = p.col_u64(s, "start")?;
+        let period = p.col_u64(s, "period")?;
+        let count = p.col_u64(s, "sample count")?;
+        let s_usize = count_to_usize(&p, s)?;
+        let mut sample_off = Vec::with_capacity(s_usize + 1);
+        sample_off.push(0usize);
+        let mut total: usize = 0;
+        for i in 0..s_usize {
+            let block = count.get(i).checked_mul(80).and_then(|b| {
+                usize::try_from(b)
+                    .ok()
+                    .and_then(|b| total.checked_add(b))
+            });
+            let Some(end) = block else {
+                return Err(eint(
+                    p.offset(),
+                    format!("series {i}: sample count overflows the payload"),
+                ));
+            };
+            total = end;
+            sample_off.push(total);
+        }
+        let samples = p.take(total as u64, "samples")?;
+        let series = SeriesCols {
+            s: s_usize,
+            off: offsets[4],
+            machine,
+            start,
+            period,
+            count,
+            samples,
+            sample_off,
+        };
+        p.finish()?;
+
+        Ok(Container {
+            system,
+            horizon,
+            machines,
+            jobs,
+            tasks,
+            events,
+            series,
+        })
+    }
+}
+
+fn section_name(i: usize) -> &'static str {
+    ["machines", "jobs", "tasks", "events", "series"][i]
+}
+
+fn count_to_usize(p: &Payload<'_>, n: u64) -> Result<usize, ParseError> {
+    usize::try_from(n).map_err(|_| {
+        eint(
+            p.base,
+            format!("{} section: record count {n} does not fit in memory", p.section),
+        )
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Decoding: columns → records, with the text readers' structural checks
+// ---------------------------------------------------------------------------
+
+fn check_finite(v: f64, off: usize, i: usize, what: &str) -> Result<f64, ParseError> {
+    if !v.is_finite() {
+        return Err(esyn(off, format!("record {i}: non-finite {what}")));
+    }
+    Ok(v)
+}
+
+fn check_capacity(v: f64, off: usize, i: usize, what: &str) -> Result<f64, ParseError> {
+    if !(v.is_finite() && v > 0.0 && v <= 1.0) {
+        return Err(esyn(
+            off,
+            format!("machine {i}: {what} capacity {v} out of range (0, 1]"),
+        ));
+    }
+    Ok(v)
+}
+
+fn machine_at(c: &MachineCols<'_>, i: usize) -> Result<MachineRecord, ParseError> {
+    Ok(MachineRecord {
+        id: MachineId(i as u32),
+        cpu_capacity: check_capacity(c.cpu.get(i), c.off, i, "cpu")?,
+        memory_capacity: check_capacity(c.memory.get(i), c.off, i, "memory")?,
+        page_cache_capacity: check_capacity(c.page_cache.get(i), c.off, i, "page-cache")?,
+    })
+}
+
+fn priority_at(levels: &[u8], off: usize, i: usize) -> Result<Priority, ParseError> {
+    Priority::new(levels[i])
+        .ok_or_else(|| esyn(off, format!("record {i}: priority {} out of range", levels[i])))
+}
+
+fn job_at(c: &JobCols<'_>, i: usize) -> Result<JobRecord, ParseError> {
+    let completion = c.completion.get(i);
+    Ok(JobRecord {
+        id: JobId(i as u32),
+        user: UserId(c.user.get(i)),
+        priority: priority_at(c.priority, c.off, i)?,
+        submit_time: c.submit.get(i),
+        tasks: Vec::new(),
+        completion_time: (completion != NO_COMPLETION).then_some(completion),
+        cpu_seconds: check_finite(c.cpu_seconds.get(i), c.off, i, "cpu seconds")?,
+        mean_memory: check_finite(c.mean_memory.get(i), c.off, i, "mean memory")?,
+    })
+}
+
+fn task_at(c: &TaskCols<'_>, i: usize, jobs_total: usize) -> Result<TaskRecord, ParseError> {
+    let job = c.job.get(i);
+    if job as usize >= jobs_total {
+        return Err(esyn(c.off, format!("task t{i} references unknown job j{job}")));
+    }
+    let outcome = outcome_from_code(c.outcome[i])
+        .ok_or_else(|| esyn(c.off, format!("task t{i}: unknown outcome code {}", c.outcome[i])))?;
+    Ok(TaskRecord {
+        id: TaskId(i as u32),
+        job: JobId(job),
+        priority: priority_at(c.priority, c.off, i)?,
+        submit_time: c.submit.get(i),
+        demand: Demand {
+            cpu: check_finite(c.cpu.get(i), c.off, i, "cpu demand")?,
+            memory: check_finite(c.memory.get(i), c.off, i, "mem demand")?,
+        },
+        execution_time: c.execution.get(i),
+        attempts: c.attempts.get(i),
+        resubmit_wait: c.resubmit.get(i),
+        outcome,
+    })
+}
+
+/// Decodes event `i`, replaying the task life-cycle state machine —
+/// `states` must hold one entry per task, in order.
+fn event_at(c: &EventCols<'_>, i: usize, states: &mut [TaskState]) -> Result<TaskEvent, ParseError> {
+    let task = c.task.get(i);
+    let kind = event_kind_from_code(c.kind[i])
+        .ok_or_else(|| esyn(c.off, format!("event {i}: unknown event kind code {}", c.kind[i])))?;
+    let Some(state) = states.get_mut(task as usize) else {
+        return Err(esyn(c.off, format!("event {i} references unknown task t{task}")));
+    };
+    let next = state
+        .apply(kind)
+        .map_err(|source| esyn(c.off, format!("event {i}: illegal event for task t{task}: {source}")))?;
+    *state = next;
+    let machine = c.machine.get(i);
+    Ok(TaskEvent {
+        time: c.time.get(i),
+        task: TaskId(task),
+        machine: (machine != NO_MACHINE).then_some(MachineId(machine)),
+        kind,
+    })
+}
+
+/// Validates series `i`'s header against the machine table and the
+/// sampling-period invariant.
+fn check_series_header(c: &SeriesCols<'_>, i: usize, machines_total: usize) -> Result<(), ParseError> {
+    let machine = c.machine.get(i);
+    if machine as usize >= machines_total {
+        return Err(esyn(
+            c.off,
+            format!("series {i} references unknown machine {machine}"),
+        ));
+    }
+    if c.period.get(i) == 0 {
+        return Err(esyn(c.off, format!("series {i}: sampling period must be positive")));
+    }
+    Ok(())
+}
+
+fn sample_at(cols: &[ColF64<'_>; 10], off: usize, k: usize) -> Result<UsageSample, ParseError> {
+    let mut v = [0f64; 10];
+    for (slot, col) in v.iter_mut().zip(cols) {
+        *slot = check_finite(col.get(k), off, k, "usage sample")?;
+    }
+    Ok(UsageSample {
+        cpu: ClassSplit {
+            low: v[0],
+            middle: v[1],
+            high: v[2],
+        },
+        memory_used: ClassSplit {
+            low: v[3],
+            middle: v[4],
+            high: v[5],
+        },
+        memory_assigned: ClassSplit {
+            low: v[6],
+            middle: v[7],
+            high: v[8],
+        },
+        page_cache: v[9],
+    })
+}
+
+fn decode_machines(c: &MachineCols<'_>) -> Result<Vec<MachineRecord>, ParseError> {
+    (0..c.n).map(|i| machine_at(c, i)).collect()
+}
+
+fn decode_jobs(c: &JobCols<'_>) -> Result<Vec<JobRecord>, ParseError> {
+    (0..c.n).map(|i| job_at(c, i)).collect()
+}
+
+fn decode_tasks(c: &TaskCols<'_>, jobs_total: usize) -> Result<Vec<TaskRecord>, ParseError> {
+    (0..c.n).map(|i| task_at(c, i, jobs_total)).collect()
+}
+
+fn decode_events(c: &EventCols<'_>, tasks_total: usize) -> Result<Vec<TaskEvent>, ParseError> {
+    let mut states = vec![TaskState::Unsubmitted; tasks_total];
+    (0..c.n).map(|i| event_at(c, i, &mut states)).collect()
+}
+
+fn decode_series(c: &SeriesCols<'_>, machines_total: usize) -> Result<Vec<HostSeries>, ParseError> {
+    (0..c.s)
+        .map(|i| {
+            check_series_header(c, i, machines_total)?;
+            let cols = c.columns(i);
+            let count = c.count.get(i) as usize;
+            let mut series = HostSeries {
+                machine: MachineId(c.machine.get(i)),
+                start: c.start.get(i),
+                period: c.period.get(i),
+                samples: Vec::with_capacity(count),
+            };
+            for k in 0..count {
+                series.samples.push(sample_at(&cols, c.off, k)?);
+            }
+            Ok(series)
+        })
+        .collect()
+}
+
+/// Restores the `JobRecord::tasks` back-references the text writer emits
+/// (tasks are dense and in order, so this reproduces them exactly).
+fn link_job_tasks(jobs: &mut [JobRecord], tasks: &[TaskRecord]) {
+    for t in tasks {
+        jobs[t.job.index()].tasks.push(t.id);
+    }
+}
+
+/// Parses a binary columnar container into a [`Trace`] — the binary
+/// counterpart of [`read_trace`](crate::read_trace), exactly as strict:
+/// every section CRC is verified and the decoded records must satisfy the
+/// same structural invariants (dense ids, valid cross-references, a legal
+/// event log). Never panics; see the module docs for error semantics.
+pub fn read_trace_columnar(bytes: &[u8]) -> Result<Trace, ParseError> {
+    let _span = cgc_obs::span(cgc_obs::stages::READ);
+    let mut tally = IngestTally::new();
+    tally.bytes = bytes.len() as u64;
+    let c = Container::parse(bytes)?;
+    let machines = decode_machines(&c.machines)?;
+    let mut jobs = decode_jobs(&c.jobs)?;
+    let tasks = decode_tasks(&c.tasks, jobs.len())?;
+    let events = decode_events(&c.events, tasks.len())?;
+    let host_series = decode_series(&c.series, machines.len())?;
+    link_job_tasks(&mut jobs, &tasks);
+    Ok(Trace {
+        system: c.system.to_string(),
+        horizon: c.horizon,
+        machines,
+        jobs,
+        tasks,
+        events,
+        host_series,
+    })
+}
+
+/// [`read_trace_columnar`] with the five table decodes fanned out on the
+/// rayon pool. Output and errors are identical to the sequential reader:
+/// framing and CRC checks run first (in order), the per-table decodes are
+/// independent (cross-references only need the *counts* of the referenced
+/// tables), and when several tables are corrupt the error reported is the
+/// earliest section's — exactly the one the sequential reader hits first.
+pub fn read_trace_columnar_parallel(bytes: &[u8]) -> Result<Trace, ParseError> {
+    let _span = cgc_obs::span(cgc_obs::stages::READ);
+    let mut tally = IngestTally::new();
+    tally.bytes = bytes.len() as u64;
+    let c = Container::parse(bytes)?;
+    let (machines, (jobs, (tasks, (events, host_series)))) = rayon::join(
+        || decode_machines(&c.machines),
+        || {
+            rayon::join(
+                || decode_jobs(&c.jobs),
+                || {
+                    rayon::join(
+                        || decode_tasks(&c.tasks, c.jobs.n),
+                        || {
+                            rayon::join(
+                                || decode_events(&c.events, c.tasks.n),
+                                || decode_series(&c.series, c.machines.n),
+                            )
+                        },
+                    )
+                },
+            )
+        },
+    );
+    let (machines, mut jobs, tasks, events, host_series) =
+        (machines?, jobs?, tasks?, events?, host_series?);
+    link_job_tasks(&mut jobs, &tasks);
+    Ok(Trace {
+        system: c.system.to_string(),
+        horizon: c.horizon,
+        machines,
+        jobs,
+        tasks,
+        events,
+        host_series,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Streaming: record batches off the columns
+// ---------------------------------------------------------------------------
+
+/// Streaming record-batch iterator over a binary container — the
+/// columnar counterpart of [`TraceBatches`](crate::TraceBatches), feeding
+/// `characterize_stream` without materializing the trace. Construction
+/// verifies the container framing and every section CRC up front (the
+/// bytes are already resident — typically a mapped file); record decoding
+/// and the structural checks then run incrementally, batch by batch, with
+/// the same strictness and the same errors as [`read_trace_columnar`].
+///
+/// Batches carry records in table order (machines, jobs, tasks, events,
+/// then counted samples), each batch holding up to `batch_records` of
+/// them. As with the text streamer, `JobRecord::tasks` back-references
+/// are not populated — batch consumers must not rely on them.
+pub struct ColumnarBatches<'a> {
+    c: Container<'a>,
+    batch_records: usize,
+    bytes: u64,
+    /// Decode cursors into each table.
+    mi: usize,
+    ji: usize,
+    ti: usize,
+    ei: usize,
+    /// Series cursor: next series index and sample offset within it.
+    si: usize,
+    sk: usize,
+    states: Vec<TaskState>,
+    done: bool,
+}
+
+impl<'a> ColumnarBatches<'a> {
+    /// Streams batches of [`DEFAULT_BATCH_RECORDS`](crate::DEFAULT_BATCH_RECORDS)
+    /// records.
+    pub fn new(bytes: &'a [u8]) -> Result<Self, ParseError> {
+        Self::with_batch_records(bytes, crate::DEFAULT_BATCH_RECORDS)
+    }
+
+    /// Streams batches of at most `batch_records` records (the final
+    /// batch may be smaller).
+    ///
+    /// # Panics
+    /// If `batch_records` is zero.
+    pub fn with_batch_records(bytes: &'a [u8], batch_records: usize) -> Result<Self, ParseError> {
+        assert!(batch_records > 0, "batch size must be positive");
+        let mut tally = IngestTally::new();
+        tally.bytes = bytes.len() as u64;
+        let c = Container::parse(bytes)?;
+        let states = vec![TaskState::Unsubmitted; c.tasks.n];
+        Ok(ColumnarBatches {
+            c,
+            batch_records,
+            bytes: bytes.len() as u64,
+            mi: 0,
+            ji: 0,
+            ti: 0,
+            ei: 0,
+            si: 0,
+            sk: 0,
+            states,
+            done: false,
+        })
+    }
+
+    /// The system name from the container header.
+    pub fn system(&self) -> &str {
+        self.c.system
+    }
+
+    /// The horizon from the container header.
+    pub fn horizon(&self) -> u64 {
+        self.c.horizon
+    }
+
+    /// Total container bytes (validated up front).
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes
+    }
+
+    fn fill(&mut self, batch: &mut TraceBatch, budget: &mut usize) -> Result<(), ParseError> {
+        let c = &self.c;
+        while *budget > 0 && self.mi < c.machines.n {
+            batch.machines.push(machine_at(&c.machines, self.mi)?);
+            self.mi += 1;
+            *budget -= 1;
+        }
+        while *budget > 0 && self.ji < c.jobs.n {
+            batch.jobs.push(job_at(&c.jobs, self.ji)?);
+            self.ji += 1;
+            *budget -= 1;
+        }
+        while *budget > 0 && self.ti < c.tasks.n {
+            batch.tasks.push(task_at(&c.tasks, self.ti, c.jobs.n)?);
+            self.ti += 1;
+            *budget -= 1;
+        }
+        while *budget > 0 && self.ei < c.events.n {
+            batch.events.push(event_at(&c.events, self.ei, &mut self.states)?);
+            self.ei += 1;
+            *budget -= 1;
+        }
+        while *budget > 0 && self.si < c.series.s {
+            if self.sk == 0 {
+                check_series_header(&c.series, self.si, c.machines.n)?;
+            }
+            let count = c.series.count.get(self.si) as usize;
+            if self.sk >= count {
+                self.si += 1;
+                self.sk = 0;
+                continue;
+            }
+            let cols = c.series.columns(self.si);
+            let take = (*budget).min(count - self.sk);
+            for k in self.sk..self.sk + take {
+                sample_at(&cols, c.series.off, k)?;
+            }
+            self.sk += take;
+            batch.samples += take as u64;
+            *budget -= take;
+        }
+        Ok(())
+    }
+
+    fn exhausted(&self) -> bool {
+        let c = &self.c;
+        self.mi == c.machines.n
+            && self.ji == c.jobs.n
+            && self.ti == c.tasks.n
+            && self.ei == c.events.n
+            && self.si == c.series.s
+    }
+}
+
+impl Iterator for ColumnarBatches<'_> {
+    type Item = Result<TraceBatch, ParseError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let mut batch = TraceBatch::default();
+        let mut budget = self.batch_records;
+        if let Err(e) = self.fill(&mut batch, &mut budget) {
+            self.done = true;
+            return Some(Err(e));
+        }
+        if self.exhausted() {
+            self.done = true;
+        }
+        Some(Ok(batch))
+    }
+}
+
+impl BatchSource for ColumnarBatches<'_> {
+    fn next_batch(&mut self) -> Option<Result<TraceBatch, ParseError>> {
+        self.next()
+    }
+
+    fn system(&self) -> &str {
+        ColumnarBatches::system(self)
+    }
+
+    fn horizon(&self) -> u64 {
+        ColumnarBatches::horizon(self)
+    }
+
+    fn bytes_read(&self) -> u64 {
+        ColumnarBatches::bytes_read(self)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// mmap
+// ---------------------------------------------------------------------------
+
+#[cfg(all(unix, target_pointer_width = "64"))]
+mod mmap_sys {
+    //! Raw `mmap`/`munmap` bindings against the C library the Rust
+    //! standard library already links on Unix — no new dependency. Gated
+    //! to 64-bit Unix, where `off_t` is an `i64` on every supported
+    //! platform (Linux, macOS, the BSDs), keeping the declared ABI exact.
+
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            length: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, length: usize) -> c_int;
+    }
+}
+
+/// A trace file's bytes, memory-mapped when the platform allows it and
+/// read into an owned buffer otherwise. Dereferences to `&[u8]`; hand the
+/// slice to [`read_trace_columnar`], [`read_trace_columnar_parallel`], or
+/// [`ColumnarBatches`] — with a mapping, column accessors then read
+/// straight from the page cache with no copy in between.
+pub struct MappedTrace {
+    inner: MapInner,
+}
+
+enum MapInner {
+    Owned(Vec<u8>),
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    Mapped {
+        ptr: std::ptr::NonNull<u8>,
+        len: usize,
+    },
+}
+
+// SAFETY: the mapping is private and read-only for its whole lifetime;
+// sharing immutable views of it across threads (the parallel reader's
+// rayon tasks) is sound.
+unsafe impl Send for MappedTrace {}
+unsafe impl Sync for MappedTrace {}
+
+impl MappedTrace {
+    /// Opens and maps `path` read-only, falling back to an ordinary read
+    /// if mapping is unavailable (non-Unix targets, zero-length files, or
+    /// an `mmap` refusal, e.g. on filesystems that forbid it).
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref();
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        {
+            use std::os::unix::io::AsRawFd;
+            let file = std::fs::File::open(path)?;
+            let len = file.metadata()?.len();
+            if len > 0 {
+                if let Ok(len) = usize::try_from(len) {
+                    let ptr = unsafe {
+                        mmap_sys::mmap(
+                            std::ptr::null_mut(),
+                            len,
+                            mmap_sys::PROT_READ,
+                            mmap_sys::MAP_PRIVATE,
+                            file.as_raw_fd(),
+                            0,
+                        )
+                    };
+                    // MAP_FAILED is (void*)-1; treat NULL as failure too.
+                    if ptr as isize != -1 {
+                        if let Some(ptr) = std::ptr::NonNull::new(ptr.cast::<u8>()) {
+                            return Ok(MappedTrace {
+                                inner: MapInner::Mapped { ptr, len },
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(MappedTrace {
+            inner: MapInner::Owned(std::fs::read(path)?),
+        })
+    }
+
+    /// The file's bytes.
+    #[inline]
+    pub fn bytes(&self) -> &[u8] {
+        match &self.inner {
+            MapInner::Owned(v) => v,
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            // SAFETY: `ptr` is a live PROT_READ mapping of exactly `len`
+            // bytes, unmapped only in Drop.
+            MapInner::Mapped { ptr, len } => unsafe {
+                std::slice::from_raw_parts(ptr.as_ptr(), *len)
+            },
+        }
+    }
+}
+
+impl std::ops::Deref for MappedTrace {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.bytes()
+    }
+}
+
+impl Drop for MappedTrace {
+    fn drop(&mut self) {
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        if let MapInner::Mapped { ptr, len } = self.inner {
+            // SAFETY: exactly the region mmap returned; errors are
+            // ignorable on unmap (the address space is ours).
+            unsafe {
+                mmap_sys::munmap(ptr.as_ptr().cast(), len);
+            }
+        }
+    }
+}
+
+/// Maps (or reads) a trace file for zero-copy columnar access.
+pub fn map_trace(path: impl AsRef<Path>) -> io::Result<MappedTrace> {
+    MappedTrace::open(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::{read_trace, write_trace, ParseErrorKind};
+    use crate::trace::TraceBuilder;
+
+    fn sample_trace() -> Trace {
+        let mut b = TraceBuilder::new("columnar-test", 7_200);
+        let m0 = b.add_machine(0.5, 0.75, 1.0);
+        let m1 = b.add_machine(1.0, 1.0, 1.0);
+        let mut last = None;
+        for ji in 0..7u64 {
+            let j = b.add_job(
+                UserId((ji % 3) as u32),
+                Priority::from_level((ji % 12) as u8 + 1),
+                ji * 60,
+            );
+            b.set_job_usage(j, 12.5 * (ji + 1) as f64, 0.012_5);
+            for _ in 0..2 {
+                let t = b.add_task(j, Demand::new(0.021, 0.013));
+                b.push_event(TaskEvent {
+                    time: ji * 60,
+                    task: t,
+                    machine: None,
+                    kind: TaskEventKind::Submit,
+                });
+                b.push_event(TaskEvent {
+                    time: ji * 60 + 3,
+                    task: t,
+                    machine: Some(m0),
+                    kind: TaskEventKind::Schedule,
+                });
+                last = Some(t);
+            }
+        }
+        b.push_event(TaskEvent {
+            time: 500,
+            task: last.unwrap(),
+            machine: Some(m0),
+            kind: TaskEventKind::Fail,
+        });
+        let mut s0 = HostSeries::new(m0, 0, 300);
+        s0.samples = vec![
+            UsageSample {
+                cpu: ClassSplit {
+                    low: 0.1,
+                    middle: 0.2,
+                    high: 0.3,
+                },
+                memory_used: ClassSplit {
+                    low: 0.01,
+                    middle: 0.02,
+                    high: 0.03,
+                },
+                memory_assigned: ClassSplit {
+                    low: 0.04,
+                    middle: 0.05,
+                    high: 0.06,
+                },
+                page_cache: 0.5,
+            };
+            5
+        ];
+        b.add_host_series(s0);
+        let mut s1 = HostSeries::new(m1, 300, 300);
+        s1.samples = vec![UsageSample::default(); 3];
+        b.add_host_series(s1);
+        b.build().expect("legal event sequence")
+    }
+
+    #[test]
+    fn round_trips_bit_exactly() {
+        let trace = sample_trace();
+        let bytes = write_trace_columnar(&trace);
+        assert!(is_columnar(&bytes));
+        let back = read_trace_columnar(&bytes).expect("own output parses");
+        assert_eq!(back, trace);
+        // And through the text format: text → binary → text is
+        // byte-identical (floats are stored as exact bit patterns).
+        let text = write_trace(&trace);
+        let via_binary = write_trace(&read_trace_columnar(&write_trace_columnar(
+            &read_trace(&text).unwrap(),
+        ))
+        .unwrap());
+        assert_eq!(via_binary, text);
+    }
+
+    #[test]
+    fn parallel_reader_matches_sequential() {
+        let trace = sample_trace();
+        let bytes = write_trace_columnar(&trace);
+        assert_eq!(
+            read_trace_columnar_parallel(&bytes).expect("parses"),
+            read_trace_columnar(&bytes).expect("parses")
+        );
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let trace = TraceBuilder::new("empty", 0).build().unwrap();
+        let bytes = write_trace_columnar(&trace);
+        let back = read_trace_columnar(&bytes).expect("empty container parses");
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn sentinels_do_not_collide_with_real_values() {
+        let mut trace = sample_trace();
+        // A real completion time one below the sentinel must survive.
+        trace.jobs[0].completion_time = Some(u64::MAX - 1);
+        trace.jobs[1].completion_time = None;
+        let back = read_trace_columnar(&write_trace_columnar(&trace)).unwrap();
+        assert_eq!(back.jobs[0].completion_time, Some(u64::MAX - 1));
+        assert_eq!(back.jobs[1].completion_time, None);
+    }
+
+    #[test]
+    fn batches_concatenate_to_the_full_trace() {
+        let trace = sample_trace();
+        let bytes = write_trace_columnar(&trace);
+        let whole = read_trace_columnar(&bytes).unwrap();
+        for batch_records in [1, 3, 7, 1 << 20] {
+            let mut it = ColumnarBatches::with_batch_records(&bytes, batch_records).unwrap();
+            let mut machines = Vec::new();
+            let mut jobs = Vec::new();
+            let mut tasks = Vec::new();
+            let mut events = Vec::new();
+            let mut samples = 0u64;
+            for batch in &mut it {
+                let batch = batch.expect("well-formed container");
+                assert!(batch.records() <= batch_records as u64);
+                machines.extend(batch.machines);
+                jobs.extend(batch.jobs);
+                tasks.extend(batch.tasks);
+                events.extend(batch.events);
+                samples += batch.samples;
+            }
+            assert_eq!(it.system(), whole.system);
+            assert_eq!(it.horizon(), whole.horizon);
+            assert_eq!(machines, whole.machines);
+            assert_eq!(tasks, whole.tasks);
+            assert_eq!(events, whole.events);
+            assert_eq!(
+                samples,
+                whole
+                    .host_series
+                    .iter()
+                    .map(|s| s.samples.len() as u64)
+                    .sum::<u64>()
+            );
+            assert_eq!(jobs.len(), whole.jobs.len());
+            for (a, b) in jobs.iter().zip(&whole.jobs) {
+                let mut a = a.clone();
+                a.tasks = b.tasks.clone();
+                assert_eq!(&a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_container_yields_one_empty_batch() {
+        let trace = TraceBuilder::new("empty", 0).build().unwrap();
+        let bytes = write_trace_columnar(&trace);
+        let items: Vec<_> = ColumnarBatches::new(&bytes).unwrap().collect();
+        assert_eq!(items.len(), 1);
+        assert!(items[0].as_ref().unwrap().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_size_panics() {
+        let bytes = write_trace_columnar(&sample_trace());
+        let _ = ColumnarBatches::with_batch_records(&bytes, 0);
+    }
+
+    #[test]
+    fn bad_magic_is_a_typed_error() {
+        let mut bytes = write_trace_columnar(&sample_trace());
+        bytes[0] = b'X';
+        let err = read_trace_columnar(&bytes).expect_err("bad magic rejected");
+        assert_eq!(err.kind, ParseErrorKind::Integrity);
+    }
+
+    #[test]
+    fn unknown_version_is_rejected() {
+        let mut bytes = write_trace_columnar(&sample_trace());
+        bytes[4] = 0xFF;
+        let err = read_trace_columnar(&bytes).expect_err("future version rejected");
+        assert_eq!(err.kind, ParseErrorKind::Integrity);
+        assert!(err.message.contains("version"), "{}", err.message);
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_the_section_checksum() {
+        let trace = sample_trace();
+        let bytes = write_trace_columnar(&trace);
+        // Flip one byte in every position of the container; every flip
+        // must yield a typed error or (for the few bytes that are pure
+        // padding or self-consistent) a clean parse — never a panic.
+        let mut checksum_failures = 0;
+        for at in (0..bytes.len()).step_by(7) {
+            let mut dented = bytes.clone();
+            dented[at] ^= 0x40;
+            match read_trace_columnar(&dented) {
+                Ok(t) => assert_eq!(t, trace, "silent divergence at byte {at}"),
+                Err(e) => {
+                    if e.message.contains("checksum") {
+                        checksum_failures += 1;
+                    }
+                }
+            }
+        }
+        assert!(checksum_failures > 0, "CRC must catch payload damage");
+    }
+
+    #[test]
+    fn truncation_at_every_offset_is_caught() {
+        let trace = sample_trace();
+        let bytes = write_trace_columnar(&trace);
+        for len in 0..bytes.len() {
+            match read_trace_columnar(&bytes[..len]) {
+                Ok(_) => panic!("truncation to {len} bytes parsed cleanly"),
+                Err(e) => assert_eq!(e.kind, ParseErrorKind::Integrity, "offset {len}"),
+            }
+        }
+    }
+
+    #[test]
+    fn mapped_file_matches_in_memory_bytes() {
+        let trace = sample_trace();
+        let bytes = write_trace_columnar(&trace);
+        let path = std::env::temp_dir().join(format!("cgc-columnar-map-{}.cgcb", std::process::id()));
+        crate::write_atomic(&path, &bytes).unwrap();
+        let mapped = map_trace(&path).unwrap();
+        assert_eq!(&*mapped, &bytes[..]);
+        assert_eq!(read_trace_columnar_parallel(&mapped).unwrap(), trace);
+        drop(mapped);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn ingest_metrics_count_container_bytes() {
+        cgc_obs::set_enabled(true);
+        cgc_obs::metrics().reset();
+        let bytes = write_trace_columnar(&sample_trace());
+        let _ = read_trace_columnar(&bytes).unwrap();
+        let c = cgc_obs::metrics().snapshot().counters;
+        assert_eq!(c.bytes_read as usize, bytes.len());
+        cgc_obs::metrics().reset();
+    }
+}

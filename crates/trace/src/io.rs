@@ -172,14 +172,24 @@ impl LenientParse {
 /// Batches ingest counter updates and flushes them to the global metrics
 /// registry on drop, so strict-mode early aborts still account for the
 /// work done up to the offending line.
+///
+/// `salvaged` is tallied here too — by the shared line loops, exactly
+/// once per line a lenient sink swallowed — so no entry point needs a
+/// post-hoc `lines_salvaged.add(...)` that could double-count what the
+/// sink already recorded.
 pub(crate) struct IngestTally {
     pub(crate) lines: u64,
     pub(crate) bytes: u64,
+    pub(crate) salvaged: u64,
 }
 
 impl IngestTally {
     pub(crate) fn new() -> Self {
-        IngestTally { lines: 0, bytes: 0 }
+        IngestTally {
+            lines: 0,
+            bytes: 0,
+            salvaged: 0,
+        }
     }
 }
 
@@ -188,6 +198,7 @@ impl Drop for IngestTally {
         let m = cgc_obs::metrics();
         m.lines_parsed.add(self.lines);
         m.bytes_read.add(self.bytes);
+        m.lines_salvaged.add(self.salvaged);
     }
 }
 
@@ -508,8 +519,9 @@ fn is_trailer_line(line: &str) -> bool {
         .is_some_and(|rest| rest.split_whitespace().next() == Some("integrity"))
 }
 
-/// Bumps the corruption counter once per failed trailer verification.
-fn integrity_failed() {
+/// Bumps the corruption counter once per failed integrity check (the
+/// text trailer here, section checksums in [`crate::columnar`]).
+pub(crate) fn integrity_failed() {
     cgc_obs::metrics().integrity_failures.add(1);
 }
 
@@ -981,6 +993,9 @@ fn parse_lines(
         };
         if let Err(e) = st.line(&p, line) {
             sink(e)?;
+            // The sink swallowed the error (lenient mode): that line was
+            // salvaged around. Strict sinks abort above, leaving 0.
+            tally.salvaged += 1;
         }
     }
     Ok(tally.lines)
@@ -1036,7 +1051,6 @@ pub fn read_trace_lenient(text: &str) -> LenientParse {
         Ok(())
     })
     .unwrap_or(0);
-    cgc_obs::metrics().lines_salvaged.add(warnings.len() as u64);
     LenientParse {
         trace: st.finish(),
         warnings,
@@ -1066,6 +1080,7 @@ fn parse_reader<R: std::io::BufRead>(
                 // The stream position is unreliable after a read error;
                 // report and stop rather than risk spinning.
                 sink(ParseError::io(line_no, format!("read error: {e}")))?;
+                tally.salvaged += 1;
                 return Ok(tally.lines);
             }
         }
@@ -1077,6 +1092,7 @@ fn parse_reader<R: std::io::BufRead>(
         let p = LineParser { line_no, line };
         if let Err(e) = st.line(&p, line) {
             sink(e)?;
+            tally.salvaged += 1;
         }
     }
 }
@@ -1101,7 +1117,6 @@ pub fn read_trace_lenient_from<R: std::io::BufRead>(reader: R) -> LenientParse {
         Ok(())
     })
     .unwrap_or(0);
-    cgc_obs::metrics().lines_salvaged.add(warnings.len() as u64);
     LenientParse {
         trace: st.finish(),
         warnings,

@@ -21,6 +21,7 @@
 
 pub mod chaos;
 pub mod clusterdata;
+pub mod columnar;
 pub mod ids;
 pub mod integrity;
 pub mod io;
@@ -38,6 +39,10 @@ pub mod trace;
 pub mod usage;
 
 pub use chaos::{ChaosReader, ChaosWriter, Fault, FaultPlan};
+pub use columnar::{
+    is_columnar, map_trace, read_trace_columnar, read_trace_columnar_parallel, write_columnar_to,
+    write_trace_columnar, ColumnarBatches, MappedTrace,
+};
 pub use ids::{JobId, MachineId, TaskId, UserId};
 pub use integrity::{crc32, write_atomic, write_atomic_with, Crc32};
 pub use io::{
@@ -49,7 +54,7 @@ pub use machine::{MachineRecord, CPU_CAPACITY_CLASSES, MEMORY_CAPACITY_CLASSES};
 pub use normalize::{normalize_trace, NormalizationFactors};
 pub use priority::{Priority, PriorityClass};
 pub use resources::Demand;
-pub use stream::{TraceBatch, TraceBatches, DEFAULT_BATCH_RECORDS};
+pub use stream::{BatchSource, TraceBatch, TraceBatches, DEFAULT_BATCH_RECORDS};
 pub use task::{TaskEvent, TaskEventKind, TaskOutcome, TaskRecord, TaskState};
 pub use time::{Duration, Timestamp, DAY, HOUR, MINUTE, SAMPLE_PERIOD};
 pub use timeline::{QueueCounts, QueueTimeline};

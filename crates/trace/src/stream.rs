@@ -58,17 +58,68 @@ pub struct TraceBatch {
 
 impl TraceBatch {
     /// Total records in the batch, samples included.
-    pub fn records(&self) -> usize {
-        self.machines.len()
-            + self.jobs.len()
-            + self.tasks.len()
-            + self.events.len()
-            + self.samples as usize
+    ///
+    /// Returned as `u64`: `samples` is a count, not a vector length, so
+    /// casting it to `usize` would truncate on 32-bit targets and the sum
+    /// could overflow. Saturating adds keep the result well-defined even
+    /// for adversarial counts.
+    pub fn records(&self) -> u64 {
+        (self.machines.len() as u64)
+            .saturating_add(self.jobs.len() as u64)
+            .saturating_add(self.tasks.len() as u64)
+            .saturating_add(self.events.len() as u64)
+            .saturating_add(self.samples)
     }
 
     /// True when the batch carries no records at all.
     pub fn is_empty(&self) -> bool {
         self.records() == 0
+    }
+}
+
+/// A source of [`TraceBatch`]es, abstracting over the storage format.
+///
+/// Implemented by [`TraceBatches`] (sectioned CSV off any `BufRead`) and
+/// [`ColumnarBatches`](crate::columnar::ColumnarBatches) (binary columnar
+/// container over mapped bytes), so streaming consumers — most notably
+/// `characterize_stream` in `cgc-core` — are written once against this
+/// trait and ingest either format.
+///
+/// Contract, shared with the iterators' own documentation: batches arrive
+/// in record order; iteration ends after the first `Err`; every
+/// well-formed source yields at least one `Ok` batch (possibly empty), so
+/// [`system`](Self::system)/[`horizon`](Self::horizon) are reliable once
+/// `next_batch` returns `None`.
+pub trait BatchSource {
+    /// Yields the next batch, `None` once the source is exhausted (or
+    /// after it has reported an error).
+    fn next_batch(&mut self) -> Option<Result<TraceBatch, ParseError>>;
+
+    /// The system name from the trace header (empty until parsed).
+    fn system(&self) -> &str;
+
+    /// The horizon from the trace header (`0` until parsed).
+    fn horizon(&self) -> u64;
+
+    /// Bytes consumed from the underlying storage so far.
+    fn bytes_read(&self) -> u64;
+}
+
+impl<R: BufRead> BatchSource for TraceBatches<R> {
+    fn next_batch(&mut self) -> Option<Result<TraceBatch, ParseError>> {
+        self.next()
+    }
+
+    fn system(&self) -> &str {
+        TraceBatches::system(self)
+    }
+
+    fn horizon(&self) -> u64 {
+        TraceBatches::horizon(self)
+    }
+
+    fn bytes_read(&self) -> u64 {
+        TraceBatches::bytes_read(self)
     }
 }
 
@@ -328,14 +379,14 @@ mod tests {
         let trace = sample_trace();
         let text = write_trace_sealed(&trace);
         for batch_records in [1, 7, 1 << 20] {
-            let total: usize =
+            let total: u64 =
                 TraceBatches::with_batch_records(std::io::Cursor::new(&text), batch_records)
                     .map(|b| b.expect("sealed trace is well-formed").records())
                     .sum();
             let whole = read_trace(&text).unwrap();
             assert_eq!(
                 total,
-                whole.machines.len()
+                (whole.machines.len()
                     + whole.jobs.len()
                     + whole.tasks.len()
                     + whole.events.len()
@@ -343,7 +394,7 @@ mod tests {
                         .host_series
                         .iter()
                         .map(|s| s.samples.len())
-                        .sum::<usize>()
+                        .sum::<usize>()) as u64
             );
         }
         // A flipped payload byte fails the stream at the trailer with the

@@ -52,8 +52,8 @@ pub use cgc_stats as stats;
 pub use cgc_trace as trace;
 
 pub use cgc_core::{
-    characterize, characterize_stream, telemetry_from_trace, CharacterizationReport, StreamOptions,
-    StreamStats,
+    characterize, characterize_stream, characterize_stream_columnar, telemetry_from_trace,
+    CharacterizationReport, StreamOptions, StreamStats,
 };
 
 /// The most common imports, bundled.

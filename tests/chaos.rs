@@ -19,16 +19,27 @@
 //! - **ReadError**: the streaming reader must surface a typed error.
 //! - **InterruptWrite**: [`write_atomic_with`] must leave a pre-existing
 //!   target byte-identical and leave no temp-file litter behind.
+//!
+//! The same matrix runs against the **binary columnar container**
+//! (`write_trace_columnar`), where the invariants are stricter: there is
+//! no lenient salvage, so every corruption outcome is either a clean
+//! reproduction of the original trace (flips in dead padding or CRC
+//! words for bytes that still verify) or a typed [`ParseError`] — from
+//! the sequential reader, the parallel reader, and the batch iterator
+//! alike, and the three must agree. Truncation anywhere is *always*
+//! refused: the container's section framing requires the exact byte
+//! length, so no prefix parses.
 
 use cloudgrid::gen::{FleetConfig, GoogleWorkload};
 use cloudgrid::sim::{FaultConfig, SimConfig, Simulator};
 use cloudgrid::trace::io::{read_trace, read_trace_lenient, read_trace_verified};
 use cloudgrid::trace::{
-    read_trace_from, write_atomic_with, write_trace_sealed, ChaosReader, ChaosWriter, Fault,
+    read_trace_columnar, read_trace_columnar_parallel, read_trace_from, write_atomic_with,
+    write_trace_columnar, write_trace_sealed, ChaosReader, ChaosWriter, ColumnarBatches, Fault,
     FaultPlan, Trace,
 };
 use proptest::prelude::*;
-use std::io::{BufReader, Write};
+use std::io::{BufReader, Read, Write};
 use std::path::Path;
 use std::sync::OnceLock;
 
@@ -39,9 +50,11 @@ const MATRIX_SEEDS: u64 = 200;
 struct Fixture {
     trace: Trace,
     sealed: Vec<u8>,
+    binary: Vec<u8>,
 }
 
-/// One small simulated trace, sealed, shared by every test.
+/// One small simulated trace, sealed (text) and containerized (binary),
+/// shared by every test.
 fn fixture() -> &'static Fixture {
     static FIXTURE: OnceLock<Fixture> = OnceLock::new();
     FIXTURE.get_or_init(|| {
@@ -49,7 +62,12 @@ fn fixture() -> &'static Fixture {
         let config = SimConfig::google(FleetConfig::google(20)).with_faults(FaultConfig::google());
         let trace = Simulator::new(config).run(&workload);
         let sealed = write_trace_sealed(&trace).into_bytes();
-        Fixture { trace, sealed }
+        let binary = write_trace_columnar(&trace);
+        Fixture {
+            trace,
+            sealed,
+            binary,
+        }
     })
 }
 
@@ -98,6 +116,44 @@ fn check_corrupted_bytes(seed: u64, corrupted: &[u8]) {
     }
 }
 
+/// The binary-container invariants on one corrupted byte buffer: every
+/// reader yields either the clean trace or a typed error (never a panic,
+/// never silently different records), and the three readers agree.
+fn check_corrupted_container(seed: u64, corrupted: &[u8]) {
+    let clean = &fixture().trace;
+    let sequential = read_trace_columnar(corrupted);
+    match &sequential {
+        Ok(trace) => assert_eq!(
+            trace, clean,
+            "seed {seed}: columnar read accepted corrupted bytes"
+        ),
+        Err(e) => {
+            let _ = e.to_string();
+        }
+    }
+    // The parallel reader agrees with the sequential one — same trace or
+    // same error classification.
+    match (sequential.is_ok(), read_trace_columnar_parallel(corrupted)) {
+        (true, Ok(trace)) => assert_eq!(&trace, clean),
+        (false, Err(_)) => {}
+        (seq_ok, par) => panic!(
+            "seed {seed}: sequential ({}) and parallel ({}) readers disagree",
+            if seq_ok { "ok" } else { "err" },
+            if par.is_ok() { "ok" } else { "err" },
+        ),
+    }
+    // The batch iterator salvages nothing either: constructing it (which
+    // verifies framing and checksums) or draining it fails iff the
+    // whole-trace read failed.
+    let drained =
+        ColumnarBatches::new(corrupted).and_then(|batches| batches.collect::<Result<Vec<_>, _>>());
+    assert_eq!(
+        drained.is_ok(),
+        sequential.is_ok(),
+        "seed {seed}: batch iterator and whole-trace reader disagree"
+    );
+}
+
 #[test]
 fn seeded_fault_matrix_never_panics_or_lies() {
     let fx = fixture();
@@ -132,6 +188,83 @@ fn seeded_fault_matrix_never_panics_or_lies() {
         }
     }
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The same seeded matrix against the binary columnar container. Fault
+/// positions are re-derived against the container's own length, so every
+/// region — header, section headers, payloads, CRC words — gets hit.
+#[test]
+fn seeded_fault_matrix_on_binary_containers() {
+    let fx = fixture();
+    let dir = std::env::temp_dir().join(format!("cgc-chaos-bin-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for seed in 0..MATRIX_SEEDS {
+        let plan = FaultPlan::from_seed(seed, fx.binary.len());
+        match plan.fault {
+            Fault::Truncate { .. } | Fault::BitFlip { .. } => {
+                let corrupted = cloudgrid::trace::chaos::corrupt(&fx.binary, plan.fault);
+                check_corrupted_container(seed, &corrupted);
+            }
+            Fault::ShortReads { .. } => {
+                // Dribbling reads deliver intact content; a container
+                // ingested through them must reproduce the clean trace.
+                let mut reader = ChaosReader::new(&fx.binary[..], plan.fault);
+                let mut bytes = Vec::new();
+                reader
+                    .read_to_end(&mut bytes)
+                    .unwrap_or_else(|e| panic!("seed {seed}: short reads failed: {e}"));
+                assert_eq!(
+                    read_trace_columnar(&bytes).expect("intact container parses"),
+                    fx.trace,
+                    "seed {seed}: short reads changed the trace"
+                );
+            }
+            Fault::ReadError { .. } => {
+                // A mid-stream read error surfaces while acquiring the
+                // bytes — before any columnar decoding can begin.
+                let mut reader = ChaosReader::new(&fx.binary[..], plan.fault);
+                let mut bytes = Vec::new();
+                assert!(
+                    reader.read_to_end(&mut bytes).is_err(),
+                    "seed {seed}: the injected read error must surface"
+                );
+            }
+            Fault::InterruptWrite { .. } => {
+                check_interrupted_binary_write(&dir, seed, plan.fault);
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A torn binary-container write through the atomic writer must leave the
+/// pre-existing target intact, exactly like a torn text write.
+fn check_interrupted_binary_write(dir: &Path, seed: u64, fault: Fault) {
+    let target = dir.join(format!("target-{seed}.cgcb"));
+    let original = write_trace_columnar(&fixture().trace);
+    std::fs::write(&target, &original).unwrap();
+
+    let result = write_atomic_with(&target, |w| {
+        let mut chaos = ChaosWriter::new(w, fault);
+        cloudgrid::trace::columnar::write_columnar_to(&fixture().trace, &mut chaos)?;
+        chaos.flush()
+    });
+    assert!(
+        result.is_err(),
+        "seed {seed}: the injected write fault must abort the write"
+    );
+    let survivor = std::fs::read(&target).unwrap();
+    assert_eq!(
+        survivor, original,
+        "seed {seed}: a torn write damaged the existing container"
+    );
+    // And the surviving artifact still parses clean.
+    assert_eq!(
+        read_trace_columnar(&survivor).expect("survivor parses"),
+        fixture().trace,
+        "seed {seed}: surviving container no longer parses"
+    );
+    let _ = std::fs::remove_file(&target);
 }
 
 /// A torn write through the atomic writer must leave the pre-existing
@@ -225,5 +358,20 @@ proptest! {
                 "a strict verified read accepted a truncated artifact (cut at {})", at
             );
         }
+    }
+
+    /// Binary containers are stricter still: truncation at *any* offset
+    /// is refused outright — the section framing demands the exact byte
+    /// length, so no prefix of a container is a container.
+    #[test]
+    fn binary_truncation_at_any_offset_is_refused(idx in any::<prop::sample::Index>()) {
+        let fx = fixture();
+        let at = idx.index(fx.binary.len());
+        let corrupted = cloudgrid::trace::chaos::corrupt(&fx.binary, Fault::Truncate { at });
+        check_corrupted_container(u64::MAX, &corrupted);
+        prop_assert!(
+            read_trace_columnar(&corrupted).is_err(),
+            "a columnar read accepted a truncated container (cut at {})", at
+        );
     }
 }

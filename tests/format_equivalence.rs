@@ -1,0 +1,128 @@
+//! Text ⇄ binary format equivalence: the columnar container is a second
+//! serialization of the *same* records, not a second data model.
+//!
+//! Pinned here, on a real simulated trace:
+//!
+//! - **Round-trip identity**: text → binary → text reproduces the text
+//!   byte-for-byte (floats are stored as exact bit patterns in the
+//!   container, and the text formatter is shortest-round-trip, so no
+//!   precision is ever shed), and binary → text → binary reproduces the
+//!   container byte-for-byte.
+//! - **Report identity**: `characterize` yields byte-identical JSON
+//!   whether the trace was materialized from text or binary, through the
+//!   sequential or the parallel reader; the streaming path
+//!   (`characterize_stream` on text, `characterize_stream_columnar` on
+//!   the container) agrees with both, at several batch sizes.
+//!
+//! Together these keep the text format authoritative for import/export
+//! while letting every pipeline stage pick the binary container for
+//! speed without anyone downstream being able to tell the difference.
+
+use cloudgrid::gen::{FleetConfig, GoogleWorkload};
+use cloudgrid::sim::{FaultConfig, SimConfig, Simulator};
+use cloudgrid::trace::io::{read_trace, read_trace_parallel, write_trace};
+use cloudgrid::trace::{
+    read_trace_columnar, read_trace_columnar_parallel, write_trace_columnar, Trace,
+};
+use cloudgrid::{characterize, characterize_stream, characterize_stream_columnar, StreamOptions};
+use std::sync::OnceLock;
+
+/// One simulated trace with machines, jobs, tasks, events, and usage
+/// samples — every section of both formats populated.
+fn fixture() -> &'static Trace {
+    static FIXTURE: OnceLock<Trace> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let workload = GoogleWorkload::scaled_for_hostload(25, 2 * 3_600).generate(7);
+        let config = SimConfig::google(FleetConfig::google(25)).with_faults(FaultConfig::google());
+        Simulator::new(config).run(&workload)
+    })
+}
+
+#[test]
+fn text_to_binary_to_text_is_byte_identical() {
+    let trace = fixture();
+    let text = write_trace(trace);
+    let via_binary = write_trace(
+        &read_trace_columnar(&write_trace_columnar(&read_trace(&text).expect("text parses")))
+            .expect("container parses"),
+    );
+    assert_eq!(via_binary, text, "text → binary → text must be lossless");
+}
+
+#[test]
+fn binary_to_text_to_binary_is_byte_identical() {
+    let trace = fixture();
+    let binary = write_trace_columnar(trace);
+    let via_text = write_trace_columnar(
+        &read_trace(&write_trace(
+            &read_trace_columnar(&binary).expect("container parses"),
+        ))
+        .expect("text parses"),
+    );
+    assert_eq!(via_text, binary, "binary → text → binary must be lossless");
+}
+
+#[test]
+fn all_readers_materialize_the_same_trace() {
+    let trace = fixture();
+    let text = write_trace(trace);
+    let binary = write_trace_columnar(trace);
+    assert_eq!(&read_trace(&text).unwrap(), trace);
+    assert_eq!(&read_trace_parallel(&text).unwrap(), trace);
+    assert_eq!(&read_trace_columnar(&binary).unwrap(), trace);
+    assert_eq!(&read_trace_columnar_parallel(&binary).unwrap(), trace);
+}
+
+#[test]
+fn reports_are_byte_identical_across_formats_and_paths() {
+    let trace = fixture();
+    let text = write_trace(trace);
+    let binary = write_trace_columnar(trace);
+    let json = |report: &cloudgrid::CharacterizationReport| {
+        serde_json::to_string(report).expect("report serializes")
+    };
+
+    // In-memory, from either format, either reader.
+    let reference = json(&characterize(trace));
+    assert_eq!(
+        json(&characterize(&read_trace_parallel(&text).unwrap())),
+        reference
+    );
+    assert_eq!(
+        json(&characterize(&read_trace_columnar_parallel(&binary).unwrap())),
+        reference
+    );
+
+    // Streaming, both formats, several batch sizes. Streaming reports
+    // skip host-load sections, so they are compared to each other (and
+    // their workload section to the in-memory report's).
+    let whole = characterize(trace);
+    for batch_records in [64, 1 << 20] {
+        let opts = StreamOptions {
+            batch_records,
+            approx: false,
+        };
+        let (from_text, _) =
+            characterize_stream(std::io::Cursor::new(&text), &opts).expect("text streams");
+        let (from_binary, _) =
+            characterize_stream_columnar(&binary, &opts).expect("container streams");
+        assert_eq!(
+            json(&from_binary),
+            json(&from_text),
+            "stream reports must match across formats (batch size {batch_records})"
+        );
+        assert_eq!(
+            serde_json::to_string(&from_binary.workload).unwrap(),
+            serde_json::to_string(&whole.workload).unwrap(),
+            "streamed workload section must match the in-memory one"
+        );
+    }
+}
+
+#[test]
+fn container_is_deterministic() {
+    // Two writes of the same trace are byte-identical — containers can be
+    // content-addressed and diffed, like the text format.
+    let trace = fixture();
+    assert_eq!(write_trace_columnar(trace), write_trace_columnar(trace));
+}

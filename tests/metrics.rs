@@ -92,6 +92,28 @@ fn counters_match_the_trace_they_describe() {
     let non_blank = corrupted.lines().filter(|l| !l.trim().is_empty()).count();
     assert_eq!(c.lines_parsed as usize, non_blank);
 
+    // Exactly-once salvage accounting: every lenient entry point tallies
+    // `lines_salvaged` through the shared `IngestTally`, never via an
+    // extra post-hoc add — so the string-based and reader-based parsers
+    // must report identical counts for identical input, and running both
+    // must sum, not double.
+    obs::metrics().reset();
+    let from_reader = cloudgrid::trace::io::read_trace_lenient_from(corrupted.as_bytes());
+    assert_eq!(from_reader.warnings.len(), parsed.warnings.len());
+    let c = obs::metrics().snapshot().counters;
+    assert_eq!(
+        c.lines_salvaged as usize,
+        from_reader.warnings.len(),
+        "reader-based lenient parse counts each salvaged line once"
+    );
+    let _ = read_trace_lenient(&corrupted);
+    let c = obs::metrics().snapshot().counters;
+    assert_eq!(
+        c.lines_salvaged as usize,
+        2 * parsed.warnings.len(),
+        "two lenient parses count each salvaged line exactly once each"
+    );
+
     // Counters survive serialization round-trips bit-for-bit.
     let json = serde_json::to_string(&c).expect("counters serialize");
     let back: obs::PipelineCounters = serde_json::from_str(&json).expect("counters deserialize");
