@@ -47,6 +47,7 @@
 //! PWA, point this tool at it, and compare the resulting statistics to the
 //! paper's (and to this repository's generated systems).
 
+use cgc_bench::cli::{map_trace_sniffed, parse_arg, reject_if, require_value, SniffedFormat};
 use cgc_core::{characterize, CharacterizationReport};
 use cgc_obs::MetricsSnapshot;
 use cgc_trace::swf::{read_swf_trace, SwfImportOptions};
@@ -107,14 +108,8 @@ fn main() {
             "--json" => as_json = true,
             "--lenient" => lenient = true,
             "--max-salvage" => {
-                let raw = args.next().unwrap_or_else(|| {
-                    eprintln!("--max-salvage requires a percentage (0-100)");
-                    std::process::exit(2);
-                });
-                let pct: f64 = raw.parse().unwrap_or_else(|_| {
-                    eprintln!("invalid value for --max-salvage: {raw:?}");
-                    std::process::exit(2);
-                });
+                let pct: f64 =
+                    parse_arg(&require_value(&mut args, "--max-salvage"), "--max-salvage");
                 if !(0.0..=100.0).contains(&pct) {
                     eprintln!("--max-salvage must be between 0 and 100, got {pct}");
                     std::process::exit(2);
@@ -122,18 +117,8 @@ fn main() {
                 max_salvage = Some(pct);
             }
             "--metrics" => with_metrics = true,
-            "--telemetry" => {
-                telemetry = Some(args.next().unwrap_or_else(|| {
-                    eprintln!("--telemetry requires a path");
-                    std::process::exit(2);
-                }));
-            }
-            "--system" => {
-                system = Some(args.next().unwrap_or_else(|| {
-                    eprintln!("--system requires a name");
-                    std::process::exit(2);
-                }));
-            }
+            "--telemetry" => telemetry = Some(require_value(&mut args, "--telemetry")),
+            "--system" => system = Some(require_value(&mut args, "--system")),
             "--help" | "-h" => {
                 eprintln!("{USAGE}");
                 return;
@@ -151,50 +136,41 @@ fn main() {
         cgc_obs::metrics().reset();
     }
 
-    if approx && !streaming {
-        eprintln!("--approx requires --stream");
-        std::process::exit(2);
-    }
-    if max_salvage.is_some() && !lenient {
-        eprintln!("--max-salvage bounds lenient salvage; it requires --lenient");
-        std::process::exit(2);
-    }
-    if telemetry.is_some() && streaming {
-        eprintln!(
-            "--telemetry replays the materialized event log; it cannot combine with --stream"
-        );
-        std::process::exit(2);
-    }
+    reject_if(approx && !streaming, "--approx requires --stream");
+    reject_if(
+        max_salvage.is_some() && !lenient,
+        "--max-salvage bounds lenient salvage; it requires --lenient",
+    );
+    reject_if(
+        telemetry.is_some() && streaming,
+        "--telemetry replays the materialized event log; it cannot combine with --stream",
+    );
     if streaming {
-        if as_swf || lenient || clusterdata.is_some() {
-            eprintln!(
-                "--stream reads strict cgct traces only; it cannot combine with --swf, --lenient, or --clusterdata"
-            );
-            std::process::exit(2);
-        }
+        reject_if(
+            as_swf || lenient || clusterdata.is_some(),
+            "--stream reads strict cgct traces only; it cannot combine with --swf, --lenient, or --clusterdata",
+        );
         let Some(path) = path else {
             eprintln!("{USAGE}");
             std::process::exit(2);
         };
-        let mapped = cgc_trace::map_trace(&path).unwrap_or_else(|e| {
-            eprintln!("cannot read {path}: {e}");
-            std::process::exit(1);
-        });
+        let (mapped, format) = map_trace_sniffed(&path);
         let opts = cgc_core::StreamOptions {
             approx,
             ..Default::default()
         };
-        let (mut report, stats) = if cgc_trace::is_columnar(&mapped) {
-            cgc_core::characterize_stream_columnar(&mapped, &opts).unwrap_or_else(|e| {
-                eprintln!("trace parse error at byte {}: {}", e.line, e.message);
-                std::process::exit(1);
-            })
-        } else {
-            cgc_core::characterize_stream(&mapped[..], &opts).unwrap_or_else(|e| {
-                eprintln!("trace parse error: {e}");
-                eprintln!("hint: --stream parses strictly; run without it to use --lenient");
-                std::process::exit(1);
-            })
+        let (mut report, stats) = match format {
+            SniffedFormat::Binary => cgc_core::characterize_stream_columnar(&mapped, &opts)
+                .unwrap_or_else(|e| {
+                    eprintln!("trace parse error at byte {}: {}", e.line, e.message);
+                    std::process::exit(1);
+                }),
+            SniffedFormat::Text => cgc_core::characterize_stream(&mapped[..], &opts)
+                .unwrap_or_else(|e| {
+                    eprintln!("trace parse error: {e}");
+                    eprintln!("hint: --stream parses strictly; run without it to use --lenient");
+                    std::process::exit(1);
+                }),
         };
         if let Some(name) = system {
             report.system = name;
@@ -247,22 +223,14 @@ fn main() {
             eprintln!("       analyze_trace --clusterdata <events> <usage> <machines> [--json]");
             std::process::exit(2);
         };
-        let mapped = cgc_trace::map_trace(&path).unwrap_or_else(|e| {
-            eprintln!("cannot read {path}: {e}");
-            std::process::exit(1);
-        });
-        if cgc_trace::is_columnar(&mapped) {
-            if as_swf {
-                eprintln!("--swf cannot apply to a binary columnar container");
-                std::process::exit(2);
-            }
-            if lenient {
-                eprintln!(
-                    "--lenient applies to text traces only; binary containers are CRC-verified \
-                     per section and always read strictly"
-                );
-                std::process::exit(2);
-            }
+        let (mapped, format) = map_trace_sniffed(&path);
+        if format == SniffedFormat::Binary {
+            reject_if(as_swf, "--swf cannot apply to a binary columnar container");
+            reject_if(
+                lenient,
+                "--lenient applies to text traces only; binary containers are CRC-verified \
+                 per section and always read strictly",
+            );
             let mut trace = cgc_trace::read_trace_columnar_parallel(&mapped).unwrap_or_else(|e| {
                 eprintln!("trace parse error at byte {}: {}", e.line, e.message);
                 std::process::exit(1);

@@ -28,6 +28,13 @@
 //! round-trips asserted; CI gates on binary write+read staying at or
 //! below half the text stages.
 //!
+//! The `fused` block times the serialization-free pipeline — records
+//! emitted from the trace through a bounded channel straight into the
+//! streaming characterizer (`fuse_characterize`) — against the fastest
+//! path through a serialized artifact (columnar write + zero-copy
+//! columnar characterize), reports asserted byte-identical; CI gates on
+//! fused staying at or below 0.9× the roundtrip.
+//!
 //! Writes `BENCH_pipeline.json`: per-stage wall-clock and throughput
 //! (tasks/s, samples/s), peak RSS, a `throughput_curve` block (the
 //! simulate stage re-run at 1, 2, and 4 threads with shards fixed, so
@@ -65,11 +72,14 @@
 //! versioned bundle (timeline, capacity, histograms) for offline
 //! inspection.
 
-use cgc_core::{characterize, characterize_reference};
+use cgc_bench::cli::{parse_arg, parse_value, require_value};
+use cgc_bench::fuse_characterize;
+use cgc_core::{characterize, characterize_reference, StreamOptions};
 use cgc_gen::{FleetConfig, GoogleWorkload};
 use cgc_obs::{PipelineCounters, QueueDelayPercentiles};
 use cgc_sim::{FaultConfig, SchedulerCore, SimConfig, Simulator};
 use cgc_trace::io::{read_trace, read_trace_parallel, write_trace};
+use cgc_trace::{emit_trace, DEFAULT_BATCH_RECORDS, DEFAULT_CHANNEL_BATCHES};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -115,6 +125,12 @@ struct BenchReport {
     /// after the counter snapshot so `counters` describes the text
     /// pipeline exactly once. `null` under `--sim-only`.
     formats: Option<FormatComparison>,
+    /// Fused emit→characterize (bounded channel, no serialization)
+    /// against the binary write→read→characterize roundtrip on the same
+    /// trace, reports asserted byte-identical. CI gates on
+    /// `fused_over_roundtrip` staying at or below 0.9. `null` under
+    /// `--sim-only`.
+    fused: Option<FusedComparison>,
     /// `null` under `--sim-only`.
     end_to_end: Option<EndToEnd>,
     peak_rss_bytes: Option<u64>,
@@ -153,6 +169,20 @@ struct FormatSide {
     write_seconds: f64,
     read_seconds: f64,
     bytes: usize,
+}
+
+#[derive(Serialize)]
+struct FusedComparison {
+    description: &'static str,
+    /// Record emission fanned into the analysis passes over the bounded
+    /// channel — no bytes serialized or parsed anywhere.
+    fused_seconds: f64,
+    /// `write_trace_columnar` + `characterize_stream_columnar` on the
+    /// same trace: the fastest path through a serialized artifact.
+    roundtrip_seconds: f64,
+    /// `fused_seconds / roundtrip_seconds` — the CI bench job requires
+    /// at or below 0.9.
+    fused_over_roundtrip: f64,
 }
 
 #[derive(Serialize)]
@@ -254,33 +284,27 @@ fn parse_args() -> Args {
         telemetry: None,
     };
     let mut args = std::env::args().skip(1);
-    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
-        args.next().unwrap_or_else(|| {
-            eprintln!("{flag} requires a value");
-            std::process::exit(2);
-        })
-    };
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--preset" => {
-                (a.preset, a.machines, a.horizon) = preset(&value(&mut args, "--preset"));
+                (a.preset, a.machines, a.horizon) = preset(&require_value(&mut args, "--preset"));
             }
             // Back-compat alias for `--preset quick`.
             "--quick" => (a.preset, a.machines, a.horizon) = preset("quick"),
             "--machines" => {
-                a.machines = parse(&value(&mut args, "--machines"), "--machines");
+                a.machines = parse_value(&mut args, "--machines");
                 a.preset = "custom";
             }
             "--horizon" => {
-                a.horizon = parse(&value(&mut args, "--horizon"), "--horizon");
+                a.horizon = parse_value(&mut args, "--horizon");
                 a.preset = "custom";
             }
-            "--shards" => a.shards = parse(&value(&mut args, "--shards"), "--shards"),
-            "--threads" => a.threads = parse(&value(&mut args, "--threads"), "--threads"),
-            "--seed" => a.seed = parse(&value(&mut args, "--seed"), "--seed"),
+            "--shards" => a.shards = parse_value(&mut args, "--shards"),
+            "--threads" => a.threads = parse_value(&mut args, "--threads"),
+            "--seed" => a.seed = parse_value(&mut args, "--seed"),
             "--sim-only" => a.sim_only = true,
-            "--out" => a.out = value(&mut args, "--out"),
-            "--telemetry" => a.telemetry = Some(value(&mut args, "--telemetry")),
+            "--out" => a.out = require_value(&mut args, "--out"),
+            "--telemetry" => a.telemetry = Some(require_value(&mut args, "--telemetry")),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: cgc-bench [--preset quick|google|large|full] [--machines N] \
@@ -296,13 +320,6 @@ fn parse_args() -> Args {
         }
     }
     a
-}
-
-fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
-    s.parse().unwrap_or_else(|_| {
-        eprintln!("invalid value for {flag}: {s:?}");
-        std::process::exit(2);
-    })
 }
 
 /// Times one closure, returning (seconds, result).
@@ -396,8 +413,8 @@ fn child_run(mode: &'static str, trace_path: &std::path::Path) -> ChildRun {
             .to_string()
     };
     ChildRun {
-        seconds: parse(&field("seconds"), "seconds"),
-        peak_rss_bytes: parse(&field("peak_rss_bytes"), "peak_rss_bytes"),
+        seconds: parse_arg(&field("seconds"), "seconds"),
+        peak_rss_bytes: parse_arg(&field("peak_rss_bytes"), "peak_rss_bytes"),
     }
 }
 
@@ -574,8 +591,8 @@ fn main() {
         })
         .collect();
 
-    let (baseline, stream, formats, end_to_end) = if args.sim_only {
-        (None, None, None, None)
+    let (baseline, stream, formats, fused, end_to_end) = if args.sim_only {
+        (None, None, None, None, None)
     } else {
         // --- simulate (baseline: the reference scheduler core) --------
         let baseline_config = config
@@ -649,6 +666,55 @@ fn main() {
         };
         drop(binary);
 
+        // --- fused emit→characterize vs the binary roundtrip -----------
+        // Both legs start from the materialized trace (the simulate stage
+        // is common to both and excluded): the fused leg streams records
+        // over the bounded channel straight into the analysis passes,
+        // the roundtrip leg takes the fastest serialized path — columnar
+        // write, then the zero-copy columnar stream reader. Reports are
+        // asserted byte-identical, so the ratio compares equal work.
+        let opts = StreamOptions::default();
+        let (fused_s, fused_result) = timed(|| {
+            fuse_characterize(
+                |sink| emit_trace(&trace, &mut [sink]),
+                &opts,
+                DEFAULT_BATCH_RECORDS,
+                DEFAULT_CHANNEL_BATCHES,
+            )
+            .expect("fused pipeline succeeds")
+        });
+        let ((), fused_report, _fused_stats) = fused_result;
+        let (roundtrip_s, roundtrip_report) = timed(|| {
+            let binary = cgc_trace::write_trace_columnar(&trace);
+            let (report, _) = cgc_core::characterize_stream_columnar(&binary, &opts)
+                .expect("own binary output parses");
+            report
+        });
+        assert_eq!(
+            serde_json::to_string(&fused_report).expect("report serializes"),
+            serde_json::to_string(&roundtrip_report).expect("report serializes"),
+            "fused report must be byte-identical to the file roundtrip"
+        );
+        drop((fused_report, roundtrip_report));
+        let fused_over_roundtrip = if roundtrip_s > 0.0 {
+            fused_s / roundtrip_s
+        } else {
+            0.0
+        };
+        eprintln!(
+            "fused: {fused_s:.3}s vs {roundtrip_s:.3}s binary roundtrip \
+             (ratio {fused_over_roundtrip:.2})"
+        );
+        stages.push(tasks_stage("fused", fused_s, n_tasks));
+        let fused = FusedComparison {
+            description: "emit_trace→bounded channel→analysis passes (no \
+                          serialization) vs write_trace_columnar + \
+                          characterize_stream_columnar on the same trace",
+            fused_seconds: fused_s,
+            roundtrip_seconds: roundtrip_s,
+            fused_over_roundtrip,
+        };
+
         // --- characterize from disk: in-memory vs streaming children --
         let trace_path =
             std::env::temp_dir().join(format!("cgc-bench-{}.cgct", std::process::id()));
@@ -697,6 +763,7 @@ fn main() {
                 rss_ratio,
             }),
             Some(formats),
+            Some(fused),
             Some(EndToEnd {
                 total_seconds: total,
                 speedup: if total > 0.0 {
@@ -709,7 +776,7 @@ fn main() {
     };
 
     let out = BenchReport {
-        schema: "cgc-bench/pipeline/v4",
+        schema: "cgc-bench/pipeline/v5",
         preset: args.preset,
         config: BenchConfig {
             machines: args.machines,
@@ -732,6 +799,7 @@ fn main() {
         baseline,
         stream,
         formats,
+        fused,
         end_to_end,
         peak_rss_bytes: peak_rss_bytes(),
     };

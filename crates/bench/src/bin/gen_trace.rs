@@ -1,9 +1,12 @@
-//! Generate a synthetic trace file on disk, crash-safely.
+//! Generate a synthetic trace file on disk, crash-safely — and
+//! optionally characterize it in the same process, fused.
 //!
 //! ```text
 //! gen_trace <OUT> [--machines N] [--horizon SECONDS] [--seed N] [--format text|binary]
 //!                 [--workload-only] [--checkpoint-every SECONDS] [--checkpoint PATH]
 //!                 [--resume PATH] [--die-after N]
+//!                 [--characterize [--json]]
+//! gen_trace --characterize --no-trace-out [--json] [--machines N] [--horizon SECONDS] [--seed N]
 //! ```
 //!
 //! Runs the google preset (generator + simulator) and writes the trace
@@ -21,32 +24,55 @@
 //! `--workload-only` skips the simulation, so the trace has jobs/tasks/
 //! events but no machines or usage samples.
 //!
+//! # Fused characterization
+//!
+//! `--characterize` streams the simulator's records straight into the
+//! analysis passes over a bounded in-memory channel and prints the
+//! characterization report to stdout (pretty text, or JSON with
+//! `--json`) — the same report `analyze_trace --stream` would produce
+//! from the written file, byte for byte, because the record sink emits
+//! in canonical serialization order. With a text `OUT` the emission
+//! fans out: one pass over the records feeds both the characterizer and
+//! the sealed text writer. `--no-trace-out` drops the file entirely
+//! (then `OUT` may be omitted): generate → characterize → report, no
+//! disk roundtrip anywhere.
+//!
 //! # Crash recovery
 //!
 //! `--checkpoint-every S` snapshots the full simulator state every `S`
 //! sim-seconds to `<OUT>.ckpt` (or `--checkpoint PATH`). After a crash,
 //! `--resume PATH` continues from the latest checkpoint and produces a
-//! byte-identical trace to an uninterrupted run. `--die-after N` aborts
-//! the process (exit 70) after the Nth checkpoint write — a deterministic
-//! stand-in for `kill -9` that the CI chaos-smoke job uses to prove the
-//! interrupt/resume/compare cycle end to end.
+//! byte-identical trace to an uninterrupted run — in either output
+//! format. `--die-after N` aborts the process (exit 70) after the Nth
+//! checkpoint write — a deterministic stand-in for `kill -9` that the
+//! CI chaos-smoke job uses to prove the interrupt/resume/compare cycle
+//! end to end. `--checkpoint` and `--die-after` only make sense with
+//! `--checkpoint-every`; naming them without it is an error (exit 2),
+//! not a silent no-op.
 
-use cgc_gen::{FleetConfig, GoogleWorkload};
+use cgc_bench::cli::{parse_value, reject_if, require_value};
+use cgc_bench::fuse_characterize;
+use cgc_core::StreamOptions;
+use cgc_gen::{FleetConfig, GoogleWorkload, Workload};
 use cgc_sim::{load_checkpoint, CheckpointOptions, FaultConfig, SimConfig, Simulator};
 use cgc_trace::columnar::write_columnar_to;
 use cgc_trace::io::write_trace_sealed;
-use cgc_trace::{write_atomic, write_atomic_with};
+use cgc_trace::{
+    emit_trace, write_atomic, write_atomic_with, RecordSink, TextWriterSink, Trace,
+    DEFAULT_BATCH_RECORDS, DEFAULT_CHANNEL_BATCHES,
+};
 use std::path::Path;
 
 const USAGE: &str = "usage: gen_trace <OUT> [--machines N] [--horizon SECONDS] [--seed N] \
      [--format text|binary] [--workload-only] [--checkpoint-every SECONDS] [--checkpoint PATH] \
-     [--resume PATH] [--die-after N]";
+     [--resume PATH] [--die-after N] [--characterize [--no-trace-out] [--json]]";
 
-fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
-    s.parse().unwrap_or_else(|_| {
-        eprintln!("invalid value for {flag}: {s:?}");
-        std::process::exit(2);
-    })
+/// What the fused producer emits from: a trace that already exists
+/// (workload-only or checkpointed runs) or a simulation driven through
+/// the engine's record-sink seam.
+enum Source {
+    Built(Trace),
+    Live { sim: Simulator, workload: Workload },
 }
 
 fn main() {
@@ -61,20 +87,17 @@ fn main() {
     let mut checkpoint_path: Option<String> = None;
     let mut resume_path: Option<String> = None;
     let mut die_after: Option<u64> = None;
+    let mut characterize = false;
+    let mut no_trace_out = false;
+    let mut as_json = false;
 
     let mut args = std::env::args().skip(1);
-    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
-        args.next().unwrap_or_else(|| {
-            eprintln!("{flag} requires a value");
-            std::process::exit(2);
-        })
-    };
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--machines" => machines = parse(&value(&mut args, "--machines"), "--machines"),
-            "--horizon" => horizon = parse(&value(&mut args, "--horizon"), "--horizon"),
-            "--seed" => seed = parse(&value(&mut args, "--seed"), "--seed"),
-            "--format" => match value(&mut args, "--format").as_str() {
+            "--machines" => machines = parse_value(&mut args, "--machines"),
+            "--horizon" => horizon = parse_value(&mut args, "--horizon"),
+            "--seed" => seed = parse_value(&mut args, "--seed"),
+            "--format" => match require_value(&mut args, "--format").as_str() {
                 "text" => binary = false,
                 "binary" => binary = true,
                 other => {
@@ -84,53 +107,77 @@ fn main() {
             },
             "--workload-only" => workload_only = true,
             "--checkpoint-every" => {
-                checkpoint_every = Some(parse(
-                    &value(&mut args, "--checkpoint-every"),
-                    "--checkpoint-every",
-                ))
+                checkpoint_every = Some(parse_value(&mut args, "--checkpoint-every"))
             }
-            "--checkpoint" => checkpoint_path = Some(value(&mut args, "--checkpoint")),
-            "--resume" => resume_path = Some(value(&mut args, "--resume")),
-            "--die-after" => {
-                die_after = Some(parse(&value(&mut args, "--die-after"), "--die-after"))
-            }
+            "--checkpoint" => checkpoint_path = Some(require_value(&mut args, "--checkpoint")),
+            "--resume" => resume_path = Some(require_value(&mut args, "--resume")),
+            "--die-after" => die_after = Some(parse_value(&mut args, "--die-after")),
+            "--characterize" => characterize = true,
+            "--no-trace-out" => no_trace_out = true,
+            "--json" => as_json = true,
             "--help" | "-h" => {
                 eprintln!("{USAGE}");
                 return;
             }
-            other if out.is_none() => out = Some(other.to_string()),
+            other if out.is_none() && !other.starts_with('-') => out = Some(other.to_string()),
             other => {
                 eprintln!("unexpected argument {other:?}");
                 std::process::exit(2);
             }
         }
     }
-    let Some(out) = out else {
+    reject_if(
+        workload_only && (checkpoint_every.is_some() || resume_path.is_some()),
+        "--checkpoint-every/--resume need a simulation; drop --workload-only",
+    );
+    reject_if(
+        checkpoint_path.is_some() && checkpoint_every.is_none(),
+        "--checkpoint names the snapshot path for periodic checkpointing; \
+         it requires --checkpoint-every",
+    );
+    reject_if(
+        die_after.is_some() && checkpoint_every.is_none(),
+        "--die-after aborts after the Nth checkpoint write; it requires --checkpoint-every",
+    );
+    reject_if(
+        no_trace_out && !characterize,
+        "--no-trace-out would produce nothing; it requires --characterize",
+    );
+    reject_if(
+        as_json && !characterize,
+        "--json formats the characterization report; it requires --characterize",
+    );
+    reject_if(
+        no_trace_out && out.is_some(),
+        "--no-trace-out writes no trace file; drop the <OUT> argument",
+    );
+    if out.is_none() && !no_trace_out {
         eprintln!("{USAGE}");
         std::process::exit(2);
-    };
-    if workload_only && (checkpoint_every.is_some() || resume_path.is_some()) {
-        eprintln!("--checkpoint-every/--resume need a simulation; drop --workload-only");
-        std::process::exit(2);
     }
+    reject_if(
+        no_trace_out && checkpoint_every.is_some() && checkpoint_path.is_none(),
+        "--checkpoint-every defaults its snapshot path to <OUT>.ckpt; \
+         with --no-trace-out name one explicitly via --checkpoint PATH",
+    );
 
     // The hostload scaling keeps the per-machine job pressure of the full
     // trace, so even short fixtures carry enough records to exercise the
     // analyses (plain `scaled` yields almost no jobs at fixture sizes).
     let workload = GoogleWorkload::scaled_for_hostload(machines, horizon).generate(seed);
-    let trace = if workload_only {
-        workload.into_workload_trace()
+    let source = if workload_only {
+        Source::Built(workload.into_workload_trace())
     } else {
         let config =
             SimConfig::google(FleetConfig::google(machines)).with_faults(FaultConfig::google());
         let sim = Simulator::new(config);
-        if checkpoint_every.is_none() && resume_path.is_none() && die_after.is_none() {
-            sim.run(&workload)
+        if checkpoint_every.is_none() && resume_path.is_none() {
+            Source::Live { sim, workload }
         } else {
             let options = checkpoint_every.map(|every| {
-                let path = checkpoint_path
-                    .clone()
-                    .unwrap_or_else(|| format!("{out}.ckpt"));
+                let path = checkpoint_path.unwrap_or_else(|| {
+                    format!("{}.ckpt", out.as_deref().expect("checked: OUT present"))
+                });
                 CheckpointOptions {
                     path: path.into(),
                     every,
@@ -150,9 +197,64 @@ fn main() {
                     eprintln!("{e}");
                     std::process::exit(1);
                 });
-            trace
+            Source::Built(trace)
         }
     };
+
+    // A text OUT under --characterize rides the same record emission as
+    // the characterizer (one fan-out pass); binary OUT serializes from
+    // the materialized trace afterwards, as before.
+    let tee_text = characterize && !no_trace_out && !binary;
+    let (trace, sealed_text) = if characterize {
+        let opts = StreamOptions::default();
+        let produce = move |sink: &mut cgc_trace::BatchChannelSink| {
+            let mut tee = tee_text.then(TextWriterSink::sealed);
+            let emit = |sinks: &mut [&mut dyn RecordSink]| match source {
+                Source::Built(trace) => emit_trace(&trace, sinks).map(|()| trace),
+                Source::Live { sim, workload } => sim.run_with_sinks(&workload, sinks),
+            };
+            let trace = match tee.as_mut() {
+                Some(t) => emit(&mut [sink, t]),
+                None => emit(&mut [sink]),
+            }?;
+            Ok((trace, tee.map(TextWriterSink::into_string)))
+        };
+        let ((trace, sealed_text), report, stats) = fuse_characterize(
+            produce,
+            &opts,
+            DEFAULT_BATCH_RECORDS,
+            DEFAULT_CHANNEL_BATCHES,
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "fused: {} batches, {} jobs, {} tasks, {} events characterized in-flight",
+            stats.batches, stats.jobs, stats.tasks, stats.events
+        );
+        if as_json {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&report).expect("report serializes")
+            );
+        } else {
+            println!("{report}");
+        }
+        (trace, sealed_text)
+    } else {
+        let trace = match source {
+            Source::Built(trace) => trace,
+            Source::Live { sim, workload } => sim.run(&workload),
+        };
+        (trace, None)
+    };
+
+    if no_trace_out {
+        cgc_obs::flush_observers();
+        return;
+    }
+    let out = out.expect("checked: OUT present without --no-trace-out");
     let bytes_written = if binary {
         write_atomic_with(&out, |w| write_columnar_to(&trace, w)).unwrap_or_else(|e| {
             eprintln!("cannot write {out}: {e}");
@@ -162,7 +264,7 @@ fn main() {
             .map(|m| m.len() as usize)
             .unwrap_or(0)
     } else {
-        let text = write_trace_sealed(&trace);
+        let text = sealed_text.unwrap_or_else(|| write_trace_sealed(&trace));
         write_atomic(&out, text.as_bytes()).unwrap_or_else(|e| {
             eprintln!("cannot write {out}: {e}");
             std::process::exit(1);

@@ -1,0 +1,92 @@
+//! Shared command-line plumbing for the workspace binaries.
+//!
+//! `gen_trace`, `analyze_trace`, and `cgc-bench` each grew a private copy
+//! of flag-value parsing and trace-format sniffing; this module is the
+//! single home. Exit code 2 means "bad invocation" (missing or invalid
+//! flags, incompatible combinations), exit 1 a runtime failure — the
+//! convention every binary already follows.
+
+use cgc_trace::{is_columnar, map_trace, MappedTrace};
+use std::str::FromStr;
+
+/// Parses `s` as `flag`'s value, exiting 2 with the uniform
+/// `invalid value for --flag` message on failure.
+pub fn parse_arg<T: FromStr>(s: &str, flag: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("invalid value for {flag}: {s:?}");
+        std::process::exit(2);
+    })
+}
+
+/// Pulls the next argument as `flag`'s value, exiting 2 if the command
+/// line ends first.
+pub fn require_value(args: &mut dyn Iterator<Item = String>, flag: &str) -> String {
+    args.next().unwrap_or_else(|| {
+        eprintln!("{flag} requires a value");
+        std::process::exit(2);
+    })
+}
+
+/// [`require_value`] followed by [`parse_arg`] — the shape of almost
+/// every numeric flag in the binaries.
+pub fn parse_value<T: FromStr>(args: &mut dyn Iterator<Item = String>, flag: &str) -> T {
+    parse_arg(&require_value(args, flag), flag)
+}
+
+/// Exits 2 with `message` when `forbidden` holds — the shared shape of
+/// the binaries' incompatible-flag checks. Keeping the check sites as
+/// one-liners makes the full combination table easy to audit.
+pub fn reject_if(forbidden: bool, message: &str) {
+    if forbidden {
+        eprintln!("{message}");
+        std::process::exit(2);
+    }
+}
+
+/// On-disk trace serialization, sniffed from the file's leading bytes
+/// (binary containers start with the `CGCB` magic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SniffedFormat {
+    /// Sectioned-CSV text trace.
+    Text,
+    /// Binary columnar container.
+    Binary,
+}
+
+/// Maps (or reads) `path` and sniffs its serialization. Exits 1 on I/O
+/// failure — a runtime error, not a usage one.
+pub fn map_trace_sniffed(path: &str) -> (MappedTrace, SniffedFormat) {
+    let mapped = map_trace(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let format = if is_columnar(&mapped) {
+        SniffedFormat::Binary
+    } else {
+        SniffedFormat::Text
+    };
+    (mapped, format)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_arg_round_trips_numbers() {
+        assert_eq!(parse_arg::<u64>("42", "--seed"), 42);
+        assert_eq!(parse_arg::<f64>("0.5", "--ratio"), 0.5);
+    }
+
+    #[test]
+    fn require_value_takes_the_next_argument() {
+        let mut args = ["12".to_string(), "rest".to_string()].into_iter();
+        assert_eq!(require_value(&mut args, "--machines"), "12");
+        assert_eq!(args.next().as_deref(), Some("rest"));
+    }
+
+    #[test]
+    fn reject_if_is_a_no_op_when_allowed() {
+        reject_if(false, "unused");
+    }
+}

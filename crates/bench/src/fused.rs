@@ -1,0 +1,211 @@
+//! Fused sim→characterize driver: run a record producer and the
+//! streaming characterizer concurrently over a bounded in-memory
+//! channel, skipping the serialize→write→read→parse roundtrip.
+//!
+//! ```text
+//! producer thread                      calling thread
+//! ───────────────                      ──────────────
+//! produce(&mut BatchChannelSink) ──►   characterize_batches(SimBatches)
+//!         (emit_trace, usually)  sync_channel         │
+//!                                                     ▼
+//!                                  (CharacterizationReport, StreamStats)
+//! ```
+//!
+//! The producer emits records in the same canonical order the text and
+//! columnar writers serialize, so the fused report is byte-identical to
+//! characterizing a written-then-reread trace. The channel is bounded:
+//! when the characterizer falls behind, the producer blocks, keeping
+//! peak memory at `capacity` batches plus the pass accumulators.
+//!
+//! # Failure model
+//!
+//! Either side failing tears the pipeline down without deadlock. A
+//! producer error drops its sink, the characterizer's receive fails, and
+//! the producer's error is reported as the root cause
+//! ([`FusedError::Sink`]). A consumer-side parse error (impossible today
+//! — the channel carries structured batches — but the seam is typed)
+//! drops the receiver, the producer's next send fails with
+//! [`SinkError::Closed`], and the consumer's error wins
+//! ([`FusedError::Stream`]).
+
+use cgc_core::{characterize_batches, CharacterizationReport, StreamOptions, StreamStats};
+use cgc_trace::{sim_batch_channel, BatchChannelSink, ParseError, SinkError};
+use std::fmt;
+
+/// Why a fused pipeline run failed: on the emission side or in the
+/// characterizer. Producer errors take precedence — when the producer
+/// dies the consumer *also* errors (stream closed before finish), and
+/// reporting that secondary symptom would bury the cause.
+#[derive(Debug)]
+pub enum FusedError {
+    /// The record producer failed (an I/O error on a tee'd file sink, or
+    /// the characterizer hung up early).
+    Sink(SinkError),
+    /// The characterizer rejected the stream.
+    Stream(ParseError),
+}
+
+impl fmt::Display for FusedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FusedError::Sink(e) => write!(f, "fused pipeline producer failed: {e}"),
+            FusedError::Stream(e) => write!(f, "fused pipeline characterizer failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FusedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FusedError::Sink(e) => Some(e),
+            FusedError::Stream(e) => Some(e),
+        }
+    }
+}
+
+/// Runs `produce` on a scoped thread feeding a bounded channel while the
+/// calling thread characterizes the batches as they arrive. Returns the
+/// producer's value together with the streaming report and stats.
+///
+/// `produce` receives the channel's [`BatchChannelSink`]; the usual body
+/// is `cgc_trace::emit_trace(&trace, &mut [sink])` — optionally fanned
+/// out with a [`TextWriterSink`](cgc_trace::TextWriterSink) to also keep
+/// a serialized copy. `batch_records` is the channel's batch size and
+/// `capacity` its depth in batches ([`cgc_trace::DEFAULT_BATCH_RECORDS`]
+/// and [`cgc_trace::DEFAULT_CHANNEL_BATCHES`] are the conventional
+/// defaults). The whole run is recorded under the
+/// `characterize/fused` observability stage; the nested emit and stream
+/// stages time the two halves.
+///
+/// A panic on the producer thread is resumed on the calling thread.
+pub fn fuse_characterize<T, F>(
+    produce: F,
+    opts: &StreamOptions,
+    batch_records: usize,
+    capacity: usize,
+) -> Result<(T, CharacterizationReport, StreamStats), FusedError>
+where
+    T: Send,
+    F: FnOnce(&mut BatchChannelSink) -> Result<T, SinkError> + Send,
+{
+    let _span = cgc_obs::span(cgc_obs::stages::FUSED);
+    let (mut sink, batches) = sim_batch_channel(batch_records, capacity);
+    std::thread::scope(|scope| {
+        // The sink moves into the producer thread and drops when the
+        // closure returns — on error that closes the channel, so the
+        // consumer below always unblocks.
+        let producer = scope.spawn(move || produce(&mut sink));
+        let consumed = characterize_batches(batches, opts);
+        let produced = match producer.join() {
+            Ok(result) => result,
+            Err(panic) => std::panic::resume_unwind(panic),
+        };
+        match (produced, consumed) {
+            (Err(e), _) => Err(FusedError::Sink(e)),
+            (_, Err(e)) => Err(FusedError::Stream(e)),
+            (Ok(value), Ok((report, stats))) => Ok((value, report, stats)),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgc_trace::{
+        emit_trace, Demand, Priority, RecordSink, TaskEvent, TaskEventKind, TraceBuilder, UserId,
+        DEFAULT_BATCH_RECORDS, DEFAULT_CHANNEL_BATCHES,
+    };
+
+    fn sample_trace() -> cgc_trace::Trace {
+        let mut b = TraceBuilder::new("fused-test", 7_200);
+        let m = b.add_machine(0.5, 0.5, 1.0);
+        for ji in 0..20u64 {
+            let j = b.add_job(UserId((ji % 4) as u32), Priority::from_level(4), ji * 30);
+            let t = b.add_task(j, Demand::new(0.02, 0.01));
+            b.push_event(TaskEvent {
+                time: ji * 30,
+                task: t,
+                kind: TaskEventKind::Submit,
+                machine: None,
+            });
+            b.push_event(TaskEvent {
+                time: ji * 30 + 5,
+                task: t,
+                kind: TaskEventKind::Schedule,
+                machine: Some(m),
+            });
+            b.push_event(TaskEvent {
+                time: ji * 30 + 65,
+                task: t,
+                kind: TaskEventKind::Finish,
+                machine: Some(m),
+            });
+        }
+        b.build().expect("sample trace builds")
+    }
+
+    #[test]
+    fn fused_report_matches_the_text_roundtrip() {
+        let trace = sample_trace();
+        let opts = StreamOptions::default();
+        let ((), fused, _) = fuse_characterize(
+            |sink| emit_trace(&trace, &mut [sink]),
+            &opts,
+            DEFAULT_BATCH_RECORDS,
+            DEFAULT_CHANNEL_BATCHES,
+        )
+        .expect("fused run succeeds");
+        let text = cgc_trace::write_trace(&trace);
+        let (roundtrip, _) =
+            cgc_core::characterize_stream(text.as_bytes(), &opts).expect("roundtrip succeeds");
+        assert_eq!(
+            serde_json::to_string(&fused).unwrap(),
+            serde_json::to_string(&roundtrip).unwrap(),
+            "fused and write→read→characterize reports must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn producer_error_is_the_root_cause() {
+        let trace = sample_trace();
+        let err = fuse_characterize(
+            |sink| {
+                // Fail partway through the emission protocol: the sink
+                // drops without `finish`, and the consumer's secondary
+                // "closed before finish" error must not mask this one.
+                sink.begin(&trace.system, trace.horizon)?;
+                sink.machines(&trace.machines)?;
+                Err::<(), _>(SinkError::Io(std::io::Error::other("disk full")))
+            },
+            &StreamOptions::default(),
+            DEFAULT_BATCH_RECORDS,
+            DEFAULT_CHANNEL_BATCHES,
+        )
+        .expect_err("producer failure surfaces");
+        match err {
+            FusedError::Sink(SinkError::Io(e)) => assert_eq!(e.to_string(), "disk full"),
+            other => panic!("expected the producer's Io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn producer_value_rides_along() {
+        let trace = sample_trace();
+        let opts = StreamOptions::default();
+        let (text, fused, stats) = fuse_characterize(
+            |sink| {
+                let mut tee = cgc_trace::TextWriterSink::sealed();
+                emit_trace(&trace, &mut [sink, &mut tee])?;
+                Ok(tee.into_string())
+            },
+            &opts,
+            7, // deliberately odd batch size: chunking must not matter
+            2,
+        )
+        .expect("fused run succeeds");
+        assert_eq!(text, cgc_trace::write_trace_sealed(&trace));
+        assert_eq!(stats.jobs, trace.jobs.len() as u64);
+        assert_eq!(stats.events, trace.events.len() as u64);
+        assert_eq!(fused.system, "fused-test");
+    }
+}

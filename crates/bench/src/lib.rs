@@ -12,11 +12,14 @@
 //! by roughly what factor, where the crossovers sit — is what
 //! `EXPERIMENTS.md` tracks.
 
+pub mod cli;
 pub mod experiments;
+pub mod fused;
 pub mod lab;
 pub mod plotdata;
 pub mod table;
 
 pub use experiments::{all_experiment_ids, run_experiment, ExperimentResult};
+pub use fused::{fuse_characterize, FusedError};
 pub use lab::{Lab, Scale};
 pub use plotdata::export_plots;

@@ -52,7 +52,7 @@ pub use pass::{
 pub use report::{characterize, characterize_reference, CharacterizationReport};
 pub use stream::{
     characterize_batches, characterize_stream, characterize_stream_columnar, StreamOptions,
-    StreamStats,
+    StreamStats, StreamingCharacterizer,
 };
 pub use telemetry::telemetry_from_trace;
 pub use view::TraceView;

@@ -19,7 +19,7 @@ use crate::pass::{self, PassContext};
 use crate::report::CharacterizationReport;
 use cgc_trace::columnar::ColumnarBatches;
 use cgc_trace::io::ParseError;
-use cgc_trace::{BatchSource, TraceBatches, DEFAULT_BATCH_RECORDS};
+use cgc_trace::{BatchSource, TraceBatch, TraceBatches, DEFAULT_BATCH_RECORDS};
 use serde::Serialize;
 use std::io::BufRead;
 
@@ -105,53 +105,121 @@ pub fn characterize_stream_columnar(
 }
 
 /// The format-agnostic core of the streaming path: runs the workload
-/// passes over any [`BatchSource`].
+/// passes over any [`BatchSource`] by driving a
+/// [`StreamingCharacterizer`] to completion.
 pub fn characterize_batches<S: BatchSource>(
     mut batches: S,
     opts: &StreamOptions,
 ) -> Result<(CharacterizationReport, StreamStats), ParseError> {
-    let span = cgc_obs::span(cgc_obs::stages::STREAM);
-    let root = span.id();
-    let mut passes = pass::workload_passes(opts.approx);
-    let mut stats = StreamStats {
-        batches: 0,
-        machines: 0,
-        jobs: 0,
-        tasks: 0,
-        events: 0,
-        samples: 0,
-        bytes_read: 0,
-        peak_accumulator_bytes: 0,
-        approx: opts.approx,
-    };
+    let mut characterizer = StreamingCharacterizer::new(opts);
     while let Some(batch) = batches.next_batch() {
-        let batch = batch?;
-        pass::spanned(cgc_obs::stages::A_SWEEP, root, || {
-            pass::observe_records(&mut passes, &batch.jobs, &batch.tasks, &batch.events);
-        });
-        stats.batches += 1;
-        stats.machines += batch.machines.len() as u64;
-        stats.jobs += batch.jobs.len() as u64;
-        stats.tasks += batch.tasks.len() as u64;
-        stats.events += batch.events.len() as u64;
-        stats.samples += batch.samples;
-        let held: usize = passes.iter().map(|p| p.accumulator_bytes()).sum();
-        stats.peak_accumulator_bytes = stats.peak_accumulator_bytes.max(held as u64);
+        characterizer.observe_batch(&batch?);
     }
-    stats.bytes_read = batches.bytes_read();
-    let ctx = PassContext {
-        system: batches.system().to_string(),
-        horizon: batches.horizon(),
-    };
-    let workload = pass::finish_workload(passes, &ctx, root);
-    Ok((
-        CharacterizationReport {
-            system: ctx.system,
-            workload,
-            hostload: None,
-        },
-        stats,
-    ))
+    characterizer.set_bytes_read(batches.bytes_read());
+    Ok(characterizer.finish(batches.system(), batches.horizon()))
+}
+
+/// The incremental heart of streaming characterization: the analysis
+/// passes held open across batches, fed one [`TraceBatch`] at a time.
+///
+/// [`characterize_batches`] (and through it `characterize_stream` and
+/// `characterize_stream_columnar`) is a thin pull-driven wrapper around
+/// this type; push-driven consumers — the fused sim→characterize
+/// pipeline, or a future always-on characterization service (ROADMAP
+/// item 5b) — drive it directly: construct, call
+/// [`observe_batch`](Self::observe_batch) as record chunks arrive (in
+/// canonical record order), then [`finish`](Self::finish) once for the
+/// report.
+///
+/// Because every pass observes records in a strict per-type order
+/// (jobs, then tasks, then events within each batch, with each section's
+/// records arriving in record order across batches), the finished report
+/// is **independent of how records were chunked into batches** — the
+/// invariant the determinism suite pins. The obs span opened at
+/// construction covers the whole incremental run, so stage timings for
+/// fused and file-backed streaming land in the same
+/// [`STREAM`](cgc_obs::stages::STREAM) slot.
+pub struct StreamingCharacterizer {
+    passes: Vec<Box<dyn pass::AnalysisPass>>,
+    stats: StreamStats,
+    /// Root span for the whole streaming run; child sweep spans re-parent
+    /// under its id. Held until `finish` so the recorded duration spans
+    /// construction → report.
+    span: cgc_obs::Span,
+}
+
+impl StreamingCharacterizer {
+    /// Opens the pass registry (exact or approx per
+    /// [`StreamOptions::approx`]) and the covering obs span.
+    pub fn new(opts: &StreamOptions) -> Self {
+        let span = cgc_obs::span(cgc_obs::stages::STREAM);
+        StreamingCharacterizer {
+            passes: pass::workload_passes(opts.approx),
+            stats: StreamStats {
+                batches: 0,
+                machines: 0,
+                jobs: 0,
+                tasks: 0,
+                events: 0,
+                samples: 0,
+                bytes_read: 0,
+                peak_accumulator_bytes: 0,
+                approx: opts.approx,
+            },
+            span,
+        }
+    }
+
+    /// Feeds one batch through every pass and folds it into the running
+    /// stats. Batches must arrive in record order.
+    pub fn observe_batch(&mut self, batch: &TraceBatch) {
+        let root = self.span.id();
+        let passes = &mut self.passes;
+        pass::spanned(cgc_obs::stages::A_SWEEP, root, || {
+            pass::observe_records(passes, &batch.jobs, &batch.tasks, &batch.events);
+        });
+        self.stats.batches += 1;
+        self.stats.machines += batch.machines.len() as u64;
+        self.stats.jobs += batch.jobs.len() as u64;
+        self.stats.tasks += batch.tasks.len() as u64;
+        self.stats.events += batch.events.len() as u64;
+        self.stats.samples += batch.samples;
+        let held: usize = self.passes.iter().map(|p| p.accumulator_bytes()).sum();
+        self.stats.peak_accumulator_bytes = self.stats.peak_accumulator_bytes.max(held as u64);
+    }
+
+    /// Records how many storage bytes fed the run (zero for in-memory
+    /// sources like the fused pipeline). Pull-driven wrappers call this
+    /// once, after the source is exhausted.
+    pub fn set_bytes_read(&mut self, bytes: u64) {
+        self.stats.bytes_read = bytes;
+    }
+
+    /// Batches observed so far — lets push-driven callers report
+    /// progress without shadow bookkeeping.
+    pub fn stats(&self) -> &StreamStats {
+        &self.stats
+    }
+
+    /// Finalizes every pass into the report. `system` and `horizon` come
+    /// from the stream's header (a [`BatchSource`]'s accessors, or the
+    /// simulator's own config on the fused path).
+    pub fn finish(self, system: &str, horizon: u64) -> (CharacterizationReport, StreamStats) {
+        let root = self.span.id();
+        let ctx = PassContext {
+            system: system.to_string(),
+            horizon,
+        };
+        let workload = pass::finish_workload(self.passes, &ctx, root);
+        (
+            CharacterizationReport {
+                system: ctx.system,
+                workload,
+                hostload: None,
+            },
+            self.stats,
+        )
+    }
 }
 
 #[cfg(test)]

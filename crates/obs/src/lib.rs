@@ -73,12 +73,16 @@ pub mod stages {
     pub const MERGE: &str = "simulate/merge";
     /// Trace serialization (`write_trace`).
     pub const WRITE: &str = "write";
+    /// Record fan-out from a built trace to record sinks (`emit_trace`).
+    pub const EMIT: &str = "emit";
     /// Trace parsing, strict or lenient, sequential or parallel.
     pub const READ: &str = "read";
     /// The full characterization report (`cgc_core`).
     pub const CHARACTERIZE: &str = "characterize";
     /// Streaming (out-of-core) characterization over record batches.
     pub const STREAM: &str = "characterize/stream";
+    /// Fused sim→characterize pipeline (no trace file in between).
+    pub const FUSED: &str = "characterize/fused";
     /// The single shared record sweep feeding every analysis pass.
     pub const A_SWEEP: &str = "analysis/sweep";
     /// Individual analyses inside `characterize`.
@@ -99,15 +103,17 @@ pub mod stages {
 
     /// Every stage, in display order; `OTHER` is last and doubles as the
     /// fallback histogram slot.
-    pub const ALL: [&str; 22] = [
+    pub const ALL: [&str; 24] = [
         GENERATE,
         SIMULATE,
         SHARD,
         MERGE,
         WRITE,
+        EMIT,
         READ,
         CHARACTERIZE,
         STREAM,
+        FUSED,
         A_SWEEP,
         A_PRIORITIES,
         A_JOB_LENGTH,

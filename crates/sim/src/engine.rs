@@ -336,6 +336,35 @@ impl Simulator {
             .0
     }
 
+    /// Like [`run`](Self::run), but fans the finished trace's records out
+    /// to `sinks` in **canonical file order** (header, machines, jobs,
+    /// tasks, events, usage series — the order every
+    /// [`BatchSource`](cgc_trace::BatchSource) yields and the text writer
+    /// lays out) before returning the trace itself.
+    ///
+    /// This is the producer half of the fused sim→characterize pipeline:
+    /// pair a [`cgc_trace::BatchChannelSink`] here with a
+    /// [`cgc_trace::SimBatches`] consumer on another thread and the
+    /// analysis passes ingest simulator output with no trace file in
+    /// between; add a [`cgc_trace::TextWriterSink`] to the slice and the
+    /// same walk also serializes the trace. Emission happens *after* the
+    /// shard merge so every sink observes the exact record sequence a
+    /// file roundtrip would — that ordering is what makes the fused
+    /// report byte-identical to the roundtrip report.
+    ///
+    /// On a sink error (consumer hung up, writer failed) the error is
+    /// returned and the trace is dropped: a partial emission is never
+    /// mistaken for a complete one. The simulation itself cannot fail.
+    pub fn run_with_sinks(
+        &self,
+        workload: &Workload,
+        sinks: &mut [&mut dyn cgc_trace::RecordSink],
+    ) -> Result<Trace, cgc_trace::SinkError> {
+        let trace = self.run(workload);
+        cgc_trace::emit_trace(&trace, sinks)?;
+        Ok(trace)
+    }
+
     /// Like [`run`](Self::run), but also records sim-time telemetry on a
     /// grid of ticks at `0, interval, … < horizon` seconds. The probe is
     /// a pure observer: the returned trace is bit-identical to what

@@ -292,6 +292,108 @@ fn push_f64(out: &mut String, v: f64) {
     let _ = write!(out, "{v}");
 }
 
+/// Appends one `#machines` record line (newline included).
+///
+/// These per-record formatters are the single source of truth for the
+/// text format: both the whole-trace writer below and the streaming
+/// [`TextWriterSink`](crate::sink::TextWriterSink) call them, so the two
+/// paths cannot drift apart byte-wise.
+pub(crate) fn push_machine_line(out: &mut String, m: &MachineRecord) {
+    push_u64(out, u64::from(m.id.0));
+    out.push(',');
+    push_f64(out, m.cpu_capacity);
+    out.push(',');
+    push_f64(out, m.memory_capacity);
+    out.push(',');
+    push_f64(out, m.page_cache_capacity);
+    out.push('\n');
+}
+
+/// Appends one `#jobs` record line (newline included).
+pub(crate) fn push_job_line(out: &mut String, j: &JobRecord) {
+    push_u64(out, u64::from(j.id.0));
+    out.push(',');
+    push_u64(out, u64::from(j.user.0));
+    out.push(',');
+    push_u64(out, u64::from(j.priority.level()));
+    out.push(',');
+    push_u64(out, j.submit_time);
+    out.push(',');
+    match j.completion_time {
+        Some(t) => push_u64(out, t),
+        None => out.push('-'),
+    }
+    out.push(',');
+    push_f64(out, j.cpu_seconds);
+    out.push(',');
+    push_f64(out, j.mean_memory);
+    out.push('\n');
+}
+
+/// Appends one `#tasks` record line (newline included).
+pub(crate) fn push_task_line(out: &mut String, t: &TaskRecord) {
+    push_u64(out, u64::from(t.id.0));
+    out.push(',');
+    push_u64(out, u64::from(t.job.0));
+    out.push(',');
+    push_u64(out, u64::from(t.priority.level()));
+    out.push(',');
+    push_u64(out, t.submit_time);
+    out.push(',');
+    push_f64(out, t.demand.cpu);
+    out.push(',');
+    push_f64(out, t.demand.memory);
+    out.push(',');
+    push_u64(out, t.execution_time);
+    out.push(',');
+    push_u64(out, t.attempts as u64);
+    out.push(',');
+    push_u64(out, t.resubmit_wait);
+    out.push(',');
+    out.push_str(outcome_tag(t.outcome));
+    out.push('\n');
+}
+
+/// Appends one `#events` record line (newline included).
+pub(crate) fn push_event_line(out: &mut String, e: &TaskEvent) {
+    push_u64(out, e.time);
+    out.push(',');
+    push_u64(out, u64::from(e.task.0));
+    out.push(',');
+    match e.machine {
+        Some(m) => push_u64(out, u64::from(m.0)),
+        None => out.push('-'),
+    }
+    out.push(',');
+    out.push_str(event_tag(e.kind));
+    out.push('\n');
+}
+
+/// Appends one usage-sample line under a `#series` header (newline
+/// included).
+pub(crate) fn push_sample_line(out: &mut String, sample: &UsageSample) {
+    push_f64(out, sample.cpu.low);
+    out.push(',');
+    push_f64(out, sample.cpu.middle);
+    out.push(',');
+    push_f64(out, sample.cpu.high);
+    out.push(',');
+    push_f64(out, sample.memory_used.low);
+    out.push(',');
+    push_f64(out, sample.memory_used.middle);
+    out.push(',');
+    push_f64(out, sample.memory_used.high);
+    out.push(',');
+    push_f64(out, sample.memory_assigned.low);
+    out.push(',');
+    push_f64(out, sample.memory_assigned.middle);
+    out.push(',');
+    push_f64(out, sample.memory_assigned.high);
+    out.push(',');
+    push_f64(out, sample.page_cache);
+    out.push('\n');
+}
+
 /// Serializes a trace to the sectioned-CSV text format.
 pub fn write_trace(trace: &Trace) -> String {
     let _span = cgc_obs::span(cgc_obs::stages::WRITE);
@@ -300,99 +402,28 @@ pub fn write_trace(trace: &Trace) -> String {
 
     let _ = writeln!(out, "#machines");
     for m in &trace.machines {
-        push_u64(&mut out, u64::from(m.id.0));
-        out.push(',');
-        push_f64(&mut out, m.cpu_capacity);
-        out.push(',');
-        push_f64(&mut out, m.memory_capacity);
-        out.push(',');
-        push_f64(&mut out, m.page_cache_capacity);
-        out.push('\n');
+        push_machine_line(&mut out, m);
     }
 
     let _ = writeln!(out, "#jobs");
     for j in &trace.jobs {
-        push_u64(&mut out, u64::from(j.id.0));
-        out.push(',');
-        push_u64(&mut out, u64::from(j.user.0));
-        out.push(',');
-        push_u64(&mut out, u64::from(j.priority.level()));
-        out.push(',');
-        push_u64(&mut out, j.submit_time);
-        out.push(',');
-        match j.completion_time {
-            Some(t) => push_u64(&mut out, t),
-            None => out.push('-'),
-        }
-        out.push(',');
-        push_f64(&mut out, j.cpu_seconds);
-        out.push(',');
-        push_f64(&mut out, j.mean_memory);
-        out.push('\n');
+        push_job_line(&mut out, j);
     }
 
     let _ = writeln!(out, "#tasks");
     for t in &trace.tasks {
-        push_u64(&mut out, u64::from(t.id.0));
-        out.push(',');
-        push_u64(&mut out, u64::from(t.job.0));
-        out.push(',');
-        push_u64(&mut out, u64::from(t.priority.level()));
-        out.push(',');
-        push_u64(&mut out, t.submit_time);
-        out.push(',');
-        push_f64(&mut out, t.demand.cpu);
-        out.push(',');
-        push_f64(&mut out, t.demand.memory);
-        out.push(',');
-        push_u64(&mut out, t.execution_time);
-        out.push(',');
-        push_u64(&mut out, t.attempts as u64);
-        out.push(',');
-        push_u64(&mut out, t.resubmit_wait);
-        out.push(',');
-        out.push_str(outcome_tag(t.outcome));
-        out.push('\n');
+        push_task_line(&mut out, t);
     }
 
     let _ = writeln!(out, "#events");
     for e in &trace.events {
-        push_u64(&mut out, e.time);
-        out.push(',');
-        push_u64(&mut out, u64::from(e.task.0));
-        out.push(',');
-        match e.machine {
-            Some(m) => push_u64(&mut out, u64::from(m.0)),
-            None => out.push('-'),
-        }
-        out.push(',');
-        out.push_str(event_tag(e.kind));
-        out.push('\n');
+        push_event_line(&mut out, e);
     }
 
     for s in &trace.host_series {
         let _ = writeln!(out, "#series {} {} {}", s.machine.0, s.start, s.period);
         for sample in &s.samples {
-            push_f64(&mut out, sample.cpu.low);
-            out.push(',');
-            push_f64(&mut out, sample.cpu.middle);
-            out.push(',');
-            push_f64(&mut out, sample.cpu.high);
-            out.push(',');
-            push_f64(&mut out, sample.memory_used.low);
-            out.push(',');
-            push_f64(&mut out, sample.memory_used.middle);
-            out.push(',');
-            push_f64(&mut out, sample.memory_used.high);
-            out.push(',');
-            push_f64(&mut out, sample.memory_assigned.low);
-            out.push(',');
-            push_f64(&mut out, sample.memory_assigned.middle);
-            out.push(',');
-            push_f64(&mut out, sample.memory_assigned.high);
-            out.push(',');
-            push_f64(&mut out, sample.page_cache);
-            out.push('\n');
+            push_sample_line(&mut out, sample);
         }
     }
     out

@@ -30,6 +30,7 @@ pub mod machine;
 pub mod normalize;
 pub mod priority;
 pub mod resources;
+pub mod sink;
 pub mod stream;
 pub mod swf;
 pub mod task;
@@ -54,6 +55,10 @@ pub use machine::{MachineRecord, CPU_CAPACITY_CLASSES, MEMORY_CAPACITY_CLASSES};
 pub use normalize::{normalize_trace, NormalizationFactors};
 pub use priority::{Priority, PriorityClass};
 pub use resources::Demand;
+pub use sink::{
+    emit_trace, sim_batch_channel, BatchChannelSink, RecordSink, SimBatches, SinkError,
+    TextWriterSink, DEFAULT_CHANNEL_BATCHES,
+};
 pub use stream::{BatchSource, TraceBatch, TraceBatches, DEFAULT_BATCH_RECORDS};
 pub use task::{TaskEvent, TaskEventKind, TaskOutcome, TaskRecord, TaskState};
 pub use time::{Duration, Timestamp, DAY, HOUR, MINUTE, SAMPLE_PERIOD};

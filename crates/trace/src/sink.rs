@@ -1,0 +1,717 @@
+//! Record-sink seam: fan trace records out to any consumer.
+//!
+//! The simulator used to have exactly one output shape — a materialized
+//! [`Trace`] that callers serialized to disk and immediately re-read for
+//! characterization. This module inverts that coupling: a [`RecordSink`]
+//! is a push-style observer of trace records in **canonical file order**
+//! (header, machines, jobs, tasks, events, usage series), and
+//! [`emit_trace`] fans one walk of a trace out to any number of sinks —
+//! a file writer, an in-memory [`BatchSource`](crate::BatchSource)
+//! adapter, or both at once:
+//!
+//! ```text
+//! roundtrip: sim ─▶ Trace ─write──▶ file ──read/parse──▶ batches ─▶ passes
+//! fused:     sim ─▶ Trace ─emit_trace─▶ BatchChannelSink ─▶ SimBatches ─▶ passes
+//!                          └────────▶ TextWriterSink ─▶ file   (optional fan-out)
+//! ```
+//!
+//! Two sinks ship here:
+//!
+//! * [`TextWriterSink`] re-implements the sectioned-CSV writer as a
+//!   streaming consumer, byte-identical to
+//!   [`write_trace`](crate::io::write_trace) /
+//!   [`write_trace_sealed`](crate::io::write_trace_sealed) (it shares the
+//!   per-record formatters and the CRC scheme).
+//! * [`BatchChannelSink`] + [`SimBatches`] bridge a producer thread into
+//!   the streaming characterization loop over a **bounded** channel of
+//!   [`TraceBatch`]es, so `cgc_core::characterize_batches` ingests live
+//!   simulator output with no trace file in between. Memory stays
+//!   bounded by `capacity × batch_records` records regardless of trace
+//!   size.
+//!
+//! # Ordering guarantee
+//!
+//! [`emit_trace`] visits records exactly in the order the text writer
+//! lays them out, which is also the order every [`BatchSource`] yields
+//! them — so a fused consumer observes the *same record sequence* as a
+//! file-roundtrip consumer, and (because the analysis passes are
+//! batch-boundary invariant) produces a byte-identical report.
+//!
+//! # Failure model
+//!
+//! Every sink method returns `Result<(), SinkError>`. A sink whose
+//! consumer hung up reports [`SinkError::Closed`]; a writer-backed sink
+//! surfaces the I/O error. Producers must treat any error as fatal for
+//! that emission and propagate it — never retry into a dead channel.
+//! Conversely, if the producer side drops without calling
+//! [`RecordSink::finish`] (a crash, an early error), [`SimBatches`]
+//! yields a typed [`ParseError`] instead of hanging: the bounded channel
+//! disconnects, so neither side can deadlock on the other's absence.
+//!
+//! [`BatchSource`]: crate::BatchSource
+
+use crate::integrity::Crc32;
+use crate::io::{
+    push_event_line, push_job_line, push_machine_line, push_sample_line, push_task_line, ParseError,
+};
+use crate::job::JobRecord;
+use crate::machine::MachineRecord;
+use crate::stream::{BatchSource, TraceBatch};
+use crate::task::{TaskEvent, TaskRecord};
+use crate::trace::Trace;
+use crate::usage::HostSeries;
+use std::fmt::Write as _;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+
+/// Why a [`RecordSink`] could not accept more records.
+#[derive(Debug)]
+pub enum SinkError {
+    /// The underlying writer failed.
+    Io(std::io::Error),
+    /// The consumer end of the sink hung up before the stream finished
+    /// (e.g. the characterization side of a fused pipeline dropped its
+    /// receiver). The emission cannot make progress and must abort.
+    Closed,
+}
+
+impl std::fmt::Display for SinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SinkError::Io(e) => write!(f, "sink write failed: {e}"),
+            SinkError::Closed => write!(f, "record sink closed by its consumer"),
+        }
+    }
+}
+
+impl std::error::Error for SinkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SinkError::Io(e) => Some(e),
+            SinkError::Closed => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SinkError {
+    fn from(e: std::io::Error) -> Self {
+        SinkError::Io(e)
+    }
+}
+
+/// A push-style consumer of trace records in canonical file order.
+///
+/// Callers drive a sink through exactly one session:
+/// [`begin`](Self::begin) once, then zero or more calls to each of
+/// [`machines`](Self::machines), [`jobs`](Self::jobs),
+/// [`tasks`](Self::tasks), [`events`](Self::events) — grouped in that
+/// order — then zero or more [`series`](Self::series), then
+/// [`finish`](Self::finish) once. Within a section, calls may carry any
+/// chunking of the records; concatenated they must equal the canonical
+/// record sequence. [`emit_trace`] drives this protocol from a built
+/// [`Trace`]; hand-rolled producers must follow it too.
+pub trait RecordSink {
+    /// Starts a session: the trace header (system name and horizon).
+    fn begin(&mut self, system: &str, horizon: u64) -> Result<(), SinkError>;
+    /// A chunk of machine records, in id order across calls.
+    fn machines(&mut self, machines: &[MachineRecord]) -> Result<(), SinkError>;
+    /// A chunk of job records, in id order across calls.
+    fn jobs(&mut self, jobs: &[JobRecord]) -> Result<(), SinkError>;
+    /// A chunk of task records, in id order across calls.
+    fn tasks(&mut self, tasks: &[TaskRecord]) -> Result<(), SinkError>;
+    /// A chunk of task events, in canonical (time, task) order across
+    /// calls.
+    fn events(&mut self, events: &[TaskEvent]) -> Result<(), SinkError>;
+    /// One whole host usage series (header plus samples).
+    fn series(&mut self, series: &HostSeries) -> Result<(), SinkError>;
+    /// Ends the session. After `finish` returns the sink's output is
+    /// complete; no further calls are legal.
+    fn finish(&mut self) -> Result<(), SinkError>;
+}
+
+/// Walks a built trace in canonical file order, fanning every record out
+/// to all `sinks`. Stops at the first sink error (remaining sinks are
+/// left unfinished — their partial output must be discarded).
+pub fn emit_trace(trace: &Trace, sinks: &mut [&mut dyn RecordSink]) -> Result<(), SinkError> {
+    let _span = cgc_obs::span(cgc_obs::stages::EMIT);
+    for s in sinks.iter_mut() {
+        s.begin(&trace.system, trace.horizon)?;
+    }
+    for s in sinks.iter_mut() {
+        s.machines(&trace.machines)?;
+    }
+    for s in sinks.iter_mut() {
+        s.jobs(&trace.jobs)?;
+    }
+    for s in sinks.iter_mut() {
+        s.tasks(&trace.tasks)?;
+    }
+    for s in sinks.iter_mut() {
+        s.events(&trace.events)?;
+    }
+    for series in &trace.host_series {
+        for s in sinks.iter_mut() {
+            s.series(series)?;
+        }
+    }
+    for s in sinks.iter_mut() {
+        s.finish()?;
+    }
+    Ok(())
+}
+
+/// The four fixed section headers, in file order. [`TextWriterSink`]
+/// tracks how many it has emitted so empty sections still get their
+/// header, exactly like the whole-trace writer.
+const SECTION_HEADERS: [&str; 4] = ["#machines", "#jobs", "#tasks", "#events"];
+
+/// A [`RecordSink`] producing the sectioned-CSV text format into an
+/// in-memory buffer, byte-identical to
+/// [`write_trace`](crate::io::write_trace) (plain) or
+/// [`write_trace_sealed`](crate::io::write_trace_sealed) (sealed: the
+/// `#integrity` trailer is accumulated line-by-line as records stream
+/// through, so sealing costs no second pass over the output).
+pub struct TextWriterSink {
+    out: String,
+    seal: bool,
+    crc: Crc32,
+    headers_written: usize,
+    machines: u64,
+    jobs: u64,
+    tasks: u64,
+    events: u64,
+    samples: u64,
+    /// Scratch for one record line, reused so the CRC can hash exactly
+    /// the line bytes without rescanning `out`.
+    line: String,
+}
+
+impl TextWriterSink {
+    /// A sink matching [`write_trace`](crate::io::write_trace) output.
+    pub fn plain() -> Self {
+        Self::new(false)
+    }
+
+    /// A sink matching [`write_trace_sealed`](crate::io::write_trace_sealed)
+    /// output (with the `#integrity` trailer).
+    pub fn sealed() -> Self {
+        Self::new(true)
+    }
+
+    fn new(seal: bool) -> Self {
+        TextWriterSink {
+            out: String::new(),
+            seal,
+            crc: Crc32::new(),
+            headers_written: 0,
+            machines: 0,
+            jobs: 0,
+            tasks: 0,
+            events: 0,
+            samples: 0,
+            line: String::new(),
+        }
+    }
+
+    /// The serialized trace. Call after [`finish`](RecordSink::finish);
+    /// earlier the buffer holds a prefix of the final output.
+    pub fn into_string(self) -> String {
+        self.out
+    }
+
+    /// Appends the scratch line (newline-terminated, never blank) to the
+    /// output and folds it into the running checksum. The CRC hashes the
+    /// trimmed line plus `\n`, matching the sealing reader/writer pair.
+    fn commit_line(&mut self) {
+        debug_assert!(self.line.ends_with('\n') && self.line.len() > 1);
+        self.crc.update(self.line.trim().as_bytes());
+        self.crc.update(b"\n");
+        self.out.push_str(&self.line);
+        self.line.clear();
+    }
+
+    /// Emits any fixed section headers up to and including `upto`, so
+    /// sections with zero records still appear.
+    fn headers_through(&mut self, upto: usize) {
+        while self.headers_written <= upto {
+            let _ = writeln!(self.line, "{}", SECTION_HEADERS[self.headers_written]);
+            self.commit_line();
+            self.headers_written += 1;
+        }
+    }
+}
+
+impl RecordSink for TextWriterSink {
+    fn begin(&mut self, system: &str, horizon: u64) -> Result<(), SinkError> {
+        let _ = writeln!(self.line, "#trace {system} {horizon}");
+        self.commit_line();
+        Ok(())
+    }
+
+    fn machines(&mut self, machines: &[MachineRecord]) -> Result<(), SinkError> {
+        self.headers_through(0);
+        for m in machines {
+            push_machine_line(&mut self.line, m);
+            self.commit_line();
+        }
+        self.machines += machines.len() as u64;
+        Ok(())
+    }
+
+    fn jobs(&mut self, jobs: &[JobRecord]) -> Result<(), SinkError> {
+        self.headers_through(1);
+        for j in jobs {
+            push_job_line(&mut self.line, j);
+            self.commit_line();
+        }
+        self.jobs += jobs.len() as u64;
+        Ok(())
+    }
+
+    fn tasks(&mut self, tasks: &[TaskRecord]) -> Result<(), SinkError> {
+        self.headers_through(2);
+        for t in tasks {
+            push_task_line(&mut self.line, t);
+            self.commit_line();
+        }
+        self.tasks += tasks.len() as u64;
+        Ok(())
+    }
+
+    fn events(&mut self, events: &[TaskEvent]) -> Result<(), SinkError> {
+        self.headers_through(3);
+        for e in events {
+            push_event_line(&mut self.line, e);
+            self.commit_line();
+        }
+        self.events += events.len() as u64;
+        Ok(())
+    }
+
+    fn series(&mut self, series: &HostSeries) -> Result<(), SinkError> {
+        self.headers_through(3);
+        let _ = writeln!(
+            self.line,
+            "#series {} {} {}",
+            series.machine.0, series.start, series.period
+        );
+        self.commit_line();
+        for sample in &series.samples {
+            push_sample_line(&mut self.line, sample);
+            self.commit_line();
+        }
+        self.samples += series.samples.len() as u64;
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<(), SinkError> {
+        self.headers_through(3);
+        if self.seal {
+            // The trailer is excluded from its own checksum, so it goes
+            // straight to `out` without passing through `commit_line`.
+            let _ = writeln!(
+                self.out,
+                "#integrity v1 machines={} jobs={} tasks={} events={} samples={} crc={:08x}",
+                self.machines,
+                self.jobs,
+                self.tasks,
+                self.events,
+                self.samples,
+                self.crc.finalize()
+            );
+        }
+        Ok(())
+    }
+}
+
+/// Default bound on in-flight batches between a [`BatchChannelSink`]
+/// producer and its [`SimBatches`] consumer. Deep enough to absorb
+/// producer/consumer jitter, shallow enough that the fused pipeline's
+/// working set stays a few batches — not a second copy of the trace.
+pub const DEFAULT_CHANNEL_BATCHES: usize = 4;
+
+enum SimMsg {
+    Begin { system: String, horizon: u64 },
+    Batch(TraceBatch),
+    End,
+}
+
+/// Creates a connected producer/consumer pair bridging simulator output
+/// into the streaming characterization loop.
+///
+/// The producer side ([`BatchChannelSink`]) accumulates records into
+/// [`TraceBatch`]es of `batch_records` records and sends them over a
+/// bounded channel holding at most `capacity` batches; when the channel
+/// is full the producer blocks, so total buffering is bounded by
+/// `(capacity + 1) × batch_records` records regardless of trace size.
+/// The consumer side ([`SimBatches`]) implements
+/// [`BatchSource`], so `characterize_batches` ingests it exactly like a
+/// file-backed source.
+///
+/// # Panics
+/// If `batch_records` or `capacity` is zero.
+pub fn sim_batch_channel(batch_records: usize, capacity: usize) -> (BatchChannelSink, SimBatches) {
+    assert!(batch_records > 0, "batch size must be positive");
+    assert!(capacity > 0, "channel capacity must be positive");
+    let (tx, rx) = sync_channel(capacity);
+    (
+        BatchChannelSink {
+            tx,
+            pending: TraceBatch::default(),
+            batch_records,
+        },
+        SimBatches {
+            rx,
+            system: String::new(),
+            horizon: 0,
+            done: false,
+        },
+    )
+}
+
+/// The producer half of [`sim_batch_channel`]: a [`RecordSink`] that
+/// chunks incoming records into [`TraceBatch`]es and sends them over the
+/// bounded channel. Send blocks while the channel is full; if the
+/// consumer hangs up, every subsequent call reports
+/// [`SinkError::Closed`].
+///
+/// Dropping the sink without [`finish`](RecordSink::finish) disconnects
+/// the channel, which the consumer surfaces as a typed parse error — an
+/// aborted emission can never look like a complete trace.
+pub struct BatchChannelSink {
+    tx: SyncSender<SimMsg>,
+    pending: TraceBatch,
+    batch_records: usize,
+}
+
+impl BatchChannelSink {
+    fn send(&self, msg: SimMsg) -> Result<(), SinkError> {
+        self.tx.send(msg).map_err(|_| SinkError::Closed)
+    }
+
+    fn flush_if_full(&mut self) -> Result<(), SinkError> {
+        if self.pending.records() >= self.batch_records as u64 {
+            let batch = std::mem::take(&mut self.pending);
+            self.send(SimMsg::Batch(batch))?;
+        }
+        Ok(())
+    }
+
+    /// Records the current batch still has room for.
+    fn room(&self) -> usize {
+        let pending = self.pending.records().min(self.batch_records as u64) as usize;
+        (self.batch_records - pending).max(1)
+    }
+}
+
+impl RecordSink for BatchChannelSink {
+    fn begin(&mut self, system: &str, horizon: u64) -> Result<(), SinkError> {
+        self.send(SimMsg::Begin {
+            system: system.to_string(),
+            horizon,
+        })
+    }
+
+    fn machines(&mut self, machines: &[MachineRecord]) -> Result<(), SinkError> {
+        let mut rest = machines;
+        while !rest.is_empty() {
+            let take = rest.len().min(self.room());
+            self.pending.machines.extend_from_slice(&rest[..take]);
+            rest = &rest[take..];
+            self.flush_if_full()?;
+        }
+        Ok(())
+    }
+
+    fn jobs(&mut self, jobs: &[JobRecord]) -> Result<(), SinkError> {
+        let mut rest = jobs;
+        while !rest.is_empty() {
+            let take = rest.len().min(self.room());
+            self.pending.jobs.extend_from_slice(&rest[..take]);
+            rest = &rest[take..];
+            self.flush_if_full()?;
+        }
+        Ok(())
+    }
+
+    fn tasks(&mut self, tasks: &[TaskRecord]) -> Result<(), SinkError> {
+        let mut rest = tasks;
+        while !rest.is_empty() {
+            let take = rest.len().min(self.room());
+            self.pending.tasks.extend_from_slice(&rest[..take]);
+            rest = &rest[take..];
+            self.flush_if_full()?;
+        }
+        Ok(())
+    }
+
+    fn events(&mut self, events: &[TaskEvent]) -> Result<(), SinkError> {
+        let mut rest = events;
+        while !rest.is_empty() {
+            let take = rest.len().min(self.room());
+            self.pending.events.extend_from_slice(&rest[..take]);
+            rest = &rest[take..];
+            self.flush_if_full()?;
+        }
+        Ok(())
+    }
+
+    fn series(&mut self, series: &HostSeries) -> Result<(), SinkError> {
+        // Samples are counted, not carried (the TraceBatch contract):
+        // host-load analyses need whole series and never stream.
+        let mut rest = series.samples.len() as u64;
+        while rest > 0 {
+            let take = rest.min(self.room() as u64);
+            self.pending.samples += take;
+            rest -= take;
+            self.flush_if_full()?;
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<(), SinkError> {
+        // The final batch is always sent, even when empty, so the
+        // consumer sees at least one Ok batch — the BatchSource contract.
+        let batch = std::mem::take(&mut self.pending);
+        self.send(SimMsg::Batch(batch))?;
+        self.send(SimMsg::End)
+    }
+}
+
+/// The consumer half of [`sim_batch_channel`]: a [`BatchSource`] fed by
+/// live simulator output instead of a file.
+///
+/// `bytes_read` is always zero — no storage backs this source; a fused
+/// pipeline's byte accounting belongs to whatever file sinks ran
+/// alongside, not to the in-memory leg.
+pub struct SimBatches {
+    rx: Receiver<SimMsg>,
+    system: String,
+    horizon: u64,
+    done: bool,
+}
+
+impl BatchSource for SimBatches {
+    fn next_batch(&mut self) -> Option<Result<TraceBatch, ParseError>> {
+        if self.done {
+            return None;
+        }
+        loop {
+            match self.rx.recv() {
+                Ok(SimMsg::Begin { system, horizon }) => {
+                    self.system = system;
+                    self.horizon = horizon;
+                }
+                Ok(SimMsg::Batch(batch)) => return Some(Ok(batch)),
+                Ok(SimMsg::End) => {
+                    self.done = true;
+                    return None;
+                }
+                Err(_) => {
+                    // Producer dropped without `finish`: the emission
+                    // died mid-stream. Surface a typed error exactly like
+                    // a truncated file would.
+                    self.done = true;
+                    return Some(Err(ParseError::io(
+                        0,
+                        "simulator stream closed before finish",
+                    )));
+                }
+            }
+        }
+    }
+
+    fn system(&self) -> &str {
+        &self.system
+    }
+
+    fn horizon(&self) -> u64 {
+        self.horizon
+    }
+
+    fn bytes_read(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::{write_trace, write_trace_sealed};
+    use crate::priority::Priority;
+    use crate::resources::Demand;
+    use crate::task::TaskEventKind;
+    use crate::trace::TraceBuilder;
+    use crate::usage::UsageSample;
+    use crate::UserId;
+
+    fn sample_trace() -> Trace {
+        let mut b = TraceBuilder::new("sink-test", 7_200);
+        let m0 = b.add_machine(0.5, 0.75, 1.0);
+        let _m1 = b.add_machine(1.0, 1.0, 1.0);
+        for ji in 0..6u64 {
+            let j = b.add_job(UserId(ji as u32), Priority::from_level(4), ji * 60);
+            b.set_job_usage(j, 10.0 * (ji + 1) as f64, 0.01);
+            for _ in 0..3 {
+                let t = b.add_task(j, Demand::new(0.02, 0.01));
+                b.push_event(TaskEvent {
+                    time: ji * 60,
+                    task: t,
+                    machine: None,
+                    kind: TaskEventKind::Submit,
+                });
+                b.push_event(TaskEvent {
+                    time: ji * 60 + 5,
+                    task: t,
+                    machine: Some(m0),
+                    kind: TaskEventKind::Schedule,
+                });
+            }
+        }
+        let mut series = HostSeries::new(m0, 0, 300);
+        series.samples = vec![UsageSample::default(); 5];
+        b.add_host_series(series);
+        b.build().expect("legal event sequence")
+    }
+
+    #[test]
+    fn text_sink_matches_whole_trace_writer() {
+        let trace = sample_trace();
+        let mut plain = TextWriterSink::plain();
+        let mut sealed = TextWriterSink::sealed();
+        emit_trace(&trace, &mut [&mut plain, &mut sealed]).unwrap();
+        assert_eq!(plain.into_string(), write_trace(&trace));
+        assert_eq!(sealed.into_string(), write_trace_sealed(&trace));
+    }
+
+    /// An empty trace still gets every section header (and a valid
+    /// trailer), exactly like the whole-trace writer.
+    #[test]
+    fn text_sink_matches_writer_on_empty_trace() {
+        let trace = TraceBuilder::new("empty", 0).build().unwrap();
+        let mut sealed = TextWriterSink::sealed();
+        emit_trace(&trace, &mut [&mut sealed]).unwrap();
+        assert_eq!(sealed.into_string(), write_trace_sealed(&trace));
+    }
+
+    /// Channel-delivered batches concatenate to exactly the canonical
+    /// record sequence, for pathological and huge batch sizes alike.
+    #[test]
+    fn channel_batches_concatenate_to_the_trace() {
+        let trace = sample_trace();
+        for batch_records in [1, 3, 1 << 20] {
+            let (mut sink, mut source) = sim_batch_channel(batch_records, 2);
+            let t = trace.clone();
+            std::thread::scope(|s| {
+                s.spawn(move || emit_trace(&t, &mut [&mut sink]).unwrap());
+                let mut machines = Vec::new();
+                let mut jobs = Vec::new();
+                let mut tasks = Vec::new();
+                let mut events = Vec::new();
+                let mut samples = 0u64;
+                while let Some(batch) = source.next_batch() {
+                    let batch = batch.expect("clean emission");
+                    machines.extend(batch.machines);
+                    jobs.extend(batch.jobs);
+                    tasks.extend(batch.tasks);
+                    events.extend(batch.events);
+                    samples += batch.samples;
+                }
+                assert_eq!(source.system(), trace.system);
+                assert_eq!(source.horizon(), trace.horizon);
+                assert_eq!(machines, trace.machines);
+                assert_eq!(jobs, trace.jobs);
+                assert_eq!(tasks, trace.tasks);
+                assert_eq!(events, trace.events);
+                assert_eq!(
+                    samples,
+                    trace
+                        .host_series
+                        .iter()
+                        .map(|s| s.samples.len() as u64)
+                        .sum::<u64>()
+                );
+            });
+        }
+    }
+
+    /// Small batch sizes actually chunk: no batch (except possibly ones
+    /// forced by a single oversized record group) exceeds the bound.
+    #[test]
+    fn channel_batches_respect_the_size_bound() {
+        let trace = sample_trace();
+        let (mut sink, mut source) = sim_batch_channel(4, 2);
+        let t = trace.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || emit_trace(&t, &mut [&mut sink]).unwrap());
+            let mut n = 0u64;
+            while let Some(batch) = source.next_batch() {
+                let batch = batch.unwrap();
+                assert!(batch.records() <= 4, "batch of {} records", batch.records());
+                n += batch.records();
+            }
+            assert!(n > 0);
+        });
+    }
+
+    /// Producer dropped mid-stream (no `finish`): the consumer gets a
+    /// typed error, then end of stream — never a hang. Capacity is deep
+    /// enough that the single-threaded producer never blocks here.
+    #[test]
+    fn dropped_producer_surfaces_a_typed_error() {
+        let trace = sample_trace();
+        let (mut sink, mut source) = sim_batch_channel(2, 8);
+        sink.begin(&trace.system, trace.horizon).unwrap();
+        sink.machines(&trace.machines).unwrap();
+        drop(sink);
+        let mut saw_err = false;
+        while let Some(batch) = source.next_batch() {
+            match batch {
+                Ok(_) => assert!(!saw_err, "no batches after the error"),
+                Err(e) => {
+                    assert_eq!(e.kind, crate::io::ParseErrorKind::Io);
+                    saw_err = true;
+                }
+            }
+        }
+        assert!(saw_err, "a dropped producer must surface an error");
+        assert!(source.next_batch().is_none());
+    }
+
+    /// Consumer hung up: the producer's next send reports `Closed`
+    /// instead of blocking forever.
+    #[test]
+    fn dropped_consumer_reports_closed() {
+        let trace = sample_trace();
+        let (mut sink, source) = sim_batch_channel(1, 1);
+        drop(source);
+        let err = emit_trace(&trace, &mut [&mut sink]).expect_err("consumer is gone");
+        assert!(matches!(err, SinkError::Closed));
+    }
+
+    /// An empty trace still delivers one (empty) batch — the BatchSource
+    /// contract every consumer relies on.
+    #[test]
+    fn empty_trace_yields_one_empty_batch() {
+        let trace = TraceBuilder::new("empty", 0).build().unwrap();
+        let (mut sink, mut source) = sim_batch_channel(8, 1);
+        std::thread::scope(|s| {
+            s.spawn(move || emit_trace(&trace, &mut [&mut sink]).unwrap());
+            let first = source.next_batch().expect("one batch").expect("clean");
+            assert!(first.is_empty());
+            assert!(source.next_batch().is_none());
+            assert_eq!(source.system(), "empty");
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_size_panics() {
+        let _ = sim_batch_channel(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = sim_batch_channel(1, 0);
+    }
+}

@@ -302,6 +302,104 @@ fn check_interrupted_write(dir: &Path, seed: u64, fault: Fault) {
     let _ = std::fs::remove_file(&target);
 }
 
+/// The position baked into a seeded fault, reused to place the cut in
+/// the fused-channel scenarios below (ShortReads carries a cap, not a
+/// position; its value spreads cuts near the start, which is fine).
+fn fault_position(fault: Fault) -> usize {
+    match fault {
+        Fault::Truncate { at }
+        | Fault::BitFlip { at, .. }
+        | Fault::ReadError { at }
+        | Fault::InterruptWrite { at } => at,
+        Fault::ShortReads { max } => max,
+    }
+}
+
+#[test]
+fn fused_channel_chaos_ends_in_typed_errors_never_deadlock() {
+    // The fused sim→characterize seam under the same seeded fault plans:
+    // whichever side dies mid-run, the other must surface a *typed*
+    // error — SinkError::Closed on the producer, a ParseError on the
+    // consumer — and the pipeline must tear down without panicking,
+    // deadlocking, or leaving a partial artifact behind.
+    use cloudgrid::core::characterize_batches;
+    use cloudgrid::trace::stream::BatchSource;
+    use cloudgrid::trace::{emit_trace, sim_batch_channel, SinkError};
+    use cloudgrid::StreamOptions;
+
+    let fx = fixture();
+    let total_records = fx.trace.machines.len()
+        + fx.trace.jobs.len()
+        + fx.trace.tasks.len()
+        + fx.trace.events.len();
+    for seed in 0..48u64 {
+        let plan = FaultPlan::from_seed(seed, fx.sealed.len());
+        // Map the fault's byte position onto the record stream: a small
+        // batch size so the cut lands mid-emission, and a record index
+        // where the doomed side gives up.
+        let cut_records = fault_position(plan.fault) % total_records.max(1);
+        let batch_records = 16;
+
+        if seed % 2 == 0 {
+            // Consumer hangs up mid-run: accept batches only up to the
+            // cut, then drop the receiver. The producer's emission must
+            // fail with SinkError::Closed — a typed error, not a panic
+            // or a blocked send — and no partial trace text survives.
+            let (mut sink, mut batches) = sim_batch_channel(batch_records, 2);
+            let emitted = std::thread::scope(|scope| {
+                let producer = scope.spawn(move || emit_trace(&fx.trace, &mut [&mut sink]));
+                let mut seen = 0usize;
+                while seen < cut_records {
+                    match batches.next_batch() {
+                        Some(Ok(batch)) => seen += batch.records() as usize,
+                        Some(Err(e)) => panic!("seed {seed}: clean stream errored: {e}"),
+                        None => break,
+                    }
+                }
+                drop(batches);
+                producer.join().expect("producer must not panic")
+            });
+            match emitted {
+                // The producer finished before the cut only if the
+                // receiver consumed everything (cut past the stream) —
+                // with cut_records < total there must be an error.
+                Ok(()) => assert!(
+                    cut_records >= total_records,
+                    "seed {seed}: emission survived a mid-stream hangup"
+                ),
+                Err(SinkError::Closed) => {}
+                Err(other) => panic!("seed {seed}: expected Closed, got {other}"),
+            }
+        } else {
+            // Producer dies mid-run: emit only records before the cut,
+            // then drop the sink without `finish`. The characterizer
+            // must surface a typed ParseError — never a partial report,
+            // never a hang on a channel that will not close.
+            let (mut sink, batches) = sim_batch_channel(batch_records, 2);
+            let opts = StreamOptions::default();
+            let err = std::thread::scope(|scope| {
+                let trace = &fx.trace;
+                scope.spawn(move || {
+                    use cloudgrid::trace::RecordSink;
+                    let quota = cut_records;
+                    let _ = sink.begin(&trace.system, trace.horizon);
+                    let _ = sink.machines(&trace.machines[..quota.min(trace.machines.len())]);
+                    let rest = quota.saturating_sub(trace.machines.len());
+                    let _ = sink.jobs(&trace.jobs[..rest.min(trace.jobs.len())]);
+                    // Dropped here: no tasks, no events, no finish.
+                });
+                characterize_batches(batches, &opts)
+                    .expect_err("a truncated emission must not characterize")
+            });
+            let _ = err.to_string();
+            assert!(
+                err.message.contains("closed before finish"),
+                "seed {seed}: unexpected error {err}"
+            );
+        }
+    }
+}
+
 #[test]
 fn fault_free_chaos_wrappers_are_transparent() {
     // The seam itself must be invisible when no fault fires: a reader

@@ -119,6 +119,51 @@ fn resumed_runs_are_byte_identical_across_cut_points_and_threads() {
 }
 
 #[test]
+fn resumed_runs_reproduce_the_binary_container_byte_for_byte() {
+    // The interrupt/resume guarantee holds for the binary columnar
+    // serialization too: a run cut at any checkpoint boundary and
+    // resumed must containerize to exactly the bytes of an
+    // uninterrupted run (the artifact `gen_trace --format binary
+    // --checkpoint-every` leaves on disk).
+    use cloudgrid::trace::write_trace_columnar;
+
+    let workload = workload();
+    let config = google_config();
+    let reference = write_trace_columnar(&Simulator::new(config.clone()).run(&workload));
+
+    let path = ckpt_path("binary");
+    let options = CheckpointOptions {
+        path: path.clone(),
+        every: EVERY,
+        retain_all: true,
+        die_after: None,
+    };
+    let (trace, _) = Simulator::new(config.clone())
+        .run_checkpointed(&workload, None, Some(&options), None)
+        .expect("checkpointed run succeeds");
+    assert_eq!(
+        write_trace_columnar(&trace),
+        reference,
+        "checkpointing altered the binary container"
+    );
+
+    for at in CUT_POINTS {
+        let mut name = path.clone().into_os_string();
+        name.push(format!(".{at}"));
+        let ckpt = load_checkpoint(&PathBuf::from(name)).expect("boundary file loads");
+        let (trace, _) = Simulator::new(config.clone())
+            .run_checkpointed(&workload, None, None, Some(&ckpt))
+            .expect("resume succeeds");
+        assert_eq!(
+            write_trace_columnar(&trace),
+            reference,
+            "cut={at}: resumed binary container diverged"
+        );
+    }
+    cleanup(&path);
+}
+
+#[test]
 fn plain_runs_resume_without_telemetry_too() {
     // The telemetry-free path: `run()` is the reference, the resumed run
     // carries no probe, and the bundle slot stays empty.

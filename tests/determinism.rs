@@ -145,6 +145,74 @@ fn streaming_report_is_independent_of_batch_size_and_run() {
 }
 
 #[test]
+fn fused_report_is_identical_to_the_file_roundtrip_across_threads_and_batches() {
+    // The fused pipeline — simulator records fanned through the bounded
+    // channel straight into the analysis passes — must produce the same
+    // report bytes as characterizing a written-then-reread trace, in
+    // both serializations, for every thread count and any batch size.
+    // The tee'd text sink must simultaneously reproduce the sealed
+    // writer's bytes, so one emission pass serves both consumers.
+    use cloudgrid::core::characterize_batches;
+    use cloudgrid::trace::io::write_trace_sealed;
+    use cloudgrid::trace::{
+        sim_batch_channel, write_trace_columnar, TextWriterSink, DEFAULT_BATCH_RECORDS,
+        DEFAULT_CHANNEL_BATCHES,
+    };
+    use cloudgrid::{characterize_stream, characterize_stream_columnar, StreamOptions};
+
+    let workload = GoogleWorkload::scaled(MACHINES, HORIZON).generate(7);
+    let opts = StreamOptions::default();
+
+    // Reference: one simulation, characterized through both on-disk
+    // formats — which must already agree with each other.
+    let reference_trace =
+        Simulator::new(google_config(true).with_shards(4).with_threads(1)).run(&workload);
+    let sealed = write_trace_sealed(&reference_trace);
+    let binary = write_trace_columnar(&reference_trace);
+    let (text_report, _) =
+        characterize_stream(sealed.as_bytes(), &opts).expect("sealed text roundtrip parses");
+    let reference_json = serde_json::to_string(&text_report).unwrap();
+    let (binary_report, _) =
+        characterize_stream_columnar(&binary, &opts).expect("binary roundtrip parses");
+    assert_eq!(
+        serde_json::to_string(&binary_report).unwrap(),
+        reference_json,
+        "text and binary roundtrips disagree before fusion is even involved"
+    );
+
+    for threads in [1usize, 2, 8] {
+        for batch_records in [997, DEFAULT_BATCH_RECORDS] {
+            let (mut sink, batches) = sim_batch_channel(batch_records, DEFAULT_CHANNEL_BATCHES);
+            let config = google_config(true).with_shards(4).with_threads(threads);
+            let workload = &workload;
+            let ((trace, teed), (fused, stats)) = std::thread::scope(|scope| {
+                let producer = scope.spawn(move || {
+                    let mut tee = TextWriterSink::sealed();
+                    let trace = Simulator::new(config)
+                        .run_with_sinks(workload, &mut [&mut sink, &mut tee])
+                        .expect("consumer stays subscribed");
+                    (trace, tee.into_string())
+                });
+                let consumed = characterize_batches(batches, &opts).expect("fused stream is clean");
+                (producer.join().expect("producer thread"), consumed)
+            });
+            assert_eq!(
+                serde_json::to_string(&fused).unwrap(),
+                reference_json,
+                "threads={threads} batch={batch_records}: fused report diverged from the roundtrip"
+            );
+            assert_eq!(
+                teed, sealed,
+                "threads={threads} batch={batch_records}: tee'd text diverged from the sealed writer"
+            );
+            assert_eq!(stats.jobs as usize, trace.jobs.len());
+            assert_eq!(stats.tasks as usize, trace.tasks.len());
+            assert_eq!(stats.events as usize, trace.events.len());
+        }
+    }
+}
+
+#[test]
 fn shard_count_is_a_model_parameter_not_an_execution_detail() {
     // Different shard counts are *allowed* to produce different traces
     // (they are different models); what must hold is that every shard

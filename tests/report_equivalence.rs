@@ -96,6 +96,50 @@ fn pass_driver_matches_direct_analyses_byte_for_byte() {
 }
 
 #[test]
+fn fused_emission_is_byte_identical_to_the_streamed_report() {
+    // The fused channel path — records emitted straight into the passes,
+    // no serialization anywhere — must reproduce the streamed workload
+    // section exactly, on a cloud and a grid preset, at any batch size.
+    use cloudgrid::core::characterize_batches;
+    use cloudgrid::trace::{emit_trace, sim_batch_channel};
+
+    for trace in [google_preset(), grid_preset()] {
+        let in_memory = characterize(&trace);
+        for batch_records in [997, StreamOptions::default().batch_records] {
+            let (mut sink, batches) = sim_batch_channel(batch_records, 4);
+            let opts = StreamOptions::default();
+            let trace_ref = &trace;
+            let (emitted, (fused, stats)) = std::thread::scope(|scope| {
+                let producer = scope.spawn(move || emit_trace(trace_ref, &mut [&mut sink]));
+                let consumed = characterize_batches(batches, &opts).expect("fused stream is clean");
+                (producer.join().expect("producer thread"), consumed)
+            });
+            emitted.expect("consumer stays subscribed");
+            assert_eq!(fused.system, in_memory.system);
+            assert!(
+                fused.hostload.is_none(),
+                "fused mode must skip host-load sections like streaming does"
+            );
+            assert_eq!(
+                serde_json::to_string(&fused.workload).unwrap(),
+                serde_json::to_string(&in_memory.workload).unwrap(),
+                "fused workload section diverged on {} (batch {batch_records})",
+                trace.system
+            );
+            assert_eq!(stats.jobs as usize, trace.jobs.len());
+            assert_eq!(
+                stats.samples as usize,
+                trace
+                    .host_series
+                    .iter()
+                    .map(|s| s.samples.len())
+                    .sum::<usize>()
+            );
+        }
+    }
+}
+
+#[test]
 fn streaming_workload_section_is_byte_identical() {
     for trace in [google_preset(), grid_preset()] {
         let in_memory = characterize(&trace);
