@@ -42,12 +42,20 @@
 //! `PCT` percent of non-blank lines were skipped, the run exits 1 instead
 //! of quietly characterizing a mostly-corrupt trace (the default keeps
 //! the historical behavior of salvaging without limit).
+//! The live-observability flags are shared with the other binaries:
+//! `--heartbeat PATH|-` streams `cgc-heartbeat/v1` JSONL progress,
+//! `--prom-out PATH` writes a Prometheus exposition on success (with the
+//! sim-time histogram families when `--telemetry` also ran), and
+//! `--flight-recorder PATH` arms a `cgc-flightrec/v1` crash dump. None
+//! of them changes the report by a byte.
 //!
 //! This is the adoption path for real data: download an SWF log from the
 //! PWA, point this tool at it, and compare the resulting statistics to the
 //! paper's (and to this repository's generated systems).
 
-use cgc_bench::cli::{map_trace_sniffed, parse_arg, reject_if, require_value, SniffedFormat};
+use cgc_bench::cli::{
+    map_trace_sniffed, parse_arg, reject_if, require_value, ObsArgs, SniffedFormat,
+};
 use cgc_core::{characterize, CharacterizationReport};
 use cgc_obs::MetricsSnapshot;
 use cgc_trace::swf::{read_swf_trace, SwfImportOptions};
@@ -67,7 +75,7 @@ fn read(path: &str) -> String {
     })
 }
 
-const USAGE: &str = "usage: analyze_trace <FILE> [--swf] [--json] [--system NAME] [--lenient] [--max-salvage PCT] [--metrics] [--telemetry PATH]\n       analyze_trace <FILE> --stream [--approx] [--json] [--system NAME] [--metrics]";
+const USAGE: &str = "usage: analyze_trace <FILE> [--swf] [--json] [--system NAME] [--lenient] [--max-salvage PCT] [--metrics] [--telemetry PATH]\n       analyze_trace <FILE> --stream [--approx] [--json] [--system NAME] [--metrics]\n       (all modes also take --heartbeat PATH|-, --heartbeat-interval SECONDS, --prom-out PATH, --flight-recorder PATH)";
 
 /// Sim-time grid for `--telemetry` replays, seconds — the paper's
 /// 5-minute usage-sampling period.
@@ -87,6 +95,7 @@ fn main() {
     let mut telemetry: Option<String> = None;
     let mut system: Option<String> = None;
     let mut clusterdata: Option<(String, String, String)> = None;
+    let mut obs = ObsArgs::default();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -123,6 +132,7 @@ fn main() {
                 eprintln!("{USAGE}");
                 return;
             }
+            other if obs.accept(other, &mut args) => {}
             other if path.is_none() => path = Some(other.to_string()),
             other => {
                 eprintln!("unexpected argument {other:?}");
@@ -145,6 +155,8 @@ fn main() {
         telemetry.is_some() && streaming,
         "--telemetry replays the materialized event log; it cannot combine with --stream",
     );
+    obs.validate();
+    let session = obs.start();
     if streaming {
         reject_if(
             as_swf || lenient || clusterdata.is_some(),
@@ -194,6 +206,7 @@ fn main() {
             if stats.approx { " (approx)" } else { "" }
         );
         emit(report, as_json, with_metrics);
+        session.finish();
         cgc_obs::flush_observers();
         return;
     }
@@ -300,7 +313,9 @@ fn main() {
         }
     };
 
-    if let Some(path) = telemetry {
+    // Kept past the write: the prom exposition renders its sim-time
+    // histogram families from the same replay bundle.
+    let replay_bundle = telemetry.map(|path| {
         let bundle = cgc_core::telemetry_from_trace(&trace, TELEMETRY_INTERVAL);
         let json = serde_json::to_string_pretty(&bundle).expect("telemetry serializes");
         cgc_trace::write_atomic(&path, json.as_bytes()).unwrap_or_else(|e| {
@@ -313,10 +328,12 @@ fn main() {
             bundle.interval,
             bundle.queue_delay.iter().map(|h| h.count()).sum::<u64>()
         );
-    }
+        bundle
+    });
 
     let report = characterize(&trace);
     emit(report, as_json, with_metrics);
+    session.finish_with(replay_bundle.as_ref());
     cgc_obs::flush_observers();
 }
 

@@ -5,6 +5,8 @@
 //! cgc-bench [--preset quick|google|large|full] [--machines N]
 //!           [--horizon SECONDS] [--shards N] [--threads N] [--seed N]
 //!           [--sim-only] [--out PATH] [--telemetry PATH]
+//!           [--heartbeat PATH|-] [--heartbeat-interval SECONDS]
+//!           [--prom-out PATH] [--flight-recorder PATH]
 //! ```
 //!
 //! Presets size the fleet and the simulated span: `quick` (60 machines,
@@ -72,7 +74,7 @@
 //! versioned bundle (timeline, capacity, histograms) for offline
 //! inspection.
 
-use cgc_bench::cli::{parse_arg, parse_value, require_value};
+use cgc_bench::cli::{parse_arg, parse_value, require_value, ObsArgs};
 use cgc_bench::fuse_characterize;
 use cgc_core::{characterize, characterize_reference, StreamOptions};
 use cgc_gen::{FleetConfig, GoogleWorkload};
@@ -254,6 +256,7 @@ struct Args {
     sim_only: bool,
     out: String,
     telemetry: Option<String>,
+    obs: ObsArgs,
 }
 
 fn preset(name: &str) -> (&'static str, usize, u64) {
@@ -282,6 +285,7 @@ fn parse_args() -> Args {
         sim_only: false,
         out: "BENCH_pipeline.json".into(),
         telemetry: None,
+        obs: ObsArgs::default(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -309,10 +313,12 @@ fn parse_args() -> Args {
                 eprintln!(
                     "usage: cgc-bench [--preset quick|google|large|full] [--machines N] \
                      [--horizon SECONDS] [--shards N] [--threads N] [--seed N] [--sim-only] \
-                     [--out PATH] [--telemetry PATH]"
+                     [--out PATH] [--telemetry PATH] [--heartbeat PATH|-] \
+                     [--heartbeat-interval SECONDS] [--prom-out PATH] [--flight-recorder PATH]"
                 );
                 std::process::exit(0);
             }
+            other if a.obs.accept(other, &mut args) => {}
             other => {
                 eprintln!("unexpected argument {other:?}");
                 std::process::exit(2);
@@ -429,6 +435,8 @@ fn main() {
     cgc_obs::metrics().reset();
 
     let args = parse_args();
+    args.obs.validate();
+    let session = args.obs.start();
     eprintln!(
         "cgc-bench: {} preset, {} machines, {} s horizon, {} shards, {} threads{}",
         args.preset,
@@ -811,5 +819,6 @@ fn main() {
     });
     println!("{pretty}");
     eprintln!("wrote {}", args.out);
+    session.finish_with(Some(&telemetry));
     cgc_obs::flush_observers();
 }

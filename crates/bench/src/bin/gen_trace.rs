@@ -6,6 +6,8 @@
 //!                 [--workload-only] [--checkpoint-every SECONDS] [--checkpoint PATH]
 //!                 [--resume PATH] [--die-after N]
 //!                 [--characterize [--json]]
+//!                 [--heartbeat PATH|-] [--heartbeat-interval SECONDS]
+//!                 [--prom-out PATH] [--flight-recorder PATH]
 //! gen_trace --characterize --no-trace-out [--json] [--machines N] [--horizon SECONDS] [--seed N]
 //! ```
 //!
@@ -49,8 +51,18 @@
 //! end to end. `--checkpoint` and `--die-after` only make sense with
 //! `--checkpoint-every`; naming them without it is an error (exit 2),
 //! not a silent no-op.
+//!
+//! # Live observability
+//!
+//! `--heartbeat PATH` (or `-` for stderr) streams `cgc-heartbeat/v1`
+//! JSONL progress records while the run executes; `--prom-out PATH`
+//! writes a Prometheus text exposition of the run's metrics on success;
+//! `--flight-recorder PATH` arms a crash dump (`cgc-flightrec/v1`) that
+//! a panic, SIGTERM/SIGINT, or `--die-after` abort writes atomically.
+//! All three are observability-only: the trace bytes are identical with
+//! or without them.
 
-use cgc_bench::cli::{parse_value, reject_if, require_value};
+use cgc_bench::cli::{parse_value, reject_if, require_value, ObsArgs};
 use cgc_bench::fuse_characterize;
 use cgc_core::StreamOptions;
 use cgc_gen::{FleetConfig, GoogleWorkload, Workload};
@@ -65,7 +77,9 @@ use std::path::Path;
 
 const USAGE: &str = "usage: gen_trace <OUT> [--machines N] [--horizon SECONDS] [--seed N] \
      [--format text|binary] [--workload-only] [--checkpoint-every SECONDS] [--checkpoint PATH] \
-     [--resume PATH] [--die-after N] [--characterize [--no-trace-out] [--json]]";
+     [--resume PATH] [--die-after N] [--characterize [--no-trace-out] [--json]] \
+     [--heartbeat PATH|-] [--heartbeat-interval SECONDS] [--prom-out PATH] \
+     [--flight-recorder PATH]";
 
 /// What the fused producer emits from: a trace that already exists
 /// (workload-only or checkpointed runs) or a simulation driven through
@@ -90,6 +104,7 @@ fn main() {
     let mut characterize = false;
     let mut no_trace_out = false;
     let mut as_json = false;
+    let mut obs = ObsArgs::default();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -119,6 +134,7 @@ fn main() {
                 eprintln!("{USAGE}");
                 return;
             }
+            other if obs.accept(other, &mut args) => {}
             other if out.is_none() && !other.starts_with('-') => out = Some(other.to_string()),
             other => {
                 eprintln!("unexpected argument {other:?}");
@@ -160,6 +176,8 @@ fn main() {
         "--checkpoint-every defaults its snapshot path to <OUT>.ckpt; \
          with --no-trace-out name one explicitly via --checkpoint PATH",
     );
+    obs.validate();
+    let session = obs.start();
 
     // The hostload scaling keeps the per-machine job pressure of the full
     // trace, so even short fixtures carry enough records to exercise the
@@ -251,6 +269,7 @@ fn main() {
     };
 
     if no_trace_out {
+        session.finish();
         cgc_obs::flush_observers();
         return;
     }
@@ -288,5 +307,6 @@ fn main() {
             "text, sealed"
         }
     );
+    session.finish();
     cgc_obs::flush_observers();
 }

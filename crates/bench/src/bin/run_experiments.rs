@@ -3,6 +3,8 @@
 //! Usage:
 //! ```text
 //! run_experiments [IDS...] [--full] [--json PATH] [--metrics] [--telemetry PATH]
+//!                 [--heartbeat PATH|-] [--heartbeat-interval SECONDS]
+//!                 [--prom-out PATH] [--flight-recorder PATH]
 //! ```
 //! With no ids, every experiment runs in paper order. `--full` switches to
 //! month-scale horizons; `--json` additionally writes the structured
@@ -13,8 +15,13 @@
 //! Event file for Perfetto. `--telemetry PATH` replays the lab's shared
 //! google simulation on a 5-minute sim-time grid and writes the versioned
 //! telemetry bundle (queue timelines, queueing-delay histograms) to
-//! `PATH`.
+//! `PATH`. The live-observability flags are shared with the other
+//! binaries: `--heartbeat PATH|-` streams `cgc-heartbeat/v1` JSONL
+//! progress while experiments run, `--prom-out PATH` writes a Prometheus
+//! exposition when they finish, and `--flight-recorder PATH` arms a
+//! `cgc-flightrec/v1` crash dump.
 
+use cgc_bench::cli::ObsArgs;
 use cgc_bench::{all_experiment_ids, export_plots, run_experiment, Lab, Scale};
 use std::io::Write;
 
@@ -27,6 +34,7 @@ fn main() {
     let mut plots_dir: Option<String> = None;
     let mut telemetry_path: Option<String> = None;
     let mut with_metrics = false;
+    let mut obs = ObsArgs::default();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -58,17 +66,21 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: run_experiments [IDS...] [--full] [--json PATH] [--plots DIR] \
-                     [--metrics] [--telemetry PATH]"
+                     [--metrics] [--telemetry PATH] [--heartbeat PATH|-] \
+                     [--heartbeat-interval SECONDS] [--prom-out PATH] [--flight-recorder PATH]"
                 );
                 eprintln!("known ids: {}", all_experiment_ids().join(" "));
                 return;
             }
+            other if obs.accept(other, &mut args) => {}
             other => ids.push(other.to_string()),
         }
     }
     if ids.is_empty() {
         ids = all_experiment_ids().iter().map(|s| s.to_string()).collect();
     }
+    obs.validate();
+    let session = obs.start();
 
     let lab = Lab::new(scale);
     let mut results = Vec::new();
@@ -108,10 +120,11 @@ fn main() {
         eprintln!("wrote {} results to {path}", results.len());
     }
 
-    if let Some(path) = telemetry_path {
+    let telemetry_bundle = telemetry_path.map(|path| {
         // The paper's 5-minute sampling period, on the lab's shared
         // google simulation (memoized: free if an experiment already
-        // simulated it).
+        // simulated it). Kept for the prom exposition's sim-time
+        // histogram families.
         let bundle = cgc_core::telemetry_from_trace(&lab.google_sim(), 300);
         let json = serde_json::to_string_pretty(&bundle).expect("telemetry serializes");
         cgc_trace::write_atomic(&path, json.as_bytes()).unwrap_or_else(|e| {
@@ -123,10 +136,12 @@ fn main() {
             bundle.timeline.len(),
             bundle.interval
         );
-    }
+        bundle
+    });
 
     if with_metrics {
         eprint!("{}", cgc_obs::metrics().snapshot().render_table());
     }
+    session.finish_with(telemetry_bundle.as_ref());
     cgc_obs::flush_observers();
 }

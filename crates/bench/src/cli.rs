@@ -6,8 +6,11 @@
 //! flags, incompatible combinations), exit 1 a runtime failure — the
 //! convention every binary already follows.
 
+use cgc_obs::{HeartbeatHandle, HeartbeatOptions, TelemetryBundle};
 use cgc_trace::{is_columnar, map_trace, MappedTrace};
+use std::path::PathBuf;
 use std::str::FromStr;
+use std::time::Duration;
 
 /// Parses `s` as `flag`'s value, exiting 2 with the uniform
 /// `invalid value for --flag` message on failure.
@@ -66,6 +69,127 @@ pub fn map_trace_sniffed(path: &str) -> (MappedTrace, SniffedFormat) {
         SniffedFormat::Text
     };
     (mapped, format)
+}
+
+/// The live-observability flags every binary accepts identically:
+/// `--heartbeat <path|->` (`-` = stderr), `--heartbeat-interval <secs>`,
+/// `--prom-out <path>`, `--flight-recorder <path>`. Fold into an arg
+/// loop with [`accept`](ObsArgs::accept), check combinations with
+/// [`validate`](ObsArgs::validate), then [`start`](ObsArgs::start) the
+/// surfaces once the run is configured.
+#[derive(Debug, Default)]
+pub struct ObsArgs {
+    /// Heartbeat destination: `Some("-")` = stderr, `Some(path)` = file.
+    pub heartbeat: Option<String>,
+    /// Sampling interval override, seconds.
+    pub heartbeat_interval: Option<f64>,
+    /// Prometheus exposition file, written when the run completes.
+    pub prom_out: Option<String>,
+    /// Flight-recorder dump target, armed for the whole run.
+    pub flight_recorder: Option<String>,
+}
+
+impl ObsArgs {
+    /// Consumes `arg` if it is one of the observability flags (pulling
+    /// values from `args`); returns whether it did. Call from the
+    /// binary's match-on-arg loop before any positional fallback.
+    pub fn accept(&mut self, arg: &str, args: &mut dyn Iterator<Item = String>) -> bool {
+        match arg {
+            "--heartbeat" => self.heartbeat = Some(require_value(args, "--heartbeat")),
+            "--heartbeat-interval" => {
+                self.heartbeat_interval = Some(parse_value(args, "--heartbeat-interval"))
+            }
+            "--prom-out" => self.prom_out = Some(require_value(args, "--prom-out")),
+            "--flight-recorder" => {
+                self.flight_recorder = Some(require_value(args, "--flight-recorder"))
+            }
+            _ => return false,
+        }
+        true
+    }
+
+    /// Rejects (exit 2) incompatible combinations: an interval without a
+    /// heartbeat, or a non-positive interval.
+    pub fn validate(&self) {
+        reject_if(
+            self.heartbeat_interval.is_some() && self.heartbeat.is_none(),
+            "--heartbeat-interval requires --heartbeat",
+        );
+        if let Some(secs) = self.heartbeat_interval {
+            reject_if(
+                secs <= 0.0 || !secs.is_finite(),
+                "--heartbeat-interval must be a positive number of seconds",
+            );
+        }
+    }
+
+    /// Whether any observability surface was requested.
+    pub fn any(&self) -> bool {
+        self.heartbeat.is_some() || self.prom_out.is_some() || self.flight_recorder.is_some()
+    }
+
+    /// Arms the requested surfaces: installs the flight recorder,
+    /// starts the heartbeat sampler. Exits 1 when the heartbeat file
+    /// cannot be created. Call after flag validation, before the run;
+    /// hold the returned session and [`finish`](ObsSession::finish) it
+    /// on every success path.
+    pub fn start(&self) -> ObsSession {
+        if let Some(path) = &self.flight_recorder {
+            cgc_obs::install_flight_recorder(std::path::Path::new(path));
+        }
+        let heartbeat = self.heartbeat.as_deref().map(|dest| {
+            let opts = HeartbeatOptions {
+                path: (dest != "-").then(|| PathBuf::from(dest)),
+                interval: self
+                    .heartbeat_interval
+                    .map_or(cgc_obs::DEFAULT_HEARTBEAT_INTERVAL, Duration::from_secs_f64),
+            };
+            cgc_obs::start_heartbeat(opts).unwrap_or_else(|e| {
+                eprintln!("cannot start heartbeat at {dest}: {e}");
+                std::process::exit(1);
+            })
+        });
+        ObsSession {
+            heartbeat,
+            prom_out: self.prom_out.clone(),
+        }
+    }
+}
+
+/// Live surfaces of one run. [`finish`](ObsSession::finish) stops the
+/// heartbeat (emitting its final record) and writes the Prometheus
+/// exposition; a crash before that leaves the flight recorder to tell
+/// the story instead.
+pub struct ObsSession {
+    heartbeat: Option<HeartbeatHandle>,
+    prom_out: Option<String>,
+}
+
+impl ObsSession {
+    /// [`finish_with`](ObsSession::finish_with) without telemetry: the
+    /// prom file carries the counter and stage-duration families only.
+    pub fn finish(self) {
+        self.finish_with(None);
+    }
+
+    /// Stops the heartbeat and writes the Prometheus exposition from the
+    /// current metrics snapshot (plus the sim-time histograms when the
+    /// caller computed a telemetry bundle). Exits 1 if the prom file
+    /// cannot be written.
+    pub fn finish_with(self, telemetry: Option<&TelemetryBundle>) {
+        if let Some(hb) = self.heartbeat {
+            hb.stop();
+        }
+        if let Some(path) = &self.prom_out {
+            let text = cgc_obs::render_prometheus(&cgc_obs::metrics().snapshot(), telemetry);
+            cgc_trace::write_atomic(std::path::Path::new(path), text.as_bytes()).unwrap_or_else(
+                |e| {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(1);
+                },
+            );
+        }
+    }
 }
 
 #[cfg(test)]

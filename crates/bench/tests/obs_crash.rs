@@ -1,0 +1,152 @@
+//! Observability surfaces under crash and clean-exit conditions, driven
+//! through the real `gen_trace` binary.
+//!
+//! The flight recorder's whole reason to exist is the run that *doesn't*
+//! reach its success path, so these tests spawn the binary and kill it
+//! the same way the CI chaos job does (`--die-after`), then assert the
+//! post-mortem artifact is present, versioned, and parseable. The clean
+//! run covers the complementary contract: heartbeat JSONL and the
+//! Prometheus exposition appear, and no flight record is dumped when
+//! nothing went wrong.
+
+use cgc_obs::{FlightRecord, HeartbeatRecord, FLIGHTREC_SCHEMA, HEARTBEAT_SCHEMA};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cgc-obs-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn gen_trace(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_gen_trace"))
+        .args(args)
+        .output()
+        .expect("spawn gen_trace")
+}
+
+fn read_flight_record(path: &Path) -> FlightRecord {
+    let json = std::fs::read_to_string(path).expect("flight record readable");
+    serde_json::from_str(&json).expect("flight record parses")
+}
+
+#[test]
+fn die_after_crash_leaves_parseable_flight_record() {
+    let dir = scratch_dir("die");
+    let out = dir.join("trace.cgct");
+    let fr = dir.join("fr.json");
+    let output = gen_trace(&[
+        out.to_str().unwrap(),
+        "--machines",
+        "20",
+        "--horizon",
+        "3600",
+        "--checkpoint-every",
+        "600",
+        "--die-after",
+        "1",
+        "--flight-recorder",
+        fr.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        output.status.code(),
+        Some(70),
+        "die-after must abort with exit 70; stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let record = read_flight_record(&fr);
+    assert_eq!(record.schema, FLIGHTREC_SCHEMA);
+    assert_eq!(record.reason, "die-after");
+    assert!(
+        record.detail.contains("--die-after 1"),
+        "detail should name the kill: {:?}",
+        record.detail
+    );
+    assert!(
+        record.spans_seen > 0,
+        "the run opened spans before dying; the ring must have seen them"
+    );
+    // No temp-file litter: the dump itself goes through an atomic write.
+    assert!(!fr.with_extension("json.tmp").exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn interval_without_heartbeat_is_a_usage_error() {
+    let dir = scratch_dir("usage");
+    let out = dir.join("trace.cgct");
+    let output = gen_trace(&[out.to_str().unwrap(), "--heartbeat-interval", "0.5"]);
+    assert_eq!(
+        output.status.code(),
+        Some(2),
+        "bad flag combinations exit 2; stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&output.stderr).contains("--heartbeat-interval"),
+        "the error must name the offending flag"
+    );
+    assert!(!out.exists(), "a usage error must not write the trace");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn clean_run_emits_heartbeat_and_prom_but_no_flight_record() {
+    let dir = scratch_dir("clean");
+    let out = dir.join("trace.cgct");
+    let hb = dir.join("hb.jsonl");
+    let prom = dir.join("metrics.prom");
+    let fr = dir.join("fr.json");
+    let output = gen_trace(&[
+        out.to_str().unwrap(),
+        "--machines",
+        "20",
+        "--horizon",
+        "3600",
+        "--heartbeat",
+        hb.to_str().unwrap(),
+        "--heartbeat-interval",
+        "0.01",
+        "--prom-out",
+        prom.to_str().unwrap(),
+        "--flight-recorder",
+        fr.to_str().unwrap(),
+    ]);
+    assert!(
+        output.status.success(),
+        "clean run failed; stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(out.exists(), "the trace itself must still be written");
+
+    // Heartbeat: every line is a versioned record; seq dense from 0 and
+    // wall clock monotone across the stream.
+    let jsonl = std::fs::read_to_string(&hb).expect("heartbeat file");
+    let records: Vec<HeartbeatRecord> = jsonl
+        .lines()
+        .map(|line| serde_json::from_str(line).expect("heartbeat line parses"))
+        .collect();
+    assert!(!records.is_empty(), "at least the final record is emitted");
+    let mut last_wall = 0u64;
+    for (i, r) in records.iter().enumerate() {
+        assert_eq!(r.schema, HEARTBEAT_SCHEMA);
+        assert_eq!(r.seq, i as u64, "seq must be dense");
+        assert!(r.wall_ms >= last_wall, "wall_ms must be monotone");
+        last_wall = r.wall_ms;
+        if let Some(c) = r.completion {
+            assert!((0.0..=1.0).contains(&c), "completion out of range: {c}");
+        }
+    }
+
+    // Prometheus: counter families carry their headers.
+    let text = std::fs::read_to_string(&prom).expect("prom file");
+    assert!(text.contains("# TYPE cgc_tasks_generated_total counter"));
+    assert!(text.contains("# HELP cgc_tasks_generated_total"));
+    assert!(text.ends_with('\n'), "exposition ends with a newline");
+
+    // Nothing crashed, so the armed recorder must stay silent.
+    assert!(!fr.exists(), "no flight record on a clean exit");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,445 @@
+//! The crash flight recorder: a fixed-size lock-free ring of recent
+//! span open/close events plus the last heartbeats, dumped as a
+//! `cgc-flightrec/v1` JSON when the process dies unexpectedly.
+//!
+//! Long nightly runs that crash (or are killed by the chaos harness's
+//! `--die-after`) used to leave nothing but a truncated log. With a
+//! flight recorder installed ([`install_flight_recorder`]), a panic,
+//! SIGTERM, or SIGINT instead writes one JSON document containing:
+//!
+//! * the last [`SPAN_RING`] span enter/exit events (stage, span id,
+//!   parent, shard index, thread, timestamp, duration),
+//! * the last [`HEARTBEAT_RING`] heartbeat records (the metric deltas
+//!   leading up to the death),
+//! * a full [`PipelineCounters`] snapshot at dump time,
+//! * the dump reason (`"panic"` / `"signal"` / caller-supplied).
+//!
+//! # Lock-freedom and signal safety
+//!
+//! Span events land in a seqlock-style ring of plain atomics: a writer
+//! claims a ticket with one `fetch_add`, marks the slot odd, stores the
+//! fields, and marks it even. Writers never block — not on each other
+//! and not on a concurrent dump; a reader that observes an odd or
+//! changed sequence number simply skips that slot. The dump is
+//! *best-effort by design*: it runs on the panic path and inside signal
+//! handlers, so it takes no blocking locks (`try_lock` on the path and
+//! heartbeat state, skipping what it cannot get), guards against
+//! re-entry with an atomic flag, and writes the file with a local
+//! create-temp → fsync → rename so a crash mid-dump can never leave a
+//! half-written artifact at the target path. The signal handler path is
+//! not strictly async-signal-safe (it allocates while serializing); the
+//! trade — a best-effort post-mortem versus guaranteed silence — is
+//! deliberate and documented in DESIGN.md §13.
+//!
+//! The observability contract holds here too: recording is driven by
+//! the span-observer fan-out, reads nothing the pipeline branches on,
+//! and a run with the recorder armed emits bit-identical artifacts
+//! (pinned in `tests/determinism.rs`).
+
+use crate::metrics::{metrics, PipelineCounters};
+use crate::span::micros_since_anchor;
+use crate::{HeartbeatRecord, SpanMeta, SpanObserver};
+use serde::{Deserialize, Serialize};
+use std::fs::File;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, Once};
+
+/// Schema tag of every dump.
+pub const FLIGHTREC_SCHEMA: &str = "cgc-flightrec/v1";
+
+/// Span-event ring capacity. 256 events ≈ the last few pipeline stages
+/// even with per-shard spans fanning out; sized so the whole ring is a
+/// few tens of KB of atomics, cheap enough to exist unconditionally.
+pub const SPAN_RING: usize = 256;
+
+/// Heartbeat ring capacity: at the default 1 s interval, the last
+/// half-minute of metric deltas.
+pub const HEARTBEAT_RING: usize = 32;
+
+const KIND_ENTER: u64 = 0;
+const KIND_EXIT: u64 = 1;
+/// `parent`/`index`/`dur_nanos` sentinel for "absent".
+const NONE: u64 = u64::MAX;
+
+/// One seqlock slot. `seq` is `2*ticket + 1` while the writer is
+/// mid-store and `2*ticket + 2` once the fields are consistent; 0 means
+/// never written.
+struct SpanSlot {
+    seq: AtomicU64,
+    kind: AtomicU64,
+    stage: AtomicUsize,
+    id: AtomicU64,
+    parent: AtomicU64,
+    index: AtomicU64,
+    tid: AtomicU64,
+    at_micros: AtomicU64,
+    dur_nanos: AtomicU64,
+}
+
+impl SpanSlot {
+    const fn new() -> Self {
+        SpanSlot {
+            seq: AtomicU64::new(0),
+            kind: AtomicU64::new(0),
+            stage: AtomicUsize::new(0),
+            id: AtomicU64::new(0),
+            parent: AtomicU64::new(NONE),
+            index: AtomicU64::new(NONE),
+            tid: AtomicU64::new(0),
+            at_micros: AtomicU64::new(0),
+            dur_nanos: AtomicU64::new(NONE),
+        }
+    }
+}
+
+static RING: [SpanSlot; SPAN_RING] = [const { SpanSlot::new() }; SPAN_RING];
+/// Total span events ever recorded; `HEAD % SPAN_RING` is the next slot.
+static HEAD: AtomicU64 = AtomicU64::new(0);
+
+/// Recent heartbeats, pushed by the sampler thread. A plain mutex is
+/// fine here — the writer is one low-rate thread, and the dump path
+/// only `try_lock`s.
+static HEARTBEATS: Mutex<Vec<HeartbeatRecord>> = Mutex::new(Vec::new());
+
+/// Dump destination, set by [`install_flight_recorder`].
+static TARGET: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+/// Re-entry guard: a panic inside the dump (or a signal landing during
+/// one) must not recurse into a second dump.
+static DUMPING: AtomicBool = AtomicBool::new(false);
+
+fn record(kind: u64, span: &SpanMeta, at_micros: f64, dur_nanos: Option<u64>) {
+    let ticket = HEAD.fetch_add(1, Ordering::Relaxed);
+    let slot = &RING[(ticket % SPAN_RING as u64) as usize];
+    slot.seq.store(2 * ticket + 1, Ordering::Release);
+    slot.kind.store(kind, Ordering::Relaxed);
+    slot.stage
+        .store(crate::stages::slot(span.name), Ordering::Relaxed);
+    slot.id.store(span.id, Ordering::Relaxed);
+    slot.parent
+        .store(span.parent.unwrap_or(NONE), Ordering::Relaxed);
+    slot.index
+        .store(span.index.map_or(NONE, |i| i as u64), Ordering::Relaxed);
+    slot.tid.store(span.tid, Ordering::Relaxed);
+    slot.at_micros
+        .store(at_micros.max(0.0) as u64, Ordering::Relaxed);
+    slot.dur_nanos
+        .store(dur_nanos.unwrap_or(NONE), Ordering::Relaxed);
+    slot.seq.store(2 * ticket + 2, Ordering::Release);
+}
+
+/// The observer [`install_flight_recorder`] wires into the span fan-out.
+struct FlightRecorderObserver;
+
+impl SpanObserver for FlightRecorderObserver {
+    fn enter(&self, span: &SpanMeta) {
+        record(KIND_ENTER, span, micros_since_anchor(), None);
+    }
+
+    fn exit(&self, span: &SpanMeta, start_micros: f64, nanos: u64) {
+        record(KIND_EXIT, span, start_micros, Some(nanos));
+    }
+}
+
+/// One span event as serialized into a dump.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpanEventRecord {
+    /// Global event ticket (monotone; gaps mean the ring lapped).
+    pub ticket: u64,
+    /// `"enter"` or `"exit"`.
+    pub kind: String,
+    /// Stage name (one of [`crate::stages::ALL`]).
+    pub stage: String,
+    /// Process-unique span id.
+    pub id: u64,
+    /// Enclosing span id, if any.
+    pub parent: Option<u64>,
+    /// Shard / experiment index, if the span carried one.
+    pub index: Option<u64>,
+    /// Dense id of the thread that opened the span.
+    pub tid: u64,
+    /// Microseconds since the span anchor (enter time for enters, start
+    /// time for exits).
+    pub at_micros: u64,
+    /// Span duration; only on `"exit"` events.
+    pub dur_nanos: Option<u64>,
+}
+
+/// The `cgc-flightrec/v1` document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlightRecord {
+    /// Format tag, [`FLIGHTREC_SCHEMA`].
+    pub schema: String,
+    /// Why the dump happened: `"panic"`, `"signal"`, `"die-after"`, …
+    pub reason: String,
+    /// Free-form context (panic message, signal number).
+    pub detail: String,
+    /// Wall-clock dump time, milliseconds since the unix epoch.
+    pub wall_unix_ms: u64,
+    /// Total span events recorded process-wide (≥ `spans.len()`; the
+    /// difference is what the ring evicted).
+    pub spans_seen: u64,
+    /// The retained span events, oldest first.
+    pub spans: Vec<SpanEventRecord>,
+    /// The retained heartbeats, oldest first.
+    pub heartbeats: Vec<HeartbeatRecord>,
+    /// Counter snapshot at dump time.
+    pub counters: PipelineCounters,
+}
+
+/// Installs the flight recorder: span events start landing in the ring,
+/// the crash hooks are armed, and dumps go to `path`. Calling again
+/// retargets the dump path without installing a second observer.
+pub fn install_flight_recorder(path: &Path) {
+    if let Ok(mut target) = TARGET.lock() {
+        *target = Some(path.to_path_buf());
+    }
+    static OBSERVER: Once = Once::new();
+    OBSERVER.call_once(|| crate::add_observer(Arc::new(FlightRecorderObserver)));
+    install_crash_hook();
+}
+
+/// Arms the panic hook and (unix) SIGTERM/SIGINT handlers. Idempotent.
+/// On crash the hooks dump the flight record (if a target is installed)
+/// and then flush every span observer, so a `CGC_TRACE_OUT` Chrome
+/// trace survives as a truncated-but-valid JSON array. The previous
+/// panic hook is chained, not replaced.
+pub fn install_crash_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let detail = info.to_string();
+            let _ = dump_flight_record("panic", &detail);
+            crate::flush_observers();
+            prev(info);
+        }));
+        #[cfg(unix)]
+        install_signal_handlers();
+    });
+}
+
+#[cfg(unix)]
+extern "C" fn on_fatal_signal(sig: i32) {
+    // Best-effort, documented as not strictly async-signal-safe; see
+    // the module docs.
+    let _ = dump_flight_record("signal", &format!("signal {sig}"));
+    crate::flush_observers();
+    unsafe {
+        signal(sig, SIG_DFL);
+        raise(sig);
+    }
+}
+
+#[cfg(unix)]
+const SIG_DFL: usize = 0;
+#[cfg(unix)]
+const SIGINT: i32 = 2;
+#[cfg(unix)]
+const SIGTERM: i32 = 15;
+
+// std already links the platform libc; declaring these directly avoids
+// pulling a libc crate into the std-only observability layer.
+#[cfg(unix)]
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+    fn raise(sig: i32) -> i32;
+}
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    unsafe {
+        let handler = on_fatal_signal as extern "C" fn(i32) as *const () as usize;
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
+
+/// Pushes one heartbeat into the retained ring (called by the sampler
+/// thread for every emitted record).
+pub(crate) fn note_heartbeat(record: HeartbeatRecord) {
+    if let Ok(mut hb) = HEARTBEATS.lock() {
+        if hb.len() == HEARTBEAT_RING {
+            hb.remove(0);
+        }
+        hb.push(record);
+    }
+}
+
+/// Reads every consistent slot out of the span ring, oldest first.
+/// Slots a writer is mid-store on (odd or changed seq) are skipped.
+fn collect_spans() -> Vec<SpanEventRecord> {
+    let mut events: Vec<(u64, SpanEventRecord)> = Vec::with_capacity(SPAN_RING);
+    for slot in &RING {
+        let seq = slot.seq.load(Ordering::Acquire);
+        if seq == 0 || seq % 2 == 1 {
+            continue;
+        }
+        let kind = slot.kind.load(Ordering::Relaxed);
+        let stage = slot.stage.load(Ordering::Relaxed);
+        let id = slot.id.load(Ordering::Relaxed);
+        let parent = slot.parent.load(Ordering::Relaxed);
+        let index = slot.index.load(Ordering::Relaxed);
+        let tid = slot.tid.load(Ordering::Relaxed);
+        let at_micros = slot.at_micros.load(Ordering::Relaxed);
+        let dur_nanos = slot.dur_nanos.load(Ordering::Relaxed);
+        if slot.seq.load(Ordering::Acquire) != seq {
+            continue; // torn: a writer lapped us mid-read
+        }
+        let ticket = (seq - 2) / 2;
+        events.push((
+            ticket,
+            SpanEventRecord {
+                ticket,
+                kind: if kind == KIND_ENTER { "enter" } else { "exit" }.to_string(),
+                stage: crate::stages::ALL
+                    .get(stage)
+                    .copied()
+                    .unwrap_or(crate::stages::OTHER)
+                    .to_string(),
+                id,
+                parent: (parent != NONE).then_some(parent),
+                index: (index != NONE).then_some(index),
+                tid,
+                at_micros,
+                dur_nanos: (dur_nanos != NONE).then_some(dur_nanos),
+            },
+        ));
+    }
+    events.sort_by_key(|(ticket, _)| *ticket);
+    events.into_iter().map(|(_, e)| e).collect()
+}
+
+/// Builds and atomically writes the flight record, returning the path
+/// written. `None` when no target is installed, a dump is already in
+/// flight, or the write failed — the crash path must never turn into a
+/// second failure.
+pub fn dump_flight_record(reason: &str, detail: &str) -> Option<PathBuf> {
+    if DUMPING.swap(true, Ordering::SeqCst) {
+        return None;
+    }
+    let result = dump_inner(reason, detail);
+    DUMPING.store(false, Ordering::SeqCst);
+    result
+}
+
+fn dump_inner(reason: &str, detail: &str) -> Option<PathBuf> {
+    let path = TARGET.try_lock().ok()?.clone()?;
+    let record = FlightRecord {
+        schema: FLIGHTREC_SCHEMA.to_string(),
+        reason: reason.to_string(),
+        detail: detail.to_string(),
+        wall_unix_ms: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_millis().min(u64::MAX as u128) as u64),
+        spans_seen: HEAD.load(Ordering::Relaxed),
+        spans: collect_spans(),
+        heartbeats: HEARTBEATS
+            .try_lock()
+            .map(|hb| hb.clone())
+            .unwrap_or_default(),
+        counters: metrics().snapshot().counters,
+    };
+    let json = serde_json::to_string_pretty(&record).ok()?;
+    write_atomic_local(&path, json.as_bytes()).ok()?;
+    metrics().flight_record_dumps.add(1);
+    Some(path)
+}
+
+/// create-temp → fsync → rename in the target's directory. Local to
+/// this crate: `cgc-trace` (which owns the shared `write_atomic`)
+/// depends on `cgc-obs`, so the dependency cannot point the other way.
+fn write_atomic_local(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    let mut f = File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stages;
+
+    #[test]
+    fn ring_records_spans_and_dump_round_trips() {
+        let _guard = crate::test_guard();
+        let path = std::env::temp_dir().join(format!("cgc-flightrec-{}.json", std::process::id()));
+        install_flight_recorder(&path);
+        install_flight_recorder(&path); // idempotent: one observer
+
+        let seen_before = HEAD.load(Ordering::Relaxed);
+        {
+            let _outer = crate::span(stages::SIMULATE);
+            drop(crate::span_indexed(stages::SHARD, 3));
+        }
+        assert!(
+            HEAD.load(Ordering::Relaxed) >= seen_before + 4,
+            "two spans produce two enters and two exits"
+        );
+
+        let written = dump_flight_record("test", "unit test dump").expect("dump written");
+        assert_eq!(written, path);
+        let text = std::fs::read_to_string(&path).expect("dump readable");
+        let _ = std::fs::remove_file(&path);
+        let rec: FlightRecord = serde_json::from_str(&text).expect("dump parses");
+        assert_eq!(rec.schema, FLIGHTREC_SCHEMA);
+        assert_eq!(rec.reason, "test");
+        assert!(rec.spans_seen >= 4);
+        assert!(!rec.spans.is_empty());
+        for pair in rec.spans.windows(2) {
+            assert!(pair[0].ticket < pair[1].ticket, "events sorted by ticket");
+        }
+        let shard_exit = rec
+            .spans
+            .iter()
+            .find(|e| e.stage == stages::SHARD && e.kind == "exit")
+            .expect("shard exit retained");
+        assert_eq!(shard_exit.index, Some(3));
+        assert!(shard_exit.dur_nanos.is_some());
+        let shard_enter = rec
+            .spans
+            .iter()
+            .find(|e| e.stage == stages::SHARD && e.kind == "enter")
+            .expect("shard enter retained");
+        assert_eq!(shard_enter.dur_nanos, None);
+        assert_eq!(shard_enter.id, shard_exit.id);
+
+        // Without a target installed, dumping reports nothing (and must
+        // not error) — the state every binary is in by default.
+        *TARGET.lock().unwrap() = None;
+        assert_eq!(dump_flight_record("test", "no target"), None);
+    }
+
+    #[test]
+    fn heartbeat_ring_is_bounded() {
+        let _guard = crate::test_guard();
+        HEARTBEATS.lock().unwrap().clear();
+        for seq in 0..(HEARTBEAT_RING as u64 + 10) {
+            note_heartbeat(HeartbeatRecord {
+                schema: crate::HEARTBEAT_SCHEMA.to_string(),
+                seq,
+                wall_ms: seq,
+                stage: "idle".to_string(),
+                completion: None,
+                eta_seconds: None,
+                tasks_per_s: 0.0,
+                events_per_s: 0.0,
+                samples_per_s: 0.0,
+                events_total: 0,
+                samples_total: 0,
+                rss_bytes: 0,
+            });
+        }
+        let hb = HEARTBEATS.lock().unwrap();
+        assert_eq!(hb.len(), HEARTBEAT_RING);
+        assert_eq!(hb[0].seq, 10, "oldest evicted first");
+        drop(hb);
+        HEARTBEATS.lock().unwrap().clear();
+    }
+}

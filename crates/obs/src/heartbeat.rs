@@ -1,0 +1,354 @@
+//! The heartbeat sampler: versioned `cgc-heartbeat/v1` JSONL progress
+//! records on a wall-clock interval.
+//!
+//! [`start_heartbeat`] spawns one sampler thread that periodically reads
+//! the [`ProgressProbe`](crate::ProgressProbe) (sim-time watermarks,
+//! per-shard event/sample tallies, current stage) and the global
+//! [`PipelineMetrics`](crate::PipelineMetrics), derives rates from the
+//! deltas since its previous tick, and appends one JSON object per line
+//! to a file or stderr. The instrumented pipeline never sees the
+//! sampler: all communication is through the probe's relaxed atomics, so
+//! a run with a heartbeat attached emits bit-identical artifacts to one
+//! without (pinned in `tests/determinism.rs`).
+//!
+//! One record is always emitted immediately on start and one on stop, so
+//! even runs shorter than the interval leave a first and a final line.
+//! Each emitted record also lands in the crash flight recorder's
+//! heartbeat ring ([`crate::flightrec`]), which is how a post-mortem
+//! dump carries the last minutes of metric deltas.
+//!
+//! # Record semantics
+//!
+//! * `completion` — the current simulation run's min-over-shards
+//!   `watermark / horizon` fraction; `null` before any run announced
+//!   itself. Monotone non-decreasing *within* one simulation; a binary
+//!   that simulates repeatedly (`cgc-bench`'s throughput curve) starts a
+//!   fresh climb per run.
+//! * `eta_seconds` — wall-clock remaining for the current simulation,
+//!   extrapolated from completion growth since the sampler first saw
+//!   this run move; `null` until there are two distinct points.
+//! * `tasks_per_s` — delta of `tasks_generated + placements` per second:
+//!   generator and scheduler throughput combined.
+//! * `events_per_s` / `samples_per_s` — deltas of the probe's live
+//!   per-shard tallies, which move *during* a simulation (the metrics
+//!   registry only sees per-engine totals after each run flushes).
+//! * `rss_bytes` — current `VmRSS` from `/proc/self/status` (0 off
+//!   Linux).
+
+use crate::metrics::metrics;
+use crate::progress::progress;
+use serde::{Deserialize, Serialize};
+use std::fs::File;
+use std::io::{self, BufWriter, Write as _};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Schema tag of every emitted record.
+pub const HEARTBEAT_SCHEMA: &str = "cgc-heartbeat/v1";
+
+/// Default sampling interval of [`HeartbeatOptions`].
+pub const DEFAULT_HEARTBEAT_INTERVAL: Duration = Duration::from_secs(1);
+
+/// Where and how often the sampler emits.
+#[derive(Debug, Clone)]
+pub struct HeartbeatOptions {
+    /// Destination file (created, truncating); `None` streams to stderr.
+    pub path: Option<PathBuf>,
+    /// Wall-clock sampling interval, clamped to at least 10 ms.
+    pub interval: Duration,
+}
+
+impl Default for HeartbeatOptions {
+    fn default() -> Self {
+        HeartbeatOptions {
+            path: None,
+            interval: DEFAULT_HEARTBEAT_INTERVAL,
+        }
+    }
+}
+
+/// One heartbeat line; see the module docs for field semantics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeartbeatRecord {
+    /// Format tag, [`HEARTBEAT_SCHEMA`].
+    pub schema: String,
+    /// Record number within this sampler, from 0.
+    pub seq: u64,
+    /// Wall-clock milliseconds since the sampler started.
+    pub wall_ms: u64,
+    /// Last top-level pipeline phase entered (`"idle"` before any).
+    pub stage: String,
+    /// Completion fraction of the current simulation run, `null` before
+    /// one is announced.
+    pub completion: Option<f64>,
+    /// Estimated wall-clock seconds until the current simulation
+    /// completes, `null` while inestimable.
+    pub eta_seconds: Option<f64>,
+    /// Generator + scheduler throughput since the previous record.
+    pub tasks_per_s: f64,
+    /// Simulator events processed per second since the previous record.
+    pub events_per_s: f64,
+    /// Usage samples recorded per second since the previous record.
+    pub samples_per_s: f64,
+    /// Live probe total of simulator events processed (all runs).
+    pub events_total: u64,
+    /// Live probe total of usage samples recorded (all runs).
+    pub samples_total: u64,
+    /// Current resident set size, bytes (0 when unreadable).
+    pub rss_bytes: u64,
+}
+
+/// Stops the sampler (emitting one final record) when dropped or via
+/// [`stop`](HeartbeatHandle::stop).
+pub struct HeartbeatHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl HeartbeatHandle {
+    /// Signals the sampler, waits for its final record, and disarms the
+    /// progress probe.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        progress().set_enabled(false);
+    }
+}
+
+impl Drop for HeartbeatHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+enum Sink {
+    File(BufWriter<File>),
+    Stderr,
+}
+
+impl Sink {
+    fn emit(&mut self, record: &HeartbeatRecord) {
+        let Ok(line) = serde_json::to_string(record) else {
+            return;
+        };
+        match self {
+            // Flush per line: heartbeats exist to be tailed, and the
+            // process may die without ever closing the writer.
+            Sink::File(out) => {
+                let _ = writeln!(out, "{line}");
+                let _ = out.flush();
+            }
+            Sink::Stderr => {
+                let _ = writeln!(io::stderr().lock(), "{line}");
+            }
+        }
+    }
+}
+
+/// Arms the progress probe and spawns the sampler thread. Fails only
+/// when the destination file cannot be created — surfaced here, not from
+/// the thread, so binaries can exit with a clean error.
+pub fn start_heartbeat(opts: HeartbeatOptions) -> io::Result<HeartbeatHandle> {
+    let mut sink = match &opts.path {
+        Some(p) => Sink::File(BufWriter::new(File::create(p)?)),
+        None => Sink::Stderr,
+    };
+    let interval = opts.interval.max(Duration::from_millis(10));
+    progress().set_enabled(true);
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let thread = std::thread::Builder::new()
+        .name("cgc-heartbeat".into())
+        .spawn(move || {
+            let mut sampler = Sampler::new();
+            loop {
+                let record = sampler.sample();
+                sink.emit(&record);
+                metrics().heartbeats_emitted.add(1);
+                crate::flightrec::note_heartbeat(record);
+                if stop_flag.load(Ordering::Relaxed) {
+                    break;
+                }
+                // Sleep in slices so stop() never waits a full interval;
+                // a stop mid-sleep loops back up to emit the final record.
+                let deadline = Instant::now() + interval;
+                while !stop_flag.load(Ordering::Relaxed) {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    std::thread::sleep((deadline - now).min(Duration::from_millis(25)));
+                }
+            }
+        })?;
+    Ok(HeartbeatHandle {
+        stop,
+        thread: Some(thread),
+    })
+}
+
+/// Delta state between two heartbeat ticks.
+struct Sampler {
+    started: Instant,
+    seq: u64,
+    last_at: Instant,
+    last_tasks: u64,
+    last_events: u64,
+    last_samples: u64,
+    /// First `(time, completion)` where the current run showed progress;
+    /// the ETA extrapolates from here. Reset when completion regresses
+    /// (a new run began).
+    eta_anchor: Option<(Instant, f64)>,
+}
+
+impl Sampler {
+    fn new() -> Self {
+        let now = Instant::now();
+        Sampler {
+            started: now,
+            seq: 0,
+            last_at: now,
+            last_tasks: 0,
+            last_events: 0,
+            last_samples: 0,
+            eta_anchor: None,
+        }
+    }
+
+    fn sample(&mut self) -> HeartbeatRecord {
+        let now = Instant::now();
+        let probe = progress();
+        let m = metrics();
+        let tasks = m.tasks_generated.get() + m.placements.get();
+        let events = probe.events_total();
+        let samples = probe.samples_total();
+        let dt = (now - self.last_at).as_secs_f64();
+        let rate = |cur: u64, prev: u64| {
+            if self.seq == 0 || dt <= 0.0 {
+                0.0
+            } else {
+                cur.saturating_sub(prev) as f64 / dt
+            }
+        };
+
+        let completion = probe.completion();
+        let eta_seconds = match completion {
+            Some(c) => {
+                if let Some((_, c0)) = self.eta_anchor {
+                    if c < c0 {
+                        self.eta_anchor = None; // a new run started over
+                    }
+                }
+                if self.eta_anchor.is_none() && c > 0.0 && c < 1.0 {
+                    self.eta_anchor = Some((now, c));
+                }
+                match self.eta_anchor {
+                    Some((t0, c0)) if c > c0 => {
+                        Some((now - t0).as_secs_f64() * (1.0 - c) / (c - c0))
+                    }
+                    _ => None,
+                }
+            }
+            None => None,
+        };
+
+        let record = HeartbeatRecord {
+            schema: HEARTBEAT_SCHEMA.to_string(),
+            seq: self.seq,
+            wall_ms: (now - self.started).as_millis().min(u64::MAX as u128) as u64,
+            stage: probe.stage_name().unwrap_or("idle").to_string(),
+            completion,
+            eta_seconds,
+            tasks_per_s: rate(tasks, self.last_tasks),
+            events_per_s: rate(events, self.last_events),
+            samples_per_s: rate(samples, self.last_samples),
+            events_total: events,
+            samples_total: samples,
+            rss_bytes: rss_bytes(),
+        };
+        self.seq += 1;
+        self.last_at = now;
+        self.last_tasks = tasks;
+        self.last_events = events;
+        self.last_samples = samples;
+        record
+    }
+}
+
+/// Current resident set size in bytes, from `/proc/self/status`
+/// (`VmRSS`). 0 off Linux or if the field is missing.
+fn rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find(|l| l.starts_with("VmRSS:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|kb| kb.parse::<u64>().ok())
+        .map_or(0, |kb| kb * 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampler_emits_parseable_monotone_records() {
+        let _guard = crate::test_guard();
+        let path = std::env::temp_dir().join(format!("cgc-heartbeat-{}.jsonl", std::process::id()));
+        let handle = start_heartbeat(HeartbeatOptions {
+            path: Some(path.clone()),
+            interval: Duration::from_millis(10),
+        })
+        .expect("temp file creates");
+        assert!(progress().enabled(), "starting the sampler arms the probe");
+
+        // Feed the probe like a running simulation would.
+        progress().begin_run(1_000, 1);
+        for t in [100u64, 400, 900] {
+            progress().on_event(0, t);
+            progress().on_samples(0, 5);
+            std::thread::sleep(Duration::from_millis(15));
+        }
+        handle.stop();
+        assert!(!progress().enabled(), "stop disarms the probe");
+
+        let text = std::fs::read_to_string(&path).expect("heartbeat file readable");
+        let _ = std::fs::remove_file(&path);
+        let records: Vec<HeartbeatRecord> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).expect("every line is one JSON record"))
+            .collect();
+        assert!(records.len() >= 2, "first + final records at minimum");
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.schema, HEARTBEAT_SCHEMA);
+            assert_eq!(r.seq, i as u64, "seq is dense from 0");
+        }
+        for pair in records.windows(2) {
+            assert!(pair[1].wall_ms >= pair[0].wall_ms);
+            assert!(pair[1].events_total >= pair[0].events_total);
+            let (a, b) = (&pair[0].completion, &pair[1].completion);
+            if let (Some(a), Some(b)) = (a, b) {
+                assert!(b >= a, "completion is monotone within one run");
+            }
+        }
+        let last = records.last().expect("non-empty");
+        assert!(last.events_total >= 3, "probe totals reached the sampler");
+        assert_eq!(last.completion, Some(0.9));
+    }
+
+    #[test]
+    fn rss_reader_does_not_panic() {
+        let _ = rss_bytes();
+    }
+}

@@ -26,6 +26,20 @@
 //!   trace parsing), rendered as a `skipped N lines (first: …)` summary
 //!   or a per-category table instead of being silently dropped.
 //!
+//! Three live-run surfaces sit on top (gen-3), all opt-in via flags in
+//! the binaries:
+//!
+//! * [`progress`] / [`heartbeat`] — a relaxed-atomic [`ProgressProbe`]
+//!   the engine publishes sim-time watermarks into, sampled by a
+//!   wall-clock thread that emits `cgc-heartbeat/v1` JSONL records
+//!   (stage, completion fraction, rates, RSS, ETA).
+//! * [`flightrec`] — a fixed-size lock-free ring of recent span events
+//!   plus the last heartbeats, dumped as a `cgc-flightrec/v1` JSON from
+//!   a panic hook and unix SIGTERM/SIGINT handlers so crashes leave a
+//!   post-mortem artifact.
+//! * [`prom`] — Prometheus text-format exposition of the
+//!   [`MetricsSnapshot`] counters and the sim-time [`LogHistogram`]s.
+//!
 //! # Zero-cost when disabled
 //!
 //! Instrumentation is off by default. Counters check one relaxed
@@ -39,18 +53,31 @@
 
 mod diag;
 pub mod export;
+pub mod flightrec;
+pub mod heartbeat;
 pub mod hist;
 mod metrics;
+pub mod progress;
+pub mod prom;
 mod span;
 pub mod timeline;
 
 pub use diag::{Diagnostics, IngestWarning};
 pub use export::ChromeTraceWriter;
+pub use flightrec::{
+    dump_flight_record, install_crash_hook, install_flight_recorder, FlightRecord, FLIGHTREC_SCHEMA,
+};
+pub use heartbeat::{
+    start_heartbeat, HeartbeatHandle, HeartbeatOptions, HeartbeatRecord,
+    DEFAULT_HEARTBEAT_INTERVAL, HEARTBEAT_SCHEMA,
+};
 pub use hist::LogHistogram;
 pub use metrics::{
     enabled, metrics, set_enabled, Counter, MetricsSnapshot, PipelineCounters, PipelineMetrics,
     StageTiming, MAX_SHARD_SLOTS,
 };
+pub use progress::{progress, progress_if_active, ProgressProbe};
+pub use prom::render_prometheus;
 pub use span::{
     add_observer, flush_observers, init_from_env, span, span_indexed, span_under, CompactStderr,
     Span, SpanMeta, SpanObserver,
@@ -134,4 +161,34 @@ pub mod stages {
     pub(crate) fn slot(name: &str) -> usize {
         ALL.iter().position(|&s| s == name).unwrap_or(ALL.len() - 1)
     }
+
+    /// Top-level pipeline *phases*: the coarse stages a heartbeat should
+    /// report as "where the run is". Excludes the per-shard and
+    /// per-analysis sub-spans, which open and close too often to be a
+    /// useful progress label.
+    pub const PHASES: [&str; 9] = [
+        GENERATE,
+        SIMULATE,
+        MERGE,
+        WRITE,
+        EMIT,
+        READ,
+        CHARACTERIZE,
+        STREAM,
+        FUSED,
+    ];
+
+    /// Whether `name` is one of [`PHASES`].
+    pub fn is_phase(name: &str) -> bool {
+        PHASES.contains(&name)
+    }
+}
+
+/// Serializes the crate's stateful unit tests: the progress probe, the
+/// heartbeat sampler, and the flight recorder all act on process-global
+/// state, so tests touching them must not interleave.
+#[cfg(test)]
+pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
 }

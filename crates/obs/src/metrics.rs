@@ -137,6 +137,10 @@ pub struct PipelineMetrics {
     pub checkpoint_writes: Counter,
     /// Simulator runs restored from a checkpoint.
     pub checkpoint_restores: Counter,
+    /// Heartbeat records emitted by the live-progress sampler.
+    pub heartbeats_emitted: Counter,
+    /// Flight-recorder post-mortem dumps written.
+    pub flight_record_dumps: Counter,
     events_per_shard: [AtomicU64; MAX_SHARD_SLOTS],
     /// Set when a shard index at or beyond [`MAX_SHARD_SLOTS`] reported
     /// events: per-shard attribution folded into the last slot.
@@ -169,6 +173,8 @@ impl PipelineMetrics {
             integrity_failures: Counter::new(),
             checkpoint_writes: Counter::new(),
             checkpoint_restores: Counter::new(),
+            heartbeats_emitted: Counter::new(),
+            flight_record_dumps: Counter::new(),
             events_per_shard: [const { AtomicU64::new(0) }; MAX_SHARD_SLOTS],
             shards_clamped: AtomicBool::new(false),
             timings: [const { TimingSlot::new() }; stages::ALL.len()],
@@ -223,6 +229,8 @@ impl PipelineMetrics {
             &self.integrity_failures,
             &self.checkpoint_writes,
             &self.checkpoint_restores,
+            &self.heartbeats_emitted,
+            &self.flight_record_dumps,
         ] {
             c.reset();
         }
@@ -267,6 +275,8 @@ impl PipelineMetrics {
             integrity_failures: self.integrity_failures.get(),
             checkpoint_writes: self.checkpoint_writes.get(),
             checkpoint_restores: self.checkpoint_restores.get(),
+            heartbeats_emitted: self.heartbeats_emitted.get(),
+            flight_record_dumps: self.flight_record_dumps.get(),
             shards_clamped: self.shards_clamped.load(Ordering::Relaxed),
         };
         let timings = stages::ALL
@@ -333,6 +343,15 @@ pub struct PipelineCounters {
     /// Simulator runs restored from a checkpoint.
     #[serde(default)]
     pub checkpoint_restores: u64,
+    /// Heartbeat records emitted by the live-progress sampler.
+    /// Wall-clock-driven, so *not* deterministic — but always zero
+    /// unless a heartbeat was explicitly attached, which the exact-diff
+    /// consumers never do.
+    #[serde(default)]
+    pub heartbeats_emitted: u64,
+    /// Flight-recorder post-mortem dumps written (same caveat).
+    #[serde(default)]
+    pub flight_record_dumps: u64,
     /// True when a shard index at or beyond [`MAX_SHARD_SLOTS`] reported
     /// events, meaning `events_per_shard` folded high shards into its
     /// last slot instead of attributing them individually.
@@ -396,6 +415,8 @@ impl MetricsSnapshot {
             ("integrity failures", c.integrity_failures),
             ("checkpoint writes", c.checkpoint_writes),
             ("checkpoint restores", c.checkpoint_restores),
+            ("heartbeats emitted", c.heartbeats_emitted),
+            ("flight record dumps", c.flight_record_dumps),
         ];
         for (label, value) in rows {
             let _ = writeln!(out, "  {label:<19} {value}");
@@ -546,6 +567,8 @@ mod tests {
             "integrity failures",
             "checkpoint writes",
             "checkpoint restores",
+            "heartbeats emitted",
+            "flight record dumps",
             "events per shard",
             "shard imbalance",
         ] {

@@ -1,0 +1,234 @@
+//! The live progress probe: cheap shared state the heartbeat sampler
+//! reads while a simulation is running.
+//!
+//! The simulator's hot loop cannot afford locks, clocks, or anything
+//! that could perturb determinism — so progress is published through a
+//! process-global [`ProgressProbe`] of relaxed atomics: one sim-time
+//! watermark and one event/sample tally per shard slot, a horizon, and
+//! the name of the pipeline stage currently executing. Writers store and
+//! add; they never read, branch on, or synchronize through the probe, so
+//! enabling it can never change simulator output (pinned, like every
+//! other observability surface, by `tests/determinism.rs`).
+//!
+//! The probe is *advisory*: readers (the heartbeat thread) see values
+//! that are each individually atomic but mutually unsynchronized. That
+//! is exactly right for a progress display and exactly wrong for
+//! accounting — exact totals live in [`crate::PipelineMetrics`].
+//!
+//! Like the metrics registry, the probe is off by default and costs one
+//! relaxed load per engine-run check when disabled: the engine captures
+//! [`progress_if_active`] once per run, so the per-event cost is a
+//! `None` branch, not even an atomic load.
+
+use crate::metrics::MAX_SHARD_SLOTS;
+use crate::stages;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::Relaxed};
+
+/// Process-global progress state; see the module docs. Obtain it with
+/// [`progress`].
+pub struct ProgressProbe {
+    enabled: AtomicBool,
+    /// Sim-time horizon of the current run, seconds (0 = no run yet).
+    horizon: AtomicU64,
+    /// Shard count of the current run, clamped to [`MAX_SHARD_SLOTS`].
+    shards: AtomicUsize,
+    /// Index into [`stages::ALL`] of the last top-level phase entered;
+    /// `stages::ALL.len()` means no phase has run yet.
+    stage: AtomicUsize,
+    /// Per-shard sim-time watermark of the current run, seconds.
+    watermark: [AtomicU64; MAX_SHARD_SLOTS],
+    /// Per-shard events processed, cumulative across runs.
+    events: [AtomicU64; MAX_SHARD_SLOTS],
+    /// Per-shard usage samples recorded, cumulative across runs.
+    samples: [AtomicU64; MAX_SHARD_SLOTS],
+}
+
+static PROBE: ProgressProbe = ProgressProbe::new();
+
+/// The process-global progress probe.
+pub fn progress() -> &'static ProgressProbe {
+    &PROBE
+}
+
+/// The probe when enabled, `None` otherwise — the one check an engine
+/// run performs, hoisting the per-event cost down to a `None` branch.
+#[inline]
+pub fn progress_if_active() -> Option<&'static ProgressProbe> {
+    PROBE.enabled.load(Relaxed).then_some(&PROBE)
+}
+
+impl ProgressProbe {
+    const fn new() -> Self {
+        ProgressProbe {
+            enabled: AtomicBool::new(false),
+            horizon: AtomicU64::new(0),
+            shards: AtomicUsize::new(0),
+            stage: AtomicUsize::new(stages::ALL.len()),
+            watermark: [const { AtomicU64::new(0) }; MAX_SHARD_SLOTS],
+            events: [const { AtomicU64::new(0) }; MAX_SHARD_SLOTS],
+            samples: [const { AtomicU64::new(0) }; MAX_SHARD_SLOTS],
+        }
+    }
+
+    /// Turns the probe on or off (off by default). The heartbeat layer
+    /// owns this switch; writers gate on it once per engine run.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Relaxed);
+    }
+
+    /// Whether the probe is currently collecting.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Relaxed)
+    }
+
+    /// Announces a simulation run: its sim-time horizon and shard count.
+    /// Watermarks reset to zero; event/sample tallies are cumulative
+    /// across runs (rates come from deltas, so resets would only create
+    /// negative-rate glitches). No-op while disabled.
+    pub fn begin_run(&self, horizon: u64, shards: usize) {
+        if !self.enabled() {
+            return;
+        }
+        let shards = shards.clamp(1, MAX_SHARD_SLOTS);
+        for w in &self.watermark[..shards] {
+            w.store(0, Relaxed);
+        }
+        self.shards.store(shards, Relaxed);
+        self.horizon.store(horizon, Relaxed);
+    }
+
+    /// One simulator event processed at sim-time `t` on `shard`.
+    #[inline]
+    pub fn on_event(&self, shard: usize, t: u64) {
+        let slot = shard.min(MAX_SHARD_SLOTS - 1);
+        self.watermark[slot].store(t, Relaxed);
+        self.events[slot].fetch_add(1, Relaxed);
+    }
+
+    /// `n` usage samples recorded on `shard`.
+    #[inline]
+    pub fn on_samples(&self, shard: usize, n: u64) {
+        self.samples[shard.min(MAX_SHARD_SLOTS - 1)].fetch_add(n, Relaxed);
+    }
+
+    /// A shard finished its run: snap its watermark to the horizon so
+    /// the completion fraction reaches 1.0 even though the last event
+    /// fired earlier.
+    pub fn shard_done(&self, shard: usize, horizon: u64) {
+        self.watermark[shard.min(MAX_SHARD_SLOTS - 1)].store(horizon, Relaxed);
+    }
+
+    /// Records the pipeline phase currently executing (called from span
+    /// creation for the top-level stages; last phase entered wins).
+    pub(crate) fn set_stage(&self, name: &str) {
+        self.stage.store(stages::slot(name), Relaxed);
+    }
+
+    /// Name of the last top-level phase entered, `None` before any ran.
+    pub fn stage_name(&self) -> Option<&'static str> {
+        stages::ALL.get(self.stage.load(Relaxed)).copied()
+    }
+
+    /// Completion fraction of the current simulation run: the *minimum*
+    /// over shards of `watermark / horizon` (the run is only as done as
+    /// its slowest shard), clamped to `[0, 1]`. `None` before any run
+    /// was announced — and `None` while disarmed, so a stale horizon
+    /// from a previous armed session never reads as live progress.
+    pub fn completion(&self) -> Option<f64> {
+        if !self.enabled() {
+            return None;
+        }
+        let horizon = self.horizon.load(Relaxed);
+        let shards = self.shards.load(Relaxed);
+        if horizon == 0 || shards == 0 {
+            return None;
+        }
+        let slowest = self.watermark[..shards]
+            .iter()
+            .map(|w| w.load(Relaxed))
+            .min()
+            .unwrap_or(0);
+        Some((slowest as f64 / horizon as f64).clamp(0.0, 1.0))
+    }
+
+    /// Events processed, summed over shards, cumulative across runs.
+    pub fn events_total(&self) -> u64 {
+        self.events.iter().map(|e| e.load(Relaxed)).sum()
+    }
+
+    /// Usage samples recorded, summed over shards, cumulative across
+    /// runs.
+    pub fn samples_total(&self) -> u64 {
+        self.samples.iter().map(|s| s.load(Relaxed)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One test owns all assertions: the probe is process-global, and
+    /// parallel test threads would interleave their stores.
+    #[test]
+    fn probe_gating_completion_and_totals() {
+        let _guard = crate::test_guard();
+        let p = progress();
+        p.set_enabled(false);
+
+        // Stage tracking: last phase entered wins; unknown names fold
+        // into OTHER like the timing slots do. Asserted while the probe
+        // is disabled, so concurrent tests creating spans cannot write
+        // the stage slot (span creation gates on the probe switch).
+        p.set_stage(stages::SIMULATE);
+        assert_eq!(p.stage_name(), Some(stages::SIMULATE));
+        p.set_stage("no-such-stage");
+        assert_eq!(p.stage_name(), Some(stages::OTHER));
+
+        p.begin_run(100, 2);
+        assert_eq!(p.completion(), None, "disabled probe must not arm");
+        assert!(progress_if_active().is_none());
+
+        p.set_enabled(true);
+        assert!(progress_if_active().is_some());
+        p.begin_run(100, 2);
+        assert_eq!(p.completion(), Some(0.0));
+
+        // Completion tracks the slowest shard.
+        p.on_event(0, 80);
+        assert_eq!(p.completion(), Some(0.0), "shard 1 has not moved");
+        p.on_event(1, 40);
+        assert_eq!(p.completion(), Some(0.4));
+        let events_before = p.events_total();
+        assert!(events_before >= 2);
+
+        // shard_done snaps to the horizon; a post-horizon watermark
+        // clamps to 1.0.
+        p.shard_done(0, 100);
+        p.on_event(1, 250);
+        assert_eq!(p.completion(), Some(1.0));
+
+        // Tallies are cumulative across runs; a new run only resets
+        // watermarks (and with them the completion fraction). Deltas,
+        // not absolutes: earlier armed sessions may have tallied too.
+        let samples_before = p.samples_total();
+        p.on_samples(0, 7);
+        p.on_samples(1, 3);
+        assert_eq!(p.samples_total(), samples_before + 10);
+        p.begin_run(50, 1);
+        assert_eq!(p.completion(), Some(0.0));
+        assert_eq!(
+            p.samples_total(),
+            samples_before + 10,
+            "tallies survive begin_run"
+        );
+        assert!(p.events_total() >= events_before);
+
+        // Shard indices beyond the slot array fold into the last slot
+        // instead of indexing out of bounds.
+        p.on_event(MAX_SHARD_SLOTS + 3, 1);
+        p.on_samples(MAX_SHARD_SLOTS + 3, 1);
+
+        p.set_enabled(false);
+    }
+}

@@ -1,0 +1,424 @@
+//! Prometheus text-format exposition of the metrics registry and the
+//! sim-time telemetry histograms.
+//!
+//! [`render_prometheus`] turns a [`MetricsSnapshot`] (and optionally a
+//! [`TelemetryBundle`]) into the Prometheus text exposition format
+//! (version 0.0.4): one `# HELP` / `# TYPE` header per family, counters
+//! suffixed `_total`, histograms as cumulative `_bucket{le=…}` series
+//! plus `_sum` / `_count`. The binaries write it behind `--prom-out`;
+//! it is the exact payload a future always-on `/metrics` endpoint
+//! (ROADMAP 5b) will serve, so the format is pinned by a round-trip
+//! unit test rather than left to drift.
+//!
+//! Two clocks meet here and the names keep them apart:
+//!
+//! * `cgc_stage_duration_seconds` is **wall-clock** (the span
+//!   histograms — varies run to run).
+//! * `cgc_queue_delay_seconds`, `cgc_resubmit_wait_seconds`, and
+//!   `cgc_run_length_seconds` are **sim-time** (deterministic for a
+//!   fixed seed; their `le` bounds are the [`LogHistogram`] bucket
+//!   upper edges).
+
+use crate::hist::bucket_bounds;
+use crate::metrics::MetricsSnapshot;
+use crate::timeline::TelemetryBundle;
+use crate::LogHistogram;
+use std::fmt::Write as _;
+
+/// Renders the full exposition document. Families appear in a fixed
+/// order (counters, per-shard series, gauges, wall-clock stage
+/// histograms, then sim-time histograms when a bundle is supplied), so
+/// the output is diffable across runs.
+pub fn render_prometheus(snap: &MetricsSnapshot, telemetry: Option<&TelemetryBundle>) -> String {
+    let mut out = String::new();
+    let c = &snap.counters;
+    for (name, help, value) in [
+        (
+            "jobs_generated",
+            "Jobs produced by the workload generators.",
+            c.jobs_generated,
+        ),
+        (
+            "tasks_generated",
+            "Tasks produced by the workload generators.",
+            c.tasks_generated,
+        ),
+        (
+            "events_simulated",
+            "Trace events emitted by the simulator, summed over shards.",
+            c.events_simulated,
+        ),
+        (
+            "samples_recorded",
+            "Usage samples recorded by the simulator.",
+            c.samples_recorded,
+        ),
+        (
+            "placements",
+            "Task attempts placed onto a machine.",
+            c.placements,
+        ),
+        ("evictions", "Preemption evictions.", c.evictions),
+        (
+            "fault_injections",
+            "Machine-down events applied by the fault injector.",
+            c.fault_injections,
+        ),
+        (
+            "retries",
+            "Resubmissions handled after a failure or eviction.",
+            c.retries,
+        ),
+        (
+            "blacklist_hits",
+            "Placement passes that saw a fitting-but-blacklisted machine.",
+            c.blacklist_hits,
+        ),
+        (
+            "lines_parsed",
+            "Non-blank lines fed to the trace parsers.",
+            c.lines_parsed,
+        ),
+        (
+            "lines_salvaged",
+            "Lines skipped by the lenient parsers.",
+            c.lines_salvaged,
+        ),
+        (
+            "bytes_read",
+            "Bytes handed to the trace parsers.",
+            c.bytes_read,
+        ),
+        (
+            "integrity_failures",
+            "Artifacts whose integrity verification failed.",
+            c.integrity_failures,
+        ),
+        (
+            "checkpoint_writes",
+            "Simulator checkpoints written to disk.",
+            c.checkpoint_writes,
+        ),
+        (
+            "checkpoint_restores",
+            "Simulator runs restored from a checkpoint.",
+            c.checkpoint_restores,
+        ),
+        (
+            "heartbeats_emitted",
+            "Heartbeat records emitted by the live-progress sampler.",
+            c.heartbeats_emitted,
+        ),
+        (
+            "flight_record_dumps",
+            "Flight-recorder post-mortem dumps written.",
+            c.flight_record_dumps,
+        ),
+    ] {
+        counter(&mut out, name, help, value);
+    }
+
+    if !c.events_per_shard.is_empty() {
+        let name = "cgc_shard_events_total";
+        let _ = writeln!(
+            out,
+            "# HELP {name} Trace events emitted per simulator shard."
+        );
+        let _ = writeln!(out, "# TYPE {name} counter");
+        for (shard, events) in c.events_per_shard.iter().enumerate() {
+            let _ = writeln!(out, "{name}{{shard=\"{shard}\"}} {events}");
+        }
+    }
+
+    gauge(
+        &mut out,
+        "cgc_shard_imbalance_ratio",
+        "Max-over-mean ratio of per-shard event counts (0 when no shard reported).",
+        fmt_f64(snap.shard_imbalance),
+    );
+    gauge(
+        &mut out,
+        "cgc_shards_clamped",
+        "1 when shard indices beyond the slot array folded into the last per-shard slot.",
+        if c.shards_clamped { "1" } else { "0" }.to_string(),
+    );
+
+    if !snap.timings.is_empty() {
+        let name = "cgc_stage_duration_seconds";
+        let _ = writeln!(
+            out,
+            "# HELP {name} Wall-clock duration of pipeline stage executions."
+        );
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        for t in &snap.timings {
+            let label = format!("stage=\"{}\"", t.stage);
+            let mut cumulative = 0u64;
+            for (i, &n) in t.buckets_ms_pow2.iter().enumerate() {
+                cumulative += n;
+                // Span buckets are powers of two in milliseconds: slot i
+                // holds durations below 2^i ms. The last slot is
+                // open-ended and becomes +Inf below.
+                if i + 1 == t.buckets_ms_pow2.len() && cumulative == t.count {
+                    break;
+                }
+                let le = (1u64 << i) as f64 / 1000.0;
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{{{label},le=\"{}\"}} {cumulative}",
+                    fmt_f64(le)
+                );
+            }
+            let _ = writeln!(out, "{name}_bucket{{{label},le=\"+Inf\"}} {}", t.count);
+            let _ = writeln!(
+                out,
+                "{name}_sum{{{label}}} {}",
+                fmt_f64(t.total_nanos as f64 / 1e9)
+            );
+            let _ = writeln!(out, "{name}_count{{{label}}} {}", t.count);
+        }
+    }
+
+    if let Some(bundle) = telemetry {
+        let name = "cgc_queue_delay_seconds";
+        let _ = writeln!(
+            out,
+            "# HELP {name} Sim-time queueing delay (first submit to first placement) per priority band."
+        );
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        for (band, hist) in bundle.bands.iter().zip(&bundle.queue_delay) {
+            log_histogram(&mut out, name, &format!("band=\"{band}\""), hist);
+        }
+        sim_histogram(
+            &mut out,
+            "cgc_resubmit_wait_seconds",
+            "Sim-time wait between the end of one attempt and the start of the next.",
+            &bundle.resubmit_wait,
+        );
+        sim_histogram(
+            &mut out,
+            "cgc_run_length_seconds",
+            "Sim-time length of one task attempt (placement to completion).",
+            &bundle.run_length,
+        );
+    }
+    out
+}
+
+fn counter(out: &mut String, name: &str, help: &str, value: u64) {
+    let full = format!("cgc_{name}_total");
+    let _ = writeln!(out, "# HELP {full} {help}");
+    let _ = writeln!(out, "# TYPE {full} counter");
+    let _ = writeln!(out, "{full} {value}");
+}
+
+fn gauge(out: &mut String, name: &str, help: &str, value: String) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+fn sim_histogram(out: &mut String, name: &str, help: &str, hist: &LogHistogram) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    log_histogram(out, name, "", hist);
+}
+
+/// One `{labels}` series of a [`LogHistogram`], as cumulative buckets.
+/// The `le` bound of bucket `b` is its inclusive upper edge from
+/// [`bucket_bounds`] — exactly Prometheus's `≤` semantics, since the
+/// recorded values are integer seconds. Empty trailing buckets collapse
+/// into `+Inf`.
+fn log_histogram(out: &mut String, name: &str, labels: &str, hist: &LogHistogram) {
+    let sep = if labels.is_empty() { "" } else { "," };
+    let mut cumulative = 0u64;
+    if hist.count() > 0 {
+        for (b, &n) in hist.counts().iter().enumerate() {
+            cumulative += n;
+            let (_, hi) = bucket_bounds(b);
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{{labels}{sep}le=\"{hi}\"}} {cumulative}"
+            );
+            if cumulative == hist.count() {
+                break; // trailing empty buckets collapse into +Inf
+            }
+        }
+    }
+    let bracket = if labels.is_empty() {
+        "{le=\"+Inf\"}".to_string()
+    } else {
+        format!("{{{labels},le=\"+Inf\"}}")
+    };
+    let _ = writeln!(out, "{name}_bucket{bracket} {}", hist.count());
+    let suffix = if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    };
+    let _ = writeln!(out, "{name}_sum{suffix} {}", hist.sum());
+    let _ = writeln!(out, "{name}_count{suffix} {}", hist.count());
+}
+
+/// Prometheus floats: integral values render without the trailing `.0`
+/// Rust's `{}` would keep, fractional ones with full precision.
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{PipelineCounters, StageTiming};
+    use crate::stages;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: PipelineCounters {
+                jobs_generated: 79,
+                tasks_generated: 1325,
+                events_simulated: 6539,
+                samples_recorded: 28800,
+                events_per_shard: vec![1583, 1647, 1620, 1689],
+                placements: 2182,
+                evictions: 0,
+                fault_injections: 10,
+                retries: 857,
+                blacklist_hits: 154,
+                lines_parsed: 37148,
+                lines_salvaged: 0,
+                bytes_read: 1358488,
+                integrity_failures: 0,
+                checkpoint_writes: 3,
+                checkpoint_restores: 1,
+                heartbeats_emitted: 12,
+                flight_record_dumps: 1,
+                shards_clamped: false,
+            },
+            shard_imbalance: 1.03,
+            timings: vec![StageTiming {
+                stage: stages::SIMULATE.to_string(),
+                count: 4,
+                total_nanos: 9_000_000,
+                max_nanos: 5_000_000,
+                buckets_ms_pow2: vec![1, 0, 2, 1],
+            }],
+        }
+    }
+
+    /// The acceptance-criteria round trip: every counter in the
+    /// exposition parses back to exactly the snapshot's value.
+    #[test]
+    fn counters_round_trip_exactly() {
+        let snap = sample_snapshot();
+        let text = render_prometheus(&snap, None);
+
+        let value_of = |metric: &str| -> u64 {
+            text.lines()
+                .find(|l| !l.starts_with('#') && l.split(' ').next() == Some(metric))
+                .unwrap_or_else(|| panic!("missing sample for {metric}"))
+                .split(' ')
+                .nth(1)
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+
+        let c = &snap.counters;
+        for (name, expect) in [
+            ("cgc_jobs_generated_total", c.jobs_generated),
+            ("cgc_tasks_generated_total", c.tasks_generated),
+            ("cgc_events_simulated_total", c.events_simulated),
+            ("cgc_samples_recorded_total", c.samples_recorded),
+            ("cgc_placements_total", c.placements),
+            ("cgc_evictions_total", c.evictions),
+            ("cgc_fault_injections_total", c.fault_injections),
+            ("cgc_retries_total", c.retries),
+            ("cgc_blacklist_hits_total", c.blacklist_hits),
+            ("cgc_lines_parsed_total", c.lines_parsed),
+            ("cgc_lines_salvaged_total", c.lines_salvaged),
+            ("cgc_bytes_read_total", c.bytes_read),
+            ("cgc_integrity_failures_total", c.integrity_failures),
+            ("cgc_checkpoint_writes_total", c.checkpoint_writes),
+            ("cgc_checkpoint_restores_total", c.checkpoint_restores),
+            ("cgc_heartbeats_emitted_total", c.heartbeats_emitted),
+            ("cgc_flight_record_dumps_total", c.flight_record_dumps),
+        ] {
+            assert_eq!(value_of(name), expect, "{name}");
+        }
+        for (shard, events) in c.events_per_shard.iter().enumerate() {
+            assert_eq!(
+                value_of(&format!("cgc_shard_events_total{{shard=\"{shard}\"}}")),
+                *events
+            );
+        }
+    }
+
+    #[test]
+    fn every_family_has_help_and_type_headers() {
+        let mut bundle = TelemetryBundle::new("simulation", 60, 3600);
+        bundle.queue_delay[0].record(2);
+        bundle.queue_delay[0].record(7);
+        bundle.resubmit_wait.record(30);
+        bundle.run_length.record(600);
+        let text = render_prometheus(&sample_snapshot(), Some(&bundle));
+
+        let mut families: Vec<&str> = text
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+            .map(|l| {
+                let metric = l.split([' ', '{']).next().unwrap();
+                metric
+                    .trim_end_matches("_bucket")
+                    .trim_end_matches("_sum")
+                    .trim_end_matches("_count")
+            })
+            .collect();
+        families.dedup();
+        for family in families {
+            assert!(
+                text.contains(&format!("# HELP {family} ")),
+                "missing HELP for {family}"
+            );
+            assert!(
+                text.contains(&format!("# TYPE {family} ")),
+                "missing TYPE for {family}"
+            );
+        }
+    }
+
+    #[test]
+    fn histograms_are_cumulative_and_end_at_inf() {
+        let mut bundle = TelemetryBundle::new("simulation", 60, 3600);
+        for v in [1, 1, 5, 40, 40, 40, 9000] {
+            bundle.queue_delay[1].record(v);
+        }
+        let text = render_prometheus(&sample_snapshot(), Some(&bundle));
+
+        let buckets: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("cgc_queue_delay_seconds_bucket{band=\"middle\""))
+            .map(|l| l.split(' ').nth(1).unwrap().parse().unwrap())
+            .collect();
+        assert!(buckets.len() >= 2);
+        assert!(
+            buckets.windows(2).all(|w| w[0] <= w[1]),
+            "buckets must be cumulative: {buckets:?}"
+        );
+        assert_eq!(*buckets.last().unwrap(), 7, "+Inf bucket holds the count");
+        assert!(text.contains("cgc_queue_delay_seconds_bucket{band=\"middle\",le=\"+Inf\"} 7"));
+        assert!(text.contains("cgc_queue_delay_seconds_count{band=\"middle\"} 7"));
+        assert!(text.contains("cgc_queue_delay_seconds_sum{band=\"middle\"} 9127"));
+        // Nothing was recorded into resubmit_wait: even an empty
+        // histogram must still close with its +Inf bucket.
+        assert!(text.contains("cgc_resubmit_wait_seconds_bucket{le=\"+Inf\"} 0"));
+        assert!(text.contains("cgc_resubmit_wait_seconds_count 0"));
+        assert!(
+            text.contains("cgc_stage_duration_seconds_bucket{stage=\"simulate\",le=\"+Inf\"} 4")
+        );
+        assert!(text.contains("cgc_stage_duration_seconds_count{stage=\"simulate\"} 4"));
+    }
+}

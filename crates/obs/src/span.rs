@@ -83,6 +83,13 @@ fn anchor() -> Instant {
     *ANCHOR.get_or_init(Instant::now)
 }
 
+/// Microseconds elapsed since the span-timestamp anchor — the same
+/// timebase as the `start_micros` observers receive, for events (flight
+/// recorder enters) that need a timestamp outside a span exit.
+pub(crate) fn micros_since_anchor() -> f64 {
+    anchor().elapsed().as_secs_f64() * 1e6
+}
+
 /// Installs an observer. Any number can be active at once; each sees
 /// every span from the moment it is added.
 pub fn add_observer(obs: Arc<dyn SpanObserver>) {
@@ -124,7 +131,13 @@ pub fn init_from_env() {
     if let Ok(path) = std::env::var("CGC_TRACE_OUT") {
         if !path.is_empty() {
             match crate::ChromeTraceWriter::create(std::path::Path::new(&path)) {
-                Ok(writer) => add_observer(Arc::new(writer)),
+                Ok(writer) => {
+                    add_observer(Arc::new(writer));
+                    // A panic/SIGTERM must still flush the trace file:
+                    // without the crash hook every buffered span is lost
+                    // and the JSON array is never closed.
+                    crate::flightrec::install_crash_hook();
+                }
                 Err(e) => eprintln!("[cgc] cannot open CGC_TRACE_OUT={path}: {e}"),
             }
         }
@@ -216,6 +229,13 @@ pub fn span_under(name: &'static str, parent: Option<u64>) -> Span {
 }
 
 fn span_inner(name: &'static str, index: Option<usize>, parent: Option<u64>) -> Span {
+    // Keep the heartbeat's stage label current even when no span
+    // consumer is installed — the probe is its own opt-in switch.
+    if crate::stages::is_phase(name) {
+        if let Some(probe) = crate::progress::progress_if_active() {
+            probe.set_stage(name);
+        }
+    }
     let live = enabled() || N_OBSERVERS.load(Ordering::Acquire) > 0;
     if !live {
         return Span { live: None };

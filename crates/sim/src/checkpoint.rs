@@ -609,6 +609,16 @@ impl CheckpointSink {
                         "checkpoint at t={} written; aborting as requested (--die-after {n})",
                         ckpt.at
                     );
+                    // `process::exit` skips panic hooks, so this crash
+                    // path dumps the flight record (if one is armed) and
+                    // flushes span observers explicitly — the whole point
+                    // of --die-after is rehearsing a real crash, and a
+                    // real crash leaves a post-mortem.
+                    let _ = cgc_obs::dump_flight_record(
+                        "die-after",
+                        &format!("--die-after {n} at t={}", ckpt.at),
+                    );
+                    cgc_obs::flush_observers();
                     std::process::exit(70);
                 }
             }

@@ -307,6 +307,11 @@ struct Engine<'a> {
     /// Next checkpoint boundary (`Timestamp::MAX` when checkpointing is
     /// off, so the hot loop pays one u64 compare and nothing else).
     next_boundary: Timestamp,
+    /// Live progress probe, captured once per run (`None` when no
+    /// heartbeat is attached, so the hot loop pays a `None` branch).
+    /// Write-only: the engine stores watermarks and tallies but never
+    /// reads them, which is what keeps the probe determinism-neutral.
+    progress: Option<&'static cgc_obs::ProgressProbe>,
 }
 
 impl Simulator {
@@ -498,6 +503,7 @@ impl Simulator {
             for (j, spec) in workload.jobs.iter().enumerate() {
                 task_base.push(task_base[j] + spec.tasks.len());
             }
+            cgc_obs::progress().begin_run(workload.horizon, 1);
             vec![run_engine(
                 config,
                 workload,
@@ -539,6 +545,7 @@ impl Simulator {
                 first_boundary(s.every(), resume.map(|r| r.at))
             });
             let sink_ref = sink.as_ref();
+            cgc_obs::progress().begin_run(workload.horizon, plan.shards.len());
             let run_one = |(shard, spec): (usize, &ShardSpec)| {
                 run_engine(
                     config,
@@ -729,6 +736,7 @@ fn run_engine(
         sink,
         ckpt_every: sink.map_or(Duration::MAX, |s| s.every()),
         next_boundary,
+        progress: cgc_obs::progress_if_active(),
     };
 
     match resume {
@@ -907,6 +915,9 @@ impl Engine<'_> {
                     self.next_boundary = at.saturating_add(self.ckpt_every);
                 }
                 let ev = self.queue.pop().expect("peeked just above");
+                if let Some(p) = self.progress {
+                    p.on_event(self.shard, ev.time);
+                }
                 while self.next_sample <= ev.time {
                     let at = self.next_sample;
                     self.take_samples(at);
@@ -957,6 +968,11 @@ impl Engine<'_> {
                 self.job_cpu_seconds[info.job] +=
                     info.cpu_processors * (self.horizon - r.start) as f64;
             }
+        }
+        if let Some(p) = self.progress {
+            // The last queued event usually fires before the horizon;
+            // snap this shard's watermark so completion reaches 1.0.
+            p.shard_done(self.shard, self.horizon);
         }
     }
 
@@ -1319,8 +1335,14 @@ impl Engine<'_> {
             rng,
             series,
             config,
+            progress,
+            shard,
             ..
         } = self;
+        if let Some(p) = progress {
+            // One sample lands per machine below, on every grid point.
+            p.on_samples(*shard, machines.len() as u64);
+        }
         for (mi, m) in machines.iter().enumerate() {
             if !m.up {
                 // A down machine reports nothing; record an all-zero

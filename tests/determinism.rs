@@ -213,6 +213,69 @@ fn fused_report_is_identical_to_the_file_roundtrip_across_threads_and_batches() 
 }
 
 #[test]
+fn live_observability_surfaces_never_change_the_artifacts() {
+    // The gen-3 surfaces — progress probe, heartbeat sampler, flight
+    // recorder — are wall-clock observers of the run, so with all three
+    // armed the trace bytes, the characterization report, and the
+    // telemetry bundle must match a plain run exactly, at every thread
+    // count. This is the PR's core acceptance criterion: observability
+    // must be free of observable effect on the artifacts.
+    use cloudgrid::{characterize_stream, StreamOptions};
+
+    let workload = GoogleWorkload::scaled(MACHINES, HORIZON).generate(7);
+
+    // Reference artifacts from a plain run, surfaces off.
+    let reference_trace = run_text(google_config(true).with_shards(4).with_threads(1));
+    let (reference_report, _) =
+        characterize_stream(reference_trace.as_bytes(), &StreamOptions::default())
+            .expect("reference trace parses");
+    let reference_report = serde_json::to_string(&reference_report).unwrap();
+    let reference_bundle = {
+        let config = google_config(true).with_shards(4).with_threads(1);
+        let (_, bundle) = Simulator::new(config).run_with_telemetry(&workload, 300);
+        serde_json::to_string_pretty(&bundle).expect("bundle serializes")
+    };
+
+    // Arm everything: flight recorder (span-ring observer), fast
+    // heartbeat (progress probe + sampler thread), metrics.
+    let dir = std::env::temp_dir().join(format!("cgc-obs-det-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    cloudgrid::obs::set_enabled(true);
+    cloudgrid::obs::install_flight_recorder(&dir.join("fr.json"));
+    let heartbeat = cloudgrid::obs::start_heartbeat(cloudgrid::obs::HeartbeatOptions {
+        path: Some(dir.join("hb.jsonl")),
+        interval: std::time::Duration::from_millis(10),
+    })
+    .expect("heartbeat file creatable");
+
+    for threads in [1, 2, 8] {
+        let config = google_config(true).with_shards(4).with_threads(threads);
+        let (trace, bundle) = Simulator::new(config).run_with_telemetry(&workload, 300);
+        assert_eq!(
+            write_trace(&trace),
+            reference_trace,
+            "threads={threads}: surfaces altered the trace bytes"
+        );
+        assert_eq!(
+            serde_json::to_string_pretty(&bundle).expect("bundle serializes"),
+            reference_bundle,
+            "threads={threads}: surfaces altered the telemetry bundle"
+        );
+        let (report, _) =
+            characterize_stream(write_trace(&trace).as_bytes(), &StreamOptions::default())
+                .expect("probed trace parses");
+        assert_eq!(
+            serde_json::to_string(&report).unwrap(),
+            reference_report,
+            "threads={threads}: surfaces altered the report"
+        );
+    }
+
+    heartbeat.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn shard_count_is_a_model_parameter_not_an_execution_detail() {
     // Different shard counts are *allowed* to produce different traces
     // (they are different models); what must hold is that every shard
